@@ -1,0 +1,83 @@
+// Ablation — aligned vs asynchronous phases.
+//
+// The paper's analysis assumes perfectly aligned slots "from an
+// optimistic perspective"; the protocol itself runs fine without
+// synchronization.  This bench quantifies the optimism: in the
+// asynchronous execution any interval overlap destroys a reception (a
+// ~2-slot vulnerability window instead of an exact slot match), so
+// reachability within 5 phases drops and the optimal probability shifts
+// further down.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "sim/async_experiment.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+namespace {
+
+double asyncMeanReach(const BenchOptions& opts, double rho, double p,
+                      int reps) {
+  sim::ExperimentConfig cfg;
+  cfg.neighborDensity = rho;
+  double total = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto run = sim::runAsyncExperiment(
+        cfg,
+        [p] { return std::make_unique<protocols::ProbabilisticBroadcast>(p); },
+        opts.seed, rep);
+    total += run.reachabilityAfter(5.0);
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Ablation", "aligned vs asynchronous phases (Section 4.2)");
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const int reps = opts.fast ? 6 : 20;
+
+  // Per-rho: aligned optimum, the same p evaluated asynchronously, and the
+  // async-optimal p found on the simulation grid.
+  support::TablePrinter table({"rho", "aligned p*", "aligned reach",
+                               "async @same p", "async p*", "async reach"});
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = bench::paperModel(rho);
+    // Aligned optimum from the simulated sweep.
+    double alignedBest = 0.0, alignedP = 0.0;
+    double asyncBest = 0.0, asyncP = 0.0;
+    for (double p : opts.simulationGrid().values()) {
+      const double aligned =
+          model.measure(p, spec, opts.seed, reps).stats.mean;
+      if (aligned > alignedBest) {
+        alignedBest = aligned;
+        alignedP = p;
+      }
+      const double async = asyncMeanReach(opts, rho, p, reps);
+      if (async > asyncBest) {
+        asyncBest = async;
+        asyncP = p;
+      }
+    }
+    const double asyncAtAlignedP =
+        asyncMeanReach(opts, rho, alignedP, reps);
+    table.addRow({support::formatDouble(rho, 0),
+                  support::formatDouble(alignedP, 2),
+                  support::formatDouble(alignedBest, 3),
+                  support::formatDouble(asyncAtAlignedP, 3),
+                  support::formatDouble(asyncP, 2),
+                  support::formatDouble(asyncBest, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nTakeaway: the aligned analysis is optimistic — interval-overlap\n"
+      "collisions cut the 5-phase reachability and push the optimal p\n"
+      "lower — but the paper's structural findings (p* decreasing in rho,\n"
+      "near-flat optimal reachability) hold in the asynchronous execution\n"
+      "too, supporting the claim that algorithms designed for the worst\n"
+      "case of asynchrony can be analysed under synchronization.\n");
+  return 0;
+}

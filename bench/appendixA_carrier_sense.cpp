@@ -1,0 +1,61 @@
+// Appendix A — the carrier-sensing collision model (interference range
+// 2r) against the plain CAM model.
+//
+// The paper extends the analysis with mu'(K1, K2, s) and claims the
+// qualitative results carry over: "more concurrent communication leads to
+// higher probability of packet collision".  This bench reproduces that
+// comparison: mu' against mu, the analytic reachability under both
+// collision models, the per-model optimal probability, and the packet-
+// level simulation cross-check.
+#include "analytic/mu.hpp"
+#include "bench_common.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Appendix A", "carrier-sensing collision model (cs = 2r)");
+
+  // mu' against mu: the annulus interferers eat into the success window.
+  support::TablePrinter muTable(
+      {"K1", "mu(K1,3)", "mu'(K1,K1,3)", "mu'(K1,3*K1,3)"});
+  for (int k1 : {1, 2, 4, 8, 16, 32}) {
+    muTable.addRow({support::formatDouble(k1, 0),
+                    support::formatDouble(analytic::mu(k1, 3), 4),
+                    support::formatDouble(analytic::muPrime(k1, k1, 3), 4),
+                    support::formatDouble(analytic::muPrime(k1, 3 * k1, 3),
+                                          4)});
+  }
+  std::printf("occupancy probabilities (s = 3; K2 annulus interferers)\n");
+  muTable.print(std::cout);
+
+  // Analytic reachability in 5 phases under CAM vs CAM-CS, with the
+  // per-model optimum.
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const auto grid = opts.analyticGrid();
+  support::TablePrinter reach({"rho", "CAM p*", "CAM reach", "CS p*",
+                               "CS reach", "sim CS reach @ CS p*"});
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel cam = bench::paperModel(rho);
+    const core::NetworkModel cs =
+        bench::paperModel(rho, core::CommModel::carrierSenseAware(2.0));
+    const auto camBest = cam.optimize(spec, grid);
+    const auto csBest = cs.optimize(spec, grid);
+    const auto simCs = cs.measure(csBest->probability, spec, opts.seed,
+                                  opts.replications);
+    reach.addRow({support::formatDouble(rho, 0),
+                  support::formatDouble(camBest->probability, 2),
+                  support::formatDouble(camBest->value, 3),
+                  support::formatDouble(csBest->probability, 2),
+                  support::formatDouble(csBest->value, 3),
+                  bench::cell(simCs, 3)});
+  }
+  std::printf("\nanalytic optima under CAM vs CAM-CS, 5-phase reachability\n");
+  reach.print(std::cout);
+  std::printf(
+      "\nPaper shape: carrier sensing shifts the optimum to smaller p and\n"
+      "lowers the attainable reachability, but the qualitative behaviour\n"
+      "(p* decreasing in rho, flat plateau) is unchanged.\n");
+  return 0;
+}

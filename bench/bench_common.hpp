@@ -1,0 +1,169 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary reproduces one table/figure of the paper with the
+// paper's parameters: P = 5 rings, s = 3 slots per phase, rho = 20..140
+// step 20, analytic p grid 0.01..1 step 0.01, simulated p grid
+// 0.05..1 step 0.05, 30 random runs per simulated point.
+//
+// Options (shared by all benches):
+//   --fast        quarter-size sweep for quick smoke runs
+//   --reps=N      override the Monte-Carlo replication count
+//   --seed=N      override the master seed (default 42)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/network_model.hpp"
+#include "core/optimizer.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/table.hpp"
+
+namespace nsmodel::bench {
+
+struct BenchOptions {
+  bool fast = false;
+  int replications = 30;   // the paper's 30 random runs
+  std::uint64_t seed = 42;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--fast") {
+        opts.fast = true;
+        opts.replications = 6;
+      } else if (arg.rfind("--reps=", 0) == 0) {
+        opts.replications = std::stoi(arg.substr(7));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        opts.seed = std::stoull(arg.substr(7));
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      }
+    }
+    return opts;
+  }
+
+  /// The paper's density axis (average neighbours per node).
+  std::vector<double> rhos() const {
+    if (fast) return {20.0, 80.0, 140.0};
+    return {20.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0};
+  }
+
+  /// Probability axis for analytic sweeps.
+  core::ProbabilityGrid analyticGrid() const {
+    return fast ? core::ProbabilityGrid{0.02, 1.0, 0.02}
+                : core::ProbabilityGrid::analytic();
+  }
+
+  /// Probability axis for simulated sweeps.
+  core::ProbabilityGrid simulationGrid() const {
+    return fast ? core::ProbabilityGrid{0.1, 1.0, 0.1}
+                : core::ProbabilityGrid::simulation();
+  }
+};
+
+/// The paper's network model at density rho under the given channel.
+inline core::NetworkModel paperModel(
+    double rho,
+    core::CommModel comm = core::CommModel::collisionAware()) {
+  core::DeploymentSpec spec;
+  spec.rings = 5;
+  spec.ringWidth = 1.0;
+  spec.neighborDensity = rho;
+  return core::NetworkModel(spec, comm, /*slotsPerPhase=*/3);
+}
+
+/// Monte-Carlo aggregate of one metric at (rho, p); NaN marks runs where
+/// the constraint was infeasible.
+inline sim::MetricAggregate simulateMetric(const BenchOptions& opts,
+                                           const core::NetworkModel& model,
+                                           double p,
+                                           const core::MetricSpec& spec) {
+  return model.measure(p, spec, opts.seed, opts.replications);
+}
+
+/// Formats an aggregate as "mean" or "-" when under half the runs were
+/// feasible (mirroring the paper's omitted curve segments).
+inline std::string cell(const sim::MetricAggregate& agg, int precision = 3) {
+  if (agg.definedFraction < 0.5) return "-";
+  return support::formatDouble(agg.stats.mean, precision);
+}
+
+inline std::string cell(const std::optional<double>& value,
+                        int precision = 3) {
+  if (!value) return "-";
+  return support::formatDouble(*value, precision);
+}
+
+/// One full simulated sweep: aggregate of `spec` at every (rho, p) of the
+/// paper's grids. Row i = rhos()[i], column j = simulationGrid()[j].
+inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
+    const BenchOptions& opts, const core::MetricSpec& spec,
+    int replicationOverride = 0,
+    core::CommModel comm = core::CommModel::collisionAware()) {
+  const int reps =
+      replicationOverride > 0 ? replicationOverride : opts.replications;
+  std::vector<std::vector<sim::MetricAggregate>> rows;
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = paperModel(rho, comm);
+    std::vector<sim::MetricAggregate> row;
+    for (double p : opts.simulationGrid().values()) {
+      row.push_back(model.measure(p, spec, opts.seed, reps));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Best feasible grid point of one sweep row under the metric's direction;
+/// cells with under half the runs feasible are skipped (paper: not shown).
+inline std::optional<core::Optimum> sweepOptimum(
+    const BenchOptions& opts, const std::vector<sim::MetricAggregate>& row,
+    core::MetricKind kind) {
+  const auto grid = opts.simulationGrid().values();
+  std::optional<core::Optimum> best;
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    if (row[j].definedFraction < 0.5) continue;
+    const double value = row[j].stats.mean;
+    if (!best || core::isBetter(kind, value, best->value)) {
+      best = core::Optimum{grid[j], value};
+    }
+  }
+  return best;
+}
+
+/// Prints the (a)-style table of a simulated sweep: p rows, rho columns.
+inline void printSimSweep(const BenchOptions& opts,
+                          const std::vector<std::vector<sim::MetricAggregate>>&
+                              sweep,
+                          int precision = 3) {
+  std::vector<std::string> header{"p"};
+  for (double rho : opts.rhos()) {
+    header.push_back("rho=" + support::formatDouble(rho, 0));
+  }
+  support::TablePrinter table(header);
+  const auto grid = opts.simulationGrid().values();
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    std::vector<std::string> row{support::formatDouble(grid[j], 2)};
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      row.push_back(cell(sweep[i][j], precision));
+    }
+    table.addRow(row);
+  }
+  table.print(std::cout);
+}
+
+/// Prints a banner naming the reproduced figure.
+inline void banner(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace nsmodel::bench

@@ -1,0 +1,58 @@
+// Section 1/4 motivation — what CFM predicts for simple flooding vs what
+// a collision-aware network delivers.
+//
+// CFM's closed form says flooding reaches everyone in P phases with N
+// broadcasts; under CAM the same algorithm loses most of its 5-phase
+// reachability to collisions as density grows.  This is the gap that
+// motivates collision-aware modelling.
+#include "bench_common.hpp"
+#include "core/cfm_analysis.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("CFM vs CAM",
+                "simple flooding: CFM closed form vs CAM reality");
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+
+  support::TablePrinter table({"rho", "N", "CFM reach", "CFM latency",
+                               "CFM bcasts", "CAM analytic reach",
+                               "CAM sim reach", "CAM sim bcasts"});
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = bench::paperModel(rho);
+    const auto cfm = core::analyzeFloodingCfm(model.deployment(),
+                                              model.commModel().costs(), 3);
+    const double analyticReach =
+        *core::evaluateMetric(spec, model.predict(1.0));
+    const auto simReach =
+        model.measure(1.0, spec, opts.seed, opts.replications);
+    sim::MonteCarloConfig mc;
+    mc.experiment = model.experimentConfig();
+    mc.seed = opts.seed;
+    mc.replications = opts.replications;
+    const auto bcasts = sim::monteCarlo(
+        mc,
+        [] { return std::make_unique<protocols::ProbabilisticBroadcast>(1.0); },
+        [](const sim::RunResult& run) {
+          return std::vector<double>{
+              static_cast<double>(run.totalBroadcasts())};
+        });
+    table.addRow({support::formatDouble(rho, 0),
+                  support::formatDouble(model.deployment().expectedNodes(), 0),
+                  support::formatDouble(cfm.reachability, 2),
+                  support::formatDouble(cfm.latencyPhases, 1),
+                  support::formatDouble(cfm.broadcasts, 0),
+                  support::formatDouble(analyticReach, 3),
+                  bench::cell(simReach, 3),
+                  support::formatDouble(bcasts[0].stats.mean, 0)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nPaper point: CFM's prediction (reach 1.0 within P phases) grows\n"
+      "increasingly wrong with density — at rho=140 the CAM simulation\n"
+      "reaches under half the network in the same window. Accurate\n"
+      "performance analysis requires the collision-aware model.\n");
+  return 0;
+}

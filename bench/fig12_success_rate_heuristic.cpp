@@ -1,0 +1,90 @@
+// Fig. 12 — flooding success rate vs the optimal broadcast probability.
+//
+// The paper's closing observation: the ratio (latency-metric optimal p) /
+// (per-link success rate of simple flooding under CAM) is nearly constant
+// (~11) across densities, suggesting a density-free rule for choosing p —
+// measure the local flooding success rate and multiply.  We reproduce the
+// analytic comparison and add the simulated success rate as a check, then
+// evaluate the heuristic: reachability attained by the heuristic p vs the
+// true optimum.
+#include <memory>
+
+#include "analytic/success_rate.hpp"
+#include "bench_common.hpp"
+#include "protocols/flooding.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Figure 12",
+                "flooding success rate vs optimal probability (ratio rule)");
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const auto grid = opts.analyticGrid();
+
+  struct Row {
+    double rho;
+    double optimalP;
+    double successRate;
+    double simSuccessRate;
+  };
+  std::vector<Row> rows;
+  double ratioSum = 0.0;
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = bench::paperModel(rho);
+    const auto best = model.optimize(spec, grid);
+    analytic::RingModelConfig cfg =
+        model.analyticConfig(1.0, analytic::RealKPolicy::Interpolate);
+    const double rate = analytic::floodingSuccessRate(cfg);
+
+    sim::MonteCarloConfig mc;
+    mc.experiment = model.experimentConfig();
+    mc.seed = opts.seed;
+    mc.replications = opts.replications;
+    const auto aggs = sim::monteCarlo(
+        mc, [] { return std::make_unique<protocols::SimpleFlooding>(); },
+        [](const sim::RunResult& run) {
+          return std::vector<double>{run.averageSuccessRate()};
+        });
+    rows.push_back({rho, best->probability, rate, aggs[0].stats.mean});
+    ratioSum += best->probability / rate;
+  }
+  const double meanRatio = ratioSum / static_cast<double>(rows.size());
+
+  support::TablePrinter table({"rho", "optimal p", "success rate",
+                               "sim success rate", "p / rate"});
+  for (const Row& row : rows) {
+    table.addRow({support::formatDouble(row.rho, 0),
+                  support::formatDouble(row.optimalP, 2),
+                  support::formatDouble(row.successRate, 4),
+                  support::formatDouble(row.simSuccessRate, 4),
+                  support::formatDouble(row.optimalP / row.successRate, 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nmean ratio: %.2f (paper reports ~11)\n", meanRatio);
+
+  // Evaluate the heuristic: pick p = meanRatio * successRate and compare
+  // the reachability it attains against the true optimum.
+  support::TablePrinter eval({"rho", "heuristic p", "reach(heuristic)",
+                              "reach(optimal)"});
+  for (const Row& row : rows) {
+    const double heuristicP =
+        analytic::heuristicOptimalProbability(row.successRate, meanRatio);
+    const core::NetworkModel model = bench::paperModel(row.rho);
+    const double reachH =
+        *core::evaluateMetric(spec, model.predict(heuristicP));
+    const auto best = model.optimize(spec, grid);
+    eval.addRow({support::formatDouble(row.rho, 0),
+                 support::formatDouble(heuristicP, 2),
+                 support::formatDouble(reachH, 3),
+                 support::formatDouble(best->value, 3)});
+  }
+  std::printf("\nheuristic evaluation (density-free rule p = ratio * rate)\n");
+  eval.print(std::cout);
+  std::printf(
+      "\nPaper shape: the ratio is ~constant across rho, so the optimal p\n"
+      "can be chosen from the locally measurable success rate without\n"
+      "knowing the node density.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 4 — analytic reachability of PB_CAM within 5 time phases.
+//
+// (a) reachability as a function of rho and p (bell curve in p; the p = 1
+//     column is simple flooding under CAM);
+// (b) the optimal probability per rho with the corresponding reachability
+//     (optimal p decreases rapidly with rho; the optimal reachability is
+//     nearly flat in rho).
+#include "bench_common.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Figure 4", "analytic reachability of PB_CAM in 5 phases");
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+
+  // (a): reachability series over p, one column per rho.
+  std::vector<std::string> header{"p"};
+  for (double rho : opts.rhos()) {
+    header.push_back("rho=" + support::formatDouble(rho, 0));
+  }
+  support::TablePrinter table(header);
+  const auto grid = opts.analyticGrid();
+  for (double p : grid.values()) {
+    // Print a readable subset of the 100-point grid.
+    const int centi = static_cast<int>(p * 100.0 + 0.5);
+    if (centi % 5 != 0 && centi != 1 && centi != 2) continue;
+    std::vector<std::string> row{support::formatDouble(p, 2)};
+    for (double rho : opts.rhos()) {
+      const auto trace = bench::paperModel(rho).predict(p);
+      row.push_back(
+          support::formatDouble(*core::evaluateMetric(spec, trace), 3));
+    }
+    table.addRow(row);
+  }
+  std::printf("(a) reachability within 5 phases vs p (columns: rho)\n");
+  table.print(std::cout);
+
+  // (b): optimal probability and the reachability it attains.
+  support::TablePrinter optima({"rho", "optimal p", "reachability",
+                                "flooding (p=1)"});
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = bench::paperModel(rho);
+    const auto best = model.optimize(spec, grid);
+    const double flooding =
+        *core::evaluateMetric(spec, model.predict(1.0));
+    optima.addRow({support::formatDouble(rho, 0),
+                   support::formatDouble(best->probability, 2),
+                   support::formatDouble(best->value, 3),
+                   support::formatDouble(flooding, 3)});
+  }
+  std::printf("\n(b) optimal probability per rho\n");
+  optima.print(std::cout);
+  std::printf(
+      "\nPaper shape: p* decreases rapidly with rho; the optimal\n"
+      "reachability is ~flat in rho (paper: ~0.72); flooding at rho=140 is\n"
+      "~0.55x the optimum.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 5 — analytic latency of PB_CAM for a fixed reachability constraint.
+//
+// The paper fixes the constraint at 72%, the flat optimal-reachability
+// plateau of its Fig. 4(b).  Our plateau sits at a slightly different
+// absolute level (the mu extension to real arguments is unspecified in the
+// paper), so the constraint is derived from our own Fig. 4(b) plateau —
+// the shape claims are unchanged: the optimal p equals Fig. 4(b)'s and the
+// corresponding latency is ~5 phases for every rho, while flooding needs
+// far longer at high density.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Figure 5", "analytic latency for a reachability constraint");
+  const auto grid = opts.analyticGrid();
+
+  // Derive the constraint: the lowest per-rho optimum of Fig. 4(b), so the
+  // target is feasible at every density.
+  double target = 1.0;
+  const core::MetricSpec reachSpec =
+      core::MetricSpec::reachabilityUnderLatency(5.0);
+  for (double rho : opts.rhos()) {
+    const auto best = bench::paperModel(rho).optimize(reachSpec, grid);
+    target = std::min(target, best->value);
+  }
+  target -= 1e-6;
+  std::printf("reachability constraint (our Fig. 4(b) plateau): %.3f\n\n",
+              target);
+  const core::MetricSpec spec =
+      core::MetricSpec::latencyUnderReachability(target);
+
+  std::vector<std::string> header{"p"};
+  for (double rho : opts.rhos()) {
+    header.push_back("rho=" + support::formatDouble(rho, 0));
+  }
+  support::TablePrinter table(header);
+  for (double p : grid.values()) {
+    const int centi = static_cast<int>(p * 100.0 + 0.5);
+    if (centi % 5 != 0 && centi != 1 && centi != 2) continue;
+    std::vector<std::string> row{support::formatDouble(p, 2)};
+    for (double rho : opts.rhos()) {
+      row.push_back(
+          bench::cell(core::evaluateMetric(spec,
+                                           bench::paperModel(rho).predict(p)),
+                      2));
+    }
+    table.addRow(row);
+  }
+  std::printf("(a) latency in phases vs p ('-' = constraint unreachable)\n");
+  table.print(std::cout);
+
+  support::TablePrinter optima(
+      {"rho", "optimal p", "latency", "flooding latency"});
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = bench::paperModel(rho);
+    const auto best = model.optimize(spec, grid);
+    const auto flooding = core::evaluateMetric(spec, model.predict(1.0));
+    optima.addRow({support::formatDouble(rho, 0),
+                   best ? support::formatDouble(best->probability, 2) : "-",
+                   best ? support::formatDouble(best->value, 2) : "-",
+                   bench::cell(flooding, 2)});
+  }
+  std::printf("\n(b) optimal probability per rho\n");
+  optima.print(std::cout);
+  std::printf(
+      "\nPaper shape: the optimal p matches Fig. 4(b) (duality) and the\n"
+      "latency at the optimum stays ~5 phases for every rho, while\n"
+      "flooding needs >8 phases at rho=140.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 6 — analytic energy cost (number of broadcasts M) of PB_CAM for a
+// fixed reachability constraint.
+//
+// Paper findings reproduced here: M increases with both rho and p; the
+// energy-optimal p varies slowly within (0, ~0.1] over the whole density
+// range (unlike the latency-optimal p of Fig. 4/5); the latency at the
+// energy optimum is much larger (paper: 7-15 phases); and the optimal
+// broadcast count is a tiny fraction of flooding's.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Figure 6", "analytic #broadcasts for a reachability constraint");
+  const auto grid = opts.analyticGrid();
+
+  // Same constraint derivation as Fig. 5 (the Fig. 4(b) plateau).
+  double target = 1.0;
+  const core::MetricSpec reachSpec =
+      core::MetricSpec::reachabilityUnderLatency(5.0);
+  for (double rho : opts.rhos()) {
+    target = std::min(
+        target, bench::paperModel(rho).optimize(reachSpec, grid)->value);
+  }
+  target -= 1e-6;
+  std::printf("reachability constraint: %.3f\n\n", target);
+  const core::MetricSpec spec =
+      core::MetricSpec::energyUnderReachability(target);
+
+  std::vector<std::string> header{"p"};
+  for (double rho : opts.rhos()) {
+    header.push_back("rho=" + support::formatDouble(rho, 0));
+  }
+  support::TablePrinter table(header);
+  for (double p : grid.values()) {
+    const int centi = static_cast<int>(p * 100.0 + 0.5);
+    if (centi % 5 != 0 && centi != 1 && centi != 2) continue;
+    std::vector<std::string> row{support::formatDouble(p, 2)};
+    for (double rho : opts.rhos()) {
+      row.push_back(
+          bench::cell(core::evaluateMetric(spec,
+                                           bench::paperModel(rho).predict(p)),
+                      1));
+    }
+    table.addRow(row);
+  }
+  std::printf("(a) broadcasts to reach the target vs p ('-' = infeasible)\n");
+  table.print(std::cout);
+
+  support::TablePrinter optima({"rho", "optimal p", "broadcasts",
+                                "latency@opt", "flooding bcasts"});
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = bench::paperModel(rho);
+    const auto best = model.optimize(spec, grid);
+    std::string latencyCell = "-";
+    if (best) {
+      const auto trace = model.predict(best->probability);
+      latencyCell = bench::cell(trace.latencyForReachability(target), 1);
+    }
+    const auto flooding = core::evaluateMetric(spec, model.predict(1.0));
+    optima.addRow({support::formatDouble(rho, 0),
+                   best ? support::formatDouble(best->probability, 2) : "-",
+                   best ? support::formatDouble(best->value, 1) : "-",
+                   latencyCell, bench::cell(flooding, 1)});
+  }
+  std::printf("\n(b) energy-optimal probability per rho\n");
+  optima.print(std::cout);
+  std::printf(
+      "\nPaper shape: the energy-optimal p stays within (0, ~0.1] across\n"
+      "the whole density range; the latency it pays is several-fold the\n"
+      "5-phase optimum (paper: 7-15 phases); the optimal broadcast count\n"
+      "is a small constant vs ~N for flooding.\n");
+  return 0;
+}

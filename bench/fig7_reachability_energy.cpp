@@ -1,0 +1,83 @@
+// Fig. 7 — analytic reachability of PB_CAM under a broadcast budget.
+//
+// The paper allows 35 broadcasts (slightly below its Fig. 6 optima, which
+// stay "within 40"); our budget is derived the same way — a small headroom
+// above the largest per-rho energy optimum — so the experiment stays
+// feasible at every density.  Shape claims: the budget-optimal p is close
+// to the energy-optimal p of Fig. 6 (duality), the optimal reachability
+// approaches the constraint target, and flooding achieves very little
+// before exhausting the budget.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Figure 7", "analytic reachability under a broadcast budget");
+  const auto grid = opts.analyticGrid();
+
+  // Derive the budget from our Fig. 6: the largest per-rho optimal
+  // broadcast count (paper: optima < 40, budget 35).
+  double target = 1.0;
+  const core::MetricSpec reachSpec =
+      core::MetricSpec::reachabilityUnderLatency(5.0);
+  for (double rho : opts.rhos()) {
+    target = std::min(
+        target, bench::paperModel(rho).optimize(reachSpec, grid)->value);
+  }
+  target -= 1e-6;
+  double budget = 0.0;
+  for (double rho : opts.rhos()) {
+    const auto best = bench::paperModel(rho).optimize(
+        core::MetricSpec::energyUnderReachability(target), grid);
+    if (best) budget = std::max(budget, best->value);
+  }
+  budget = std::ceil(budget);
+  std::printf("broadcast budget (max Fig. 6 optimum, rounded up): %.0f\n\n",
+              budget);
+  const core::MetricSpec spec =
+      core::MetricSpec::reachabilityUnderEnergy(budget);
+
+  std::vector<std::string> header{"p"};
+  for (double rho : opts.rhos()) {
+    header.push_back("rho=" + support::formatDouble(rho, 0));
+  }
+  support::TablePrinter table(header);
+  for (double p : grid.values()) {
+    const int centi = static_cast<int>(p * 100.0 + 0.5);
+    if (centi % 5 != 0 && centi != 1 && centi != 2) continue;
+    std::vector<std::string> row{support::formatDouble(p, 2)};
+    for (double rho : opts.rhos()) {
+      row.push_back(support::formatDouble(
+          *core::evaluateMetric(spec, bench::paperModel(rho).predict(p)),
+          3));
+    }
+    table.addRow(row);
+  }
+  std::printf("(a) reachability within the budget vs p\n");
+  table.print(std::cout);
+
+  support::TablePrinter optima(
+      {"rho", "optimal p", "reachability", "flooding (p=1)"});
+  for (double rho : opts.rhos()) {
+    const core::NetworkModel model = bench::paperModel(rho);
+    const auto best = model.optimize(spec, grid);
+    const double flooding =
+        *core::evaluateMetric(spec, model.predict(1.0));
+    optima.addRow({support::formatDouble(rho, 0),
+                   support::formatDouble(best->probability, 2),
+                   support::formatDouble(best->value, 3),
+                   support::formatDouble(flooding, 3)});
+  }
+  std::printf("\n(b) budget-optimal probability per rho\n");
+  optima.print(std::cout);
+  std::printf(
+      "\nPaper shape: the optimal p is near 0 and close to Fig. 6(b)'s\n"
+      "(duality); the optimal reachability is ~the constraint target\n"
+      "(paper: ~0.70) while flooding stays under ~0.20.\n");
+  return 0;
+}

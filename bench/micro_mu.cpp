@@ -1,0 +1,97 @@
+// Micro-benchmarks of the analytical kernels: the occupancy probabilities
+// (closed form vs recursion), the real-K evaluators, the circle-
+// intersection primitive, and one full Eq. 4 recursion.
+#include <benchmark/benchmark.h>
+
+#include "analytic/mu.hpp"
+#include "analytic/ring_model.hpp"
+#include "geom/circle.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+void BM_MuClosedForm(benchmark::State& state) {
+  const auto k = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::mu(k, 3));
+  }
+}
+BENCHMARK(BM_MuClosedForm)->Arg(4)->Arg(32)->Arg(140);
+
+void BM_MuRecursive(benchmark::State& state) {
+  const auto k = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::muRecursive(k, 3));
+  }
+}
+BENCHMARK(BM_MuRecursive)->Arg(4)->Arg(32);
+
+void BM_MuPrimeClosedForm(benchmark::State& state) {
+  const auto k = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::muPrime(k, 3 * k, 3));
+  }
+}
+BENCHMARK(BM_MuPrimeClosedForm)->Arg(4)->Arg(32)->Arg(140);
+
+void BM_MuRealInterpolate(benchmark::State& state) {
+  double lambda = 0.1;
+  for (auto _ : state) {
+    lambda += 0.37;
+    if (lambda > 120.0) lambda = 0.1;
+    benchmark::DoNotOptimize(
+        analytic::muReal(lambda, 3, analytic::RealKPolicy::Interpolate));
+  }
+}
+BENCHMARK(BM_MuRealInterpolate);
+
+void BM_MuRealPoisson(benchmark::State& state) {
+  double lambda = 0.1;
+  for (auto _ : state) {
+    lambda += 0.37;
+    if (lambda > 120.0) lambda = 0.1;
+    benchmark::DoNotOptimize(
+        analytic::muReal(lambda, 3, analytic::RealKPolicy::Poisson));
+  }
+}
+BENCHMARK(BM_MuRealPoisson);
+
+void BM_LensArea(benchmark::State& state) {
+  double d = 0.0;
+  for (auto _ : state) {
+    d += 0.013;
+    if (d > 3.0) d = 0.0;
+    benchmark::DoNotOptimize(geom::lensArea(2.0, 1.0, d));
+  }
+}
+BENCHMARK(BM_LensArea);
+
+void BM_RingModelRun(benchmark::State& state) {
+  analytic::RingModelConfig cfg;
+  cfg.rings = 5;
+  cfg.neighborDensity = static_cast<double>(state.range(0));
+  cfg.broadcastProb = 0.1;
+  const analytic::RingModel model(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.run().finalReachability());
+  }
+}
+BENCHMARK(BM_RingModelRun)->Arg(20)->Arg(140);
+
+void BM_RingModelCarrierSense(benchmark::State& state) {
+  analytic::RingModelConfig cfg;
+  cfg.rings = 5;
+  cfg.neighborDensity = 100.0;
+  cfg.broadcastProb = 0.1;
+  cfg.channel = analytic::ChannelKind::CarrierSenseAware;
+  const analytic::RingModel model(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.run().finalReachability());
+  }
+}
+BENCHMARK(BM_RingModelCarrierSense);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Micro-benchmarks of the simulation substrates: event engine throughput,
+// deployment + topology construction, slot resolution under each channel
+// model, and a full PB_CAM run.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "des/engine.hpp"
+#include "net/channel.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto events = state.range(0);
+  for (auto _ : state) {
+    des::Engine engine;
+    for (std::int64_t i = 0; i < events; ++i) {
+      engine.scheduleAt(static_cast<des::Time>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_TopologyBuild(benchmark::State& state) {
+  const double rho = static_cast<double>(state.range(0));
+  support::Rng rng(1);
+  const net::Deployment dep = net::Deployment::paperDisk(rng, 5, 1.0, rho);
+  for (auto _ : state) {
+    const net::Topology topo(dep, 1.0);
+    benchmark::DoNotOptimize(topo.averageDegree());
+  }
+}
+BENCHMARK(BM_TopologyBuild)->Arg(20)->Arg(140);
+
+void BM_ChannelResolveSlot(benchmark::State& state) {
+  support::Rng rng(2);
+  const net::Deployment dep = net::Deployment::paperDisk(rng, 5, 1.0, 100.0);
+  const net::Topology topo(dep, 1.0, 2.0);
+  // ~5% of nodes transmit simultaneously: a busy mid-broadcast slot.
+  std::vector<net::NodeId> transmitters;
+  for (net::NodeId id = 0; id < dep.nodeCount(); ++id) {
+    if (rng.bernoulli(0.05)) transmitters.push_back(id);
+  }
+  const auto model = static_cast<net::ChannelModel>(state.range(0));
+  auto channel = net::makeChannel(model);
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    const auto outcome = channel->resolveSlot(
+        topo, transmitters, [&sink](net::NodeId, net::NodeId) { ++sink; });
+    benchmark::DoNotOptimize(outcome.deliveries);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ChannelResolveSlot)
+    ->Arg(static_cast<int>(net::ChannelModel::CollisionFree))
+    ->Arg(static_cast<int>(net::ChannelModel::CollisionAware))
+    ->Arg(static_cast<int>(net::ChannelModel::CarrierSenseAware));
+
+void BM_FullBroadcastRun(benchmark::State& state) {
+  sim::ExperimentConfig cfg;
+  cfg.neighborDensity = static_cast<double>(state.range(0));
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.2);
+  };
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    const auto run = sim::runExperiment(cfg, factory, 42, stream++);
+    benchmark::DoNotOptimize(run.finalReachability());
+  }
+}
+BENCHMARK(BM_FullBroadcastRun)->Arg(20)->Arg(60)->Arg(140);
+
+}  // namespace
+
+BENCHMARK_MAIN();

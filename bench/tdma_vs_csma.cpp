@@ -1,0 +1,90 @@
+// Section 3.2.1's two CFM implementations, quantified.
+//
+// CFM can be realised over a collision-aware link layer either by
+// acknowledgements + retransmission (bench/cfm_cost_of_reliability: pays
+// *energy*, 2-3 orders of magnitude packets per node) or by TDMA with
+// neighbourhood-unique slots (this bench: pays *time*, a frame that grows
+// linearly with density).  We build a distance-2 colouring, run flooding
+// in its slots over the plain CAM channel, and verify the schedule's
+// promise: zero collisions, every connected node reached, exactly one
+// transmission per node — at a per-hop latency of one full frame.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "net/tdma.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/tdma_flooding.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("TDMA vs CSMA",
+                "the two CFM implementations of Section 3.2.1");
+  const int reps = opts.fast ? 4 : 10;
+
+  support::TablePrinter table(
+      {"rho", "frame len", "tdma reach", "tdma collisions",
+       "tdma latency (slots)", "csma reach@same time", "csma final reach"});
+  for (double rho : opts.rhos()) {
+    double frame = 0.0, tdmaReach = 0.0, tdmaSlots = 0.0;
+    double csmaAtSameTime = 0.0, csmaFinal = 0.0;
+    std::uint64_t collisions = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      support::Rng rng = support::Rng::forStream(opts.seed, rep);
+      const net::Deployment dep =
+          net::Deployment::paperDisk(rng, 5, 1.0, rho);
+      const net::Topology topo(dep, 1.0);
+      const net::TdmaSchedule schedule = net::buildTdmaSchedule(topo);
+      frame += schedule.frameLength;
+
+      sim::ExperimentConfig tdmaCfg;
+      tdmaCfg.neighborDensity = rho;
+      tdmaCfg.slotsPerPhase = schedule.frameLength;
+      protocols::TdmaFlooding tdma(schedule);
+      const auto tdmaRun =
+          sim::runBroadcast(tdmaCfg, dep, topo, tdma, rng);
+      tdmaReach += tdmaRun.finalReachability();
+      for (const auto& phase : tdmaRun.phases()) {
+        collisions += phase.lostReceivers;
+      }
+      const auto tdmaLatency = tdmaRun.latencyForReachability(
+          0.99 * tdmaRun.finalReachability());
+      const double slots =
+          (tdmaLatency ? *tdmaLatency : 0.0) * schedule.frameLength;
+      tdmaSlots += slots;
+
+      // CSMA comparison: jittered flooding with the paper's s = 3, given
+      // the same wall-clock budget in slots.
+      sim::ExperimentConfig csmaCfg;
+      csmaCfg.neighborDensity = rho;
+      protocols::SimpleFlooding csma;
+      support::Rng csmaRng = support::Rng::forStream(opts.seed + 1, rep);
+      const auto csmaRun =
+          sim::runBroadcast(csmaCfg, dep, topo, csma, csmaRng);
+      csmaAtSameTime += csmaRun.reachabilityAfter(slots / 3.0);
+      csmaFinal += csmaRun.finalReachability();
+    }
+    const double r = reps;
+    table.addRow({support::formatDouble(rho, 0),
+                  support::formatDouble(frame / r, 0),
+                  support::formatDouble(tdmaReach / r, 3),
+                  support::formatDouble(static_cast<double>(collisions), 0),
+                  support::formatDouble(tdmaSlots / r, 0),
+                  support::formatDouble(csmaAtSameTime / r, 3),
+                  support::formatDouble(csmaFinal / r, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nTakeaway: the distance-2 TDMA schedule delivers CFM's guarantee\n"
+      "over the CAM channel — zero collisions, full reachability, one\n"
+      "transmission per node — but its frame (and so its per-hop latency)\n"
+      "grows ~linearly with density, while jittered CSMA flooding covers\n"
+      "most of the network in the same wall-clock time without the\n"
+      "guarantee. Energy-cheap + slow (TDMA) vs fast + lossy (CSMA) is\n"
+      "exactly the trade Section 3.2.1 sketches; acknowledgement-based\n"
+      "CFM (bench/cfm_cost_of_reliability) is the third corner: fast-ish\n"
+      "but energy-catastrophic.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Data gathering over the unicast primitive: CFM's promise vs CAM's
+// reality (Section 3.2's second primitive, on the workload the paper's
+// related work motivates).
+//
+// Under CFM, concurrent receptions all succeed (implicit multi-packet
+// reception) and no transmission is ever wasted: completion is bounded by
+// the largest subtree a sink child must drain (one packet per phase), and
+// every report costs exactly one transmission per hop.  Under CAM the
+// same schedule pays collisions on top: completion stretches severalfold,
+// each report costs several transmissions, and fire-and-forget unicast
+// loses most reports at high density.  The transmit probability plays
+// PB's role: a moderate value beats eager transmission once collisions
+// exist.
+#include "bench_common.hpp"
+#include "sim/convergecast.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Convergecast", "data gathering: CFM promise vs CAM reality");
+  const int reps = opts.fast ? 3 : 5;
+  const std::vector<double> rhos =
+      opts.fast ? std::vector<double>{20.0, 60.0}
+                : std::vector<double>{20.0, 40.0, 60.0, 80.0};
+
+  const int maxPhases = opts.fast ? 8000 : 30000;
+  support::TablePrinter table({"rho", "N", "depth", "CFM phases",
+                               "CAM phases", "CAM delivered",
+                               "CAM tx/report", "fire&forget delivery"});
+  for (double rho : rhos) {
+    double depth = 0.0, cfmPhases = 0.0, camPhases = 0.0, camTx = 0.0;
+    double camRatio = 0.0, ffRatio = 0.0, nodes = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      sim::ConvergecastConfig cfg;
+      cfg.base.neighborDensity = rho;
+      cfg.maxPhases = maxPhases;
+      cfg.transmitProbability = 1.0;
+      cfg.base.channel = net::ChannelModel::CollisionFree;
+      const auto cfm = sim::runConvergecast(cfg, opts.seed, rep);
+
+      cfg.base.channel = net::ChannelModel::CollisionAware;
+      cfg.transmitProbability = 0.15;  // eager q collapses; see the sweep
+      const auto cam = sim::runConvergecast(cfg, opts.seed, rep);
+
+      sim::ConvergecastConfig ff = cfg;
+      ff.oracleFeedback = false;
+      const auto fire = sim::runConvergecast(ff, opts.seed, rep);
+
+      nodes += static_cast<double>(cfm.nodeCount);
+      depth += cfm.treeDepth;
+      cfmPhases += cfm.completionPhases;
+      camPhases += cam.completionPhases;
+      camRatio += cam.deliveryRatio();
+      camTx += static_cast<double>(cam.transmissions) /
+               static_cast<double>(
+                   std::max<std::size_t>(1, cam.reportsDelivered));
+      ffRatio += fire.deliveryRatio();
+    }
+    const double r = reps;
+    table.addRow({support::formatDouble(rho, 0),
+                  support::formatDouble(nodes / r, 0),
+                  support::formatDouble(depth / r, 1),
+                  support::formatDouble(cfmPhases / r, 1),
+                  support::formatDouble(camPhases / r, 1),
+                  support::formatDouble(camRatio / r, 3),
+                  support::formatDouble(camTx / r, 1),
+                  support::formatDouble(ffRatio / r, 3)});
+  }
+  table.print(std::cout);
+
+  // The unicast analogue of the paper's p sweep: transmit probability vs
+  // completion time under CAM at one density.
+  const double rho = 60.0;
+  support::TablePrinter sweep(
+      {"q", "delivered", "completion phases", "tx per report"});
+  for (double q : {0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}) {
+    double phases = 0.0, tx = 0.0, ratio = 0.0;
+    bool allDrained = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      sim::ConvergecastConfig cfg;
+      cfg.base.neighborDensity = rho;
+      cfg.maxPhases = maxPhases;
+      cfg.transmitProbability = q;
+      const auto run = sim::runConvergecast(cfg, opts.seed, rep);
+      phases += run.completionPhases;
+      ratio += run.deliveryRatio();
+      allDrained = allDrained && run.drained;
+      tx += static_cast<double>(run.transmissions) /
+            static_cast<double>(std::max<std::size_t>(1,
+                                                      run.reportsDelivered));
+    }
+    sweep.addRow({support::formatDouble(q, 2),
+                  support::formatDouble(ratio / reps, 3),
+                  allDrained ? support::formatDouble(phases / reps, 1)
+                             : std::string("> cap"),
+                  support::formatDouble(tx / reps, 1)});
+  }
+  std::printf("\ntransmit-probability sweep under CAM (rho = %.0f)\n", rho);
+  sweep.print(std::cout);
+  std::printf(
+      "\nTakeaway: CFM pays exactly one transmission per report per hop\n"
+      "and finishes as fast as the sink's children can drain their\n"
+      "subtrees, while CAM stretches completion severalfold and burns\n"
+      "multiple transmissions per report; as with broadcasting, a tuned\n"
+      "transmit probability beats eager transmission once collisions are\n"
+      "modelled.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Scenario: choosing the broadcast probability without knowing the node
+// density (Section 6 / Fig. 12 of the paper).
+//
+// In the field, density varies over space and time, and nodes rarely know
+// rho.  The paper observes that (optimal p) / (flooding success rate) is
+// nearly constant across densities, so a node can:
+//
+//   1. run a short flooding probe and measure the per-link success rate
+//      (decoded transmissions / expected neighbour receptions);
+//   2. multiply by a pre-calibrated ratio to get its broadcast
+//      probability.
+//
+// This example calibrates the ratio at one density, then applies the rule
+// at unseen densities and compares against the true (oracle) optimum.
+//
+// Run: ./build/examples/density_adaptive_broadcast
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "analytic/success_rate.hpp"
+#include "core/network_model.hpp"
+#include "protocols/flooding.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+core::NetworkModel modelAt(double rho) {
+  core::DeploymentSpec dep;
+  dep.rings = 5;
+  dep.neighborDensity = rho;
+  return core::NetworkModel(dep, core::CommModel::collisionAware(), 3);
+}
+
+/// Probe: simulate a short flooding round and measure the per-link
+/// delivery success rate (what a deployed node could estimate by counting
+/// decoded vs expected packets).
+double probeSuccessRate(const core::NetworkModel& model, int runs) {
+  sim::MonteCarloConfig mc;
+  mc.experiment = model.experimentConfig();
+  mc.replications = runs;
+  const auto aggs = sim::monteCarlo(
+      mc, [] { return std::make_unique<protocols::SimpleFlooding>(); },
+      [](const sim::RunResult& r) {
+        return std::vector<double>{r.averageSuccessRate()};
+      });
+  return aggs[0].stats.mean;
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+
+  // --- Calibration at a single reference density -------------------------
+  const double calibRho = 60.0;
+  const core::NetworkModel calib = modelAt(calibRho);
+  const auto calibBest = calib.optimize(spec);
+  const double calibRate = probeSuccessRate(calib, 20);
+  const double ratio = calibBest->probability / calibRate;
+  std::printf(
+      "calibration @ rho=%.0f: p* = %.2f, probe success rate = %.4f,\n"
+      "ratio = %.2f (the paper's analytic ratio is ~11)\n\n",
+      calibRho, calibBest->probability, calibRate, ratio);
+
+  // --- Apply the density-free rule at unseen densities -------------------
+  support::TablePrinter table({"rho", "probe rate", "heuristic p",
+                               "oracle p*", "reach(heuristic)",
+                               "reach(oracle)"});
+  for (double rho : {20.0, 40.0, 100.0, 140.0}) {
+    const core::NetworkModel model = modelAt(rho);
+    const double rate = probeSuccessRate(model, 20);
+    const double heuristicP =
+        analytic::heuristicOptimalProbability(rate, ratio);
+    const auto oracle = model.optimize(spec);
+    const auto reachH = model.measure(heuristicP, spec, 42, 15);
+    const auto reachO = model.measure(oracle->probability, spec, 42, 15);
+    table.addRow({support::formatDouble(rho, 0),
+                  support::formatDouble(rate, 4),
+                  support::formatDouble(heuristicP, 2),
+                  support::formatDouble(oracle->probability, 2),
+                  support::formatDouble(reachH.stats.mean, 3),
+                  support::formatDouble(reachO.stats.mean, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe heuristic p tracks the oracle optimum across a 7x density\n"
+      "range using only a locally measurable quantity — no knowledge of\n"
+      "rho required.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scenario: the energy hole.
+//
+// Assumption 4 makes communication the only energy consumer, so whoever
+// transmits and receives the most dies first.  This example profiles
+// per-ring energy for the two canonical workloads:
+//
+//  * broadcasting (PB_CAM): load follows where *receivers* are — roughly
+//    uniform per node, slightly higher where the wave is dense;
+//  * data gathering (convergecast): every report funnels through the
+//    sink's neighbourhood, so ring-1 nodes forward the whole network's
+//    traffic — the classic energy hole that kills the network at the
+//    centre first.
+//
+// Run: ./build/examples/energy_hole
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/convergecast.hpp"
+#include "sim/experiment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace nsmodel;
+  const double rho = 40.0;
+  const int rings = 5;
+  const int reps = 10;
+
+  // Accumulate per-ring energy/load for both workloads over several
+  // deployments.
+  std::vector<double> broadcastEnergy(rings, 0.0);
+  std::vector<double> gatherTx(rings, 0.0);
+  std::vector<double> nodesPerRing(rings, 0.0);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    support::Rng rng = support::Rng::forStream(7, rep);
+    const net::Deployment dep =
+        net::Deployment::paperDisk(rng, rings, 1.0, rho);
+    const net::Topology topo(dep, 1.0);
+
+    // Workload 1: one PB_CAM broadcast (p = 0.3), energy = tx + rx.
+    sim::ExperimentConfig cfg;
+    cfg.rings = rings;
+    cfg.neighborDensity = rho;
+    net::EnergyLedger ledger(dep.nodeCount(), net::EnergyCosts{1.0, 1.0});
+    protocols::ProbabilisticBroadcast protocol(0.3);
+    sim::runBroadcast(cfg, dep, topo, protocol, rng, &ledger);
+
+    // Workload 2: one full data-gathering round.
+    sim::ConvergecastConfig gather;
+    gather.base.rings = rings;
+    gather.base.neighborDensity = rho;
+    gather.transmitProbability = 0.15;
+    gather.maxPhases = 30000;
+    const auto result = sim::runConvergecast(gather, dep, topo, rng);
+
+    for (net::NodeId id = 0; id < dep.nodeCount(); ++id) {
+      const int ring = dep.ringOf(id, 1.0);
+      nodesPerRing[ring - 1] += 1.0;
+      broadcastEnergy[ring - 1] += ledger.energy(id);
+      gatherTx[ring - 1] += static_cast<double>(result.txPerNode[id]);
+    }
+  }
+
+  std::printf("per-ring load, rho = %.0f, averaged over %d deployments\n\n",
+              rho, reps);
+  support::TablePrinter table({"ring", "nodes", "broadcast energy/node",
+                               "gathering tx/node", "gathering hot-spot x"});
+  double outermostGather = 0.0;
+  {
+    const double outerNodes = nodesPerRing[rings - 1];
+    outermostGather = gatherTx[rings - 1] / outerNodes;
+  }
+  for (int ring = 1; ring <= rings; ++ring) {
+    const double nodes = nodesPerRing[ring - 1];
+    const double gatherLoad = gatherTx[ring - 1] / nodes;
+    table.addRow({support::formatDouble(ring, 0),
+                  support::formatDouble(nodes / reps, 0),
+                  support::formatDouble(broadcastEnergy[ring - 1] / nodes, 1),
+                  support::formatDouble(gatherLoad, 1),
+                  support::formatDouble(gatherLoad / outermostGather, 1)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nBroadcasting spreads energy almost evenly (every node receives\n"
+      "each relay wave once), but data gathering concentrates forwarding\n"
+      "in ring 1 — its nodes spend an order of magnitude more than the\n"
+      "fringe, so network lifetime is set by the sink's neighbourhood.\n"
+      "Energy-aware design (the paper's central motivation) has to budget\n"
+      "for that hot spot, not for the average node.\n");
+  return 0;
+}

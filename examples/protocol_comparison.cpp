@@ -1,0 +1,102 @@
+// Scenario: comparing broadcast schemes on the same collision-aware
+// network — simple flooding, probability-based broadcast (tuned), and the
+// counter-based scheme from Williams & Camp's taxonomy (the paper lists it
+// as future work for the analytical framework; the simulator handles it
+// directly through the protocol interface).
+//
+// For each protocol we report 5-phase reachability, final reachability,
+// latency to 60%, and the transmission count, at two densities.
+//
+// Run: ./build/examples/protocol_comparison
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/network_model.hpp"
+#include "protocols/adaptive.hpp"
+#include "protocols/counter_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+struct Candidate {
+  std::string name;
+  protocols::ProtocolFactory factory;
+};
+
+}  // namespace
+
+int main() {
+  const auto latencySpec = core::MetricSpec::latencyUnderReachability(0.6);
+
+  for (double rho : {40.0, 120.0}) {
+    core::DeploymentSpec dep;
+    dep.rings = 5;
+    dep.neighborDensity = rho;
+    const core::NetworkModel model(dep, core::CommModel::collisionAware(), 3);
+
+    // Tune PB_CAM's p with the analytical framework first.
+    const auto best =
+        model.optimize(core::MetricSpec::reachabilityUnderLatency(5.0));
+    const double tunedP = best->probability;
+
+    std::vector<Candidate> candidates;
+    candidates.push_back(
+        {"simple-flooding",
+         [] { return std::make_unique<protocols::SimpleFlooding>(); }});
+    candidates.push_back(
+        {"pb (p=" + support::formatDouble(tunedP, 2) + ")",
+         [tunedP] {
+           return std::make_unique<protocols::ProbabilisticBroadcast>(tunedP);
+         }});
+    candidates.push_back(
+        {"counter-based (c=3)",
+         [] { return std::make_unique<protocols::CounterBasedBroadcast>(3); }});
+    candidates.push_back(
+        {"counter-based (c=2)",
+         [] { return std::make_unique<protocols::CounterBasedBroadcast>(2); }});
+    candidates.push_back(
+        {"degree-adaptive (c=12.8)", [] {
+           return std::make_unique<protocols::DegreeAdaptiveBroadcast>(12.8);
+         }});
+
+    support::TablePrinter table({"protocol", "reach@5ph", "final reach",
+                                 "latency->60%", "broadcasts"});
+    for (const Candidate& candidate : candidates) {
+      sim::MonteCarloConfig mc;
+      mc.experiment = model.experimentConfig();
+      mc.replications = 20;
+      const auto aggs = sim::monteCarlo(
+          mc, candidate.factory, [&latencySpec](const sim::RunResult& r) {
+            const auto latency = core::evaluateMetric(latencySpec, r);
+            return std::vector<double>{
+                r.reachabilityAfter(5.0), r.finalReachability(),
+                latency ? *latency
+                        : std::numeric_limits<double>::quiet_NaN(),
+                static_cast<double>(r.totalBroadcasts())};
+          });
+      table.addRow({candidate.name,
+                    support::formatDouble(aggs[0].stats.mean, 3),
+                    support::formatDouble(aggs[1].stats.mean, 3),
+                    aggs[2].definedFraction < 0.5
+                        ? std::string("-")
+                        : support::formatDouble(aggs[2].stats.mean, 2),
+                    support::formatDouble(aggs[3].stats.mean, 0)});
+    }
+    std::printf("rho = %.0f (N ~ %.0f)\n", rho, dep.expectedNodes());
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Counter-based suppression saves transmissions over flooding without\n"
+      "tuning, but a p tuned on the CAM analytical model gets the best\n"
+      "5-phase reachability per broadcast.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Scenario: a base station at the centre of a sensor field injects user
+// queries that must reach the network (the paper's motivating broadcast
+// use case).  A designer who validates simple flooding under CFM ships a
+// protocol that fails in the field; this example walks the trap and the
+// fix.
+//
+//   stage 1  design under CFM: flooding looks perfect (reach 1.0, P
+//            phases, N broadcasts) at every density.
+//   stage 2  deploy into a collision-aware world: the same flooding
+//            algorithm loses most of its 5-phase reachability as the
+//            deployment densifies.
+//   stage 3  redesign under CAM: tune the broadcast probability with the
+//            analytical framework; recover a flat ~constant reachability
+//            with an order of magnitude fewer transmissions.
+//
+// Run: ./build/examples/query_dissemination [rho...]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/cfm_analysis.hpp"
+#include "core/network_model.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nsmodel;
+
+  std::vector<double> rhos;
+  for (int i = 1; i < argc; ++i) rhos.push_back(std::atof(argv[i]));
+  if (rhos.empty()) rhos = {40.0, 80.0, 120.0};
+
+  const auto spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  std::printf("Query dissemination from a central base station\n\n");
+
+  support::TablePrinter table({"rho", "CFM promise", "CAM flooding",
+                               "tuned p*", "CAM tuned", "tx flooding",
+                               "tx tuned"});
+  for (double rho : rhos) {
+    core::DeploymentSpec dep;
+    dep.rings = 5;
+    dep.neighborDensity = rho;
+
+    // Stage 1: what the CFM analysis promises for flooding.
+    const auto promise =
+        core::analyzeFloodingCfm(dep, core::CostFunctions{}, 3);
+
+    // Stage 2: the same algorithm measured in a collision-aware network.
+    const core::NetworkModel cam(dep, core::CommModel::collisionAware(), 3);
+    const auto floodReach = cam.measure(1.0, spec, 42, 15);
+    sim::MonteCarloConfig mc;
+    mc.experiment = cam.experimentConfig();
+    mc.replications = 15;
+    const auto floodTx = sim::monteCarlo(
+        mc,
+        [] { return std::make_unique<protocols::ProbabilisticBroadcast>(1.0); },
+        [](const sim::RunResult& r) {
+          return std::vector<double>{static_cast<double>(r.totalBroadcasts())};
+        });
+
+    // Stage 3: redesign — let the CAM analytical framework pick p.
+    const auto best = cam.optimize(spec);
+    const auto tunedReach = cam.measure(best->probability, spec, 42, 15);
+    const auto tunedTx = sim::monteCarlo(
+        mc,
+        [&best] {
+          return std::make_unique<protocols::ProbabilisticBroadcast>(
+              best->probability);
+        },
+        [](const sim::RunResult& r) {
+          return std::vector<double>{static_cast<double>(r.totalBroadcasts())};
+        });
+
+    table.addRow({support::formatDouble(rho, 0),
+                  support::formatDouble(promise.reachability, 2),
+                  support::formatDouble(floodReach.stats.mean, 3),
+                  support::formatDouble(best->probability, 2),
+                  support::formatDouble(tunedReach.stats.mean, 3),
+                  support::formatDouble(floodTx[0].stats.mean, 0),
+                  support::formatDouble(tunedTx[0].stats.mean, 0)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe CFM 'promise' column is what a collision-free analysis\n"
+      "certifies; the CAM columns are packet-level measurements within 5\n"
+      "time phases. Tuning p under CAM both stabilises reachability across\n"
+      "density and slashes the transmission count.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the abstract-network-model workflow of Fig. 1(b) in ~40
+// lines.
+//
+//  1. Describe the deployment (P rings of width r, density rho) and pick a
+//     communication model (CAM here).
+//  2. Ask the analytical framework for a performance prediction of
+//     probability-based broadcasting at some p.
+//  3. Let the optimizer choose p for a metric (here: max reachability
+//     within 5 time phases).
+//  4. Validate the choice with the packet-level simulator.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/network_model.hpp"
+
+int main() {
+  using namespace nsmodel;
+
+  // 1. The network model: 5 rings, unit transmission range, ~80 neighbours
+  //    per node, CAM collision semantics, 3-slot jitter phases.
+  core::DeploymentSpec deployment;
+  deployment.rings = 5;
+  deployment.ringWidth = 1.0;
+  deployment.neighborDensity = 80.0;
+  const core::NetworkModel model(deployment,
+                                 core::CommModel::collisionAware(),
+                                 /*slotsPerPhase=*/3);
+  std::printf("network: N ~ %.0f nodes, field radius %.1f, model %s\n",
+              deployment.expectedNodes(),
+              deployment.rings * deployment.ringWidth,
+              model.commModel().name());
+
+  // 2. Analytic prediction for a hand-picked p.
+  const double naiveP = 0.5;
+  const auto naive = model.predict(naiveP);
+  std::printf("p = %.2f  -> predicted reachability in 5 phases: %.3f\n",
+              naiveP, naive.reachabilityAfter(5.0));
+
+  // 3. Optimize p for reachability under a 5-phase latency constraint.
+  const auto spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const auto best = model.optimize(spec);
+  std::printf("optimizer -> p* = %.2f, predicted reachability %.3f\n",
+              best->probability, best->value);
+
+  // 4. Validate with the packet-level simulator (20 random deployments).
+  const auto measured = model.measure(best->probability, spec,
+                                      /*seed=*/42, /*replications=*/20);
+  std::printf(
+      "simulation @ p* -> reachability %.3f +- %.3f (95%% CI, %zu runs)\n",
+      measured.stats.mean, measured.stats.ciHalfWidth95,
+      measured.stats.count);
+
+  const auto flooding = model.measure(1.0, spec, 42, 20);
+  std::printf("simulation @ p=1 (flooding) -> reachability %.3f\n",
+              flooding.stats.mean);
+  std::printf("tuned PB_CAM beats flooding by %.1f%%\n",
+              100.0 * (measured.stats.mean - flooding.stats.mean) /
+                  flooding.stats.mean);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, and regenerate every table and
+# figure of the paper. See EXPERIMENTS.md for the expected shapes.
+#
+# Usage: scripts/reproduce.sh [--fast]
+#   --fast  quarter-size sweeps (~2 min instead of ~15 for the benches)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST_FLAG=""
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST_FLAG="--fast"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  if [[ -x "$b" && -f "$b" ]]; then
+    "$b" ${FAST_FLAG}
+  fi
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. test_output.txt and bench_output.txt written."

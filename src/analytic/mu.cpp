@@ -1,0 +1,250 @@
+#include "analytic/mu.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/log_math.hpp"
+
+namespace nsmodel::analytic {
+
+using support::logBinomial;
+using support::logFallingFactorial;
+
+double mu(std::int64_t k, int s) {
+  NSMODEL_CHECK(k >= 0, "mu requires K >= 0");
+  NSMODEL_CHECK(s >= 1, "mu requires s >= 1");
+  if (k == 0) return 0.0;
+  if (k == 1) return 1.0;
+  const std::int64_t jmax = std::min<std::int64_t>(k, s);
+  double sum = 0.0;
+  const double logSk = static_cast<double>(k) * std::log(static_cast<double>(s));
+  for (std::int64_t j = 1; j <= jmax; ++j) {
+    // (s - j)^{K - j}: 0^0 = 1 by convention (all K items singled out).
+    double logPow;
+    if (s == j) {
+      if (k != j) continue;  // (0)^{positive} = 0
+      logPow = 0.0;
+    } else {
+      logPow = static_cast<double>(k - j) *
+               std::log(static_cast<double>(s - j));
+    }
+    const double logTerm =
+        logBinomial(s, j) + logFallingFactorial(k, j) + logPow - logSk;
+    const double term = std::exp(logTerm);
+    sum += (j % 2 == 1) ? term : -term;
+  }
+  // Alternating-sum rounding can leave a hair outside [0, 1].
+  if (sum < 0.0) sum = 0.0;
+  if (sum > 1.0) sum = 1.0;
+  return sum;
+}
+
+namespace {
+
+/// Memoised recursion for mu. Conditions on the number of items in the
+/// first bucket: i = 1 is an immediate success; any other i leaves the
+/// subproblem (K - i items, s - 1 buckets).
+class MuRecursion {
+ public:
+  double value(std::int64_t k, int s) {
+    NSMODEL_ASSERT(k >= 0 && s >= 1);
+    if (k == 0) return 0.0;
+    if (s == 1) return k == 1 ? 1.0 : 0.0;
+    const auto key = std::make_pair(k, s);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    const double logS = std::log(static_cast<double>(s));
+    const double logSm1 = std::log(static_cast<double>(s - 1));
+    double total = 0.0;
+    for (std::int64_t i = 0; i <= k; ++i) {
+      // P(first bucket holds exactly i items) = C(K,i) (1/s)^i ((s-1)/s)^{K-i}
+      const double logP = logBinomial(k, i) +
+                          static_cast<double>(k - i) * (logSm1 - logS) -
+                          static_cast<double>(i) * logS;
+      const double prob = std::exp(logP);
+      if (i == 1) {
+        total += prob;  // success regardless of the rest
+      } else {
+        total += prob * value(k - i, s - 1);
+      }
+    }
+    memo_.emplace(key, total);
+    return total;
+  }
+
+ private:
+  std::map<std::pair<std::int64_t, int>, double> memo_;
+};
+
+/// Memoised recursion for mu'. Conditions on the (a, b) occupancy of the
+/// first bucket; (a, b) == (1, 0) is an immediate success.
+class MuPrimeRecursion {
+ public:
+  double value(std::int64_t k1, std::int64_t k2, int s) {
+    NSMODEL_ASSERT(k1 >= 0 && k2 >= 0 && s >= 1);
+    if (k1 == 0) return 0.0;
+    if (s == 1) return (k1 == 1 && k2 == 0) ? 1.0 : 0.0;
+    const auto key = std::make_tuple(k1, k2, s);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    const double logS = std::log(static_cast<double>(s));
+    const double logSm1 = std::log(static_cast<double>(s - 1));
+    double total = 0.0;
+    for (std::int64_t a = 0; a <= k1; ++a) {
+      for (std::int64_t b = 0; b <= k2; ++b) {
+        const double logP =
+            logBinomial(k1, a) + logBinomial(k2, b) +
+            static_cast<double>(k1 + k2 - a - b) * (logSm1 - logS) -
+            static_cast<double>(a + b) * logS;
+        const double prob = std::exp(logP);
+        if (a == 1 && b == 0) {
+          total += prob;
+        } else {
+          total += prob * value(k1 - a, k2 - b, s - 1);
+        }
+      }
+    }
+    memo_.emplace(key, total);
+    return total;
+  }
+
+ private:
+  std::map<std::tuple<std::int64_t, std::int64_t, int>, double> memo_;
+};
+
+}  // namespace
+
+double muRecursive(std::int64_t k, int s) {
+  NSMODEL_CHECK(k >= 0, "muRecursive requires K >= 0");
+  NSMODEL_CHECK(s >= 1, "muRecursive requires s >= 1");
+  MuRecursion rec;
+  return rec.value(k, s);
+}
+
+double muPrime(std::int64_t k1, std::int64_t k2, int s) {
+  NSMODEL_CHECK(k1 >= 0 && k2 >= 0, "muPrime requires K1, K2 >= 0");
+  NSMODEL_CHECK(s >= 1, "muPrime requires s >= 1");
+  if (k1 == 0) return 0.0;
+  const std::int64_t jmax = std::min<std::int64_t>(k1, s);
+  const double logSk =
+      static_cast<double>(k1 + k2) * std::log(static_cast<double>(s));
+  double sum = 0.0;
+  for (std::int64_t j = 1; j <= jmax; ++j) {
+    double logPow;
+    if (s == j) {
+      if (k1 != j || k2 != 0) continue;  // 0^{positive} = 0
+      logPow = 0.0;
+    } else {
+      logPow = static_cast<double>(k1 + k2 - j) *
+               std::log(static_cast<double>(s - j));
+    }
+    const double logTerm =
+        logBinomial(s, j) + logFallingFactorial(k1, j) + logPow - logSk;
+    const double term = std::exp(logTerm);
+    sum += (j % 2 == 1) ? term : -term;
+  }
+  if (sum < 0.0) sum = 0.0;
+  if (sum > 1.0) sum = 1.0;
+  return sum;
+}
+
+double muPrimeRecursive(std::int64_t k1, std::int64_t k2, int s) {
+  NSMODEL_CHECK(k1 >= 0 && k2 >= 0, "muPrimeRecursive requires K1, K2 >= 0");
+  NSMODEL_CHECK(s >= 1, "muPrimeRecursive requires s >= 1");
+  MuPrimeRecursion rec;
+  return rec.value(k1, k2, s);
+}
+
+double muReal(double lambda, int s, RealKPolicy policy) {
+  NSMODEL_CHECK(lambda >= 0.0, "muReal requires lambda >= 0");
+  NSMODEL_CHECK(s >= 1, "muReal requires s >= 1");
+  switch (policy) {
+    case RealKPolicy::Interpolate: {
+      const double lo = std::floor(lambda);
+      const double frac = lambda - lo;
+      const auto kLo = static_cast<std::int64_t>(lo);
+      const double muLo = mu(kLo, s);
+      if (frac == 0.0) return muLo;
+      const double muHi = mu(kLo + 1, s);
+      return muLo + frac * (muHi - muLo);
+    }
+    case RealKPolicy::Poisson: {
+      // Buckets receive independent Poisson(lambda/s) arrivals; success in
+      // a bucket means exactly one arrival.
+      const double perSlot = lambda / static_cast<double>(s);
+      const double singleton = perSlot * std::exp(-perSlot);
+      return 1.0 - std::pow(1.0 - singleton, static_cast<double>(s));
+    }
+  }
+  NSMODEL_ASSERT(false);
+  return 0.0;
+}
+
+double muPrimeReal(double lambda1, double lambda2, int s, RealKPolicy policy) {
+  NSMODEL_CHECK(lambda1 >= 0.0 && lambda2 >= 0.0,
+                "muPrimeReal requires non-negative lambdas");
+  NSMODEL_CHECK(s >= 1, "muPrimeReal requires s >= 1");
+  switch (policy) {
+    case RealKPolicy::Interpolate: {
+      const auto k1Lo = static_cast<std::int64_t>(std::floor(lambda1));
+      const auto k2Lo = static_cast<std::int64_t>(std::floor(lambda2));
+      const double f1 = lambda1 - static_cast<double>(k1Lo);
+      const double f2 = lambda2 - static_cast<double>(k2Lo);
+      const double v00 = muPrime(k1Lo, k2Lo, s);
+      const double v10 = f1 > 0.0 ? muPrime(k1Lo + 1, k2Lo, s) : v00;
+      const double v01 = f2 > 0.0 ? muPrime(k1Lo, k2Lo + 1, s) : v00;
+      const double v11 =
+          (f1 > 0.0 && f2 > 0.0) ? muPrime(k1Lo + 1, k2Lo + 1, s) : v00;
+      return (1 - f1) * (1 - f2) * v00 + f1 * (1 - f2) * v10 +
+             (1 - f1) * f2 * v01 + f1 * f2 * v11;
+    }
+    case RealKPolicy::Poisson: {
+      // A bucket succeeds iff it holds exactly one type-A arrival
+      // (Poisson(l1/s)) and zero type-B arrivals (Poisson(l2/s)).
+      const double sD = static_cast<double>(s);
+      const double singleton =
+          (lambda1 / sD) * std::exp(-(lambda1 + lambda2) / sD);
+      return 1.0 - std::pow(1.0 - singleton, sD);
+    }
+  }
+  NSMODEL_ASSERT(false);
+  return 0.0;
+}
+
+namespace {
+/// Expected number of buckets with exactly one of K items (integer K).
+double singletonSlotsExact(std::int64_t k, int s) {
+  if (k == 0) return 0.0;
+  // E[# singleton buckets] = s * K (1/s) ((s-1)/s)^{K-1}
+  //                        = K ((s-1)/s)^{K-1}.
+  return static_cast<double>(k) *
+         std::pow((static_cast<double>(s) - 1.0) / static_cast<double>(s),
+                  static_cast<double>(k - 1));
+}
+}  // namespace
+
+double expectedSingletonSlots(double lambda, int s, RealKPolicy policy) {
+  NSMODEL_CHECK(lambda >= 0.0, "expectedSingletonSlots requires lambda >= 0");
+  NSMODEL_CHECK(s >= 1, "expectedSingletonSlots requires s >= 1");
+  switch (policy) {
+    case RealKPolicy::Interpolate: {
+      const auto kLo = static_cast<std::int64_t>(std::floor(lambda));
+      const double frac = lambda - static_cast<double>(kLo);
+      const double lo = singletonSlotsExact(kLo, s);
+      if (frac == 0.0) return lo;
+      const double hi = singletonSlotsExact(kLo + 1, s);
+      return lo + frac * (hi - lo);
+    }
+    case RealKPolicy::Poisson:
+      // s buckets, each singleton w.p. (lambda/s) e^{-lambda/s}.
+      return lambda * std::exp(-lambda / static_cast<double>(s));
+  }
+  NSMODEL_ASSERT(false);
+  return 0.0;
+}
+
+}  // namespace nsmodel::analytic

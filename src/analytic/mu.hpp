@@ -1,0 +1,81 @@
+// Occupancy probabilities mu(K, s) and mu'(K1, K2, s) (Eq. 2 and Eq. A.1).
+//
+// mu(K, s):  K items are dropped independently and uniformly into s
+// buckets; mu is the probability that at least one bucket ends up with
+// exactly one item.  In the broadcast analysis, items are transmissions,
+// buckets are the s slots of a time phase, and "exactly one" is the
+// Assumption-6 condition for a successful reception.
+//
+// mu'(K1, K2, s) (carrier-sense extension, Appendix A): K1 type-A items
+// (transmitters within range r of the receiver) and K2 type-B items
+// (transmitters in the carrier-sensing annulus (r, 2r]) are dropped; mu'
+// is the probability that some bucket holds exactly one type-A item and no
+// type-B item.
+//
+// The paper presents recursions for both (its Eq. 2 as printed contains
+// typographical errors; we re-derived it — see muRecursive).  We also
+// derive O(s) inclusion-exclusion closed forms which are the production
+// implementations:
+//
+//   mu(K, s)  = sum_{j=1..min(K,s)} (-1)^{j+1} C(s,j) (K)_j (s-j)^{K-j} / s^K
+//   mu'(K1, K2, s)
+//             = sum_{j=1..min(K1,s)} (-1)^{j+1} C(s,j) (K1)_j
+//                                    (s-j)^{K1+K2-j} / s^{K1+K2}
+//
+// where (K)_j is the falling factorial.  Tests verify closed form ==
+// recursion == exhaustive enumeration == Monte Carlo.
+//
+// Equation (4) evaluates mu at the *expected* number of transmitters
+// g(x)*p, a real number; the paper does not say how to extend mu to real
+// arguments.  Two policies are provided:
+//
+//  * Interpolate (default, minimal reading of the paper): linear
+//    interpolation between adjacent integer arguments, with mu(0, s) = 0.
+//  * Poisson: treat the transmitter count as Poisson(lambda); the mixture
+//    collapses to the closed form 1 - (1 - (l/s) e^{-l/s})^s (and its
+//    carrier-sense analogue), which is exact for a Poisson point process.
+#pragma once
+
+#include <cstdint>
+
+namespace nsmodel::analytic {
+
+/// Probability that at least one of `s` buckets holds exactly one of `K`
+/// uniformly dropped items.  O(s) closed form.  K >= 0, s >= 1.
+double mu(std::int64_t k, int s);
+
+/// The re-derived Eq. 2 recursion (memoised per call chain). Exponential
+/// state space is avoided by conditioning on the first bucket; complexity
+/// O(K^2 * s).  Intended for cross-checking `mu` in tests.
+double muRecursive(std::int64_t k, int s);
+
+/// Carrier-sense variant: probability that at least one bucket holds
+/// exactly one of `k1` type-A items and none of `k2` type-B items.
+/// O(s) closed form.  k1, k2 >= 0, s >= 1.
+double muPrime(std::int64_t k1, std::int64_t k2, int s);
+
+/// Recursion for mu' (Eq. A.1, re-derived); cross-check only — complexity
+/// O((K1*K2)^2 * s), keep arguments small.
+double muPrimeRecursive(std::int64_t k1, std::int64_t k2, int s);
+
+/// How to evaluate mu at a real-valued expected count.
+enum class RealKPolicy {
+  Interpolate,  ///< linear interpolation between adjacent integers
+  Poisson,      ///< Poisson mixture (closed form)
+};
+
+/// mu at a real argument `lambda` >= 0 under the given policy.
+double muReal(double lambda, int s, RealKPolicy policy);
+
+/// mu' at real arguments under the given policy (bilinear interpolation
+/// between the four surrounding integer pairs, or the Poisson closed form).
+double muPrimeReal(double lambda1, double lambda2, int s, RealKPolicy policy);
+
+/// Expected number of slots holding exactly one of the `lambda` expected
+/// items — i.e. the expected number of *distinct successful transmissions*
+/// a receiver decodes in one phase.  Used by the Fig. 12 success-rate
+/// estimator.  Interpolate: K ((s-1)/s)^{K-1} interpolated; Poisson:
+/// lambda e^{-lambda/s}.
+double expectedSingletonSlots(double lambda, int s, RealKPolicy policy);
+
+}  // namespace nsmodel::analytic

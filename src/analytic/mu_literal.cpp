@@ -1,0 +1,66 @@
+#include "analytic/mu_literal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "analytic/mu.hpp"
+#include "support/error.hpp"
+#include "support/log_math.hpp"
+
+namespace nsmodel::analytic {
+
+namespace {
+
+class PrintedRecursion {
+ public:
+  double value(std::int64_t k, int s) {
+    NSMODEL_ASSERT(k >= 0 && s >= 1);
+    if (k == 1) return 1.0;  // the paper's stated base case
+    if (k == 0) return 0.0;  // unstated; needed to evaluate at all
+    if (s == 1) return 0.0;  // unstated; recursion would hit s - 1 = 0
+    const auto key = std::make_pair(k, s);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    const double sD = static_cast<double>(s);
+    const double kD = static_cast<double>(k);
+    // First printed term: K ((s-1)^{K-1} / s^K) ((s-1)/s)^K mu(K, s-1).
+    const double first = kD *
+                         std::pow(sD - 1.0, kD - 1.0) / std::pow(sD, kD) *
+                         std::pow((sD - 1.0) / sD, kD) * value(k, s - 1);
+    // Second printed term: sum_{i=2}^{K-1} C(K,i) ((s-1)/s)^{K-i} mu(i, s-1).
+    double sum = 0.0;
+    for (std::int64_t i = 2; i <= k - 1; ++i) {
+      sum += support::binomial(k, i) *
+             std::pow((sD - 1.0) / sD, static_cast<double>(k - i)) *
+             value(i, s - 1);
+    }
+    const double result = first + sum;
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  std::map<std::pair<std::int64_t, int>, double> memo_;
+};
+
+}  // namespace
+
+double muAsPrinted(std::int64_t k, int s) {
+  NSMODEL_CHECK(k >= 0, "muAsPrinted requires K >= 0");
+  NSMODEL_CHECK(s >= 1, "muAsPrinted requires s >= 1");
+  PrintedRecursion rec;
+  return rec.value(k, s);
+}
+
+double maxPrintedDeviation(std::int64_t kMax, int s) {
+  NSMODEL_CHECK(kMax >= 1, "need at least K = 1");
+  double worst = 0.0;
+  for (std::int64_t k = 1; k <= kMax; ++k) {
+    worst = std::max(worst, std::abs(muAsPrinted(k, s) - mu(k, s)));
+  }
+  return worst;
+}
+
+}  // namespace nsmodel::analytic

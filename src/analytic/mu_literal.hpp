@@ -1,0 +1,48 @@
+// Eq. (2) exactly as printed in the paper — for the reproducibility
+// record.
+//
+// The paper presents mu(K, s) through a recursion whose printed form is
+//
+//   mu(K,s) = K ((s-1)^{K-1} / s^K) ((s-1)/s)^K mu(K, s-1)
+//           + sum_{i=2}^{K-1} C(K,i) ((s-1)/s)^{K-i} mu(i, s-1)
+//
+// (reading the typeset fragment verbatim; the base case mu(1, s) = 1).
+// Taken literally this is not a valid probability recursion:
+//
+//  * the "exactly one in the first bucket" term multiplies the success
+//    probability by mu(K, s-1) instead of adding it unconditionally;
+//  * the "no items in the first bucket" term ((s-1)/s)^K mu(K, s-1) is
+//    fused into the first product instead of standing alone;
+//  * the sum recurses on mu(i, s-1) — the items *inside* the first bucket
+//    — rather than on the K - i remaining items;
+//  * the per-case probabilities C(K,i) ((s-1)/s)^{K-i} are missing the
+//    (1/s)^i factor, so the case weights do not sum to one.
+//
+// The net effect of the typos: the i = 1 success case multiplies into a
+// further recursion instead of terminating, so every evaluation path
+// bottoms out in the (unstated) s = 1 base case and the printed formula
+// collapses to exactly zero for every K >= 2.
+//
+// The corrected derivation (condition on the first-bucket occupancy
+// i ~ Binomial(K, 1/s); i = 1 is an unconditional success, every other i
+// recurses on the remaining K - i items and s - 1 buckets) lives in
+// analytic/mu.hpp as muRecursive(), and is verified against the O(s)
+// inclusion–exclusion closed form, exhaustive enumeration, and Monte
+// Carlo.  This header implements the printed recursion so tests can
+// document exactly how it misbehaves — evidence that the re-derivation,
+// not the printed text, is what the paper's own numbers must have used.
+#pragma once
+
+#include <cstdint>
+
+namespace nsmodel::analytic {
+
+/// Eq. (2) evaluated exactly as printed. Not a probability — exposed only
+/// for the reproducibility analysis in the tests.
+double muAsPrinted(std::int64_t k, int s);
+
+/// Maximum absolute deviation between the printed recursion and the
+/// correct mu over K = 1..kMax for the given s.
+double maxPrintedDeviation(std::int64_t kMax, int s);
+
+}  // namespace nsmodel::analytic

@@ -1,0 +1,359 @@
+#include "analytic/ring_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/integrate.hpp"
+
+namespace nsmodel::analytic {
+
+double RingModelConfig::nodeDensity() const {
+  return neighborDensity / (M_PI * ringWidth * ringWidth);
+}
+
+double RingModelConfig::densityFactor(int k) const {
+  if (ringDensityFactor.empty()) return 1.0;
+  NSMODEL_CHECK(k >= 1 && k <= static_cast<int>(ringDensityFactor.size()),
+                "ring index outside the density-factor table");
+  return ringDensityFactor[k - 1];
+}
+
+double RingModelConfig::expectedNodes() const {
+  // Sum of delta_k * C_k; collapses to delta * pi (P r)^2 when uniform.
+  double total = 0.0;
+  for (int k = 1; k <= rings; ++k) {
+    const double outer = static_cast<double>(k) * ringWidth;
+    const double inner = static_cast<double>(k - 1) * ringWidth;
+    total += nodeDensity() * densityFactor(k) * M_PI *
+             (outer * outer - inner * inner);
+  }
+  return total;
+}
+
+RingTrace::RingTrace(RingModelConfig config, std::vector<PhaseStats> phases)
+    : config_(config), phases_(std::move(phases)),
+      nodes_(config.expectedNodes()) {}
+
+double RingTrace::reachabilityAfter(double t) const {
+  NSMODEL_CHECK(t >= 0.0, "phase count must be non-negative");
+  double reached = 1.0;  // the source holds the packet from the start
+  const auto full = static_cast<std::size_t>(std::floor(t));
+  const double frac = t - std::floor(t);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i < full) {
+      reached += phases_[i].newTotal;
+    } else if (i == full) {
+      reached += frac * phases_[i].newTotal;
+      break;
+    }
+  }
+  return std::min(1.0, reached / nodes_);
+}
+
+double RingTrace::finalReachability() const {
+  if (phases_.empty()) return std::min(1.0, 1.0 / nodes_);
+  return std::min(1.0, phases_.back().cumulativeReached / nodes_);
+}
+
+double RingTrace::broadcastsUpTo(double t) const {
+  NSMODEL_CHECK(t >= 0.0, "phase count must be non-negative");
+  double total = 0.0;
+  const auto full = static_cast<std::size_t>(std::floor(t));
+  const double frac = t - std::floor(t);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i < full) {
+      total += phases_[i].broadcasts;
+    } else if (i == full) {
+      total += frac * phases_[i].broadcasts;
+      break;
+    }
+  }
+  return total;
+}
+
+double RingTrace::totalBroadcasts() const {
+  if (phases_.empty()) return 0.0;
+  // Receivers of the final phase still rebroadcast once w.p. p even though
+  // the recursion found no further audience for them.
+  return phases_.back().cumulativeBroadcasts +
+         config_.broadcastProb * phases_.back().newTotal;
+}
+
+std::optional<double> RingTrace::latencyForReachability(double target) const {
+  NSMODEL_CHECK(target > 0.0 && target <= 1.0,
+                "reachability target must lie in (0, 1]");
+  const double targetCount = target * nodes_;
+  double reached = 1.0;
+  if (reached >= targetCount) return 0.0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const double next = reached + phases_[i].newTotal;
+    if (next >= targetCount) {
+      // Reception mass is uniform in time within the phase (Section 4.2.4).
+      const double frac = (targetCount - reached) / phases_[i].newTotal;
+      return static_cast<double>(i) + frac;
+    }
+    reached = next;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> RingTrace::broadcastsForReachability(
+    double target) const {
+  const auto latency = latencyForReachability(target);
+  if (!latency) return std::nullopt;
+  return broadcastsUpTo(*latency);
+}
+
+double RingTrace::reachabilityForBudget(double budget) const {
+  NSMODEL_CHECK(budget >= 0.0, "broadcast budget must be non-negative");
+  if (totalBroadcasts() <= budget) return finalReachability();
+  double spent = 0.0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const double next = spent + phases_[i].broadcasts;
+    if (next >= budget && phases_[i].broadcasts > 0.0) {
+      const double frac = (budget - spent) / phases_[i].broadcasts;
+      return reachabilityAfter(static_cast<double>(i) + frac);
+    }
+    spent = next;
+  }
+  return finalReachability();
+}
+
+double RingTrace::averageSuccessRate() const {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const PhaseStats& phase : phases_) {
+    weighted += phase.successRate * phase.broadcasts;
+    weight += phase.broadcasts;
+  }
+  return weight > 0.0 ? weighted / weight : 0.0;
+}
+
+RingModel::RingModel(RingModelConfig config)
+    : config_(config), geometry_(config.rings, config.ringWidth) {
+  NSMODEL_CHECK(config.rings >= 1, "need at least one ring");
+  NSMODEL_CHECK(config.ringWidth > 0.0, "ring width must be positive");
+  NSMODEL_CHECK(config.neighborDensity > 0.0, "rho must be positive");
+  NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
+  NSMODEL_CHECK(config.broadcastProb >= 0.0 && config.broadcastProb <= 1.0,
+                "broadcast probability must lie in [0, 1]");
+  NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
+  NSMODEL_CHECK(config.quadratureOrder >= 2, "quadrature order too small");
+  NSMODEL_CHECK(config.csFactor > 1.0, "carrier-sense factor must exceed 1");
+  if (!config.ringDensityFactor.empty()) {
+    NSMODEL_CHECK(static_cast<int>(config.ringDensityFactor.size()) ==
+                      config.rings,
+                  "ring density factors must cover every ring");
+    for (double factor : config.ringDensityFactor) {
+      NSMODEL_CHECK(factor >= 0.0, "density factors must be non-negative");
+    }
+  }
+}
+
+namespace {
+
+/// Probability that a node with `inRange` expected same-phase transmitters
+/// within range (and `inSense` in the carrier-sensing annulus) receives the
+/// packet, under the configured channel semantics.
+double receiveProbability(const RingModelConfig& cfg, double inRange,
+                          double inSense) {
+  switch (cfg.channel) {
+    case ChannelKind::CollisionFree:
+      // Any transmitter in range delivers. With a real-valued expected
+      // count, the two policies extend P(K >= 1) differently.
+      return cfg.policy == RealKPolicy::Poisson ? 1.0 - std::exp(-inRange)
+                                                : std::min(1.0, inRange);
+    case ChannelKind::CollisionAware:
+      return muReal(inRange, cfg.slotsPerPhase, cfg.policy);
+    case ChannelKind::CarrierSenseAware:
+      return muPrimeReal(inRange, inSense, cfg.slotsPerPhase, cfg.policy);
+  }
+  NSMODEL_ASSERT(false);
+  return 0.0;
+}
+
+/// Expected number of distinct transmissions a node decodes in the phase;
+/// used for the success-rate estimate (Fig. 12).
+double expectedDeliveries(const RingModelConfig& cfg, double inRange,
+                          double inSense) {
+  const auto s = static_cast<double>(cfg.slotsPerPhase);
+  switch (cfg.channel) {
+    case ChannelKind::CollisionFree:
+      return inRange;  // every transmission in range is decoded
+    case ChannelKind::CollisionAware:
+      return expectedSingletonSlots(inRange, cfg.slotsPerPhase, cfg.policy);
+    case ChannelKind::CarrierSenseAware: {
+      const double base =
+          expectedSingletonSlots(inRange, cfg.slotsPerPhase, cfg.policy);
+      // Attenuate by the probability that no annulus transmitter shares the
+      // slot.
+      const double attenuation =
+          cfg.policy == RealKPolicy::Poisson
+              ? std::exp(-inSense / s)
+              : std::pow((s - 1.0) / s, inSense);
+      return base * attenuation;
+    }
+  }
+  NSMODEL_ASSERT(false);
+  return 0.0;
+}
+
+}  // namespace
+
+RingTrace RingModel::run() const {
+  const RingModelConfig& cfg = config_;
+  const int P = cfg.rings;
+  const double r = cfg.ringWidth;
+  const double delta = cfg.nodeDensity();
+  const double totalNodes = cfg.expectedNodes();
+  const double p = cfg.broadcastProb;
+  const bool carrierSense = cfg.channel == ChannelKind::CarrierSenseAware;
+
+  const support::GaussLegendre quad(cfg.quadratureOrder);
+  const int q = quad.order();
+
+  // Per-(ring, quadrature-node) geometry, independent of the phase:
+  //   radial[j][n]   = r(j-1) + x_n             (polar Jacobian factor)
+  //   inRangeCoef    = A(x, k) / C_k for k = j-1 .. j+1 (zero off-field)
+  //   inSenseCoef    = B(x, k) / C_k for k = j-2 .. j+2 (CS runs only)
+  struct NodeGeom {
+    double x;       // offset within the ring, in (0, r)
+    double weight;  // Gauss-Legendre weight scaled to [0, r]
+    double radial;
+    std::array<double, 3> inRangeCoef{};
+    std::array<double, 5> inSenseCoef{};
+  };
+  std::vector<std::vector<NodeGeom>> rings(P);
+  for (int j = 1; j <= P; ++j) {
+    auto& nodes = rings[j - 1];
+    nodes.resize(q);
+    for (int n = 0; n < q; ++n) {
+      NodeGeom& g = nodes[n];
+      g.x = 0.5 * r * (quad.nodes()[n] + 1.0);
+      g.weight = 0.5 * r * quad.weights()[n];
+      g.radial = geometry_.radialPosition(j, g.x);
+      for (int t = 0; t < 3; ++t) {
+        const int k = j - 1 + t;
+        const double area = geometry_.ringArea(k);
+        g.inRangeCoef[t] =
+            area > 0.0 ? geometry_.coverageArea(j, g.x, k) / area : 0.0;
+      }
+      if (carrierSense) {
+        for (int t = 0; t < 5; ++t) {
+          const int k = j - 2 + t;
+          const double area = geometry_.ringArea(k);
+          g.inSenseCoef[t] =
+              area > 0.0
+                  ? geometry_.carrierSenseArea(j, g.x, k, cfg.csFactor) / area
+                  : 0.0;
+        }
+      }
+    }
+  }
+
+  std::vector<double> received(P, 0.0);   // cumulative receivers per ring
+  std::vector<double> prevNew(P, 0.0);    // receivers gained last phase
+  std::vector<PhaseStats> phases;
+  double cumulativeReached = 1.0;  // the source
+  double cumulativeBroadcasts = 0.0;
+
+  // Phase T_1: only the source transmits, so every node in ring R_1
+  // receives regardless of the channel model.
+  {
+    PhaseStats stats;
+    stats.newPerRing.assign(P, 0.0);
+    stats.newPerRing[0] = delta * cfg.densityFactor(1) * geometry_.ringArea(1);
+    stats.newTotal = stats.newPerRing[0];
+    stats.broadcasts = 1.0;
+    cumulativeReached += stats.newTotal;
+    cumulativeBroadcasts += stats.broadcasts;
+    stats.cumulativeReached = cumulativeReached;
+    stats.cumulativeBroadcasts = cumulativeBroadcasts;
+    stats.successRate = 1.0;  // a lone transmission cannot collide
+    received[0] = stats.newPerRing[0];
+    prevNew = stats.newPerRing;
+    phases.push_back(std::move(stats));
+  }
+
+  const double epsilon = cfg.convergenceEpsilon * std::max(1.0, totalNodes);
+  for (int phase = 2; phase <= cfg.maxPhases; ++phase) {
+    // Expected transmitters per ring: last phase's receivers rebroadcast
+    // once with probability p.
+    std::vector<double> tx(P, 0.0);
+    double txTotal = 0.0;
+    for (int k = 0; k < P; ++k) {
+      tx[k] = p * prevNew[k];
+      txTotal += tx[k];
+    }
+    if (txTotal <= epsilon) break;
+
+    PhaseStats stats;
+    stats.newPerRing.assign(P, 0.0);
+    double deliveries = 0.0;  // expected decoded transmissions, all nodes
+    for (int j = 1; j <= P; ++j) {
+      const double ringNodes =
+          delta * cfg.densityFactor(j) * geometry_.ringArea(j);
+      const double remaining = std::max(0.0, ringNodes - received[j - 1]);
+      const double unreceivedDensity =
+          remaining / geometry_.ringArea(j);  // nodes per unit area
+      double newHere = 0.0;
+      for (const NodeGeom& g : rings[j - 1]) {
+        double inRange = 0.0;
+        for (int t = 0; t < 3; ++t) {
+          const int k = j - 1 + t;
+          if (k >= 1 && k <= P) inRange += tx[k - 1] * g.inRangeCoef[t];
+        }
+        double inSense = 0.0;
+        if (carrierSense) {
+          for (int t = 0; t < 5; ++t) {
+            const int k = j - 2 + t;
+            if (k >= 1 && k <= P) inSense += tx[k - 1] * g.inSenseCoef[t];
+          }
+        }
+        const double pReceive = receiveProbability(cfg, inRange, inSense);
+        // Polar element: integrand * radius, integrated dx, times 2*pi.
+        newHere += g.weight * g.radial * pReceive;
+        deliveries += g.weight * g.radial *
+                      expectedDeliveries(cfg, inRange, inSense) * delta *
+                      cfg.densityFactor(j);
+      }
+      newHere *= 2.0 * M_PI * unreceivedDensity;
+      newHere = std::min(newHere, remaining);
+      stats.newPerRing[j - 1] = newHere;
+      stats.newTotal += newHere;
+    }
+    deliveries *= 2.0 * M_PI;
+
+    stats.broadcasts = txTotal;
+    cumulativeReached += stats.newTotal;
+    cumulativeBroadcasts += stats.broadcasts;
+    stats.cumulativeReached = cumulativeReached;
+    stats.cumulativeBroadcasts = cumulativeBroadcasts;
+    // Success rate: decoded (sender, receiver) pairs over attempted pairs;
+    // each transmitter attempts to reach ~rho neighbours (area-weighted
+    // mean density under a radial gradient).
+    double meanFactor = 1.0;
+    if (!cfg.ringDensityFactor.empty()) {
+      double weighted = 0.0, area = 0.0;
+      for (int k = 1; k <= P; ++k) {
+        weighted += cfg.densityFactor(k) * geometry_.ringArea(k);
+        area += geometry_.ringArea(k);
+      }
+      meanFactor = weighted / area;
+    }
+    const double attempts = txTotal * cfg.neighborDensity * meanFactor;
+    stats.successRate = attempts > 0.0 ? deliveries / attempts : 0.0;
+
+    for (int k = 0; k < P; ++k) received[k] += stats.newPerRing[k];
+    prevNew = stats.newPerRing;
+    const double newTotal = stats.newTotal;
+    phases.push_back(std::move(stats));
+    if (newTotal <= epsilon) break;
+  }
+
+  return RingTrace(cfg, std::move(phases));
+}
+
+}  // namespace nsmodel::analytic

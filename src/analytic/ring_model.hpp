@@ -1,0 +1,138 @@
+// The ring-based phase recursion of Section 4.2.2 (Eq. 4) and its
+// carrier-sense variant (Appendix A, Eq. A.3).
+//
+// The field is a disk of radius P*r decomposed into P concentric rings of
+// width r; the source sits at the centre and broadcasts in phase T_1.
+// Nodes that first receive the packet in phase T_{i-1} broadcast exactly
+// once, with probability p, in a uniformly chosen slot of phase T_i (s
+// slots per phase).  Receptions follow the CAM collision rule: a node at
+// radial offset x of ring R_j hears the packet in phase T_i with
+// probability mu(g(x) * p, s) where g(x) is the expected number of
+// previous-phase receivers within range (Eq. 3); the carrier-sense variant
+// additionally counts transmitters in the (r, 2r] annulus via h(x) and
+// uses mu'.
+//
+// The recursion tracks the expected number of *new* receivers per ring and
+// phase; RingTrace exposes the derived quantities the paper's four metrics
+// need — reachability after a (fractional) number of phases, the latency
+// to reach a target reachability, and the broadcast count (the energy
+// proxy M).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analytic/mu.hpp"
+#include "geom/rings.hpp"
+
+namespace nsmodel::analytic {
+
+/// Which collision semantics the recursion models.
+enum class ChannelKind {
+  CollisionFree,       ///< CFM: every transmission is received
+  CollisionAware,      ///< CAM: Assumption 6 (collision within range r)
+  CarrierSenseAware,   ///< CAM + carrier sensing within csFactor * r
+};
+
+/// Configuration of one analytic run.
+struct RingModelConfig {
+  int rings = 5;               ///< P, number of concentric rings
+  double ringWidth = 1.0;      ///< r, transmission range == ring width
+  double neighborDensity = 60; ///< rho = delta * pi * r^2 (avg neighbours)
+  int slotsPerPhase = 3;       ///< s
+  double broadcastProb = 0.1;  ///< p
+  int maxPhases = 60;          ///< hard cap on simulated phases
+  double convergenceEpsilon = 1e-7;  ///< stop when a phase adds < eps * N
+  int quadratureOrder = 48;    ///< Gauss-Legendre order for the x integral
+  RealKPolicy policy = RealKPolicy::Interpolate;
+  ChannelKind channel = ChannelKind::CollisionAware;
+  double csFactor = 2.0;       ///< carrier-sensing range / transmission range
+  /// Per-ring density multipliers (size == rings) modelling radial density
+  /// variation: ring k's density is nodeDensity() * ringDensityFactor[k-1].
+  /// Empty means uniform density (the paper's setting).
+  std::vector<double> ringDensityFactor;
+
+  /// delta, base nodes per unit area (before per-ring factors).
+  double nodeDensity() const;
+  /// Density multiplier of ring k (1-based); 1.0 when uniform.
+  double densityFactor(int k) const;
+  /// Expected number of nodes in the field (excluding the source),
+  /// including per-ring factors.
+  double expectedNodes() const;
+};
+
+/// Per-phase expectations produced by the recursion.
+struct PhaseStats {
+  std::vector<double> newPerRing;  ///< expected new receivers per ring (1-based
+                                   ///< index stored at [k-1])
+  double newTotal = 0.0;           ///< sum over rings
+  double broadcasts = 0.0;         ///< expected transmissions in this phase
+  double cumulativeReached = 0.0;  ///< receivers so far incl. the source
+  double cumulativeBroadcasts = 0.0;
+  double successRate = 0.0;        ///< per-(sender,neighbour) delivery rate
+};
+
+/// Full trace of a run plus the metric helpers the optimizer consumes.
+class RingTrace {
+ public:
+  RingTrace(RingModelConfig config, std::vector<PhaseStats> phases);
+
+  const RingModelConfig& config() const { return config_; }
+  const std::vector<PhaseStats>& phases() const { return phases_; }
+  double expectedNodes() const { return nodes_; }
+
+  /// Reachability (fraction of all nodes, source included) after `t`
+  /// phases; `t` may be fractional — reception mass is assumed uniform in
+  /// time within a phase (Section 4.2.4). t >= 0; values beyond the last
+  /// computed phase return the final reachability.
+  double reachabilityAfter(double t) const;
+
+  /// Final reachability when the process dies out.
+  double finalReachability() const;
+
+  /// Expected broadcasts performed up to (fractional) time t.
+  double broadcastsUpTo(double t) const;
+
+  /// Total expected broadcasts including the trailing rebroadcasts of the
+  /// last receivers.
+  double totalBroadcasts() const;
+
+  /// Smallest fractional phase count t with reachability >= target, or
+  /// nullopt when the target is never met.
+  std::optional<double> latencyForReachability(double target) const;
+
+  /// Expected broadcasts consumed by the time reachability first hits
+  /// `target`, or nullopt when the target is never met (Fig. 6 metric).
+  std::optional<double> broadcastsForReachability(double target) const;
+
+  /// Reachability at the moment the broadcast budget is exhausted; equal to
+  /// the final reachability when the process never spends the full budget
+  /// (Fig. 7 metric).
+  double reachabilityForBudget(double budget) const;
+
+  /// Broadcast-count-weighted average per-link delivery success rate
+  /// (Fig. 12). Zero when nothing beyond the source transmitted.
+  double averageSuccessRate() const;
+
+ private:
+  RingModelConfig config_;
+  std::vector<PhaseStats> phases_;
+  double nodes_ = 0.0;
+};
+
+/// Runs the Eq. 4 recursion for one configuration.
+class RingModel {
+ public:
+  explicit RingModel(RingModelConfig config);
+
+  const RingModelConfig& config() const { return config_; }
+
+  /// Executes the phase recursion until convergence or maxPhases.
+  RingTrace run() const;
+
+ private:
+  RingModelConfig config_;
+  geom::RingGeometry geometry_;
+};
+
+}  // namespace nsmodel::analytic

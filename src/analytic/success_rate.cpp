@@ -1,0 +1,22 @@
+#include "analytic/success_rate.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace nsmodel::analytic {
+
+double floodingSuccessRate(RingModelConfig config) {
+  config.broadcastProb = 1.0;
+  const RingModel model(config);
+  return model.run().averageSuccessRate();
+}
+
+double heuristicOptimalProbability(double successRate, double ratio) {
+  NSMODEL_CHECK(successRate >= 0.0 && successRate <= 1.0,
+                "success rate must lie in [0, 1]");
+  NSMODEL_CHECK(ratio > 0.0, "ratio must be positive");
+  return std::clamp(ratio * successRate, 0.0, 1.0);
+}
+
+}  // namespace nsmodel::analytic

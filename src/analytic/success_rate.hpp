@@ -1,0 +1,24 @@
+// Flooding success-rate estimation (Section 6, Fig. 12).
+//
+// The paper defines the success rate of a broadcast in simple flooding
+// under CAM as the fraction of the sender's neighbours that successfully
+// receive it, and observes that the ratio (optimal broadcast probability) /
+// (flooding success rate) stays close to a constant (~11) across node
+// densities — suggesting a density-free rule for picking p.
+#pragma once
+
+#include "analytic/ring_model.hpp"
+
+namespace nsmodel::analytic {
+
+/// Average per-link delivery success rate of simple flooding (p = 1) under
+/// the channel/policy in `config`; the broadcast probability in `config`
+/// is ignored.
+double floodingSuccessRate(RingModelConfig config);
+
+/// Given a measured flooding success rate, the density-free heuristic
+/// estimate of the optimal broadcast probability: ratio * successRate,
+/// clamped to (0, 1].  The paper's observed ratio is ~11.
+double heuristicOptimalProbability(double successRate, double ratio);
+
+}  // namespace nsmodel::analytic

@@ -1,0 +1,20 @@
+#include "core/cfm_analysis.hpp"
+
+namespace nsmodel::core {
+
+CfmFloodingPrediction analyzeFloodingCfm(const DeploymentSpec& deployment,
+                                         const CostFunctions& costs,
+                                         int slotsPerPhase) {
+  CfmFloodingPrediction out;
+  out.reachability = 1.0;
+  out.latencyPhases = static_cast<double>(deployment.rings);
+  out.broadcasts = deployment.expectedNodes();
+  out.totalTime = out.latencyPhases * static_cast<double>(slotsPerPhase) *
+                  costs.timePerPacket;
+  out.totalEnergy =
+      out.broadcasts * (1.0 + deployment.neighborDensity) *
+      costs.energyPerPacket;
+  return out;
+}
+
+}  // namespace nsmodel::core

@@ -1,0 +1,29 @@
+// Closed-form predictions for simple flooding under CFM (Section 4).
+//
+// With guaranteed deliveries, flooding covers one further ring of width r
+// per phase, so: reachability 1, latency P phases, and every node
+// broadcasts exactly once (N broadcasts).  The paper's motivating point is
+// that these predictions are wildly optimistic once collisions exist — the
+// cfm_vs_cam bench quantifies the gap.
+#pragma once
+
+#include "core/network_model.hpp"
+
+namespace nsmodel::core {
+
+/// CFM's closed-form flooding prediction.
+struct CfmFloodingPrediction {
+  double reachability = 1.0;   ///< every connected node is reached
+  double latencyPhases = 0.0;  ///< P phases (one ring per phase)
+  double broadcasts = 0.0;     ///< N (every node rebroadcasts once)
+  double totalTime = 0.0;      ///< latencyPhases * s * t_f
+  double totalEnergy = 0.0;    ///< broadcasts * (1 + rho) * e_f
+                               ///< (each broadcast: 1 tx + ~rho rx)
+};
+
+/// Evaluates the closed form for a deployment and CFM cost functions.
+CfmFloodingPrediction analyzeFloodingCfm(const DeploymentSpec& deployment,
+                                         const CostFunctions& costs,
+                                         int slotsPerPhase);
+
+}  // namespace nsmodel::core

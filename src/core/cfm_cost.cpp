@@ -1,0 +1,73 @@
+#include "core/cfm_cost.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+
+ReliableCostModel::ReliableCostModel(int slots) : slots_(slots) {
+  NSMODEL_CHECK(slots >= 1, "need at least one slot per phase");
+}
+
+double ReliableCostModel::attemptSuccessProbability(
+    double interferers) const {
+  NSMODEL_CHECK(interferers >= 0.0, "interferer count must be >= 0");
+  return std::exp(-interferers / static_cast<double>(slots_));
+}
+
+double ReliableCostModel::expectedAttemptsPerLink(double interferers) const {
+  const double pData = attemptSuccessProbability(interferers);
+  const double pAck = attemptSuccessProbability(interferers);
+  const double q = pData * pAck;
+  NSMODEL_ASSERT(q > 0.0);
+  return 1.0 / q;
+}
+
+double ReliableCostModel::expectedRoundsForAll(double n, double q) {
+  NSMODEL_CHECK(n >= 0.0, "neighbour count must be >= 0");
+  NSMODEL_CHECK(q > 0.0 && q <= 1.0, "round success must lie in (0, 1]");
+  if (n == 0.0) return 0.0;
+  if (q == 1.0) return 1.0;
+  // E[max] = sum_{k >= 0} P(max > k) = sum_k (1 - (1 - (1-q)^k)^n).
+  const double fail = 1.0 - q;
+  double expectation = 0.0;
+  double failPowK = 1.0;  // (1-q)^k, k = 0
+  for (int k = 0; k < 100000; ++k) {
+    const double term = 1.0 - std::pow(1.0 - failPowK, n);
+    expectation += term;
+    if (term < 1e-12) break;
+    failPowK *= fail;
+  }
+  return expectation;
+}
+
+ReliableBroadcastCost ReliableCostModel::broadcastCost(
+    double rho, double interferers) const {
+  NSMODEL_CHECK(rho >= 0.0, "rho must be >= 0");
+  ReliableBroadcastCost cost;
+  const double pData = attemptSuccessProbability(interferers);
+  const double pAck = attemptSuccessProbability(interferers);
+  cost.perLinkSuccess = pData * pAck;
+  cost.rounds = expectedRoundsForAll(rho, cost.perLinkSuccess);
+  cost.dataPackets = cost.rounds;
+  // Each neighbour transmits an ACK for every DATA copy it decodes until
+  // the sender hears one: expected decodes-before-confirmation is 1/pAck
+  // per neighbour (the neighbour keeps hearing retransmissions while its
+  // ACKs are lost).
+  cost.ackPackets = rho / pAck;
+  cost.totalPackets = cost.dataPackets + cost.ackPackets;
+  cost.timePhases = cost.rounds + 1.0;  // final ACK lands a phase later
+  return cost;
+}
+
+CostFunctions ReliableCostModel::cfmCosts(double rho, double interferers,
+                                          CostFunctions camCosts) const {
+  const ReliableBroadcastCost cost = broadcastCost(rho, interferers);
+  CostFunctions cfm;
+  cfm.timePerPacket = cost.timePhases * camCosts.timePerPacket;
+  cfm.energyPerPacket = cost.totalPackets * camCosts.energyPerPacket;
+  return cfm;
+}
+
+}  // namespace nsmodel::core

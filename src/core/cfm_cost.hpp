@@ -1,0 +1,66 @@
+// Density-dependent cost functions for implementing CFM over a
+// collision-aware link layer (Section 6 of the paper, future work):
+// "modeling the time/energy costs of a successful packet transmission in
+// CFM as a function of the node density to account for necessary
+// re-transmission".
+//
+// Model: during a retransmission round, the expected number of
+// interfering transmissions within a receiver's range is `interferers`;
+// transmissions land in uniformly chosen slots of an s-slot phase, so a
+// designated packet is decoded with probability ~ exp(-interferers / s)
+// (Poisson slot occupancy).  A link delivery is *confirmed* when the DATA
+// is decoded and the returning ACK is decoded, each an independent clean
+// slot event.  A broadcast completes when all ~rho neighbours have been
+// confirmed; with per-round per-neighbour confirmation probability q the
+// expected number of rounds is E[max of rho Geometric(q)] (no closed
+// form; evaluated numerically).
+#pragma once
+
+#include "core/comm_model.hpp"
+
+namespace nsmodel::core {
+
+/// Predicted costs of one guaranteed (CFM) broadcast over CAM.
+struct ReliableBroadcastCost {
+  double perLinkSuccess = 0.0;  ///< q: DATA and ACK both decoded in a round
+  double rounds = 0.0;          ///< expected DATA retransmission rounds
+  double dataPackets = 0.0;     ///< == rounds
+  double ackPackets = 0.0;      ///< expected ACK transmissions, all neighbours
+  double totalPackets = 0.0;    ///< dataPackets + ackPackets
+  double timePhases = 0.0;      ///< expected phases until fully confirmed
+};
+
+/// Analytic model of the Section 3.2.1 naive CFM implementation.
+class ReliableCostModel {
+ public:
+  /// `slots` = s, the phase's slot count (>= 1).
+  explicit ReliableCostModel(int slots);
+
+  /// P(a designated transmission is decoded) with `interferers` expected
+  /// concurrent transmissions in the receiver's range during the phase.
+  double attemptSuccessProbability(double interferers) const;
+
+  /// Expected attempts until one link delivery is confirmed (geometric in
+  /// the combined DATA*ACK success).
+  double expectedAttemptsPerLink(double interferers) const;
+
+  /// E[max of n i.i.d. Geometric(q)] — expected rounds until all `n`
+  /// neighbours are confirmed when each round confirms each outstanding
+  /// neighbour independently with probability q. Evaluated numerically.
+  static double expectedRoundsForAll(double n, double q);
+
+  /// Full per-broadcast cost at average neighbour count `rho` and channel
+  /// activity `interferers` (expected concurrent transmissions in range).
+  ReliableBroadcastCost broadcastCost(double rho, double interferers) const;
+
+  /// The resulting density-dependent CFM cost functions, expressed as
+  /// multiples of the CAM per-packet costs: t_f = timePhases * t_a,
+  /// e_f = totalPackets * e_a (per broadcast, sender side).
+  CostFunctions cfmCosts(double rho, double interferers,
+                         CostFunctions camCosts) const;
+
+ private:
+  int slots_;
+};
+
+}  // namespace nsmodel::core

@@ -1,0 +1,46 @@
+#include "core/comm_model.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+
+CommModel::CommModel(net::ChannelModel kind, double csFactor,
+                     CostFunctions costs)
+    : kind_(kind), csFactor_(csFactor), costs_(costs) {
+  NSMODEL_CHECK(costs.timePerPacket > 0.0 && costs.energyPerPacket > 0.0,
+                "per-packet costs must be positive");
+}
+
+CommModel CommModel::collisionFree(CostFunctions costs) {
+  return CommModel(net::ChannelModel::CollisionFree, 0.0, costs);
+}
+
+CommModel CommModel::collisionAware(CostFunctions costs) {
+  return CommModel(net::ChannelModel::CollisionAware, 0.0, costs);
+}
+
+CommModel CommModel::carrierSenseAware(double csFactor, CostFunctions costs) {
+  NSMODEL_CHECK(csFactor > 1.0, "carrier-sense factor must exceed 1");
+  return CommModel(net::ChannelModel::CarrierSenseAware, csFactor, costs);
+}
+
+const char* CommModel::name() const { return net::channelModelName(kind_); }
+
+bool CommModel::guaranteesDelivery() const {
+  return kind_ == net::ChannelModel::CollisionFree;
+}
+
+analytic::ChannelKind CommModel::analyticChannel() const {
+  switch (kind_) {
+    case net::ChannelModel::CollisionFree:
+      return analytic::ChannelKind::CollisionFree;
+    case net::ChannelModel::CollisionAware:
+      return analytic::ChannelKind::CollisionAware;
+    case net::ChannelModel::CarrierSenseAware:
+      return analytic::ChannelKind::CarrierSenseAware;
+  }
+  NSMODEL_ASSERT(false);
+  return analytic::ChannelKind::CollisionAware;
+}
+
+}  // namespace nsmodel::core

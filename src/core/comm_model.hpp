@@ -1,0 +1,62 @@
+// The link-wise communication models (Section 3.2) as first-class values.
+//
+// A CommModel bundles the collision semantics with the per-packet cost
+// functions the abstract network model exposes to algorithm designers:
+// t_f / e_f for CFM (an atomic, guaranteed transmission) and t_a / e_a for
+// CAM (an unacknowledged transmission that may collide), with
+// t_a <= t_f and e_a <= e_f.
+#pragma once
+
+#include "analytic/ring_model.hpp"
+#include "net/channel.hpp"
+
+namespace nsmodel::core {
+
+/// Per-packet cost functions of a communication primitive.
+struct CostFunctions {
+  double timePerPacket = 1.0;    ///< t_f or t_a
+  double energyPerPacket = 1.0;  ///< e_f or e_a
+};
+
+/// A link-wise communication model.
+class CommModel {
+ public:
+  /// CFM: transmission is atomic and guaranteed; costs are t_f / e_f.
+  static CommModel collisionFree(CostFunctions costs = {});
+
+  /// CAM: Assumption-6 collisions; costs are t_a / e_a.
+  static CommModel collisionAware(CostFunctions costs = {});
+
+  /// CAM with carrier sensing at csFactor * range (Appendix A).
+  static CommModel carrierSenseAware(double csFactor = 2.0,
+                                     CostFunctions costs = {});
+
+  /// "CFM", "CAM", or "CAM-CS".
+  const char* name() const;
+
+  /// True when every transmission is guaranteed to be delivered (CFM) —
+  /// the property that makes high-level programming easy but performance
+  /// prediction optimistic.
+  bool guaranteesDelivery() const;
+
+  /// True when the model exposes collisions to the algorithm designer.
+  bool exposesCollisions() const { return !guaranteesDelivery(); }
+
+  const CostFunctions& costs() const { return costs_; }
+  double csFactor() const { return csFactor_; }
+
+  /// The analytic framework's channel enum for this model.
+  analytic::ChannelKind analyticChannel() const;
+
+  /// The simulator's channel enum for this model.
+  net::ChannelModel simulationChannel() const { return kind_; }
+
+ private:
+  CommModel(net::ChannelModel kind, double csFactor, CostFunctions costs);
+
+  net::ChannelModel kind_;
+  double csFactor_;
+  CostFunctions costs_;
+};
+
+}  // namespace nsmodel::core

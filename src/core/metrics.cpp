@@ -1,0 +1,89 @@
+#include "core/metrics.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+
+const char* metricName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::ReachabilityUnderLatency:
+      return "reachability-under-latency";
+    case MetricKind::LatencyUnderReachability:
+      return "latency-under-reachability";
+    case MetricKind::EnergyUnderReachability:
+      return "energy-under-reachability";
+    case MetricKind::ReachabilityUnderEnergy:
+      return "reachability-under-energy";
+  }
+  return "?";
+}
+
+bool higherIsBetter(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::ReachabilityUnderLatency:
+    case MetricKind::ReachabilityUnderEnergy:
+      return true;
+    case MetricKind::LatencyUnderReachability:
+    case MetricKind::EnergyUnderReachability:
+      return false;
+  }
+  NSMODEL_ASSERT(false);
+  return true;
+}
+
+MetricSpec MetricSpec::reachabilityUnderLatency(double phases) {
+  NSMODEL_CHECK(phases > 0.0, "latency constraint must be positive");
+  return {MetricKind::ReachabilityUnderLatency, phases};
+}
+
+MetricSpec MetricSpec::latencyUnderReachability(double reachability) {
+  NSMODEL_CHECK(reachability > 0.0 && reachability <= 1.0,
+                "reachability target must lie in (0, 1]");
+  return {MetricKind::LatencyUnderReachability, reachability};
+}
+
+MetricSpec MetricSpec::energyUnderReachability(double reachability) {
+  NSMODEL_CHECK(reachability > 0.0 && reachability <= 1.0,
+                "reachability target must lie in (0, 1]");
+  return {MetricKind::EnergyUnderReachability, reachability};
+}
+
+MetricSpec MetricSpec::reachabilityUnderEnergy(double broadcasts) {
+  NSMODEL_CHECK(broadcasts >= 0.0, "broadcast budget must be non-negative");
+  return {MetricKind::ReachabilityUnderEnergy, broadcasts};
+}
+
+namespace {
+template <typename Trace>
+std::optional<double> evaluateImpl(const MetricSpec& spec,
+                                   const Trace& trace) {
+  switch (spec.kind) {
+    case MetricKind::ReachabilityUnderLatency:
+      return trace.reachabilityAfter(spec.constraint);
+    case MetricKind::LatencyUnderReachability:
+      return trace.latencyForReachability(spec.constraint);
+    case MetricKind::EnergyUnderReachability:
+      return trace.broadcastsForReachability(spec.constraint);
+    case MetricKind::ReachabilityUnderEnergy:
+      return trace.reachabilityForBudget(spec.constraint);
+  }
+  NSMODEL_ASSERT(false);
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<double> evaluateMetric(const MetricSpec& spec,
+                                     const analytic::RingTrace& trace) {
+  return evaluateImpl(spec, trace);
+}
+
+std::optional<double> evaluateMetric(const MetricSpec& spec,
+                                     const sim::RunResult& run) {
+  return evaluateImpl(spec, run);
+}
+
+bool isBetter(MetricKind kind, double a, double b) {
+  return higherIsBetter(kind) ? a > b : a < b;
+}
+
+}  // namespace nsmodel::core

@@ -1,0 +1,59 @@
+// The four performance metrics of Section 4.1.
+//
+// Of the six constraint/objective combinations the paper enumerates, four
+// are non-trivial:
+//   1. maximise reachability under a latency constraint,
+//   3. minimise latency under a reachability constraint,
+//   4. minimise energy (broadcast count M) under a reachability constraint,
+//   5. maximise reachability under an energy constraint.
+// (1, 3) and (4, 5) are dual pairs.  A MetricSpec names the metric and its
+// constraint; evaluateMetric computes the objective from either backend —
+// the analytic RingTrace or a simulated RunResult — returning nullopt when
+// the constraint cannot be met (e.g. the reachability target is never
+// reached).
+#pragma once
+
+#include <optional>
+
+#include "analytic/ring_model.hpp"
+#include "sim/run_result.hpp"
+
+namespace nsmodel::core {
+
+/// The non-trivial metrics of Section 4.1.
+enum class MetricKind {
+  ReachabilityUnderLatency,   ///< maximise; constraint: phases
+  LatencyUnderReachability,   ///< minimise; constraint: reachability
+  EnergyUnderReachability,    ///< minimise; constraint: reachability
+  ReachabilityUnderEnergy,    ///< maximise; constraint: broadcast budget
+};
+
+/// Human-readable metric name.
+const char* metricName(MetricKind kind);
+
+/// True when a larger objective value is better.
+bool higherIsBetter(MetricKind kind);
+
+/// A metric plus its constraint value.
+struct MetricSpec {
+  MetricKind kind;
+  double constraint;  ///< phases, reachability fraction, or broadcast budget
+
+  static MetricSpec reachabilityUnderLatency(double phases);
+  static MetricSpec latencyUnderReachability(double reachability);
+  static MetricSpec energyUnderReachability(double reachability);
+  static MetricSpec reachabilityUnderEnergy(double broadcasts);
+};
+
+/// Objective value for an analytic trace; nullopt when infeasible.
+std::optional<double> evaluateMetric(const MetricSpec& spec,
+                                     const analytic::RingTrace& trace);
+
+/// Objective value for a simulated run; nullopt when infeasible.
+std::optional<double> evaluateMetric(const MetricSpec& spec,
+                                     const sim::RunResult& run);
+
+/// True when objective `a` beats `b` under the metric's direction.
+bool isBetter(MetricKind kind, double a, double b);
+
+}  // namespace nsmodel::core

@@ -1,0 +1,92 @@
+#include "core/network_model.hpp"
+
+#include "protocols/probabilistic.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+
+double DeploymentSpec::expectedNodes() const {
+  return neighborDensity * static_cast<double>(rings) *
+         static_cast<double>(rings);
+}
+
+NetworkModel::NetworkModel(DeploymentSpec deployment, CommModel commModel,
+                           int slotsPerPhase)
+    : deployment_(deployment),
+      commModel_(commModel),
+      slotsPerPhase_(slotsPerPhase) {
+  NSMODEL_CHECK(deployment.rings >= 1, "need at least one ring");
+  NSMODEL_CHECK(deployment.ringWidth > 0.0, "ring width must be positive");
+  NSMODEL_CHECK(deployment.neighborDensity > 0.0, "rho must be positive");
+  NSMODEL_CHECK(slotsPerPhase >= 1, "need at least one slot per phase");
+}
+
+analytic::RingModelConfig NetworkModel::analyticConfig(
+    double probability, analytic::RealKPolicy policy) const {
+  analytic::RingModelConfig config;
+  config.rings = deployment_.rings;
+  config.ringWidth = deployment_.ringWidth;
+  config.neighborDensity = deployment_.neighborDensity;
+  config.slotsPerPhase = slotsPerPhase_;
+  config.broadcastProb = probability;
+  config.policy = policy;
+  config.channel = commModel_.analyticChannel();
+  if (commModel_.csFactor() > 1.0) config.csFactor = commModel_.csFactor();
+  return config;
+}
+
+sim::ExperimentConfig NetworkModel::experimentConfig() const {
+  sim::ExperimentConfig config;
+  config.rings = deployment_.rings;
+  config.ringWidth = deployment_.ringWidth;
+  config.neighborDensity = deployment_.neighborDensity;
+  config.slotsPerPhase = slotsPerPhase_;
+  config.channel = commModel_.simulationChannel();
+  if (commModel_.csFactor() > 1.0) config.csFactor = commModel_.csFactor();
+  config.costs = net::EnergyCosts{commModel_.costs().energyPerPacket,
+                                  commModel_.costs().energyPerPacket};
+  return config;
+}
+
+analytic::RingTrace NetworkModel::predict(double probability,
+                                          analytic::RealKPolicy policy) const {
+  return analytic::RingModel(analyticConfig(probability, policy)).run();
+}
+
+sim::RunResult NetworkModel::simulateOnce(double probability,
+                                          std::uint64_t seed,
+                                          std::uint64_t stream) const {
+  const auto factory = [probability] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(probability);
+  };
+  return sim::runExperiment(experimentConfig(), factory, seed, stream);
+}
+
+sim::MetricAggregate NetworkModel::measure(double probability,
+                                           const MetricSpec& spec,
+                                           std::uint64_t seed,
+                                           int replications) const {
+  sim::MonteCarloConfig mc;
+  mc.experiment = experimentConfig();
+  mc.seed = seed;
+  mc.replications = replications;
+  const auto factory = [probability] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(probability);
+  };
+  const auto extract = [&spec](const sim::RunResult& run) {
+    const auto value = evaluateMetric(spec, run);
+    return std::vector<double>{
+        value ? *value : std::numeric_limits<double>::quiet_NaN()};
+  };
+  auto aggregates = sim::monteCarlo(mc, factory, extract);
+  NSMODEL_ASSERT(aggregates.size() == 1);
+  return aggregates[0];
+}
+
+std::optional<Optimum> NetworkModel::optimize(
+    const MetricSpec& spec, const ProbabilityGrid& grid,
+    analytic::RealKPolicy policy) const {
+  return optimizeAnalytic(analyticConfig(0.5, policy), spec, grid);
+}
+
+}  // namespace nsmodel::core

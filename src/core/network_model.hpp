@@ -1,0 +1,76 @@
+// The abstract network model of Fig. 1: deployment + communication model +
+// programming primitives + cost functions, with the two analysis backends
+// (the Eq. 4 analytical framework and the packet-level simulator) behind
+// one facade.
+//
+// This is the layer an algorithm designer programs against: they specify
+// an algorithm (here, a broadcast protocol with a tunable p), ask the
+// model for performance predictions, and feed those into the optimizer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "analytic/ring_model.hpp"
+#include "core/comm_model.hpp"
+#include "core/metrics.hpp"
+#include "core/optimizer.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace nsmodel::core {
+
+/// The network deployment abstraction of Section 4: a disk of radius P*r,
+/// source at the centre, uniform node density.
+struct DeploymentSpec {
+  int rings = 5;                ///< P
+  double ringWidth = 1.0;       ///< r (== transmission range)
+  double neighborDensity = 60;  ///< rho = delta * pi * r^2
+
+  /// Expected node count N = rho * P^2.
+  double expectedNodes() const;
+};
+
+/// The abstract network model.
+class NetworkModel {
+ public:
+  NetworkModel(DeploymentSpec deployment, CommModel commModel,
+               int slotsPerPhase = 3);
+
+  const DeploymentSpec& deployment() const { return deployment_; }
+  const CommModel& commModel() const { return commModel_; }
+  int slotsPerPhase() const { return slotsPerPhase_; }
+
+  /// Analytical performance prediction for PB with probability p.
+  analytic::RingTrace predict(
+      double probability,
+      analytic::RealKPolicy policy = analytic::RealKPolicy::Interpolate) const;
+
+  /// One simulated run of PB with probability p.
+  sim::RunResult simulateOnce(double probability, std::uint64_t seed,
+                              std::uint64_t stream = 0) const;
+
+  /// Monte-Carlo estimate of a metric for PB with probability p.
+  sim::MetricAggregate measure(double probability, const MetricSpec& spec,
+                               std::uint64_t seed,
+                               int replications = 30) const;
+
+  /// Optimal p for a metric according to the analytical backend.
+  std::optional<Optimum> optimize(
+      const MetricSpec& spec,
+      const ProbabilityGrid& grid = ProbabilityGrid::analytic(),
+      analytic::RealKPolicy policy = analytic::RealKPolicy::Interpolate) const;
+
+  /// The analytic configuration this model maps to (for advanced use).
+  analytic::RingModelConfig analyticConfig(double probability,
+                                           analytic::RealKPolicy policy) const;
+
+  /// The simulator configuration this model maps to (for advanced use).
+  sim::ExperimentConfig experimentConfig() const;
+
+ private:
+  DeploymentSpec deployment_;
+  CommModel commModel_;
+  int slotsPerPhase_;
+};
+
+}  // namespace nsmodel::core

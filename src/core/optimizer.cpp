@@ -1,0 +1,59 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+
+std::vector<double> ProbabilityGrid::values() const {
+  NSMODEL_CHECK(min > 0.0 && min <= max, "grid requires 0 < min <= max");
+  NSMODEL_CHECK(max <= 1.0, "probabilities cannot exceed 1");
+  NSMODEL_CHECK(step > 0.0, "grid step must be positive");
+  std::vector<double> points;
+  // Index-based generation avoids drift from repeated addition.
+  const auto count = static_cast<std::size_t>(
+      std::floor((max - min) / step + 1e-9)) + 1;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(std::min(max, min + static_cast<double>(i) * step));
+  }
+  return points;
+}
+
+std::optional<Optimum> optimizeProbability(const ProbabilityEvaluator& eval,
+                                           MetricKind kind,
+                                           const ProbabilityGrid& grid) {
+  std::optional<Optimum> best;
+  for (double p : grid.values()) {
+    const auto value = eval(p);
+    if (!value) continue;
+    if (!best || isBetter(kind, *value, best->value)) {
+      best = Optimum{p, *value};
+    }
+  }
+  return best;
+}
+
+std::vector<std::optional<double>> sweepProbability(
+    const ProbabilityEvaluator& eval, const ProbabilityGrid& grid) {
+  std::vector<std::optional<double>> series;
+  const auto points = grid.values();
+  series.reserve(points.size());
+  for (double p : points) series.push_back(eval(p));
+  return series;
+}
+
+std::optional<Optimum> optimizeAnalytic(const analytic::RingModelConfig& base,
+                                        const MetricSpec& spec,
+                                        const ProbabilityGrid& grid) {
+  const auto eval = [&base, &spec](double p) -> std::optional<double> {
+    analytic::RingModelConfig config = base;
+    config.broadcastProb = p;
+    const analytic::RingTrace trace = analytic::RingModel(config).run();
+    return evaluateMetric(spec, trace);
+  };
+  return optimizeProbability(eval, spec.kind, grid);
+}
+
+}  // namespace nsmodel::core

@@ -1,0 +1,63 @@
+// Choosing the broadcast probability p (the optimization step of
+// Fig. 1(b)).
+//
+// The paper treats p as the tunable algorithmic parameter and selects it
+// by sweeping a grid and evaluating one of the Section 4.1 metrics on the
+// analytical model.  The optimizer here is backend-agnostic: it takes any
+// p -> objective evaluator, so it serves both the analytic framework and
+// simulation-in-the-loop optimization.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analytic/ring_model.hpp"
+#include "core/metrics.hpp"
+
+namespace nsmodel::core {
+
+/// A sweep grid over the broadcast probability.
+struct ProbabilityGrid {
+  double min = 0.01;
+  double max = 1.0;
+  double step = 0.01;
+
+  /// The grid points, inclusive of max (within floating-point slack).
+  std::vector<double> values() const;
+
+  /// The paper's analytic grid: 0.01 .. 1 step 0.01.
+  static ProbabilityGrid analytic() { return {0.01, 1.0, 0.01}; }
+
+  /// The paper's simulation grid: 0.05 .. 1 step 0.05.
+  static ProbabilityGrid simulation() { return {0.05, 1.0, 0.05}; }
+};
+
+/// Evaluates the metric objective at probability p; nullopt = infeasible.
+using ProbabilityEvaluator =
+    std::function<std::optional<double>(double probability)>;
+
+/// The winning probability and its objective value.
+struct Optimum {
+  double probability = 0.0;
+  double value = 0.0;
+};
+
+/// Sweeps the grid and returns the best feasible point, or nullopt when no
+/// grid point is feasible. Ties keep the smaller probability (cheaper).
+std::optional<Optimum> optimizeProbability(const ProbabilityEvaluator& eval,
+                                           MetricKind kind,
+                                           const ProbabilityGrid& grid);
+
+/// Full sweep: objective value per grid point (nullopt where infeasible),
+/// for callers reproducing the paper's per-p series.
+std::vector<std::optional<double>> sweepProbability(
+    const ProbabilityEvaluator& eval, const ProbabilityGrid& grid);
+
+/// Convenience: optimize a metric on the analytic framework. `base` fixes
+/// everything except broadcastProb.
+std::optional<Optimum> optimizeAnalytic(const analytic::RingModelConfig& base,
+                                        const MetricSpec& spec,
+                                        const ProbabilityGrid& grid);
+
+}  // namespace nsmodel::core

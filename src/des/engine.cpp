@@ -1,0 +1,34 @@
+#include "des/engine.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::des {
+
+EventId Engine::scheduleAt(Time at, std::function<void()> action) {
+  NSMODEL_CHECK(at >= now_, "cannot schedule an event in the past");
+  return queue_.push(at, std::move(action));
+}
+
+EventId Engine::scheduleAfter(Time delay, std::function<void()> action) {
+  NSMODEL_CHECK(delay >= 0.0, "delay must be non-negative");
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+bool Engine::cancel(EventId id) { return queue_.cancel(id); }
+
+std::uint64_t Engine::run(Time horizon) {
+  stopped_ = false;
+  std::uint64_t firedThisRun = 0;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.nextTime() > horizon) break;
+    Time at = 0.0;
+    auto action = queue_.pop(at);
+    now_ = at;
+    action();
+    ++fired_;
+    ++firedThisRun;
+  }
+  return firedThisRun;
+}
+
+}  // namespace nsmodel::des

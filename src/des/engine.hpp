@@ -1,0 +1,53 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over an EventQueue: events fire in
+// non-decreasing time order (FIFO among equal times), each event may
+// schedule or cancel further events.  The slotted broadcast experiments
+// (src/sim) are built on this engine; it is general enough for other
+// protocols a downstream user may add.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "des/event_queue.hpp"
+
+namespace nsmodel::des {
+
+/// The event loop. Not thread-safe; one engine per simulation run.
+class Engine {
+ public:
+  /// Current simulation time (time of the most recently fired event).
+  Time now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (>= now).
+  EventId scheduleAt(Time at, std::function<void()> action);
+
+  /// Schedules `action` after a non-negative delay.
+  EventId scheduleAfter(Time delay, std::function<void()> action);
+
+  /// Cancels a pending event; false if it already fired or was cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains, stop() is called, or the time horizon is
+  /// exceeded. Returns the number of events fired by this call.
+  std::uint64_t run(Time horizon = std::numeric_limits<Time>::infinity());
+
+  /// Requests the current run() to return after the in-flight event.
+  void stop() { stopped_ = true; }
+
+  /// Total events fired over the engine's lifetime.
+  std::uint64_t firedCount() const { return fired_; }
+
+  /// Pending (live) events.
+  std::size_t pendingCount() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t fired_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace nsmodel::des

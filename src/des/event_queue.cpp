@@ -1,0 +1,51 @@
+#include "des/event_queue.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::des {
+
+EventId EventQueue::push(Time at, std::function<void()> action) {
+  NSMODEL_CHECK(action != nullptr, "cannot schedule a null action");
+  const EventId id = nextId_++;
+  heap_.push(Entry{at, id});
+  actions_.emplace(id, std::move(action));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // The heap entry stays behind and is skipped on pop.
+  if (actions_.erase(id) == 0) return false;
+  --live_;
+  return true;
+}
+
+bool EventQueue::empty() const { return live_ == 0; }
+
+void EventQueue::skipCancelled() const {
+  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::nextTime() const {
+  NSMODEL_CHECK(!empty(), "nextTime() on an empty queue");
+  skipCancelled();
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::pop(Time& at) {
+  NSMODEL_CHECK(!empty(), "pop() on an empty queue");
+  skipCancelled();
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id);
+  NSMODEL_ASSERT(it != actions_.end());
+  std::function<void()> action = std::move(it->second);
+  actions_.erase(it);
+  --live_;
+  at = top.time;
+  return action;
+}
+
+}  // namespace nsmodel::des

@@ -1,0 +1,43 @@
+#include "geom/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::geom {
+
+double lensArea(double r1, double r2, double centerDistance) {
+  NSMODEL_CHECK(r1 >= 0.0 && r2 >= 0.0, "lensArea requires radii >= 0");
+  NSMODEL_CHECK(centerDistance >= 0.0,
+                "lensArea requires a non-negative centre distance");
+  if (r1 == 0.0 || r2 == 0.0) return 0.0;
+  const double d = centerDistance;
+  if (d >= r1 + r2) return 0.0;  // disjoint (or tangent)
+  const double rmin = std::min(r1, r2);
+  if (d <= std::abs(r1 - r2)) {
+    return M_PI * rmin * rmin;  // smaller disk contained
+  }
+  // Clamp the acos arguments: they can drift a hair outside [-1, 1] when the
+  // configuration is close to tangency.
+  const double cosA =
+      std::clamp((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1), -1.0, 1.0);
+  const double cosB =
+      std::clamp((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2), -1.0, 1.0);
+  const double alpha = std::acos(cosA);
+  const double beta = std::acos(cosB);
+  const double kite = 0.5 * std::sqrt(std::max(
+                                0.0, (-d + r1 + r2) * (d + r1 - r2) *
+                                         (d - r1 + r2) * (d + r1 + r2)));
+  return r1 * r1 * alpha + r2 * r2 * beta - kite;
+}
+
+double intersectionAreaEq1(double d1, double d2, double x) {
+  if (d1 <= 0.0) return 0.0;
+  const double centerDistance = d1 + x;
+  NSMODEL_CHECK(centerDistance >= 0.0,
+                "f(D1, D2, x): centre of L2 would be at negative distance");
+  return lensArea(d1, d2, centerDistance);
+}
+
+}  // namespace nsmodel::geom

@@ -1,0 +1,23 @@
+// Circle-circle intersection areas (Eq. 1 of the paper).
+//
+// The paper parameterises the lens area as f(D1, D2, x) where x is the
+// signed distance from the centre of the second circle to the *border* of
+// the first (positive outside).  The canonical quantity is lensArea(), the
+// intersection area of two disks given their centre distance; f() is a thin
+// wrapper matching the paper's convention.
+#pragma once
+
+namespace nsmodel::geom {
+
+/// Area of the intersection of two disks with radii `r1`, `r2` whose
+/// centres are `centerDistance` apart. Handles disjoint and contained
+/// configurations exactly; requires non-negative radii and distance.
+double lensArea(double r1, double r2, double centerDistance);
+
+/// The paper's f(D1, D2, x): intersection area of disk L1 (radius D1,
+/// centred at the origin) and disk L2 (radius D2) whose centre lies at
+/// signed distance x from L1's border (centre distance D1 + x).
+/// D1 == 0 denotes a degenerate disk with zero area.
+double intersectionAreaEq1(double d1, double d2, double x);
+
+}  // namespace nsmodel::geom

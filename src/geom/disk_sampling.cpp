@@ -1,0 +1,59 @@
+#include "geom/disk_sampling.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::geom {
+
+Vec2 sampleDisk(support::Rng& rng, const Vec2& center, double radius) {
+  NSMODEL_CHECK(radius >= 0.0, "disk radius must be >= 0");
+  const double rho = radius * std::sqrt(rng.uniform());
+  const double theta = rng.uniform(0.0, 2.0 * M_PI);
+  return center + Vec2{rho * std::cos(theta), rho * std::sin(theta)};
+}
+
+Vec2 sampleAnnulus(support::Rng& rng, const Vec2& center, double innerRadius,
+                   double outerRadius) {
+  NSMODEL_CHECK(innerRadius >= 0.0 && innerRadius < outerRadius,
+                "annulus requires 0 <= inner < outer");
+  const double u = rng.uniform();
+  const double rho = std::sqrt(innerRadius * innerRadius +
+                               u * (outerRadius * outerRadius -
+                                    innerRadius * innerRadius));
+  const double theta = rng.uniform(0.0, 2.0 * M_PI);
+  return center + Vec2{rho * std::cos(theta), rho * std::sin(theta)};
+}
+
+std::vector<Vec2> sampleDiskPoints(support::Rng& rng, const Vec2& center,
+                                   double radius, std::size_t count) {
+  std::vector<Vec2> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(sampleDisk(rng, center, radius));
+  }
+  return points;
+}
+
+std::vector<Vec2> sampleJitteredGridDisk(support::Rng& rng, const Vec2& center,
+                                         double radius, double spacing,
+                                         double jitter) {
+  NSMODEL_CHECK(spacing > 0.0, "grid spacing must be positive");
+  NSMODEL_CHECK(jitter >= 0.0 && jitter <= 1.0, "jitter must lie in [0, 1]");
+  std::vector<Vec2> points;
+  const auto steps = static_cast<long>(std::ceil(radius / spacing));
+  for (long iy = -steps; iy <= steps; ++iy) {
+    for (long ix = -steps; ix <= steps; ++ix) {
+      Vec2 p{static_cast<double>(ix) * spacing,
+             static_cast<double>(iy) * spacing};
+      if (jitter > 0.0) {
+        const double half = jitter * spacing * 0.5;
+        p += Vec2{rng.uniform(-half, half), rng.uniform(-half, half)};
+      }
+      if (p.normSquared() <= radius * radius) points.push_back(center + p);
+    }
+  }
+  return points;
+}
+
+}  // namespace nsmodel::geom

@@ -1,0 +1,32 @@
+// Uniform point sampling in disks and annuli.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::geom {
+
+/// One point uniformly distributed in the disk of radius `radius` centred
+/// at `center`.
+Vec2 sampleDisk(support::Rng& rng, const Vec2& center, double radius);
+
+/// One point uniformly distributed in the annulus innerRadius < d <=
+/// outerRadius around `center`. Requires 0 <= innerRadius < outerRadius.
+Vec2 sampleAnnulus(support::Rng& rng, const Vec2& center, double innerRadius,
+                   double outerRadius);
+
+/// `count` i.i.d. uniform points in the disk.
+std::vector<Vec2> sampleDiskPoints(support::Rng& rng, const Vec2& center,
+                                   double radius, std::size_t count);
+
+/// Points on a jittered grid clipped to the disk: a deterministic,
+/// low-discrepancy alternative deployment used in tests and ablations.
+/// `spacing` is the grid pitch; `jitter` in [0, 1] scales a uniform offset
+/// of up to jitter*spacing/2 per axis.
+std::vector<Vec2> sampleJitteredGridDisk(support::Rng& rng, const Vec2& center,
+                                         double radius, double spacing,
+                                         double jitter);
+
+}  // namespace nsmodel::geom

@@ -1,0 +1,58 @@
+#include "geom/rings.hpp"
+
+#include <cmath>
+
+#include "geom/circle.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::geom {
+
+RingGeometry::RingGeometry(int ringCount, double ringWidth)
+    : ringCount_(ringCount), ringWidth_(ringWidth) {
+  NSMODEL_CHECK(ringCount >= 1, "RingGeometry needs at least one ring");
+  NSMODEL_CHECK(ringWidth > 0.0, "ring width must be positive");
+}
+
+double RingGeometry::fieldRadius() const {
+  return static_cast<double>(ringCount_) * ringWidth_;
+}
+
+double RingGeometry::ringArea(int k) const {
+  if (k < 1 || k > ringCount_) return 0.0;
+  const double r = ringWidth_;
+  const double outer = static_cast<double>(k) * r;
+  const double inner = static_cast<double>(k - 1) * r;
+  return M_PI * (outer * outer - inner * inner);
+}
+
+double RingGeometry::ringDiskIntersection(int k, double centerDist,
+                                          double radius) const {
+  if (k < 1 || k > ringCount_) return 0.0;
+  NSMODEL_CHECK(centerDist >= 0.0, "centre distance must be >= 0");
+  NSMODEL_CHECK(radius >= 0.0, "radius must be >= 0");
+  const double outer = static_cast<double>(k) * ringWidth_;
+  const double inner = static_cast<double>(k - 1) * ringWidth_;
+  return lensArea(outer, radius, centerDist) -
+         lensArea(inner, radius, centerDist);
+}
+
+double RingGeometry::radialPosition(int j, double x) const {
+  NSMODEL_CHECK(j >= 1 && j <= ringCount_, "ring index out of range");
+  NSMODEL_CHECK(x >= 0.0 && x <= ringWidth_,
+                "radial offset must lie in [0, ring width]");
+  return static_cast<double>(j - 1) * ringWidth_ + x;
+}
+
+double RingGeometry::coverageArea(int j, double x, int k) const {
+  return ringDiskIntersection(k, radialPosition(j, x), ringWidth_);
+}
+
+double RingGeometry::carrierSenseArea(int j, double x, int k,
+                                      double csFactor) const {
+  NSMODEL_CHECK(csFactor > 1.0, "carrier-sense factor must exceed 1");
+  const double centerDist = radialPosition(j, x);
+  return ringDiskIntersection(k, centerDist, csFactor * ringWidth_) -
+         ringDiskIntersection(k, centerDist, ringWidth_);
+}
+
+}  // namespace nsmodel::geom

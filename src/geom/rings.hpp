@@ -1,0 +1,56 @@
+// Concentric-ring decomposition of the deployment disk (Section 4.2.2 and
+// Appendix A of the paper).
+//
+// The analytical framework partitions the field (a disk of radius P*r) into
+// P rings R_1..R_P of width r.  For a node u in ring R_j at radial offset
+// x in [0, r] from the ring's inner boundary, it needs
+//
+//   A(x, k): the area of ring R_k within u's transmission range r,
+//   B(x, k): the area of ring R_k within u's carrier-sensing annulus
+//            (distance in (r, cs*r] from u, cs = 2 in the paper).
+//
+// Both are derived from the circle-intersection primitive; this header
+// exposes them for arbitrary k so callers can iterate k = j-1..j+1
+// (resp. j-2..j+2) exactly as the paper does, with out-of-range rings
+// returning zero area.
+#pragma once
+
+#include <vector>
+
+namespace nsmodel::geom {
+
+/// Geometry of the P-ring decomposition with ring width `r`.
+class RingGeometry {
+ public:
+  /// `ringCount` = P (>= 1), `ringWidth` = r (> 0).
+  RingGeometry(int ringCount, double ringWidth);
+
+  int ringCount() const { return ringCount_; }
+  double ringWidth() const { return ringWidth_; }
+
+  /// Outer radius of the field, P * r.
+  double fieldRadius() const;
+
+  /// Area C_k of ring R_k (1-based). Rings outside 1..P have zero area.
+  double ringArea(int k) const;
+
+  /// Area of ring R_k within distance `radius` of a point at distance
+  /// `centerDist` from the field centre. Zero for k outside 1..P.
+  double ringDiskIntersection(int k, double centerDist, double radius) const;
+
+  /// A(x, k) for u in ring j at offset x in [0, r] from the inner boundary.
+  double coverageArea(int j, double x, int k) const;
+
+  /// B(x, k): ring R_k within the annulus (r, csFactor*r] around u.
+  /// csFactor > 1 (the paper uses 2).
+  double carrierSenseArea(int j, double x, int k, double csFactor = 2.0) const;
+
+  /// Radial distance of u in ring j at offset x from the field centre.
+  double radialPosition(int j, double x) const;
+
+ private:
+  int ringCount_;
+  double ringWidth_;
+};
+
+}  // namespace nsmodel::geom

@@ -1,0 +1,61 @@
+#include "geom/spatial_grid.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::geom {
+
+SpatialGrid::SpatialGrid(double cellSize) : cellSize_(cellSize) {
+  NSMODEL_CHECK(cellSize > 0.0, "SpatialGrid cell size must be positive");
+}
+
+SpatialGrid::CellKey SpatialGrid::cellOf(const Vec2& p) const {
+  return {static_cast<std::int64_t>(std::floor(p.x / cellSize_)),
+          static_cast<std::int64_t>(std::floor(p.y / cellSize_))};
+}
+
+void SpatialGrid::insert(const Vec2& p, std::uint32_t id) {
+  cells_[cellOf(p)].push_back(Entry{p, id});
+  ++count_;
+}
+
+SpatialGrid SpatialGrid::build(const std::vector<Vec2>& points,
+                               double cellSize) {
+  SpatialGrid grid(cellSize);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    grid.insert(points[i], static_cast<std::uint32_t>(i));
+  }
+  return grid;
+}
+
+void SpatialGrid::forEachWithin(
+    const Vec2& center, double radius,
+    const std::function<void(std::uint32_t, const Vec2&)>& visit) const {
+  NSMODEL_CHECK(radius >= 0.0, "query radius must be >= 0");
+  const double r2 = radius * radius;
+  const auto reach =
+      static_cast<std::int64_t>(std::ceil(radius / cellSize_));
+  const CellKey home = cellOf(center);
+  for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+    for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+      const auto it = cells_.find(CellKey{home.cx + dx, home.cy + dy});
+      if (it == cells_.end()) continue;
+      for (const Entry& entry : it->second) {
+        if (entry.position.distanceSquaredTo(center) <= r2) {
+          visit(entry.id, entry.position);
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> SpatialGrid::queryWithin(const Vec2& center,
+                                                    double radius) const {
+  std::vector<std::uint32_t> ids;
+  forEachWithin(center, radius,
+                [&ids](std::uint32_t id, const Vec2&) { ids.push_back(id); });
+  return ids;
+}
+
+}  // namespace nsmodel::geom

@@ -1,0 +1,71 @@
+// Uniform spatial hash grid for radius queries.
+//
+// Building neighbour tables for N up to a few thousand nodes per Monte-
+// Carlo replication is the hot path of deployment setup; the grid makes it
+// O(N * rho) instead of O(N^2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace nsmodel::geom {
+
+/// Maps points to square cells of a fixed size and answers radius queries.
+/// Indices stored are caller-provided (typically node ids).
+class SpatialGrid {
+ public:
+  /// `cellSize` should normally equal the most common query radius.
+  explicit SpatialGrid(double cellSize);
+
+  /// Inserts point `p` with payload `id`.
+  void insert(const Vec2& p, std::uint32_t id);
+
+  /// Bulk construction from a point array; id i = index i.
+  static SpatialGrid build(const std::vector<Vec2>& points, double cellSize);
+
+  std::size_t size() const { return count_; }
+
+  /// Calls `visit(id, position)` for every stored point within `radius`
+  /// of `center` (inclusive).
+  void forEachWithin(
+      const Vec2& center, double radius,
+      const std::function<void(std::uint32_t, const Vec2&)>& visit) const;
+
+  /// Ids of points within `radius` of `center` (inclusive).
+  std::vector<std::uint32_t> queryWithin(const Vec2& center,
+                                         double radius) const;
+
+ private:
+  struct Entry {
+    Vec2 position;
+    std::uint32_t id;
+  };
+
+  struct CellKey {
+    std::int64_t cx;
+    std::int64_t cy;
+    bool operator==(const CellKey&) const = default;
+  };
+
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const {
+      // 64-bit mix of the two cell coordinates.
+      std::uint64_t h = static_cast<std::uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<std::uint64_t>(k.cy) + 0x517cc1b727220a95ULL +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  CellKey cellOf(const Vec2& p) const;
+
+  double cellSize_;
+  std::size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<Entry>, CellHash> cells_;
+};
+
+}  // namespace nsmodel::geom

@@ -1,0 +1,45 @@
+// Two-dimensional vectors for node positions.
+#pragma once
+
+#include <cmath>
+
+namespace nsmodel::geom {
+
+/// A 2-D point / vector with double components.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double xx, double yy) : x(xx), y(yy) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  constexpr double normSquared() const { return dot(*this); }
+  double norm() const { return std::sqrt(normSquared()); }
+
+  double distanceTo(const Vec2& o) const { return (*this - o).norm(); }
+  constexpr double distanceSquaredTo(const Vec2& o) const {
+    return (*this - o).normSquared();
+  }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+}  // namespace nsmodel::geom

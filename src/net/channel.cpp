@@ -1,0 +1,186 @@
+#include "net/channel.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+const char* channelModelName(ChannelModel model) {
+  switch (model) {
+    case ChannelModel::CollisionFree:
+      return "CFM";
+    case ChannelModel::CollisionAware:
+      return "CAM";
+    case ChannelModel::CarrierSenseAware:
+      return "CAM-CS";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Epoch-stamped per-node counters reused across slots without clearing.
+class StampedCounts {
+ public:
+  void reset(std::size_t n) {
+    if (counts_.size() != n) {
+      counts_.assign(n, 0);
+      stamps_.assign(n, 0);
+      lastSender_.assign(n, kNoNode);
+      epoch_ = 0;
+    }
+    ++epoch_;
+    touched_.clear();
+  }
+
+  void bump(NodeId node, NodeId sender) {
+    if (stamps_[node] != epoch_) {
+      stamps_[node] = epoch_;
+      counts_[node] = 0;
+      touched_.push_back(node);
+    }
+    ++counts_[node];
+    lastSender_[node] = sender;
+  }
+
+  std::uint32_t count(NodeId node) const {
+    return stamps_[node] == epoch_ ? counts_[node] : 0;
+  }
+
+  NodeId sender(NodeId node) const { return lastSender_[node]; }
+
+  const std::vector<NodeId>& touched() const { return touched_; }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint64_t> stamps_;
+  std::vector<NodeId> lastSender_;
+  std::vector<NodeId> touched_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Epoch-stamped membership set for "is this node transmitting".
+class StampedSet {
+ public:
+  void reset(std::size_t n) {
+    if (stamps_.size() != n) {
+      stamps_.assign(n, 0);
+      epoch_ = 0;
+    }
+    ++epoch_;
+  }
+  void add(NodeId node) { stamps_[node] = epoch_; }
+  bool contains(NodeId node) const { return stamps_[node] == epoch_; }
+
+ private:
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t epoch_ = 0;
+};
+
+class CollisionFreeChannel final : public Channel {
+ public:
+  ChannelModel model() const override { return ChannelModel::CollisionFree; }
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const DeliverFn& deliver) override {
+    SlotOutcome outcome;
+    for (NodeId tx : transmitters) {
+      for (NodeId nb : topology.neighbors(tx)) {
+        deliver(nb, tx);
+        ++outcome.deliveries;
+      }
+    }
+    return outcome;
+  }
+};
+
+class CollisionAwareChannel final : public Channel {
+ public:
+  ChannelModel model() const override { return ChannelModel::CollisionAware; }
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const DeliverFn& deliver) override {
+    inRange_.reset(topology.nodeCount());
+    txSet_.reset(topology.nodeCount());
+    for (NodeId tx : transmitters) txSet_.add(tx);
+    for (NodeId tx : transmitters) {
+      for (NodeId nb : topology.neighbors(tx)) inRange_.bump(nb, tx);
+    }
+    SlotOutcome outcome;
+    for (NodeId receiver : inRange_.touched()) {
+      if (txSet_.contains(receiver)) continue;  // half duplex
+      if (inRange_.count(receiver) == 1) {
+        deliver(receiver, inRange_.sender(receiver));
+        ++outcome.deliveries;
+      } else {
+        ++outcome.lostReceivers;
+      }
+    }
+    return outcome;
+  }
+
+ private:
+  StampedCounts inRange_;
+  StampedSet txSet_;
+};
+
+class CarrierSenseChannel final : public Channel {
+ public:
+  ChannelModel model() const override {
+    return ChannelModel::CarrierSenseAware;
+  }
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const DeliverFn& deliver) override {
+    NSMODEL_CHECK(topology.hasCarrierSense(),
+                  "CarrierSenseChannel needs a topology built with a "
+                  "carrier-sense factor");
+    inRange_.reset(topology.nodeCount());
+    inSense_.reset(topology.nodeCount());
+    txSet_.reset(topology.nodeCount());
+    for (NodeId tx : transmitters) txSet_.add(tx);
+    for (NodeId tx : transmitters) {
+      for (NodeId nb : topology.neighbors(tx)) inRange_.bump(nb, tx);
+      for (NodeId nb : topology.carrierSenseNeighbors(tx)) {
+        inSense_.bump(nb, tx);
+      }
+    }
+    SlotOutcome outcome;
+    for (NodeId receiver : inRange_.touched()) {
+      if (txSet_.contains(receiver)) continue;  // half duplex
+      // The cs-disk contains the transmission disk, so inSense >= inRange;
+      // success needs the sole cs-range transmitter to be in range.
+      if (inRange_.count(receiver) == 1 && inSense_.count(receiver) == 1) {
+        deliver(receiver, inRange_.sender(receiver));
+        ++outcome.deliveries;
+      } else {
+        ++outcome.lostReceivers;
+      }
+    }
+    return outcome;
+  }
+
+ private:
+  StampedCounts inRange_;
+  StampedCounts inSense_;
+  StampedSet txSet_;
+};
+
+}  // namespace
+
+std::unique_ptr<Channel> makeChannel(ChannelModel model) {
+  switch (model) {
+    case ChannelModel::CollisionFree:
+      return std::make_unique<CollisionFreeChannel>();
+    case ChannelModel::CollisionAware:
+      return std::make_unique<CollisionAwareChannel>();
+    case ChannelModel::CarrierSenseAware:
+      return std::make_unique<CarrierSenseChannel>();
+  }
+  NSMODEL_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace nsmodel::net

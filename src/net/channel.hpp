@@ -1,0 +1,69 @@
+// Link-level channel models (Section 3.2).
+//
+// A channel resolves one time slot: given the set of nodes transmitting in
+// that slot, it decides which (sender, receiver) deliveries succeed.
+//
+//  * CollisionFreeChannel (CFM): every transmission reaches every
+//    neighbour of the sender — packet transmission is an atomic operation
+//    guaranteed to succeed.
+//  * CollisionAwareChannel (CAM, Assumption 6): a node receives iff
+//    exactly one of its in-range neighbours transmits in the slot.
+//    Transmitting nodes never receive (half duplex).
+//  * CarrierSenseChannel (Appendix A): additionally, any transmitter
+//    within csFactor * range of the receiver destroys the reception, so a
+//    node receives iff exactly one transmitter lies within its
+//    carrier-sense range and that transmitter is within its transmission
+//    range.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace nsmodel::net {
+
+/// Which link-level semantics a channel implements.
+enum class ChannelModel {
+  CollisionFree,
+  CollisionAware,
+  CarrierSenseAware,
+};
+
+/// Human-readable channel name ("CFM", "CAM", "CAM-CS").
+const char* channelModelName(ChannelModel model);
+
+/// Outcome statistics for one resolved slot.
+struct SlotOutcome {
+  std::size_t deliveries = 0;  ///< successful (sender, receiver) pairs
+  std::size_t lostReceivers = 0;  ///< non-transmitting nodes with at least
+                                  ///< one in-range transmitter that decoded
+                                  ///< nothing (collision victims)
+};
+
+/// Callback invoked for each successful delivery.
+using DeliverFn = std::function<void(NodeId receiver, NodeId sender)>;
+
+/// Abstract slot-resolution interface. Implementations keep reusable
+/// scratch buffers, so a channel instance is not thread-safe; use one per
+/// simulation run.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual ChannelModel model() const = 0;
+
+  /// Resolves one slot. `transmitters` are the nodes transmitting
+  /// simultaneously; `deliver` is called once per successful reception.
+  virtual SlotOutcome resolveSlot(const Topology& topology,
+                                  const std::vector<NodeId>& transmitters,
+                                  const DeliverFn& deliver) = 0;
+};
+
+/// Factory. CarrierSenseAware requires the topology passed to resolveSlot
+/// to have been built with a carrier-sense factor.
+std::unique_ptr<Channel> makeChannel(ChannelModel model);
+
+}  // namespace nsmodel::net

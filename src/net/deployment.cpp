@@ -1,0 +1,114 @@
+#include "net/deployment.hpp"
+
+#include <cmath>
+
+#include "geom/disk_sampling.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+Deployment::Deployment(std::vector<geom::Vec2> positions, NodeId source,
+                       double fieldRadius)
+    : positions_(std::move(positions)),
+      source_(source),
+      fieldRadius_(fieldRadius) {
+  NSMODEL_CHECK(!positions_.empty(), "deployment needs at least one node");
+  NSMODEL_CHECK(source_ < positions_.size(), "source id out of range");
+  NSMODEL_CHECK(fieldRadius_ > 0.0, "field radius must be positive");
+}
+
+Deployment Deployment::uniformDisk(support::Rng& rng, double fieldRadius,
+                                   std::size_t count) {
+  return uniformDiskWithSource(rng, fieldRadius, count, 0.0);
+}
+
+Deployment Deployment::uniformDiskWithSource(support::Rng& rng,
+                                             double fieldRadius,
+                                             std::size_t count,
+                                             double sourceRadiusFraction) {
+  NSMODEL_CHECK(count >= 1, "deployment needs at least one node");
+  NSMODEL_CHECK(sourceRadiusFraction >= 0.0 && sourceRadiusFraction <= 1.0,
+                "source radius fraction must lie in [0, 1]");
+  std::vector<geom::Vec2> positions;
+  positions.reserve(count);
+  positions.emplace_back(sourceRadiusFraction * fieldRadius, 0.0);
+  for (std::size_t i = 1; i < count; ++i) {
+    positions.push_back(geom::sampleDisk(rng, {0.0, 0.0}, fieldRadius));
+  }
+  return Deployment(std::move(positions), 0, fieldRadius);
+}
+
+Deployment Deployment::paperDisk(support::Rng& rng, int rings,
+                                 double ringWidth, double neighborDensity) {
+  NSMODEL_CHECK(rings >= 1, "need at least one ring");
+  NSMODEL_CHECK(ringWidth > 0.0, "ring width must be positive");
+  NSMODEL_CHECK(neighborDensity > 0.0, "rho must be positive");
+  // N = delta * pi * (P r)^2 with rho = delta * pi * r^2  =>  N = rho P^2.
+  const double n = neighborDensity * static_cast<double>(rings) *
+                   static_cast<double>(rings);
+  const auto count = static_cast<std::size_t>(std::llround(n));
+  return uniformDisk(rng, static_cast<double>(rings) * ringWidth,
+                     std::max<std::size_t>(1, count));
+}
+
+Deployment Deployment::jitteredGrid(support::Rng& rng, double fieldRadius,
+                                    double spacing, double jitter) {
+  auto positions =
+      geom::sampleJitteredGridDisk(rng, {0.0, 0.0}, fieldRadius, spacing,
+                                   jitter);
+  NSMODEL_CHECK(!positions.empty(),
+                "grid spacing too coarse: no nodes inside the field");
+  NodeId best = 0;
+  double bestDist = positions[0].normSquared();
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    const double d = positions[i].normSquared();
+    if (d < bestDist) {
+      bestDist = d;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return Deployment(std::move(positions), best, fieldRadius);
+}
+
+Deployment Deployment::radialGradientDisk(
+    support::Rng& rng, double ringWidth,
+    const std::vector<double>& neighborDensityPerRing) {
+  NSMODEL_CHECK(ringWidth > 0.0, "ring width must be positive");
+  NSMODEL_CHECK(!neighborDensityPerRing.empty(),
+                "need at least one ring density");
+  std::vector<geom::Vec2> positions;
+  positions.emplace_back(0.0, 0.0);  // the source
+  for (std::size_t k = 1; k <= neighborDensityPerRing.size(); ++k) {
+    const double rho = neighborDensityPerRing[k - 1];
+    NSMODEL_CHECK(rho >= 0.0, "ring densities must be non-negative");
+    // N_k = delta_k * C_k with delta_k = rho_k / (pi r^2) and
+    // C_k = pi r^2 (2k - 1).
+    const auto count = static_cast<std::size_t>(
+        std::llround(rho * (2.0 * static_cast<double>(k) - 1.0)));
+    const double inner = static_cast<double>(k - 1) * ringWidth;
+    const double outer = static_cast<double>(k) * ringWidth;
+    for (std::size_t i = 0; i < count; ++i) {
+      positions.push_back(inner == 0.0
+                              ? geom::sampleDisk(rng, {0.0, 0.0}, outer)
+                              : geom::sampleAnnulus(rng, {0.0, 0.0}, inner,
+                                                    outer));
+    }
+  }
+  const double fieldRadius =
+      static_cast<double>(neighborDensityPerRing.size()) * ringWidth;
+  return Deployment(std::move(positions), 0, fieldRadius);
+}
+
+const geom::Vec2& Deployment::position(NodeId id) const {
+  NSMODEL_CHECK(id < positions_.size(), "node id out of range");
+  return positions_[id];
+}
+
+int Deployment::ringOf(NodeId id, double ringWidth) const {
+  NSMODEL_CHECK(ringWidth > 0.0, "ring width must be positive");
+  const double dist = position(id).norm();
+  if (dist == 0.0) return 1;
+  return static_cast<int>(std::ceil(dist / ringWidth));
+}
+
+}  // namespace nsmodel::net

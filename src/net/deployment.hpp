@@ -1,0 +1,72 @@
+// Network deployments (Section 4: uniform deployment in a disk of radius
+// P*r with the source at the centre), plus alternatives for ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/packet.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::net {
+
+/// Node positions plus the designated source.
+class Deployment {
+ public:
+  Deployment(std::vector<geom::Vec2> positions, NodeId source,
+             double fieldRadius);
+
+  /// The paper's deployment: `count` nodes uniform in a disk of radius
+  /// `fieldRadius`; node 0 is the source, pinned at the centre.
+  /// `count` includes the source and must be >= 1.
+  static Deployment uniformDisk(support::Rng& rng, double fieldRadius,
+                                std::size_t count);
+
+  /// Like uniformDisk, but the source (node 0) is pinned at radial
+  /// distance `sourceRadiusFraction * fieldRadius` from the centre
+  /// (fraction in [0, 1]; 0 recovers the paper's central placement).
+  /// Used to probe the analysis's centred-source assumption.
+  static Deployment uniformDiskWithSource(support::Rng& rng,
+                                          double fieldRadius,
+                                          std::size_t count,
+                                          double sourceRadiusFraction);
+
+  /// The paper's configuration expressed in its own parameters: field
+  /// radius P*r, expected neighbour count rho = delta*pi*r^2, hence
+  /// N = rho * P^2 nodes (rounded).
+  static Deployment paperDisk(support::Rng& rng, int rings, double ringWidth,
+                              double neighborDensity);
+
+  /// Jittered-grid deployment clipped to the disk (grid ablation; cf. the
+  /// percolation-based grid study the paper cites). The node closest to the
+  /// centre becomes the source.
+  static Deployment jitteredGrid(support::Rng& rng, double fieldRadius,
+                                 double spacing, double jitter);
+
+  /// Radially non-uniform deployment: ring k (width `ringWidth`) holds
+  /// round(rho_k * (2k - 1)) nodes placed uniformly within the ring, where
+  /// rho_k = neighborDensityPerRing[k-1] is that ring's local average
+  /// neighbour count. Models the spatial density variation the paper's
+  /// Section 6 raises. Node 0 is the source, pinned at the centre.
+  static Deployment radialGradientDisk(
+      support::Rng& rng, double ringWidth,
+      const std::vector<double>& neighborDensityPerRing);
+
+  std::size_t nodeCount() const { return positions_.size(); }
+  const std::vector<geom::Vec2>& positions() const { return positions_; }
+  const geom::Vec2& position(NodeId id) const;
+  NodeId source() const { return source_; }
+  double fieldRadius() const { return fieldRadius_; }
+
+  /// 1-based index of the concentric ring of width `ringWidth` containing
+  /// the node (ring k covers radii ((k-1)*w, k*w]); 1 for the centre.
+  int ringOf(NodeId id, double ringWidth) const;
+
+ private:
+  std::vector<geom::Vec2> positions_;
+  NodeId source_;
+  double fieldRadius_;
+};
+
+}  // namespace nsmodel::net

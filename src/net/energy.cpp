@@ -1,0 +1,56 @@
+#include "net/energy.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+EnergyLedger::EnergyLedger(std::size_t nodeCount, EnergyCosts costs)
+    : costs_(costs), tx_(nodeCount, 0), rx_(nodeCount, 0) {
+  NSMODEL_CHECK(nodeCount >= 1, "ledger needs at least one node");
+  NSMODEL_CHECK(costs.txCost >= 0.0 && costs.rxCost >= 0.0,
+                "energy costs must be non-negative");
+}
+
+void EnergyLedger::recordTx(NodeId node) {
+  NSMODEL_CHECK(node < tx_.size(), "node id out of range");
+  ++tx_[node];
+  ++totalTx_;
+}
+
+void EnergyLedger::recordRx(NodeId node) {
+  NSMODEL_CHECK(node < rx_.size(), "node id out of range");
+  ++rx_[node];
+  ++totalRx_;
+}
+
+std::uint64_t EnergyLedger::txCount(NodeId node) const {
+  NSMODEL_CHECK(node < tx_.size(), "node id out of range");
+  return tx_[node];
+}
+
+std::uint64_t EnergyLedger::rxCount(NodeId node) const {
+  NSMODEL_CHECK(node < rx_.size(), "node id out of range");
+  return rx_[node];
+}
+
+double EnergyLedger::energy(NodeId node) const {
+  return static_cast<double>(txCount(node)) * costs_.txCost +
+         static_cast<double>(rxCount(node)) * costs_.rxCost;
+}
+
+double EnergyLedger::totalEnergy() const {
+  return static_cast<double>(totalTx_) * costs_.txCost +
+         static_cast<double>(totalRx_) * costs_.rxCost;
+}
+
+double EnergyLedger::maxNodeEnergy() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < tx_.size(); ++i) {
+    best = std::max(best, energy(static_cast<NodeId>(i)));
+  }
+  return best;
+}
+
+}  // namespace nsmodel::net

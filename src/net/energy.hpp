@@ -1,0 +1,56 @@
+// Per-node energy accounting (Assumptions 1 and 4).
+//
+// Radios are assumed off when idle, so only transmission and reception
+// cost energy, and the per-packet cost is identical for both and across
+// nodes. The paper's energy metric M counts broadcasts only; the ledger
+// additionally tracks receptions so downstream users can charge e_a per
+// packet on both sides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nsmodel::net {
+
+/// Per-packet costs. The paper's CFM cost is e_f, CAM's is e_a <= e_f.
+struct EnergyCosts {
+  double txCost = 1.0;
+  double rxCost = 1.0;
+};
+
+/// Accumulates transmission/reception counts and energy per node.
+class EnergyLedger {
+ public:
+  EnergyLedger(std::size_t nodeCount, EnergyCosts costs);
+
+  void recordTx(NodeId node);
+  void recordRx(NodeId node);
+
+  std::uint64_t txCount() const { return totalTx_; }
+  std::uint64_t rxCount() const { return totalRx_; }
+  std::uint64_t txCount(NodeId node) const;
+  std::uint64_t rxCount(NodeId node) const;
+
+  /// Energy spent by one node.
+  double energy(NodeId node) const;
+
+  /// Total energy across the network.
+  double totalEnergy() const;
+
+  /// Highest per-node energy (the bottleneck node, relevant for lifetime).
+  double maxNodeEnergy() const;
+
+  std::size_t nodeCount() const { return tx_.size(); }
+  const EnergyCosts& costs() const { return costs_; }
+
+ private:
+  EnergyCosts costs_;
+  std::vector<std::uint32_t> tx_;
+  std::vector<std::uint32_t> rx_;
+  std::uint64_t totalTx_ = 0;
+  std::uint64_t totalRx_ = 0;
+};
+
+}  // namespace nsmodel::net

@@ -1,0 +1,75 @@
+#include "net/fading.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+FadingChannel::FadingChannel(const Deployment& deployment,
+                             FadingParams params)
+    : deployment_(deployment),
+      params_(params),
+      rng_(support::Rng::forStream(params.seed, 0xFADE5EEDULL)) {
+  NSMODEL_CHECK(params.nominalRange > 0.0, "nominal range must be positive");
+  NSMODEL_CHECK(params.transitionWidth > 0.0 && params.transitionWidth < 1.0,
+                "transition width must lie in (0, 1)");
+}
+
+double FadingChannel::reachProbability(double distance) const {
+  NSMODEL_CHECK(distance >= 0.0, "distance must be non-negative");
+  const double r = params_.nominalRange;
+  const double w = params_.transitionWidth;
+  const double inner = (1.0 - w) * r;
+  const double outer = (1.0 + w) * r;
+  if (distance <= inner) return 1.0;
+  if (distance >= outer) return 0.0;
+  return (outer - distance) / (outer - inner);
+}
+
+SlotOutcome FadingChannel::resolveSlot(const Topology& topology,
+                                       const std::vector<NodeId>& transmitters,
+                                       const DeliverFn& deliver) {
+  const std::size_t n = topology.nodeCount();
+  NSMODEL_CHECK(n == deployment_.nodeCount(),
+                "topology/deployment size mismatch");
+  if (counts_.size() != n) {
+    counts_.assign(n, 0);
+    stamps_.assign(n, 0);
+    lastSender_.assign(n, kNoNode);
+    txStamps_.assign(n, 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  touched_.clear();
+  for (NodeId tx : transmitters) txStamps_[tx] = epoch_;
+
+  // Sample which signals physically reach each candidate receiver; every
+  // reached signal both carries the packet and interferes.
+  for (NodeId tx : transmitters) {
+    const auto& txPos = deployment_.position(tx);
+    for (NodeId rx : topology.neighbors(tx)) {
+      const double d = txPos.distanceTo(deployment_.position(rx));
+      if (!rng_.bernoulli(reachProbability(d))) continue;
+      if (stamps_[rx] != epoch_) {
+        stamps_[rx] = epoch_;
+        counts_[rx] = 0;
+        touched_.push_back(rx);
+      }
+      ++counts_[rx];
+      lastSender_[rx] = tx;
+    }
+  }
+
+  SlotOutcome outcome;
+  for (NodeId rx : touched_) {
+    if (txStamps_[rx] == epoch_) continue;  // half duplex
+    if (counts_[rx] == 1) {
+      deliver(rx, lastSender_[rx]);
+      ++outcome.deliveries;
+    } else {
+      ++outcome.lostReceivers;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace nsmodel::net

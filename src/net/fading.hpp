@@ -1,0 +1,69 @@
+// Fading (transitional-region) channel — relaxing Assumption 1.
+//
+// The paper's unit-disk abstraction assumes SNR stays high up to distance
+// r and collapses beyond it, explicitly ignoring "the fluctuation in SNR
+// due to shadowing and multi-path fading".  This channel restores a
+// first-order version of that fluctuation: each transmission reaches a
+// candidate receiver at distance d with probability
+//
+//   q(d) = 1                         for d <= (1 - w) r,
+//   q(d) = ((1+w)r - d) / (2 w r)    linearly falling across the
+//                                    transitional region,
+//   q(d) = 0                         for d >= (1 + w) r,
+//
+// sampled independently per (transmission, receiver).  Signals that reach
+// a receiver — decodable or not — interfere under the Assumption-6 rule:
+// the receiver decodes iff exactly one signal reached it in the slot.
+//
+// Build the Topology with range (1 + w) * r so candidate links cover the
+// whole transitional region, then hand this channel to
+// runBroadcast(...): it degrades gracefully to the unit-disk CAM channel
+// as w -> 0.
+#pragma once
+
+#include "net/channel.hpp"
+#include "net/deployment.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::net {
+
+/// Transitional-region parameters.
+struct FadingParams {
+  double nominalRange = 1.0;     ///< r
+  double transitionWidth = 0.3;  ///< w in (0, 1)
+  std::uint64_t seed = 0;        ///< stream for the per-link fades
+};
+
+/// Collision-aware channel with a probabilistic transitional region.
+class FadingChannel final : public Channel {
+ public:
+  FadingChannel(const Deployment& deployment, FadingParams params);
+
+  /// Reports CollisionAware: the collision semantics are Assumption 6;
+  /// only the reachability of individual signals is randomised.
+  ChannelModel model() const override {
+    return ChannelModel::CollisionAware;
+  }
+
+  /// Reception probability at distance `d` (no interference).
+  double reachProbability(double distance) const;
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const DeliverFn& deliver) override;
+
+ private:
+  const Deployment& deployment_;
+  FadingParams params_;
+  support::Rng rng_;
+
+  // Epoch-stamped per-receiver signal bookkeeping (cf. channel.cpp).
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint64_t> stamps_;
+  std::vector<NodeId> lastSender_;
+  std::vector<NodeId> touched_;
+  std::vector<std::uint64_t> txStamps_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace nsmodel::net

@@ -1,0 +1,25 @@
+// The packet abstraction used by the broadcast protocols.
+//
+// The paper's models are link level and its case study floods a single
+// piece of information, so the payload is irrelevant; a packet carries
+// identity and provenance only.
+#pragma once
+
+#include <cstdint>
+
+namespace nsmodel::net {
+
+/// Node identifier; nodes are numbered 0..N-1 within a deployment.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+/// A broadcast packet.
+struct Packet {
+  NodeId origin = kNoNode;  ///< node that initiated the broadcast
+  NodeId sender = kNoNode;  ///< node that transmitted this copy
+  std::uint32_t hopCount = 0;  ///< hops from the origin (origin tx = 1)
+};
+
+}  // namespace nsmodel::net

@@ -1,0 +1,75 @@
+#include "net/tdma.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+namespace {
+
+/// Calls `visit` for every node at graph distance exactly 1 or 2 from u
+/// (duplicates possible; callers tolerate them).
+template <typename Visitor>
+void forEachWithinTwoHops(const Topology& topology, NodeId u,
+                          Visitor&& visit) {
+  for (NodeId v : topology.neighbors(u)) {
+    visit(v);
+    for (NodeId w : topology.neighbors(v)) {
+      if (w != u) visit(w);
+    }
+  }
+}
+
+}  // namespace
+
+bool TdmaSchedule::isValidFor(const Topology& topology) const {
+  if (slotOf.size() != topology.nodeCount()) return false;
+  for (NodeId u = 0; u < topology.nodeCount(); ++u) {
+    if (slotOf[u] < 0 || slotOf[u] >= frameLength) return false;
+    bool conflict = false;
+    forEachWithinTwoHops(topology, u, [&](NodeId other) {
+      if (other != u && slotOf[other] == slotOf[u]) conflict = true;
+    });
+    if (conflict) return false;
+  }
+  return true;
+}
+
+TdmaSchedule buildTdmaSchedule(const Topology& topology) {
+  const std::size_t n = topology.nodeCount();
+  TdmaSchedule schedule;
+  schedule.slotOf.assign(n, -1);
+
+  // Colour in descending-degree order: high-degree nodes first keeps the
+  // colour count near the clique bound.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const auto da = topology.neighbors(a).size();
+    const auto db = topology.neighbors(b).size();
+    if (da != db) return da > db;
+    return a < b;  // deterministic tie-break
+  });
+
+  std::vector<char> taken;
+  for (NodeId u : order) {
+    taken.assign(static_cast<std::size_t>(schedule.frameLength) + 1, 0);
+    forEachWithinTwoHops(topology, u, [&](NodeId other) {
+      const int slot = schedule.slotOf[other];
+      if (slot >= 0 && slot < static_cast<int>(taken.size())) {
+        taken[slot] = 1;
+      }
+    });
+    int slot = 0;
+    while (slot < static_cast<int>(taken.size()) && taken[slot]) ++slot;
+    schedule.slotOf[u] = slot;
+    schedule.frameLength = std::max(schedule.frameLength, slot + 1);
+  }
+  NSMODEL_ASSERT(schedule.frameLength >= 1 || n == 0);
+  if (schedule.frameLength == 0) schedule.frameLength = 1;
+  return schedule;
+}
+
+}  // namespace nsmodel::net

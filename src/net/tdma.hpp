@@ -1,0 +1,41 @@
+// TDMA slot assignment — the second CFM implementation of Section 3.2.1.
+//
+// "TDMA exploits the time diversity by assigning to each sensor node a
+// specific time slot that is ideally unique in its neighborhood."  For
+// the Assumption-6 collision rule, "unique in its neighbourhood" must
+// mean unique within *distance two*: if two transmitters share a slot and
+// share a neighbour, that neighbour loses both packets.  A distance-2
+// vertex colouring therefore yields a provably collision-free schedule:
+// run the slotted broadcast machinery with slotsPerPhase = frame length
+// and every node transmitting in its own colour's slot, and the CAM
+// channel can never destroy a reception (property-tested).
+//
+// The price is time: the frame must be at least as long as the largest
+// distance-2 neighbourhood, which grows linearly with density — the
+// "additional hardware and more complicated coordination" trade-off the
+// paper describes, quantified by bench/tdma_vs_csma.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace nsmodel::net {
+
+/// A TDMA schedule: one slot per node, valid within a frame.
+struct TdmaSchedule {
+  std::vector<int> slotOf;  ///< per-node slot in [0, frameLength)
+  int frameLength = 0;      ///< number of slots per frame
+
+  /// True when no two distinct nodes at graph distance <= 2 share a slot
+  /// (the collision-freedom condition under Assumption 6).
+  bool isValidFor(const Topology& topology) const;
+};
+
+/// Greedy distance-2 colouring in descending-degree order. The frame
+/// length is (number of colours used); it is at most
+/// max_{v} |N2(v)| + 1 and typically close to the largest two-hop
+/// neighbourhood.
+TdmaSchedule buildTdmaSchedule(const Topology& topology);
+
+}  // namespace nsmodel::net

@@ -1,0 +1,87 @@
+#include "net/topology.hpp"
+
+#include <deque>
+
+#include "geom/spatial_grid.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+Topology::Topology(const Deployment& deployment, double range,
+                   double csFactor)
+    : range_(range) {
+  NSMODEL_CHECK(range > 0.0, "transmission range must be positive");
+  NSMODEL_CHECK(csFactor == 0.0 || csFactor > 1.0,
+                "carrier-sense factor must be 0 (off) or > 1");
+  const auto& positions = deployment.positions();
+  const auto n = positions.size();
+  neighbors_.resize(n);
+
+  const auto grid = geom::SpatialGrid::build(positions, range);
+  for (NodeId id = 0; id < n; ++id) {
+    grid.forEachWithin(positions[id], range,
+                       [&](NodeId other, const geom::Vec2&) {
+                         if (other != id) neighbors_[id].push_back(other);
+                       });
+  }
+
+  if (csFactor > 1.0) {
+    csRange_ = csFactor * range;
+    csNeighbors_.resize(n);
+    for (NodeId id = 0; id < n; ++id) {
+      grid.forEachWithin(positions[id], csRange_,
+                         [&](NodeId other, const geom::Vec2&) {
+                           if (other != id) csNeighbors_[id].push_back(other);
+                         });
+    }
+  }
+}
+
+double Topology::carrierSenseRange() const {
+  NSMODEL_CHECK(hasCarrierSense(), "carrier sensing not configured");
+  return csRange_;
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId id) const {
+  NSMODEL_CHECK(id < neighbors_.size(), "node id out of range");
+  return neighbors_[id];
+}
+
+const std::vector<NodeId>& Topology::carrierSenseNeighbors(NodeId id) const {
+  NSMODEL_CHECK(hasCarrierSense(), "carrier sensing not configured");
+  NSMODEL_CHECK(id < csNeighbors_.size(), "node id out of range");
+  return csNeighbors_[id];
+}
+
+double Topology::averageDegree() const {
+  if (neighbors_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& adj : neighbors_) total += adj.size();
+  return static_cast<double>(total) / static_cast<double>(neighbors_.size());
+}
+
+std::size_t Topology::reachableCount(NodeId start) const {
+  NSMODEL_CHECK(start < neighbors_.size(), "node id out of range");
+  std::vector<bool> seen(neighbors_.size(), false);
+  std::deque<NodeId> frontier{start};
+  seen[start] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : neighbors_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return count;
+}
+
+bool Topology::isConnected() const {
+  return reachableCount(0) == neighbors_.size();
+}
+
+}  // namespace nsmodel::net

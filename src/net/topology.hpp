@@ -1,0 +1,50 @@
+// Neighbour tables over a deployment (Assumptions 2 and 3: symmetric
+// links, every node knows its neighbours).
+#pragma once
+
+#include <vector>
+
+#include "net/deployment.hpp"
+
+namespace nsmodel::net {
+
+/// Immutable adjacency derived from positions and the transmission range.
+/// Optionally also precomputes the carrier-sense neighbourhood (nodes
+/// within csFactor * range) used by the Appendix-A channel.
+class Topology {
+ public:
+  /// Builds range-`range` adjacency. When `csFactor` > 1, carrier-sense
+  /// adjacency at csFactor*range is built as well.
+  Topology(const Deployment& deployment, double range, double csFactor = 0.0);
+
+  std::size_t nodeCount() const { return neighbors_.size(); }
+  double range() const { return range_; }
+  bool hasCarrierSense() const { return !csNeighbors_.empty(); }
+  double carrierSenseRange() const;
+
+  /// Nodes within `range` of `id`, excluding `id` itself.
+  const std::vector<NodeId>& neighbors(NodeId id) const;
+
+  /// Nodes within the carrier-sense range of `id`, excluding `id`;
+  /// requires hasCarrierSense(). Includes the transmission-range
+  /// neighbours (it is the full cs-disk, not the annulus).
+  const std::vector<NodeId>& carrierSenseNeighbors(NodeId id) const;
+
+  /// Average number of neighbours (the empirical rho).
+  double averageDegree() const;
+
+  /// True when every node can reach every other through links
+  /// (BFS from node 0).
+  bool isConnected() const;
+
+  /// Number of nodes reachable from `start` through links (incl. start).
+  std::size_t reachableCount(NodeId start) const;
+
+ private:
+  double range_;
+  double csRange_ = 0.0;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<NodeId>> csNeighbors_;
+};
+
+}  // namespace nsmodel::net

@@ -1,0 +1,69 @@
+// Umbrella header: the public API of the nsmodel library.
+//
+// Most applications only need core/network_model.hpp (the Fig. 1 abstract
+// network model facade); this header pulls in the full surface for
+// exploratory use.  See README.md for the architecture and layering.
+#pragma once
+
+// Support: parallel runtime, RNG streams, statistics, quadrature, tables.
+#include "support/cli_args.hpp"
+#include "support/error.hpp"
+#include "support/integrate.hpp"
+#include "support/log_math.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+// Geometry: Eq. 1 and the ring decomposition.
+#include "geom/circle.hpp"
+#include "geom/disk_sampling.hpp"
+#include "geom/rings.hpp"
+#include "geom/spatial_grid.hpp"
+#include "geom/vec2.hpp"
+
+// Analytical framework: mu / mu', the Eq. 4 recursion, Fig. 12 estimator.
+#include "analytic/mu.hpp"
+#include "analytic/mu_literal.hpp"
+#include "analytic/ring_model.hpp"
+#include "analytic/success_rate.hpp"
+
+// Discrete-event engine.
+#include "des/engine.hpp"
+#include "des/event_queue.hpp"
+
+// Network substrate: deployments, topologies, channels, energy.
+#include "net/channel.hpp"
+#include "net/deployment.hpp"
+#include "net/energy.hpp"
+#include "net/fading.hpp"
+#include "net/packet.hpp"
+#include "net/tdma.hpp"
+#include "net/topology.hpp"
+
+// Broadcast protocols.
+#include "protocols/adaptive.hpp"
+#include "protocols/broadcast_protocol.hpp"
+#include "protocols/counter_based.hpp"
+#include "protocols/distance_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "protocols/tdma_flooding.hpp"
+
+// Simulation harnesses.
+#include "sim/async_experiment.hpp"
+#include "sim/convergecast.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/reliable.hpp"
+#include "sim/run_result.hpp"
+#include "sim/trace_export.hpp"
+
+// The abstract network model, metrics, and optimizer.
+#include "core/cfm_analysis.hpp"
+#include "core/cfm_cost.hpp"
+#include "core/comm_model.hpp"
+#include "core/metrics.hpp"
+#include "core/network_model.hpp"
+#include "core/optimizer.hpp"

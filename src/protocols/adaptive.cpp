@@ -1,0 +1,34 @@
+#include "protocols/adaptive.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace nsmodel::protocols {
+
+DegreeAdaptiveBroadcast::DegreeAdaptiveBroadcast(double gain,
+                                                 double minProbability)
+    : gain_(gain), minProbability_(minProbability) {
+  NSMODEL_CHECK(gain > 0.0, "gain must be positive");
+  NSMODEL_CHECK(minProbability >= 0.0 && minProbability <= 1.0,
+                "minimum probability must lie in [0, 1]");
+}
+
+double DegreeAdaptiveBroadcast::probabilityFor(std::size_t degree) const {
+  if (degree == 0) return 1.0;  // nothing to collide with
+  return std::clamp(gain_ / static_cast<double>(degree), minProbability_,
+                    1.0);
+}
+
+RebroadcastDecision DegreeAdaptiveBroadcast::onFirstReception(
+    net::NodeId node, net::NodeId, ProtocolContext& ctx) {
+  NSMODEL_CHECK(ctx.topology != nullptr,
+                "degree-adaptive broadcast needs neighbour tables "
+                "(ProtocolContext::topology)");
+  const int slot = static_cast<int>(
+      ctx.rng.below(static_cast<std::uint64_t>(ctx.slotsPerPhase)));
+  const double p = probabilityFor(ctx.topology->neighbors(node).size());
+  return RebroadcastDecision{ctx.rng.bernoulli(p), slot};
+}
+
+}  // namespace nsmodel::protocols

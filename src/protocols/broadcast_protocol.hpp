@@ -1,0 +1,76 @@
+// Node-local rebroadcast policies (the algorithm layer of Fig. 1).
+//
+// A broadcast protocol decides, per node, whether and when to rebroadcast
+// a packet after first receiving it.  The execution model is the paper's
+// jittered phase scheme: a node that first receives in phase T_{i-1} may
+// transmit once, in a slot of phase T_i chosen by the protocol (all
+// protocols here jitter uniformly, modelling [30]'s jitter technique).
+//
+// Protocols are deliberately ignorant of the channel model: handling (or
+// tolerating) collisions at the algorithm level is exactly the CAM design
+// burden the paper discusses.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/deployment.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::protocols {
+
+/// Per-run environment handed to protocol callbacks.
+struct ProtocolContext {
+  int slotsPerPhase;        ///< s
+  support::Rng& rng;        ///< the run's RNG stream
+  /// Node positions, for location-aware schemes (area-based broadcast).
+  /// Null for protocols that must work without location knowledge.
+  const net::Deployment* deployment = nullptr;
+  /// Neighbour tables, for degree-aware schemes (Assumption 3: every node
+  /// knows its neighbours). Null when unavailable.
+  const net::Topology* topology = nullptr;
+};
+
+/// What a node does after its first reception.
+struct RebroadcastDecision {
+  bool transmit = false;  ///< rebroadcast at all?
+  int slot = 0;           ///< slot within the next phase, in [0, s)
+};
+
+/// Interface implemented by every broadcast scheme.
+class BroadcastProtocol {
+ public:
+  virtual ~BroadcastProtocol() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once per run before the source transmits.
+  virtual void reset(std::size_t nodeCount) { (void)nodeCount; }
+
+  /// Called on a node's first reception of the packet; `sender` is the
+  /// node whose transmission was decoded.
+  virtual RebroadcastDecision onFirstReception(net::NodeId node,
+                                               net::NodeId sender,
+                                               ProtocolContext& ctx) = 0;
+
+  /// Called when `node` hears a duplicate (from `sender`) while its own
+  /// rebroadcast is still pending. Return false to cancel the pending
+  /// rebroadcast (counter-based and area-based schemes); the default
+  /// keeps it.
+  virtual bool keepPendingAfterDuplicate(net::NodeId node,
+                                         net::NodeId sender,
+                                         ProtocolContext& ctx) {
+    (void)node;
+    (void)sender;
+    (void)ctx;
+    return true;
+  }
+};
+
+/// Creates a fresh protocol instance per run (protocols carry per-run
+/// state, e.g. duplicate counters).
+using ProtocolFactory = std::function<std::unique_ptr<BroadcastProtocol>()>;
+
+}  // namespace nsmodel::protocols

@@ -1,0 +1,35 @@
+#include "protocols/counter_based.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::protocols {
+
+CounterBasedBroadcast::CounterBasedBroadcast(int threshold)
+    : threshold_(threshold) {
+  NSMODEL_CHECK(threshold >= 2, "counter threshold must be >= 2");
+}
+
+void CounterBasedBroadcast::reset(std::size_t nodeCount) {
+  heardCount_.assign(nodeCount, 0);
+}
+
+RebroadcastDecision CounterBasedBroadcast::onFirstReception(
+    net::NodeId node, net::NodeId, ProtocolContext& ctx) {
+  NSMODEL_CHECK(node < heardCount_.size(),
+                "protocol not reset for this deployment");
+  heardCount_[node] = 1;
+  return RebroadcastDecision{
+      true, static_cast<int>(ctx.rng.below(
+                static_cast<std::uint64_t>(ctx.slotsPerPhase)))};
+}
+
+bool CounterBasedBroadcast::keepPendingAfterDuplicate(net::NodeId node,
+                                                      net::NodeId,
+                                                      ProtocolContext&) {
+  NSMODEL_CHECK(node < heardCount_.size(),
+                "protocol not reset for this deployment");
+  ++heardCount_[node];
+  return heardCount_[node] < threshold_;
+}
+
+}  // namespace nsmodel::protocols

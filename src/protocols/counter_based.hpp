@@ -1,0 +1,35 @@
+// Counter-based broadcasting (Williams & Camp's taxonomy; listed by the
+// paper as future work).  A node schedules a rebroadcast like flooding
+// does, but cancels it after hearing the packet `threshold` or more times
+// in total — overheard duplicates signal that the neighbourhood is already
+// covered.
+#pragma once
+
+#include <vector>
+
+#include "protocols/broadcast_protocol.hpp"
+
+namespace nsmodel::protocols {
+
+class CounterBasedBroadcast final : public BroadcastProtocol {
+ public:
+  /// Cancels the pending rebroadcast once a node has heard the packet
+  /// `threshold` times (first reception included). threshold >= 2.
+  explicit CounterBasedBroadcast(int threshold);
+
+  const char* name() const override { return "counter-based-broadcast"; }
+  int threshold() const { return threshold_; }
+
+  void reset(std::size_t nodeCount) override;
+  RebroadcastDecision onFirstReception(net::NodeId node,
+                                       net::NodeId sender,
+                                       ProtocolContext& ctx) override;
+  bool keepPendingAfterDuplicate(net::NodeId node, net::NodeId sender,
+                                 ProtocolContext& ctx) override;
+
+ private:
+  int threshold_;
+  std::vector<int> heardCount_;
+};
+
+}  // namespace nsmodel::protocols

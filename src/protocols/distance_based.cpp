@@ -1,0 +1,41 @@
+#include "protocols/distance_based.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::protocols {
+
+DistanceBasedBroadcast::DistanceBasedBroadcast(double thresholdFraction,
+                                               double range) {
+  NSMODEL_CHECK(thresholdFraction >= 0.0 && thresholdFraction <= 1.0,
+                "distance threshold fraction must lie in [0, 1]");
+  NSMODEL_CHECK(range > 0.0, "transmission range must be positive");
+  threshold_ = thresholdFraction * range;
+}
+
+double DistanceBasedBroadcast::distanceTo(net::NodeId a, net::NodeId b,
+                                          const ProtocolContext& ctx) const {
+  NSMODEL_CHECK(ctx.deployment != nullptr,
+                "distance-based broadcast needs node positions "
+                "(ProtocolContext::deployment)");
+  return ctx.deployment->position(a).distanceTo(ctx.deployment->position(b));
+}
+
+RebroadcastDecision DistanceBasedBroadcast::onFirstReception(
+    net::NodeId node, net::NodeId sender, ProtocolContext& ctx) {
+  // Draw the slot unconditionally to keep RNG consumption uniform across
+  // threshold settings (common-random-number sweeps).
+  const int slot = static_cast<int>(
+      ctx.rng.below(static_cast<std::uint64_t>(ctx.slotsPerPhase)));
+  const bool farEnough = distanceTo(node, sender, ctx) > threshold_;
+  return RebroadcastDecision{farEnough, slot};
+}
+
+bool DistanceBasedBroadcast::keepPendingAfterDuplicate(net::NodeId node,
+                                                       net::NodeId sender,
+                                                       ProtocolContext& ctx) {
+  // A nearby duplicate implies the pending rebroadcast would add little
+  // area; cancel it.
+  return distanceTo(node, sender, ctx) > threshold_;
+}
+
+}  // namespace nsmodel::protocols

@@ -1,0 +1,42 @@
+// Distance-based broadcasting — the "area based scheme" of Williams &
+// Camp's taxonomy, which the paper lists as future work for its
+// analytical framework.  The packet-level simulator handles it directly.
+//
+// Idea: a reception from a nearby sender means a rebroadcast would add
+// little new coverage (the additional area of a disk of radius r centred
+// distance d away vanishes as d -> 0).  A node therefore rebroadcasts
+// only when its distance to the sender exceeds a threshold fraction of
+// the transmission range, and cancels a pending rebroadcast when a
+// duplicate arrives from close by.
+//
+// Requires location knowledge: ProtocolContext::deployment must be set.
+#pragma once
+
+#include "protocols/broadcast_protocol.hpp"
+
+namespace nsmodel::protocols {
+
+class DistanceBasedBroadcast final : public BroadcastProtocol {
+ public:
+  /// `thresholdFraction` in [0, 1]: rebroadcast only when the sender is
+  /// farther than thresholdFraction * range; duplicates from closer than
+  /// that cancel a pending rebroadcast. `range` is the transmission range
+  /// used to scale the threshold.
+  DistanceBasedBroadcast(double thresholdFraction, double range);
+
+  const char* name() const override { return "distance-based-broadcast"; }
+  double threshold() const { return threshold_; }
+
+  RebroadcastDecision onFirstReception(net::NodeId node, net::NodeId sender,
+                                       ProtocolContext& ctx) override;
+  bool keepPendingAfterDuplicate(net::NodeId node, net::NodeId sender,
+                                 ProtocolContext& ctx) override;
+
+ private:
+  double distanceTo(net::NodeId a, net::NodeId b,
+                    const ProtocolContext& ctx) const;
+
+  double threshold_;  // absolute distance threshold
+};
+
+}  // namespace nsmodel::protocols

@@ -1,0 +1,13 @@
+#include "protocols/flooding.hpp"
+
+namespace nsmodel::protocols {
+
+RebroadcastDecision SimpleFlooding::onFirstReception(net::NodeId,
+                                                     net::NodeId,
+                                                     ProtocolContext& ctx) {
+  return RebroadcastDecision{
+      true, static_cast<int>(ctx.rng.below(
+                static_cast<std::uint64_t>(ctx.slotsPerPhase)))};
+}
+
+}  // namespace nsmodel::protocols

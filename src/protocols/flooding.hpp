@@ -1,0 +1,18 @@
+// Simple flooding (Section 4): every node rebroadcasts exactly once after
+// its first reception, in a uniformly jittered slot of the next phase.
+#pragma once
+
+#include "protocols/broadcast_protocol.hpp"
+
+namespace nsmodel::protocols {
+
+class SimpleFlooding final : public BroadcastProtocol {
+ public:
+  const char* name() const override { return "simple-flooding"; }
+
+  RebroadcastDecision onFirstReception(net::NodeId node,
+                                       net::NodeId sender,
+                                       ProtocolContext& ctx) override;
+};
+
+}  // namespace nsmodel::protocols

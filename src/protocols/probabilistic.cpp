@@ -1,0 +1,24 @@
+#include "protocols/probabilistic.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::protocols {
+
+ProbabilisticBroadcast::ProbabilisticBroadcast(double probability)
+    : probability_(probability) {
+  NSMODEL_CHECK(probability >= 0.0 && probability <= 1.0,
+                "broadcast probability must lie in [0, 1]");
+}
+
+RebroadcastDecision ProbabilisticBroadcast::onFirstReception(
+    net::NodeId, net::NodeId, ProtocolContext& ctx) {
+  // Draw the slot first so the RNG consumption pattern (and therefore the
+  // rest of the run) is identical across p values with the same seed —
+  // this gives common-random-number variance reduction in p sweeps.
+  const int slot = static_cast<int>(
+      ctx.rng.below(static_cast<std::uint64_t>(ctx.slotsPerPhase)));
+  const bool transmit = ctx.rng.bernoulli(probability_);
+  return RebroadcastDecision{transmit, slot};
+}
+
+}  // namespace nsmodel::protocols

@@ -1,0 +1,27 @@
+// Probability-based broadcasting (PB_CAM, Section 4.2): after first
+// reception a node rebroadcasts exactly once with probability p, in a
+// uniformly jittered slot of the next phase, and stays silent with
+// probability 1 - p.  Simple flooding is the p = 1 special case.
+#pragma once
+
+#include "protocols/broadcast_protocol.hpp"
+
+namespace nsmodel::protocols {
+
+class ProbabilisticBroadcast final : public BroadcastProtocol {
+ public:
+  /// `probability` = p, the tunable algorithmic parameter, in [0, 1].
+  explicit ProbabilisticBroadcast(double probability);
+
+  const char* name() const override { return "probabilistic-broadcast"; }
+  double probability() const { return probability_; }
+
+  RebroadcastDecision onFirstReception(net::NodeId node,
+                                       net::NodeId sender,
+                                       ProtocolContext& ctx) override;
+
+ private:
+  double probability_;
+};
+
+}  // namespace nsmodel::protocols

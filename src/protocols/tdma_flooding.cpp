@@ -1,0 +1,23 @@
+#include "protocols/tdma_flooding.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::protocols {
+
+TdmaFlooding::TdmaFlooding(net::TdmaSchedule schedule)
+    : schedule_(std::move(schedule)) {
+  NSMODEL_CHECK(schedule_.frameLength >= 1,
+                "TDMA schedule needs at least one slot");
+}
+
+RebroadcastDecision TdmaFlooding::onFirstReception(net::NodeId node,
+                                                   net::NodeId,
+                                                   ProtocolContext& ctx) {
+  NSMODEL_CHECK(node < schedule_.slotOf.size(),
+                "node outside the TDMA schedule");
+  NSMODEL_CHECK(ctx.slotsPerPhase == schedule_.frameLength,
+                "run the experiment with slotsPerPhase == frameLength");
+  return RebroadcastDecision{true, schedule_.slotOf[node]};
+}
+
+}  // namespace nsmodel::protocols

@@ -1,0 +1,33 @@
+// Flooding over a TDMA schedule (Section 3.2.1's second CFM
+// implementation).
+//
+// Every node rebroadcasts once after first reception — like simple
+// flooding — but in its TDMA-assigned slot of the next frame instead of a
+// random jittered slot.  Run it with ExperimentConfig::slotsPerPhase set
+// to the schedule's frameLength: a phase then *is* a TDMA frame, and with
+// a valid distance-2 schedule the CAM channel can never collide
+// (lostReceivers == 0, property-tested), realising CFM semantics over the
+// collision-aware link layer at the cost of frame-length latency.
+#pragma once
+
+#include "net/tdma.hpp"
+#include "protocols/broadcast_protocol.hpp"
+
+namespace nsmodel::protocols {
+
+class TdmaFlooding final : public BroadcastProtocol {
+ public:
+  /// The schedule must have been built for the topology the run uses.
+  explicit TdmaFlooding(net::TdmaSchedule schedule);
+
+  const char* name() const override { return "tdma-flooding"; }
+  const net::TdmaSchedule& schedule() const { return schedule_; }
+
+  RebroadcastDecision onFirstReception(net::NodeId node, net::NodeId sender,
+                                       ProtocolContext& ctx) override;
+
+ private:
+  net::TdmaSchedule schedule_;
+};
+
+}  // namespace nsmodel::protocols

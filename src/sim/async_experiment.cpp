@@ -1,0 +1,260 @@
+#include "sim/async_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+AsyncRunResult::AsyncRunResult(std::size_t nodeCount, int slotsPerPhase,
+                               std::vector<double> receptionTimes,
+                               std::vector<double> transmissionTimes,
+                               std::uint64_t attemptedPairs,
+                               std::uint64_t deliveredPairs)
+    : nodeCount_(nodeCount),
+      slotsPerPhase_(slotsPerPhase),
+      receptionTimes_(std::move(receptionTimes)),
+      transmissionTimes_(std::move(transmissionTimes)),
+      attemptedPairs_(attemptedPairs),
+      deliveredPairs_(deliveredPairs) {
+  NSMODEL_CHECK(nodeCount_ >= 1, "run needs at least one node");
+  NSMODEL_CHECK(slotsPerPhase_ >= 1, "need at least one slot per phase");
+  NSMODEL_ASSERT(std::is_sorted(receptionTimes_.begin(),
+                                receptionTimes_.end()));
+  NSMODEL_ASSERT(std::is_sorted(transmissionTimes_.begin(),
+                                transmissionTimes_.end()));
+}
+
+double AsyncRunResult::finalReachability() const {
+  return std::min(1.0, static_cast<double>(reachedCount()) /
+                           static_cast<double>(nodeCount_));
+}
+
+double AsyncRunResult::reachabilityAfter(double t) const {
+  NSMODEL_CHECK(t >= 0.0, "phase count must be non-negative");
+  const double cutoff = t * static_cast<double>(slotsPerPhase_) + 1e-9;
+  const auto visible = static_cast<std::size_t>(
+      std::upper_bound(receptionTimes_.begin(), receptionTimes_.end(),
+                       cutoff) -
+      receptionTimes_.begin());
+  return static_cast<double>(visible + 1) / static_cast<double>(nodeCount_);
+}
+
+std::optional<double> AsyncRunResult::latencyForReachability(
+    double target) const {
+  NSMODEL_CHECK(target > 0.0 && target <= 1.0,
+                "reachability target must lie in (0, 1]");
+  const auto targetCount = static_cast<std::size_t>(
+      std::ceil(target * static_cast<double>(nodeCount_)));
+  if (targetCount <= 1) return 0.0;
+  const std::size_t needed = targetCount - 1;
+  if (needed > receptionTimes_.size()) return std::nullopt;
+  return receptionTimes_[needed - 1] / static_cast<double>(slotsPerPhase_);
+}
+
+double AsyncRunResult::averageSuccessRate() const {
+  if (attemptedPairs_ == 0) return 0.0;
+  return static_cast<double>(deliveredPairs_) /
+         static_cast<double>(attemptedPairs_);
+}
+
+namespace {
+
+/// One in-flight reception at a receiver.
+struct Incoming {
+  net::NodeId sender;
+  bool corrupted;
+};
+
+class AsyncRun {
+ public:
+  AsyncRun(const ExperimentConfig& config, const net::Deployment& deployment,
+           const net::Topology& topology,
+           protocols::BroadcastProtocol& protocol, support::Rng& rng)
+      : config_(config),
+        deployment_(deployment),
+        topology_(topology),
+        protocol_(protocol),
+        rng_(rng),
+        ctx_{config.slotsPerPhase, rng, &deployment, &topology},
+        n_(deployment.nodeCount()),
+        carrierSense_(config.channel ==
+                      net::ChannelModel::CarrierSenseAware),
+        collisionFree_(config.channel == net::ChannelModel::CollisionFree) {
+    NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
+    NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
+    NSMODEL_CHECK(!carrierSense_ || topology.hasCarrierSense(),
+                  "carrier-sense channel needs a cs-enabled topology");
+    received_.assign(n_, false);
+    txActive_.assign(n_, false);
+    interferers_.assign(n_, 0);
+    incoming_.resize(n_);
+    phaseOffset_.resize(n_);
+    const auto s = static_cast<double>(config.slotsPerPhase);
+    for (net::NodeId node = 0; node < n_; ++node) {
+      phaseOffset_[node] = rng_.uniform(0.0, s);
+    }
+    horizon_ = static_cast<double>(config.maxPhases) * s;
+  }
+
+  AsyncRunResult run() {
+    const net::NodeId source = deployment_.source();
+    received_[source] = true;
+    // The source transmits in a uniformly chosen slot of its own first
+    // phase, which starts at its personal offset.
+    const double start =
+        phaseOffset_[source] +
+        static_cast<double>(rng_.below(
+            static_cast<std::uint64_t>(config_.slotsPerPhase)));
+    scheduleTransmission(source, start);
+    engine_.run();
+    std::sort(receptionTimes_.begin(), receptionTimes_.end());
+    std::sort(transmissionTimes_.begin(), transmissionTimes_.end());
+    return AsyncRunResult(n_, config_.slotsPerPhase,
+                          std::move(receptionTimes_),
+                          std::move(transmissionTimes_), attemptedPairs_,
+                          deliveredPairs_);
+  }
+
+ private:
+  /// Interference neighbourhood: transmission range for CAM, cs range for
+  /// the carrier-sense channel. CFM interferes with nobody.
+  const std::vector<net::NodeId>& interferenceNeighbors(
+      net::NodeId node) const {
+    return carrierSense_ ? topology_.carrierSenseNeighbors(node)
+                         : topology_.neighbors(node);
+  }
+
+  void scheduleTransmission(net::NodeId node, double start) {
+    if (start >= horizon_) return;
+    engine_.scheduleAt(start, [this, node] { onTxStart(node); });
+  }
+
+  void onTxStart(net::NodeId sender) {
+    const double now = engine_.now();
+    transmissionTimes_.push_back(now);
+    attemptedPairs_ += topology_.neighbors(sender).size();
+    txActive_[sender] = true;
+
+    if (!collisionFree_) {
+      // Raise the interference level everywhere the signal lands; any
+      // reception in progress there is destroyed.
+      for (net::NodeId r : interferenceNeighbors(sender)) {
+        ++interferers_[r];
+        if (interferers_[r] >= 2) {
+          for (Incoming& in : incoming_[r]) in.corrupted = true;
+        }
+      }
+      // The sender's own in-progress receptions are lost (half duplex).
+      for (Incoming& in : incoming_[sender]) in.corrupted = true;
+    }
+
+    // Start a reception at every in-range neighbour; it is corrupted from
+    // birth when interference or the receiver's own transmission overlaps.
+    for (net::NodeId r : topology_.neighbors(sender)) {
+      const bool corrupted =
+          !collisionFree_ && (interferers_[r] >= 2 || txActive_[r]);
+      incoming_[r].push_back(Incoming{sender, corrupted});
+    }
+
+    engine_.scheduleAfter(1.0, [this, sender] { onTxEnd(sender); });
+  }
+
+  void onTxEnd(net::NodeId sender) {
+    const double now = engine_.now();
+    txActive_[sender] = false;
+    if (!collisionFree_) {
+      for (net::NodeId r : interferenceNeighbors(sender)) {
+        NSMODEL_ASSERT(interferers_[r] > 0);
+        --interferers_[r];
+      }
+    }
+    for (net::NodeId r : topology_.neighbors(sender)) {
+      auto& queue = incoming_[r];
+      const auto it = std::find_if(queue.begin(), queue.end(),
+                                   [sender](const Incoming& in) {
+                                     return in.sender == sender;
+                                   });
+      NSMODEL_ASSERT(it != queue.end());
+      const bool ok = !it->corrupted;
+      queue.erase(it);
+      if (ok) onDelivery(r, sender, now);
+    }
+  }
+
+  void onDelivery(net::NodeId receiver, net::NodeId sender, double now) {
+    ++deliveredPairs_;
+    if (received_[receiver]) return;  // duplicates carry no new decision
+    received_[receiver] = true;
+    receptionTimes_.push_back(now);
+    const auto decision = protocol_.onFirstReception(receiver, sender, ctx_);
+    if (!decision.transmit) return;
+    NSMODEL_CHECK(decision.slot >= 0 && decision.slot < config_.slotsPerPhase,
+                  "protocol chose a slot outside the phase");
+    // The node's own next phase boundary strictly after `now`.
+    const auto s = static_cast<double>(config_.slotsPerPhase);
+    const double sincePhase0 = now - phaseOffset_[receiver];
+    const double phases = std::floor(sincePhase0 / s) + 1.0;
+    const double nextBoundary = phaseOffset_[receiver] + phases * s;
+    scheduleTransmission(receiver,
+                         nextBoundary + static_cast<double>(decision.slot));
+  }
+
+  const ExperimentConfig& config_;
+  const net::Deployment& deployment_;
+  const net::Topology& topology_;
+  protocols::BroadcastProtocol& protocol_;
+  support::Rng& rng_;
+  protocols::ProtocolContext ctx_;
+  std::size_t n_;
+  bool carrierSense_;
+  bool collisionFree_;
+  double horizon_ = 0.0;
+
+  des::Engine engine_;
+  std::vector<bool> received_;
+  std::vector<bool> txActive_;
+  std::vector<std::uint32_t> interferers_;
+  std::vector<std::vector<Incoming>> incoming_;
+  std::vector<double> phaseOffset_;
+
+  std::vector<double> receptionTimes_;
+  std::vector<double> transmissionTimes_;
+  std::uint64_t attemptedPairs_ = 0;
+  std::uint64_t deliveredPairs_ = 0;
+};
+
+}  // namespace
+
+AsyncRunResult runAsyncBroadcast(const ExperimentConfig& config,
+                                 const net::Deployment& deployment,
+                                 const net::Topology& topology,
+                                 protocols::BroadcastProtocol& protocol,
+                                 support::Rng& rng) {
+  NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
+                "deployment/topology size mismatch");
+  protocol.reset(deployment.nodeCount());
+  AsyncRun run(config, deployment, topology, protocol, rng);
+  return run.run();
+}
+
+AsyncRunResult runAsyncExperiment(
+    const ExperimentConfig& config,
+    const protocols::ProtocolFactory& makeProtocol, std::uint64_t seed,
+    std::uint64_t stream) {
+  support::Rng rng = support::Rng::forStream(seed, stream);
+  const net::Deployment deployment = net::Deployment::paperDisk(
+      rng, config.rings, config.ringWidth, config.neighborDensity);
+  const double csFactor =
+      config.channel == net::ChannelModel::CarrierSenseAware ? config.csFactor
+                                                             : 0.0;
+  const net::Topology topology(deployment, config.ringWidth, csFactor);
+  auto protocol = makeProtocol();
+  NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
+  return runAsyncBroadcast(config, deployment, topology, *protocol, rng);
+}
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,77 @@
+// Asynchronous (unaligned-phase) broadcast simulation.
+//
+// The paper's protocol does not require synchronized slots: "Note that
+// PB_CAM does not require synchronized time slots and time phases at
+// various nodes ... solely for the purpose of analysis, we assume strict
+// time synchronization" (Section 4.2) — i.e. the aligned analysis is an
+// *optimistic* view of an asynchronous reality.  This module simulates
+// that reality: every node keeps its own phase clock with a uniformly
+// random offset, transmissions occupy continuous unit-length intervals,
+// and the Assumption-6 collision rule applies over intervals — a
+// reception succeeds only if no other in-range transmission (carrier-
+// sense range for the CS channel) overlaps it for any part of its
+// duration, and the receiver itself stays silent throughout.
+//
+// Because any overlap — not just an exact slot match — destroys a
+// reception, the asynchronous channel is strictly harsher than the
+// aligned one; bench/ablation_async_phases quantifies the gap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace nsmodel::sim {
+
+/// Result of one asynchronous run. Times are continuous, in slot units;
+/// "phase time" divides by s.
+class AsyncRunResult {
+ public:
+  AsyncRunResult(std::size_t nodeCount, int slotsPerPhase,
+                 std::vector<double> receptionTimes,
+                 std::vector<double> transmissionTimes,
+                 std::uint64_t attemptedPairs, std::uint64_t deliveredPairs);
+
+  std::size_t nodeCount() const { return nodeCount_; }
+  int slotsPerPhase() const { return slotsPerPhase_; }
+
+  /// Nodes holding the packet at the end (source included).
+  std::size_t reachedCount() const { return receptionTimes_.size() + 1; }
+  double finalReachability() const;
+
+  /// Reachability after `t` phases (receptions complete at their interval
+  /// end; time t covers receptions ending at or before t * s).
+  double reachabilityAfter(double t) const;
+
+  /// Phase time when reachability first reaches `target`; nullopt if never.
+  std::optional<double> latencyForReachability(double target) const;
+
+  std::size_t totalBroadcasts() const { return transmissionTimes_.size(); }
+
+  /// Delivered / attempted (sender, neighbour) pairs.
+  double averageSuccessRate() const;
+
+ private:
+  std::size_t nodeCount_;
+  int slotsPerPhase_;
+  std::vector<double> receptionTimes_;     // sorted, completion times
+  std::vector<double> transmissionTimes_;  // sorted, start times
+  std::uint64_t attemptedPairs_;
+  std::uint64_t deliveredPairs_;
+};
+
+/// Runs one asynchronous broadcast over a pre-built topology.
+AsyncRunResult runAsyncBroadcast(const ExperimentConfig& config,
+                                 const net::Deployment& deployment,
+                                 const net::Topology& topology,
+                                 protocols::BroadcastProtocol& protocol,
+                                 support::Rng& rng);
+
+/// Generates the paper's deployment and runs one asynchronous broadcast.
+AsyncRunResult runAsyncExperiment(const ExperimentConfig& config,
+                                  const protocols::ProtocolFactory& makeProtocol,
+                                  std::uint64_t seed, std::uint64_t stream);
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,160 @@
+#include "sim/convergecast.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+std::vector<net::NodeId> buildGatheringTree(const net::Topology& topology,
+                                            net::NodeId sink) {
+  NSMODEL_CHECK(sink < topology.nodeCount(), "sink id out of range");
+  std::vector<net::NodeId> parent(topology.nodeCount(), net::kNoNode);
+  std::vector<bool> seen(topology.nodeCount(), false);
+  std::deque<net::NodeId> frontier{sink};
+  seen[sink] = true;
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.front();
+    frontier.pop_front();
+    for (net::NodeId v : topology.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return parent;
+}
+
+namespace {
+
+int treeDepthOf(const std::vector<net::NodeId>& parent, net::NodeId sink) {
+  // Depth via repeated parent hops; O(n * depth) is fine at our sizes.
+  int depth = 0;
+  for (net::NodeId node = 0; node < parent.size(); ++node) {
+    if (node == sink || parent[node] == net::kNoNode) continue;
+    int hops = 0;
+    net::NodeId walk = node;
+    while (walk != sink && parent[walk] != net::kNoNode) {
+      walk = parent[walk];
+      ++hops;
+    }
+    depth = std::max(depth, hops);
+  }
+  return depth;
+}
+
+}  // namespace
+
+ConvergecastResult runConvergecast(const ConvergecastConfig& config,
+                                   const net::Deployment& deployment,
+                                   const net::Topology& topology,
+                                   support::Rng& rng) {
+  NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
+                "deployment/topology size mismatch");
+  NSMODEL_CHECK(config.transmitProbability > 0.0 &&
+                    config.transmitProbability <= 1.0,
+                "transmit probability must lie in (0, 1]");
+  NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
+  NSMODEL_CHECK(config.base.slotsPerPhase >= 1, "need at least one slot");
+
+  const net::NodeId sink = deployment.source();
+  const auto n = deployment.nodeCount();
+  const int s = config.base.slotsPerPhase;
+  auto channel = net::makeChannel(config.base.channel);
+
+  const std::vector<net::NodeId> parent = buildGatheringTree(topology, sink);
+
+  ConvergecastResult result;
+  result.nodeCount = n;
+  result.treeDepth = treeDepthOf(parent, sink);
+  result.txPerNode.assign(n, 0);
+
+  // Every non-sink node starts with one report in its queue; queue depth
+  // is all that matters (reports are fungible).
+  std::vector<std::uint32_t> queued(n, 0);
+  std::size_t inFlight = 0;  // reports still queued somewhere
+  for (net::NodeId node = 0; node < n; ++node) {
+    if (node == sink) continue;
+    ++result.reportsGenerated;
+    if (parent[node] == net::kNoNode) {
+      ++result.unreachableNodes;  // stranded forever; never queued
+      continue;
+    }
+    queued[node] = 1;
+    ++inFlight;
+  }
+
+  std::vector<std::vector<net::NodeId>> bySlot(s);
+  std::vector<char> txSlot(n, -1);
+  for (int phase = 1; phase <= config.maxPhases && inFlight > 0; ++phase) {
+    for (auto& slot : bySlot) slot.clear();
+    std::fill(txSlot.begin(), txSlot.end(), -1);
+    bool anyTx = false;
+    for (net::NodeId node = 0; node < n; ++node) {
+      if (queued[node] == 0 || node == sink) continue;
+      if (!rng.bernoulli(config.transmitProbability)) continue;
+      const int slot = static_cast<int>(rng.below(s));
+      bySlot[slot].push_back(node);
+      txSlot[node] = static_cast<char>(slot);
+      anyTx = true;
+    }
+    if (!anyTx) continue;
+
+    for (int slot = 0; slot < s; ++slot) {
+      if (bySlot[slot].empty()) continue;
+      result.transmissions += bySlot[slot].size();
+      for (net::NodeId sender : bySlot[slot]) ++result.txPerNode[sender];
+      // Resolve deliveries; only the addressed parent accepts the packet.
+      channel->resolveSlot(
+          topology, bySlot[slot],
+          [&](net::NodeId receiver, net::NodeId sender) {
+            if (parent[sender] != receiver) return;  // overheard, discarded
+            NSMODEL_ASSERT(queued[sender] > 0);
+            --queued[sender];
+            if (receiver == sink) {
+              ++result.reportsDelivered;
+              --inFlight;
+              result.completionPhases =
+                  static_cast<double>(phase - 1) +
+                  static_cast<double>(slot + 1) / static_cast<double>(s);
+            } else {
+              ++queued[receiver];
+            }
+            txSlot[sender] = -2;  // mark as delivered this phase
+          });
+      // Fire-and-forget: undelivered attempts drop their packet.
+      if (!config.oracleFeedback) {
+        for (net::NodeId sender : bySlot[slot]) {
+          if (txSlot[sender] == static_cast<char>(slot)) {
+            NSMODEL_ASSERT(queued[sender] > 0);
+            --queued[sender];
+            --inFlight;
+          }
+        }
+      }
+    }
+  }
+
+  result.drained = inFlight == 0;
+  return result;
+}
+
+ConvergecastResult runConvergecast(const ConvergecastConfig& config,
+                                   std::uint64_t seed,
+                                   std::uint64_t stream) {
+  support::Rng rng = support::Rng::forStream(seed, stream);
+  const net::Deployment deployment = net::Deployment::paperDisk(
+      rng, config.base.rings, config.base.ringWidth,
+      config.base.neighborDensity);
+  const double csFactor =
+      config.base.channel == net::ChannelModel::CarrierSenseAware
+          ? config.base.csFactor
+          : 0.0;
+  const net::Topology topology(deployment, config.base.ringWidth, csFactor);
+  return runConvergecast(config, deployment, topology, rng);
+}
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,82 @@
+// Convergecast (data gathering) over the unicast primitive.
+//
+// The paper's models cover two primitives — broadcast and unicast
+// (Section 3.2) — and its related work motivates in-network processing /
+// data gathering as the canonical NSS workload.  This module implements
+// the standard convergecast: every node holds one report that must reach
+// the sink (the node at the field centre) over a BFS tree; per phase a
+// node with queued packets forwards one to its parent, in a uniformly
+// jittered slot, with a tunable transmit probability (the unicast
+// analogue of PB's p — lower values trade latency for fewer collisions).
+//
+// Collision semantics come from the configured channel.  A unicast is a
+// physical broadcast that only the addressed parent accepts; under CAM it
+// is lost whenever the parent hears concurrent transmissions or is itself
+// transmitting (Assumption 6), exactly the 802.11-without-RTS/CTS/ACK
+// behaviour the paper describes.
+//
+// Feedback modes mirror the CFM/CAM design split:
+//  * oracleFeedback = true: the sender learns the outcome for free and
+//    retries until delivery — an idealised reliable unicast (what a
+//    designer assumes under CFM, minus the cost of acknowledgements).
+//  * oracleFeedback = false: fire and forget — the packet is gone after
+//    one attempt, delivered or not (raw CAM behaviour).
+//
+// The CFM channel showcases the model's hidden superpower: concurrent
+// receptions at the same parent all succeed (implicit multi-packet
+// reception), so gathering completes in ~tree-depth phases, while any
+// collision-aware channel serialises the sink's neighbourhood and needs
+// ~N phases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace nsmodel::sim {
+
+/// Configuration of one convergecast run.
+struct ConvergecastConfig {
+  ExperimentConfig base;             ///< deployment, channel, slots
+  double transmitProbability = 0.5;  ///< per-phase attempt probability
+  bool oracleFeedback = true;        ///< retry until delivered
+  int maxPhases = 4000;              ///< hard cap
+};
+
+/// Outcome of one convergecast run.
+struct ConvergecastResult {
+  std::size_t nodeCount = 0;
+  std::size_t unreachableNodes = 0;  ///< no path to the sink
+  std::size_t reportsGenerated = 0;  ///< nodeCount - 1 (sink generates none)
+  std::size_t reportsDelivered = 0;
+  std::uint64_t transmissions = 0;
+  std::vector<std::uint32_t> txPerNode;  ///< forwarding load per node
+  double completionPhases = 0.0;  ///< phase time of the last delivery
+  int treeDepth = 0;              ///< BFS depth of the gathering tree
+  bool drained = false;           ///< all queues empty at termination
+
+  double deliveryRatio() const {
+    return reportsGenerated == 0
+               ? 1.0
+               : static_cast<double>(reportsDelivered) /
+                     static_cast<double>(reportsGenerated);
+  }
+};
+
+/// Builds the BFS parent array towards `sink`; kNoNode for the sink and
+/// for nodes with no path. Exposed for tests and custom schedulers.
+std::vector<net::NodeId> buildGatheringTree(const net::Topology& topology,
+                                            net::NodeId sink);
+
+/// Runs one convergecast over a pre-built deployment/topology.
+ConvergecastResult runConvergecast(const ConvergecastConfig& config,
+                                   const net::Deployment& deployment,
+                                   const net::Topology& topology,
+                                   support::Rng& rng);
+
+/// Generates the paper's deployment and runs one convergecast.
+ConvergecastResult runConvergecast(const ConvergecastConfig& config,
+                                   std::uint64_t seed, std::uint64_t stream);
+
+}  // namespace nsmodel::sim

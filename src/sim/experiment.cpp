@@ -1,0 +1,224 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+/// Mutable state of one run, shared by the slot-resolution events.
+struct RunState {
+  RunState(const ExperimentConfig& cfg, const net::Topology& topo,
+           net::Channel& chan, protocols::BroadcastProtocol& proto,
+           protocols::ProtocolContext context, net::EnergyLedger* energy)
+      : config(cfg),
+        topology(topo),
+        channel(chan),
+        protocol(proto),
+        ctx(context),
+        ledger(energy) {}
+
+  const ExperimentConfig& config;
+  const net::Topology& topology;
+  net::Channel& channel;
+  protocols::BroadcastProtocol& protocol;
+  protocols::ProtocolContext ctx;
+  net::EnergyLedger* ledger;
+  des::Engine engine;
+
+  std::vector<bool> received;
+  std::vector<bool> cancelled;               // pending tx withdrawn
+  std::vector<bool> hasPending;              // tx scheduled, not yet fired
+  std::vector<std::uint32_t> deathPhase;     // first phase a node is dead
+                                             // (empty = no failures)
+  std::unordered_map<std::uint64_t, std::vector<net::NodeId>> pendingBySlot;
+
+  std::vector<std::uint64_t> receptionSlots;
+  std::vector<std::int64_t> receptionSlotByNode;
+  std::vector<std::uint64_t> transmissionSlots;
+  std::vector<PhaseObservation> phases;
+  std::uint64_t attemptedPairs = 0;
+  std::uint64_t deliveredPairs = 0;
+
+  std::uint64_t maxSlot = 0;  // transmissions at or beyond this are dropped
+
+  PhaseObservation& phaseOf(std::uint64_t slot) {
+    const auto phase = static_cast<std::size_t>(
+        slot / static_cast<std::uint64_t>(config.slotsPerPhase));
+    if (phases.size() <= phase) phases.resize(phase + 1);
+    return phases[phase];
+  }
+
+  void scheduleTransmission(net::NodeId node, std::uint64_t slot) {
+    if (slot >= maxSlot) return;  // beyond the horizon; drop silently
+    auto [it, isNew] = pendingBySlot.try_emplace(slot);
+    it->second.push_back(node);
+    hasPending[node] = true;
+    cancelled[node] = false;
+    if (isNew) {
+      // One resolver event per active slot, firing mid-slot.
+      engine.scheduleAt(static_cast<des::Time>(slot) + 0.5,
+                        [this, slot] { resolveSlot(slot); });
+    }
+  }
+
+  bool isDead(net::NodeId node, std::uint64_t slot) const {
+    if (deathPhase.empty()) return false;
+    const auto phase = static_cast<std::uint32_t>(
+        slot / static_cast<std::uint64_t>(config.slotsPerPhase));
+    return deathPhase[node] <= phase;
+  }
+
+  void resolveSlot(std::uint64_t slot) {
+    auto it = pendingBySlot.find(slot);
+    NSMODEL_ASSERT(it != pendingBySlot.end());
+    std::vector<net::NodeId> transmitters;
+    transmitters.reserve(it->second.size());
+    for (net::NodeId node : it->second) {
+      if (!cancelled[node] && !isDead(node, slot)) {
+        transmitters.push_back(node);
+      }
+      hasPending[node] = false;
+    }
+    pendingBySlot.erase(it);
+    if (transmitters.empty()) return;
+
+    PhaseObservation& obs = phaseOf(slot);
+    obs.transmissions += transmitters.size();
+    for (net::NodeId tx : transmitters) {
+      transmissionSlots.push_back(slot);
+      attemptedPairs += topology.neighbors(tx).size();
+      if (ledger != nullptr) ledger->recordTx(tx);
+    }
+
+    const net::SlotOutcome outcome = channel.resolveSlot(
+        topology, transmitters,
+        [this, slot](net::NodeId receiver, net::NodeId sender) {
+          onDelivery(receiver, sender, slot);
+        });
+    obs.deliveries += outcome.deliveries;
+    obs.lostReceivers += outcome.lostReceivers;
+    deliveredPairs += outcome.deliveries;
+  }
+
+  void onDelivery(net::NodeId receiver, net::NodeId sender,
+                  std::uint64_t slot) {
+    if (isDead(receiver, slot)) return;  // the radio is gone
+    if (ledger != nullptr) ledger->recordRx(receiver);
+    if (!received[receiver]) {
+      received[receiver] = true;
+      receptionSlots.push_back(slot);
+      receptionSlotByNode[receiver] = static_cast<std::int64_t>(slot);
+      phaseOf(slot).newReceivers += 1;
+      const auto decision = protocol.onFirstReception(receiver, sender, ctx);
+      if (decision.transmit) {
+        NSMODEL_CHECK(decision.slot >= 0 &&
+                          decision.slot < config.slotsPerPhase,
+                      "protocol chose a slot outside the phase");
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(config.slotsPerPhase);
+        const std::uint64_t nextPhaseStart = (slot / s + 1) * s;
+        scheduleTransmission(receiver,
+                             nextPhaseStart +
+                                 static_cast<std::uint64_t>(decision.slot));
+      }
+    } else if (hasPending[receiver] && !cancelled[receiver]) {
+      if (!protocol.keepPendingAfterDuplicate(receiver, sender, ctx)) {
+        cancelled[receiver] = true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RunResult runBroadcast(const ExperimentConfig& config,
+                       const net::Deployment& deployment,
+                       const net::Topology& topology,
+                       protocols::BroadcastProtocol& protocol,
+                       support::Rng& rng, net::EnergyLedger* ledger) {
+  auto channel = net::makeChannel(config.channel);
+  return runBroadcast(config, deployment, topology, *channel, protocol, rng,
+                      ledger);
+}
+
+RunResult runBroadcast(const ExperimentConfig& config,
+                       const net::Deployment& deployment,
+                       const net::Topology& topology, net::Channel& channel,
+                       protocols::BroadcastProtocol& protocol,
+                       support::Rng& rng, net::EnergyLedger* ledger) {
+  NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
+  NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
+  NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
+                "deployment/topology size mismatch");
+
+  protocol.reset(deployment.nodeCount());
+
+  protocols::ProtocolContext ctx{config.slotsPerPhase, rng, &deployment,
+                                 &topology};
+  RunState state(config, topology, channel, protocol, ctx, ledger);
+  state.received.assign(deployment.nodeCount(), false);
+  state.receptionSlotByNode.assign(deployment.nodeCount(),
+                                   RunResult::kNeverReceived);
+  state.cancelled.assign(deployment.nodeCount(), false);
+  state.hasPending.assign(deployment.nodeCount(), false);
+  state.maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
+                  static_cast<std::uint64_t>(config.slotsPerPhase);
+  NSMODEL_CHECK(config.nodeFailureRate >= 0.0 && config.nodeFailureRate < 1.0,
+                "node failure rate must lie in [0, 1)");
+  if (config.nodeFailureRate > 0.0) {
+    // Pre-draw each node's death phase (geometric); drawing only in the
+    // failure-enabled path keeps failure-free runs stream-identical to
+    // builds without this feature.
+    state.deathPhase.resize(deployment.nodeCount());
+    for (net::NodeId node = 0; node < deployment.nodeCount(); ++node) {
+      std::uint32_t phase = 1;
+      while (!rng.bernoulli(config.nodeFailureRate) && phase < 1000000) {
+        ++phase;
+      }
+      state.deathPhase[node] = phase;
+    }
+  }
+
+  // The source holds the packet from the start and transmits in a
+  // uniformly jittered slot of phase T_1.
+  const net::NodeId source = deployment.source();
+  state.received[source] = true;
+  state.scheduleTransmission(
+      source, rng.below(static_cast<std::uint64_t>(config.slotsPerPhase)));
+
+  state.engine.run();
+
+  // Event order within a slot is deterministic but receptions across slots
+  // are appended in time order already; assert rather than sort.
+  NSMODEL_ASSERT(std::is_sorted(state.receptionSlots.begin(),
+                                state.receptionSlots.end()));
+  return RunResult(deployment.nodeCount(), config.slotsPerPhase,
+                   std::move(state.receptionSlots),
+                   std::move(state.transmissionSlots),
+                   std::move(state.phases), state.attemptedPairs,
+                   state.deliveredPairs,
+                   std::move(state.receptionSlotByNode));
+}
+
+RunResult runExperiment(const ExperimentConfig& config,
+                        const protocols::ProtocolFactory& makeProtocol,
+                        std::uint64_t seed, std::uint64_t stream) {
+  support::Rng rng = support::Rng::forStream(seed, stream);
+  const net::Deployment deployment = net::Deployment::paperDisk(
+      rng, config.rings, config.ringWidth, config.neighborDensity);
+  const double csFactor =
+      config.channel == net::ChannelModel::CarrierSenseAware ? config.csFactor
+                                                             : 0.0;
+  const net::Topology topology(deployment, config.ringWidth, csFactor);
+  auto protocol = makeProtocol();
+  NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
+  return runBroadcast(config, deployment, topology, *protocol, rng, nullptr);
+}
+
+}  // namespace nsmodel::sim

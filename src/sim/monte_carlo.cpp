@@ -1,0 +1,76 @@
+#include "sim/monte_carlo.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+void forEachReplication(const MonteCarloConfig& config,
+                        const std::function<void(std::size_t)>& body) {
+  NSMODEL_CHECK(config.replications >= 1, "need at least one replication");
+  const auto n = static_cast<std::size_t>(config.replications);
+  if (config.parallel) {
+    support::parallelFor(0, n, body, 1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace
+
+std::vector<MetricAggregate> monteCarlo(
+    const MonteCarloConfig& config,
+    const protocols::ProtocolFactory& makeProtocol,
+    const MetricExtractor& extract) {
+  const auto reps = static_cast<std::size_t>(config.replications);
+  std::vector<std::vector<double>> samples(reps);
+  forEachReplication(config, [&](std::size_t rep) {
+    const RunResult result =
+        runExperiment(config.experiment, makeProtocol, config.seed, rep);
+    samples[rep] = extract(result);
+  });
+
+  const std::size_t metricCount = samples.empty() ? 0 : samples[0].size();
+  for (const auto& row : samples) {
+    NSMODEL_CHECK(row.size() == metricCount,
+                  "extractor returned inconsistent metric counts");
+  }
+
+  std::vector<MetricAggregate> aggregates(metricCount);
+  for (std::size_t m = 0; m < metricCount; ++m) {
+    std::vector<double> defined;
+    defined.reserve(reps);
+    for (const auto& row : samples) {
+      if (!std::isnan(row[m])) defined.push_back(row[m]);
+    }
+    aggregates[m].stats = support::summarize(defined);
+    aggregates[m].definedFraction =
+        static_cast<double>(defined.size()) / static_cast<double>(reps);
+  }
+  return aggregates;
+}
+
+std::vector<RunResult> runReplications(
+    const MonteCarloConfig& config,
+    const protocols::ProtocolFactory& makeProtocol) {
+  const auto reps = static_cast<std::size_t>(config.replications);
+  std::vector<std::optional<RunResult>> slots(reps);
+  forEachReplication(config, [&](std::size_t rep) {
+    slots[rep] =
+        runExperiment(config.experiment, makeProtocol, config.seed, rep);
+  });
+  std::vector<RunResult> results;
+  results.reserve(reps);
+  for (auto& slot : slots) {
+    NSMODEL_ASSERT(slot.has_value());
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace nsmodel::sim

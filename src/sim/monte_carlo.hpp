@@ -1,0 +1,47 @@
+// Monte-Carlo replication of broadcast experiments.
+//
+// Each replication draws a fresh deployment and fresh protocol randomness
+// from an independent, deterministically derived RNG stream, so the
+// aggregate is reproducible bit-for-bit regardless of thread count.
+// Replications fan out over the shared thread pool.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "support/statistics.hpp"
+
+namespace nsmodel::sim {
+
+/// Replication plan.
+struct MonteCarloConfig {
+  ExperimentConfig experiment;
+  std::uint64_t seed = 42;    ///< master seed; replication k uses stream k
+  int replications = 30;      ///< the paper averages over 30 random runs
+  bool parallel = true;       ///< fan out over the shared thread pool
+};
+
+/// Aggregate of one metric over the replications. Metrics may be undefined
+/// for some runs (e.g. a reachability target never met); those samples are
+/// reported via definedFraction and excluded from the summary.
+struct MetricAggregate {
+  support::Summary stats;
+  double definedFraction = 0.0;
+};
+
+/// Extracts metric values from one finished run; use NaN for "undefined".
+using MetricExtractor = std::function<std::vector<double>(const RunResult&)>;
+
+/// Runs the replications and aggregates each extracted metric.
+std::vector<MetricAggregate> monteCarlo(
+    const MonteCarloConfig& config,
+    const protocols::ProtocolFactory& makeProtocol,
+    const MetricExtractor& extract);
+
+/// Runs the replications and returns every RunResult (tests/examples).
+std::vector<RunResult> runReplications(
+    const MonteCarloConfig& config,
+    const protocols::ProtocolFactory& makeProtocol);
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,262 @@
+#include "sim/reliable.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+class ReliableRun {
+ public:
+  ReliableRun(const ReliableBroadcastConfig& config,
+              const net::Deployment& deployment,
+              const net::Topology& topology, support::Rng& rng)
+      : config_(config),
+        deployment_(deployment),
+        topology_(topology),
+        rng_(rng),
+        channel_(net::makeChannel(config.base.channel)),
+        n_(deployment.nodeCount()) {
+    NSMODEL_CHECK(config.base.slotsPerPhase >= 1, "need at least one slot");
+    NSMODEL_CHECK(config.maxRounds >= 1, "need at least one round");
+    NSMODEL_CHECK(config.initialBackoffWindow >= 1 &&
+                      config.maxBackoffWindow >= config.initialBackoffWindow,
+                  "backoff windows must satisfy 1 <= initial <= max");
+    hasPacket_.assign(n_, false);
+    nextTxPhase_.assign(n_, 0);
+    backoffWindow_.assign(n_, config.initialBackoffWindow);
+    roundsUsed_.assign(n_, 0);
+    NSMODEL_CHECK(config.ackSpreadWindow >= 1,
+                  "ACK spread window must be >= 1");
+    acked_.resize(n_);
+    pendingCount_.assign(n_, 0);
+    owesAck_.resize(n_);
+    dataSlot_.assign(n_, kIdle);
+    ackSlot_.assign(n_, kIdle);
+    ackTarget_.assign(n_, net::kNoNode);
+  }
+
+  ReliableRunResult run() {
+    becomeHolder(deployment_.source(), /*phase=*/0);
+
+    ReliableRunResult result;
+    result.nodeCount = n_;
+    const int s = config_.base.slotsPerPhase;
+
+    int phase = 1;
+    for (;; ++phase) {
+      // ---- Plan the phase ------------------------------------------------
+      // Each node sends at most one DATA (a retransmission round) and at
+      // most one owed ACK per phase, in distinct uniformly chosen slots.
+      std::vector<std::vector<net::NodeId>> bySlot(s);
+      std::fill(dataSlot_.begin(), dataSlot_.end(), kIdle);
+      std::fill(ackSlot_.begin(), ackSlot_.end(), kIdle);
+      bool anyTraffic = false;
+
+      for (net::NodeId node = 0; node < n_; ++node) {
+        if (hasPacket_[node] && pendingCount_[node] > 0 &&
+            phase >= nextTxPhase_[node] &&
+            roundsUsed_[node] < config_.maxRounds) {
+          const int slot = static_cast<int>(rng_.below(s));
+          bySlot[slot].push_back(node);
+          dataSlot_[node] = slot;
+          ++roundsUsed_[node];
+          ++result.dataTransmissions;
+          anyTraffic = true;
+          // Binary exponential backoff before the next round; ACKs that
+          // retire the remaining neighbours simply make it moot.
+          backoffWindow_[node] =
+              std::min(2 * backoffWindow_[node], config_.maxBackoffWindow);
+          nextTxPhase_[node] =
+              phase + 1 +
+              static_cast<int>(rng_.below(
+                  static_cast<std::uint64_t>(backoffWindow_[node])));
+        }
+        if (config_.simulateAcks && !owesAck_[node].empty()) {
+          anyTraffic = true;  // owed ACKs keep the run alive even if due later
+          // Send the first due ACK (they were randomly spread over the
+          // ackSpreadWindow to avoid ACK implosion at the data sender).
+          auto& owed = owesAck_[node];
+          std::size_t due = owed.size();
+          for (std::size_t i = 0; i < owed.size(); ++i) {
+            if (owed[i].duePhase <= phase) {
+              due = i;
+              break;
+            }
+          }
+          if (due == owed.size()) continue;
+          if (s == 1 && dataSlot_[node] == 0) {
+            continue;  // single-slot phases: DATA wins, ACK waits
+          }
+          int slot = static_cast<int>(rng_.below(s));
+          if (slot == dataSlot_[node]) slot = (slot + 1) % s;
+          ackTarget_[node] = owed[due].target;
+          owed.erase(owed.begin() + static_cast<std::ptrdiff_t>(due));
+          bySlot[slot].push_back(node);
+          ackSlot_[node] = slot;
+          ++result.ackTransmissions;
+        }
+      }
+      if (!anyTraffic) {
+        // Nothing was sent this phase; if some sender is merely backing
+        // off, fast-forward instead of terminating.
+        bool pendingLater = false;
+        for (net::NodeId node = 0; node < n_; ++node) {
+          if (hasPacket_[node] && pendingCount_[node] > 0 &&
+              roundsUsed_[node] < config_.maxRounds) {
+            pendingLater = true;
+            break;
+          }
+          if (config_.simulateAcks && !owesAck_[node].empty()) {
+            pendingLater = true;
+            break;
+          }
+        }
+        if (!pendingLater) break;
+        continue;
+      }
+
+      // ---- Resolve each slot under the channel's collision semantics ----
+      for (int slot = 0; slot < s; ++slot) {
+        if (bySlot[slot].empty()) continue;
+        channel_->resolveSlot(
+            topology_, bySlot[slot],
+            [&](net::NodeId receiver, net::NodeId sender) {
+              onDelivery(receiver, sender, slot, phase, result);
+            });
+      }
+      if (phase >= config_.maxRounds * config_.maxBackoffWindow) {
+        break;  // global safety net
+      }
+    }
+
+    result.reachedCount = 0;
+    result.allAcknowledged = true;
+    for (net::NodeId node = 0; node < n_; ++node) {
+      if (!hasPacket_[node]) continue;
+      ++result.reachedCount;
+      if (pendingCount_[node] > 0) result.allAcknowledged = false;
+    }
+    result.deliveryLatencyPhases = lastDeliveryPhaseTime_;
+    result.quiescenceLatencyPhases = static_cast<double>(phase - 1);
+    return result;
+  }
+
+ private:
+  static constexpr int kIdle = -1;
+
+  /// A node starts holding the packet: it owes the whole neighbourhood an
+  /// acknowledged delivery and begins transmitting next phase.
+  void becomeHolder(net::NodeId node, int phase) {
+    hasPacket_[node] = true;
+    nextTxPhase_[node] = phase + 1;
+    acked_[node].assign(topology_.neighbors(node).size(), 0);
+    pendingCount_[node] = topology_.neighbors(node).size();
+  }
+
+  void onDelivery(net::NodeId receiver, net::NodeId sender, int slot,
+                  int phase, ReliableRunResult&) {
+    if (dataSlot_[sender] == slot) {
+      // DATA packet decoded by `receiver`.
+      if (!hasPacket_[receiver]) {
+        becomeHolder(receiver, phase);
+        lastDeliveryPhaseTime_ =
+            static_cast<double>(phase - 1) +
+            static_cast<double>(slot + 1) /
+                static_cast<double>(config_.base.slotsPerPhase);
+      }
+      if (config_.simulateAcks) {
+        auto& owed = owesAck_[receiver];
+        const bool already =
+            std::any_of(owed.begin(), owed.end(), [sender](const OwedAck& a) {
+              return a.target == sender;
+            });
+        if (!already) {
+          const int due =
+              phase + 1 +
+              static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+                  config_.ackSpreadWindow)));
+          owed.push_back(OwedAck{sender, due});
+        }
+      } else {
+        retire(sender, receiver);
+      }
+    } else if (ackSlot_[sender] == slot) {
+      // ACK packet: meaningful only to its addressed target.
+      if (ackTarget_[sender] == receiver) {
+        retire(receiver, sender);
+      }
+    }
+  }
+
+  /// Sender `owner` retires neighbour `neighbor` (delivery confirmed).
+  void retire(net::NodeId owner, net::NodeId neighbor) {
+    const auto& neighbors = topology_.neighbors(owner);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] == neighbor) {
+        if (!acked_[owner][i]) {
+          acked_[owner][i] = 1;
+          NSMODEL_ASSERT(pendingCount_[owner] > 0);
+          --pendingCount_[owner];
+        }
+        return;
+      }
+    }
+  }
+
+  const ReliableBroadcastConfig& config_;
+  const net::Deployment& deployment_;
+  const net::Topology& topology_;
+  support::Rng& rng_;
+  std::unique_ptr<net::Channel> channel_;
+  std::size_t n_;
+
+  std::vector<bool> hasPacket_;
+  std::vector<int> nextTxPhase_;
+  std::vector<int> backoffWindow_;
+  std::vector<int> roundsUsed_;
+  struct OwedAck {
+    net::NodeId target;
+    int duePhase;
+  };
+
+  std::vector<std::vector<char>> acked_;  // parallel to neighbor lists
+  std::vector<std::size_t> pendingCount_;
+  std::vector<std::vector<OwedAck>> owesAck_;
+  std::vector<int> dataSlot_;             // this phase, kIdle if none
+  std::vector<int> ackSlot_;              // this phase, kIdle if none
+  std::vector<net::NodeId> ackTarget_;
+  double lastDeliveryPhaseTime_ = 0.0;
+};
+
+}  // namespace
+
+ReliableRunResult runReliableBroadcast(const ReliableBroadcastConfig& config,
+                                       const net::Deployment& deployment,
+                                       const net::Topology& topology,
+                                       support::Rng& rng) {
+  NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
+                "deployment/topology size mismatch");
+  ReliableRun run(config, deployment, topology, rng);
+  return run.run();
+}
+
+ReliableRunResult runReliableBroadcast(const ReliableBroadcastConfig& config,
+                                       std::uint64_t seed,
+                                       std::uint64_t stream) {
+  support::Rng rng = support::Rng::forStream(seed, stream);
+  const net::Deployment deployment = net::Deployment::paperDisk(
+      rng, config.base.rings, config.base.ringWidth,
+      config.base.neighborDensity);
+  const double csFactor =
+      config.base.channel == net::ChannelModel::CarrierSenseAware
+          ? config.base.csFactor
+          : 0.0;
+  const net::Topology topology(deployment, config.base.ringWidth, csFactor);
+  return runReliableBroadcast(config, deployment, topology, rng);
+}
+
+}  // namespace nsmodel::sim

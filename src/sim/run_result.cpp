@@ -1,0 +1,117 @@
+#include "sim/run_result.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+RunResult::RunResult(std::size_t nodeCount, int slotsPerPhase,
+                     std::vector<std::uint64_t> receptionSlots,
+                     std::vector<std::uint64_t> transmissionSlots,
+                     std::vector<PhaseObservation> phases,
+                     std::uint64_t attemptedPairs,
+                     std::uint64_t deliveredPairs,
+                     std::vector<std::int64_t> receptionSlotByNode)
+    : nodeCount_(nodeCount),
+      slotsPerPhase_(slotsPerPhase),
+      receptionSlots_(std::move(receptionSlots)),
+      transmissionSlots_(std::move(transmissionSlots)),
+      phases_(std::move(phases)),
+      attemptedPairs_(attemptedPairs),
+      deliveredPairs_(deliveredPairs),
+      receptionSlotByNode_(std::move(receptionSlotByNode)) {
+  NSMODEL_CHECK(nodeCount_ >= 1, "run needs at least one node");
+  NSMODEL_CHECK(slotsPerPhase_ >= 1, "need at least one slot per phase");
+  NSMODEL_ASSERT(std::is_sorted(receptionSlots_.begin(),
+                                receptionSlots_.end()));
+  NSMODEL_ASSERT(std::is_sorted(transmissionSlots_.begin(),
+                                transmissionSlots_.end()));
+  NSMODEL_ASSERT(receptionSlots_.size() + 1 <= nodeCount_);
+  NSMODEL_CHECK(receptionSlotByNode_.empty() ||
+                    receptionSlotByNode_.size() == nodeCount_,
+                "per-node reception table must cover every node");
+}
+
+double RunResult::finalReachability() const {
+  return static_cast<double>(reachedCount()) /
+         static_cast<double>(nodeCount_);
+}
+
+namespace {
+/// Phase time at which an event in slot `slot` has completed.
+double phaseTimeOfSlot(std::uint64_t slot, int s) {
+  return static_cast<double>(slot + 1) / static_cast<double>(s);
+}
+}  // namespace
+
+double RunResult::reachabilityAfter(double t) const {
+  NSMODEL_CHECK(t >= 0.0, "phase count must be non-negative");
+  // Receptions in slot u are visible once (u + 1) / s <= t, i.e.
+  // u <= t * s - 1. Count with a binary search on the sorted slots.
+  const double cutoffF =
+      t * static_cast<double>(slotsPerPhase_) - 1.0 + 1e-9;
+  std::size_t visible = 0;
+  if (cutoffF >= 0.0) {
+    const auto cutoff = static_cast<std::uint64_t>(cutoffF);
+    visible = static_cast<std::size_t>(
+        std::upper_bound(receptionSlots_.begin(), receptionSlots_.end(),
+                         cutoff) -
+        receptionSlots_.begin());
+  }
+  return static_cast<double>(visible + 1) / static_cast<double>(nodeCount_);
+}
+
+std::optional<double> RunResult::latencyForReachability(double target) const {
+  NSMODEL_CHECK(target > 0.0 && target <= 1.0,
+                "reachability target must lie in (0, 1]");
+  const auto targetCount = static_cast<std::size_t>(
+      std::ceil(target * static_cast<double>(nodeCount_)));
+  if (targetCount <= 1) return 0.0;  // the source alone suffices
+  const std::size_t needed = targetCount - 1;  // receptions beyond the source
+  if (needed > receptionSlots_.size()) return std::nullopt;
+  return phaseTimeOfSlot(receptionSlots_[needed - 1], slotsPerPhase_);
+}
+
+std::optional<double> RunResult::broadcastsForReachability(
+    double target) const {
+  NSMODEL_CHECK(target > 0.0 && target <= 1.0,
+                "reachability target must lie in (0, 1]");
+  const auto targetCount = static_cast<std::size_t>(
+      std::ceil(target * static_cast<double>(nodeCount_)));
+  if (targetCount <= 1) return 0.0;
+  const std::size_t needed = targetCount - 1;
+  if (needed > receptionSlots_.size()) return std::nullopt;
+  const std::uint64_t slot = receptionSlots_[needed - 1];
+  // Transmissions up to and including the delivering slot.
+  return static_cast<double>(
+      std::upper_bound(transmissionSlots_.begin(), transmissionSlots_.end(),
+                       slot) -
+      transmissionSlots_.begin());
+}
+
+double RunResult::reachabilityForBudget(double budget) const {
+  NSMODEL_CHECK(budget >= 0.0, "broadcast budget must be non-negative");
+  const auto allowed = static_cast<std::size_t>(std::floor(budget));
+  if (allowed >= transmissionSlots_.size()) return finalReachability();
+  if (allowed == 0) {
+    return 1.0 / static_cast<double>(nodeCount_);  // only the source
+  }
+  // The slot in which the last allowed transmission completed; receptions
+  // in that slot (possibly caused by it) still count.
+  const std::uint64_t cutoffSlot = transmissionSlots_[allowed - 1];
+  const auto visible = static_cast<std::size_t>(
+      std::upper_bound(receptionSlots_.begin(), receptionSlots_.end(),
+                       cutoffSlot) -
+      receptionSlots_.begin());
+  return static_cast<double>(visible + 1) / static_cast<double>(nodeCount_);
+}
+
+double RunResult::averageSuccessRate() const {
+  if (attemptedPairs_ == 0) return 0.0;
+  return static_cast<double>(deliveredPairs_) /
+         static_cast<double>(attemptedPairs_);
+}
+
+}  // namespace nsmodel::sim

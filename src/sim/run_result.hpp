@@ -1,0 +1,89 @@
+// Per-run observations of a broadcast experiment and the metric helpers
+// that mirror the analytic RingTrace interface.
+//
+// Times are recorded in slots (slot 0 is the first slot of phase T_1);
+// "phase time" of an event in slot t is (t + 1) / s — the event has
+// completed by the end of its slot.  This is the simulation counterpart of
+// the paper's fractional-phase latency measurement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nsmodel::sim {
+
+/// Aggregated observations of one phase.
+struct PhaseObservation {
+  std::uint64_t transmissions = 0;
+  std::uint64_t newReceivers = 0;
+  std::uint64_t deliveries = 0;     ///< successful receptions incl. duplicates
+  std::uint64_t lostReceivers = 0;  ///< collision victims (per slot, summed)
+};
+
+/// Immutable result of one simulated broadcast run.
+class RunResult {
+ public:
+  /// `receptionSlotByNode` (optional): the slot of each node's first
+  /// reception, kNeverReceived for nodes the broadcast missed and for the
+  /// source. Empty when per-node identities were not tracked.
+  RunResult(std::size_t nodeCount, int slotsPerPhase,
+            std::vector<std::uint64_t> receptionSlots,
+            std::vector<std::uint64_t> transmissionSlots,
+            std::vector<PhaseObservation> phases,
+            std::uint64_t attemptedPairs, std::uint64_t deliveredPairs,
+            std::vector<std::int64_t> receptionSlotByNode = {});
+
+  /// Marker in receptionSlotByNode() for "never received".
+  static constexpr std::int64_t kNeverReceived = -1;
+
+  /// Per-node first-reception slots (see constructor); may be empty.
+  const std::vector<std::int64_t>& receptionSlotByNode() const {
+    return receptionSlotByNode_;
+  }
+
+  std::size_t nodeCount() const { return nodeCount_; }
+  int slotsPerPhase() const { return slotsPerPhase_; }
+  const std::vector<PhaseObservation>& phases() const { return phases_; }
+
+  /// Number of nodes holding the packet (source included).
+  std::size_t reachedCount() const { return receptionSlots_.size() + 1; }
+
+  /// Final reachability: reachedCount / nodeCount.
+  double finalReachability() const;
+
+  /// Reachability after `t` phases (fractional; reception in slot u counts
+  /// once (u + 1) / s <= t).
+  double reachabilityAfter(double t) const;
+
+  /// Phase time at which reachability first reaches `target`; nullopt when
+  /// the run never reaches it.
+  std::optional<double> latencyForReachability(double target) const;
+
+  /// Total number of transmissions (the paper's energy metric M).
+  std::uint64_t totalBroadcasts() const { return transmissionSlots_.size(); }
+
+  /// Transmissions that occurred up to the moment reachability first hit
+  /// `target` (inclusive of the delivering slot); nullopt if never reached.
+  std::optional<double> broadcastsForReachability(double target) const;
+
+  /// Reachability at the moment the `budget`-th transmission's slot
+  /// completes; final reachability when fewer broadcasts occurred.
+  double reachabilityForBudget(double budget) const;
+
+  /// Fraction of (sender, neighbour) pairs that resulted in a successful
+  /// reception, duplicates included (the Fig. 12 success rate).
+  double averageSuccessRate() const;
+
+ private:
+  std::size_t nodeCount_;
+  int slotsPerPhase_;
+  std::vector<std::uint64_t> receptionSlots_;     // sorted, one per receiver
+  std::vector<std::uint64_t> transmissionSlots_;  // sorted
+  std::vector<PhaseObservation> phases_;
+  std::uint64_t attemptedPairs_;
+  std::uint64_t deliveredPairs_;
+  std::vector<std::int64_t> receptionSlotByNode_;
+};
+
+}  // namespace nsmodel::sim

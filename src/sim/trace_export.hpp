@@ -1,0 +1,19 @@
+// CSV export of simulation artefacts for downstream plotting.
+#pragma once
+
+#include <string>
+
+#include "net/deployment.hpp"
+#include "sim/run_result.hpp"
+
+namespace nsmodel::sim {
+
+/// Writes one row per phase: phase, transmissions, new receivers,
+/// deliveries, lost receivers, cumulative reachability.
+void exportPhaseTraceCsv(const RunResult& run, const std::string& path);
+
+/// Writes one row per node: id, x, y, ring (unit ring width), is_source.
+void exportDeploymentCsv(const net::Deployment& deployment,
+                         const std::string& path);
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,92 @@
+#include "support/cli_args.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = std::nullopt;
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  touched_[name] = true;
+  return flags_.find(name) != flags_.end();
+}
+
+std::optional<std::optional<std::string>> CliArgs::get(
+    const std::string& name) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::getString(const std::string& name,
+                               const std::string& fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  NSMODEL_CHECK(value->has_value(),
+                "--" + name + " requires a value (--" + name + "=...)");
+  return **value;
+}
+
+double CliArgs::getDouble(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  NSMODEL_CHECK(value->has_value(),
+                "--" + name + " requires a numeric value");
+  char* end = nullptr;
+  const double parsed = std::strtod((*value)->c_str(), &end);
+  NSMODEL_CHECK(end != nullptr && *end == '\0' && !(*value)->empty(),
+                "--" + name + " is not a number: " + **value);
+  return parsed;
+}
+
+long CliArgs::getInt(const std::string& name, long fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  NSMODEL_CHECK(value->has_value(),
+                "--" + name + " requires an integer value");
+  char* end = nullptr;
+  const long parsed = std::strtol((*value)->c_str(), &end, 10);
+  NSMODEL_CHECK(end != nullptr && *end == '\0' && !(*value)->empty(),
+                "--" + name + " is not an integer: " + **value);
+  return parsed;
+}
+
+bool CliArgs::getBool(const std::string& name, bool fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  if (!value->has_value()) return true;  // bare --flag means true
+  const std::string& text = **value;
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  NSMODEL_CHECK(false, "--" + name + " is not a boolean: " + text);
+  return fallback;
+}
+
+std::vector<std::string> CliArgs::unusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (touched_.find(name) == touched_.end()) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace nsmodel::support

@@ -1,0 +1,52 @@
+// Minimal command-line flag parsing for the tools and bench binaries.
+//
+// Grammar: positional arguments and `--name=value` / `--name` flags, in
+// any order.  No external dependencies; just enough structure for the
+// nsmodel CLI.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nsmodel::support {
+
+/// Parsed command line.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Program name (argv[0]); empty when argc == 0.
+  const std::string& program() const { return program_; }
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Raw flag lookup. Outer optional: was --name present at all?
+  /// Inner optional: did it carry a value (--name=value vs bare --name)?
+  std::optional<std::optional<std::string>> get(
+      const std::string& name) const;
+
+  /// Typed accessors with defaults; throw nsmodel::Error on malformed
+  /// values (e.g. --rho=abc).
+  std::string getString(const std::string& name,
+                        const std::string& fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  long getInt(const std::string& name, long fallback) const;
+  bool getBool(const std::string& name, bool fallback = false) const;
+
+  /// Flags that were never read by any accessor; lets tools reject typos.
+  std::vector<std::string> unusedFlags() const;
+
+ private:
+  std::string program_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::optional<std::string>> flags_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace nsmodel::support

@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace nsmodel::detail {
+
+void throwError(const char* expr, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " [check `" << expr << "` failed at " << file << ':'
+      << line << ']';
+  throw Error(oss.str());
+}
+
+}  // namespace nsmodel::detail

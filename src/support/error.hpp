@@ -1,0 +1,45 @@
+// Error handling primitives for the nsmodel library.
+//
+// The library reports contract violations (bad arguments, broken invariants)
+// by throwing nsmodel::Error.  Internal invariants that should be impossible
+// to violate use NSMODEL_ASSERT, which is compiled in all build types: the
+// numerical code in this project is cheap relative to the cost of silently
+// propagating a NaN through a phase recursion.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nsmodel {
+
+/// Exception thrown on contract violations anywhere in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwError(const char* expr, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+/// Checks a user-facing precondition; throws nsmodel::Error on failure.
+#define NSMODEL_CHECK(expr, message)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::nsmodel::detail::throwError(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                      \
+  } while (false)
+
+/// Checks an internal invariant; throws nsmodel::Error on failure.
+/// Enabled in every build type.
+#define NSMODEL_ASSERT(expr)                                \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::nsmodel::detail::throwError(#expr, __FILE__,        \
+                                    __LINE__,               \
+                                    "internal invariant");  \
+    }                                                       \
+  } while (false)
+
+}  // namespace nsmodel

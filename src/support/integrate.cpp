@@ -1,0 +1,94 @@
+#include "support/integrate.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+GaussLegendre::GaussLegendre(int order) {
+  NSMODEL_CHECK(order >= 1, "GaussLegendre order must be >= 1");
+  nodes_.resize(order);
+  weights_.resize(order);
+  const int n = order;
+  // Roots come in +- pairs; iterate on the positive half.
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    // Chebyshev-based initial guess for the i-th root of P_n.
+    double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double dp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P'_n(x) via the three-term recurrence.
+      double p0 = 1.0;
+      double p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double pk = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) /
+                          static_cast<double>(k);
+        p0 = p1;
+        p1 = pk;
+      }
+      dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    nodes_[i] = -x;
+    nodes_[n - 1 - i] = x;
+    weights_[i] = w;
+    weights_[n - 1 - i] = w;
+  }
+  if (n % 2 == 1) {
+    // P_n(0) derivative for the central node (x = 0).
+    nodes_[n / 2] = 0.0;
+  }
+}
+
+double GaussLegendre::integrate(double a, double b,
+                                const std::function<double(double)>& f) const {
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    sum += weights_[i] * f(mid + half * nodes_[i]);
+  }
+  return sum * half;
+}
+
+namespace {
+double simpsonRule(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptiveStep(const std::function<double(double)>& f, double a, double b,
+                    double fa, double fm, double fb, double whole, double tol,
+                    int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpsonRule(fa, flm, fm, a, m);
+  const double right = simpsonRule(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptiveStep(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1) +
+         adaptiveStep(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1);
+}
+}  // namespace
+
+double adaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol, int maxDepth) {
+  NSMODEL_CHECK(tol > 0.0, "adaptiveSimpson tolerance must be positive");
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = simpsonRule(fa, fm, fb, a, b);
+  return adaptiveStep(f, a, b, fa, fm, fb, whole, tol, maxDepth);
+}
+
+}  // namespace nsmodel::support

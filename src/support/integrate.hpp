@@ -1,0 +1,43 @@
+// Numerical quadrature used by the analytical framework.
+//
+// Equation (4) of the paper integrates a smooth (piecewise-smooth in x)
+// integrand over a ring's radial coordinate.  Gauss–Legendre on a modest
+// number of nodes is accurate and — crucially for the p-sweep over
+// thousands of (rho, p, phase, ring) combinations — fast and allocation
+// free after the node table is built.  Adaptive Simpson is provided as an
+// independent cross-check for tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace nsmodel::support {
+
+/// Gauss–Legendre quadrature rule on [-1, 1], mapped to arbitrary [a, b].
+class GaussLegendre {
+ public:
+  /// Builds an `order`-point rule (order >= 1). Nodes/weights are computed
+  /// with Newton iteration on Legendre polynomials to ~1e-15.
+  explicit GaussLegendre(int order);
+
+  int order() const { return static_cast<int>(nodes_.size()); }
+
+  /// Integrates f over [a, b].
+  double integrate(double a, double b,
+                   const std::function<double(double)>& f) const;
+
+  /// Node/weight access for callers that inline their own loop.
+  const std::vector<double>& nodes() const { return nodes_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> nodes_;    // on [-1, 1]
+  std::vector<double> weights_;
+};
+
+/// Adaptive Simpson integration of f over [a, b] to absolute tolerance
+/// `tol`; recursion depth is bounded by `maxDepth`.
+double adaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-10, int maxDepth = 40);
+
+}  // namespace nsmodel::support

@@ -1,0 +1,44 @@
+#include "support/log_math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double logFactorial(std::int64_t n) {
+  NSMODEL_CHECK(n >= 0, "logFactorial requires n >= 0");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double logBinomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return kNegInf;
+  return logFactorial(n) - logFactorial(k) - logFactorial(n - k);
+}
+
+double logFallingFactorial(std::int64_t n, std::int64_t k) {
+  NSMODEL_CHECK(k >= 0, "logFallingFactorial requires k >= 0");
+  if (k == 0) return 0.0;
+  if (n < k) return kNegInf;
+  return logFactorial(n) - logFactorial(n - k);
+}
+
+double binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return 0.0;
+  return std::exp(logBinomial(n, k));
+}
+
+double logSumExp(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double hi = a > b ? a : b;
+  const double lo = a > b ? b : a;
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+}  // namespace nsmodel::support

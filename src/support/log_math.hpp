@@ -1,0 +1,29 @@
+// Log-space combinatorics.
+//
+// The occupancy probabilities mu(K, s) involve terms like C(K, i) (1/s)^i
+// ((s-1)/s)^(K-i) with K up to several hundred; evaluating them in log
+// space avoids overflow of the binomial coefficient and underflow of the
+// powers.
+#pragma once
+
+#include <cstdint>
+
+namespace nsmodel::support {
+
+/// log(n!) via lgamma. Requires n >= 0.
+double logFactorial(std::int64_t n);
+
+/// log C(n, k). Returns -inf when k < 0 or k > n (empty coefficient).
+double logBinomial(std::int64_t n, std::int64_t k);
+
+/// log of the falling factorial n * (n-1) * ... * (n-k+1).
+/// Returns -inf when k > n; 0 when k == 0.
+double logFallingFactorial(std::int64_t n, std::int64_t k);
+
+/// Exact binomial coefficient as double (may overflow to inf for large n).
+double binomial(std::int64_t n, std::int64_t k);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double logSumExp(double a, double b);
+
+}  // namespace nsmodel::support

@@ -1,0 +1,40 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace nsmodel::support {
+
+namespace {
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+std::mutex gMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { gLevel.store(level); }
+
+LogLevel logLevel() { return gLevel.load(); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(gLevel.load())) return;
+  std::lock_guard lock(gMutex);
+  std::cerr << '[' << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace nsmodel::support

@@ -1,0 +1,44 @@
+// Minimal leveled logging.
+//
+// The simulator and benches mostly print structured tables; logging exists
+// for progress reporting on long sweeps and for debugging, and is silenced
+// (Level::Warn) by default so that bench output stays machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nsmodel::support {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one line to stderr with a level prefix (thread-safe).
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine logDebug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine logError() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace nsmodel::support

@@ -1,0 +1,106 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.next();
+}
+
+Rng Rng::forStream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id through SplitMix64 before combining so that
+  // consecutive stream ids land far apart in seed space.
+  SplitMix64 sm(stream + 0x5851f42d4c957f2dULL);
+  return Rng(seed ^ sm.next());
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Take the top 53 bits; (1.0 / 2^53) * k is exactly representable.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  NSMODEL_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  NSMODEL_CHECK(n > 0, "below(n) requires n > 0");
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t draw;
+  do {
+    draw = next();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+std::int64_t Rng::inRange(std::int64_t lo, std::int64_t hi) {
+  NSMODEL_CHECK(lo <= hi, "inRange(lo, hi) requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 for full range
+  if (span == 0) return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  NSMODEL_CHECK(rate > 0.0, "exponential(rate) requires rate > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  NSMODEL_CHECK(lambda >= 0.0, "poisson(lambda) requires lambda >= 0");
+  if (lambda == 0.0) return 0;
+  // Chunked inversion by multiplication: exp(-lambda) underflows past ~745,
+  // so draw in chunks of at most 500 and sum (Poisson is additive).
+  std::uint64_t total = 0;
+  double remaining = lambda;
+  while (remaining > 0.0) {
+    const double chunk = remaining > 500.0 ? 500.0 : remaining;
+    remaining -= chunk;
+    const double threshold = std::exp(-chunk);
+    double product = 1.0;
+    std::uint64_t count = 0;
+    for (;;) {
+      product *= uniform();
+      if (product <= threshold) break;
+      ++count;
+    }
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace nsmodel::support

@@ -1,0 +1,172 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::standardError() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStat::confidenceHalfWidth(double level) const {
+  NSMODEL_CHECK(level > 0.0 && level < 1.0,
+                "confidence level must lie in (0, 1)");
+  if (count_ < 2) return 0.0;
+  const double z = normalQuantile(0.5 + level / 2.0);
+  return z * standardError();
+}
+
+double RunningStat::min() const {
+  NSMODEL_CHECK(count_ > 0, "min() of empty RunningStat");
+  return min_;
+}
+
+double RunningStat::max() const {
+  NSMODEL_CHECK(count_ > 0, "max() of empty RunningStat");
+  return max_;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  RunningStat stat;
+  for (double s : samples) stat.add(s);
+  Summary out;
+  out.count = stat.count();
+  if (out.count == 0) return out;
+  out.mean = stat.mean();
+  out.stddev = stat.stddev();
+  out.ciHalfWidth95 = stat.confidenceHalfWidth(0.95);
+  out.min = stat.min();
+  out.max = stat.max();
+  return out;
+}
+
+double normalQuantile(double probability) {
+  NSMODEL_CHECK(probability > 0.0 && probability < 1.0,
+                "normalQuantile requires probability in (0, 1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1 - plow;
+
+  const double p = probability;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  NSMODEL_CHECK(hi > lo, "Histogram range must be non-empty");
+  NSMODEL_CHECK(bins > 0, "Histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::binCount(std::size_t bin) const {
+  NSMODEL_CHECK(bin < counts_.size(), "Histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::binLow(std::size_t bin) const {
+  NSMODEL_CHECK(bin < counts_.size(), "Histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::binHigh(std::size_t bin) const {
+  return binLow(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  NSMODEL_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  NSMODEL_CHECK(total_ > 0, "quantile of empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double within =
+          counts_[i] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts_[i]);
+      return binLow(i) + within * (binHigh(i) - binLow(i));
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+}  // namespace nsmodel::support

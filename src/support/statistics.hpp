@@ -1,0 +1,82 @@
+// Streaming statistics for Monte-Carlo aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nsmodel::support {
+
+/// Welford's streaming mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction), as in Chan et al.
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double standardError() const;
+
+  /// Half-width of the normal-approximation confidence interval at the
+  /// given two-sided confidence level (default 95%).
+  double confidenceHalfWidth(double level = 0.95) const;
+
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample: mean, CI half-width, extremes.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ciHalfWidth95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises a vector of samples.
+Summary summarize(const std::vector<double>& samples);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9). Used for confidence intervals.
+double normalQuantile(double probability);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the boundary buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t totalCount() const { return total_; }
+  std::size_t binCount(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+  double binLow(std::size_t bin) const;
+  double binHigh(std::size_t bin) const;
+
+  /// Empirical quantile (linear within the containing bin).
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nsmodel::support

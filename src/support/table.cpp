@@ -1,0 +1,113 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NSMODEL_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> row) {
+  NSMODEL_CHECK(row.size() == header_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::addRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(formatDouble(v, precision));
+  addRow(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  printRow(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string TablePrinter::toString() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string formatDouble(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+namespace {
+std::string escapeCsv(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char ch : field) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : impl_(new Impl), columns_(header.size()) {
+  NSMODEL_CHECK(!header.empty(), "CSV needs at least one column");
+  impl_->out.open(path, std::ios::trunc);
+  NSMODEL_CHECK(impl_->out.good(), "cannot open CSV file: " + path);
+  addRow(header);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::addRow(const std::vector<std::string>& row) {
+  NSMODEL_CHECK(row.size() == columns_, "CSV row width mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c != 0) impl_->out << ',';
+    impl_->out << escapeCsv(row[c]);
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::addRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(formatDouble(v, precision));
+  addRow(cells);
+}
+
+}  // namespace nsmodel::support

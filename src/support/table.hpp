@@ -1,0 +1,60 @@
+// Plain-text tables and CSV output for bench/example binaries.
+//
+// Every figure-reproduction bench prints (a) a human-readable aligned table
+// mirroring the paper's series and (b) optionally a CSV for downstream
+// plotting.  Both are handled here so output formats stay uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nsmodel::support {
+
+/// Builds an aligned, human-readable text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void addRow(const std::vector<double>& row, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string.
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table rows).
+std::string formatDouble(double value, int precision = 4);
+
+/// Writes rows as CSV. Fields containing commas/quotes/newlines are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void addRow(const std::vector<std::string>& row);
+  void addRow(const std::vector<double>& row, int precision = 6);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t columns_;
+};
+
+}  // namespace nsmodel::support

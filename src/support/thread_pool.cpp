@@ -1,0 +1,89 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+std::size_t ThreadPool::defaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  NSMODEL_CHECK(threads >= 1, "ThreadPool requires at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t chunk) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (chunk == 0) {
+    // Aim for ~4 chunks per worker to smooth load imbalance.
+    const std::size_t target = pool.size() * 4;
+    chunk = std::max<std::size_t>(1, n / std::max<std::size_t>(1, target));
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(n / chunk + 1);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+ThreadPool& globalPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t chunk) {
+  parallelFor(globalPool(), begin, end, body, chunk);
+}
+
+}  // namespace nsmodel::support

@@ -1,0 +1,84 @@
+// Fixed-size thread pool and data-parallel helpers.
+//
+// Monte-Carlo sweeps dominate the runtime of the simulation harness; they
+// are embarrassingly parallel across (parameter point, seed) pairs.  The
+// pool is deliberately simple — a single locked deque, no work stealing —
+// because each task here is a whole simulation run (milliseconds), so queue
+// contention is negligible.
+//
+// Determinism: parallel_for only partitions index ranges; all randomness is
+// derived from (seed, index) pairs by the caller (see support/rng.hpp), so
+// results do not depend on the number of workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsmodel::support {
+
+/// A fixed pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (>= 1). The default uses the
+  /// hardware concurrency, falling back to 1 when it is unknown.
+  explicit ThreadPool(std::size_t threads = defaultThreadCount());
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future resolves with the task's result
+  /// (or its exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  static std::size_t defaultThreadCount();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end) across the pool, blocking
+/// until all iterations finish.  Iterations are grouped into contiguous
+/// chunks of size `chunk` (0 = pick automatically).  The first exception
+/// thrown by any iteration is rethrown in the caller.
+void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t chunk = 0);
+
+/// Convenience overload using a process-wide shared pool.
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t chunk = 0);
+
+/// Process-wide shared pool (lazily constructed).
+ThreadPool& globalPool();
+
+}  // namespace nsmodel::support

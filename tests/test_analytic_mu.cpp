@@ -1,0 +1,381 @@
+#include "analytic/mu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::analytic {
+namespace {
+
+/// Exhaustive enumeration of all s^K drops; ground truth for small cases.
+double muBruteForce(int k, int s) {
+  if (k == 0) return 0.0;
+  std::vector<int> assignment(k, 0);
+  long total = 0;
+  long success = 0;
+  for (;;) {
+    std::vector<int> counts(s, 0);
+    for (int item = 0; item < k; ++item) ++counts[assignment[item]];
+    bool ok = false;
+    for (int bucket = 0; bucket < s; ++bucket) {
+      if (counts[bucket] == 1) ok = true;
+    }
+    ++total;
+    if (ok) ++success;
+    // Odometer increment.
+    int pos = 0;
+    while (pos < k && ++assignment[pos] == s) {
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == k) break;
+  }
+  return static_cast<double>(success) / static_cast<double>(total);
+}
+
+/// Exhaustive ground truth for mu': bucket with exactly one A, zero B.
+double muPrimeBruteForce(int k1, int k2, int s) {
+  if (k1 == 0) return 0.0;
+  const int k = k1 + k2;
+  std::vector<int> assignment(k, 0);
+  long total = 0;
+  long success = 0;
+  for (;;) {
+    std::vector<int> aCounts(s, 0), bCounts(s, 0);
+    for (int item = 0; item < k; ++item) {
+      if (item < k1) {
+        ++aCounts[assignment[item]];
+      } else {
+        ++bCounts[assignment[item]];
+      }
+    }
+    bool ok = false;
+    for (int bucket = 0; bucket < s; ++bucket) {
+      if (aCounts[bucket] == 1 && bCounts[bucket] == 0) ok = true;
+    }
+    ++total;
+    if (ok) ++success;
+    int pos = 0;
+    while (pos < k && ++assignment[pos] == s) {
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == k) break;
+  }
+  return static_cast<double>(success) / static_cast<double>(total);
+}
+
+TEST(Mu, BaseCases) {
+  for (int s = 1; s <= 6; ++s) {
+    EXPECT_DOUBLE_EQ(mu(0, s), 0.0) << "s=" << s;
+    EXPECT_DOUBLE_EQ(mu(1, s), 1.0) << "s=" << s;
+  }
+}
+
+TEST(Mu, SingleBucket) {
+  EXPECT_DOUBLE_EQ(mu(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(mu(2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mu(5, 1), 0.0);
+}
+
+TEST(Mu, TwoItemsTwoBuckets) {
+  // Both drops distinct buckets (prob 1/2) -> two singletons; same bucket
+  // -> none. mu(2,2) = 1/2.
+  EXPECT_NEAR(mu(2, 2), 0.5, 1e-12);
+}
+
+TEST(Mu, MatchesBruteForceEnumeration) {
+  for (int s = 1; s <= 5; ++s) {
+    for (int k = 0; k <= 8; ++k) {
+      EXPECT_NEAR(mu(k, s), muBruteForce(k, s), 1e-10)
+          << "K=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(Mu, RecursionMatchesClosedForm) {
+  for (int s = 1; s <= 6; ++s) {
+    for (int k = 0; k <= 40; ++k) {
+      EXPECT_NEAR(mu(k, s), muRecursive(k, s), 1e-9)
+          << "K=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(Mu, MatchesMonteCarlo) {
+  support::Rng rng(1);
+  const int s = 3;
+  for (int k : {2, 5, 9, 15}) {
+    const int trials = 200000;
+    int success = 0;
+    std::vector<int> counts(s);
+    for (int t = 0; t < trials; ++t) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (int item = 0; item < k; ++item) ++counts[rng.below(s)];
+      for (int bucket = 0; bucket < s; ++bucket) {
+        if (counts[bucket] == 1) {
+          ++success;
+          break;
+        }
+      }
+    }
+    EXPECT_NEAR(mu(k, s), static_cast<double>(success) / trials, 0.005)
+        << "K=" << k;
+  }
+}
+
+TEST(Mu, IsAProbability) {
+  for (int s = 1; s <= 8; ++s) {
+    for (int k = 0; k <= 300; ++k) {
+      const double v = mu(k, s);
+      EXPECT_GE(v, 0.0) << "K=" << k << " s=" << s;
+      EXPECT_LE(v, 1.0) << "K=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(Mu, VanishesForLargeK) {
+  // Crowded slots: with K >> s the chance of a singleton slot dies off.
+  EXPECT_LT(mu(100, 3), 1e-10);
+  EXPECT_GT(mu(100, 3), 0.0 - 1e-15);
+}
+
+TEST(Mu, MoreSlotsNeverHurt) {
+  // For fixed K, adding slots increases the singleton chance.
+  for (int k : {2, 4, 8, 16}) {
+    for (int s = 1; s < 10; ++s) {
+      EXPECT_LE(mu(k, s), mu(k, s + 1) + 1e-12)
+          << "K=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(Mu, UnimodalInKForPaperSlots) {
+  // With s = 3 (the paper's setting), mu dips at K=2 (both items may share
+  // a bucket), recovers at K=3, and then decays monotonically toward 0.
+  const int s = 3;
+  EXPECT_LT(mu(2, s), mu(3, s));
+  double prev = mu(3, s);
+  for (int k = 4; k <= 60; ++k) {
+    const double cur = mu(k, s);
+    EXPECT_LE(cur, prev + 1e-12) << "K=" << k;
+    prev = cur;
+  }
+}
+
+TEST(Mu, InputValidation) {
+  EXPECT_THROW(mu(-1, 3), nsmodel::Error);
+  EXPECT_THROW(mu(3, 0), nsmodel::Error);
+  EXPECT_THROW(muRecursive(-1, 3), nsmodel::Error);
+  EXPECT_THROW(muRecursive(3, 0), nsmodel::Error);
+}
+
+TEST(MuPrime, ReducesToMuWithoutTypeB) {
+  for (int s = 1; s <= 5; ++s) {
+    for (int k1 = 0; k1 <= 20; ++k1) {
+      EXPECT_NEAR(muPrime(k1, 0, s), mu(k1, s), 1e-12)
+          << "K1=" << k1 << " s=" << s;
+    }
+  }
+}
+
+TEST(MuPrime, MatchesBruteForceEnumeration) {
+  for (int s = 2; s <= 4; ++s) {
+    for (int k1 = 0; k1 <= 4; ++k1) {
+      for (int k2 = 0; k2 <= 4; ++k2) {
+        EXPECT_NEAR(muPrime(k1, k2, s), muPrimeBruteForce(k1, k2, s), 1e-10)
+            << "K1=" << k1 << " K2=" << k2 << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(MuPrime, RecursionMatchesClosedForm) {
+  for (int s = 1; s <= 4; ++s) {
+    for (int k1 = 0; k1 <= 10; ++k1) {
+      for (int k2 = 0; k2 <= 10; ++k2) {
+        EXPECT_NEAR(muPrime(k1, k2, s), muPrimeRecursive(k1, k2, s), 1e-9)
+            << "K1=" << k1 << " K2=" << k2 << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(MuPrime, TypeBItemsOnlyHurt) {
+  for (int k1 : {1, 3, 7}) {
+    for (int s : {2, 3, 5}) {
+      double prev = muPrime(k1, 0, s);
+      for (int k2 = 1; k2 <= 12; ++k2) {
+        const double cur = muPrime(k1, k2, s);
+        EXPECT_LE(cur, prev + 1e-12)
+            << "K1=" << k1 << " K2=" << k2 << " s=" << s;
+        prev = cur;
+      }
+    }
+  }
+}
+
+TEST(MuPrime, MatchesMonteCarlo) {
+  support::Rng rng(2);
+  const int s = 3;
+  const int k1 = 4, k2 = 6;
+  const int trials = 200000;
+  int success = 0;
+  for (int t = 0; t < trials; ++t) {
+    int aCounts[3] = {0, 0, 0};
+    int bCounts[3] = {0, 0, 0};
+    for (int i = 0; i < k1; ++i) ++aCounts[rng.below(s)];
+    for (int i = 0; i < k2; ++i) ++bCounts[rng.below(s)];
+    for (int bucket = 0; bucket < s; ++bucket) {
+      if (aCounts[bucket] == 1 && bCounts[bucket] == 0) {
+        ++success;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(muPrime(k1, k2, s), static_cast<double>(success) / trials,
+              0.005);
+}
+
+TEST(MuPrime, IsAProbability) {
+  for (int k1 = 0; k1 <= 50; k1 += 5) {
+    for (int k2 = 0; k2 <= 150; k2 += 15) {
+      const double v = muPrime(k1, k2, 3);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(MuPrime, InputValidation) {
+  EXPECT_THROW(muPrime(-1, 0, 3), nsmodel::Error);
+  EXPECT_THROW(muPrime(0, -1, 3), nsmodel::Error);
+  EXPECT_THROW(muPrime(1, 1, 0), nsmodel::Error);
+}
+
+TEST(MuReal, InterpolateMatchesIntegersExactly) {
+  for (int k = 0; k <= 30; ++k) {
+    EXPECT_DOUBLE_EQ(muReal(static_cast<double>(k), 3,
+                            RealKPolicy::Interpolate),
+                     mu(k, 3));
+  }
+}
+
+TEST(MuReal, InterpolateIsLinearBetweenIntegers) {
+  const double lo = mu(4, 3);
+  const double hi = mu(5, 3);
+  EXPECT_NEAR(muReal(4.25, 3, RealKPolicy::Interpolate),
+              lo + 0.25 * (hi - lo), 1e-12);
+}
+
+TEST(MuReal, PoissonClosedFormMatchesMixture) {
+  // Direct Poisson mixture of integer mu values must equal the closed form.
+  const int s = 3;
+  for (double lambda : {0.5, 2.0, 7.0, 20.0}) {
+    double mixture = 0.0;
+    double logPmf = -lambda;  // log P(K = 0)
+    for (int k = 0; k <= 200; ++k) {
+      if (k > 0) logPmf += std::log(lambda / k);
+      mixture += std::exp(logPmf) * mu(k, s);
+    }
+    EXPECT_NEAR(muReal(lambda, s, RealKPolicy::Poisson), mixture, 1e-9)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(MuReal, PoliciesAgreeAtZero) {
+  EXPECT_DOUBLE_EQ(muReal(0.0, 3, RealKPolicy::Interpolate), 0.0);
+  EXPECT_DOUBLE_EQ(muReal(0.0, 3, RealKPolicy::Poisson), 0.0);
+}
+
+TEST(MuReal, Validation) {
+  EXPECT_THROW(muReal(-0.1, 3, RealKPolicy::Interpolate), nsmodel::Error);
+  EXPECT_THROW(muReal(1.0, 0, RealKPolicy::Poisson), nsmodel::Error);
+}
+
+TEST(MuPrimeReal, PoissonClosedFormMatchesDoubleMixture) {
+  const int s = 3;
+  const double l1 = 3.0, l2 = 5.0;
+  double mixture = 0.0;
+  double logP1 = -l1;
+  for (int k1 = 0; k1 <= 60; ++k1) {
+    if (k1 > 0) logP1 += std::log(l1 / k1);
+    double logP2 = -l2;
+    for (int k2 = 0; k2 <= 80; ++k2) {
+      if (k2 > 0) logP2 += std::log(l2 / k2);
+      mixture += std::exp(logP1 + logP2) * muPrime(k1, k2, s);
+    }
+  }
+  EXPECT_NEAR(muPrimeReal(l1, l2, s, RealKPolicy::Poisson), mixture, 1e-8);
+}
+
+TEST(MuPrimeReal, BilinearInterpolationAtCorners) {
+  for (int k1 : {0, 2, 5}) {
+    for (int k2 : {0, 3, 8}) {
+      EXPECT_DOUBLE_EQ(
+          muPrimeReal(static_cast<double>(k1), static_cast<double>(k2), 3,
+                      RealKPolicy::Interpolate),
+          muPrime(k1, k2, 3));
+    }
+  }
+}
+
+TEST(MuPrimeReal, ReducesToMuRealWithoutTypeB) {
+  for (double lambda : {0.7, 3.3, 11.1}) {
+    for (auto policy : {RealKPolicy::Interpolate, RealKPolicy::Poisson}) {
+      EXPECT_NEAR(muPrimeReal(lambda, 0.0, 3, policy),
+                  muReal(lambda, 3, policy), 1e-12);
+    }
+  }
+}
+
+TEST(ExpectedSingletonSlots, IntegerValues) {
+  // E[# singleton slots] = K ((s-1)/s)^{K-1}.
+  const int s = 3;
+  for (int k = 0; k <= 20; ++k) {
+    const double expected =
+        k == 0 ? 0.0
+               : k * std::pow(2.0 / 3.0, static_cast<double>(k - 1));
+    EXPECT_NEAR(expectedSingletonSlots(static_cast<double>(k), s,
+                                       RealKPolicy::Interpolate),
+                expected, 1e-12);
+  }
+}
+
+TEST(ExpectedSingletonSlots, PoissonForm) {
+  const int s = 3;
+  for (double lambda : {0.0, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(expectedSingletonSlots(lambda, s, RealKPolicy::Poisson),
+                lambda * std::exp(-lambda / s), 1e-12);
+  }
+}
+
+TEST(ExpectedSingletonSlots, MatchesMonteCarlo) {
+  support::Rng rng(3);
+  const int s = 3, k = 6;
+  const int trials = 200000;
+  long singletons = 0;
+  for (int t = 0; t < trials; ++t) {
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < k; ++i) ++counts[rng.below(s)];
+    for (int bucket = 0; bucket < s; ++bucket) {
+      if (counts[bucket] == 1) ++singletons;
+    }
+  }
+  EXPECT_NEAR(expectedSingletonSlots(k, s, RealKPolicy::Interpolate),
+              static_cast<double>(singletons) / trials, 0.01);
+}
+
+TEST(ExpectedSingletonSlots, SingleItemAlwaysSingleton) {
+  for (int s = 1; s <= 5; ++s) {
+    EXPECT_DOUBLE_EQ(
+        expectedSingletonSlots(1.0, s, RealKPolicy::Interpolate), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nsmodel::analytic

@@ -1,0 +1,63 @@
+// Reproducibility record: Eq. (2) as printed in the paper cannot be the
+// recursion its numbers came from.  These tests document the failure
+// modes and confirm our re-derivation is the consistent one.
+#include "analytic/mu_literal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analytic/mu.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::analytic {
+namespace {
+
+TEST(MuAsPrinted, AgreesOnTrivialBase) {
+  EXPECT_DOUBLE_EQ(muAsPrinted(1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(muAsPrinted(1, 1), 1.0);
+}
+
+TEST(MuAsPrinted, DisagreesWithGroundTruthAlmostEverywhere) {
+  // mu(2, 2) = 1/2 by enumeration; the printed recursion cannot produce
+  // it (its i-sum is empty for K = 2 and the first term collapses).
+  EXPECT_NEAR(mu(2, 2), 0.5, 1e-12);
+  EXPECT_GT(std::abs(muAsPrinted(2, 2) - 0.5), 0.2);
+}
+
+TEST(MuAsPrinted, CollapsesToZeroForEveryKAboveOne) {
+  // The printed recursion's failure mode: the success case multiplies
+  // into the recursion instead of terminating it, so every branch
+  // eventually bottoms out in the (unstated) s = 1 base case and the
+  // whole expression evaluates to exactly zero for K >= 2 — clearly not
+  // what generated the paper's Fig. 4 numbers.
+  for (int s = 2; s <= 5; ++s) {
+    for (int k = 2; k <= 40; ++k) {
+      EXPECT_DOUBLE_EQ(muAsPrinted(k, s), 0.0) << "K=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(MuAsPrinted, DeviationIsLargeNotRoundoff) {
+  // If the printed form were just a transcription of the correct one, the
+  // deviation would be ~1e-15. It is order 1.
+  EXPECT_GT(maxPrintedDeviation(30, 3), 0.5);
+  EXPECT_GT(maxPrintedDeviation(30, 5), 0.5);
+}
+
+TEST(MuAsPrinted, CorrectedRecursionHasNoSuchDeviation) {
+  for (int s = 2; s <= 5; ++s) {
+    double worst = 0.0;
+    for (int k = 1; k <= 30; ++k) {
+      worst = std::max(worst, std::abs(muRecursive(k, s) - mu(k, s)));
+    }
+    EXPECT_LT(worst, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(MuAsPrinted, Validation) {
+  EXPECT_THROW(muAsPrinted(-1, 3), nsmodel::Error);
+  EXPECT_THROW(muAsPrinted(2, 0), nsmodel::Error);
+  EXPECT_THROW(maxPrintedDeviation(0, 3), nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::analytic

@@ -1,0 +1,160 @@
+// Parameterized property sweeps over the analytic framework: for every
+// combination of (rho, p, channel, real-K policy) the Eq. 4 recursion must
+// satisfy conservation, monotonicity, and bound invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "analytic/ring_model.hpp"
+
+namespace nsmodel::analytic {
+namespace {
+
+using Params = std::tuple<double /*rho*/, double /*p*/, ChannelKind,
+                          RealKPolicy>;
+
+class RingModelProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  RingModelConfig config() const {
+    const auto& [rho, p, channel, policy] = GetParam();
+    RingModelConfig cfg;
+    cfg.rings = 5;
+    cfg.ringWidth = 1.0;
+    cfg.neighborDensity = rho;
+    cfg.slotsPerPhase = 3;
+    cfg.broadcastProb = p;
+    cfg.channel = channel;
+    cfg.policy = policy;
+    return cfg;
+  }
+};
+
+TEST_P(RingModelProperty, PerPhaseQuantitiesAreSane) {
+  const RingTrace trace = RingModel(config()).run();
+  ASSERT_FALSE(trace.phases().empty());
+  for (const PhaseStats& phase : trace.phases()) {
+    EXPECT_GE(phase.newTotal, 0.0);
+    EXPECT_GE(phase.broadcasts, 0.0);
+    EXPECT_GE(phase.successRate, 0.0);
+    EXPECT_LE(phase.successRate, 1.0 + 1e-9);
+    double sum = 0.0;
+    for (double ring : phase.newPerRing) {
+      EXPECT_GE(ring, 0.0);
+      sum += ring;
+    }
+    EXPECT_NEAR(sum, phase.newTotal, 1e-9);
+  }
+}
+
+TEST_P(RingModelProperty, ConservationOfPopulation) {
+  const RingModelConfig cfg = config();
+  const RingTrace trace = RingModel(cfg).run();
+  const double n = cfg.expectedNodes();
+  double received = 1.0;  // the source
+  for (const PhaseStats& phase : trace.phases()) {
+    received += phase.newTotal;
+  }
+  EXPECT_LE(received, n + 1.0 + 1e-6);
+  EXPECT_LE(trace.finalReachability(), 1.0);
+  EXPECT_GE(trace.finalReachability(), 0.0);
+}
+
+TEST_P(RingModelProperty, ReachabilityIsNondecreasingInTime) {
+  const RingTrace trace = RingModel(config()).run();
+  double prev = 0.0;
+  for (double t = 0.0; t <= 20.0; t += 0.5) {
+    const double cur = trace.reachabilityAfter(t);
+    EXPECT_GE(cur, prev - 1e-12) << "t=" << t;
+    prev = cur;
+  }
+}
+
+TEST_P(RingModelProperty, BroadcastAccountingIsConsistent) {
+  const RingModelConfig cfg = config();
+  const RingTrace trace = RingModel(cfg).run();
+  const auto& phases = trace.phases();
+  EXPECT_DOUBLE_EQ(phases[0].broadcasts, 1.0);  // only the source in T_1
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_NEAR(phases[i].broadcasts,
+                cfg.broadcastProb * phases[i - 1].newTotal, 1e-9);
+  }
+  EXPECT_GE(trace.totalBroadcasts(),
+            phases.back().cumulativeBroadcasts - 1e-9);
+}
+
+TEST_P(RingModelProperty, LatencyAndReachabilityAreInverse) {
+  const RingTrace trace = RingModel(config()).run();
+  const double half = trace.finalReachability() * 0.5;
+  if (half <= 1.0 / trace.expectedNodes()) return;  // nothing to test
+  const auto latency = trace.latencyForReachability(half);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_NEAR(trace.reachabilityAfter(*latency), half, 1e-6);
+}
+
+TEST_P(RingModelProperty, BudgetMonotonicity) {
+  const RingTrace trace = RingModel(config()).run();
+  double prev = -1.0;
+  for (double budget : {0.0, 1.0, 3.0, 10.0, 30.0, 100.0, 1000.0}) {
+    const double reach = trace.reachabilityForBudget(budget);
+    EXPECT_GE(reach, prev - 1e-12) << "budget " << budget;
+    EXPECT_LE(reach, trace.finalReachability() + 1e-12);
+    prev = reach;
+  }
+}
+
+std::string paramName(const ::testing::TestParamInfo<Params>& info) {
+  const auto& [rho, p, channel, policy] = info.param;
+  std::string name = "rho" + std::to_string(static_cast<int>(rho)) + "_p" +
+                     std::to_string(static_cast<int>(p * 100));
+  switch (channel) {
+    case ChannelKind::CollisionFree:
+      name += "_cfm";
+      break;
+    case ChannelKind::CollisionAware:
+      name += "_cam";
+      break;
+    case ChannelKind::CarrierSenseAware:
+      name += "_cs";
+      break;
+  }
+  name += policy == RealKPolicy::Interpolate ? "_interp" : "_poisson";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RingModelProperty,
+    ::testing::Combine(::testing::Values(20.0, 60.0, 140.0),
+                       ::testing::Values(0.05, 0.3, 1.0),
+                       ::testing::Values(ChannelKind::CollisionFree,
+                                         ChannelKind::CollisionAware,
+                                         ChannelKind::CarrierSenseAware),
+                       ::testing::Values(RealKPolicy::Interpolate,
+                                         RealKPolicy::Poisson)),
+    paramName);
+
+// Slot-count sweep: mu-level monotonicity must survive the full recursion.
+class SlotSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotSweep, MoreSlotsNeverReduceOptimalReachability) {
+  const int s = GetParam();
+  auto bestReach = [](int slots) {
+    double best = 0.0;
+    for (double p : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+      RingModelConfig cfg;
+      cfg.neighborDensity = 80.0;
+      cfg.slotsPerPhase = slots;
+      cfg.broadcastProb = p;
+      best = std::max(best,
+                      RingModel(cfg).run().reachabilityAfter(5.0));
+    }
+    return best;
+  };
+  EXPECT_LE(bestReach(s), bestReach(s + 1) + 0.02) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotSweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace nsmodel::analytic

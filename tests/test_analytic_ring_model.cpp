@@ -1,0 +1,346 @@
+#include "analytic/ring_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::analytic {
+namespace {
+
+RingModelConfig paperConfig(double rho, double p) {
+  RingModelConfig cfg;
+  cfg.rings = 5;
+  cfg.ringWidth = 1.0;
+  cfg.neighborDensity = rho;
+  cfg.slotsPerPhase = 3;
+  cfg.broadcastProb = p;
+  return cfg;
+}
+
+TEST(RingModelConfig, DerivedQuantities) {
+  const RingModelConfig cfg = paperConfig(60.0, 0.1);
+  // delta = rho / (pi r^2); N = delta * pi (P r)^2 = rho P^2.
+  EXPECT_NEAR(cfg.nodeDensity(), 60.0 / M_PI, 1e-12);
+  EXPECT_NEAR(cfg.expectedNodes(), 60.0 * 25.0, 1e-9);
+}
+
+TEST(RingModel, ValidatesConfiguration) {
+  EXPECT_THROW(RingModel(paperConfig(60.0, 1.5)), nsmodel::Error);
+  EXPECT_THROW(RingModel(paperConfig(60.0, -0.1)), nsmodel::Error);
+  EXPECT_THROW(RingModel(paperConfig(-5.0, 0.5)), nsmodel::Error);
+  RingModelConfig bad = paperConfig(60.0, 0.5);
+  bad.rings = 0;
+  EXPECT_THROW(RingModel{bad}, nsmodel::Error);
+  bad = paperConfig(60.0, 0.5);
+  bad.slotsPerPhase = 0;
+  EXPECT_THROW(RingModel{bad}, nsmodel::Error);
+  bad = paperConfig(60.0, 0.5);
+  bad.quadratureOrder = 1;
+  EXPECT_THROW(RingModel{bad}, nsmodel::Error);
+}
+
+TEST(RingModel, PhaseOneFillsRingOneExactly) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.3)).run();
+  ASSERT_FALSE(trace.phases().empty());
+  const PhaseStats& first = trace.phases().front();
+  // All of ring R_1 (expected rho nodes) receives from the lone source tx.
+  EXPECT_NEAR(first.newTotal, 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(first.broadcasts, 1.0);
+  EXPECT_DOUBLE_EQ(first.successRate, 1.0);
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_DOUBLE_EQ(first.newPerRing[k - 1], 0.0);
+  }
+}
+
+TEST(RingModel, ZeroProbabilityStopsAfterPhaseOne) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.0)).run();
+  EXPECT_EQ(trace.phases().size(), 1u);
+  // Only ring 1 + the source: (rho + 1) / (rho P^2).
+  EXPECT_NEAR(trace.finalReachability(), 61.0 / 1500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(trace.totalBroadcasts(), 1.0);
+}
+
+TEST(RingModel, ReceiversNeverExceedPopulation) {
+  for (double rho : {20.0, 60.0, 140.0}) {
+    for (double p : {0.05, 0.3, 1.0}) {
+      const RingTrace trace = RingModel(paperConfig(rho, p)).run();
+      double perRing[5] = {0, 0, 0, 0, 0};
+      for (const PhaseStats& phase : trace.phases()) {
+        for (int k = 0; k < 5; ++k) perRing[k] += phase.newPerRing[k];
+      }
+      const double delta = rho / M_PI;
+      for (int k = 0; k < 5; ++k) {
+        const double ringNodes = delta * M_PI * (2.0 * (k + 1) - 1.0);
+        EXPECT_LE(perRing[k], ringNodes + 1e-6)
+            << "rho=" << rho << " p=" << p << " ring=" << (k + 1);
+        EXPECT_GE(perRing[k], -1e-9);
+      }
+      EXPECT_LE(trace.finalReachability(), 1.0);
+    }
+  }
+}
+
+TEST(RingModel, CumulativeCountsAreConsistent) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.2)).run();
+  double reached = 1.0;
+  double broadcasts = 0.0;
+  for (const PhaseStats& phase : trace.phases()) {
+    reached += phase.newTotal;
+    broadcasts += phase.broadcasts;
+    EXPECT_NEAR(phase.cumulativeReached, reached, 1e-9);
+    EXPECT_NEAR(phase.cumulativeBroadcasts, broadcasts, 1e-9);
+  }
+}
+
+TEST(RingModel, BroadcastsFollowReceiversWithLag) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.4)).run();
+  const auto& phases = trace.phases();
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_NEAR(phases[i].broadcasts, 0.4 * phases[i - 1].newTotal, 1e-9);
+  }
+}
+
+TEST(RingModel, InformationCannotSkipRings) {
+  // New receivers in ring k during phase i require receivers within range
+  // (rings k-1..k+1) in phase i-1; in particular ring k stays empty until
+  // phase k at the earliest.
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.5)).run();
+  const auto& phases = trace.phases();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    for (int ring = static_cast<int>(i) + 2; ring <= 5; ++ring) {
+      EXPECT_DOUBLE_EQ(phases[i].newPerRing[ring - 1], 0.0)
+          << "phase " << (i + 1) << " ring " << ring;
+    }
+  }
+}
+
+TEST(RingModel, CollisionFreeFloodingReachesEveryone) {
+  RingModelConfig cfg = paperConfig(60.0, 1.0);
+  cfg.channel = ChannelKind::CollisionFree;
+  const RingTrace trace = RingModel(cfg).run();
+  EXPECT_NEAR(trace.finalReachability(), 1.0, 1e-6);
+  // The frontier advances roughly one ring per phase; outer-edge nodes of
+  // each ring have only a sliver of the previous frontier in range, so the
+  // tail extends a little past P phases.
+  const auto latency = trace.latencyForReachability(0.99);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_GE(*latency, 4.0);
+  EXPECT_LE(*latency, 9.0);
+}
+
+TEST(RingModel, CollisionFreeBeatsCollisionAware) {
+  for (double p : {0.3, 1.0}) {
+    RingModelConfig cam = paperConfig(100.0, p);
+    RingModelConfig cfm = cam;
+    cfm.channel = ChannelKind::CollisionFree;
+    const double reachCam = RingModel(cam).run().reachabilityAfter(5.0);
+    const double reachCfm = RingModel(cfm).run().reachabilityAfter(5.0);
+    EXPECT_GT(reachCfm, reachCam) << "p=" << p;
+  }
+}
+
+TEST(RingModel, CarrierSenseIsMorePessimisticThanCam) {
+  // Extra interference range can only destroy receptions.
+  for (double rho : {40.0, 100.0}) {
+    RingModelConfig cam = paperConfig(rho, 0.3);
+    RingModelConfig cs = cam;
+    cs.channel = ChannelKind::CarrierSenseAware;
+    const double reachCam = RingModel(cam).run().reachabilityAfter(5.0);
+    const double reachCs = RingModel(cs).run().reachabilityAfter(5.0);
+    EXPECT_LE(reachCs, reachCam + 1e-9) << "rho=" << rho;
+  }
+}
+
+TEST(RingModel, PoissonPolicyGivesSimilarShape) {
+  // The two real-K policies must agree on the qualitative picture.
+  RingModelConfig interp = paperConfig(100.0, 0.1);
+  RingModelConfig poisson = interp;
+  poisson.policy = RealKPolicy::Poisson;
+  const double a = RingModel(interp).run().reachabilityAfter(5.0);
+  const double b = RingModel(poisson).run().reachabilityAfter(5.0);
+  EXPECT_NEAR(a, b, 0.15);
+}
+
+TEST(RingTrace, ReachabilityAfterIsMonotone) {
+  const RingTrace trace = RingModel(paperConfig(80.0, 0.2)).run();
+  double prev = 0.0;
+  for (double t = 0.0; t <= 12.0; t += 0.25) {
+    const double cur = trace.reachabilityAfter(t);
+    EXPECT_GE(cur, prev - 1e-12) << "t=" << t;
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, trace.finalReachability(), 1e-9);
+}
+
+TEST(RingTrace, ReachabilityInterpolatesWithinPhase) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.5)).run();
+  const double atOne = trace.reachabilityAfter(1.0);
+  const double atTwo = trace.reachabilityAfter(2.0);
+  const double mid = trace.reachabilityAfter(1.5);
+  EXPECT_NEAR(mid, 0.5 * (atOne + atTwo), 1e-9);
+}
+
+TEST(RingTrace, LatencyIsInverseOfReachability) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.3)).run();
+  for (double target : {0.1, 0.3, 0.5}) {
+    const auto latency = trace.latencyForReachability(target);
+    ASSERT_TRUE(latency.has_value()) << "target " << target;
+    EXPECT_NEAR(trace.reachabilityAfter(*latency), target, 1e-6);
+  }
+}
+
+TEST(RingTrace, UnreachableTargetGivesNullopt) {
+  // p = 0.01 at rho = 20: almost nobody rebroadcasts.
+  const RingTrace trace = RingModel(paperConfig(20.0, 0.01)).run();
+  EXPECT_FALSE(trace.latencyForReachability(0.9).has_value());
+  EXPECT_FALSE(trace.broadcastsForReachability(0.9).has_value());
+}
+
+TEST(RingTrace, BroadcastsUpToIsMonotone) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.5)).run();
+  double prev = 0.0;
+  for (double t = 0.0; t <= 10.0; t += 0.5) {
+    const double cur = trace.broadcastsUpTo(t);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+  EXPECT_LE(prev, trace.totalBroadcasts() + 1e-9);
+}
+
+TEST(RingTrace, TotalBroadcastsMatchesExpectation) {
+  // M = 1 + p * (total receivers) when the process dies out naturally.
+  const RingModelConfig cfg = paperConfig(60.0, 0.15);
+  const RingTrace trace = RingModel(cfg).run();
+  double receivers = 0.0;
+  for (const PhaseStats& phase : trace.phases()) {
+    receivers += phase.newTotal;
+  }
+  EXPECT_NEAR(trace.totalBroadcasts(), 1.0 + 0.15 * receivers, 1e-6);
+}
+
+TEST(RingTrace, BudgetReachabilityBounds) {
+  const RingTrace trace = RingModel(paperConfig(100.0, 0.1)).run();
+  // Unlimited budget = final reachability.
+  EXPECT_DOUBLE_EQ(trace.reachabilityForBudget(1e9),
+                   trace.finalReachability());
+  // Budget below one broadcast: essentially only the source.
+  EXPECT_LT(trace.reachabilityForBudget(0.0), 0.05);
+  // Monotone in the budget.
+  double prev = 0.0;
+  for (double budget : {1.0, 5.0, 20.0, 50.0, 200.0}) {
+    const double cur = trace.reachabilityForBudget(budget);
+    EXPECT_GE(cur, prev - 1e-12) << "budget " << budget;
+    prev = cur;
+  }
+}
+
+TEST(RingTrace, SuccessRateDropsWithDensityForFlooding) {
+  const double sparse =
+      RingModel(paperConfig(20.0, 1.0)).run().averageSuccessRate();
+  const double dense =
+      RingModel(paperConfig(140.0, 1.0)).run().averageSuccessRate();
+  EXPECT_GT(sparse, dense);
+  EXPECT_GT(dense, 0.0);
+  EXPECT_LE(sparse, 1.0);
+}
+
+TEST(RingTrace, ValidationOfQueryArguments) {
+  const RingTrace trace = RingModel(paperConfig(60.0, 0.3)).run();
+  EXPECT_THROW(trace.reachabilityAfter(-1.0), nsmodel::Error);
+  EXPECT_THROW(trace.latencyForReachability(0.0), nsmodel::Error);
+  EXPECT_THROW(trace.latencyForReachability(1.1), nsmodel::Error);
+  EXPECT_THROW(trace.reachabilityForBudget(-5.0), nsmodel::Error);
+  EXPECT_THROW(trace.broadcastsUpTo(-0.5), nsmodel::Error);
+}
+
+// The paper's headline analytic results, as shape assertions.
+TEST(RingModel, PaperShapeOptimalProbabilityDecreasesWithDensity) {
+  auto bestP = [](double rho) {
+    double best = 0.0, bestReach = -1.0;
+    for (int i = 1; i <= 100; ++i) {
+      const double p = i * 0.01;
+      const double reach =
+          RingModel(paperConfig(rho, p)).run().reachabilityAfter(5.0);
+      if (reach > bestReach) {
+        bestReach = reach;
+        best = p;
+      }
+    }
+    return best;
+  };
+  const double p20 = bestP(20.0);
+  const double p80 = bestP(80.0);
+  const double p140 = bestP(140.0);
+  EXPECT_GT(p20, p80);
+  EXPECT_GT(p80, p140);
+  EXPECT_LT(p140, 0.15);  // paper: flat and small at high density
+}
+
+TEST(RingModel, PaperShapeReachabilityBellCurveInP) {
+  // For fixed rho = 100, reachability within 5 phases rises then falls.
+  const double low =
+      RingModel(paperConfig(100.0, 0.02)).run().reachabilityAfter(5.0);
+  const double mid =
+      RingModel(paperConfig(100.0, 0.13)).run().reachabilityAfter(5.0);
+  const double high =
+      RingModel(paperConfig(100.0, 1.0)).run().reachabilityAfter(5.0);
+  EXPECT_GT(mid, low);
+  EXPECT_GT(mid, high);
+}
+
+TEST(RingModel, UnitDensityFactorsMatchUniformModel) {
+  RingModelConfig uniform = paperConfig(60.0, 0.2);
+  RingModelConfig factored = uniform;
+  factored.ringDensityFactor = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const RingTrace a = RingModel(uniform).run();
+  const RingTrace b = RingModel(factored).run();
+  ASSERT_EQ(a.phases().size(), b.phases().size());
+  for (std::size_t i = 0; i < a.phases().size(); ++i) {
+    EXPECT_NEAR(a.phases()[i].newTotal, b.phases()[i].newTotal, 1e-9);
+  }
+  EXPECT_NEAR(a.expectedNodes(), b.expectedNodes(), 1e-9);
+}
+
+TEST(RingModel, DensityFactorsScalePopulations) {
+  RingModelConfig cfg = paperConfig(60.0, 0.2);
+  cfg.ringDensityFactor = {2.0, 1.0, 1.0, 0.5, 0.5};
+  const RingTrace trace = RingModel(cfg).run();
+  // Expected nodes: 60 * (2*1 + 1*3 + 1*5 + 0.5*7 + 0.5*9).
+  EXPECT_NEAR(trace.expectedNodes(), 60.0 * 18.0, 1e-6);
+  // Phase 1 fills the doubled ring 1: 2 * rho receivers.
+  EXPECT_NEAR(trace.phases()[0].newTotal, 120.0, 1e-9);
+  EXPECT_LE(trace.finalReachability(), 1.0);
+}
+
+TEST(RingModel, SparseOuterRingsLowerReachability) {
+  RingModelConfig uniform = paperConfig(60.0, 0.2);
+  RingModelConfig sparseEdge = uniform;
+  // Same mass near the centre, far fewer relays at the fringe: the wave
+  // stalls and leaves a larger unreached fraction.
+  sparseEdge.ringDensityFactor = {1.0, 1.0, 0.2, 0.1, 0.1};
+  const double u = RingModel(uniform).run().finalReachability();
+  const double s = RingModel(sparseEdge).run().finalReachability();
+  EXPECT_LT(s, u);
+}
+
+TEST(RingModel, DensityFactorValidation) {
+  RingModelConfig bad = paperConfig(60.0, 0.2);
+  bad.ringDensityFactor = {1.0, 1.0};  // wrong length
+  EXPECT_THROW(RingModel{bad}, nsmodel::Error);
+  bad = paperConfig(60.0, 0.2);
+  bad.ringDensityFactor = {1.0, 1.0, -0.5, 1.0, 1.0};
+  EXPECT_THROW(RingModel{bad}, nsmodel::Error);
+}
+
+TEST(RingModel, PaperShapeFloodingDegradesWithDensity) {
+  const double sparse =
+      RingModel(paperConfig(20.0, 1.0)).run().reachabilityAfter(5.0);
+  const double dense =
+      RingModel(paperConfig(140.0, 1.0)).run().reachabilityAfter(5.0);
+  EXPECT_GT(sparse, dense + 0.2);
+}
+
+}  // namespace
+}  // namespace nsmodel::analytic

@@ -1,0 +1,95 @@
+#include "analytic/success_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nsmodel::analytic {
+namespace {
+
+RingModelConfig paperConfig(double rho) {
+  RingModelConfig cfg;
+  cfg.rings = 5;
+  cfg.neighborDensity = rho;
+  cfg.slotsPerPhase = 3;
+  return cfg;
+}
+
+TEST(FloodingSuccessRate, IsAProbability) {
+  for (double rho : {20.0, 60.0, 140.0}) {
+    const double rate = floodingSuccessRate(paperConfig(rho));
+    EXPECT_GT(rate, 0.0) << "rho=" << rho;
+    EXPECT_LE(rate, 1.0) << "rho=" << rho;
+  }
+}
+
+TEST(FloodingSuccessRate, DecreasesWithDensity) {
+  double prev = 1.1;
+  for (double rho : {20.0, 40.0, 80.0, 140.0}) {
+    const double rate = floodingSuccessRate(paperConfig(rho));
+    EXPECT_LT(rate, prev) << "rho=" << rho;
+    prev = rate;
+  }
+}
+
+TEST(FloodingSuccessRate, IgnoresConfiguredProbability) {
+  RingModelConfig a = paperConfig(60.0);
+  a.broadcastProb = 0.1;
+  RingModelConfig b = paperConfig(60.0);
+  b.broadcastProb = 0.9;
+  EXPECT_DOUBLE_EQ(floodingSuccessRate(a), floodingSuccessRate(b));
+}
+
+TEST(FloodingSuccessRate, CollisionFreeChannelIsNearPerfect) {
+  // Under CFM every in-field neighbour decodes; the shortfall from 1.0 is
+  // purely the boundary effect (outer-ring transmitters cover area outside
+  // the field while the rate normalises by rho = delta * pi * r^2).
+  RingModelConfig cfg = paperConfig(60.0);
+  cfg.channel = ChannelKind::CollisionFree;
+  const double rate = floodingSuccessRate(cfg);
+  EXPECT_GT(rate, 0.8);
+  EXPECT_LE(rate, 1.0 + 1e-9);
+  // And it must dwarf the CAM rate at the same density.
+  EXPECT_GT(rate, 3.0 * floodingSuccessRate(paperConfig(60.0)));
+}
+
+// Fig. 12: the ratio optimal-p / flooding-success-rate is roughly constant
+// across density.  We assert bounded variation rather than the paper's
+// exact constant (~11), which depends on the unspecified mu extension.
+TEST(FloodingSuccessRate, RatioToOptimalProbabilityIsStable) {
+  std::vector<double> ratios;
+  for (double rho : {40.0, 80.0, 120.0}) {
+    double bestP = 0.0, bestReach = -1.0;
+    for (int i = 1; i <= 100; ++i) {
+      const double p = i * 0.01;
+      RingModelConfig cfg = paperConfig(rho);
+      cfg.broadcastProb = p;
+      const double reach = RingModel(cfg).run().reachabilityAfter(5.0);
+      if (reach > bestReach) {
+        bestReach = reach;
+        bestP = p;
+      }
+    }
+    ratios.push_back(bestP / floodingSuccessRate(paperConfig(rho)));
+  }
+  const double lo = *std::min_element(ratios.begin(), ratios.end());
+  const double hi = *std::max_element(ratios.begin(), ratios.end());
+  EXPECT_LT(hi / lo, 1.6) << "ratio drifts too much: " << lo << ".." << hi;
+}
+
+TEST(HeuristicOptimalProbability, ScalesAndClamps) {
+  EXPECT_DOUBLE_EQ(heuristicOptimalProbability(0.05, 11.0), 0.55);
+  EXPECT_DOUBLE_EQ(heuristicOptimalProbability(0.2, 11.0), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(heuristicOptimalProbability(0.0, 11.0), 0.0);
+}
+
+TEST(HeuristicOptimalProbability, Validation) {
+  EXPECT_THROW(heuristicOptimalProbability(-0.1, 11.0), nsmodel::Error);
+  EXPECT_THROW(heuristicOptimalProbability(1.1, 11.0), nsmodel::Error);
+  EXPECT_THROW(heuristicOptimalProbability(0.5, 0.0), nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::analytic

@@ -1,0 +1,125 @@
+#include "core/cfm_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::core {
+namespace {
+
+TEST(ReliableCostModel, Validation) {
+  EXPECT_THROW(ReliableCostModel(0), nsmodel::Error);
+  const ReliableCostModel model(3);
+  EXPECT_THROW(model.attemptSuccessProbability(-1.0), nsmodel::Error);
+  EXPECT_THROW(model.broadcastCost(-1.0, 1.0), nsmodel::Error);
+  EXPECT_THROW(ReliableCostModel::expectedRoundsForAll(5.0, 0.0),
+               nsmodel::Error);
+  EXPECT_THROW(ReliableCostModel::expectedRoundsForAll(5.0, 1.1),
+               nsmodel::Error);
+}
+
+TEST(ReliableCostModel, AttemptSuccessIsExponentialInInterferers) {
+  const ReliableCostModel model(3);
+  EXPECT_DOUBLE_EQ(model.attemptSuccessProbability(0.0), 1.0);
+  EXPECT_NEAR(model.attemptSuccessProbability(3.0), std::exp(-1.0), 1e-12);
+  EXPECT_GT(model.attemptSuccessProbability(1.0),
+            model.attemptSuccessProbability(5.0));
+}
+
+TEST(ReliableCostModel, MoreSlotsImproveSuccess) {
+  const ReliableCostModel narrow(2);
+  const ReliableCostModel wide(8);
+  EXPECT_LT(narrow.attemptSuccessProbability(4.0),
+            wide.attemptSuccessProbability(4.0));
+}
+
+TEST(ReliableCostModel, ExpectedAttemptsIsInverseSquareOfSuccess) {
+  const ReliableCostModel model(3);
+  const double p = model.attemptSuccessProbability(2.0);
+  EXPECT_NEAR(model.expectedAttemptsPerLink(2.0), 1.0 / (p * p), 1e-9);
+  EXPECT_DOUBLE_EQ(model.expectedAttemptsPerLink(0.0), 1.0);
+}
+
+TEST(ExpectedRoundsForAll, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(ReliableCostModel::expectedRoundsForAll(0.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ReliableCostModel::expectedRoundsForAll(10.0, 1.0), 1.0);
+}
+
+TEST(ExpectedRoundsForAll, SingleNeighborIsGeometricMean) {
+  // E[Geometric(q)] = 1/q.
+  for (double q : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(ReliableCostModel::expectedRoundsForAll(1.0, q), 1.0 / q,
+                1e-6);
+  }
+}
+
+TEST(ExpectedRoundsForAll, MatchesMonteCarloMaxOfGeometrics) {
+  support::Rng rng(1);
+  const double q = 0.3;
+  const int n = 12;
+  const int trials = 40000;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    int worst = 0;
+    for (int i = 0; i < n; ++i) {
+      int rounds = 1;
+      while (!rng.bernoulli(q)) ++rounds;
+      worst = std::max(worst, rounds);
+    }
+    total += worst;
+  }
+  EXPECT_NEAR(ReliableCostModel::expectedRoundsForAll(n, q), total / trials,
+              0.15);
+}
+
+TEST(ExpectedRoundsForAll, GrowsWithNeighborsAndShrinksWithSuccess) {
+  EXPECT_LT(ReliableCostModel::expectedRoundsForAll(5.0, 0.5),
+            ReliableCostModel::expectedRoundsForAll(50.0, 0.5));
+  EXPECT_GT(ReliableCostModel::expectedRoundsForAll(10.0, 0.2),
+            ReliableCostModel::expectedRoundsForAll(10.0, 0.8));
+}
+
+TEST(BroadcastCost, ComponentsAreConsistent) {
+  const ReliableCostModel model(3);
+  const auto cost = model.broadcastCost(40.0, 2.0);
+  EXPECT_GT(cost.perLinkSuccess, 0.0);
+  EXPECT_LE(cost.perLinkSuccess, 1.0);
+  EXPECT_DOUBLE_EQ(cost.dataPackets, cost.rounds);
+  EXPECT_DOUBLE_EQ(cost.totalPackets, cost.dataPackets + cost.ackPackets);
+  EXPECT_DOUBLE_EQ(cost.timePhases, cost.rounds + 1.0);
+  EXPECT_GT(cost.ackPackets, 40.0);  // at least one ACK per neighbour
+}
+
+TEST(BroadcastCost, GrowsWithDensityAndInterference) {
+  const ReliableCostModel model(3);
+  EXPECT_LT(model.broadcastCost(20.0, 2.0).totalPackets,
+            model.broadcastCost(100.0, 2.0).totalPackets);
+  EXPECT_LT(model.broadcastCost(50.0, 1.0).totalPackets,
+            model.broadcastCost(50.0, 5.0).totalPackets);
+}
+
+TEST(BroadcastCost, InterferenceFreeIsNearMinimal) {
+  const ReliableCostModel model(3);
+  const auto cost = model.broadcastCost(30.0, 0.0);
+  EXPECT_DOUBLE_EQ(cost.perLinkSuccess, 1.0);
+  EXPECT_DOUBLE_EQ(cost.rounds, 1.0);
+  EXPECT_DOUBLE_EQ(cost.totalPackets, 31.0);  // 1 DATA + 30 ACKs
+}
+
+TEST(CfmCosts, ScaleTheCamUnitCosts) {
+  const ReliableCostModel model(3);
+  const CostFunctions cam{1.0, 1.0};
+  const CostFunctions cfm = model.cfmCosts(60.0, 2.0, cam);
+  // The paper's relation t_a <= t_f and e_a <= e_f, with the gap growing
+  // in density.
+  EXPECT_GT(cfm.timePerPacket, cam.timePerPacket);
+  EXPECT_GT(cfm.energyPerPacket, cam.energyPerPacket);
+  const CostFunctions denser = model.cfmCosts(120.0, 2.0, cam);
+  EXPECT_GT(denser.energyPerPacket, cfm.energyPerPacket);
+}
+
+}  // namespace
+}  // namespace nsmodel::core

@@ -1,0 +1,60 @@
+#include "core/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+namespace {
+
+TEST(CommModel, CfmProperties) {
+  const CommModel cfm = CommModel::collisionFree();
+  EXPECT_STREQ(cfm.name(), "CFM");
+  EXPECT_TRUE(cfm.guaranteesDelivery());
+  EXPECT_FALSE(cfm.exposesCollisions());
+  EXPECT_EQ(cfm.analyticChannel(), analytic::ChannelKind::CollisionFree);
+  EXPECT_EQ(cfm.simulationChannel(), net::ChannelModel::CollisionFree);
+}
+
+TEST(CommModel, CamProperties) {
+  const CommModel cam = CommModel::collisionAware();
+  EXPECT_STREQ(cam.name(), "CAM");
+  EXPECT_FALSE(cam.guaranteesDelivery());
+  EXPECT_TRUE(cam.exposesCollisions());
+  EXPECT_EQ(cam.analyticChannel(), analytic::ChannelKind::CollisionAware);
+  EXPECT_EQ(cam.simulationChannel(), net::ChannelModel::CollisionAware);
+}
+
+TEST(CommModel, CarrierSenseProperties) {
+  const CommModel cs = CommModel::carrierSenseAware(2.0);
+  EXPECT_STREQ(cs.name(), "CAM-CS");
+  EXPECT_TRUE(cs.exposesCollisions());
+  EXPECT_DOUBLE_EQ(cs.csFactor(), 2.0);
+  EXPECT_EQ(cs.analyticChannel(), analytic::ChannelKind::CarrierSenseAware);
+}
+
+TEST(CommModel, CostFunctionsCarryThrough) {
+  const CommModel cam = CommModel::collisionAware({0.5, 2.0});
+  EXPECT_DOUBLE_EQ(cam.costs().timePerPacket, 0.5);
+  EXPECT_DOUBLE_EQ(cam.costs().energyPerPacket, 2.0);
+}
+
+TEST(CommModel, CamCostsAtMostCfmCosts) {
+  // The paper's relation t_a <= t_f, e_a <= e_f expressed via defaults:
+  // callers model it by configuring costs; here we just confirm both are
+  // representable.
+  const CommModel cfm = CommModel::collisionFree({2.0, 3.0});
+  const CommModel cam = CommModel::collisionAware({1.0, 1.5});
+  EXPECT_LE(cam.costs().timePerPacket, cfm.costs().timePerPacket);
+  EXPECT_LE(cam.costs().energyPerPacket, cfm.costs().energyPerPacket);
+}
+
+TEST(CommModel, Validation) {
+  EXPECT_THROW(CommModel::collisionAware({0.0, 1.0}), nsmodel::Error);
+  EXPECT_THROW(CommModel::collisionAware({1.0, -1.0}), nsmodel::Error);
+  EXPECT_THROW(CommModel::carrierSenseAware(1.0), nsmodel::Error);
+  EXPECT_THROW(CommModel::carrierSenseAware(0.5), nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::core

@@ -1,0 +1,118 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+namespace {
+
+analytic::RingTrace makeTrace(double rho, double p) {
+  analytic::RingModelConfig cfg;
+  cfg.rings = 5;
+  cfg.neighborDensity = rho;
+  cfg.broadcastProb = p;
+  return analytic::RingModel(cfg).run();
+}
+
+TEST(MetricKind, NamesAreDistinct) {
+  EXPECT_STRNE(metricName(MetricKind::ReachabilityUnderLatency),
+               metricName(MetricKind::LatencyUnderReachability));
+  EXPECT_STRNE(metricName(MetricKind::EnergyUnderReachability),
+               metricName(MetricKind::ReachabilityUnderEnergy));
+}
+
+TEST(MetricKind, Directions) {
+  EXPECT_TRUE(higherIsBetter(MetricKind::ReachabilityUnderLatency));
+  EXPECT_TRUE(higherIsBetter(MetricKind::ReachabilityUnderEnergy));
+  EXPECT_FALSE(higherIsBetter(MetricKind::LatencyUnderReachability));
+  EXPECT_FALSE(higherIsBetter(MetricKind::EnergyUnderReachability));
+}
+
+TEST(MetricKind, IsBetterFollowsDirection) {
+  EXPECT_TRUE(isBetter(MetricKind::ReachabilityUnderLatency, 0.8, 0.7));
+  EXPECT_FALSE(isBetter(MetricKind::ReachabilityUnderLatency, 0.7, 0.8));
+  EXPECT_TRUE(isBetter(MetricKind::LatencyUnderReachability, 3.0, 5.0));
+  EXPECT_FALSE(isBetter(MetricKind::LatencyUnderReachability, 5.0, 3.0));
+}
+
+TEST(MetricSpec, NamedConstructorsValidate) {
+  EXPECT_NO_THROW(MetricSpec::reachabilityUnderLatency(5.0));
+  EXPECT_THROW(MetricSpec::reachabilityUnderLatency(0.0), nsmodel::Error);
+  EXPECT_NO_THROW(MetricSpec::latencyUnderReachability(0.72));
+  EXPECT_THROW(MetricSpec::latencyUnderReachability(1.5), nsmodel::Error);
+  EXPECT_THROW(MetricSpec::latencyUnderReachability(0.0), nsmodel::Error);
+  EXPECT_NO_THROW(MetricSpec::energyUnderReachability(0.72));
+  EXPECT_THROW(MetricSpec::energyUnderReachability(-0.1), nsmodel::Error);
+  EXPECT_NO_THROW(MetricSpec::reachabilityUnderEnergy(35.0));
+  EXPECT_THROW(MetricSpec::reachabilityUnderEnergy(-1.0), nsmodel::Error);
+}
+
+TEST(EvaluateMetric, AnalyticBackendMatchesTraceHelpers) {
+  const analytic::RingTrace trace = makeTrace(60.0, 0.2);
+  EXPECT_DOUBLE_EQ(
+      *evaluateMetric(MetricSpec::reachabilityUnderLatency(5.0), trace),
+      trace.reachabilityAfter(5.0));
+  const auto latency =
+      evaluateMetric(MetricSpec::latencyUnderReachability(0.5), trace);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_DOUBLE_EQ(*latency, *trace.latencyForReachability(0.5));
+  const auto energy =
+      evaluateMetric(MetricSpec::energyUnderReachability(0.5), trace);
+  ASSERT_TRUE(energy.has_value());
+  EXPECT_DOUBLE_EQ(*energy, *trace.broadcastsForReachability(0.5));
+  EXPECT_DOUBLE_EQ(
+      *evaluateMetric(MetricSpec::reachabilityUnderEnergy(35.0), trace),
+      trace.reachabilityForBudget(35.0));
+}
+
+TEST(EvaluateMetric, InfeasibleTargetsYieldNullopt) {
+  const analytic::RingTrace trace = makeTrace(20.0, 0.01);
+  EXPECT_FALSE(
+      evaluateMetric(MetricSpec::latencyUnderReachability(0.95), trace)
+          .has_value());
+  EXPECT_FALSE(
+      evaluateMetric(MetricSpec::energyUnderReachability(0.95), trace)
+          .has_value());
+  // Reachability metrics are always defined.
+  EXPECT_TRUE(
+      evaluateMetric(MetricSpec::reachabilityUnderLatency(5.0), trace)
+          .has_value());
+  EXPECT_TRUE(
+      evaluateMetric(MetricSpec::reachabilityUnderEnergy(10.0), trace)
+          .has_value());
+}
+
+TEST(EvaluateMetric, SimulationBackend) {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 30.0;
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.5);
+  };
+  const sim::RunResult run = sim::runExperiment(cfg, factory, 1, 0);
+  EXPECT_DOUBLE_EQ(
+      *evaluateMetric(MetricSpec::reachabilityUnderLatency(5.0), run),
+      run.reachabilityAfter(5.0));
+  EXPECT_DOUBLE_EQ(
+      *evaluateMetric(MetricSpec::reachabilityUnderEnergy(30.0), run),
+      run.reachabilityForBudget(30.0));
+}
+
+TEST(EvaluateMetric, DualityOfLatencyAndReachability) {
+  // If reach(T) = R under the latency metric, then latency(R) <= T.
+  const analytic::RingTrace trace = makeTrace(80.0, 0.15);
+  const double reach =
+      *evaluateMetric(MetricSpec::reachabilityUnderLatency(5.0), trace);
+  const auto latency =
+      evaluateMetric(MetricSpec::latencyUnderReachability(reach), trace);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_LE(*latency, 5.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace nsmodel::core

@@ -1,0 +1,130 @@
+#include "core/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cfm_analysis.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+namespace {
+
+NetworkModel paperModel(double rho, CommModel comm = CommModel::collisionAware()) {
+  DeploymentSpec spec;
+  spec.rings = 5;
+  spec.ringWidth = 1.0;
+  spec.neighborDensity = rho;
+  return NetworkModel(spec, comm, 3);
+}
+
+TEST(DeploymentSpec, ExpectedNodes) {
+  DeploymentSpec spec;
+  spec.rings = 5;
+  spec.neighborDensity = 140.0;
+  EXPECT_DOUBLE_EQ(spec.expectedNodes(), 3500.0);
+}
+
+TEST(NetworkModel, Validation) {
+  DeploymentSpec bad;
+  bad.rings = 0;
+  EXPECT_THROW(NetworkModel(bad, CommModel::collisionAware()),
+               nsmodel::Error);
+  DeploymentSpec spec;
+  EXPECT_THROW(NetworkModel(spec, CommModel::collisionAware(), 0),
+               nsmodel::Error);
+}
+
+TEST(NetworkModel, AnalyticConfigMirrorsModel) {
+  const NetworkModel model = paperModel(80.0);
+  const auto cfg =
+      model.analyticConfig(0.25, analytic::RealKPolicy::Interpolate);
+  EXPECT_EQ(cfg.rings, 5);
+  EXPECT_DOUBLE_EQ(cfg.neighborDensity, 80.0);
+  EXPECT_DOUBLE_EQ(cfg.broadcastProb, 0.25);
+  EXPECT_EQ(cfg.slotsPerPhase, 3);
+  EXPECT_EQ(cfg.channel, analytic::ChannelKind::CollisionAware);
+}
+
+TEST(NetworkModel, ExperimentConfigMirrorsModel) {
+  const NetworkModel model =
+      paperModel(80.0, CommModel::carrierSenseAware(2.0));
+  const auto cfg = model.experimentConfig();
+  EXPECT_EQ(cfg.rings, 5);
+  EXPECT_DOUBLE_EQ(cfg.neighborDensity, 80.0);
+  EXPECT_EQ(cfg.channel, net::ChannelModel::CarrierSenseAware);
+  EXPECT_DOUBLE_EQ(cfg.csFactor, 2.0);
+}
+
+TEST(NetworkModel, PredictRunsTheAnalyticFramework) {
+  const NetworkModel model = paperModel(60.0);
+  const auto trace = model.predict(0.2);
+  EXPECT_FALSE(trace.phases().empty());
+  EXPECT_GT(trace.reachabilityAfter(5.0), 0.1);
+  EXPECT_NEAR(trace.expectedNodes(), 1500.0, 1e-9);
+}
+
+TEST(NetworkModel, SimulateOnceIsDeterministic) {
+  const NetworkModel model = paperModel(40.0);
+  const auto a = model.simulateOnce(0.3, 42, 0);
+  const auto b = model.simulateOnce(0.3, 42, 0);
+  EXPECT_EQ(a.reachedCount(), b.reachedCount());
+}
+
+TEST(NetworkModel, MeasureAggregatesReplications) {
+  const NetworkModel model = paperModel(30.0);
+  const auto agg = model.measure(
+      0.5, MetricSpec::reachabilityUnderLatency(5.0), 42, 6);
+  EXPECT_EQ(agg.stats.count, 6u);
+  EXPECT_GT(agg.stats.mean, 0.0);
+  EXPECT_LE(agg.stats.mean, 1.0);
+  EXPECT_DOUBLE_EQ(agg.definedFraction, 1.0);
+}
+
+TEST(NetworkModel, OptimizeUsesAnalyticBackend) {
+  const NetworkModel model = paperModel(100.0);
+  const auto best = model.optimize(
+      MetricSpec::reachabilityUnderLatency(5.0), {0.05, 1.0, 0.05});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LT(best->probability, 0.5);  // dense network wants small p
+  EXPECT_GT(best->value, 0.5);
+}
+
+TEST(NetworkModel, PredictionAndSimulationAgreeOnShape) {
+  // The analytic prediction and the Monte-Carlo measurement must agree
+  // that a moderate p beats flooding at high density.
+  const NetworkModel model = paperModel(100.0);
+  const double predictModerate = model.predict(0.1).reachabilityAfter(5.0);
+  const double predictFlood = model.predict(1.0).reachabilityAfter(5.0);
+  EXPECT_GT(predictModerate, predictFlood);
+  const auto spec = MetricSpec::reachabilityUnderLatency(5.0);
+  const double simModerate = model.measure(0.1, spec, 42, 8).stats.mean;
+  const double simFlood = model.measure(1.0, spec, 42, 8).stats.mean;
+  EXPECT_GT(simModerate, simFlood);
+}
+
+TEST(CfmAnalysis, ClosedFormPredictions) {
+  DeploymentSpec spec;
+  spec.rings = 5;
+  spec.neighborDensity = 60.0;
+  const auto prediction = analyzeFloodingCfm(spec, {1.0, 1.0}, 3);
+  EXPECT_DOUBLE_EQ(prediction.reachability, 1.0);
+  EXPECT_DOUBLE_EQ(prediction.latencyPhases, 5.0);
+  EXPECT_DOUBLE_EQ(prediction.broadcasts, 1500.0);
+  EXPECT_DOUBLE_EQ(prediction.totalTime, 15.0);
+  EXPECT_DOUBLE_EQ(prediction.totalEnergy, 1500.0 * 61.0);
+}
+
+TEST(CfmAnalysis, CfmPredictionIsOptimisticVersusCamSimulation) {
+  // The paper's motivating gap: CFM says reach = 1 in P phases; a CAM
+  // simulation of flooding falls far short at high density.
+  const NetworkModel model = paperModel(120.0);
+  const auto cfm = analyzeFloodingCfm(model.deployment(),
+                                      model.commModel().costs(), 3);
+  const double simReach =
+      model.measure(1.0, MetricSpec::reachabilityUnderLatency(5.0), 42, 8)
+          .stats.mean;
+  EXPECT_DOUBLE_EQ(cfm.reachability, 1.0);
+  EXPECT_LT(simReach, 0.75);
+}
+
+}  // namespace
+}  // namespace nsmodel::core

@@ -1,0 +1,138 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::core {
+namespace {
+
+TEST(ProbabilityGrid, GeneratesInclusiveRange) {
+  const auto values = ProbabilityGrid{0.1, 0.5, 0.1}.values();
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_NEAR(values.front(), 0.1, 1e-12);
+  EXPECT_NEAR(values.back(), 0.5, 1e-12);
+}
+
+TEST(ProbabilityGrid, PaperGrids) {
+  EXPECT_EQ(ProbabilityGrid::analytic().values().size(), 100u);
+  EXPECT_EQ(ProbabilityGrid::simulation().values().size(), 20u);
+  EXPECT_NEAR(ProbabilityGrid::analytic().values().back(), 1.0, 1e-12);
+  EXPECT_NEAR(ProbabilityGrid::simulation().values().front(), 0.05, 1e-12);
+}
+
+TEST(ProbabilityGrid, NoDriftOverManySteps) {
+  const auto values = ProbabilityGrid::analytic().values();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(values[i], 0.01 * static_cast<double>(i + 1), 1e-12);
+    EXPECT_LE(values[i], 1.0);
+  }
+}
+
+TEST(ProbabilityGrid, SinglePointGrid) {
+  const auto values = ProbabilityGrid{0.3, 0.3, 0.1}.values();
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 0.3);
+}
+
+TEST(ProbabilityGrid, Validation) {
+  EXPECT_THROW((ProbabilityGrid{0.0, 1.0, 0.1}.values()), nsmodel::Error);
+  EXPECT_THROW((ProbabilityGrid{0.5, 0.4, 0.1}.values()), nsmodel::Error);
+  EXPECT_THROW((ProbabilityGrid{0.1, 1.5, 0.1}.values()), nsmodel::Error);
+  EXPECT_THROW((ProbabilityGrid{0.1, 1.0, 0.0}.values()), nsmodel::Error);
+}
+
+TEST(OptimizeProbability, FindsMaximumOfConcaveObjective) {
+  // Objective peaks at p = 0.3.
+  const auto eval = [](double p) -> std::optional<double> {
+    return -(p - 0.3) * (p - 0.3);
+  };
+  const auto best = optimizeProbability(
+      eval, MetricKind::ReachabilityUnderLatency, {0.05, 1.0, 0.05});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->probability, 0.3, 1e-12);
+}
+
+TEST(OptimizeProbability, FindsMinimumForCostMetrics) {
+  const auto eval = [](double p) -> std::optional<double> {
+    return (p - 0.6) * (p - 0.6) + 2.0;
+  };
+  const auto best = optimizeProbability(
+      eval, MetricKind::LatencyUnderReachability, {0.1, 1.0, 0.1});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->probability, 0.6, 1e-12);
+  EXPECT_NEAR(best->value, 2.0, 1e-12);
+}
+
+TEST(OptimizeProbability, SkipsInfeasiblePoints) {
+  const auto eval = [](double p) -> std::optional<double> {
+    if (p < 0.5) return std::nullopt;
+    return 1.0 - p;  // maximise -> p = 0.5 wins among feasible
+  };
+  const auto best = optimizeProbability(
+      eval, MetricKind::ReachabilityUnderLatency, {0.1, 1.0, 0.1});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->probability, 0.5, 1e-12);
+}
+
+TEST(OptimizeProbability, AllInfeasibleGivesNullopt) {
+  const auto eval = [](double) -> std::optional<double> {
+    return std::nullopt;
+  };
+  EXPECT_FALSE(optimizeProbability(eval,
+                                   MetricKind::ReachabilityUnderLatency,
+                                   {0.1, 1.0, 0.1})
+                   .has_value());
+}
+
+TEST(OptimizeProbability, TieKeepsSmallerProbability) {
+  const auto eval = [](double) -> std::optional<double> { return 1.0; };
+  const auto best = optimizeProbability(
+      eval, MetricKind::ReachabilityUnderLatency, {0.1, 1.0, 0.1});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->probability, 0.1, 1e-12);
+}
+
+TEST(SweepProbability, ReturnsValuePerGridPoint) {
+  const auto eval = [](double p) -> std::optional<double> {
+    if (p > 0.45 && p < 0.55) return std::nullopt;
+    return p * 2.0;
+  };
+  const auto series = sweepProbability(eval, {0.1, 1.0, 0.1});
+  ASSERT_EQ(series.size(), 10u);
+  EXPECT_NEAR(*series[0], 0.2, 1e-12);
+  EXPECT_FALSE(series[4].has_value());  // p = 0.5
+  EXPECT_NEAR(*series[9], 2.0, 1e-12);
+}
+
+TEST(OptimizeAnalytic, ReproducesPaperDecreasingOptimum) {
+  analytic::RingModelConfig base;
+  base.rings = 5;
+  base.slotsPerPhase = 3;
+  const MetricSpec spec = MetricSpec::reachabilityUnderLatency(5.0);
+  const ProbabilityGrid grid{0.02, 1.0, 0.02};
+  base.neighborDensity = 20.0;
+  const auto sparse = optimizeAnalytic(base, spec, grid);
+  base.neighborDensity = 140.0;
+  const auto dense = optimizeAnalytic(base, spec, grid);
+  ASSERT_TRUE(sparse.has_value());
+  ASSERT_TRUE(dense.has_value());
+  EXPECT_GT(sparse->probability, dense->probability);
+  // The optimal reachability plateau is flat in density (paper Fig. 4b).
+  EXPECT_NEAR(sparse->value, dense->value, 0.05);
+}
+
+TEST(OptimizeAnalytic, EnergyMetricPrefersSmallP) {
+  analytic::RingModelConfig base;
+  base.rings = 5;
+  base.neighborDensity = 100.0;
+  const auto best = optimizeAnalytic(
+      base, MetricSpec::energyUnderReachability(0.6), {0.01, 1.0, 0.01});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LT(best->probability, 0.2);  // paper Fig. 6(b): p* in (0, 0.1]
+}
+
+}  // namespace
+}  // namespace nsmodel::core

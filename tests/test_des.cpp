@@ -1,0 +1,187 @@
+#include "des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::des {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.nextTime(), nsmodel::Error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&order] { order.push_back(3); });
+  q.push(1.0, [&order] { order.push_back(1); });
+  q.push(2.0, [&order] { order.push_back(2); });
+  while (!q.empty()) {
+    Time at = 0;
+    q.pop(at)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    Time at = 0;
+    q.pop(at)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ReportsEventTime) {
+  EventQueue q;
+  q.push(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.nextTime(), 4.5);
+  Time at = 0;
+  q.pop(at);
+  EXPECT_DOUBLE_EQ(at, 4.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&fired] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(999));
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+}
+
+TEST(EventQueue, CancelledEntriesSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.push(1.0, [&order] { order.push_back(1); });
+  q.push(2.0, [&order] { order.push_back(2); });
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+  Time at = 0;
+  q.pop(at)();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RejectsNullAction) {
+  EventQueue q;
+  EXPECT_THROW(q.push(1.0, nullptr), nsmodel::Error);
+}
+
+TEST(Engine, RunsEventsAndAdvancesClock) {
+  Engine engine;
+  std::vector<double> times;
+  engine.scheduleAt(2.0, [&] { times.push_back(engine.now()); });
+  engine.scheduleAt(1.0, [&] { times.push_back(engine.now()); });
+  const auto fired = engine.run();
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Engine, EventsScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) engine.scheduleAfter(1.0, chain);
+  };
+  engine.scheduleAt(0.0, chain);
+  engine.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(engine.now(), 9.0);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  double firedAt = -1.0;
+  engine.scheduleAt(5.0, [&] {
+    engine.scheduleAfter(2.5, [&] { firedAt = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(firedAt, 7.5);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine engine;
+  engine.scheduleAt(3.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.scheduleAt(2.0, [] {}), nsmodel::Error);
+  EXPECT_THROW(engine.scheduleAfter(-1.0, [] {}), nsmodel::Error);
+}
+
+TEST(Engine, HorizonStopsBeforeLaterEvents) {
+  Engine engine;
+  int fired = 0;
+  engine.scheduleAt(1.0, [&] { ++fired; });
+  engine.scheduleAt(10.0, [&] { ++fired; });
+  engine.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.pendingCount(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StopHaltsTheLoop) {
+  Engine engine;
+  int fired = 0;
+  engine.scheduleAt(1.0, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.scheduleAt(2.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  // A later run resumes with the remaining events.
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CancelScheduledEvent) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.scheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.firedCount(), 0u);
+}
+
+TEST(Engine, FiredCountAccumulatesAcrossRuns) {
+  Engine engine;
+  engine.scheduleAt(1.0, [] {});
+  engine.run();
+  engine.scheduleAt(2.0, [] {});
+  engine.run();
+  EXPECT_EQ(engine.firedCount(), 2u);
+}
+
+TEST(Engine, ManyEventsDrainDeterministically) {
+  Engine engine;
+  long sum = 0;
+  for (int i = 999; i >= 0; --i) {
+    engine.scheduleAt(static_cast<Time>(i), [&sum, i] { sum += i; });
+  }
+  EXPECT_EQ(engine.run(), 1000u);
+  EXPECT_EQ(sum, 499500);
+}
+
+}  // namespace
+}  // namespace nsmodel::des

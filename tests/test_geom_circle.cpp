@@ -1,0 +1,135 @@
+#include "geom/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "geom/vec2.hpp"
+
+namespace nsmodel::geom {
+namespace {
+
+TEST(LensArea, DisjointCirclesHaveZeroIntersection) {
+  EXPECT_DOUBLE_EQ(lensArea(1.0, 1.0, 2.5), 0.0);
+  EXPECT_DOUBLE_EQ(lensArea(1.0, 1.0, 2.0), 0.0);  // externally tangent
+}
+
+TEST(LensArea, ContainedCircleGivesSmallerDiskArea) {
+  EXPECT_DOUBLE_EQ(lensArea(5.0, 1.0, 0.0), M_PI);
+  EXPECT_DOUBLE_EQ(lensArea(1.0, 5.0, 0.0), M_PI);  // symmetric
+  EXPECT_DOUBLE_EQ(lensArea(5.0, 1.0, 3.0), M_PI);  // still inside
+  EXPECT_DOUBLE_EQ(lensArea(5.0, 1.0, 4.0), M_PI);  // internally tangent
+}
+
+TEST(LensArea, IdenticalCirclesGiveFullDisk) {
+  EXPECT_NEAR(lensArea(2.0, 2.0, 0.0), 4.0 * M_PI, 1e-12);
+}
+
+TEST(LensArea, EqualCirclesAtUnitDistanceKnownValue) {
+  // Classic result: two unit circles, centres 1 apart:
+  // 2 acos(1/2) - (1/2) sqrt(3) per circle contribution.
+  const double expected =
+      2.0 * std::acos(0.5) - 0.5 * std::sqrt(3.0);
+  EXPECT_NEAR(lensArea(1.0, 1.0, 1.0), expected, 1e-12);
+}
+
+TEST(LensArea, HalfOverlapAtCenterDistanceZeroPointEstimate) {
+  // r1 = r2 = 1, d -> 0 gives pi; d -> 2 gives 0. Monotone decrease.
+  double prev = lensArea(1.0, 1.0, 0.0);
+  for (double d = 0.1; d <= 2.0; d += 0.1) {
+    const double cur = lensArea(1.0, 1.0, d);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(LensArea, SymmetricInRadii) {
+  support::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double r1 = rng.uniform(0.1, 3.0);
+    const double r2 = rng.uniform(0.1, 3.0);
+    const double d = rng.uniform(0.0, 6.0);
+    EXPECT_NEAR(lensArea(r1, r2, d), lensArea(r2, r1, d), 1e-12);
+  }
+}
+
+TEST(LensArea, BoundedByeSmallerDisk) {
+  support::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double r1 = rng.uniform(0.1, 3.0);
+    const double r2 = rng.uniform(0.1, 3.0);
+    const double d = rng.uniform(0.0, 6.0);
+    const double area = lensArea(r1, r2, d);
+    const double rmin = std::min(r1, r2);
+    EXPECT_GE(area, 0.0);
+    EXPECT_LE(area, M_PI * rmin * rmin + 1e-12);
+  }
+}
+
+TEST(LensArea, MatchesMonteCarloEstimate) {
+  support::Rng rng(3);
+  const double r1 = 2.0, r2 = 1.5, d = 1.8;
+  const double exact = lensArea(r1, r2, d);
+  // Sample uniformly in circle 2; fraction inside circle 1 estimates the
+  // lens area over circle 2's area.
+  const int n = 400000;
+  int inside = 0;
+  for (int i = 0; i < n; ++i) {
+    const double rho = r2 * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    const Vec2 p{d + rho * std::cos(theta), rho * std::sin(theta)};
+    if (p.normSquared() <= r1 * r1) ++inside;
+  }
+  const double estimate =
+      static_cast<double>(inside) / n * M_PI * r2 * r2;
+  EXPECT_NEAR(exact, estimate, 0.02);
+}
+
+TEST(LensArea, ZeroRadiusGivesZero) {
+  EXPECT_DOUBLE_EQ(lensArea(0.0, 1.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(lensArea(1.0, 0.0, 0.5), 0.0);
+}
+
+TEST(LensArea, RejectsNegativeArguments) {
+  EXPECT_THROW(lensArea(-1.0, 1.0, 0.0), nsmodel::Error);
+  EXPECT_THROW(lensArea(1.0, -1.0, 0.0), nsmodel::Error);
+  EXPECT_THROW(lensArea(1.0, 1.0, -0.1), nsmodel::Error);
+}
+
+TEST(LensArea, NearTangencyIsNumericallyStable) {
+  // Just inside external tangency: tiny positive area, no NaN.
+  const double area = lensArea(1.0, 1.0, 2.0 - 1e-12);
+  EXPECT_GE(area, 0.0);
+  EXPECT_TRUE(std::isfinite(area));
+  // Just inside internal tangency.
+  const double area2 = lensArea(2.0, 1.0, 1.0 + 1e-13);
+  EXPECT_TRUE(std::isfinite(area2));
+  EXPECT_NEAR(area2, M_PI, 1e-5);
+}
+
+TEST(IntersectionAreaEq1, MatchesLensAreaWithOffsetConvention) {
+  // x is the signed distance from L2's centre to L1's border.
+  EXPECT_DOUBLE_EQ(intersectionAreaEq1(2.0, 1.0, 0.5),
+                   lensArea(2.0, 1.0, 2.5));
+  EXPECT_DOUBLE_EQ(intersectionAreaEq1(2.0, 1.0, -0.5),
+                   lensArea(2.0, 1.0, 1.5));
+}
+
+TEST(IntersectionAreaEq1, DegenerateInnerCircle) {
+  // D1 = 0 models ring R_0 (the field centre): zero area.
+  EXPECT_DOUBLE_EQ(intersectionAreaEq1(0.0, 1.0, 0.5), 0.0);
+}
+
+TEST(IntersectionAreaEq1, CenterInsideL1UsesNegativeX) {
+  // u at the centre of L1 (x = -D1): lens of concentric circles.
+  EXPECT_NEAR(intersectionAreaEq1(2.0, 1.0, -2.0), M_PI, 1e-12);
+}
+
+TEST(IntersectionAreaEq1, RejectsCenterBeyondOrigin) {
+  EXPECT_THROW(intersectionAreaEq1(1.0, 1.0, -1.5), nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::geom

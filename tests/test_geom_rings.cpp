@@ -1,0 +1,171 @@
+#include "geom/rings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::geom {
+namespace {
+
+TEST(RingGeometry, ValidatesConstruction) {
+  EXPECT_THROW(RingGeometry(0, 1.0), nsmodel::Error);
+  EXPECT_THROW(RingGeometry(5, 0.0), nsmodel::Error);
+  EXPECT_THROW(RingGeometry(5, -1.0), nsmodel::Error);
+}
+
+TEST(RingGeometry, FieldRadius) {
+  const RingGeometry geo(5, 2.0);
+  EXPECT_DOUBLE_EQ(geo.fieldRadius(), 10.0);
+}
+
+TEST(RingGeometry, RingAreasMatchFormula) {
+  const RingGeometry geo(5, 1.0);
+  // C_k = pi r^2 (k^2 - (k-1)^2) = pi (2k - 1) for r = 1.
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(geo.ringArea(k), M_PI * (2.0 * k - 1.0), 1e-12);
+  }
+}
+
+TEST(RingGeometry, RingAreasSumToFieldArea) {
+  const RingGeometry geo(7, 1.3);
+  double sum = 0.0;
+  for (int k = 1; k <= 7; ++k) sum += geo.ringArea(k);
+  const double fieldR = geo.fieldRadius();
+  EXPECT_NEAR(sum, M_PI * fieldR * fieldR, 1e-9);
+}
+
+TEST(RingGeometry, OutOfRangeRingsHaveZeroArea) {
+  const RingGeometry geo(5, 1.0);
+  EXPECT_DOUBLE_EQ(geo.ringArea(0), 0.0);
+  EXPECT_DOUBLE_EQ(geo.ringArea(-1), 0.0);
+  EXPECT_DOUBLE_EQ(geo.ringArea(6), 0.0);
+}
+
+TEST(RingGeometry, RadialPositionConvention) {
+  const RingGeometry geo(5, 1.0);
+  EXPECT_DOUBLE_EQ(geo.radialPosition(1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(geo.radialPosition(1, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(geo.radialPosition(3, 0.25), 2.25);
+  EXPECT_THROW(geo.radialPosition(0, 0.5), nsmodel::Error);
+  EXPECT_THROW(geo.radialPosition(1, 1.5), nsmodel::Error);
+  EXPECT_THROW(geo.radialPosition(1, -0.1), nsmodel::Error);
+}
+
+// The paper's partition property (Fig. 3): A(x, j-1) + A(x, j) + A(x, j+1)
+// equals the whole transmission disk pi r^2 for interior nodes.
+TEST(RingGeometry, CoverageAreasPartitionTransmissionDisk) {
+  const RingGeometry geo(5, 1.0);
+  support::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int j = static_cast<int>(rng.inRange(2, 4));  // interior rings
+    const double x = rng.uniform(0.0, 1.0);
+    double sum = 0.0;
+    for (int k = j - 1; k <= j + 1; ++k) {
+      const double a = geo.coverageArea(j, x, k);
+      EXPECT_GE(a, -1e-12);
+      sum += a;
+    }
+    EXPECT_NEAR(sum, M_PI, 1e-9) << "j=" << j << " x=" << x;
+  }
+}
+
+TEST(RingGeometry, CoverageOutsideAdjacentRingsIsZero) {
+  const RingGeometry geo(5, 1.0);
+  // A node in ring 3 cannot reach rings 1 or 5 (range == ring width).
+  for (double x : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_NEAR(geo.coverageArea(3, x, 1), 0.0, 1e-12);
+    EXPECT_NEAR(geo.coverageArea(3, x, 5), 0.0, 1e-12);
+  }
+}
+
+TEST(RingGeometry, BoundaryRingLosesCoverageOutsideField) {
+  const RingGeometry geo(5, 1.0);
+  // A node in the outermost ring: part of its disk leaves the field, so
+  // the within-field coverage is less than pi r^2.
+  double sum = 0.0;
+  for (int k = 4; k <= 5; ++k) sum += geo.coverageArea(5, 0.5, k);
+  EXPECT_LT(sum, M_PI - 0.1);
+}
+
+TEST(RingGeometry, InnermostNodeCoversWholeRingOne) {
+  const RingGeometry geo(5, 1.0);
+  // A node at the exact centre (j=1, x=0) covers all of ring 1.
+  EXPECT_NEAR(geo.coverageArea(1, 0.0, 1), geo.ringArea(1), 1e-12);
+  EXPECT_NEAR(geo.coverageArea(1, 0.0, 2), 0.0, 1e-12);
+}
+
+TEST(RingGeometry, CoverageMatchesMonteCarlo) {
+  const RingGeometry geo(5, 1.0);
+  support::Rng rng(2);
+  const int j = 3;
+  const double x = 0.4;
+  const double pos = geo.radialPosition(j, x);
+  const int n = 300000;
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    // Sample uniformly in u's unit transmission disk.
+    const double rho = std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    const double px = pos + rho * std::cos(theta);
+    const double py = rho * std::sin(theta);
+    const double dist = std::sqrt(px * px + py * py);
+    const int ring = dist == 0.0 ? 1 : static_cast<int>(std::ceil(dist));
+    if (ring >= j - 1 && ring <= j + 1) ++counts[ring - (j - 1)];
+  }
+  for (int t = 0; t < 3; ++t) {
+    const double estimate = static_cast<double>(counts[t]) / n * M_PI;
+    EXPECT_NEAR(geo.coverageArea(j, x, j - 1 + t), estimate, 0.02)
+        << "ring offset " << t;
+  }
+}
+
+// Appendix A: B areas partition the carrier-sensing annulus
+// (area pi (cs^2 - 1) r^2) for interior nodes.
+TEST(RingGeometry, CarrierSenseAreasPartitionAnnulus) {
+  const RingGeometry geo(7, 1.0);
+  support::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int j = static_cast<int>(rng.inRange(3, 5));
+    const double x = rng.uniform(0.0, 1.0);
+    double sum = 0.0;
+    for (int k = j - 2; k <= j + 2; ++k) {
+      const double b = geo.carrierSenseArea(j, x, k, 2.0);
+      EXPECT_GE(b, -1e-12);
+      sum += b;
+    }
+    EXPECT_NEAR(sum, M_PI * 3.0, 1e-9) << "j=" << j << " x=" << x;
+  }
+}
+
+TEST(RingGeometry, CarrierSenseExcludesTransmissionDisk) {
+  const RingGeometry geo(5, 1.0);
+  // For every ring, B + A <= ring-disk intersection with the cs disk.
+  const int j = 3;
+  const double x = 0.5;
+  for (int k = j - 1; k <= j + 1; ++k) {
+    const double total =
+        geo.ringDiskIntersection(k, geo.radialPosition(j, x), 2.0);
+    const double a = geo.coverageArea(j, x, k);
+    const double b = geo.carrierSenseArea(j, x, k, 2.0);
+    EXPECT_NEAR(a + b, total, 1e-9);
+  }
+}
+
+TEST(RingGeometry, CarrierSenseFactorValidation) {
+  const RingGeometry geo(5, 1.0);
+  EXPECT_THROW(geo.carrierSenseArea(3, 0.5, 3, 1.0), nsmodel::Error);
+  EXPECT_THROW(geo.carrierSenseArea(3, 0.5, 3, 0.5), nsmodel::Error);
+}
+
+TEST(RingGeometry, RingDiskIntersectionValidation) {
+  const RingGeometry geo(5, 1.0);
+  EXPECT_THROW(geo.ringDiskIntersection(1, -1.0, 1.0), nsmodel::Error);
+  EXPECT_THROW(geo.ringDiskIntersection(1, 1.0, -1.0), nsmodel::Error);
+  EXPECT_DOUBLE_EQ(geo.ringDiskIntersection(9, 1.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace nsmodel::geom

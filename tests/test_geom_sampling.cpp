@@ -1,0 +1,148 @@
+#include "geom/disk_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.normSquared(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.distanceTo(b), std::sqrt(13.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+}
+
+TEST(SampleDisk, PointsStayInside) {
+  support::Rng rng(1);
+  const Vec2 center{2.0, -1.0};
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 p = sampleDisk(rng, center, 3.0);
+    EXPECT_LE(p.distanceTo(center), 3.0 + 1e-12);
+  }
+}
+
+TEST(SampleDisk, RadialDistributionIsAreaUniform) {
+  // For a uniform disk, P(dist <= t*R) = t^2.
+  support::Rng rng(2);
+  const int n = 200000;
+  int insideHalf = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sampleDisk(rng, {0, 0}, 1.0).norm() <= 0.5) ++insideHalf;
+  }
+  EXPECT_NEAR(static_cast<double>(insideHalf) / n, 0.25, 0.01);
+}
+
+TEST(SampleDisk, AngularDistributionIsUniform) {
+  support::Rng rng(3);
+  const int n = 100000;
+  int rightHalf = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sampleDisk(rng, {0, 0}, 1.0).x > 0.0) ++rightHalf;
+  }
+  EXPECT_NEAR(static_cast<double>(rightHalf) / n, 0.5, 0.01);
+}
+
+TEST(SampleDisk, RejectsNegativeRadius) {
+  support::Rng rng(4);
+  EXPECT_THROW(sampleDisk(rng, {0, 0}, -1.0), nsmodel::Error);
+}
+
+TEST(SampleAnnulus, PointsStayInAnnulus) {
+  support::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 p = sampleAnnulus(rng, {0, 0}, 1.0, 2.0);
+    const double d = p.norm();
+    EXPECT_GE(d, 1.0 - 1e-12);
+    EXPECT_LE(d, 2.0 + 1e-12);
+  }
+}
+
+TEST(SampleAnnulus, AreaUniformAcrossSubAnnuli) {
+  // Annulus [1, 2]: area fraction of [1, 1.5] is (1.5^2-1)/(2^2-1) = 5/12.
+  support::Rng rng(6);
+  const int n = 200000;
+  int inner = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sampleAnnulus(rng, {0, 0}, 1.0, 2.0).norm() <= 1.5) ++inner;
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / n, 5.0 / 12.0, 0.01);
+}
+
+TEST(SampleAnnulus, RejectsInvalidRadii) {
+  support::Rng rng(7);
+  EXPECT_THROW(sampleAnnulus(rng, {0, 0}, 2.0, 1.0), nsmodel::Error);
+  EXPECT_THROW(sampleAnnulus(rng, {0, 0}, -1.0, 1.0), nsmodel::Error);
+  EXPECT_THROW(sampleAnnulus(rng, {0, 0}, 1.0, 1.0), nsmodel::Error);
+}
+
+TEST(SampleDiskPoints, ReturnsRequestedCount) {
+  support::Rng rng(8);
+  const auto points = sampleDiskPoints(rng, {0, 0}, 2.0, 137);
+  EXPECT_EQ(points.size(), 137u);
+}
+
+TEST(SampleDiskPoints, EmptyCountGivesEmptyVector) {
+  support::Rng rng(9);
+  EXPECT_TRUE(sampleDiskPoints(rng, {0, 0}, 2.0, 0).empty());
+}
+
+TEST(JitteredGrid, NoJitterIsDeterministicLattice) {
+  support::Rng rng(10);
+  const auto points =
+      sampleJitteredGridDisk(rng, {0, 0}, 2.0, 1.0, 0.0);
+  // Grid points with |x|,|y| in {-2..2} and x^2+y^2 <= 4: 13 points.
+  EXPECT_EQ(points.size(), 13u);
+  for (const Vec2& p : points) {
+    EXPECT_NEAR(p.x, std::round(p.x), 1e-12);
+    EXPECT_NEAR(p.y, std::round(p.y), 1e-12);
+  }
+}
+
+TEST(JitteredGrid, JitteredPointsStayInDisk) {
+  support::Rng rng(11);
+  const auto points =
+      sampleJitteredGridDisk(rng, {0, 0}, 3.0, 0.5, 1.0);
+  for (const Vec2& p : points) {
+    EXPECT_LE(p.norm(), 3.0 + 1e-12);
+  }
+  EXPECT_GT(points.size(), 50u);  // dense grid in a radius-3 disk
+}
+
+TEST(JitteredGrid, DensityScalesInverseSquareOfSpacing) {
+  support::Rng rng(12);
+  const auto coarse = sampleJitteredGridDisk(rng, {0, 0}, 10.0, 1.0, 0.0);
+  const auto fine = sampleJitteredGridDisk(rng, {0, 0}, 10.0, 0.5, 0.0);
+  const double ratio =
+      static_cast<double>(fine.size()) / static_cast<double>(coarse.size());
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+TEST(JitteredGrid, Validation) {
+  support::Rng rng(13);
+  EXPECT_THROW(sampleJitteredGridDisk(rng, {0, 0}, 1.0, 0.0, 0.0),
+               nsmodel::Error);
+  EXPECT_THROW(sampleJitteredGridDisk(rng, {0, 0}, 1.0, 1.0, 2.0),
+               nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::geom

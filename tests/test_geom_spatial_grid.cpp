@@ -1,0 +1,139 @@
+#include "geom/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "geom/disk_sampling.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::geom {
+namespace {
+
+std::vector<std::uint32_t> bruteForceWithin(const std::vector<Vec2>& points,
+                                            const Vec2& center,
+                                            double radius) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].distanceSquaredTo(center) <= radius * radius) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+TEST(SpatialGrid, RejectsNonPositiveCellSize) {
+  EXPECT_THROW(SpatialGrid(0.0), nsmodel::Error);
+  EXPECT_THROW(SpatialGrid(-1.0), nsmodel::Error);
+}
+
+TEST(SpatialGrid, EmptyGridReturnsNothing) {
+  const SpatialGrid grid(1.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.queryWithin({0, 0}, 10.0).empty());
+}
+
+TEST(SpatialGrid, SinglePointFoundWithinRadius) {
+  SpatialGrid grid(1.0);
+  grid.insert({0.5, 0.5}, 7);
+  const auto hits = grid.queryWithin({0.0, 0.0}, 1.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+  EXPECT_TRUE(grid.queryWithin({5.0, 5.0}, 1.0).empty());
+}
+
+TEST(SpatialGrid, BoundaryIsInclusive) {
+  SpatialGrid grid(1.0);
+  grid.insert({1.0, 0.0}, 0);
+  EXPECT_EQ(grid.queryWithin({0.0, 0.0}, 1.0).size(), 1u);
+  EXPECT_TRUE(grid.queryWithin({0.0, 0.0}, 0.999999).empty());
+}
+
+TEST(SpatialGrid, MatchesBruteForceOnRandomPoints) {
+  support::Rng rng(1);
+  const auto points = sampleDiskPoints(rng, {0, 0}, 5.0, 500);
+  const SpatialGrid grid = SpatialGrid::build(points, 1.0);
+  EXPECT_EQ(grid.size(), points.size());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 center = sampleDisk(rng, {0, 0}, 5.0);
+    const double radius = rng.uniform(0.1, 2.5);
+    auto expected = bruteForceWithin(points, center, radius);
+    auto got = grid.queryWithin(center, radius);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(SpatialGrid, QueryRadiusLargerThanCellSize) {
+  support::Rng rng(2);
+  const auto points = sampleDiskPoints(rng, {0, 0}, 10.0, 300);
+  const SpatialGrid grid = SpatialGrid::build(points, 0.5);
+  auto expected = bruteForceWithin(points, {1.0, -2.0}, 4.0);
+  auto got = grid.queryWithin({1.0, -2.0}, 4.0);
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SpatialGrid, NegativeCoordinatesHandled) {
+  SpatialGrid grid(1.0);
+  grid.insert({-3.7, -2.2}, 1);
+  grid.insert({-3.5, -2.0}, 2);
+  grid.insert({3.5, 2.0}, 3);
+  const auto hits = grid.queryWithin({-3.6, -2.1}, 0.5);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(SpatialGrid, DuplicatePositionsAllReturned) {
+  SpatialGrid grid(1.0);
+  grid.insert({1.0, 1.0}, 10);
+  grid.insert({1.0, 1.0}, 11);
+  grid.insert({1.0, 1.0}, 12);
+  EXPECT_EQ(grid.queryWithin({1.0, 1.0}, 0.0).size(), 3u);
+}
+
+TEST(SpatialGrid, ZeroRadiusFindsExactMatchesOnly) {
+  SpatialGrid grid(1.0);
+  grid.insert({1.0, 1.0}, 0);
+  grid.insert({1.0, 1.0001}, 1);
+  const auto hits = grid.queryWithin({1.0, 1.0}, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(SpatialGrid, RejectsNegativeQueryRadius) {
+  SpatialGrid grid(1.0);
+  grid.insert({0, 0}, 0);
+  EXPECT_THROW(grid.queryWithin({0, 0}, -0.5), nsmodel::Error);
+}
+
+TEST(SpatialGrid, ForEachVisitsPositionsToo) {
+  SpatialGrid grid(2.0);
+  grid.insert({1.5, 0.5}, 4);
+  bool visited = false;
+  grid.forEachWithin({1.5, 0.5}, 0.1,
+                     [&visited](std::uint32_t id, const Vec2& pos) {
+                       visited = true;
+                       EXPECT_EQ(id, 4u);
+                       EXPECT_DOUBLE_EQ(pos.x, 1.5);
+                       EXPECT_DOUBLE_EQ(pos.y, 0.5);
+                     });
+  EXPECT_TRUE(visited);
+}
+
+TEST(SpatialGrid, BuildAssignsSequentialIds) {
+  const std::vector<Vec2> points{{0, 0}, {1, 1}, {2, 2}};
+  const SpatialGrid grid = SpatialGrid::build(points, 1.0);
+  std::set<std::uint32_t> ids;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (auto id : grid.queryWithin(points[i], 0.0)) ids.insert(id);
+  }
+  EXPECT_EQ(ids, (std::set<std::uint32_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace nsmodel::geom

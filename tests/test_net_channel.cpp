@@ -1,0 +1,211 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+namespace {
+
+using Delivery = std::pair<NodeId, NodeId>;  // (receiver, sender)
+
+/// Line of nodes at x = 0..n-1; range picks who hears whom.
+Deployment lineDeployment(std::size_t n) {
+  std::vector<geom::Vec2> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({static_cast<double>(i), 0.0});
+  }
+  return Deployment(std::move(positions), 0, static_cast<double>(n));
+}
+
+std::vector<Delivery> resolve(Channel& channel, const Topology& topo,
+                              const std::vector<NodeId>& transmitters,
+                              SlotOutcome* outcome = nullptr) {
+  std::vector<Delivery> deliveries;
+  const SlotOutcome out = channel.resolveSlot(
+      topo, transmitters, [&deliveries](NodeId r, NodeId s) {
+        deliveries.emplace_back(r, s);
+      });
+  if (outcome != nullptr) *outcome = out;
+  return deliveries;
+}
+
+TEST(ChannelModelName, AllNames) {
+  EXPECT_STREQ(channelModelName(ChannelModel::CollisionFree), "CFM");
+  EXPECT_STREQ(channelModelName(ChannelModel::CollisionAware), "CAM");
+  EXPECT_STREQ(channelModelName(ChannelModel::CarrierSenseAware), "CAM-CS");
+}
+
+TEST(MakeChannel, ReportsItsModel) {
+  for (auto model :
+       {ChannelModel::CollisionFree, ChannelModel::CollisionAware,
+        ChannelModel::CarrierSenseAware}) {
+    EXPECT_EQ(makeChannel(model)->model(), model);
+  }
+}
+
+TEST(CollisionFree, DeliversToAllNeighbors) {
+  const Deployment dep = lineDeployment(5);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionFree);
+  SlotOutcome outcome;
+  const auto deliveries = resolve(*channel, topo, {2}, &outcome);
+  std::set<Delivery> got(deliveries.begin(), deliveries.end());
+  EXPECT_EQ(got, (std::set<Delivery>{{1, 2}, {3, 2}}));
+  EXPECT_EQ(outcome.deliveries, 2u);
+  EXPECT_EQ(outcome.lostReceivers, 0u);
+}
+
+TEST(CollisionFree, ConcurrentTransmissionsAllSucceed) {
+  const Deployment dep = lineDeployment(4);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionFree);
+  // Nodes 1 and 2 transmit; node 1's neighbours are {0,2}, node 2's {1,3}.
+  const auto deliveries = resolve(*channel, topo, {1, 2});
+  EXPECT_EQ(deliveries.size(), 4u);  // every (tx, neighbour) pair delivers
+}
+
+TEST(CollisionAware, SingleTransmitterDelivers) {
+  const Deployment dep = lineDeployment(3);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionAware);
+  SlotOutcome outcome;
+  const auto deliveries = resolve(*channel, topo, {1}, &outcome);
+  std::set<Delivery> got(deliveries.begin(), deliveries.end());
+  EXPECT_EQ(got, (std::set<Delivery>{{0, 1}, {2, 1}}));
+  EXPECT_EQ(outcome.lostReceivers, 0u);
+}
+
+TEST(CollisionAware, TwoTransmittersCollideAtCommonNeighbor) {
+  // 0 and 2 transmit; node 1 hears both -> collision (Assumption 6).
+  const Deployment dep = lineDeployment(3);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionAware);
+  SlotOutcome outcome;
+  const auto deliveries = resolve(*channel, topo, {0, 2}, &outcome);
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(outcome.lostReceivers, 1u);  // node 1 lost everything
+}
+
+TEST(CollisionAware, DisjointNeighborhoodsBothDeliver) {
+  // 0 and 3 transmit on a 5-line: node 1 hears only 0, node 2 hears only 3
+  // ... wait, node 2 neighbours {1, 3}; only 3 transmits -> delivers.
+  const Deployment dep = lineDeployment(5);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionAware);
+  const auto deliveries = resolve(*channel, topo, {0, 3});
+  std::set<Delivery> got(deliveries.begin(), deliveries.end());
+  EXPECT_EQ(got, (std::set<Delivery>{{1, 0}, {2, 3}, {4, 3}}));
+}
+
+TEST(CollisionAware, TransmitterCannotReceive) {
+  // 0 and 1 transmit; each is the other's only transmitting neighbour but
+  // half-duplex forbids reception while transmitting.
+  const Deployment dep = lineDeployment(2);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionAware);
+  const auto deliveries = resolve(*channel, topo, {0, 1});
+  EXPECT_TRUE(deliveries.empty());
+}
+
+TEST(CollisionAware, ExactlyOneOfManyNeighborsRequired) {
+  // Star: centre 0 with three leaves in range; two leaves transmit.
+  std::vector<geom::Vec2> positions{
+      {0, 0}, {1, 0}, {0, 1}, {-1, 0}};
+  const Deployment dep(std::move(positions), 0, 5.0);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionAware);
+  SlotOutcome outcome;
+  const auto deliveries = resolve(*channel, topo, {1, 2}, &outcome);
+  // Centre hears 2 transmitters -> lost. Leaves 1, 2 are transmitting;
+  // leaf 3 hears only the centre (silent) -> nothing.
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(outcome.lostReceivers, 1u);
+}
+
+TEST(CollisionAware, RepeatSlotsReuseScratchCorrectly) {
+  const Deployment dep = lineDeployment(4);
+  const Topology topo(dep, 1.0);
+  auto channel = makeChannel(ChannelModel::CollisionAware);
+  // Slot 1: collision at node 1.
+  auto first = resolve(*channel, topo, {0, 2});
+  // Slot 2: clean single transmission must not see stale counts.
+  auto second = resolve(*channel, topo, {0});
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], (Delivery{1, 0}));
+  // Slot 3: empty transmitter set.
+  auto third = resolve(*channel, topo, {});
+  EXPECT_TRUE(third.empty());
+}
+
+TEST(CarrierSense, RequiresCsTopology) {
+  const Deployment dep = lineDeployment(3);
+  const Topology topo(dep, 1.0);  // no cs factor
+  auto channel = makeChannel(ChannelModel::CarrierSenseAware);
+  EXPECT_THROW(resolve(*channel, topo, {0}), nsmodel::Error);
+}
+
+TEST(CarrierSense, SingleTransmitterStillDelivers) {
+  const Deployment dep = lineDeployment(3);
+  const Topology topo(dep, 1.0, 2.0);
+  auto channel = makeChannel(ChannelModel::CarrierSenseAware);
+  const auto deliveries = resolve(*channel, topo, {1});
+  EXPECT_EQ(deliveries.size(), 2u);
+}
+
+TEST(CarrierSense, AnnulusTransmitterDestroysReception) {
+  // Line 0-1-2-3: node 3 transmits to... consider receiver 1: transmitter
+  // 0 in range; transmitter 3 is at distance 2 (within cs range 2, outside
+  // tx range 1) -> reception at 1 destroyed under CAM-CS but fine in CAM.
+  const Deployment dep = lineDeployment(4);
+  const Topology topoCs(dep, 1.0, 2.0);
+  auto cam = makeChannel(ChannelModel::CollisionAware);
+  auto cs = makeChannel(ChannelModel::CarrierSenseAware);
+  const auto camDeliveries = resolve(*cam, topoCs, {0, 3});
+  const auto csDeliveries = resolve(*cs, topoCs, {0, 3});
+  // CAM: 1 hears only 0 -> delivered; 2 hears only 3 -> delivered.
+  EXPECT_EQ(camDeliveries.size(), 2u);
+  // CAM-CS: 1 is within 2 of transmitter 3; 2 is within 2 of 0 -> both lost.
+  EXPECT_TRUE(csDeliveries.empty());
+}
+
+TEST(CarrierSense, FarApartTransmittersUnaffected) {
+  const Deployment dep = lineDeployment(8);
+  const Topology topo(dep, 1.0, 2.0);
+  auto channel = makeChannel(ChannelModel::CarrierSenseAware);
+  // Transmitters 0 and 7: no receiver is within cs range of both.
+  const auto deliveries = resolve(*channel, topo, {0, 7});
+  std::set<Delivery> got(deliveries.begin(), deliveries.end());
+  EXPECT_EQ(got, (std::set<Delivery>{{1, 0}, {6, 7}}));
+}
+
+TEST(CarrierSense, NeverDeliversMoreThanCam) {
+  // Property: on the same transmitter set, CAM-CS deliveries form a subset
+  // of CAM deliveries.
+  support::Rng rng(1);
+  const Deployment dep = Deployment::paperDisk(rng, 4, 1.0, 30.0);
+  const Topology topo(dep, 1.0, 2.0);
+  auto cam = makeChannel(ChannelModel::CollisionAware);
+  auto cs = makeChannel(ChannelModel::CarrierSenseAware);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<NodeId> transmitters;
+    for (NodeId id = 0; id < dep.nodeCount(); ++id) {
+      if (rng.bernoulli(0.02)) transmitters.push_back(id);
+    }
+    const auto camD = resolve(*cam, topo, transmitters);
+    const auto csD = resolve(*cs, topo, transmitters);
+    const std::set<Delivery> camSet(camD.begin(), camD.end());
+    for (const Delivery& d : csD) {
+      EXPECT_TRUE(camSet.count(d)) << "CS delivered a pair CAM did not";
+    }
+    EXPECT_LE(csD.size(), camD.size());
+  }
+}
+
+}  // namespace
+}  // namespace nsmodel::net

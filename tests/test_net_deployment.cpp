@@ -1,0 +1,216 @@
+#include "net/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+namespace {
+
+TEST(Deployment, UniformDiskBasics) {
+  support::Rng rng(1);
+  const Deployment dep = Deployment::uniformDisk(rng, 5.0, 100);
+  EXPECT_EQ(dep.nodeCount(), 100u);
+  EXPECT_EQ(dep.source(), 0u);
+  EXPECT_DOUBLE_EQ(dep.fieldRadius(), 5.0);
+  // The source sits at the centre.
+  EXPECT_DOUBLE_EQ(dep.position(0).x, 0.0);
+  EXPECT_DOUBLE_EQ(dep.position(0).y, 0.0);
+}
+
+TEST(Deployment, AllNodesInsideField) {
+  support::Rng rng(2);
+  const Deployment dep = Deployment::uniformDisk(rng, 3.0, 500);
+  for (NodeId id = 0; id < dep.nodeCount(); ++id) {
+    EXPECT_LE(dep.position(id).norm(), 3.0 + 1e-12);
+  }
+}
+
+TEST(Deployment, SingleNodeDeployment) {
+  support::Rng rng(3);
+  const Deployment dep = Deployment::uniformDisk(rng, 1.0, 1);
+  EXPECT_EQ(dep.nodeCount(), 1u);
+  EXPECT_EQ(dep.source(), 0u);
+}
+
+TEST(Deployment, RejectsZeroNodes) {
+  support::Rng rng(4);
+  EXPECT_THROW(Deployment::uniformDisk(rng, 1.0, 0), nsmodel::Error);
+}
+
+TEST(Deployment, IsReproducibleFromSeed) {
+  support::Rng a(77), b(77);
+  const Deployment da = Deployment::uniformDisk(a, 5.0, 50);
+  const Deployment db = Deployment::uniformDisk(b, 5.0, 50);
+  for (NodeId id = 0; id < 50; ++id) {
+    EXPECT_EQ(da.position(id), db.position(id));
+  }
+}
+
+TEST(Deployment, PaperDiskMatchesRhoPSquared) {
+  support::Rng rng(5);
+  // N = rho * P^2: the paper's 500..3500 range for rho 20..140, P = 5.
+  const Deployment d20 = Deployment::paperDisk(rng, 5, 1.0, 20.0);
+  EXPECT_EQ(d20.nodeCount(), 500u);
+  const Deployment d140 = Deployment::paperDisk(rng, 5, 1.0, 140.0);
+  EXPECT_EQ(d140.nodeCount(), 3500u);
+  EXPECT_DOUBLE_EQ(d140.fieldRadius(), 5.0);
+}
+
+TEST(Deployment, PaperDiskScalesWithRingWidth) {
+  support::Rng rng(6);
+  const Deployment dep = Deployment::paperDisk(rng, 4, 2.5, 30.0);
+  EXPECT_DOUBLE_EQ(dep.fieldRadius(), 10.0);
+  EXPECT_EQ(dep.nodeCount(), 480u);  // 30 * 16
+}
+
+TEST(Deployment, PaperDiskValidation) {
+  support::Rng rng(7);
+  EXPECT_THROW(Deployment::paperDisk(rng, 0, 1.0, 20.0), nsmodel::Error);
+  EXPECT_THROW(Deployment::paperDisk(rng, 5, 0.0, 20.0), nsmodel::Error);
+  EXPECT_THROW(Deployment::paperDisk(rng, 5, 1.0, 0.0), nsmodel::Error);
+}
+
+TEST(Deployment, DensityIsSpatialLyUniform) {
+  support::Rng rng(8);
+  const Deployment dep = Deployment::paperDisk(rng, 5, 1.0, 100.0);
+  // Fraction of nodes within half the field radius should be ~1/4
+  // (area-uniform), modulo the pinned source.
+  std::size_t inner = 0;
+  for (NodeId id = 0; id < dep.nodeCount(); ++id) {
+    if (dep.position(id).norm() <= 2.5) ++inner;
+  }
+  const double fraction =
+      static_cast<double>(inner) / static_cast<double>(dep.nodeCount());
+  EXPECT_NEAR(fraction, 0.25, 0.03);
+}
+
+TEST(Deployment, RingOfClassifiesRadii) {
+  support::Rng rng(9);
+  const Deployment dep = Deployment::uniformDisk(rng, 5.0, 200);
+  EXPECT_EQ(dep.ringOf(dep.source(), 1.0), 1);  // centre
+  for (NodeId id = 0; id < dep.nodeCount(); ++id) {
+    const int ring = dep.ringOf(id, 1.0);
+    const double dist = dep.position(id).norm();
+    EXPECT_GE(ring, 1);
+    EXPECT_LE(ring, 5);
+    if (dist > 0.0) {
+      EXPECT_GT(dist, ring - 1.0);
+      EXPECT_LE(dist, static_cast<double>(ring) + 1e-12);
+    }
+  }
+}
+
+TEST(Deployment, PositionOutOfRangeThrows) {
+  support::Rng rng(10);
+  const Deployment dep = Deployment::uniformDisk(rng, 1.0, 10);
+  EXPECT_THROW(dep.position(10), nsmodel::Error);
+  EXPECT_THROW(dep.ringOf(10, 1.0), nsmodel::Error);
+  EXPECT_THROW(dep.ringOf(0, 0.0), nsmodel::Error);
+}
+
+TEST(Deployment, JitteredGridSourceNearCenter) {
+  support::Rng rng(11);
+  const Deployment dep = Deployment::jitteredGrid(rng, 5.0, 1.0, 0.0);
+  EXPECT_LT(dep.position(dep.source()).norm(), 0.5);
+  EXPECT_GT(dep.nodeCount(), 60u);
+}
+
+TEST(Deployment, JitteredGridTooCoarseThrows) {
+  support::Rng rng(12);
+  // Spacing far larger than the field still yields the centre point, so
+  // shrink the field below half the spacing with an offset grid... the
+  // lattice always contains (0,0), so this cannot actually be empty; keep
+  // the constructor contract covered via Deployment directly instead.
+  EXPECT_THROW(Deployment({}, 0, 1.0), nsmodel::Error);
+  EXPECT_THROW(Deployment({{0.0, 0.0}}, 1, 1.0), nsmodel::Error);
+  EXPECT_THROW(Deployment({{0.0, 0.0}}, 0, 0.0), nsmodel::Error);
+}
+
+TEST(Deployment, OffCentreSourcePlacement) {
+  support::Rng rng(30);
+  const Deployment dep =
+      Deployment::uniformDiskWithSource(rng, 5.0, 100, 0.8);
+  EXPECT_EQ(dep.source(), 0u);
+  EXPECT_NEAR(dep.position(0).norm(), 4.0, 1e-12);
+  // All other nodes still land inside the field.
+  for (NodeId id = 1; id < dep.nodeCount(); ++id) {
+    EXPECT_LE(dep.position(id).norm(), 5.0 + 1e-12);
+  }
+}
+
+TEST(Deployment, ZeroFractionRecoversCentralSource) {
+  support::Rng a(31), b(31);
+  const Deployment central = Deployment::uniformDisk(a, 5.0, 50);
+  const Deployment zero = Deployment::uniformDiskWithSource(b, 5.0, 50, 0.0);
+  for (NodeId id = 0; id < 50; ++id) {
+    EXPECT_EQ(central.position(id), zero.position(id));
+  }
+}
+
+TEST(Deployment, SourceFractionValidation) {
+  support::Rng rng(32);
+  EXPECT_THROW(Deployment::uniformDiskWithSource(rng, 5.0, 10, -0.1),
+               nsmodel::Error);
+  EXPECT_THROW(Deployment::uniformDiskWithSource(rng, 5.0, 10, 1.1),
+               nsmodel::Error);
+}
+
+TEST(Deployment, RadialGradientRingPopulations) {
+  support::Rng rng(20);
+  // rho_k per ring; N_k = rho_k * (2k - 1).
+  const std::vector<double> rhos{100.0, 50.0, 20.0};
+  const Deployment dep = Deployment::radialGradientDisk(rng, 1.0, rhos);
+  EXPECT_DOUBLE_EQ(dep.fieldRadius(), 3.0);
+  std::size_t counts[3] = {0, 0, 0};
+  for (NodeId id = 1; id < dep.nodeCount(); ++id) {
+    const int ring = dep.ringOf(id, 1.0);
+    ASSERT_GE(ring, 1);
+    ASSERT_LE(ring, 3);
+    ++counts[ring - 1];
+  }
+  EXPECT_EQ(counts[0], 100u);       // 100 * 1
+  EXPECT_EQ(counts[1], 150u);       // 50 * 3
+  EXPECT_EQ(counts[2], 100u);       // 20 * 5
+  EXPECT_EQ(dep.source(), 0u);
+}
+
+TEST(Deployment, RadialGradientUniformWithinRings) {
+  support::Rng rng(21);
+  // One thick outer ring: fraction within the inner half of the annulus
+  // [1, 2] should be (1.5^2 - 1) / (2^2 - 1) = 5/12 by area uniformity.
+  const Deployment dep =
+      Deployment::radialGradientDisk(rng, 1.0, {0.0, 2000.0});
+  std::size_t inner = 0, total = 0;
+  for (NodeId id = 1; id < dep.nodeCount(); ++id) {
+    const double d = dep.position(id).norm();
+    ASSERT_GE(d, 1.0 - 1e-9);
+    ASSERT_LE(d, 2.0 + 1e-9);
+    ++total;
+    if (d <= 1.5) ++inner;
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / static_cast<double>(total),
+              5.0 / 12.0, 0.02);
+}
+
+TEST(Deployment, RadialGradientUniformMatchesPaperDiskCount) {
+  support::Rng rng(22);
+  const Deployment gradient = Deployment::radialGradientDisk(
+      rng, 1.0, {60.0, 60.0, 60.0, 60.0, 60.0});
+  // N = 1 (source) + sum rho (2k - 1) = 1 + 60 * 25.
+  EXPECT_EQ(gradient.nodeCount(), 1501u);
+}
+
+TEST(Deployment, RadialGradientValidation) {
+  support::Rng rng(23);
+  EXPECT_THROW(Deployment::radialGradientDisk(rng, 0.0, {10.0}),
+               nsmodel::Error);
+  EXPECT_THROW(Deployment::radialGradientDisk(rng, 1.0, {}), nsmodel::Error);
+  EXPECT_THROW(Deployment::radialGradientDisk(rng, 1.0, {10.0, -1.0}),
+               nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::net

@@ -1,0 +1,77 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+namespace {
+
+TEST(EnergyLedger, StartsAtZero) {
+  const EnergyLedger ledger(4, {});
+  EXPECT_EQ(ledger.txCount(), 0u);
+  EXPECT_EQ(ledger.rxCount(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.totalEnergy(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.maxNodeEnergy(), 0.0);
+  EXPECT_EQ(ledger.nodeCount(), 4u);
+}
+
+TEST(EnergyLedger, CountsPerNode) {
+  EnergyLedger ledger(3, {});
+  ledger.recordTx(0);
+  ledger.recordTx(0);
+  ledger.recordRx(1);
+  EXPECT_EQ(ledger.txCount(0), 2u);
+  EXPECT_EQ(ledger.txCount(1), 0u);
+  EXPECT_EQ(ledger.rxCount(1), 1u);
+  EXPECT_EQ(ledger.txCount(), 2u);
+  EXPECT_EQ(ledger.rxCount(), 1u);
+}
+
+TEST(EnergyLedger, EnergyUsesConfiguredCosts) {
+  EnergyLedger ledger(2, {2.0, 0.5});
+  ledger.recordTx(0);
+  ledger.recordRx(0);
+  ledger.recordRx(1);
+  EXPECT_DOUBLE_EQ(ledger.energy(0), 2.5);
+  EXPECT_DOUBLE_EQ(ledger.energy(1), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.totalEnergy(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.maxNodeEnergy(), 2.5);
+}
+
+TEST(EnergyLedger, SymmetricCostAssumption) {
+  // Assumption 1: identical per-packet cost for send and receive.
+  EnergyLedger ledger(2, {1.0, 1.0});
+  ledger.recordTx(0);
+  ledger.recordRx(1);
+  EXPECT_DOUBLE_EQ(ledger.energy(0), ledger.energy(1));
+}
+
+TEST(EnergyLedger, Validation) {
+  EXPECT_THROW(EnergyLedger(0, {}), nsmodel::Error);
+  EXPECT_THROW(EnergyLedger(2, {-1.0, 1.0}), nsmodel::Error);
+  EnergyLedger ledger(2, {});
+  EXPECT_THROW(ledger.recordTx(2), nsmodel::Error);
+  EXPECT_THROW(ledger.recordRx(5), nsmodel::Error);
+  EXPECT_THROW(ledger.txCount(2), nsmodel::Error);
+  EXPECT_THROW(ledger.rxCount(2), nsmodel::Error);
+  EXPECT_THROW(ledger.energy(2), nsmodel::Error);
+}
+
+TEST(EnergyLedger, ZeroCostsAreAllowed) {
+  EnergyLedger ledger(1, {0.0, 0.0});
+  ledger.recordTx(0);
+  ledger.recordRx(0);
+  EXPECT_DOUBLE_EQ(ledger.totalEnergy(), 0.0);
+  EXPECT_EQ(ledger.txCount(), 1u);
+}
+
+TEST(EnergyLedger, MaxNodeEnergyPicksBottleneck) {
+  EnergyLedger ledger(3, {1.0, 1.0});
+  ledger.recordTx(0);
+  for (int i = 0; i < 5; ++i) ledger.recordRx(2);
+  EXPECT_DOUBLE_EQ(ledger.maxNodeEnergy(), 5.0);
+}
+
+}  // namespace
+}  // namespace nsmodel::net

@@ -1,0 +1,153 @@
+#include "net/fading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+namespace {
+
+Deployment lineDeployment(std::size_t n, double spacing = 1.0) {
+  std::vector<geom::Vec2> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({static_cast<double>(i) * spacing, 0.0});
+  }
+  return Deployment(std::move(positions), 0,
+                    static_cast<double>(n) * spacing);
+}
+
+TEST(FadingChannel, Validation) {
+  support::Rng rng(1);
+  const Deployment dep = lineDeployment(3);
+  EXPECT_THROW(FadingChannel(dep, {0.0, 0.3, 0}), nsmodel::Error);
+  EXPECT_THROW(FadingChannel(dep, {1.0, 0.0, 0}), nsmodel::Error);
+  EXPECT_THROW(FadingChannel(dep, {1.0, 1.0, 0}), nsmodel::Error);
+  EXPECT_NO_THROW(FadingChannel(dep, {1.0, 0.3, 0}));
+}
+
+TEST(FadingChannel, ReachProbabilityShape) {
+  const Deployment dep = lineDeployment(2);
+  const FadingChannel channel(dep, {1.0, 0.25, 0});
+  // Certain inside (1-w)r, impossible outside (1+w)r, linear between.
+  EXPECT_DOUBLE_EQ(channel.reachProbability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(channel.reachProbability(0.75), 1.0);
+  EXPECT_DOUBLE_EQ(channel.reachProbability(1.25), 0.0);
+  EXPECT_DOUBLE_EQ(channel.reachProbability(5.0), 0.0);
+  EXPECT_NEAR(channel.reachProbability(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(channel.reachProbability(0.875), 0.75, 1e-12);
+  EXPECT_THROW(channel.reachProbability(-0.1), nsmodel::Error);
+}
+
+TEST(FadingChannel, SolidRegionLinkAlwaysDelivers) {
+  // Two nodes at distance 0.5 < (1-w)r: the single transmission always
+  // arrives, like plain CAM.
+  const Deployment dep = lineDeployment(2, 0.5);
+  const Topology topo(dep, 1.3);  // (1+w) r candidate range
+  FadingChannel channel(dep, {1.0, 0.3, 7});
+  for (int slot = 0; slot < 50; ++slot) {
+    int delivered = 0;
+    channel.resolveSlot(topo, {0},
+                        [&delivered](NodeId, NodeId) { ++delivered; });
+    EXPECT_EQ(delivered, 1);
+  }
+}
+
+TEST(FadingChannel, TransitionalLinkDeliversAtExpectedRate) {
+  // Distance exactly r with w = 0.3: q = 0.5.
+  const Deployment dep = lineDeployment(2, 1.0);
+  const Topology topo(dep, 1.3);
+  FadingChannel channel(dep, {1.0, 0.3, 8});
+  int delivered = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    channel.resolveSlot(topo, {0},
+                        [&delivered](NodeId, NodeId) { ++delivered; });
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / trials, 0.5, 0.02);
+}
+
+TEST(FadingChannel, ReachedSignalsInterfere) {
+  // Receiver 1 sits in the solid region of both 0 and 2: both signals
+  // always arrive and always collide.
+  std::vector<geom::Vec2> positions{{0, 0}, {0.5, 0}, {1.0, 0}};
+  const Deployment dep(std::move(positions), 0, 5.0);
+  const Topology topo(dep, 1.3);
+  FadingChannel channel(dep, {1.0, 0.3, 9});
+  for (int t = 0; t < 20; ++t) {
+    SlotOutcome outcome = channel.resolveSlot(topo, {0, 2}, [](NodeId,
+                                                               NodeId) {
+      FAIL() << "reception should always collide";
+    });
+    EXPECT_EQ(outcome.deliveries, 0u);
+    EXPECT_GE(outcome.lostReceivers, 1u);
+  }
+}
+
+TEST(FadingChannel, FarInterfererOnlySometimesDestroys) {
+  // Receiver 1 at 0.5 from sender 0 (solid) and at distance 1.0 from
+  // node 2 (transitional, q = 0.5): the reception survives roughly half
+  // of the slots.
+  std::vector<geom::Vec2> positions{{0, 0}, {0.5, 0}, {1.5, 0}};
+  const Deployment dep(std::move(positions), 0, 5.0);
+  const Topology topo(dep, 1.3);
+  FadingChannel channel(dep, {1.0, 0.3, 10});
+  int delivered = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    channel.resolveSlot(topo, {0, 2}, [&delivered](NodeId rx, NodeId) {
+      if (rx == 1) ++delivered;
+    });
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / trials, 0.5, 0.02);
+}
+
+TEST(FadingChannel, WorksInsideBroadcastExperiment) {
+  support::Rng rng = support::Rng::forStream(11, 0);
+  const Deployment dep = Deployment::paperDisk(rng, 4, 1.0, 30.0);
+  const FadingParams params{1.0, 0.3, 11};
+  const Topology topo(dep, (1.0 + params.transitionWidth) *
+                               params.nominalRange);
+  FadingChannel channel(dep, params);
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 30.0;
+  protocols::ProbabilisticBroadcast protocol(0.4);
+  const sim::RunResult run =
+      sim::runBroadcast(cfg, dep, topo, channel, protocol, rng);
+  EXPECT_GT(run.reachedCount(), 1u);
+  EXPECT_LE(run.finalReachability(), 1.0);
+  EXPECT_GT(run.averageSuccessRate(), 0.0);
+}
+
+TEST(FadingChannel, NarrowTransitionApproachesUnitDisk) {
+  // With w -> 0 the fading run should track the plain CAM run closely.
+  support::Rng rngA = support::Rng::forStream(12, 0);
+  const Deployment dep = Deployment::paperDisk(rngA, 4, 1.0, 40.0);
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 40.0;
+
+  const FadingParams params{1.0, 0.01, 12};
+  const Topology fadingTopo(dep, 1.01);
+  FadingChannel fading(dep, params);
+  protocols::SimpleFlooding floodA;
+  support::Rng runRngA = support::Rng::forStream(13, 1);
+  const auto fadingRun =
+      sim::runBroadcast(cfg, dep, fadingTopo, fading, floodA, runRngA);
+
+  const Topology camTopo(dep, 1.0);
+  protocols::SimpleFlooding floodB;
+  support::Rng runRngB = support::Rng::forStream(13, 1);
+  const auto camRun =
+      sim::runBroadcast(cfg, dep, camTopo, floodB, runRngB);
+  EXPECT_NEAR(fadingRun.finalReachability(), camRun.finalReachability(),
+              0.1);
+}
+
+}  // namespace
+}  // namespace nsmodel::net

@@ -1,0 +1,143 @@
+#include "net/tdma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "protocols/tdma_flooding.hpp"
+#include "sim/experiment.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+namespace {
+
+Deployment lineDeployment(std::size_t n) {
+  std::vector<geom::Vec2> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({static_cast<double>(i), 0.0});
+  }
+  return Deployment(std::move(positions), 0, static_cast<double>(n));
+}
+
+TEST(TdmaSchedule, LineGraphUsesThreeSlots) {
+  // A path needs exactly 3 colours under distance-2 colouring.
+  const Deployment dep = lineDeployment(10);
+  const Topology topo(dep, 1.0);
+  const TdmaSchedule schedule = buildTdmaSchedule(topo);
+  EXPECT_EQ(schedule.frameLength, 3);
+  EXPECT_TRUE(schedule.isValidFor(topo));
+}
+
+TEST(TdmaSchedule, SingleNode) {
+  const Deployment dep = lineDeployment(1);
+  const Topology topo(dep, 1.0);
+  const TdmaSchedule schedule = buildTdmaSchedule(topo);
+  EXPECT_EQ(schedule.frameLength, 1);
+  EXPECT_TRUE(schedule.isValidFor(topo));
+}
+
+TEST(TdmaSchedule, ValidOnRandomDeployments) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng = support::Rng::forStream(seed, 0);
+    const Deployment dep = Deployment::paperDisk(rng, 4, 1.0, 30.0);
+    const Topology topo(dep, 1.0);
+    const TdmaSchedule schedule = buildTdmaSchedule(topo);
+    EXPECT_TRUE(schedule.isValidFor(topo)) << "seed " << seed;
+  }
+}
+
+TEST(TdmaSchedule, FrameBoundedByTwoHopNeighborhood) {
+  support::Rng rng = support::Rng::forStream(1, 0);
+  const Deployment dep = Deployment::paperDisk(rng, 4, 1.0, 40.0);
+  const Topology topo(dep, 1.0);
+  const TdmaSchedule schedule = buildTdmaSchedule(topo);
+  // Greedy colouring never exceeds max two-hop degree + 1.
+  std::size_t maxTwoHop = 0;
+  for (NodeId u = 0; u < topo.nodeCount(); ++u) {
+    std::vector<NodeId> twoHop;
+    for (NodeId v : topo.neighbors(u)) {
+      twoHop.push_back(v);
+      for (NodeId w : topo.neighbors(v)) {
+        if (w != u) twoHop.push_back(w);
+      }
+    }
+    std::sort(twoHop.begin(), twoHop.end());
+    twoHop.erase(std::unique(twoHop.begin(), twoHop.end()), twoHop.end());
+    maxTwoHop = std::max(maxTwoHop, twoHop.size());
+  }
+  EXPECT_LE(schedule.frameLength, static_cast<int>(maxTwoHop) + 1);
+  EXPECT_GE(schedule.frameLength, 2);
+}
+
+TEST(TdmaSchedule, FrameGrowsWithDensity) {
+  auto frameAt = [](double rho) {
+    support::Rng rng = support::Rng::forStream(2, 0);
+    const Deployment dep = Deployment::paperDisk(rng, 4, 1.0, rho);
+    const Topology topo(dep, 1.0);
+    return buildTdmaSchedule(topo).frameLength;
+  };
+  EXPECT_LT(frameAt(15.0), frameAt(60.0));
+}
+
+TEST(TdmaSchedule, ValidityDetectsConflicts) {
+  const Deployment dep = lineDeployment(4);
+  const Topology topo(dep, 1.0);
+  TdmaSchedule bad;
+  bad.frameLength = 2;
+  bad.slotOf = {0, 1, 0, 1};  // nodes 0 and 2 are two hops apart
+  EXPECT_FALSE(bad.isValidFor(topo));
+  bad.slotOf = {0, 1, 2, 0};
+  bad.frameLength = 3;
+  EXPECT_TRUE(bad.isValidFor(topo));
+  bad.slotOf = {0, 1, 2};  // wrong size
+  EXPECT_FALSE(bad.isValidFor(topo));
+}
+
+// The headline property: TDMA flooding over the *collision-aware* channel
+// never collides and reaches every connected node — CFM semantics
+// realised over CAM.
+TEST(TdmaFlooding, CollisionFreeOverCamChannel) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    support::Rng rng = support::Rng::forStream(seed + 10, 0);
+    const Deployment dep = Deployment::paperDisk(rng, 4, 1.0, 25.0);
+    const Topology topo(dep, 1.0);
+    const TdmaSchedule schedule = buildTdmaSchedule(topo);
+    sim::ExperimentConfig cfg;
+    cfg.rings = 4;
+    cfg.neighborDensity = 25.0;
+    cfg.slotsPerPhase = schedule.frameLength;
+    protocols::TdmaFlooding protocol(schedule);
+    const auto run = sim::runBroadcast(cfg, dep, topo, protocol, rng);
+    std::uint64_t lost = 0;
+    for (const auto& phase : run.phases()) lost += phase.lostReceivers;
+    EXPECT_EQ(lost, 0u) << "seed " << seed;
+    EXPECT_EQ(run.reachedCount(), topo.reachableCount(dep.source()))
+        << "seed " << seed;
+    EXPECT_EQ(run.totalBroadcasts(), run.reachedCount());
+  }
+}
+
+TEST(TdmaFlooding, RequiresMatchingSlotCount) {
+  support::Rng rng = support::Rng::forStream(20, 0);
+  const Deployment dep = Deployment::paperDisk(rng, 3, 1.0, 15.0);
+  const Topology topo(dep, 1.0);
+  const TdmaSchedule schedule = buildTdmaSchedule(topo);
+  sim::ExperimentConfig cfg;
+  cfg.rings = 3;
+  cfg.neighborDensity = 15.0;
+  cfg.slotsPerPhase = 3;  // not the frame length
+  protocols::TdmaFlooding protocol(schedule);
+  if (schedule.frameLength != 3) {
+    EXPECT_THROW(sim::runBroadcast(cfg, dep, topo, protocol, rng),
+                 nsmodel::Error);
+  }
+}
+
+TEST(TdmaFlooding, ValidatesSchedule) {
+  TdmaSchedule empty;
+  empty.frameLength = 0;
+  EXPECT_THROW(protocols::TdmaFlooding{empty}, nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::net

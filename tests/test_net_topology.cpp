@@ -1,0 +1,153 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+namespace {
+
+/// A small hand-crafted line deployment: nodes at x = 0, 1, 2, ..., n-1.
+Deployment lineDeployment(std::size_t n) {
+  std::vector<geom::Vec2> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({static_cast<double>(i), 0.0});
+  }
+  return Deployment(std::move(positions), 0,
+                    static_cast<double>(n));
+}
+
+TEST(Topology, LineGraphAdjacency) {
+  const Deployment dep = lineDeployment(5);
+  const Topology topo(dep, 1.0);
+  EXPECT_EQ(topo.nodeCount(), 5u);
+  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1}));
+  auto mid = topo.neighbors(2);
+  std::sort(mid.begin(), mid.end());
+  EXPECT_EQ(mid, (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(topo.neighbors(4), (std::vector<NodeId>{3}));
+}
+
+TEST(Topology, RangeBoundaryIsInclusive) {
+  const Deployment dep = lineDeployment(2);  // distance exactly 1
+  const Topology inclusive(dep, 1.0);
+  EXPECT_EQ(inclusive.neighbors(0).size(), 1u);
+  const Topology tooShort(dep, 0.999);
+  EXPECT_TRUE(tooShort.neighbors(0).empty());
+}
+
+TEST(Topology, LinksAreSymmetric) {
+  support::Rng rng(1);
+  const Deployment dep = Deployment::uniformDisk(rng, 5.0, 300);
+  const Topology topo(dep, 1.0);
+  for (NodeId u = 0; u < topo.nodeCount(); ++u) {
+    for (NodeId v : topo.neighbors(u)) {
+      const auto& back = topo.neighbors(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end())
+          << u << " -> " << v << " not symmetric";
+    }
+  }
+}
+
+TEST(Topology, NoSelfLoops) {
+  support::Rng rng(2);
+  const Deployment dep = Deployment::uniformDisk(rng, 3.0, 200);
+  const Topology topo(dep, 1.0);
+  for (NodeId u = 0; u < topo.nodeCount(); ++u) {
+    const auto& adj = topo.neighbors(u);
+    EXPECT_EQ(std::find(adj.begin(), adj.end(), u), adj.end());
+  }
+}
+
+TEST(Topology, AverageDegreeApproximatesRho) {
+  // For the paper's deployment, average degree ~ rho (minus boundary loss).
+  support::Rng rng(3);
+  const double rho = 60.0;
+  const Deployment dep = Deployment::paperDisk(rng, 5, 1.0, rho);
+  const Topology topo(dep, 1.0);
+  // Boundary effect shaves ~10-15% off; accept a generous band.
+  EXPECT_GT(topo.averageDegree(), rho * 0.75);
+  EXPECT_LT(topo.averageDegree(), rho * 1.05);
+}
+
+TEST(Topology, DegreeMatchesBruteForceCount) {
+  support::Rng rng(4);
+  const Deployment dep = Deployment::uniformDisk(rng, 4.0, 150);
+  const Topology topo(dep, 1.2);
+  for (NodeId u = 0; u < topo.nodeCount(); ++u) {
+    std::size_t expected = 0;
+    for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+      if (v != u &&
+          dep.position(u).distanceTo(dep.position(v)) <= 1.2) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(topo.neighbors(u).size(), expected) << "node " << u;
+  }
+}
+
+TEST(Topology, CarrierSenseSupersetOfNeighbors) {
+  support::Rng rng(5);
+  const Deployment dep = Deployment::uniformDisk(rng, 4.0, 200);
+  const Topology topo(dep, 1.0, 2.0);
+  ASSERT_TRUE(topo.hasCarrierSense());
+  EXPECT_DOUBLE_EQ(topo.carrierSenseRange(), 2.0);
+  for (NodeId u = 0; u < topo.nodeCount(); ++u) {
+    const auto& cs = topo.carrierSenseNeighbors(u);
+    for (NodeId v : topo.neighbors(u)) {
+      EXPECT_NE(std::find(cs.begin(), cs.end(), v), cs.end())
+          << "neighbour " << v << " missing from cs set of " << u;
+    }
+    EXPECT_GE(cs.size(), topo.neighbors(u).size());
+  }
+}
+
+TEST(Topology, CarrierSenseDisabledByDefault) {
+  const Deployment dep = lineDeployment(3);
+  const Topology topo(dep, 1.0);
+  EXPECT_FALSE(topo.hasCarrierSense());
+  EXPECT_THROW(topo.carrierSenseNeighbors(0), nsmodel::Error);
+  EXPECT_THROW(topo.carrierSenseRange(), nsmodel::Error);
+}
+
+TEST(Topology, Validation) {
+  const Deployment dep = lineDeployment(3);
+  EXPECT_THROW(Topology(dep, 0.0), nsmodel::Error);
+  EXPECT_THROW(Topology(dep, 1.0, 1.0), nsmodel::Error);
+  EXPECT_THROW(Topology(dep, 1.0, 0.5), nsmodel::Error);
+  const Topology topo(dep, 1.0);
+  EXPECT_THROW(topo.neighbors(3), nsmodel::Error);
+}
+
+TEST(Topology, ConnectivityOfLineGraph) {
+  const Deployment dep = lineDeployment(6);
+  const Topology connected(dep, 1.0);
+  EXPECT_TRUE(connected.isConnected());
+  EXPECT_EQ(connected.reachableCount(0), 6u);
+  EXPECT_EQ(connected.reachableCount(5), 6u);
+  const Topology disconnected(dep, 0.5);
+  EXPECT_FALSE(disconnected.isConnected());
+  EXPECT_EQ(disconnected.reachableCount(0), 1u);
+}
+
+TEST(Topology, DenseDeploymentIsConnected) {
+  support::Rng rng(6);
+  const Deployment dep = Deployment::paperDisk(rng, 5, 1.0, 40.0);
+  const Topology topo(dep, 1.0);
+  EXPECT_TRUE(topo.isConnected());
+}
+
+TEST(Topology, IsolatedNodeHasNoNeighbors) {
+  std::vector<geom::Vec2> positions{{0, 0}, {10, 10}};
+  const Deployment dep(std::move(positions), 0, 20.0);
+  const Topology topo(dep, 1.0);
+  EXPECT_TRUE(topo.neighbors(0).empty());
+  EXPECT_TRUE(topo.neighbors(1).empty());
+  EXPECT_DOUBLE_EQ(topo.averageDegree(), 0.0);
+}
+
+}  // namespace
+}  // namespace nsmodel::net

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/adaptive.hpp"
+#include "protocols/counter_based.hpp"
+#include "protocols/distance_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::protocols {
+namespace {
+
+TEST(SimpleFlooding, AlwaysTransmits) {
+  SimpleFlooding protocol;
+  support::Rng rng(1);
+  ProtocolContext ctx{3, rng};
+  for (int i = 0; i < 200; ++i) {
+    const auto d = protocol.onFirstReception(0, 0, ctx);
+    EXPECT_TRUE(d.transmit);
+    EXPECT_GE(d.slot, 0);
+    EXPECT_LT(d.slot, 3);
+  }
+}
+
+TEST(SimpleFlooding, SlotsAreJitteredUniformly) {
+  SimpleFlooding protocol;
+  support::Rng rng(2);
+  ProtocolContext ctx{4, rng};
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[protocol.onFirstReception(0, 0, ctx).slot];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.01);
+  }
+}
+
+TEST(SimpleFlooding, KeepsPendingOnDuplicates) {
+  SimpleFlooding protocol;
+  support::Rng rng(3);
+  ProtocolContext ctx{3, rng};
+  EXPECT_TRUE(protocol.keepPendingAfterDuplicate(0, 0, ctx));
+}
+
+TEST(SimpleFlooding, NameAndReset) {
+  SimpleFlooding protocol;
+  EXPECT_STREQ(protocol.name(), "simple-flooding");
+  protocol.reset(100);  // no-op, must not throw
+}
+
+TEST(ProbabilisticBroadcast, ValidatesProbability) {
+  EXPECT_THROW(ProbabilisticBroadcast(-0.1), nsmodel::Error);
+  EXPECT_THROW(ProbabilisticBroadcast(1.1), nsmodel::Error);
+  EXPECT_NO_THROW(ProbabilisticBroadcast(0.0));
+  EXPECT_NO_THROW(ProbabilisticBroadcast(1.0));
+}
+
+TEST(ProbabilisticBroadcast, ExtremesBehaveLikeFloodingAndSilence) {
+  support::Rng rng(4);
+  ProtocolContext ctx{3, rng};
+  ProbabilisticBroadcast always(1.0);
+  ProbabilisticBroadcast never(0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(always.onFirstReception(0, 0, ctx).transmit);
+    EXPECT_FALSE(never.onFirstReception(0, 0, ctx).transmit);
+  }
+}
+
+TEST(ProbabilisticBroadcast, TransmitFrequencyMatchesP) {
+  support::Rng rng(5);
+  ProtocolContext ctx{3, rng};
+  ProbabilisticBroadcast protocol(0.3);
+  EXPECT_DOUBLE_EQ(protocol.probability(), 0.3);
+  const int n = 50000;
+  int transmitted = 0;
+  for (int i = 0; i < n; ++i) {
+    if (protocol.onFirstReception(0, 0, ctx).transmit) ++transmitted;
+  }
+  EXPECT_NEAR(static_cast<double>(transmitted) / n, 0.3, 0.01);
+}
+
+TEST(ProbabilisticBroadcast, SlotDistributionIndependentOfOutcome) {
+  support::Rng rng(6);
+  ProtocolContext ctx{3, rng};
+  ProbabilisticBroadcast protocol(0.5);
+  int slotCounts[3] = {0, 0, 0};
+  int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++slotCounts[protocol.onFirstReception(0, 0, ctx).slot];
+  }
+  for (int c : slotCounts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(ProbabilisticBroadcast, SameSeedSameDecisions) {
+  support::Rng a(7), b(7);
+  ProtocolContext ctxA{3, a}, ctxB{3, b};
+  ProbabilisticBroadcast pa(0.4), pb(0.4);
+  for (int i = 0; i < 100; ++i) {
+    const auto da = pa.onFirstReception(0, 0, ctxA);
+    const auto db = pb.onFirstReception(0, 0, ctxB);
+    EXPECT_EQ(da.transmit, db.transmit);
+    EXPECT_EQ(da.slot, db.slot);
+  }
+}
+
+TEST(CounterBased, ValidatesThreshold) {
+  EXPECT_THROW(CounterBasedBroadcast(1), nsmodel::Error);
+  EXPECT_THROW(CounterBasedBroadcast(0), nsmodel::Error);
+  EXPECT_NO_THROW(CounterBasedBroadcast(2));
+}
+
+TEST(CounterBased, RequiresResetBeforeUse) {
+  CounterBasedBroadcast protocol(3);
+  support::Rng rng(8);
+  ProtocolContext ctx{3, rng};
+  EXPECT_THROW(protocol.onFirstReception(0, 0, ctx), nsmodel::Error);
+}
+
+TEST(CounterBased, CancelsAfterThresholdDuplicates) {
+  CounterBasedBroadcast protocol(3);
+  protocol.reset(4);
+  support::Rng rng(9);
+  ProtocolContext ctx{3, rng};
+  const auto d = protocol.onFirstReception(2, 0, ctx);
+  EXPECT_TRUE(d.transmit);
+  // heard 1 (first reception); duplicates push it to the threshold.
+  EXPECT_TRUE(protocol.keepPendingAfterDuplicate(2, 0, ctx));   // heard 2
+  EXPECT_FALSE(protocol.keepPendingAfterDuplicate(2, 0, ctx));  // heard 3
+}
+
+TEST(CounterBased, CountersArePerNode) {
+  CounterBasedBroadcast protocol(2);
+  protocol.reset(3);
+  support::Rng rng(10);
+  ProtocolContext ctx{3, rng};
+  protocol.onFirstReception(0, 0, ctx);
+  protocol.onFirstReception(1, 0, ctx);
+  EXPECT_FALSE(protocol.keepPendingAfterDuplicate(0, 0, ctx));
+  // Node 1's counter is untouched by node 0's duplicates... it now takes
+  // its own duplicate to reach the threshold.
+  EXPECT_FALSE(protocol.keepPendingAfterDuplicate(1, 0, ctx));
+}
+
+TEST(CounterBased, ResetClearsCounters) {
+  CounterBasedBroadcast protocol(2);
+  protocol.reset(2);
+  support::Rng rng(11);
+  ProtocolContext ctx{3, rng};
+  protocol.onFirstReception(0, 0, ctx);
+  EXPECT_FALSE(protocol.keepPendingAfterDuplicate(0, 0, ctx));
+  protocol.reset(2);
+  protocol.onFirstReception(0, 0, ctx);
+  EXPECT_FALSE(protocol.keepPendingAfterDuplicate(0, 0, ctx));
+}
+
+TEST(CounterBased, HigherThresholdKeepsLonger) {
+  CounterBasedBroadcast strict(2), lenient(5);
+  strict.reset(1);
+  lenient.reset(1);
+  support::Rng rng(12);
+  ProtocolContext ctx{3, rng};
+  strict.onFirstReception(0, 0, ctx);
+  lenient.onFirstReception(0, 0, ctx);
+  EXPECT_FALSE(strict.keepPendingAfterDuplicate(0, 0, ctx));
+  EXPECT_TRUE(lenient.keepPendingAfterDuplicate(0, 0, ctx));
+  EXPECT_TRUE(lenient.keepPendingAfterDuplicate(0, 0, ctx));
+  EXPECT_TRUE(lenient.keepPendingAfterDuplicate(0, 0, ctx));
+  EXPECT_FALSE(lenient.keepPendingAfterDuplicate(0, 0, ctx));
+}
+
+TEST(DegreeAdaptive, Validation) {
+  EXPECT_THROW(DegreeAdaptiveBroadcast(0.0), nsmodel::Error);
+  EXPECT_THROW(DegreeAdaptiveBroadcast(-1.0), nsmodel::Error);
+  EXPECT_THROW(DegreeAdaptiveBroadcast(12.8, -0.1), nsmodel::Error);
+  EXPECT_THROW(DegreeAdaptiveBroadcast(12.8, 1.1), nsmodel::Error);
+  EXPECT_NO_THROW(DegreeAdaptiveBroadcast(12.8));
+}
+
+TEST(DegreeAdaptive, ProbabilityScalesInverselyWithDegree) {
+  const DegreeAdaptiveBroadcast protocol(12.8, 0.01);
+  EXPECT_DOUBLE_EQ(protocol.probabilityFor(0), 1.0);
+  EXPECT_DOUBLE_EQ(protocol.probabilityFor(10), 1.0);     // clamped high
+  EXPECT_NEAR(protocol.probabilityFor(64), 0.2, 1e-12);
+  EXPECT_NEAR(protocol.probabilityFor(128), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(protocol.probabilityFor(10000), 0.01);  // floored
+}
+
+TEST(DegreeAdaptive, RequiresTopology) {
+  DegreeAdaptiveBroadcast protocol(12.8);
+  support::Rng rng(30);
+  ProtocolContext ctx{3, rng};  // no topology
+  EXPECT_THROW(protocol.onFirstReception(0, 0, ctx), nsmodel::Error);
+}
+
+TEST(DegreeAdaptive, TransmitFrequencyMatchesLocalDegree) {
+  // Line of 3 nodes with unit range: middle node has degree 2, ends 1.
+  std::vector<geom::Vec2> positions{{0, 0}, {1, 0}, {2, 0}};
+  const net::Deployment dep(std::move(positions), 0, 5.0);
+  const net::Topology topo(dep, 1.0);
+  DegreeAdaptiveBroadcast protocol(1.0);  // p = 1/degree
+  support::Rng rng(31);
+  ProtocolContext ctx{3, rng, &dep, &topo};
+  const int n = 30000;
+  int txMiddle = 0, txEnd = 0;
+  for (int i = 0; i < n; ++i) {
+    if (protocol.onFirstReception(1, 0, ctx).transmit) ++txMiddle;
+    if (protocol.onFirstReception(2, 1, ctx).transmit) ++txEnd;
+  }
+  EXPECT_NEAR(static_cast<double>(txMiddle) / n, 0.5, 0.01);
+  EXPECT_EQ(txEnd, n);  // degree 1 -> p clamps to 1
+}
+
+TEST(DistanceBased, Validation) {
+  EXPECT_THROW(DistanceBasedBroadcast(-0.1, 1.0), nsmodel::Error);
+  EXPECT_THROW(DistanceBasedBroadcast(1.1, 1.0), nsmodel::Error);
+  EXPECT_THROW(DistanceBasedBroadcast(0.5, 0.0), nsmodel::Error);
+  EXPECT_NO_THROW(DistanceBasedBroadcast(0.5, 1.0));
+}
+
+TEST(DistanceBased, RequiresDeployment) {
+  DistanceBasedBroadcast protocol(0.5, 1.0);
+  support::Rng rng(20);
+  ProtocolContext ctx{3, rng};  // no deployment
+  EXPECT_THROW(protocol.onFirstReception(0, 1, ctx), nsmodel::Error);
+}
+
+TEST(DistanceBased, FarSenderTriggersRebroadcast) {
+  // Nodes at 0, 0.2, and 0.9 on a line; threshold 0.5 * range 1.0.
+  std::vector<geom::Vec2> positions{{0, 0}, {0.2, 0}, {0.9, 0}};
+  const net::Deployment dep(std::move(positions), 0, 2.0);
+  DistanceBasedBroadcast protocol(0.5, 1.0);
+  support::Rng rng(21);
+  ProtocolContext ctx{3, rng, &dep};
+  // Node 2 hears node 0 (distance 0.9 > 0.5): rebroadcast.
+  EXPECT_TRUE(protocol.onFirstReception(2, 0, ctx).transmit);
+  // Node 1 hears node 0 (distance 0.2 < 0.5): suppress.
+  EXPECT_FALSE(protocol.onFirstReception(1, 0, ctx).transmit);
+}
+
+TEST(DistanceBased, NearbyDuplicateCancelsPending) {
+  std::vector<geom::Vec2> positions{{0, 0}, {0.2, 0}, {0.9, 0}};
+  const net::Deployment dep(std::move(positions), 0, 2.0);
+  DistanceBasedBroadcast protocol(0.5, 1.0);
+  support::Rng rng(22);
+  ProtocolContext ctx{3, rng, &dep};
+  // Duplicate from far away (0 -> 2): keep; from nearby (1 -> 2, distance
+  // 0.7 > 0.5 keep; 0 -> 1 distance 0.2: cancel).
+  EXPECT_TRUE(protocol.keepPendingAfterDuplicate(2, 0, ctx));
+  EXPECT_TRUE(protocol.keepPendingAfterDuplicate(2, 1, ctx));
+  EXPECT_FALSE(protocol.keepPendingAfterDuplicate(1, 0, ctx));
+}
+
+TEST(DistanceBased, ZeroThresholdBehavesLikeFlooding) {
+  std::vector<geom::Vec2> positions{{0, 0}, {0.01, 0}};
+  const net::Deployment dep(std::move(positions), 0, 2.0);
+  DistanceBasedBroadcast protocol(0.0, 1.0);
+  support::Rng rng(23);
+  ProtocolContext ctx{3, rng, &dep};
+  EXPECT_TRUE(protocol.onFirstReception(1, 0, ctx).transmit);
+  EXPECT_TRUE(protocol.keepPendingAfterDuplicate(1, 0, ctx));
+}
+
+TEST(DistanceBased, SlotStaysWithinPhase) {
+  std::vector<geom::Vec2> positions{{0, 0}, {0.9, 0}};
+  const net::Deployment dep(std::move(positions), 0, 2.0);
+  DistanceBasedBroadcast protocol(0.5, 1.0);
+  support::Rng rng(24);
+  ProtocolContext ctx{4, rng, &dep};
+  for (int i = 0; i < 200; ++i) {
+    const auto d = protocol.onFirstReception(1, 0, ctx);
+    EXPECT_GE(d.slot, 0);
+    EXPECT_LT(d.slot, 4);
+  }
+}
+
+}  // namespace
+}  // namespace nsmodel::protocols

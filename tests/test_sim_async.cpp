@@ -1,0 +1,127 @@
+#include "sim/async_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+ExperimentConfig smallConfig(double rho) {
+  ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = rho;
+  return cfg;
+}
+
+protocols::ProtocolFactory pb(double p) {
+  return [p] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(p);
+  };
+}
+
+protocols::ProtocolFactory flooding() {
+  return [] { return std::make_unique<protocols::SimpleFlooding>(); };
+}
+
+TEST(AsyncExperiment, IsDeterministicPerStream) {
+  const auto a = runAsyncExperiment(smallConfig(30.0), pb(0.4), 42, 5);
+  const auto b = runAsyncExperiment(smallConfig(30.0), pb(0.4), 42, 5);
+  EXPECT_EQ(a.reachedCount(), b.reachedCount());
+  EXPECT_EQ(a.totalBroadcasts(), b.totalBroadcasts());
+  EXPECT_DOUBLE_EQ(a.averageSuccessRate(), b.averageSuccessRate());
+}
+
+TEST(AsyncExperiment, CfmFloodingReachesEveryConnectedNode) {
+  ExperimentConfig cfg = smallConfig(30.0);
+  cfg.channel = net::ChannelModel::CollisionFree;
+  const auto run = runAsyncExperiment(cfg, flooding(), 1, 0);
+  EXPECT_DOUBLE_EQ(run.finalReachability(), 1.0);
+  EXPECT_EQ(run.totalBroadcasts(), run.nodeCount());
+  EXPECT_DOUBLE_EQ(run.averageSuccessRate(), 1.0);
+}
+
+TEST(AsyncExperiment, StructuralInvariants) {
+  const auto run = runAsyncExperiment(smallConfig(50.0), pb(0.3), 2, 0);
+  EXPECT_LE(run.reachedCount(), run.nodeCount());
+  EXPECT_LE(run.totalBroadcasts(), run.reachedCount());
+  EXPECT_GE(run.totalBroadcasts(), 1u);
+  EXPECT_GE(run.averageSuccessRate(), 0.0);
+  EXPECT_LE(run.averageSuccessRate(), 1.0);
+}
+
+TEST(AsyncExperiment, ReachabilityTimeSeriesIsMonotone) {
+  const auto run = runAsyncExperiment(smallConfig(40.0), pb(0.5), 3, 0);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 30.0; t += 0.5) {
+    const double cur = run.reachabilityAfter(t);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(prev, run.finalReachability());
+}
+
+TEST(AsyncExperiment, LatencyInvertsReachability) {
+  const auto run = runAsyncExperiment(smallConfig(40.0), pb(0.5), 4, 0);
+  const double half = run.finalReachability() * 0.5;
+  const auto latency = run.latencyForReachability(half);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_GE(run.reachabilityAfter(*latency), half - 1e-9);
+  EXPECT_FALSE(run.latencyForReachability(1.0).has_value() &&
+               run.finalReachability() < 1.0);
+}
+
+TEST(AsyncExperiment, HarsherThanAlignedChannel) {
+  // Interval-overlap collisions destroy strictly more receptions than
+  // exact-slot collisions; compare mean success rate for flooding.
+  const ExperimentConfig cfg = smallConfig(60.0);
+  double alignedRate = 0.0, asyncRate = 0.0;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    alignedRate += runExperiment(cfg, flooding(), 42, s).averageSuccessRate();
+    asyncRate +=
+        runAsyncExperiment(cfg, flooding(), 42, s).averageSuccessRate();
+  }
+  EXPECT_LT(asyncRate, alignedRate);
+}
+
+TEST(AsyncExperiment, ZeroProbabilityOnlySourceTransmits) {
+  const auto run = runAsyncExperiment(smallConfig(40.0), pb(0.0), 5, 0);
+  EXPECT_EQ(run.totalBroadcasts(), 1u);
+  // The lone source transmission cannot collide: all neighbours receive.
+  EXPECT_DOUBLE_EQ(run.averageSuccessRate(), 1.0);
+}
+
+TEST(AsyncExperiment, CarrierSenseIsHarsherThanCam) {
+  ExperimentConfig cam = smallConfig(60.0);
+  ExperimentConfig cs = cam;
+  cs.channel = net::ChannelModel::CarrierSenseAware;
+  double camReach = 0.0, csReach = 0.0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    camReach += runAsyncExperiment(cam, pb(0.3), 42, s).reachabilityAfter(5.0);
+    csReach += runAsyncExperiment(cs, pb(0.3), 42, s).reachabilityAfter(5.0);
+  }
+  EXPECT_LE(csReach, camReach + 0.02);
+}
+
+TEST(AsyncExperiment, MaxPhasesBoundsTheRun) {
+  ExperimentConfig cfg = smallConfig(40.0);
+  cfg.maxPhases = 2;
+  const auto run = runAsyncExperiment(cfg, flooding(), 6, 0);
+  // Nothing can be received after the horizon plus one in-flight interval.
+  EXPECT_LE(run.reachabilityAfter(3.0), run.finalReachability());
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(3.0), run.finalReachability());
+}
+
+TEST(AsyncRunResult, QueryValidation) {
+  const auto run = runAsyncExperiment(smallConfig(30.0), pb(0.3), 7, 0);
+  EXPECT_THROW(run.reachabilityAfter(-1.0), nsmodel::Error);
+  EXPECT_THROW(run.latencyForReachability(0.0), nsmodel::Error);
+  EXPECT_THROW(run.latencyForReachability(1.2), nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim

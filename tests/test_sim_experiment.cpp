@@ -1,0 +1,253 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/counter_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+ExperimentConfig paperConfig(double rho) {
+  ExperimentConfig cfg;
+  cfg.rings = 5;
+  cfg.ringWidth = 1.0;
+  cfg.neighborDensity = rho;
+  cfg.slotsPerPhase = 3;
+  return cfg;
+}
+
+protocols::ProtocolFactory flooding() {
+  return [] { return std::make_unique<protocols::SimpleFlooding>(); };
+}
+
+protocols::ProtocolFactory pb(double p) {
+  return [p] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(p);
+  };
+}
+
+TEST(Experiment, IsDeterministicPerStream) {
+  const ExperimentConfig cfg = paperConfig(40.0);
+  const RunResult a = runExperiment(cfg, pb(0.3), 42, 7);
+  const RunResult b = runExperiment(cfg, pb(0.3), 42, 7);
+  EXPECT_EQ(a.reachedCount(), b.reachedCount());
+  EXPECT_EQ(a.totalBroadcasts(), b.totalBroadcasts());
+  EXPECT_DOUBLE_EQ(a.finalReachability(), b.finalReachability());
+}
+
+TEST(Experiment, StreamsDiffer) {
+  const ExperimentConfig cfg = paperConfig(40.0);
+  const RunResult a = runExperiment(cfg, pb(0.3), 42, 0);
+  const RunResult b = runExperiment(cfg, pb(0.3), 42, 1);
+  // Different deployments -> almost surely different outcomes.
+  EXPECT_TRUE(a.reachedCount() != b.reachedCount() ||
+              a.totalBroadcasts() != b.totalBroadcasts());
+}
+
+TEST(Experiment, CfmFloodingReachesEveryConnectedNode) {
+  ExperimentConfig cfg = paperConfig(30.0);
+  cfg.channel = net::ChannelModel::CollisionFree;
+  const RunResult run = runExperiment(cfg, flooding(), 1, 0);
+  // With rho = 30 the disk graph is connected w.h.p.; CFM flooding must
+  // reach every node.
+  EXPECT_DOUBLE_EQ(run.finalReachability(), 1.0);
+  // And every node broadcasts exactly once: M = N.
+  EXPECT_EQ(run.totalBroadcasts(), run.nodeCount());
+}
+
+TEST(Experiment, CfmFloodingLatencyIsRoughlyOneRingPerPhase) {
+  ExperimentConfig cfg = paperConfig(30.0);
+  cfg.channel = net::ChannelModel::CollisionFree;
+  const RunResult run = runExperiment(cfg, flooding(), 2, 0);
+  const auto latency = run.latencyForReachability(0.999);
+  ASSERT_TRUE(latency.has_value());
+  // Each hop advances at most r, so covering the radius-P*r field needs at
+  // least ~P phases; discrete relays advance a little less than r per hop,
+  // so allow a modest tail beyond P.
+  EXPECT_GE(*latency, 4.0);
+  EXPECT_LE(*latency, 10.0);
+}
+
+TEST(Experiment, CamFloodingLosesTimeToCollisions) {
+  // Collisions rarely destroy *final* reachability for flooding — later
+  // relays heal the wave — but they cripple progress within the paper's
+  // 5-phase window (cf. Fig. 8's p = 1 curve).
+  const ExperimentConfig cfg = paperConfig(100.0);
+  const RunResult run = runExperiment(cfg, flooding(), 3, 0);
+  EXPECT_LT(run.reachabilityAfter(5.0), 0.8);
+  std::uint64_t lost = 0;
+  for (const auto& phase : run.phases()) lost += phase.lostReceivers;
+  EXPECT_GT(lost, 0u);
+}
+
+TEST(Experiment, ZeroProbabilityOnlySourceTransmits) {
+  const ExperimentConfig cfg = paperConfig(40.0);
+  const RunResult run = runExperiment(cfg, pb(0.0), 4, 0);
+  EXPECT_EQ(run.totalBroadcasts(), 1u);
+  // Only ring-1 nodes (the source's neighbours) receive.
+  EXPECT_LT(run.finalReachability(), 0.1);
+  EXPECT_GT(run.reachedCount(), 1u);
+}
+
+TEST(Experiment, SourceNeighborsAllReceiveInPhaseOne) {
+  // Phase 1 has a single transmitter, so no collisions are possible and
+  // the source's whole neighbourhood receives (matching the analytic
+  // model's n_1^1 = delta * pi * r^2).
+  const ExperimentConfig cfg = paperConfig(50.0);
+  const RunResult run = runExperiment(cfg, pb(0.5), 5, 0);
+  ASSERT_FALSE(run.phases().empty());
+  EXPECT_EQ(run.phases()[0].transmissions, 1u);
+  EXPECT_EQ(run.phases()[0].lostReceivers, 0u);
+  EXPECT_GT(run.phases()[0].newReceivers, 30u);  // ~rho neighbours
+}
+
+TEST(Experiment, EachNodeTransmitsAtMostOnce) {
+  const ExperimentConfig cfg = paperConfig(60.0);
+  support::Rng rng = support::Rng::forStream(6, 0);
+  const net::Deployment dep =
+      net::Deployment::paperDisk(rng, cfg.rings, cfg.ringWidth,
+                                 cfg.neighborDensity);
+  const net::Topology topo(dep, cfg.ringWidth);
+  net::EnergyLedger ledger(dep.nodeCount(), cfg.costs);
+  protocols::SimpleFlooding protocol;
+  const RunResult run =
+      runBroadcast(cfg, dep, topo, protocol, rng, &ledger);
+  for (net::NodeId id = 0; id < dep.nodeCount(); ++id) {
+    EXPECT_LE(ledger.txCount(id), 1u) << "node " << id;
+  }
+  EXPECT_EQ(ledger.txCount(), run.totalBroadcasts());
+}
+
+TEST(Experiment, OnlyReceiversRebroadcast) {
+  // Total broadcasts can never exceed 1 + receivers.
+  const ExperimentConfig cfg = paperConfig(80.0);
+  const RunResult run = runExperiment(cfg, flooding(), 7, 0);
+  EXPECT_LE(run.totalBroadcasts(), run.reachedCount());
+}
+
+TEST(Experiment, EnergyLedgerCountsDeliveries) {
+  const ExperimentConfig cfg = paperConfig(40.0);
+  support::Rng rng = support::Rng::forStream(8, 0);
+  const net::Deployment dep =
+      net::Deployment::paperDisk(rng, cfg.rings, cfg.ringWidth,
+                                 cfg.neighborDensity);
+  const net::Topology topo(dep, cfg.ringWidth);
+  net::EnergyLedger ledger(dep.nodeCount(), cfg.costs);
+  protocols::ProbabilisticBroadcast protocol(0.4);
+  const RunResult run =
+      runBroadcast(cfg, dep, topo, protocol, rng, &ledger);
+  std::uint64_t deliveries = 0;
+  for (const auto& phase : run.phases()) deliveries += phase.deliveries;
+  EXPECT_EQ(ledger.rxCount(), deliveries);
+}
+
+TEST(Experiment, MaxPhasesBoundsTheRun) {
+  ExperimentConfig cfg = paperConfig(60.0);
+  cfg.maxPhases = 3;
+  const RunResult run = runExperiment(cfg, flooding(), 9, 0);
+  EXPECT_LE(run.phases().size(), 3u);
+}
+
+TEST(Experiment, CounterBasedSavesBroadcastsVersusFlooding) {
+  const ExperimentConfig cfg = paperConfig(80.0);
+  const auto counter = [] {
+    return std::make_unique<protocols::CounterBasedBroadcast>(2);
+  };
+  std::uint64_t floodTx = 0, counterTx = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    floodTx += runExperiment(cfg, flooding(), 10, s).totalBroadcasts();
+    counterTx += runExperiment(cfg, counter, 10, s).totalBroadcasts();
+  }
+  EXPECT_LT(counterTx, floodTx);
+}
+
+TEST(Experiment, CarrierSenseReachesFewerThanCam) {
+  ExperimentConfig cam = paperConfig(100.0);
+  ExperimentConfig cs = cam;
+  cs.channel = net::ChannelModel::CarrierSenseAware;
+  double camReach = 0.0, csReach = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    camReach += runExperiment(cam, pb(0.3), 11, s).finalReachability();
+    csReach += runExperiment(cs, pb(0.3), 11, s).finalReachability();
+  }
+  EXPECT_LT(csReach, camReach);
+}
+
+TEST(Experiment, ZeroFailureRateMatchesFailureFreePath) {
+  // Turning the feature off must not perturb the RNG stream.
+  ExperimentConfig plain = paperConfig(40.0);
+  ExperimentConfig zeroRate = paperConfig(40.0);
+  zeroRate.nodeFailureRate = 0.0;
+  const RunResult a = runExperiment(plain, pb(0.3), 42, 9);
+  const RunResult b = runExperiment(zeroRate, pb(0.3), 42, 9);
+  EXPECT_EQ(a.reachedCount(), b.reachedCount());
+  EXPECT_EQ(a.totalBroadcasts(), b.totalBroadcasts());
+}
+
+TEST(Experiment, FailuresReduceReachability) {
+  ExperimentConfig healthy = paperConfig(60.0);
+  ExperimentConfig failing = paperConfig(60.0);
+  failing.nodeFailureRate = 0.3;
+  double healthyReach = 0.0, failingReach = 0.0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    healthyReach += runExperiment(healthy, pb(0.3), 42, s).finalReachability();
+    failingReach += runExperiment(failing, pb(0.3), 42, s).finalReachability();
+  }
+  EXPECT_LT(failingReach, healthyReach);
+}
+
+TEST(Experiment, HigherFailureRateHurtsMore) {
+  auto meanReach = [](double rate) {
+    ExperimentConfig cfg = paperConfig(60.0);
+    cfg.nodeFailureRate = rate;
+    double total = 0.0;
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      total += runExperiment(cfg, pb(0.3), 42, s).finalReachability();
+    }
+    return total;
+  };
+  EXPECT_GT(meanReach(0.05), meanReach(0.5));
+}
+
+TEST(Experiment, DeadNodesNeverTransmit) {
+  // With a near-certain per-phase death, nothing beyond the source's first
+  // wave can propagate: broadcasts stay tiny.
+  ExperimentConfig cfg = paperConfig(60.0);
+  cfg.nodeFailureRate = 0.99;
+  const RunResult run = runExperiment(cfg, flooding(), 42, 0);
+  // The source transmits in phase 1; phase-2 rebroadcasters are almost all
+  // dead by their slot.
+  EXPECT_LT(run.totalBroadcasts(), 60u);
+  EXPECT_LT(run.finalReachability(), 0.2);
+}
+
+TEST(Experiment, FailureRateValidation) {
+  ExperimentConfig cfg = paperConfig(40.0);
+  cfg.nodeFailureRate = -0.1;
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::Error);
+  cfg.nodeFailureRate = 1.0;
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::Error);
+}
+
+TEST(Experiment, Validation) {
+  ExperimentConfig cfg = paperConfig(40.0);
+  cfg.slotsPerPhase = 0;
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::Error);
+  cfg = paperConfig(40.0);
+  cfg.maxPhases = 0;
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::Error);
+  cfg = paperConfig(40.0);
+  EXPECT_THROW(
+      runExperiment(cfg, [] {
+        return std::unique_ptr<protocols::BroadcastProtocol>();
+      }, 1, 0),
+      nsmodel::Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim

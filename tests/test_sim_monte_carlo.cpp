@@ -1,0 +1,142 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "protocols/probabilistic.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+MonteCarloConfig smallConfig(double p) {
+  MonteCarloConfig mc;
+  mc.experiment.rings = 4;
+  mc.experiment.neighborDensity = 30.0;
+  mc.seed = 42;
+  mc.replications = 8;
+  (void)p;
+  return mc;
+}
+
+protocols::ProtocolFactory pb(double p) {
+  return [p] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(p);
+  };
+}
+
+TEST(MonteCarlo, AggregatesAllReplications) {
+  const auto aggs = monteCarlo(
+      smallConfig(0.3), pb(0.3), [](const RunResult& run) {
+        return std::vector<double>{run.finalReachability(),
+                                   static_cast<double>(run.totalBroadcasts())};
+      });
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].stats.count, 8u);
+  EXPECT_DOUBLE_EQ(aggs[0].definedFraction, 1.0);
+  EXPECT_GT(aggs[0].stats.mean, 0.0);
+  EXPECT_LE(aggs[0].stats.mean, 1.0);
+  EXPECT_GE(aggs[1].stats.mean, 1.0);
+}
+
+TEST(MonteCarlo, ParallelAndSerialAgreeExactly) {
+  MonteCarloConfig serial = smallConfig(0.4);
+  serial.parallel = false;
+  MonteCarloConfig parallel = smallConfig(0.4);
+  parallel.parallel = true;
+  const auto extract = [](const RunResult& run) {
+    return std::vector<double>{run.finalReachability(),
+                               static_cast<double>(run.totalBroadcasts())};
+  };
+  const auto a = monteCarlo(serial, pb(0.4), extract);
+  const auto b = monteCarlo(parallel, pb(0.4), extract);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].stats.mean, b[i].stats.mean);
+    EXPECT_DOUBLE_EQ(a[i].stats.stddev, b[i].stats.stddev);
+  }
+}
+
+TEST(MonteCarlo, NanSamplesExcludedAndCounted) {
+  // Make the metric undefined for roughly half the runs.
+  int counter = 0;
+  const auto aggs = monteCarlo(
+      smallConfig(0.3), pb(0.3), [&counter](const RunResult&) {
+        const bool defined = (counter++ % 2) == 0;
+        return std::vector<double>{
+            defined ? 1.0 : std::numeric_limits<double>::quiet_NaN()};
+      });
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_EQ(aggs[0].stats.count, 4u);
+  EXPECT_DOUBLE_EQ(aggs[0].definedFraction, 0.5);
+  EXPECT_DOUBLE_EQ(aggs[0].stats.mean, 1.0);
+}
+
+TEST(MonteCarlo, InconsistentExtractorThrows) {
+  int counter = 0;
+  EXPECT_THROW(
+      monteCarlo(smallConfig(0.3), pb(0.3),
+                 [&counter](const RunResult&) {
+                   return std::vector<double>(
+                       static_cast<std::size_t>(1 + (counter++ % 2)), 0.0);
+                 }),
+      nsmodel::Error);
+}
+
+TEST(MonteCarlo, ZeroReplicationsRejected) {
+  MonteCarloConfig mc = smallConfig(0.3);
+  mc.replications = 0;
+  EXPECT_THROW(monteCarlo(mc, pb(0.3),
+                          [](const RunResult&) {
+                            return std::vector<double>{0.0};
+                          }),
+               nsmodel::Error);
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+  MonteCarloConfig a = smallConfig(0.3);
+  MonteCarloConfig b = smallConfig(0.3);
+  b.seed = 43;
+  const auto extract = [](const RunResult& run) {
+    return std::vector<double>{static_cast<double>(run.totalBroadcasts())};
+  };
+  const auto ra = monteCarlo(a, pb(0.3), extract);
+  const auto rb = monteCarlo(b, pb(0.3), extract);
+  EXPECT_NE(ra[0].stats.mean, rb[0].stats.mean);
+}
+
+TEST(RunReplications, ReturnsOneResultPerReplication) {
+  const auto runs = runReplications(smallConfig(0.5), pb(0.5));
+  EXPECT_EQ(runs.size(), 8u);
+  for (const RunResult& run : runs) {
+    EXPECT_EQ(run.nodeCount(), 480u);  // 30 * 4^2
+  }
+}
+
+TEST(RunReplications, OrderIndependentOfThreads) {
+  MonteCarloConfig serial = smallConfig(0.5);
+  serial.parallel = false;
+  const auto a = runReplications(serial, pb(0.5));
+  const auto b = runReplications(smallConfig(0.5), pb(0.5));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].totalBroadcasts(), b[i].totalBroadcasts());
+    EXPECT_EQ(a[i].reachedCount(), b[i].reachedCount());
+  }
+}
+
+TEST(MonteCarlo, ReachabilityVarianceIsModest) {
+  // Sanity: with 8 replications the CI half-width should be well below
+  // the mean for a mid-range p.
+  const auto aggs = monteCarlo(
+      smallConfig(0.5), pb(0.5), [](const RunResult& run) {
+        return std::vector<double>{run.finalReachability()};
+      });
+  EXPECT_LT(aggs[0].stats.ciHalfWidth95, aggs[0].stats.mean);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim

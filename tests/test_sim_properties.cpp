@@ -1,0 +1,153 @@
+// Parameterized property sweeps over the packet-level simulator: for every
+// (rho, p, channel) combination the slotted broadcast run must satisfy
+// structural invariants that hold regardless of randomness.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+using Params = std::tuple<double /*rho*/, double /*p*/, net::ChannelModel>;
+
+class ExperimentProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  ExperimentConfig config() const {
+    const auto& [rho, p, channel] = GetParam();
+    (void)p;
+    ExperimentConfig cfg;
+    cfg.rings = 4;  // keep runs small: N = 16 * rho
+    cfg.neighborDensity = rho;
+    cfg.channel = channel;
+    return cfg;
+  }
+
+  RunResult run(std::uint64_t stream) const {
+    const auto& [rho, p, channel] = GetParam();
+    (void)rho;
+    (void)channel;
+    const double probability = p;
+    return runExperiment(
+        config(),
+        [probability] {
+          return std::make_unique<protocols::ProbabilisticBroadcast>(
+              probability);
+        },
+        /*seed=*/42, stream);
+  }
+};
+
+TEST_P(ExperimentProperty, StructuralInvariants) {
+  const RunResult result = run(0);
+  // Nobody receives twice; the source never re-receives.
+  EXPECT_LE(result.reachedCount(), result.nodeCount());
+  // Each node transmits at most once: broadcasts <= reached nodes.
+  EXPECT_LE(result.totalBroadcasts(), result.reachedCount());
+  // The source always transmits.
+  EXPECT_GE(result.totalBroadcasts(), 1u);
+}
+
+TEST_P(ExperimentProperty, PhaseAccountingAddsUp) {
+  const RunResult result = run(1);
+  std::uint64_t newReceivers = 0;
+  std::uint64_t transmissions = 0;
+  for (const PhaseObservation& phase : result.phases()) {
+    newReceivers += phase.newReceivers;
+    transmissions += phase.transmissions;
+    // A delivery implies at least one transmission that phase.
+    if (phase.deliveries > 0) {
+      EXPECT_GT(phase.transmissions, 0u);
+    }
+  }
+  EXPECT_EQ(newReceivers + 1, result.reachedCount());  // +1 = the source
+  EXPECT_EQ(transmissions, result.totalBroadcasts());
+}
+
+TEST_P(ExperimentProperty, ReachabilityTimeSeriesIsMonotone) {
+  const RunResult result = run(2);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 30.0; t += 0.5) {
+    const double cur = result.reachabilityAfter(t);
+    EXPECT_GE(cur, prev) << "t=" << t;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(prev, result.finalReachability());
+}
+
+TEST_P(ExperimentProperty, SuccessRateIsAProbability) {
+  const RunResult result = run(3);
+  EXPECT_GE(result.averageSuccessRate(), 0.0);
+  EXPECT_LE(result.averageSuccessRate(), 1.0);
+}
+
+TEST_P(ExperimentProperty, DeterministicAcrossInvocations) {
+  const RunResult a = run(4);
+  const RunResult b = run(4);
+  EXPECT_EQ(a.reachedCount(), b.reachedCount());
+  EXPECT_EQ(a.totalBroadcasts(), b.totalBroadcasts());
+  EXPECT_EQ(a.phases().size(), b.phases().size());
+}
+
+std::string paramName(const ::testing::TestParamInfo<Params>& info) {
+  const auto& [rho, p, channel] = info.param;
+  std::string name = "rho" + std::to_string(static_cast<int>(rho)) + "_p" +
+                     std::to_string(static_cast<int>(p * 100));
+  name += std::string("_") +
+          (channel == net::ChannelModel::CollisionFree
+               ? "cfm"
+               : channel == net::ChannelModel::CollisionAware ? "cam" : "cs");
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExperimentProperty,
+    ::testing::Combine(
+        ::testing::Values(15.0, 40.0, 90.0),
+        ::testing::Values(0.05, 0.3, 1.0),
+        ::testing::Values(net::ChannelModel::CollisionFree,
+                          net::ChannelModel::CollisionAware,
+                          net::ChannelModel::CarrierSenseAware)),
+    paramName);
+
+// Channel-ordering property: for identical deployments and protocol
+// randomness, CFM reaches at least as many nodes as CAM, which reaches at
+// least as many as CAM-CS — in expectation over seeds.
+class ChannelOrdering : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelOrdering, CfmBeatsCamBeatsCs) {
+  const double rho = GetParam();
+  auto meanReach = [rho](net::ChannelModel channel) {
+    ExperimentConfig cfg;
+    cfg.rings = 4;
+    cfg.neighborDensity = rho;
+    cfg.channel = channel;
+    double total = 0.0;
+    for (std::uint64_t stream = 0; stream < 8; ++stream) {
+      total += runExperiment(
+                   cfg,
+                   [] {
+                     return std::make_unique<
+                         protocols::ProbabilisticBroadcast>(0.3);
+                   },
+                   42, stream)
+                   .reachabilityAfter(5.0);
+    }
+    return total / 8.0;
+  };
+  const double cfm = meanReach(net::ChannelModel::CollisionFree);
+  const double cam = meanReach(net::ChannelModel::CollisionAware);
+  const double cs = meanReach(net::ChannelModel::CarrierSenseAware);
+  EXPECT_GE(cfm, cam - 0.02) << "rho=" << rho;
+  EXPECT_GE(cam, cs - 0.02) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ChannelOrdering,
+                         ::testing::Values(20.0, 60.0, 100.0));
+
+}  // namespace
+}  // namespace nsmodel::sim

@@ -1,0 +1,128 @@
+#include "sim/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+ReliableBroadcastConfig smallConfig(double rho) {
+  ReliableBroadcastConfig cfg;
+  cfg.base.rings = 3;
+  cfg.base.neighborDensity = rho;
+  return cfg;
+}
+
+TEST(ReliableBroadcast, Validation) {
+  ReliableBroadcastConfig cfg = smallConfig(15.0);
+  cfg.maxRounds = 0;
+  EXPECT_THROW(runReliableBroadcast(cfg, 1, 0), nsmodel::Error);
+  cfg = smallConfig(15.0);
+  cfg.base.slotsPerPhase = 0;
+  EXPECT_THROW(runReliableBroadcast(cfg, 1, 0), nsmodel::Error);
+  cfg = smallConfig(15.0);
+  cfg.initialBackoffWindow = 0;
+  EXPECT_THROW(runReliableBroadcast(cfg, 1, 0), nsmodel::Error);
+  cfg = smallConfig(15.0);
+  cfg.maxBackoffWindow = cfg.initialBackoffWindow - 1;
+  EXPECT_THROW(runReliableBroadcast(cfg, 1, 0), nsmodel::Error);
+  cfg = smallConfig(15.0);
+  cfg.ackSpreadWindow = 0;
+  EXPECT_THROW(runReliableBroadcast(cfg, 1, 0), nsmodel::Error);
+}
+
+TEST(ReliableBroadcast, IsDeterministicPerStream) {
+  const ReliableBroadcastConfig cfg = smallConfig(15.0);
+  const auto a = runReliableBroadcast(cfg, 42, 3);
+  const auto b = runReliableBroadcast(cfg, 42, 3);
+  EXPECT_EQ(a.dataTransmissions, b.dataTransmissions);
+  EXPECT_EQ(a.ackTransmissions, b.ackTransmissions);
+  EXPECT_EQ(a.reachedCount, b.reachedCount);
+}
+
+TEST(ReliableBroadcast, DeliversToEveryoneAndConfirms) {
+  const auto result = runReliableBroadcast(smallConfig(15.0), 42, 0);
+  EXPECT_DOUBLE_EQ(result.reachability(), 1.0);
+  EXPECT_TRUE(result.allAcknowledged);
+  EXPECT_GT(result.ackTransmissions, 0u);
+}
+
+TEST(ReliableBroadcast, OracleModeHasNoAckTraffic) {
+  ReliableBroadcastConfig cfg = smallConfig(15.0);
+  cfg.simulateAcks = false;
+  const auto result = runReliableBroadcast(cfg, 42, 0);
+  EXPECT_EQ(result.ackTransmissions, 0u);
+  EXPECT_DOUBLE_EQ(result.reachability(), 1.0);
+  EXPECT_TRUE(result.allAcknowledged);
+}
+
+TEST(ReliableBroadcast, OracleModeIsCheaperThanSimulatedAcks) {
+  ReliableBroadcastConfig acked = smallConfig(15.0);
+  ReliableBroadcastConfig oracle = smallConfig(15.0);
+  oracle.simulateAcks = false;
+  const auto a = runReliableBroadcast(acked, 42, 0);
+  const auto o = runReliableBroadcast(oracle, 42, 0);
+  EXPECT_LT(o.totalTransmissions(), a.totalTransmissions());
+}
+
+TEST(ReliableBroadcast, CostsFarExceedPlainFlooding) {
+  // Plain CAM flooding sends exactly one packet per reached node; the
+  // CFM guarantee multiplies that by orders of magnitude (Section 3.2.1).
+  const auto result = runReliableBroadcast(smallConfig(15.0), 42, 1);
+  EXPECT_GT(result.totalTransmissions(),
+            10 * static_cast<std::uint64_t>(result.nodeCount));
+}
+
+TEST(ReliableBroadcast, CostGrowsWithDensity) {
+  const auto sparse = runReliableBroadcast(smallConfig(8.0), 42, 0);
+  const auto dense = runReliableBroadcast(smallConfig(25.0), 42, 0);
+  const double sparsePerNode =
+      static_cast<double>(sparse.totalTransmissions()) /
+      static_cast<double>(sparse.nodeCount);
+  const double densePerNode =
+      static_cast<double>(dense.totalTransmissions()) /
+      static_cast<double>(dense.nodeCount);
+  EXPECT_GT(densePerNode, sparsePerNode);
+}
+
+TEST(ReliableBroadcast, CollisionFreeChannelConfirmsFast) {
+  // Under CFM every DATA and ACK is decoded; ACK spreading is the only
+  // source of delay, so the whole run ends quickly and fully confirmed.
+  ReliableBroadcastConfig cfg = smallConfig(15.0);
+  cfg.base.channel = net::ChannelModel::CollisionFree;
+  cfg.ackSpreadWindow = 2;  // no contention to dodge under CFM
+  const auto result = runReliableBroadcast(cfg, 42, 0);
+  EXPECT_TRUE(result.allAcknowledged);
+  EXPECT_DOUBLE_EQ(result.reachability(), 1.0);
+  // Every node transmits DATA at most a few rounds (ACKs trickle in over
+  // the spread window while the sender's backoff grows).
+  EXPECT_LT(result.dataTransmissions, 4 * result.nodeCount);
+}
+
+TEST(ReliableBroadcast, RoundCapBoundsTransmissions) {
+  ReliableBroadcastConfig cfg = smallConfig(15.0);
+  cfg.maxRounds = 3;
+  const auto result = runReliableBroadcast(cfg, 42, 0);
+  EXPECT_LE(result.dataTransmissions, 3 * result.nodeCount);
+}
+
+TEST(ReliableBroadcast, DeliveryPrecedesQuiescence) {
+  const auto result = runReliableBroadcast(smallConfig(12.0), 42, 0);
+  EXPECT_LE(result.deliveryLatencyPhases, result.quiescenceLatencyPhases);
+  EXPECT_GT(result.deliveryLatencyPhases, 0.0);
+}
+
+TEST(ReliableBroadcast, PrebuiltTopologyOverload) {
+  const ReliableBroadcastConfig cfg = smallConfig(12.0);
+  support::Rng rng = support::Rng::forStream(7, 0);
+  const net::Deployment dep = net::Deployment::paperDisk(
+      rng, cfg.base.rings, cfg.base.ringWidth, cfg.base.neighborDensity);
+  const net::Topology topo(dep, cfg.base.ringWidth);
+  const auto result = runReliableBroadcast(cfg, dep, topo, rng);
+  EXPECT_EQ(result.nodeCount, dep.nodeCount());
+  EXPECT_GT(result.reachability(), 0.9);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim

@@ -1,0 +1,144 @@
+#include "sim/run_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+// A hand-built run: 10 nodes, s = 2 slots/phase.
+//   slot 0 (phase 1): source tx; receptions at slot 0: nodes -> 3 receivers
+//   slot 2 (phase 2): 2 tx; receptions at slot 2: 2 receivers
+//   slot 5 (phase 3): 1 tx; reception at slot 5: 1 receiver
+// Total: 6 receivers + source = 7 reached of 10.
+RunResult makeRun() {
+  std::vector<std::uint64_t> receptions{0, 0, 0, 2, 2, 5};
+  std::vector<std::uint64_t> transmissions{0, 2, 2, 5};
+  std::vector<PhaseObservation> phases(3);
+  phases[0] = {1, 3, 3, 0};
+  phases[1] = {2, 2, 2, 1};
+  phases[2] = {1, 1, 1, 0};
+  return RunResult(10, 2, receptions, transmissions, phases,
+                   /*attemptedPairs=*/20, /*deliveredPairs=*/6);
+}
+
+TEST(RunResult, BasicCounts) {
+  const RunResult run = makeRun();
+  EXPECT_EQ(run.nodeCount(), 10u);
+  EXPECT_EQ(run.slotsPerPhase(), 2);
+  EXPECT_EQ(run.reachedCount(), 7u);
+  EXPECT_DOUBLE_EQ(run.finalReachability(), 0.7);
+  EXPECT_EQ(run.totalBroadcasts(), 4u);
+}
+
+TEST(RunResult, ReachabilityAfterFractionalPhases) {
+  const RunResult run = makeRun();
+  // Before anything happens only the source counts.
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(0.0), 0.1);
+  // Slot 0 completes at phase time 0.5: +3 receivers.
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(0.5), 0.4);
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(1.0), 0.4);
+  // Slot 2 completes at phase time 1.5: +2.
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(1.5), 0.6);
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(2.0), 0.6);
+  // Slot 5 completes at phase time 3.0: +1.
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(2.9), 0.6);
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(3.0), 0.7);
+  EXPECT_DOUBLE_EQ(run.reachabilityAfter(100.0), 0.7);
+}
+
+TEST(RunResult, LatencyForReachability) {
+  const RunResult run = makeRun();
+  // 40% needs 4 nodes incl. source: the 3rd reception, in slot 0.
+  EXPECT_DOUBLE_EQ(*run.latencyForReachability(0.4), 0.5);
+  // 60%: the 5th reception, slot 2 -> phase time 1.5.
+  EXPECT_DOUBLE_EQ(*run.latencyForReachability(0.6), 1.5);
+  // 70%: slot 5 -> phase time 3.0.
+  EXPECT_DOUBLE_EQ(*run.latencyForReachability(0.7), 3.0);
+  // 80% never happens.
+  EXPECT_FALSE(run.latencyForReachability(0.8).has_value());
+  // Ten percent is just the source.
+  EXPECT_DOUBLE_EQ(*run.latencyForReachability(0.1), 0.0);
+}
+
+TEST(RunResult, BroadcastsForReachability) {
+  const RunResult run = makeRun();
+  // 40% reached in slot 0; transmissions with slot <= 0: just the source.
+  EXPECT_DOUBLE_EQ(*run.broadcastsForReachability(0.4), 1.0);
+  // 60% reached in slot 2; transmissions <= 2: three.
+  EXPECT_DOUBLE_EQ(*run.broadcastsForReachability(0.6), 3.0);
+  // 70% -> all four transmissions.
+  EXPECT_DOUBLE_EQ(*run.broadcastsForReachability(0.7), 4.0);
+  EXPECT_FALSE(run.broadcastsForReachability(0.9).has_value());
+}
+
+TEST(RunResult, ReachabilityForBudget) {
+  const RunResult run = makeRun();
+  // Budget >= total broadcasts: final reachability.
+  EXPECT_DOUBLE_EQ(run.reachabilityForBudget(4.0), 0.7);
+  EXPECT_DOUBLE_EQ(run.reachabilityForBudget(100.0), 0.7);
+  // Budget 1: only the source's slot-0 transmission counts -> 0.4.
+  EXPECT_DOUBLE_EQ(run.reachabilityForBudget(1.0), 0.4);
+  // Budget 3: through slot 2 -> 0.6.
+  EXPECT_DOUBLE_EQ(run.reachabilityForBudget(3.0), 0.6);
+  // Budget 0: just the source.
+  EXPECT_DOUBLE_EQ(run.reachabilityForBudget(0.0), 0.1);
+  // Fractional budgets floor to whole transmissions.
+  EXPECT_DOUBLE_EQ(run.reachabilityForBudget(1.9), 0.4);
+}
+
+TEST(RunResult, SuccessRate) {
+  const RunResult run = makeRun();
+  EXPECT_DOUBLE_EQ(run.averageSuccessRate(), 6.0 / 20.0);
+}
+
+TEST(RunResult, SuccessRateZeroWhenNoAttempts) {
+  const RunResult run(5, 2, {}, {}, {}, 0, 0);
+  EXPECT_DOUBLE_EQ(run.averageSuccessRate(), 0.0);
+  EXPECT_EQ(run.reachedCount(), 1u);
+  EXPECT_DOUBLE_EQ(run.finalReachability(), 0.2);
+}
+
+TEST(RunResult, QueryValidation) {
+  const RunResult run = makeRun();
+  EXPECT_THROW(run.reachabilityAfter(-0.1), nsmodel::Error);
+  EXPECT_THROW(run.latencyForReachability(0.0), nsmodel::Error);
+  EXPECT_THROW(run.latencyForReachability(1.5), nsmodel::Error);
+  EXPECT_THROW(run.broadcastsForReachability(-1.0), nsmodel::Error);
+  EXPECT_THROW(run.reachabilityForBudget(-1.0), nsmodel::Error);
+}
+
+TEST(RunResult, ConstructionValidation) {
+  EXPECT_THROW(RunResult(0, 2, {}, {}, {}, 0, 0), nsmodel::Error);
+  EXPECT_THROW(RunResult(5, 0, {}, {}, {}, 0, 0), nsmodel::Error);
+  // A per-node reception table, when present, must cover every node.
+  EXPECT_THROW(RunResult(5, 2, {}, {}, {}, 0, 0,
+                         std::vector<std::int64_t>{0, 1}),
+               nsmodel::Error);
+}
+
+TEST(RunResult, PerNodeReceptionTableIsOptional) {
+  const RunResult bare(5, 2, {}, {}, {}, 0, 0);
+  EXPECT_TRUE(bare.receptionSlotByNode().empty());
+  std::vector<std::int64_t> byNode{RunResult::kNeverReceived, 0, 2,
+                                   RunResult::kNeverReceived,
+                                   RunResult::kNeverReceived};
+  const RunResult tracked(5, 2, {0, 2}, {0}, {{1, 2, 2, 0}}, 4, 2, byNode);
+  ASSERT_EQ(tracked.receptionSlotByNode().size(), 5u);
+  EXPECT_EQ(tracked.receptionSlotByNode()[1], 0);
+  EXPECT_EQ(tracked.receptionSlotByNode()[2], 2);
+  EXPECT_EQ(tracked.receptionSlotByNode()[0], RunResult::kNeverReceived);
+}
+
+TEST(RunResult, FullReachabilityTarget) {
+  // A run that reaches everyone.
+  std::vector<std::uint64_t> receptions{0};
+  const RunResult run(2, 3, receptions, {0}, {{1, 1, 1, 0}}, 1, 1);
+  EXPECT_DOUBLE_EQ(run.finalReachability(), 1.0);
+  ASSERT_TRUE(run.latencyForReachability(1.0).has_value());
+  EXPECT_NEAR(*run.latencyForReachability(1.0), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim

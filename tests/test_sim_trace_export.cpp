@@ -1,0 +1,78 @@
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "nsmodel_trace_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<std::string> lines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> out;
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+};
+
+TEST_F(TraceExportTest, PhaseTraceHasOneRowPerPhase) {
+  ExperimentConfig cfg;
+  cfg.rings = 3;
+  cfg.neighborDensity = 20.0;
+  const RunResult run = runExperiment(
+      cfg,
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.5); },
+      1, 0);
+  exportPhaseTraceCsv(run, path_);
+  const auto content = lines();
+  ASSERT_EQ(content.size(), run.phases().size() + 1);
+  EXPECT_EQ(content[0],
+            "phase,transmissions,new_receivers,deliveries,lost_receivers,"
+            "cum_reachability");
+  // First phase: 1 transmission from the source.
+  EXPECT_EQ(content[1].rfind("1.000000,1.000000,", 0), 0u);
+}
+
+TEST_F(TraceExportTest, PhaseTraceCumulativeReachabilityEndsAtFinal) {
+  ExperimentConfig cfg;
+  cfg.rings = 3;
+  cfg.neighborDensity = 25.0;
+  const RunResult run = runExperiment(
+      cfg,
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.8); },
+      2, 0);
+  exportPhaseTraceCsv(run, path_);
+  const auto content = lines();
+  const std::string& last = content.back();
+  const double tail = std::stod(last.substr(last.rfind(',') + 1));
+  EXPECT_NEAR(tail, run.finalReachability(), 1e-5);
+}
+
+TEST_F(TraceExportTest, DeploymentExportListsEveryNode) {
+  support::Rng rng(3);
+  const net::Deployment dep = net::Deployment::uniformDisk(rng, 3.0, 50);
+  exportDeploymentCsv(dep, path_);
+  const auto content = lines();
+  ASSERT_EQ(content.size(), 51u);
+  EXPECT_EQ(content[0], "id,x,y,ring,is_source");
+  // The source row (node 0, at the centre, ring 1, flagged).
+  EXPECT_EQ(content[1].rfind("0.000000,0.000000,0.000000,1.000000,1", 0),
+            0u);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim

@@ -1,0 +1,107 @@
+#include "support/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> args(argv);
+  return CliArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliArgs, EmptyCommandLine) {
+  const CliArgs args(0, nullptr);
+  EXPECT_TRUE(args.program().empty());
+  EXPECT_TRUE(args.positional().empty());
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(CliArgs, ProgramAndPositionals) {
+  const CliArgs args = parse({"tool", "predict", "extra"});
+  EXPECT_EQ(args.program(), "tool");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "predict");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(CliArgs, FlagWithValue) {
+  const CliArgs args = parse({"tool", "--rho=60.5"});
+  EXPECT_TRUE(args.has("rho"));
+  EXPECT_DOUBLE_EQ(args.getDouble("rho", 0.0), 60.5);
+}
+
+TEST(CliArgs, FlagWithoutValue) {
+  const CliArgs args = parse({"tool", "--fast"});
+  EXPECT_TRUE(args.has("fast"));
+  EXPECT_TRUE(args.getBool("fast"));
+  // Typed accessors demand a value.
+  EXPECT_THROW(args.getDouble("fast", 1.0), Error);
+  EXPECT_THROW(args.getString("fast", "x"), Error);
+}
+
+TEST(CliArgs, MissingFlagFallsBack) {
+  const CliArgs args = parse({"tool"});
+  EXPECT_DOUBLE_EQ(args.getDouble("rho", 42.0), 42.0);
+  EXPECT_EQ(args.getInt("reps", 7), 7);
+  EXPECT_EQ(args.getString("mode", "cam"), "cam");
+  EXPECT_FALSE(args.getBool("sim", false));
+  EXPECT_TRUE(args.getBool("sim", true));
+}
+
+TEST(CliArgs, IntegerParsing) {
+  const CliArgs args = parse({"tool", "--reps=30", "--neg=-5"});
+  EXPECT_EQ(args.getInt("reps", 0), 30);
+  EXPECT_EQ(args.getInt("neg", 0), -5);
+}
+
+TEST(CliArgs, MalformedNumbersThrow) {
+  const CliArgs args = parse({"tool", "--rho=abc", "--reps=3x", "--e="});
+  EXPECT_THROW(args.getDouble("rho", 0.0), Error);
+  EXPECT_THROW(args.getInt("reps", 0), Error);
+  EXPECT_THROW(args.getDouble("e", 0.0), Error);
+}
+
+TEST(CliArgs, BooleanValues) {
+  const CliArgs args = parse({"tool", "--a=true", "--b=0", "--c=yes",
+                              "--d=no", "--e=maybe"});
+  EXPECT_TRUE(args.getBool("a"));
+  EXPECT_FALSE(args.getBool("b"));
+  EXPECT_TRUE(args.getBool("c"));
+  EXPECT_FALSE(args.getBool("d"));
+  EXPECT_THROW(args.getBool("e"), Error);
+}
+
+TEST(CliArgs, ValueMayContainEquals) {
+  const CliArgs args = parse({"tool", "--expr=a=b"});
+  EXPECT_EQ(args.getString("expr", ""), "a=b");
+}
+
+TEST(CliArgs, FlagsAndPositionalsInterleave) {
+  const CliArgs args = parse({"tool", "cmd", "--x=1", "pos", "--y"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[1], "pos");
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_TRUE(args.has("y"));
+}
+
+TEST(CliArgs, UnusedFlagsTracksAccess) {
+  const CliArgs args = parse({"tool", "--used=1", "--typo=2"});
+  EXPECT_EQ(args.getInt("used", 0), 1);
+  const auto unused = args.unusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+  // Reading it clears it.
+  args.has("typo");
+  EXPECT_TRUE(args.unusedFlags().empty());
+}
+
+TEST(CliArgs, LastOccurrenceWins) {
+  const CliArgs args = parse({"tool", "--p=0.1", "--p=0.9"});
+  EXPECT_DOUBLE_EQ(args.getDouble("p", 0.0), 0.9);
+}
+
+}  // namespace
+}  // namespace nsmodel::support

@@ -1,0 +1,118 @@
+#include "support/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+namespace {
+
+TEST(GaussLegendre, RejectsZeroOrder) {
+  EXPECT_THROW(GaussLegendre(0), Error);
+}
+
+TEST(GaussLegendre, NodesAndWeightsAreValid) {
+  const GaussLegendre quad(16);
+  EXPECT_EQ(quad.order(), 16);
+  double weightSum = 0.0;
+  for (int i = 0; i < quad.order(); ++i) {
+    EXPECT_GT(quad.weights()[i], 0.0);
+    EXPECT_GT(quad.nodes()[i], -1.0);
+    EXPECT_LT(quad.nodes()[i], 1.0);
+    weightSum += quad.weights()[i];
+  }
+  EXPECT_NEAR(weightSum, 2.0, 1e-13);  // integrates 1 over [-1, 1]
+}
+
+TEST(GaussLegendre, NodesSymmetricAboutZero) {
+  const GaussLegendre quad(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(quad.nodes()[i], -quad.nodes()[9 - i], 1e-13);
+    EXPECT_NEAR(quad.weights()[i], quad.weights()[9 - i], 1e-13);
+  }
+}
+
+TEST(GaussLegendre, OddOrderHasCentralNode) {
+  const GaussLegendre quad(7);
+  EXPECT_DOUBLE_EQ(quad.nodes()[3], 0.0);
+}
+
+TEST(GaussLegendre, ExactForPolynomialsUpToDegree2nMinus1) {
+  // n-point Gauss-Legendre integrates degree <= 2n-1 exactly.
+  const GaussLegendre quad(5);
+  for (int degree = 0; degree <= 9; ++degree) {
+    const double got = quad.integrate(
+        -1.0, 1.0, [degree](double x) { return std::pow(x, degree); });
+    const double expected =
+        degree % 2 == 1 ? 0.0 : 2.0 / (static_cast<double>(degree) + 1.0);
+    EXPECT_NEAR(got, expected, 1e-12) << "degree " << degree;
+  }
+}
+
+TEST(GaussLegendre, ArbitraryInterval) {
+  const GaussLegendre quad(20);
+  const double got = quad.integrate(0.0, M_PI, [](double x) {
+    return std::sin(x);
+  });
+  EXPECT_NEAR(got, 2.0, 1e-12);
+}
+
+TEST(GaussLegendre, ReversedIntervalFlipsSign) {
+  const GaussLegendre quad(12);
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_NEAR(quad.integrate(2.0, 0.0, f), -quad.integrate(0.0, 2.0, f),
+              1e-12);
+}
+
+TEST(GaussLegendre, HighOrderSmoothFunction) {
+  const GaussLegendre quad(48);
+  const double got =
+      quad.integrate(0.0, 1.0, [](double x) { return std::exp(-x * x); });
+  EXPECT_NEAR(got, 0.7468241328124271, 1e-13);
+}
+
+TEST(AdaptiveSimpson, MatchesKnownIntegrals) {
+  EXPECT_NEAR(adaptiveSimpson([](double x) { return std::sin(x); }, 0.0,
+                              M_PI),
+              2.0, 1e-9);
+  EXPECT_NEAR(adaptiveSimpson([](double x) { return 1.0 / x; }, 1.0,
+                              std::exp(1.0)),
+              1.0, 1e-9);
+}
+
+TEST(AdaptiveSimpson, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(
+      adaptiveSimpson([](double x) { return x * x; }, 3.0, 3.0), 0.0);
+}
+
+TEST(AdaptiveSimpson, HandlesSharpPeak) {
+  // Narrow Gaussian centred mid-interval; total mass ~ sqrt(pi)*0.01.
+  const auto peak = [](double x) {
+    const double z = (x - 0.5) / 0.01;
+    return std::exp(-z * z);
+  };
+  const double got = adaptiveSimpson(peak, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(got, std::sqrt(M_PI) * 0.01, 1e-8);
+}
+
+TEST(AdaptiveSimpson, RejectsNonPositiveTolerance) {
+  EXPECT_THROW(
+      adaptiveSimpson([](double x) { return x; }, 0.0, 1.0, 0.0), Error);
+}
+
+TEST(AdaptiveSimpson, AgreesWithGaussLegendreOnRingIntegrand) {
+  // The kind of integrand the ring model sees: radius-weighted smooth
+  // probability over a ring's width.
+  const auto f = [](double x) {
+    return (2.0 + x) * std::exp(-1.5 * x) * (1.0 - std::exp(-3.0 * x));
+  };
+  const GaussLegendre quad(48);
+  const double gl = quad.integrate(0.0, 1.0, f);
+  const double as = adaptiveSimpson(f, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(gl, as, 1e-10);
+}
+
+}  // namespace
+}  // namespace nsmodel::support

@@ -1,0 +1,113 @@
+#include "support/log_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LogFactorial, SmallValues) {
+  EXPECT_DOUBLE_EQ(logFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(logFactorial(1), 0.0);
+  EXPECT_NEAR(logFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(logFactorial(10), std::log(3628800.0), 1e-10);
+}
+
+TEST(LogFactorial, RejectsNegative) {
+  EXPECT_THROW(logFactorial(-1), Error);
+}
+
+TEST(LogBinomial, MatchesExactSmallCases) {
+  EXPECT_NEAR(std::exp(logBinomial(5, 2)), 10.0, 1e-10);
+  EXPECT_NEAR(std::exp(logBinomial(10, 5)), 252.0, 1e-8);
+  EXPECT_DOUBLE_EQ(logBinomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(logBinomial(7, 7), 0.0);
+}
+
+TEST(LogBinomial, EmptyCoefficientIsNegInf) {
+  EXPECT_EQ(logBinomial(5, 6), -kInf);
+  EXPECT_EQ(logBinomial(5, -1), -kInf);
+}
+
+TEST(LogBinomial, SymmetryProperty) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(logBinomial(n, k), logBinomial(n, n - k), 1e-10);
+    }
+  }
+}
+
+TEST(LogBinomial, PascalRecurrence) {
+  // C(n, k) = C(n-1, k-1) + C(n-1, k), checked in linear space.
+  for (int n = 2; n <= 25; ++n) {
+    for (int k = 1; k < n; ++k) {
+      const double lhs = std::exp(logBinomial(n, k));
+      const double rhs =
+          std::exp(logBinomial(n - 1, k - 1)) + std::exp(logBinomial(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, rhs * 1e-10);
+    }
+  }
+}
+
+TEST(LogBinomial, LargeArgumentsDoNotOverflow) {
+  const double v = logBinomial(500, 250);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 300.0);  // C(500,250) ~ 10^149
+}
+
+TEST(LogFallingFactorial, BasicValues) {
+  EXPECT_DOUBLE_EQ(logFallingFactorial(5, 0), 0.0);
+  EXPECT_NEAR(std::exp(logFallingFactorial(5, 2)), 20.0, 1e-10);
+  EXPECT_NEAR(std::exp(logFallingFactorial(6, 3)), 120.0, 1e-9);
+  EXPECT_NEAR(logFallingFactorial(7, 7), logFactorial(7), 1e-12);
+}
+
+TEST(LogFallingFactorial, UndefinedWhenKExceedsN) {
+  EXPECT_EQ(logFallingFactorial(3, 4), -kInf);
+}
+
+TEST(LogFallingFactorial, RejectsNegativeK) {
+  EXPECT_THROW(logFallingFactorial(5, -1), Error);
+}
+
+TEST(Binomial, LinearSpaceWrapper) {
+  EXPECT_DOUBLE_EQ(binomial(4, 2), 6.0);
+  EXPECT_DOUBLE_EQ(binomial(4, 5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(4, -1), 0.0);
+}
+
+TEST(LogSumExp, BasicIdentity) {
+  const double got = logSumExp(std::log(3.0), std::log(5.0));
+  EXPECT_NEAR(got, std::log(8.0), 1e-12);
+}
+
+TEST(LogSumExp, HandlesNegInfEdges) {
+  EXPECT_DOUBLE_EQ(logSumExp(-kInf, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(logSumExp(2.0, -kInf), 2.0);
+  EXPECT_EQ(logSumExp(-kInf, -kInf), -kInf);
+}
+
+TEST(LogSumExp, StableForLargeMagnitudes) {
+  // exp(1000) overflows; the log-space sum must not.
+  const double got = logSumExp(1000.0, 1000.0);
+  EXPECT_NEAR(got, 1000.0 + std::log(2.0), 1e-12);
+  const double spread = logSumExp(1000.0, 0.0);
+  EXPECT_NEAR(spread, 1000.0, 1e-12);
+}
+
+TEST(LogSumExp, CommutativeProperty) {
+  for (double a : {-3.0, 0.0, 2.5, 50.0}) {
+    for (double b : {-7.0, 0.1, 4.0}) {
+      EXPECT_DOUBLE_EQ(logSumExp(a, b), logSumExp(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsmodel::support

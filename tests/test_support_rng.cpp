@@ -1,0 +1,214 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value for seed 0 from the published splitmix64 algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, StreamsAreIndependentOfEachOther) {
+  Rng s0 = Rng::forStream(42, 0);
+  Rng s1 = Rng::forStream(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.next() == s1.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, StreamsAreReproducible) {
+  Rng a = Rng::forStream(42, 7);
+  Rng b = Rng::forStream(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInvertedBounds) {
+  Rng rng(6);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), Error);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(10);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.inRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(Rng, InRangeSingleton) {
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.inRange(5, 5), 5);
+}
+
+TEST(Rng, BernoulliDegenerateCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));  // clamped
+    EXPECT_TRUE(rng.bernoulli(1.5));    // clamped
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(14);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(15);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(16);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonMeanAndVarianceMatchLambda) {
+  Rng rng(18);
+  const double lambda = 7.5;
+  const int n = 50000;
+  double sum = 0.0, sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(rng.poisson(lambda));
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.1);
+  EXPECT_NEAR(var, lambda, 0.25);
+}
+
+TEST(Rng, PoissonLargeLambdaViaChunking) {
+  Rng rng(19);
+  const double lambda = 1200.0;  // beyond the exp underflow threshold
+  const int n = 2000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(lambda));
+  EXPECT_NEAR(sum / n, lambda, 5.0);
+}
+
+TEST(Rng, PoissonNegativeLambdaThrows) {
+  Rng rng(20);
+  EXPECT_THROW(rng.poisson(-1.0), Error);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nsmodel::support

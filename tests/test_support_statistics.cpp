@@ -1,0 +1,188 @@
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::support {
+namespace {
+
+TEST(RunningStat, EmptyDefaults) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_THROW(stat.min(), Error);
+  EXPECT_THROW(stat.max(), Error);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat stat;
+  stat.add(5.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample (unbiased) variance of the classic example set is 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStat whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat empty;
+  RunningStat b = a;
+  b.merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  RunningStat c = empty;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStat, ConfidenceIntervalShrinksWithSamples) {
+  Rng rng(2);
+  RunningStat small, large;
+  for (int i = 0; i < 20; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 2000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.confidenceHalfWidth(), large.confidenceHalfWidth());
+}
+
+TEST(RunningStat, ConfidenceCoversTrueMean) {
+  // 95% CI should contain the true mean in the large majority of trials.
+  Rng rng(3);
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    RunningStat stat;
+    for (int i = 0; i < 100; ++i) stat.add(rng.uniform());
+    const double half = stat.confidenceHalfWidth(0.95);
+    if (std::abs(stat.mean() - 0.5) <= half) ++covered;
+  }
+  EXPECT_GE(covered, trials * 0.88);
+}
+
+TEST(RunningStat, InvalidConfidenceLevelThrows) {
+  RunningStat stat;
+  stat.add(1.0);
+  stat.add(2.0);
+  EXPECT_THROW(stat.confidenceHalfWidth(0.0), Error);
+  EXPECT_THROW(stat.confidenceHalfWidth(1.0), Error);
+}
+
+TEST(Summarize, EmptyVector) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicProperties) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_GT(s.ciHalfWidth95, 0.0);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(normalQuantile(0.999), 3.090232, 1e-4);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normalQuantile(p), -normalQuantile(1.0 - p), 1e-8);
+  }
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(normalQuantile(0.0), Error);
+  EXPECT_THROW(normalQuantile(1.0), Error);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.totalCount(), 4u);
+  EXPECT_EQ(h.binCount(0), 1u);
+  EXPECT_EQ(h.binCount(1), 2u);
+  EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.binCount(0), 1u);
+  EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, BinBoundaries) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.binLow(3), 75.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(3), 100.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, QuantileValidation) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.quantile(0.5), Error);  // empty
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), Error);
+  EXPECT_THROW(h.quantile(1.1), Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::support

@@ -1,0 +1,116 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), Error);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.addRow({std::string("only-one")}), Error);
+}
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter table({"rho", "p", "reach"});
+  table.addRow(std::vector<std::string>{"20", "0.64", "0.84"});
+  table.addRow(std::vector<std::string>{"140", "0.09", "0.83"});
+  const std::string out = table.toString();
+  EXPECT_NE(out.find("rho"), std::string::npos);
+  EXPECT_NE(out.find("reach"), std::string::npos);
+  EXPECT_NE(out.find("0.64"), std::string::npos);
+  EXPECT_NE(out.find("140"), std::string::npos);
+  // Header, separator, and two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, ColumnsAreAligned) {
+  TablePrinter table({"x", "value"});
+  table.addRow(std::vector<std::string>{"1", "2"});
+  table.addRow(std::vector<std::string>{"100", "20000"});
+  std::istringstream in(table.toString());
+  std::string header, separator, row1, row2;
+  std::getline(in, header);
+  std::getline(in, separator);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(header.size(), row2.size());
+}
+
+TEST(TablePrinter, DoubleRowsRespectPrecision) {
+  TablePrinter table({"v"});
+  table.addRow(std::vector<double>{1.23456}, 2);
+  EXPECT_NE(table.toString().find("1.23"), std::string::npos);
+  EXPECT_EQ(table.toString().find("1.2346"), std::string::npos);
+}
+
+TEST(TablePrinter, TracksRowCount) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.addRow({std::string("x")});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+  EXPECT_EQ(formatDouble(-0.5, 3), "-0.500");
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "nsmodel_csv_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string slurp() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"rho", "p"});
+    csv.addRow({std::string("20"), std::string("0.5")});
+    csv.addRow(std::vector<double>{140.0, 0.09}, 2);
+  }
+  const std::string content = slurp();
+  EXPECT_EQ(content, "rho,p\n20,0.5\n140.00,0.09\n");
+}
+
+TEST_F(CsvWriterTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"name", "note"});
+    csv.addRow({std::string("a,b"), std::string("say \"hi\"")});
+  }
+  const std::string content = slurp();
+  EXPECT_NE(content.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(content.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST_F(CsvWriterTest, RejectsWidthMismatch) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.addRow({std::string("1")}), Error);
+}
+
+TEST(CsvWriter, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), Error);
+}
+
+}  // namespace
+}  // namespace nsmodel::support

@@ -1,0 +1,135 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+namespace {
+
+TEST(ThreadPool, ReportsConfiguredSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool pool(0), Error);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins; all queued tasks must have run
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallelFor(pool, 0, 100, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallelFor(pool, 5, 5, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, ReversedRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallelFor(pool, 10, 3, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RespectsExplicitChunking) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallelFor(pool, 0, 1000,
+              [&sum](std::size_t i) { sum += static_cast<long>(i); }, 17);
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallelFor(pool, 0, 100,
+                  [](std::size_t i) {
+                    if (i == 37) throw std::runtime_error("at 37");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, AllIterationsRunDespiteException) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  try {
+    parallelFor(pool, 0, 64, [&count](std::size_t i) {
+      ++count;
+      if (i == 0) throw std::runtime_error("early");
+    }, 1);
+  } catch (const std::runtime_error&) {
+  }
+  // parallelFor waits for every chunk before rethrowing.
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, SingleWorkerStillCorrect) {
+  ThreadPool pool(1);
+  std::vector<int> data(256, 0);
+  parallelFor(pool, 0, data.size(),
+              [&data](std::size_t i) { data[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelFor, GlobalPoolOverloadWorks) {
+  std::atomic<int> counter{0};
+  parallelFor(0, 32, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&globalPool(), &globalPool());
+  EXPECT_GE(globalPool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace nsmodel::support

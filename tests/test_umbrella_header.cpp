@@ -1,0 +1,25 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "nsmodel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, ExposesTheFullSurface) {
+  // A symbol from every layer, referenced through the single include.
+  EXPECT_EQ(nsmodel::analytic::mu(1, 3), 1.0);
+  EXPECT_GT(nsmodel::geom::lensArea(1.0, 1.0, 0.5), 0.0);
+  nsmodel::des::Engine engine;
+  EXPECT_EQ(engine.pendingCount(), 0u);
+  EXPECT_STREQ(nsmodel::net::channelModelName(
+                   nsmodel::net::ChannelModel::CollisionAware),
+               "CAM");
+  nsmodel::protocols::SimpleFlooding flooding;
+  EXPECT_STREQ(flooding.name(), "simple-flooding");
+  const auto cam = nsmodel::core::CommModel::collisionAware();
+  EXPECT_TRUE(cam.exposesCollisions());
+  EXPECT_TRUE(nsmodel::core::higherIsBetter(
+      nsmodel::core::MetricKind::ReachabilityUnderLatency));
+}
+
+}  // namespace

@@ -1,0 +1,332 @@
+// nsmodel_cli — command-line driver for the library.
+//
+// Subcommands:
+//   predict   analytic per-phase trace of PB under the chosen channel
+//   simulate  Monte-Carlo measurement of PB (or another protocol)
+//   optimize  optimal p for one of the paper's four metrics
+//   sweep     objective vs p series (analytic or simulated), optional CSV
+//   reliable  one reliable-flooding (CFM-over-CAM) run
+//
+// Common flags: --rho, --rings, --slots, --channel=cam|cfm|cam-cs,
+// --policy=interp|poisson, --seed, --reps, --csv=PATH.
+// Metric syntax: --metric=reach-latency:5, latency-reach:0.7,
+//                energy-reach:0.7, reach-energy:35.
+// Protocol syntax: --protocol=pb:0.2 | flood | counter:3 | distance:0.4.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/cfm_cost.hpp"
+#include "core/network_model.hpp"
+#include "protocols/adaptive.hpp"
+#include "protocols/counter_based.hpp"
+#include "protocols/distance_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/reliable.hpp"
+#include "support/cli_args.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nsmodel;
+using support::CliArgs;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: nsmodel_cli <predict|simulate|optimize|sweep|reliable> "
+      "[flags]\n"
+      "  common: --rho=60 --rings=5 --slots=3 --channel=cam|cfm|cam-cs\n"
+      "          --policy=interp|poisson --seed=42 --reps=30\n"
+      "  predict:  --p=0.2 [--per-ring]\n"
+      "  simulate: --p=0.2 or --protocol=pb:0.2|flood|counter:3|\n"
+      "            distance:0.4|adaptive:12.8\n"
+      "  optimize: --metric=reach-latency:5|latency-reach:0.7|\n"
+      "            energy-reach:0.7|reach-energy:35\n"
+      "  sweep:    --metric=... [--sim] [--csv=out.csv]\n"
+      "  reliable: [--no-acks] [--max-rounds=2000]\n");
+  std::exit(2);
+}
+
+core::CommModel channelFromFlag(const CliArgs& args) {
+  const std::string name = args.getString("channel", "cam");
+  if (name == "cam") return core::CommModel::collisionAware();
+  if (name == "cfm") return core::CommModel::collisionFree();
+  if (name == "cam-cs") {
+    return core::CommModel::carrierSenseAware(
+        args.getDouble("cs-factor", 2.0));
+  }
+  throw Error("unknown channel: " + name + " (cam, cfm, cam-cs)");
+}
+
+analytic::RealKPolicy policyFromFlag(const CliArgs& args) {
+  const std::string name = args.getString("policy", "interp");
+  if (name == "interp") return analytic::RealKPolicy::Interpolate;
+  if (name == "poisson") return analytic::RealKPolicy::Poisson;
+  throw Error("unknown policy: " + name + " (interp, poisson)");
+}
+
+core::NetworkModel modelFromFlags(const CliArgs& args) {
+  core::DeploymentSpec spec;
+  spec.rings = static_cast<int>(args.getInt("rings", 5));
+  spec.ringWidth = args.getDouble("ring-width", 1.0);
+  spec.neighborDensity = args.getDouble("rho", 60.0);
+  return core::NetworkModel(spec, channelFromFlag(args),
+                            static_cast<int>(args.getInt("slots", 3)));
+}
+
+core::MetricSpec metricFromFlag(const CliArgs& args) {
+  const std::string text = args.getString("metric", "reach-latency:5");
+  const auto colon = text.find(':');
+  NSMODEL_CHECK(colon != std::string::npos,
+                "--metric must look like name:constraint");
+  const std::string name = text.substr(0, colon);
+  const double constraint = std::stod(text.substr(colon + 1));
+  if (name == "reach-latency") {
+    return core::MetricSpec::reachabilityUnderLatency(constraint);
+  }
+  if (name == "latency-reach") {
+    return core::MetricSpec::latencyUnderReachability(constraint);
+  }
+  if (name == "energy-reach") {
+    return core::MetricSpec::energyUnderReachability(constraint);
+  }
+  if (name == "reach-energy") {
+    return core::MetricSpec::reachabilityUnderEnergy(constraint);
+  }
+  throw Error("unknown metric: " + name);
+}
+
+protocols::ProtocolFactory protocolFromFlag(const CliArgs& args,
+                                            double range) {
+  std::string text = args.getString("protocol", "");
+  if (text.empty()) {
+    const double p = args.getDouble("p", 0.2);
+    text = "pb:" + support::formatDouble(p, 4);
+  }
+  const auto colon = text.find(':');
+  const std::string name =
+      colon == std::string::npos ? text : text.substr(0, colon);
+  const std::string param =
+      colon == std::string::npos ? "" : text.substr(colon + 1);
+  if (name == "flood") {
+    return [] { return std::make_unique<protocols::SimpleFlooding>(); };
+  }
+  if (name == "pb") {
+    const double p = std::stod(param);
+    return [p] {
+      return std::make_unique<protocols::ProbabilisticBroadcast>(p);
+    };
+  }
+  if (name == "counter") {
+    const int threshold = std::stoi(param);
+    return [threshold] {
+      return std::make_unique<protocols::CounterBasedBroadcast>(threshold);
+    };
+  }
+  if (name == "distance") {
+    const double fraction = std::stod(param);
+    return [fraction, range] {
+      return std::make_unique<protocols::DistanceBasedBroadcast>(fraction,
+                                                                 range);
+    };
+  }
+  if (name == "adaptive") {
+    const double gain = param.empty() ? 12.8 : std::stod(param);
+    return [gain] {
+      return std::make_unique<protocols::DegreeAdaptiveBroadcast>(gain);
+    };
+  }
+  throw Error("unknown protocol: " + name);
+}
+
+void rejectUnknownFlags(const CliArgs& args) {
+  const auto unused = args.unusedFlags();
+  if (unused.empty()) return;
+  std::string message = "unknown flag(s):";
+  for (const auto& flag : unused) message += " --" + flag;
+  throw Error(message + " (see nsmodel_cli usage)");
+}
+
+int cmdPredict(const CliArgs& args) {
+  const core::NetworkModel model = modelFromFlags(args);
+  const double p = args.getDouble("p", 0.2);
+  const auto policy = policyFromFlag(args);
+  const bool perRing = args.getBool("per-ring", false);
+  rejectUnknownFlags(args);
+  const auto trace = model.predict(p, policy);
+
+  std::printf("channel=%s rho=%.0f p=%.3f N~%.0f\n", model.commModel().name(),
+              model.deployment().neighborDensity, p,
+              model.deployment().expectedNodes());
+  support::TablePrinter table({"phase", "new receivers", "broadcasts",
+                               "cum reach", "success rate"});
+  for (std::size_t i = 0; i < trace.phases().size(); ++i) {
+    const auto& phase = trace.phases()[i];
+    table.addRow({support::formatDouble(i + 1, 0),
+                  support::formatDouble(phase.newTotal, 1),
+                  support::formatDouble(phase.broadcasts, 1),
+                  support::formatDouble(
+                      phase.cumulativeReached / trace.expectedNodes(), 4),
+                  support::formatDouble(phase.successRate, 4)});
+  }
+  table.print(std::cout);
+  std::printf("final reachability: %.4f   total broadcasts: %.1f\n",
+              trace.finalReachability(), trace.totalBroadcasts());
+
+  if (perRing) {
+    // How the wave fills each ring: expected new receivers per (phase,
+    // ring), the spatial view behind Eq. 4.
+    std::vector<std::string> header{"phase"};
+    for (int k = 1; k <= model.deployment().rings; ++k) {
+      header.push_back("ring " + support::formatDouble(k, 0));
+    }
+    support::TablePrinter rings(header);
+    for (std::size_t i = 0; i < trace.phases().size(); ++i) {
+      std::vector<std::string> row{support::formatDouble(i + 1, 0)};
+      for (double newInRing : trace.phases()[i].newPerRing) {
+        row.push_back(support::formatDouble(newInRing, 1));
+      }
+      rings.addRow(row);
+    }
+    std::printf("\nnew receivers per ring (Eq. 4 recursion state)\n");
+    rings.print(std::cout);
+  }
+  return 0;
+}
+
+int cmdSimulate(const CliArgs& args) {
+  const core::NetworkModel model = modelFromFlags(args);
+  const auto factory =
+      protocolFromFlag(args, model.deployment().ringWidth);
+  sim::MonteCarloConfig mc;
+  mc.experiment = model.experimentConfig();
+  mc.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+  mc.replications = static_cast<int>(args.getInt("reps", 30));
+  rejectUnknownFlags(args);
+
+  const auto aggs = sim::monteCarlo(mc, factory, [](const sim::RunResult& r) {
+    const auto latency = r.latencyForReachability(0.5);
+    return std::vector<double>{
+        r.reachabilityAfter(5.0), r.finalReachability(),
+        static_cast<double>(r.totalBroadcasts()),
+        latency ? *latency : std::numeric_limits<double>::quiet_NaN(),
+        r.averageSuccessRate()};
+  });
+  support::TablePrinter table({"metric", "mean", "ci95", "defined"});
+  const char* names[] = {"reachability @5 phases", "final reachability",
+                         "total broadcasts", "latency to 50%",
+                         "link success rate"};
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    table.addRow({names[i], support::formatDouble(aggs[i].stats.mean, 4),
+                  support::formatDouble(aggs[i].stats.ciHalfWidth95, 4),
+                  support::formatDouble(aggs[i].definedFraction, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmdOptimize(const CliArgs& args) {
+  const core::NetworkModel model = modelFromFlags(args);
+  const auto spec = metricFromFlag(args);
+  const auto policy = policyFromFlag(args);
+  rejectUnknownFlags(args);
+  const auto best =
+      model.optimize(spec, core::ProbabilityGrid::analytic(), policy);
+  if (!best) {
+    std::printf("no feasible probability for %s (constraint %.3f)\n",
+                core::metricName(spec.kind), spec.constraint);
+    return 1;
+  }
+  std::printf("%s (constraint %.3f): p* = %.2f, objective = %.4f\n",
+              core::metricName(spec.kind), spec.constraint,
+              best->probability, best->value);
+  return 0;
+}
+
+int cmdSweep(const CliArgs& args) {
+  const core::NetworkModel model = modelFromFlags(args);
+  const auto spec = metricFromFlag(args);
+  const bool simulated = args.getBool("sim", false);
+  const auto policy = policyFromFlag(args);
+  const std::string csvPath = args.getString("csv", "");
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+  const int reps = static_cast<int>(args.getInt("reps", 30));
+  rejectUnknownFlags(args);
+
+  const auto grid = simulated ? core::ProbabilityGrid::simulation()
+                              : core::ProbabilityGrid::analytic();
+  support::TablePrinter table({"p", "objective"});
+  std::unique_ptr<support::CsvWriter> csv;
+  if (!csvPath.empty()) {
+    csv = std::make_unique<support::CsvWriter>(
+        csvPath, std::vector<std::string>{"p", "objective"});
+  }
+  for (double p : grid.values()) {
+    std::optional<double> value;
+    if (simulated) {
+      const auto agg = model.measure(p, spec, seed, reps);
+      if (agg.definedFraction >= 0.5) value = agg.stats.mean;
+    } else {
+      value = core::evaluateMetric(spec, model.predict(p, policy));
+    }
+    const std::string cell =
+        value ? support::formatDouble(*value, 4) : std::string("-");
+    table.addRow({support::formatDouble(p, 2), cell});
+    if (csv && value) {
+      csv->addRow(std::vector<double>{p, *value});
+    }
+  }
+  table.print(std::cout);
+  if (!csvPath.empty()) std::printf("wrote %s\n", csvPath.c_str());
+  return 0;
+}
+
+int cmdReliable(const CliArgs& args) {
+  sim::ReliableBroadcastConfig cfg;
+  cfg.base.rings = static_cast<int>(args.getInt("rings", 5));
+  cfg.base.ringWidth = args.getDouble("ring-width", 1.0);
+  cfg.base.neighborDensity = args.getDouble("rho", 20.0);
+  cfg.base.slotsPerPhase = static_cast<int>(args.getInt("slots", 3));
+  cfg.maxRounds = static_cast<int>(args.getInt("max-rounds", 2000));
+  cfg.simulateAcks = !args.getBool("no-acks", false);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+  rejectUnknownFlags(args);
+
+  const auto result = sim::runReliableBroadcast(cfg, seed, 0);
+  std::printf(
+      "reliable flood @ rho=%.0f: reach=%.3f confirmed=%s\n"
+      "  data=%llu acks=%llu packets/node=%.1f\n"
+      "  delivery latency=%.1f phases, quiescence=%.0f phases\n",
+      cfg.base.neighborDensity, result.reachability(),
+      result.allAcknowledged ? "yes" : "no",
+      static_cast<unsigned long long>(result.dataTransmissions),
+      static_cast<unsigned long long>(result.ackTransmissions),
+      static_cast<double>(result.totalTransmissions()) /
+          static_cast<double>(result.nodeCount),
+      result.deliveryLatencyPhases, result.quiescenceLatencyPhases);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) usage();
+  const std::string command = args.positional()[0];
+  try {
+    if (command == "predict") return cmdPredict(args);
+    if (command == "simulate") return cmdSimulate(args);
+    if (command == "optimize") return cmdOptimize(args);
+    if (command == "sweep") return cmdSweep(args);
+    if (command == "reliable") return cmdReliable(args);
+    usage();
+  } catch (const nsmodel::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
