@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_phases.dir/ablation_async_phases.cpp.o"
+  "CMakeFiles/ablation_async_phases.dir/ablation_async_phases.cpp.o.d"
+  "ablation_async_phases"
+  "ablation_async_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_density_gradient.dir/ablation_density_gradient.cpp.o"
+  "CMakeFiles/ablation_density_gradient.dir/ablation_density_gradient.cpp.o.d"
+  "ablation_density_gradient"
+  "ablation_density_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_density_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fading.dir/ablation_fading.cpp.o"
+  "CMakeFiles/ablation_fading.dir/ablation_fading.cpp.o.d"
+  "ablation_fading"
+  "ablation_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

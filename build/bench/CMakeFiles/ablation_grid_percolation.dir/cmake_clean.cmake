@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grid_percolation.dir/ablation_grid_percolation.cpp.o"
+  "CMakeFiles/ablation_grid_percolation.dir/ablation_grid_percolation.cpp.o.d"
+  "ablation_grid_percolation"
+  "ablation_grid_percolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grid_percolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_node_failure.dir/ablation_node_failure.cpp.o"
+  "CMakeFiles/ablation_node_failure.dir/ablation_node_failure.cpp.o.d"
+  "ablation_node_failure"
+  "ablation_node_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

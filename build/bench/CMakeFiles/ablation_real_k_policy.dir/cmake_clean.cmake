@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_real_k_policy.dir/ablation_real_k_policy.cpp.o"
+  "CMakeFiles/ablation_real_k_policy.dir/ablation_real_k_policy.cpp.o.d"
+  "ablation_real_k_policy"
+  "ablation_real_k_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_real_k_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_source_placement.dir/ablation_source_placement.cpp.o"
+  "CMakeFiles/ablation_source_placement.dir/ablation_source_placement.cpp.o.d"
+  "ablation_source_placement"
+  "ablation_source_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_source_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

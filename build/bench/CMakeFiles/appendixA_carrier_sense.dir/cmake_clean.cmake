@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixA_carrier_sense.dir/appendixA_carrier_sense.cpp.o"
+  "CMakeFiles/appendixA_carrier_sense.dir/appendixA_carrier_sense.cpp.o.d"
+  "appendixA_carrier_sense"
+  "appendixA_carrier_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_carrier_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_cost_of_reliability.dir/cfm_cost_of_reliability.cpp.o"
+  "CMakeFiles/cfm_cost_of_reliability.dir/cfm_cost_of_reliability.cpp.o.d"
+  "cfm_cost_of_reliability"
+  "cfm_cost_of_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_cost_of_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cfm_cost_of_reliability.
+# This may be replaced when dependencies are built.

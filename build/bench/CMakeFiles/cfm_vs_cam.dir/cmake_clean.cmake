@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_vs_cam.dir/cfm_vs_cam.cpp.o"
+  "CMakeFiles/cfm_vs_cam.dir/cfm_vs_cam.cpp.o.d"
+  "cfm_vs_cam"
+  "cfm_vs_cam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_vs_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

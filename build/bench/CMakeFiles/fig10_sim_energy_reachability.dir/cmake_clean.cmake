@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sim_energy_reachability.dir/fig10_sim_energy_reachability.cpp.o"
+  "CMakeFiles/fig10_sim_energy_reachability.dir/fig10_sim_energy_reachability.cpp.o.d"
+  "fig10_sim_energy_reachability"
+  "fig10_sim_energy_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sim_energy_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

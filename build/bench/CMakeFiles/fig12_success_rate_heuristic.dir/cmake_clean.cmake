@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_success_rate_heuristic.dir/fig12_success_rate_heuristic.cpp.o"
+  "CMakeFiles/fig12_success_rate_heuristic.dir/fig12_success_rate_heuristic.cpp.o.d"
+  "fig12_success_rate_heuristic"
+  "fig12_success_rate_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_success_rate_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_success_rate_heuristic.
+# This may be replaced when dependencies are built.

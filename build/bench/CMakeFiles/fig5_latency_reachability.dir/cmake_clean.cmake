@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency_reachability.dir/fig5_latency_reachability.cpp.o"
+  "CMakeFiles/fig5_latency_reachability.dir/fig5_latency_reachability.cpp.o.d"
+  "fig5_latency_reachability"
+  "fig5_latency_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

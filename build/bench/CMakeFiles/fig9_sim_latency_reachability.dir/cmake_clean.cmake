@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sim_latency_reachability.dir/fig9_sim_latency_reachability.cpp.o"
+  "CMakeFiles/fig9_sim_latency_reachability.dir/fig9_sim_latency_reachability.cpp.o.d"
+  "fig9_sim_latency_reachability"
+  "fig9_sim_latency_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sim_latency_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

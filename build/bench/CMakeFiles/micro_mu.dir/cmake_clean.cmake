@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mu.dir/micro_mu.cpp.o"
+  "CMakeFiles/micro_mu.dir/micro_mu.cpp.o.d"
+  "micro_mu"
+  "micro_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdma_vs_csma.dir/tdma_vs_csma.cpp.o"
+  "CMakeFiles/tdma_vs_csma.dir/tdma_vs_csma.cpp.o.d"
+  "tdma_vs_csma"
+  "tdma_vs_csma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdma_vs_csma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicast_convergecast.dir/unicast_convergecast.cpp.o"
+  "CMakeFiles/unicast_convergecast.dir/unicast_convergecast.cpp.o.d"
+  "unicast_convergecast"
+  "unicast_convergecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicast_convergecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unicast_convergecast.
+# This may be replaced when dependencies are built.

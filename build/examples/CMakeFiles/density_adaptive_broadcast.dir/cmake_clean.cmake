@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_adaptive_broadcast.dir/density_adaptive_broadcast.cpp.o"
+  "CMakeFiles/density_adaptive_broadcast.dir/density_adaptive_broadcast.cpp.o.d"
+  "density_adaptive_broadcast"
+  "density_adaptive_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_adaptive_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

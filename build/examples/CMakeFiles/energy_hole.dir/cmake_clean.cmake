@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_hole.dir/energy_hole.cpp.o"
+  "CMakeFiles/energy_hole.dir/energy_hole.cpp.o.d"
+  "energy_hole"
+  "energy_hole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_hole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_dissemination.dir/query_dissemination.cpp.o"
+  "CMakeFiles/query_dissemination.dir/query_dissemination.cpp.o.d"
+  "query_dissemination"
+  "query_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/mu.cpp" "src/analytic/CMakeFiles/nsmodel_analytic.dir/mu.cpp.o" "gcc" "src/analytic/CMakeFiles/nsmodel_analytic.dir/mu.cpp.o.d"
+  "/root/repo/src/analytic/mu_literal.cpp" "src/analytic/CMakeFiles/nsmodel_analytic.dir/mu_literal.cpp.o" "gcc" "src/analytic/CMakeFiles/nsmodel_analytic.dir/mu_literal.cpp.o.d"
+  "/root/repo/src/analytic/ring_model.cpp" "src/analytic/CMakeFiles/nsmodel_analytic.dir/ring_model.cpp.o" "gcc" "src/analytic/CMakeFiles/nsmodel_analytic.dir/ring_model.cpp.o.d"
+  "/root/repo/src/analytic/success_rate.cpp" "src/analytic/CMakeFiles/nsmodel_analytic.dir/success_rate.cpp.o" "gcc" "src/analytic/CMakeFiles/nsmodel_analytic.dir/success_rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/nsmodel_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nsmodel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_analytic.dir/mu.cpp.o"
+  "CMakeFiles/nsmodel_analytic.dir/mu.cpp.o.d"
+  "CMakeFiles/nsmodel_analytic.dir/mu_literal.cpp.o"
+  "CMakeFiles/nsmodel_analytic.dir/mu_literal.cpp.o.d"
+  "CMakeFiles/nsmodel_analytic.dir/ring_model.cpp.o"
+  "CMakeFiles/nsmodel_analytic.dir/ring_model.cpp.o.d"
+  "CMakeFiles/nsmodel_analytic.dir/success_rate.cpp.o"
+  "CMakeFiles/nsmodel_analytic.dir/success_rate.cpp.o.d"
+  "libnsmodel_analytic.a"
+  "libnsmodel_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

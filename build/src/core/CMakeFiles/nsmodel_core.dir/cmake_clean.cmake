@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_core.dir/cfm_analysis.cpp.o"
+  "CMakeFiles/nsmodel_core.dir/cfm_analysis.cpp.o.d"
+  "CMakeFiles/nsmodel_core.dir/cfm_cost.cpp.o"
+  "CMakeFiles/nsmodel_core.dir/cfm_cost.cpp.o.d"
+  "CMakeFiles/nsmodel_core.dir/comm_model.cpp.o"
+  "CMakeFiles/nsmodel_core.dir/comm_model.cpp.o.d"
+  "CMakeFiles/nsmodel_core.dir/metrics.cpp.o"
+  "CMakeFiles/nsmodel_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/nsmodel_core.dir/network_model.cpp.o"
+  "CMakeFiles/nsmodel_core.dir/network_model.cpp.o.d"
+  "CMakeFiles/nsmodel_core.dir/optimizer.cpp.o"
+  "CMakeFiles/nsmodel_core.dir/optimizer.cpp.o.d"
+  "libnsmodel_core.a"
+  "libnsmodel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

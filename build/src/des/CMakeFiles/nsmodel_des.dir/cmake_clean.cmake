@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_des.dir/engine.cpp.o"
+  "CMakeFiles/nsmodel_des.dir/engine.cpp.o.d"
+  "CMakeFiles/nsmodel_des.dir/event_queue.cpp.o"
+  "CMakeFiles/nsmodel_des.dir/event_queue.cpp.o.d"
+  "libnsmodel_des.a"
+  "libnsmodel_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

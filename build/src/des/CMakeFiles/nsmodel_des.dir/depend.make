@@ -1,0 +1,2 @@
+# Empty dependencies file for nsmodel_des.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_geom.dir/circle.cpp.o"
+  "CMakeFiles/nsmodel_geom.dir/circle.cpp.o.d"
+  "CMakeFiles/nsmodel_geom.dir/disk_sampling.cpp.o"
+  "CMakeFiles/nsmodel_geom.dir/disk_sampling.cpp.o.d"
+  "CMakeFiles/nsmodel_geom.dir/rings.cpp.o"
+  "CMakeFiles/nsmodel_geom.dir/rings.cpp.o.d"
+  "CMakeFiles/nsmodel_geom.dir/spatial_grid.cpp.o"
+  "CMakeFiles/nsmodel_geom.dir/spatial_grid.cpp.o.d"
+  "libnsmodel_geom.a"
+  "libnsmodel_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/nsmodel_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/nsmodel_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/deployment.cpp" "src/net/CMakeFiles/nsmodel_net.dir/deployment.cpp.o" "gcc" "src/net/CMakeFiles/nsmodel_net.dir/deployment.cpp.o.d"
+  "/root/repo/src/net/energy.cpp" "src/net/CMakeFiles/nsmodel_net.dir/energy.cpp.o" "gcc" "src/net/CMakeFiles/nsmodel_net.dir/energy.cpp.o.d"
+  "/root/repo/src/net/fading.cpp" "src/net/CMakeFiles/nsmodel_net.dir/fading.cpp.o" "gcc" "src/net/CMakeFiles/nsmodel_net.dir/fading.cpp.o.d"
+  "/root/repo/src/net/tdma.cpp" "src/net/CMakeFiles/nsmodel_net.dir/tdma.cpp.o" "gcc" "src/net/CMakeFiles/nsmodel_net.dir/tdma.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/nsmodel_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/nsmodel_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/nsmodel_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nsmodel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_net.dir/channel.cpp.o"
+  "CMakeFiles/nsmodel_net.dir/channel.cpp.o.d"
+  "CMakeFiles/nsmodel_net.dir/deployment.cpp.o"
+  "CMakeFiles/nsmodel_net.dir/deployment.cpp.o.d"
+  "CMakeFiles/nsmodel_net.dir/energy.cpp.o"
+  "CMakeFiles/nsmodel_net.dir/energy.cpp.o.d"
+  "CMakeFiles/nsmodel_net.dir/fading.cpp.o"
+  "CMakeFiles/nsmodel_net.dir/fading.cpp.o.d"
+  "CMakeFiles/nsmodel_net.dir/tdma.cpp.o"
+  "CMakeFiles/nsmodel_net.dir/tdma.cpp.o.d"
+  "CMakeFiles/nsmodel_net.dir/topology.cpp.o"
+  "CMakeFiles/nsmodel_net.dir/topology.cpp.o.d"
+  "libnsmodel_net.a"
+  "libnsmodel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

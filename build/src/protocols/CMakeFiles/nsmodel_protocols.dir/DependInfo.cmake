@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/adaptive.cpp" "src/protocols/CMakeFiles/nsmodel_protocols.dir/adaptive.cpp.o" "gcc" "src/protocols/CMakeFiles/nsmodel_protocols.dir/adaptive.cpp.o.d"
+  "/root/repo/src/protocols/counter_based.cpp" "src/protocols/CMakeFiles/nsmodel_protocols.dir/counter_based.cpp.o" "gcc" "src/protocols/CMakeFiles/nsmodel_protocols.dir/counter_based.cpp.o.d"
+  "/root/repo/src/protocols/distance_based.cpp" "src/protocols/CMakeFiles/nsmodel_protocols.dir/distance_based.cpp.o" "gcc" "src/protocols/CMakeFiles/nsmodel_protocols.dir/distance_based.cpp.o.d"
+  "/root/repo/src/protocols/flooding.cpp" "src/protocols/CMakeFiles/nsmodel_protocols.dir/flooding.cpp.o" "gcc" "src/protocols/CMakeFiles/nsmodel_protocols.dir/flooding.cpp.o.d"
+  "/root/repo/src/protocols/probabilistic.cpp" "src/protocols/CMakeFiles/nsmodel_protocols.dir/probabilistic.cpp.o" "gcc" "src/protocols/CMakeFiles/nsmodel_protocols.dir/probabilistic.cpp.o.d"
+  "/root/repo/src/protocols/tdma_flooding.cpp" "src/protocols/CMakeFiles/nsmodel_protocols.dir/tdma_flooding.cpp.o" "gcc" "src/protocols/CMakeFiles/nsmodel_protocols.dir/tdma_flooding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nsmodel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nsmodel_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/nsmodel_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

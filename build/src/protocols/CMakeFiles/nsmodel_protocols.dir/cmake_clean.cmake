@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_protocols.dir/adaptive.cpp.o"
+  "CMakeFiles/nsmodel_protocols.dir/adaptive.cpp.o.d"
+  "CMakeFiles/nsmodel_protocols.dir/counter_based.cpp.o"
+  "CMakeFiles/nsmodel_protocols.dir/counter_based.cpp.o.d"
+  "CMakeFiles/nsmodel_protocols.dir/distance_based.cpp.o"
+  "CMakeFiles/nsmodel_protocols.dir/distance_based.cpp.o.d"
+  "CMakeFiles/nsmodel_protocols.dir/flooding.cpp.o"
+  "CMakeFiles/nsmodel_protocols.dir/flooding.cpp.o.d"
+  "CMakeFiles/nsmodel_protocols.dir/probabilistic.cpp.o"
+  "CMakeFiles/nsmodel_protocols.dir/probabilistic.cpp.o.d"
+  "CMakeFiles/nsmodel_protocols.dir/tdma_flooding.cpp.o"
+  "CMakeFiles/nsmodel_protocols.dir/tdma_flooding.cpp.o.d"
+  "libnsmodel_protocols.a"
+  "libnsmodel_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

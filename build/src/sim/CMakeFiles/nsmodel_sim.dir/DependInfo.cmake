@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_experiment.cpp" "src/sim/CMakeFiles/nsmodel_sim.dir/async_experiment.cpp.o" "gcc" "src/sim/CMakeFiles/nsmodel_sim.dir/async_experiment.cpp.o.d"
+  "/root/repo/src/sim/convergecast.cpp" "src/sim/CMakeFiles/nsmodel_sim.dir/convergecast.cpp.o" "gcc" "src/sim/CMakeFiles/nsmodel_sim.dir/convergecast.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/nsmodel_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/nsmodel_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/sim/CMakeFiles/nsmodel_sim.dir/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/nsmodel_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/reliable.cpp" "src/sim/CMakeFiles/nsmodel_sim.dir/reliable.cpp.o" "gcc" "src/sim/CMakeFiles/nsmodel_sim.dir/reliable.cpp.o.d"
+  "/root/repo/src/sim/run_result.cpp" "src/sim/CMakeFiles/nsmodel_sim.dir/run_result.cpp.o" "gcc" "src/sim/CMakeFiles/nsmodel_sim.dir/run_result.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/nsmodel_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/nsmodel_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/nsmodel_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nsmodel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/nsmodel_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nsmodel_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/nsmodel_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

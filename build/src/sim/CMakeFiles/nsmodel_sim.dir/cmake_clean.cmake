@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_sim.dir/async_experiment.cpp.o"
+  "CMakeFiles/nsmodel_sim.dir/async_experiment.cpp.o.d"
+  "CMakeFiles/nsmodel_sim.dir/convergecast.cpp.o"
+  "CMakeFiles/nsmodel_sim.dir/convergecast.cpp.o.d"
+  "CMakeFiles/nsmodel_sim.dir/experiment.cpp.o"
+  "CMakeFiles/nsmodel_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/nsmodel_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/nsmodel_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/nsmodel_sim.dir/reliable.cpp.o"
+  "CMakeFiles/nsmodel_sim.dir/reliable.cpp.o.d"
+  "CMakeFiles/nsmodel_sim.dir/run_result.cpp.o"
+  "CMakeFiles/nsmodel_sim.dir/run_result.cpp.o.d"
+  "CMakeFiles/nsmodel_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/nsmodel_sim.dir/trace_export.cpp.o.d"
+  "libnsmodel_sim.a"
+  "libnsmodel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

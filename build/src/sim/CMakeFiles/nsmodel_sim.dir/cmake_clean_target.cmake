@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnsmodel_sim.a"
+)

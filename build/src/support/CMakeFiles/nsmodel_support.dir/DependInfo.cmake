@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli_args.cpp" "src/support/CMakeFiles/nsmodel_support.dir/cli_args.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/cli_args.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/support/CMakeFiles/nsmodel_support.dir/error.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/error.cpp.o.d"
+  "/root/repo/src/support/integrate.cpp" "src/support/CMakeFiles/nsmodel_support.dir/integrate.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/integrate.cpp.o.d"
+  "/root/repo/src/support/log_math.cpp" "src/support/CMakeFiles/nsmodel_support.dir/log_math.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/log_math.cpp.o.d"
+  "/root/repo/src/support/logging.cpp" "src/support/CMakeFiles/nsmodel_support.dir/logging.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/logging.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/nsmodel_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/statistics.cpp" "src/support/CMakeFiles/nsmodel_support.dir/statistics.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/statistics.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/nsmodel_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/nsmodel_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/nsmodel_support.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_support.dir/cli_args.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/cli_args.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/error.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/error.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/integrate.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/integrate.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/log_math.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/log_math.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/logging.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/logging.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/rng.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/rng.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/statistics.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/table.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/table.cpp.o.d"
+  "CMakeFiles/nsmodel_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/nsmodel_support.dir/thread_pool.cpp.o.d"
+  "libnsmodel_support.a"
+  "libnsmodel_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

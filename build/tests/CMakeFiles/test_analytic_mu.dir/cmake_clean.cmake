@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic_mu.dir/test_analytic_mu.cpp.o"
+  "CMakeFiles/test_analytic_mu.dir/test_analytic_mu.cpp.o.d"
+  "test_analytic_mu"
+  "test_analytic_mu.pdb"
+  "test_analytic_mu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic_mu_literal.dir/test_analytic_mu_literal.cpp.o"
+  "CMakeFiles/test_analytic_mu_literal.dir/test_analytic_mu_literal.cpp.o.d"
+  "test_analytic_mu_literal"
+  "test_analytic_mu_literal.pdb"
+  "test_analytic_mu_literal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic_mu_literal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

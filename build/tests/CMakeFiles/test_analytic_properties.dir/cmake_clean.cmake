@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic_properties.dir/test_analytic_properties.cpp.o"
+  "CMakeFiles/test_analytic_properties.dir/test_analytic_properties.cpp.o.d"
+  "test_analytic_properties"
+  "test_analytic_properties.pdb"
+  "test_analytic_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

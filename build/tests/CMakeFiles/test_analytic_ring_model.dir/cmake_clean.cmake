@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic_ring_model.dir/test_analytic_ring_model.cpp.o"
+  "CMakeFiles/test_analytic_ring_model.dir/test_analytic_ring_model.cpp.o.d"
+  "test_analytic_ring_model"
+  "test_analytic_ring_model.pdb"
+  "test_analytic_ring_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic_ring_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic_success_rate.dir/test_analytic_success_rate.cpp.o"
+  "CMakeFiles/test_analytic_success_rate.dir/test_analytic_success_rate.cpp.o.d"
+  "test_analytic_success_rate"
+  "test_analytic_success_rate.pdb"
+  "test_analytic_success_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic_success_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

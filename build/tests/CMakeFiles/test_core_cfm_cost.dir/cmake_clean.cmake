@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cfm_cost.dir/test_core_cfm_cost.cpp.o"
+  "CMakeFiles/test_core_cfm_cost.dir/test_core_cfm_cost.cpp.o.d"
+  "test_core_cfm_cost"
+  "test_core_cfm_cost.pdb"
+  "test_core_cfm_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cfm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_optimizer.dir/test_core_optimizer.cpp.o"
+  "CMakeFiles/test_core_optimizer.dir/test_core_optimizer.cpp.o.d"
+  "test_core_optimizer"
+  "test_core_optimizer.pdb"
+  "test_core_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_circle.dir/test_geom_circle.cpp.o"
+  "CMakeFiles/test_geom_circle.dir/test_geom_circle.cpp.o.d"
+  "test_geom_circle"
+  "test_geom_circle.pdb"
+  "test_geom_circle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_circle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_rings.dir/test_geom_rings.cpp.o"
+  "CMakeFiles/test_geom_rings.dir/test_geom_rings.cpp.o.d"
+  "test_geom_rings"
+  "test_geom_rings.pdb"
+  "test_geom_rings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

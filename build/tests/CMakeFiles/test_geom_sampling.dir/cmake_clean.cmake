@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_sampling.dir/test_geom_sampling.cpp.o"
+  "CMakeFiles/test_geom_sampling.dir/test_geom_sampling.cpp.o.d"
+  "test_geom_sampling"
+  "test_geom_sampling.pdb"
+  "test_geom_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

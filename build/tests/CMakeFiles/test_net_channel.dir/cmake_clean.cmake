@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_channel.dir/test_net_channel.cpp.o"
+  "CMakeFiles/test_net_channel.dir/test_net_channel.cpp.o.d"
+  "test_net_channel"
+  "test_net_channel.pdb"
+  "test_net_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

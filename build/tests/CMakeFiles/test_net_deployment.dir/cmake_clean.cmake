@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_deployment.dir/test_net_deployment.cpp.o"
+  "CMakeFiles/test_net_deployment.dir/test_net_deployment.cpp.o.d"
+  "test_net_deployment"
+  "test_net_deployment.pdb"
+  "test_net_deployment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_energy.dir/test_net_energy.cpp.o"
+  "CMakeFiles/test_net_energy.dir/test_net_energy.cpp.o.d"
+  "test_net_energy"
+  "test_net_energy.pdb"
+  "test_net_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_fading.dir/test_net_fading.cpp.o"
+  "CMakeFiles/test_net_fading.dir/test_net_fading.cpp.o.d"
+  "test_net_fading"
+  "test_net_fading.pdb"
+  "test_net_fading[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_tdma.dir/test_net_tdma.cpp.o"
+  "CMakeFiles/test_net_tdma.dir/test_net_tdma.cpp.o.d"
+  "test_net_tdma"
+  "test_net_tdma.pdb"
+  "test_net_tdma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

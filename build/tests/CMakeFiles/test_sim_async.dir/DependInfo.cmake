@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_async.cpp" "tests/CMakeFiles/test_sim_async.dir/test_sim_async.cpp.o" "gcc" "tests/CMakeFiles/test_sim_async.dir/test_sim_async.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsmodel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nsmodel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/nsmodel_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nsmodel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/nsmodel_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/nsmodel_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/nsmodel_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nsmodel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_async.dir/test_sim_async.cpp.o"
+  "CMakeFiles/test_sim_async.dir/test_sim_async.cpp.o.d"
+  "test_sim_async"
+  "test_sim_async.pdb"
+  "test_sim_async[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_convergecast.dir/test_sim_convergecast.cpp.o"
+  "CMakeFiles/test_sim_convergecast.dir/test_sim_convergecast.cpp.o.d"
+  "test_sim_convergecast"
+  "test_sim_convergecast.pdb"
+  "test_sim_convergecast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_convergecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

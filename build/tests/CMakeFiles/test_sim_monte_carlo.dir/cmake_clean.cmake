@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_monte_carlo.dir/test_sim_monte_carlo.cpp.o"
+  "CMakeFiles/test_sim_monte_carlo.dir/test_sim_monte_carlo.cpp.o.d"
+  "test_sim_monte_carlo"
+  "test_sim_monte_carlo.pdb"
+  "test_sim_monte_carlo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_reliable.dir/test_sim_reliable.cpp.o"
+  "CMakeFiles/test_sim_reliable.dir/test_sim_reliable.cpp.o.d"
+  "test_sim_reliable"
+  "test_sim_reliable.pdb"
+  "test_sim_reliable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_integrate.dir/test_support_integrate.cpp.o"
+  "CMakeFiles/test_support_integrate.dir/test_support_integrate.cpp.o.d"
+  "test_support_integrate"
+  "test_support_integrate.pdb"
+  "test_support_integrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_log_math.dir/test_support_log_math.cpp.o"
+  "CMakeFiles/test_support_log_math.dir/test_support_log_math.cpp.o.d"
+  "test_support_log_math"
+  "test_support_log_math.pdb"
+  "test_support_log_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_log_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

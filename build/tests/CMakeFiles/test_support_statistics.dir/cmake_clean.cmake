@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_statistics.dir/test_support_statistics.cpp.o"
+  "CMakeFiles/test_support_statistics.dir/test_support_statistics.cpp.o.d"
+  "test_support_statistics"
+  "test_support_statistics.pdb"
+  "test_support_statistics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[UmbrellaHeader.ExposesTheFullSurface]=]  /root/repo/build/tests/test_umbrella_header [==[--gtest_filter=UmbrellaHeader.ExposesTheFullSurface]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaHeader.ExposesTheFullSurface]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_umbrella_header_TESTS UmbrellaHeader.ExposesTheFullSurface)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsmodel_cli.dir/nsmodel_cli.cpp.o"
+  "CMakeFiles/nsmodel_cli.dir/nsmodel_cli.cpp.o.d"
+  "nsmodel_cli"
+  "nsmodel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsmodel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
