@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,7 +24,9 @@
 #include "core/optimizer.hpp"
 #include "protocols/probabilistic.hpp"
 #include "sim/monte_carlo.hpp"
+#include "sim/scenario_cache.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace nsmodel::bench {
 
@@ -31,22 +35,54 @@ struct BenchOptions {
   int replications = 30;   // the paper's 30 random runs
   std::uint64_t seed = 42;
 
+  /// Parses the shared options.  Unknown options and malformed numeric
+  /// values are fatal (exit code 2) so a typo cannot silently run the
+  /// full-size sweep with default parameters.
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opts;
+    const auto die = [](const std::string& message) {
+      std::fprintf(stderr, "error: %s\n", message.c_str());
+      std::fprintf(stderr,
+                   "usage: [--fast] [--reps=N] [--seed=N]\n");
+      std::exit(2);
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--fast") {
         opts.fast = true;
         opts.replications = 6;
       } else if (arg.rfind("--reps=", 0) == 0) {
-        opts.replications = std::stoi(arg.substr(7));
+        const std::uint64_t reps = parseNumber(arg.substr(7), arg, die);
+        if (reps < 1 || reps > 1000000) {
+          die("--reps requires a count in [1, 1000000]");
+        }
+        opts.replications = static_cast<int>(reps);
       } else if (arg.rfind("--seed=", 0) == 0) {
-        opts.seed = std::stoull(arg.substr(7));
+        opts.seed = parseNumber(arg.substr(7), arg, die);
       } else {
-        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        die("unknown option: " + arg);
       }
     }
     return opts;
+  }
+
+  /// std::stoull with failures routed through `die` (which must not
+  /// return) instead of escaping as exceptions.
+  template <typename Die>
+  static std::uint64_t parseNumber(const std::string& text,
+                                   const std::string& arg, const Die& die) {
+    try {
+      std::size_t used = 0;
+      const std::uint64_t value = std::stoull(text, &used);
+      if (used != text.size()) die("malformed number in " + arg);
+      if (text.find('-') != std::string::npos) {
+        die("negative value in " + arg);
+      }
+      return value;
+    } catch (const std::exception&) {
+      die("malformed number in " + arg);
+    }
+    return 0;  // unreachable: die() exits
   }
 
   /// The paper's density axis (average neighbours per node).
@@ -101,24 +137,58 @@ inline std::string cell(const std::optional<double>& value,
   return support::formatDouble(*value, precision);
 }
 
+/// Acceleration knobs for simSweep.  The default-constructed value is the
+/// uncached serial reference path (the perf baseline micro_sweep measures
+/// against); `sweepAccel()` below is what the figure benches use.
+struct SweepAccel {
+  sim::ScenarioCache* cache = nullptr;  ///< shared across the whole sweep
+  bool parallel = false;                ///< fan (rho, p) points over the pool
+};
+
 /// One full simulated sweep: aggregate of `spec` at every (rho, p) of the
 /// paper's grids. Row i = rhos()[i], column j = simulationGrid()[j].
+/// Whatever the acceleration settings, the table is bit-identical to the
+/// serial uncached sweep: scenarios are keyed by (seed, stream,
+/// deployment, channel) and every (rho, p) cell lands in its own slot.
+inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
+    const BenchOptions& opts, const core::MetricSpec& spec,
+    const SweepAccel& accel, int replicationOverride = 0,
+    core::CommModel comm = core::CommModel::collisionAware()) {
+  const int reps =
+      replicationOverride > 0 ? replicationOverride : opts.replications;
+  const std::vector<double> rhos = opts.rhos();
+  const std::vector<double> grid = opts.simulationGrid().values();
+  std::vector<std::vector<sim::MetricAggregate>> rows(
+      rhos.size(), std::vector<sim::MetricAggregate>(grid.size()));
+  const auto evalCell = [&](std::size_t task) {
+    const std::size_t i = task / grid.size();
+    const std::size_t j = task % grid.size();
+    const core::NetworkModel model = paperModel(rhos[i], comm);
+    // Replications always run serially inside a sweep: with grid-point
+    // parallelism the |rho-grid| x |p-grid| tasks already saturate the
+    // pool, and without it the sweep is the serial reference path.
+    rows[i][j] = model.measure(grid[j], spec, opts.seed, reps, accel.cache,
+                               /*parallelReplications=*/false);
+  };
+  const std::size_t tasks = rhos.size() * grid.size();
+  if (accel.parallel) {
+    support::parallelFor(0, tasks, evalCell, /*chunk=*/1);
+  } else {
+    for (std::size_t task = 0; task < tasks; ++task) evalCell(task);
+  }
+  return rows;
+}
+
+/// Accelerated sweep with a per-call scenario cache: topologies are built
+/// once per (rho, replication) instead of once per (rho, p, replication),
+/// and grid points fan out over the shared thread pool.
 inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
     const BenchOptions& opts, const core::MetricSpec& spec,
     int replicationOverride = 0,
     core::CommModel comm = core::CommModel::collisionAware()) {
-  const int reps =
-      replicationOverride > 0 ? replicationOverride : opts.replications;
-  std::vector<std::vector<sim::MetricAggregate>> rows;
-  for (double rho : opts.rhos()) {
-    const core::NetworkModel model = paperModel(rho, comm);
-    std::vector<sim::MetricAggregate> row;
-    for (double p : opts.simulationGrid().values()) {
-      row.push_back(model.measure(p, spec, opts.seed, reps));
-    }
-    rows.push_back(std::move(row));
-  }
-  return rows;
+  sim::ScenarioCache cache;
+  return simSweep(opts, spec, SweepAccel{&cache, true}, replicationOverride,
+                  comm);
 }
 
 /// Best feasible grid point of one sweep row under the metric's direction;

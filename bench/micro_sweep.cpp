@@ -1,0 +1,218 @@
+// micro_sweep — measures the sweep acceleration layer end to end and
+// emits BENCH_sweep.json so the perf trajectory is tracked PR over PR.
+//
+// Two workloads, each run twice from the same binary:
+//
+//  * simulated sweep: the paper's full (rho, p) Monte-Carlo table
+//    (Fig. 8-style, 30 replications) — uncached serial baseline vs.
+//    ScenarioCache + grid-point parallelism;
+//  * analytic sweep: the Eq. 4 p-grid at every density — MuTable disabled
+//    serial baseline vs. MuTable + parallel sweepProbability.
+//
+// Both accelerated paths must reproduce the baseline tables bit for bit;
+// the binary exits non-zero if they do not, so it doubles as a CI smoke
+// test.  Options: --fast (quarter-size grids), --reps=N, --seed=N.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analytic/mu_table.hpp"
+#include "bench_common.hpp"
+#include "sim/scenario_cache.hpp"
+
+namespace {
+
+using nsmodel::bench::BenchOptions;
+using nsmodel::bench::SweepAccel;
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+using SimTable = std::vector<std::vector<nsmodel::sim::MetricAggregate>>;
+
+/// Bitwise equality of two sweep tables (mean, spread, and feasibility of
+/// every cell).  "Close enough" is not the bar — the accelerated path
+/// replays the exact arithmetic of the baseline.
+bool identical(const SimTable& a, const SimTable& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      const auto& x = a[i][j];
+      const auto& y = b[i][j];
+      if (x.stats.count != y.stats.count || x.stats.mean != y.stats.mean ||
+          x.stats.stddev != y.stats.stddev || x.stats.min != y.stats.min ||
+          x.stats.max != y.stats.max ||
+          x.definedFraction != y.definedFraction) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+using AnalyticSeries = std::vector<std::vector<std::optional<double>>>;
+
+bool identical(const AnalyticSeries& a, const AnalyticSeries& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// The analytic p-series of one metric at every density.
+AnalyticSeries analyticSweep(const BenchOptions& opts,
+                             const nsmodel::core::MetricSpec& spec,
+                             bool parallel) {
+  AnalyticSeries series;
+  for (double rho : opts.rhos()) {
+    const nsmodel::core::NetworkModel model = nsmodel::bench::paperModel(rho);
+    const auto eval = [&](double p) {
+      return nsmodel::core::evaluateMetric(spec, model.predict(p));
+    };
+    series.push_back(nsmodel::core::sweepProbability(
+        eval, opts.analyticGrid(), parallel));
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  nsmodel::bench::banner("micro_sweep",
+                         "sweep-level caching + parallel evaluation");
+
+  const auto spec =
+      nsmodel::core::MetricSpec::reachabilityUnderLatency(5.0);
+  const std::size_t simPoints =
+      opts.rhos().size() * opts.simulationGrid().values().size();
+  const std::size_t analyticPoints =
+      opts.rhos().size() * opts.analyticGrid().values().size();
+
+  // ---- simulated sweep: uncached serial baseline ----
+  nsmodel::sim::resetTopologyBuildCount();
+  const auto s0 = Clock::now();
+  const SimTable simBaseline =
+      nsmodel::bench::simSweep(opts, spec, SweepAccel{});
+  const auto s1 = Clock::now();
+  const std::uint64_t baselineBuilds = nsmodel::sim::topologyBuildCount();
+  const double simBaselineWall = seconds(s0, s1);
+  std::printf("sim sweep   baseline     %7.2fs  %6llu topology builds\n",
+              simBaselineWall,
+              static_cast<unsigned long long>(baselineBuilds));
+
+  // ---- simulated sweep: cached + parallel ----
+  nsmodel::sim::ScenarioCache cache;
+  nsmodel::sim::resetTopologyBuildCount();
+  const auto s2 = Clock::now();
+  const SimTable simAccel =
+      nsmodel::bench::simSweep(opts, spec, SweepAccel{&cache, true});
+  const auto s3 = Clock::now();
+  const std::uint64_t accelBuilds = nsmodel::sim::topologyBuildCount();
+  const double simAccelWall = seconds(s2, s3);
+  const bool simIdentical = identical(simBaseline, simAccel);
+  const double simSpeedup = simAccelWall > 0.0
+                                ? simBaselineWall / simAccelWall
+                                : 0.0;
+  std::printf("sim sweep   accelerated  %7.2fs  %6llu topology builds  "
+              "(%.2fx, %s)\n",
+              simAccelWall, static_cast<unsigned long long>(accelBuilds),
+              simSpeedup, simIdentical ? "bit-identical" : "MISMATCH");
+
+  // ---- analytic sweep: MuTable-disabled serial baseline ----
+  auto& muTable = nsmodel::analytic::MuTable::global();
+  muTable.setEnabled(false);
+  muTable.resetCounters();
+  const auto a0 = Clock::now();
+  const AnalyticSeries anBaseline = analyticSweep(opts, spec, false);
+  const auto a1 = Clock::now();
+  const std::uint64_t baselineMuEvals = muTable.computes();
+  const double anBaselineWall = seconds(a0, a1);
+  std::printf("analytic    baseline     %7.2fs  %9llu mu evaluations\n",
+              anBaselineWall,
+              static_cast<unsigned long long>(baselineMuEvals));
+
+  // ---- analytic sweep: MuTable + parallel grid ----
+  muTable.setEnabled(true);
+  muTable.clear();
+  muTable.resetCounters();
+  const auto a2 = Clock::now();
+  const AnalyticSeries anAccel = analyticSweep(opts, spec, true);
+  const auto a3 = Clock::now();
+  const std::uint64_t accelMuEvals = muTable.computes();
+  const std::uint64_t accelMuLookups = muTable.lookups();
+  const double anAccelWall = seconds(a2, a3);
+  const bool anIdentical = identical(anBaseline, anAccel);
+  const double anSpeedup =
+      anAccelWall > 0.0 ? anBaselineWall / anAccelWall : 0.0;
+  std::printf("analytic    accelerated  %7.2fs  %9llu mu evaluations of "
+              "%llu lookups  (%.2fx, %s)\n",
+              anAccelWall, static_cast<unsigned long long>(accelMuEvals),
+              static_cast<unsigned long long>(accelMuLookups), anSpeedup,
+              anIdentical ? "bit-identical" : "MISMATCH");
+
+  // ---- BENCH_sweep.json ----
+  const char* path = "BENCH_sweep.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"micro_sweep\",\n");
+  std::fprintf(out, "  \"fast\": %s,\n", opts.fast ? "true" : "false");
+  std::fprintf(out, "  \"replications\": %d,\n", opts.replications);
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(opts.seed));
+  std::fprintf(out, "  \"threads\": %zu,\n",
+               nsmodel::support::globalPool().size());
+  std::fprintf(out, "  \"sim_sweep\": {\n");
+  std::fprintf(out, "    \"grid_points\": %zu,\n", simPoints);
+  std::fprintf(out,
+               "    \"baseline\": {\"wall_s\": %.6f, "
+               "\"topology_builds\": %llu},\n",
+               simBaselineWall,
+               static_cast<unsigned long long>(baselineBuilds));
+  std::fprintf(out,
+               "    \"accelerated\": {\"wall_s\": %.6f, "
+               "\"topology_builds\": %llu, \"cache_hits\": %llu, "
+               "\"cache_misses\": %llu},\n",
+               simAccelWall, static_cast<unsigned long long>(accelBuilds),
+               static_cast<unsigned long long>(cache.hits()),
+               static_cast<unsigned long long>(cache.misses()));
+  std::fprintf(out, "    \"speedup\": %.3f,\n", simSpeedup);
+  std::fprintf(out, "    \"bit_identical\": %s\n",
+               simIdentical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"analytic_sweep\": {\n");
+  std::fprintf(out, "    \"grid_points\": %zu,\n", analyticPoints);
+  std::fprintf(out,
+               "    \"baseline\": {\"wall_s\": %.6f, "
+               "\"mu_evaluations\": %llu},\n",
+               anBaselineWall,
+               static_cast<unsigned long long>(baselineMuEvals));
+  std::fprintf(out,
+               "    \"accelerated\": {\"wall_s\": %.6f, "
+               "\"mu_evaluations\": %llu, \"mu_lookups\": %llu},\n",
+               anAccelWall, static_cast<unsigned long long>(accelMuEvals),
+               static_cast<unsigned long long>(accelMuLookups));
+  std::fprintf(out, "    \"speedup\": %.3f,\n", anSpeedup);
+  std::fprintf(out, "    \"bit_identical\": %s\n",
+               anIdentical ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+
+  if (!simIdentical || !anIdentical) {
+    std::fprintf(stderr,
+                 "error: accelerated sweep diverged from the baseline\n");
+    return 1;
+  }
+  return 0;
+}

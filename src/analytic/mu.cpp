@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "analytic/mu_table.hpp"
 #include "support/error.hpp"
 #include "support/log_math.hpp"
 
@@ -47,9 +48,12 @@ namespace {
 
 /// Memoised recursion for mu. Conditions on the number of items in the
 /// first bucket: i = 1 is an immediate success; any other i leaves the
-/// subproblem (K - i items, s - 1 buckets).
+/// subproblem (K - i items, s - 1 buckets).  The memo is caller-owned so
+/// its fill cost amortises over a whole batch of calls.
 class MuRecursion {
  public:
+  explicit MuRecursion(MuMemo& memo) : memo_(memo.mu) {}
+
   double value(std::int64_t k, int s) {
     NSMODEL_ASSERT(k >= 0 && s >= 1);
     if (k == 0) return 0.0;
@@ -77,13 +81,15 @@ class MuRecursion {
   }
 
  private:
-  std::map<std::pair<std::int64_t, int>, double> memo_;
+  std::map<std::pair<std::int64_t, int>, double>& memo_;
 };
 
 /// Memoised recursion for mu'. Conditions on the (a, b) occupancy of the
 /// first bucket; (a, b) == (1, 0) is an immediate success.
 class MuPrimeRecursion {
  public:
+  explicit MuPrimeRecursion(MuMemo& memo) : memo_(memo.muPrime) {}
+
   double value(std::int64_t k1, std::int64_t k2, int s) {
     NSMODEL_ASSERT(k1 >= 0 && k2 >= 0 && s >= 1);
     if (k1 == 0) return 0.0;
@@ -113,15 +119,28 @@ class MuPrimeRecursion {
   }
 
  private:
-  std::map<std::tuple<std::int64_t, std::int64_t, int>, double> memo_;
+  std::map<std::tuple<std::int64_t, std::int64_t, int>, double>& memo_;
 };
+
+/// Default memo for the memo-less overloads: thread-local so repeated
+/// cross-check calls share their subproblems without any locking.  The
+/// recursions' arguments are small by contract, so unbounded growth is not
+/// a concern.
+MuMemo& threadLocalMemo() {
+  thread_local MuMemo memo;
+  return memo;
+}
 
 }  // namespace
 
 double muRecursive(std::int64_t k, int s) {
+  return muRecursive(k, s, threadLocalMemo());
+}
+
+double muRecursive(std::int64_t k, int s, MuMemo& memo) {
   NSMODEL_CHECK(k >= 0, "muRecursive requires K >= 0");
   NSMODEL_CHECK(s >= 1, "muRecursive requires s >= 1");
-  MuRecursion rec;
+  MuRecursion rec(memo);
   return rec.value(k, s);
 }
 
@@ -153,9 +172,14 @@ double muPrime(std::int64_t k1, std::int64_t k2, int s) {
 }
 
 double muPrimeRecursive(std::int64_t k1, std::int64_t k2, int s) {
+  return muPrimeRecursive(k1, k2, s, threadLocalMemo());
+}
+
+double muPrimeRecursive(std::int64_t k1, std::int64_t k2, int s,
+                        MuMemo& memo) {
   NSMODEL_CHECK(k1 >= 0 && k2 >= 0, "muPrimeRecursive requires K1, K2 >= 0");
   NSMODEL_CHECK(s >= 1, "muPrimeRecursive requires s >= 1");
-  MuPrimeRecursion rec;
+  MuPrimeRecursion rec(memo);
   return rec.value(k1, k2, s);
 }
 
@@ -167,9 +191,10 @@ double muReal(double lambda, int s, RealKPolicy policy) {
       const double lo = std::floor(lambda);
       const double frac = lambda - lo;
       const auto kLo = static_cast<std::int64_t>(lo);
-      const double muLo = mu(kLo, s);
+      MuTable& table = MuTable::global();
+      const double muLo = table.mu(kLo, s);
       if (frac == 0.0) return muLo;
-      const double muHi = mu(kLo + 1, s);
+      const double muHi = table.mu(kLo + 1, s);
       return muLo + frac * (muHi - muLo);
     }
     case RealKPolicy::Poisson: {
@@ -194,11 +219,13 @@ double muPrimeReal(double lambda1, double lambda2, int s, RealKPolicy policy) {
       const auto k2Lo = static_cast<std::int64_t>(std::floor(lambda2));
       const double f1 = lambda1 - static_cast<double>(k1Lo);
       const double f2 = lambda2 - static_cast<double>(k2Lo);
-      const double v00 = muPrime(k1Lo, k2Lo, s);
-      const double v10 = f1 > 0.0 ? muPrime(k1Lo + 1, k2Lo, s) : v00;
-      const double v01 = f2 > 0.0 ? muPrime(k1Lo, k2Lo + 1, s) : v00;
-      const double v11 =
-          (f1 > 0.0 && f2 > 0.0) ? muPrime(k1Lo + 1, k2Lo + 1, s) : v00;
+      MuTable& table = MuTable::global();
+      const double v00 = table.muPrime(k1Lo, k2Lo, s);
+      const double v10 = f1 > 0.0 ? table.muPrime(k1Lo + 1, k2Lo, s) : v00;
+      const double v01 = f2 > 0.0 ? table.muPrime(k1Lo, k2Lo + 1, s) : v00;
+      const double v11 = (f1 > 0.0 && f2 > 0.0)
+                             ? table.muPrime(k1Lo + 1, k2Lo + 1, s)
+                             : v00;
       return (1 - f1) * (1 - f2) * v00 + f1 * (1 - f2) * v10 +
              (1 - f1) * f2 * v01 + f1 * f2 * v11;
     }

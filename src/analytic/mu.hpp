@@ -37,6 +37,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <tuple>
+#include <utility>
 
 namespace nsmodel::analytic {
 
@@ -44,10 +47,20 @@ namespace nsmodel::analytic {
 /// uniformly dropped items.  O(s) closed form.  K >= 0, s >= 1.
 double mu(std::int64_t k, int s);
 
-/// The re-derived Eq. 2 recursion (memoised per call chain). Exponential
-/// state space is avoided by conditioning on the first bucket; complexity
-/// O(K^2 * s).  Intended for cross-checking `mu` in tests.
+/// Caller-owned memo for the cross-check recursions.  Reusing one memo
+/// across a batch of calls turns the O(K^2 s) recursion tree into a table
+/// fill paid once per distinct argument instead of once per call.
+struct MuMemo {
+  std::map<std::pair<std::int64_t, int>, double> mu;
+  std::map<std::tuple<std::int64_t, std::int64_t, int>, double> muPrime;
+};
+
+/// The re-derived Eq. 2 recursion.  Exponential state space is avoided by
+/// conditioning on the first bucket; complexity O(K^2 * s).  Intended for
+/// cross-checking `mu` in tests.  The memo-less overload shares one
+/// thread-local memo across calls.
 double muRecursive(std::int64_t k, int s);
+double muRecursive(std::int64_t k, int s, MuMemo& memo);
 
 /// Carrier-sense variant: probability that at least one bucket holds
 /// exactly one of `k1` type-A items and none of `k2` type-B items.
@@ -55,8 +68,11 @@ double muRecursive(std::int64_t k, int s);
 double muPrime(std::int64_t k1, std::int64_t k2, int s);
 
 /// Recursion for mu' (Eq. A.1, re-derived); cross-check only — complexity
-/// O((K1*K2)^2 * s), keep arguments small.
+/// O((K1*K2)^2 * s), keep arguments small.  The memo-less overload shares
+/// one thread-local memo across calls.
 double muPrimeRecursive(std::int64_t k1, std::int64_t k2, int s);
+double muPrimeRecursive(std::int64_t k1, std::int64_t k2, int s,
+                        MuMemo& memo);
 
 /// How to evaluate mu at a real-valued expected count.
 enum class RealKPolicy {
@@ -64,11 +80,15 @@ enum class RealKPolicy {
   Poisson,      ///< Poisson mixture (closed form)
 };
 
-/// mu at a real argument `lambda` >= 0 under the given policy.
+/// mu at a real argument `lambda` >= 0 under the given policy.  The
+/// Interpolate branch reads the integer-argument values through the
+/// process-wide MuTable (see mu_table.hpp), so sweeps pay the closed form
+/// once per distinct (K, s) rather than once per call.
 double muReal(double lambda, int s, RealKPolicy policy);
 
 /// mu' at real arguments under the given policy (bilinear interpolation
 /// between the four surrounding integer pairs, or the Poisson closed form).
+/// Interpolation reads through the process-wide MuTable.
 double muPrimeReal(double lambda1, double lambda2, int s, RealKPolicy policy);
 
 /// Expected number of slots holding exactly one of the `lambda` expected

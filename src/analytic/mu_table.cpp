@@ -1,0 +1,103 @@
+#include "analytic/mu_table.hpp"
+
+#include <mutex>
+
+#include "analytic/mu.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::analytic {
+
+namespace {
+
+/// Arguments beyond this are served without caching: a dense per-s vector
+/// this long would cost more memory than the recomputation it saves.
+constexpr std::int64_t kDenseLimit = 1 << 21;
+
+}  // namespace
+
+MuTable& MuTable::global() {
+  static MuTable table;
+  return table;
+}
+
+std::size_t MuTable::PrimeKeyHash::operator()(const PrimeKey& key) const {
+  // SplitMix64-style mix of the three fields.
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = mix(static_cast<std::uint64_t>(key.k1));
+  h = mix(h ^ (static_cast<std::uint64_t>(key.k2) + 0x9e3779b97f4a7c15ULL));
+  h = mix(h ^ (static_cast<std::uint64_t>(key.s) + 0x9e3779b97f4a7c15ULL));
+  return static_cast<std::size_t>(h);
+}
+
+double MuTable::mu(std::int64_t k, int s) {
+  NSMODEL_CHECK(k >= 0, "mu requires K >= 0");
+  NSMODEL_CHECK(s >= 1, "mu requires s >= 1");
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled_.load(std::memory_order_relaxed) || k >= kDenseLimit) {
+    computes_.fetch_add(1, std::memory_order_relaxed);
+    return analytic::mu(k, s);
+  }
+
+  const auto sIdx = static_cast<std::size_t>(s);
+  const auto kIdx = static_cast<std::size_t>(k);
+  {
+    std::shared_lock lock(mutex_);
+    if (sIdx < muByS_.size() && kIdx < muByS_[sIdx].size()) {
+      return muByS_[sIdx][kIdx];
+    }
+  }
+
+  std::unique_lock lock(mutex_);
+  if (muByS_.size() <= sIdx) muByS_.resize(sIdx + 1);
+  auto& column = muByS_[sIdx];
+  // Fill densely up to k: interpolating callers walk adjacent integers, so
+  // the intermediate values are about to be requested anyway.
+  column.reserve(kIdx + 1);
+  while (column.size() <= kIdx) {
+    column.push_back(analytic::mu(static_cast<std::int64_t>(column.size()), s));
+    computes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return column[kIdx];
+}
+
+double MuTable::muPrime(std::int64_t k1, std::int64_t k2, int s) {
+  NSMODEL_CHECK(k1 >= 0 && k2 >= 0, "muPrime requires K1, K2 >= 0");
+  NSMODEL_CHECK(s >= 1, "muPrime requires s >= 1");
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    computes_.fetch_add(1, std::memory_order_relaxed);
+    return analytic::muPrime(k1, k2, s);
+  }
+
+  const PrimeKey key{k1, k2, s};
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = primes_.find(key); it != primes_.end()) {
+      return it->second;
+    }
+  }
+
+  // Compute outside any lock (the closed form is pure), then publish; a
+  // racing thread computes the same bits, so first-write-wins is benign.
+  const double value = analytic::muPrime(k1, k2, s);
+  computes_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(mutex_);
+  return primes_.try_emplace(key, value).first->second;
+}
+
+void MuTable::resetCounters() {
+  lookups_.store(0);
+  computes_.store(0);
+}
+
+void MuTable::clear() {
+  std::unique_lock lock(mutex_);
+  muByS_.clear();
+  primes_.clear();
+}
+
+}  // namespace nsmodel::analytic

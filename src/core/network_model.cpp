@@ -65,11 +65,15 @@ sim::RunResult NetworkModel::simulateOnce(double probability,
 sim::MetricAggregate NetworkModel::measure(double probability,
                                            const MetricSpec& spec,
                                            std::uint64_t seed,
-                                           int replications) const {
+                                           int replications,
+                                           sim::ScenarioCache* cache,
+                                           bool parallelReplications) const {
   sim::MonteCarloConfig mc;
   mc.experiment = experimentConfig();
   mc.seed = seed;
   mc.replications = replications;
+  mc.cache = cache;
+  mc.parallel = parallelReplications;
   const auto factory = [probability] {
     return std::make_unique<protocols::ProbabilisticBroadcast>(probability);
   };
@@ -85,8 +89,8 @@ sim::MetricAggregate NetworkModel::measure(double probability,
 
 std::optional<Optimum> NetworkModel::optimize(
     const MetricSpec& spec, const ProbabilityGrid& grid,
-    analytic::RealKPolicy policy) const {
-  return optimizeAnalytic(analyticConfig(0.5, policy), spec, grid);
+    analytic::RealKPolicy policy, bool parallel) const {
+  return optimizeAnalytic(analyticConfig(0.5, policy), spec, grid, parallel);
 }
 
 }  // namespace nsmodel::core

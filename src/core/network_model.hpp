@@ -49,16 +49,27 @@ class NetworkModel {
   sim::RunResult simulateOnce(double probability, std::uint64_t seed,
                               std::uint64_t stream = 0) const;
 
-  /// Monte-Carlo estimate of a metric for PB with probability p.
+  /// Monte-Carlo estimate of a metric for PB with probability p.  An
+  /// optional ScenarioCache shares (deployment, topology) scenarios across
+  /// calls — hand one cache to every p of a sweep and the topologies are
+  /// built once per replication instead of once per (p, replication);
+  /// results are bit-identical either way.  `parallelReplications` fans
+  /// the replications out over the shared thread pool (callers that
+  /// already parallelise across grid points may prefer serial
+  /// replications for coarser task granularity).
   sim::MetricAggregate measure(double probability, const MetricSpec& spec,
-                               std::uint64_t seed,
-                               int replications = 30) const;
+                               std::uint64_t seed, int replications = 30,
+                               sim::ScenarioCache* cache = nullptr,
+                               bool parallelReplications = true) const;
 
-  /// Optimal p for a metric according to the analytical backend.
+  /// Optimal p for a metric according to the analytical backend.  With
+  /// `parallel` the grid fans out over the shared thread pool (the result
+  /// is bit-identical to the serial sweep).
   std::optional<Optimum> optimize(
       const MetricSpec& spec,
       const ProbabilityGrid& grid = ProbabilityGrid::analytic(),
-      analytic::RealKPolicy policy = analytic::RealKPolicy::Interpolate) const;
+      analytic::RealKPolicy policy = analytic::RealKPolicy::Interpolate,
+      bool parallel = false) const;
 
   /// The analytic configuration this model maps to (for advanced use).
   analytic::RingModelConfig analyticConfig(double probability,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace nsmodel::core {
 
@@ -23,37 +24,50 @@ std::vector<double> ProbabilityGrid::values() const {
 
 std::optional<Optimum> optimizeProbability(const ProbabilityEvaluator& eval,
                                            MetricKind kind,
-                                           const ProbabilityGrid& grid) {
+                                           const ProbabilityGrid& grid,
+                                           bool parallel) {
+  const auto points = grid.values();
+  const auto series = sweepProbability(eval, grid, parallel);
+  // Reduce in grid order regardless of evaluation order so tie-breaking
+  // (keep the smaller p) matches the serial sweep exactly.
   std::optional<Optimum> best;
-  for (double p : grid.values()) {
-    const auto value = eval(p);
-    if (!value) continue;
-    if (!best || isBetter(kind, *value, best->value)) {
-      best = Optimum{p, *value};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!series[i]) continue;
+    if (!best || isBetter(kind, *series[i], best->value)) {
+      best = Optimum{points[i], *series[i]};
     }
   }
   return best;
 }
 
 std::vector<std::optional<double>> sweepProbability(
-    const ProbabilityEvaluator& eval, const ProbabilityGrid& grid) {
-  std::vector<std::optional<double>> series;
+    const ProbabilityEvaluator& eval, const ProbabilityGrid& grid,
+    bool parallel) {
   const auto points = grid.values();
-  series.reserve(points.size());
-  for (double p : points) series.push_back(eval(p));
+  std::vector<std::optional<double>> series(points.size());
+  if (parallel) {
+    support::parallelFor(
+        0, points.size(), [&](std::size_t i) { series[i] = eval(points[i]); },
+        /*chunk=*/1);
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      series[i] = eval(points[i]);
+    }
+  }
   return series;
 }
 
 std::optional<Optimum> optimizeAnalytic(const analytic::RingModelConfig& base,
                                         const MetricSpec& spec,
-                                        const ProbabilityGrid& grid) {
+                                        const ProbabilityGrid& grid,
+                                        bool parallel) {
   const auto eval = [&base, &spec](double p) -> std::optional<double> {
     analytic::RingModelConfig config = base;
     config.broadcastProb = p;
     const analytic::RingTrace trace = analytic::RingModel(config).run();
     return evaluateMetric(spec, trace);
   };
-  return optimizeProbability(eval, spec.kind, grid);
+  return optimizeProbability(eval, spec.kind, grid, parallel);
 }
 
 }  // namespace nsmodel::core

@@ -45,19 +45,31 @@ struct Optimum {
 
 /// Sweeps the grid and returns the best feasible point, or nullopt when no
 /// grid point is feasible. Ties keep the smaller probability (cheaper).
+/// With `parallel` the grid points are evaluated concurrently on the
+/// shared thread pool; the reduction still walks the grid in order, so the
+/// winner (including tie-breaks) is bit-identical to the serial sweep.
+/// The evaluator must then be safe to call concurrently.
 std::optional<Optimum> optimizeProbability(const ProbabilityEvaluator& eval,
                                            MetricKind kind,
-                                           const ProbabilityGrid& grid);
+                                           const ProbabilityGrid& grid,
+                                           bool parallel = false);
 
 /// Full sweep: objective value per grid point (nullopt where infeasible),
-/// for callers reproducing the paper's per-p series.
+/// for callers reproducing the paper's per-p series.  With `parallel` the
+/// points fan out over the shared thread pool (each point's result lands
+/// in its own slot, so the series is bit-identical to the serial sweep);
+/// the evaluator must then be safe to call concurrently.
 std::vector<std::optional<double>> sweepProbability(
-    const ProbabilityEvaluator& eval, const ProbabilityGrid& grid);
+    const ProbabilityEvaluator& eval, const ProbabilityGrid& grid,
+    bool parallel = false);
 
 /// Convenience: optimize a metric on the analytic framework. `base` fixes
-/// everything except broadcastProb.
+/// everything except broadcastProb.  The analytic evaluator is pure (mu
+/// lookups go through the thread-safe MuTable), so `parallel` is always
+/// safe here.
 std::optional<Optimum> optimizeAnalytic(const analytic::RingModelConfig& base,
                                         const MetricSpec& spec,
-                                        const ProbabilityGrid& grid);
+                                        const ProbabilityGrid& grid,
+                                        bool parallel = false);
 
 }  // namespace nsmodel::core

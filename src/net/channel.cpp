@@ -1,5 +1,7 @@
 #include "net/channel.hpp"
 
+#include <utility>
+
 #include "support/error.hpp"
 
 namespace nsmodel::net {
@@ -18,62 +20,135 @@ const char* channelModelName(ChannelModel model) {
 
 namespace {
 
-/// Epoch-stamped per-node counters reused across slots without clearing.
-class StampedCounts {
+/// Per-node reception count and sender for one slot, packed into one
+/// 32-bit word: count in the low half, the XOR of all bumping senders in
+/// the high half.  The bump loop — the innermost loop of every slot
+/// resolution, one random-indexed access per (transmitter, neighbour)
+/// pair — is then a branchless load/add/xor/store, and the whole table is
+/// 4 bytes per node, small enough to stay L1-resident while the
+/// neighbour lists stream through the cache.  The XOR trick works because
+/// the sender is only ever read back when the final count is exactly 1,
+/// and the XOR of a single sender is that sender.
+/// Entries are cleared by walking the touched list after the slot.
+/// Invariant between slots: all entries are zero.
+class SlotCounts {
  public:
-  void reset(std::size_t n) {
-    if (counts_.size() != n) {
-      counts_.assign(n, 0);
-      stamps_.assign(n, 0);
-      lastSender_.assign(n, kNoNode);
-      epoch_ = 0;
+  void ensure(std::size_t n) {
+    // NodeId and the per-slot count must both fit 16 bits.
+    NSMODEL_CHECK(n <= 0xFFFF,
+                  "collision-aware channels support at most 65535 nodes");
+    if (entries_.size() != n) {
+      entries_.assign(n, 0);
+      touched_.resize(n);  // every node can be touched at most once
     }
-    ++epoch_;
-    touched_.clear();
   }
 
-  void bump(NodeId node, NodeId sender) {
-    if (stamps_[node] != epoch_) {
-      stamps_[node] = epoch_;
-      counts_[node] = 0;
-      touched_.push_back(node);
+  /// Bumps every node in `ids`.  Members are hoisted into locals for the
+  /// duration of the loop: the entry stores could otherwise alias the
+  /// size_t touched counter under type-based aliasing, forcing the
+  /// compiler to reload it (and the data pointers) on every iteration of
+  /// the hottest loop in the simulator.
+  void bumpMany(const NodeId* ids, std::size_t m, NodeId sender) {
+    std::uint32_t* entries = entries_.data();
+    NodeId* touched = touched_.data();
+    std::size_t tc = touchedCount_;
+    const std::uint32_t senderBits = static_cast<std::uint32_t>(sender) << 16;
+    for (std::size_t i = 0; i < m; ++i) {
+      const NodeId node = ids[i];
+      const std::uint32_t e = entries[node];
+      touched[tc] = node;  // kept only when this is a first touch
+      tc += static_cast<std::size_t>(static_cast<std::uint16_t>(e) == 0);
+      // A node is never its own neighbour, so the count stays below
+      // 0xFFFF and the +1 cannot carry into the sender half.
+      entries[node] = (e + 1) ^ senderBits;
     }
-    ++counts_[node];
-    lastSender_[node] = sender;
+    touchedCount_ = tc;
   }
 
-  std::uint32_t count(NodeId node) const {
-    return stamps_[node] == epoch_ ? counts_[node] : 0;
+  /// Reads and zeroes `node`'s entry in one cache-line visit.  The
+  /// delivery loop consumes each touched entry exactly once, so clearing
+  /// inline halves the random accesses versus a separate clear pass.
+  std::uint32_t take(NodeId node) {
+    const std::uint32_t e = entries_[node];
+    entries_[node] = 0;
+    return e;
+  }
+  static std::uint32_t entryCount(std::uint32_t e) { return e & 0xFFFF; }
+  static NodeId entrySender(std::uint32_t e) {
+    return static_cast<NodeId>(e >> 16);
   }
 
-  NodeId sender(NodeId node) const { return lastSender_[node]; }
+  const NodeId* touched() const { return touched_.data(); }
+  std::size_t touchedCount() const { return touchedCount_; }
 
-  const std::vector<NodeId>& touched() const { return touched_; }
+  /// Forgets the touched list; the entries must all have been take()n.
+  void resetTouched() { touchedCount_ = 0; }
 
  private:
-  std::vector<std::uint32_t> counts_;
-  std::vector<std::uint64_t> stamps_;
-  std::vector<NodeId> lastSender_;
+  std::vector<std::uint32_t> entries_;
   std::vector<NodeId> touched_;
-  std::uint64_t epoch_ = 0;
+  std::size_t touchedCount_ = 0;
 };
 
-/// Epoch-stamped membership set for "is this node transmitting".
-class StampedSet {
+/// "Is this node transmitting" as byte flags set from and cleared by the
+/// (short) transmitter list.  Invariant between slots: all flags clear.
+class TxFlags {
  public:
-  void reset(std::size_t n) {
-    if (stamps_.size() != n) {
-      stamps_.assign(n, 0);
-      epoch_ = 0;
-    }
-    ++epoch_;
+  void ensure(std::size_t n) {
+    if (flags_.size() != n) flags_.assign(n, 0);
   }
-  void add(NodeId node) { stamps_[node] = epoch_; }
-  bool contains(NodeId node) const { return stamps_[node] == epoch_; }
+  void set(const std::vector<NodeId>& txs) {
+    for (NodeId tx : txs) flags_[tx] = 1;
+  }
+  bool contains(NodeId node) const { return flags_[node] != 0; }
+  void clear(const std::vector<NodeId>& txs) {
+    for (NodeId tx : txs) flags_[tx] = 0;
+  }
 
  private:
-  std::vector<std::uint64_t> stamps_;
-  std::uint64_t epoch_ = 0;
+  std::vector<std::uint8_t> flags_;
+};
+
+/// Count-only variant of SlotCounts for the carrier-sense tally, whose
+/// sender is never read.
+class SlotTally {
+ public:
+  void ensure(std::size_t n) {
+    NSMODEL_CHECK(n <= 0xFFFF,
+                  "collision-aware channels support at most 65535 nodes");
+    if (counts_.size() != n) {
+      counts_.assign(n, 0);
+      touched_.resize(n);
+    }
+  }
+
+  /// Bumps every node in `ids` (see SlotCounts::bumpMany for why the
+  /// members are hoisted into locals).
+  void bumpMany(const NodeId* ids, std::size_t m) {
+    std::uint16_t* counts = counts_.data();
+    NodeId* touched = touched_.data();
+    std::size_t tc = touchedCount_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const NodeId node = ids[i];
+      const std::uint16_t c = counts[node];
+      touched[tc] = node;
+      tc += static_cast<std::size_t>(c == 0);
+      counts[node] = static_cast<std::uint16_t>(c + 1);
+    }
+    touchedCount_ = tc;
+  }
+
+  std::uint32_t count(NodeId node) const { return counts_[node]; }
+
+  void clear() {
+    for (std::size_t i = 0; i < touchedCount_; ++i) counts_[touched_[i]] = 0;
+    touchedCount_ = 0;
+  }
+
+ private:
+  std::vector<std::uint16_t> counts_;
+  std::vector<NodeId> touched_;
+  std::size_t touchedCount_ = 0;
 };
 
 class CollisionFreeChannel final : public Channel {
@@ -101,28 +176,54 @@ class CollisionAwareChannel final : public Channel {
   SlotOutcome resolveSlot(const Topology& topology,
                           const std::vector<NodeId>& transmitters,
                           const DeliverFn& deliver) override {
-    inRange_.reset(topology.nodeCount());
-    txSet_.reset(topology.nodeCount());
-    for (NodeId tx : transmitters) txSet_.add(tx);
-    for (NodeId tx : transmitters) {
-      for (NodeId nb : topology.neighbors(tx)) inRange_.bump(nb, tx);
-    }
     SlotOutcome outcome;
-    for (NodeId receiver : inRange_.touched()) {
-      if (txSet_.contains(receiver)) continue;  // half duplex
-      if (inRange_.count(receiver) == 1) {
-        deliver(receiver, inRange_.sender(receiver));
+    if (transmitters.size() == 1) {
+      // Sole transmitter: every neighbour hears exactly one packet and
+      // cannot itself be transmitting, so the counting pass reduces to
+      // direct delivery in neighbour order — the order it would produce.
+      const NodeId tx = transmitters.front();
+      for (NodeId nb : topology.neighbors(tx)) {
+        deliver(nb, tx);
         ++outcome.deliveries;
+      }
+      return outcome;
+    }
+    inRange_.ensure(topology.nodeCount());
+    txFlags_.ensure(topology.nodeCount());
+    txFlags_.set(transmitters);
+    for (NodeId tx : transmitters) {
+      const std::vector<NodeId>& nbs = topology.neighbors(tx);
+      inRange_.bumpMany(nbs.data(), nbs.size(), tx);
+    }
+    const NodeId* touched = inRange_.touched();
+    const std::size_t touchedCount = inRange_.touchedCount();
+    // Collect successes first, then invoke the callback in a separate
+    // loop: the opaque call would otherwise force the compiler to spill
+    // and reload the loop state around every delivery inside the
+    // random-access scan.  The delivery order is unchanged.
+    pairs_.clear();
+    pairs_.reserve(touchedCount);
+    for (std::size_t i = 0; i < touchedCount; ++i) {
+      const NodeId receiver = touched[i];
+      const std::uint32_t e = inRange_.take(receiver);  // read + clear
+      if (txFlags_.contains(receiver)) continue;  // half duplex
+      if (SlotCounts::entryCount(e) == 1) {
+        pairs_.emplace_back(receiver, SlotCounts::entrySender(e));
       } else {
         ++outcome.lostReceivers;
       }
     }
+    for (const auto& [receiver, sender] : pairs_) deliver(receiver, sender);
+    outcome.deliveries = pairs_.size();
+    inRange_.resetTouched();
+    txFlags_.clear(transmitters);
     return outcome;
   }
 
  private:
-  StampedCounts inRange_;
-  StampedSet txSet_;
+  SlotCounts inRange_;
+  TxFlags txFlags_;
+  std::vector<std::pair<NodeId, NodeId>> pairs_;  // (receiver, sender)
 };
 
 class CarrierSenseChannel final : public Channel {
@@ -137,35 +238,58 @@ class CarrierSenseChannel final : public Channel {
     NSMODEL_CHECK(topology.hasCarrierSense(),
                   "CarrierSenseChannel needs a topology built with a "
                   "carrier-sense factor");
-    inRange_.reset(topology.nodeCount());
-    inSense_.reset(topology.nodeCount());
-    txSet_.reset(topology.nodeCount());
-    for (NodeId tx : transmitters) txSet_.add(tx);
-    for (NodeId tx : transmitters) {
-      for (NodeId nb : topology.neighbors(tx)) inRange_.bump(nb, tx);
-      for (NodeId nb : topology.carrierSenseNeighbors(tx)) {
-        inSense_.bump(nb, tx);
-      }
-    }
     SlotOutcome outcome;
-    for (NodeId receiver : inRange_.touched()) {
-      if (txSet_.contains(receiver)) continue;  // half duplex
+    if (transmitters.size() == 1) {
+      // Sole transmitter: the cs-disk contains the transmission disk, so
+      // every in-range neighbour senses exactly that one transmitter.
+      const NodeId tx = transmitters.front();
+      for (NodeId nb : topology.neighbors(tx)) {
+        deliver(nb, tx);
+        ++outcome.deliveries;
+      }
+      return outcome;
+    }
+    inRange_.ensure(topology.nodeCount());
+    inSense_.ensure(topology.nodeCount());
+    txFlags_.ensure(topology.nodeCount());
+    txFlags_.set(transmitters);
+    for (NodeId tx : transmitters) {
+      const std::vector<NodeId>& nbs = topology.neighbors(tx);
+      inRange_.bumpMany(nbs.data(), nbs.size(), tx);
+      const std::vector<NodeId>& cs = topology.carrierSenseNeighbors(tx);
+      inSense_.bumpMany(cs.data(), cs.size());
+    }
+    const NodeId* touched = inRange_.touched();
+    const std::size_t touchedCount = inRange_.touchedCount();
+    // See CollisionAwareChannel: buffer successes, call back in a second
+    // loop so the scan itself is call-free.
+    pairs_.clear();
+    pairs_.reserve(touchedCount);
+    for (std::size_t i = 0; i < touchedCount; ++i) {
+      const NodeId receiver = touched[i];
+      const std::uint32_t e = inRange_.take(receiver);  // read + clear
+      if (txFlags_.contains(receiver)) continue;  // half duplex
       // The cs-disk contains the transmission disk, so inSense >= inRange;
       // success needs the sole cs-range transmitter to be in range.
-      if (inRange_.count(receiver) == 1 && inSense_.count(receiver) == 1) {
-        deliver(receiver, inRange_.sender(receiver));
-        ++outcome.deliveries;
+      if (SlotCounts::entryCount(e) == 1 && inSense_.count(receiver) == 1) {
+        pairs_.emplace_back(receiver, SlotCounts::entrySender(e));
       } else {
         ++outcome.lostReceivers;
       }
     }
+    for (const auto& [receiver, sender] : pairs_) deliver(receiver, sender);
+    outcome.deliveries = pairs_.size();
+    inRange_.resetTouched();
+    inSense_.clear();
+    txFlags_.clear(transmitters);
     return outcome;
   }
 
  private:
-  StampedCounts inRange_;
-  StampedCounts inSense_;
-  StampedSet txSet_;
+  SlotCounts inRange_;
+  SlotTally inSense_;
+  TxFlags txFlags_;
+  std::vector<std::pair<NodeId, NodeId>> pairs_;  // (receiver, sender)
 };
 
 }  // namespace

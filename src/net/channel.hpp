@@ -17,8 +17,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -43,8 +43,29 @@ struct SlotOutcome {
                                   ///< nothing (collision victims)
 };
 
-/// Callback invoked for each successful delivery.
-using DeliverFn = std::function<void(NodeId receiver, NodeId sender)>;
+/// Callback invoked for each successful delivery.  A non-owning
+/// context + function-pointer pair rather than std::function: deliveries
+/// number ~10^7 per sweep, and the callback never outlives the
+/// resolveSlot call that receives it.
+class DeliverFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, DeliverFn>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mimics std::function.
+  DeliverFn(const F& fn)
+      : ctx_(&fn), call_([](const void* ctx, NodeId receiver, NodeId sender) {
+          (*static_cast<const F*>(ctx))(receiver, sender);
+        }) {}
+
+  void operator()(NodeId receiver, NodeId sender) const {
+    call_(ctx_, receiver, sender);
+  }
+
+ private:
+  const void* ctx_;
+  void (*call_)(const void*, NodeId, NodeId);
+};
 
 /// Abstract slot-resolution interface. Implementations keep reusable
 /// scratch buffers, so a channel instance is not thread-safe; use one per

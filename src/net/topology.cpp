@@ -42,17 +42,6 @@ double Topology::carrierSenseRange() const {
   return csRange_;
 }
 
-const std::vector<NodeId>& Topology::neighbors(NodeId id) const {
-  NSMODEL_CHECK(id < neighbors_.size(), "node id out of range");
-  return neighbors_[id];
-}
-
-const std::vector<NodeId>& Topology::carrierSenseNeighbors(NodeId id) const {
-  NSMODEL_CHECK(hasCarrierSense(), "carrier sensing not configured");
-  NSMODEL_CHECK(id < csNeighbors_.size(), "node id out of range");
-  return csNeighbors_[id];
-}
-
 double Topology::averageDegree() const {
   if (neighbors_.empty()) return 0.0;
   std::size_t total = 0;

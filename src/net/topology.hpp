@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/deployment.hpp"
+#include "support/error.hpp"
 
 namespace nsmodel::net {
 
@@ -22,13 +23,21 @@ class Topology {
   bool hasCarrierSense() const { return !csNeighbors_.empty(); }
   double carrierSenseRange() const;
 
-  /// Nodes within `range` of `id`, excluding `id` itself.
-  const std::vector<NodeId>& neighbors(NodeId id) const;
+  /// Nodes within `range` of `id`, excluding `id` itself.  Inline: this
+  /// sits on the per-transmitter path of every slot resolution.
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    NSMODEL_CHECK(id < neighbors_.size(), "node id out of range");
+    return neighbors_[id];
+  }
 
   /// Nodes within the carrier-sense range of `id`, excluding `id`;
   /// requires hasCarrierSense(). Includes the transmission-range
   /// neighbours (it is the full cs-disk, not the annulus).
-  const std::vector<NodeId>& carrierSenseNeighbors(NodeId id) const;
+  const std::vector<NodeId>& carrierSenseNeighbors(NodeId id) const {
+    NSMODEL_CHECK(hasCarrierSense(), "carrier sensing not configured");
+    NSMODEL_CHECK(id < csNeighbors_.size(), "node id out of range");
+    return csNeighbors_[id];
+  }
 
   /// Average number of neighbours (the empirical rho).
   double averageDegree() const;

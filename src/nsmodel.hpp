@@ -26,6 +26,7 @@
 // Analytical framework: mu / mu', the Eq. 4 recursion, Fig. 12 estimator.
 #include "analytic/mu.hpp"
 #include "analytic/mu_literal.hpp"
+#include "analytic/mu_table.hpp"
 #include "analytic/ring_model.hpp"
 #include "analytic/success_rate.hpp"
 
@@ -58,6 +59,7 @@
 #include "sim/monte_carlo.hpp"
 #include "sim/reliable.hpp"
 #include "sim/run_result.hpp"
+#include "sim/scenario_cache.hpp"
 #include "sim/trace_export.hpp"
 
 // The abstract network model, metrics, and optimizer.

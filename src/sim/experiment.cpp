@@ -1,10 +1,11 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "des/engine.hpp"
+#include "sim/scenario_cache.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::sim {
@@ -31,12 +32,17 @@ struct RunState {
   net::EnergyLedger* ledger;
   des::Engine engine;
 
-  std::vector<bool> received;
-  std::vector<bool> cancelled;               // pending tx withdrawn
-  std::vector<bool> hasPending;              // tx scheduled, not yet fired
+  // Byte flags, not vector<bool>: read once per delivery in the hot loop.
+  std::vector<std::uint8_t> received;
+  std::vector<std::uint8_t> cancelled;       // pending tx withdrawn
+  std::vector<std::uint8_t> hasPending;      // tx scheduled, not yet fired
   std::vector<std::uint32_t> deathPhase;     // first phase a node is dead
                                              // (empty = no failures)
-  std::unordered_map<std::uint64_t, std::vector<net::NodeId>> pendingBySlot;
+  // Slot-indexed pending-transmitter lists, grown lazily up to maxSlot.
+  // Flat indexing beats a hash map here: scheduleTransmission runs once
+  // per reception that decides to rebroadcast.
+  std::vector<std::vector<net::NodeId>> pendingBySlot;
+  std::vector<net::NodeId> transmitters;  // per-slot scratch, reused
 
   std::vector<std::uint64_t> receptionSlots;
   std::vector<std::int64_t> receptionSlotByNode;
@@ -56,15 +62,20 @@ struct RunState {
 
   void scheduleTransmission(net::NodeId node, std::uint64_t slot) {
     if (slot >= maxSlot) return;  // beyond the horizon; drop silently
-    auto [it, isNew] = pendingBySlot.try_emplace(slot);
-    it->second.push_back(node);
-    hasPending[node] = true;
-    cancelled[node] = false;
-    if (isNew) {
-      // One resolver event per active slot, firing mid-slot.
+    if (pendingBySlot.size() <= slot) {
+      pendingBySlot.resize(static_cast<std::size_t>(slot) + 1);
+    }
+    std::vector<net::NodeId>& pending = pendingBySlot[slot];
+    if (pending.empty()) {
+      // One resolver event per active slot, firing mid-slot.  Resolved
+      // slots are never re-activated: transmissions are only scheduled
+      // into later phases than the delivery that triggers them.
       engine.scheduleAt(static_cast<des::Time>(slot) + 0.5,
                         [this, slot] { resolveSlot(slot); });
     }
+    pending.push_back(node);
+    hasPending[node] = true;
+    cancelled[node] = false;
   }
 
   bool isDead(net::NodeId node, std::uint64_t slot) const {
@@ -75,17 +86,16 @@ struct RunState {
   }
 
   void resolveSlot(std::uint64_t slot) {
-    auto it = pendingBySlot.find(slot);
-    NSMODEL_ASSERT(it != pendingBySlot.end());
-    std::vector<net::NodeId> transmitters;
-    transmitters.reserve(it->second.size());
-    for (net::NodeId node : it->second) {
+    std::vector<net::NodeId>& pending = pendingBySlot[slot];
+    NSMODEL_ASSERT(!pending.empty());
+    transmitters.clear();
+    for (net::NodeId node : pending) {
       if (!cancelled[node] && !isDead(node, slot)) {
         transmitters.push_back(node);
       }
       hasPending[node] = false;
     }
-    pendingBySlot.erase(it);
+    pending.clear();
     if (transmitters.empty()) return;
 
     PhaseObservation& obs = phaseOf(slot);
@@ -167,6 +177,9 @@ RunResult runBroadcast(const ExperimentConfig& config,
                                    RunResult::kNeverReceived);
   state.cancelled.assign(deployment.nodeCount(), false);
   state.hasPending.assign(deployment.nodeCount(), false);
+  // Each node receives first and transmits at most once per run.
+  state.receptionSlots.reserve(deployment.nodeCount());
+  state.transmissionSlots.reserve(deployment.nodeCount());
   state.maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
                   static_cast<std::uint64_t>(config.slotsPerPhase);
   NSMODEL_CHECK(config.nodeFailureRate >= 0.0 && config.nodeFailureRate < 1.0,
@@ -209,16 +222,31 @@ RunResult runBroadcast(const ExperimentConfig& config,
 RunResult runExperiment(const ExperimentConfig& config,
                         const protocols::ProtocolFactory& makeProtocol,
                         std::uint64_t seed, std::uint64_t stream) {
-  support::Rng rng = support::Rng::forStream(seed, stream);
-  const net::Deployment deployment = net::Deployment::paperDisk(
-      rng, config.rings, config.ringWidth, config.neighborDensity);
-  const double csFactor =
-      config.channel == net::ChannelModel::CarrierSenseAware ? config.csFactor
-                                                             : 0.0;
-  const net::Topology topology(deployment, config.ringWidth, csFactor);
+  const Scenario scenario =
+      buildScenario(ScenarioKey::forExperiment(config, seed, stream));
+  support::Rng rng = scenario.protocolRng;
   auto protocol = makeProtocol();
   NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
-  return runBroadcast(config, deployment, topology, *protocol, rng, nullptr);
+  return runBroadcast(config, scenario.deployment, scenario.topology,
+                      *protocol, rng, nullptr);
+}
+
+RunResult runExperiment(const ExperimentConfig& config,
+                        const protocols::ProtocolFactory& makeProtocol,
+                        std::uint64_t seed, std::uint64_t stream,
+                        ScenarioCache* cache) {
+  if (cache == nullptr) {
+    return runExperiment(config, makeProtocol, seed, stream);
+  }
+  const auto scenario =
+      cache->getOrBuild(ScenarioKey::forExperiment(config, seed, stream));
+  // Continue the replication's stream from the post-deployment state, as
+  // the uncached path would after drawing the same deployment.
+  support::Rng rng = scenario->protocolRng;
+  auto protocol = makeProtocol();
+  NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
+  return runBroadcast(config, scenario->deployment, scenario->topology,
+                      *protocol, rng, nullptr);
 }
 
 }  // namespace nsmodel::sim

@@ -67,4 +67,16 @@ RunResult runExperiment(const ExperimentConfig& config,
                         const protocols::ProtocolFactory& makeProtocol,
                         std::uint64_t seed, std::uint64_t stream);
 
+class ScenarioCache;
+
+/// As above, but resolves the (deployment, topology, post-deployment RNG)
+/// scenario through `cache` so sweeps that revisit the same (seed, stream,
+/// deployment, channel) — e.g. every point of a p-grid — build it once.
+/// Bit-identical to the uncached overload (see scenario_cache.hpp); a null
+/// cache falls back to it.
+RunResult runExperiment(const ExperimentConfig& config,
+                        const protocols::ProtocolFactory& makeProtocol,
+                        std::uint64_t seed, std::uint64_t stream,
+                        ScenarioCache* cache);
+
 }  // namespace nsmodel::sim

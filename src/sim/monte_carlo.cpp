@@ -30,8 +30,8 @@ std::vector<MetricAggregate> monteCarlo(
   const auto reps = static_cast<std::size_t>(config.replications);
   std::vector<std::vector<double>> samples(reps);
   forEachReplication(config, [&](std::size_t rep) {
-    const RunResult result =
-        runExperiment(config.experiment, makeProtocol, config.seed, rep);
+    const RunResult result = runExperiment(config.experiment, makeProtocol,
+                                           config.seed, rep, config.cache);
     samples[rep] = extract(result);
   });
 
@@ -61,8 +61,8 @@ std::vector<RunResult> runReplications(
   const auto reps = static_cast<std::size_t>(config.replications);
   std::vector<std::optional<RunResult>> slots(reps);
   forEachReplication(config, [&](std::size_t rep) {
-    slots[rep] =
-        runExperiment(config.experiment, makeProtocol, config.seed, rep);
+    slots[rep] = runExperiment(config.experiment, makeProtocol, config.seed,
+                               rep, config.cache);
   });
   std::vector<RunResult> results;
   results.reserve(reps);

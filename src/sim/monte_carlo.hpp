@@ -20,6 +20,10 @@ struct MonteCarloConfig {
   std::uint64_t seed = 42;    ///< master seed; replication k uses stream k
   int replications = 30;      ///< the paper averages over 30 random runs
   bool parallel = true;       ///< fan out over the shared thread pool
+  /// Optional sweep-level scenario cache (see scenario_cache.hpp); when
+  /// set, replications reuse cached (deployment, topology) scenarios and
+  /// stay bit-identical to the uncached path.  Null = build from scratch.
+  ScenarioCache* cache = nullptr;
 };
 
 /// Aggregate of one metric over the replications. Metrics may be undefined

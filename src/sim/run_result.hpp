@@ -75,6 +75,10 @@ class RunResult {
   /// reception, duplicates included (the Fig. 12 success rate).
   double averageSuccessRate() const;
 
+  /// Raw (sender, neighbour) pair counts behind averageSuccessRate().
+  std::uint64_t attemptedPairs() const { return attemptedPairs_; }
+  std::uint64_t deliveredPairs() const { return deliveredPairs_; }
+
  private:
   std::size_t nodeCount_;
   int slotsPerPhase_;

@@ -1,0 +1,98 @@
+#include "sim/scenario_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "net/channel.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+std::atomic<std::uint64_t> topologyBuilds{0};
+
+}  // namespace
+
+ScenarioKey ScenarioKey::forExperiment(const ExperimentConfig& config,
+                                       std::uint64_t seed,
+                                       std::uint64_t stream) {
+  ScenarioKey key;
+  key.seed = seed;
+  key.stream = stream;
+  key.rings = config.rings;
+  key.ringWidth = config.ringWidth;
+  key.neighborDensity = config.neighborDensity;
+  key.csFactor = config.channel == net::ChannelModel::CarrierSenseAware
+                     ? config.csFactor
+                     : 0.0;
+  return key;
+}
+
+std::size_t ScenarioKeyHash::operator()(const ScenarioKey& key) const {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 27);
+  };
+  std::uint64_t h = mix(0x8d1ce4e5b9ULL, key.seed);
+  h = mix(h, key.stream);
+  h = mix(h, static_cast<std::uint64_t>(key.rings));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.ringWidth));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.neighborDensity));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.csFactor));
+  return static_cast<std::size_t>(h);
+}
+
+Scenario buildScenario(const ScenarioKey& key) {
+  support::Rng rng = support::Rng::forStream(key.seed, key.stream);
+  net::Deployment deployment = net::Deployment::paperDisk(
+      rng, key.rings, key.ringWidth, key.neighborDensity);
+  net::Topology topology(deployment, key.ringWidth, key.csFactor);
+  topologyBuilds.fetch_add(1, std::memory_order_relaxed);
+  return Scenario{std::move(deployment), std::move(topology), rng};
+}
+
+ScenarioCache::ScenarioPtr ScenarioCache::getOrBuild(const ScenarioKey& key) {
+  std::promise<ScenarioPtr> promise;
+  std::shared_future<ScenarioPtr> future;
+  bool builder = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      future = it->second;
+    } else {
+      builder = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+    }
+  }
+  if (builder) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      promise.set_value(std::make_shared<const Scenario>(buildScenario(key)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future.get();  // blocks until the building thread publishes
+}
+
+std::size_t ScenarioCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void ScenarioCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+std::uint64_t topologyBuildCount() {
+  return topologyBuilds.load(std::memory_order_relaxed);
+}
+
+void resetTopologyBuildCount() { topologyBuilds.store(0); }
+
+}  // namespace nsmodel::sim

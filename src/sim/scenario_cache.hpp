@@ -1,0 +1,111 @@
+// Sweep-level memoization of simulation scenarios.
+//
+// A figure sweep evaluates every broadcast probability p of a grid at the
+// same densities and seeds, but the (deployment, topology) pair a
+// replication runs on depends only on (seed, stream, rings, ringWidth,
+// neighborDensity, csFactor) — not on p or the protocol.  The uncached
+// harness therefore rebuilds the same disk deployment and the same
+// O(n * degree) neighbour tables |p-grid| times per replication; profiled
+// on the paper's grids the topology build is ~85% of a full simSweep.
+// ScenarioCache builds each scenario once and shares it across the whole
+// p-axis, turning |p-grid| x reps builds into reps.
+//
+// Determinism: the cache stores the RNG state as it was immediately after
+// the deployment draw, and every cached run starts its protocol randomness
+// from a copy of that state — exactly the state the uncached path reaches
+// after drawing the same deployment.  Cached and uncached runs are
+// therefore bit-identical, replication by replication.
+//
+// Concurrency: entries are shared_futures keyed under one mutex, so when
+// several sweep workers request the same scenario simultaneously exactly
+// one builds it and the rest block on the future.  The Scenario itself is
+// immutable after construction and shared by const pointer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "sim/experiment.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::sim {
+
+/// Everything a paper-deployment scenario depends on.  csFactor is the
+/// *effective* factor: 0 unless the channel carrier-senses (matching
+/// runExperiment's topology construction).
+struct ScenarioKey {
+  std::uint64_t seed = 0;
+  std::uint64_t stream = 0;
+  int rings = 0;
+  double ringWidth = 0.0;
+  double neighborDensity = 0.0;
+  double csFactor = 0.0;
+
+  bool operator==(const ScenarioKey&) const = default;
+
+  /// The key runExperiment(config, ..., seed, stream) resolves to.
+  static ScenarioKey forExperiment(const ExperimentConfig& config,
+                                   std::uint64_t seed, std::uint64_t stream);
+};
+
+struct ScenarioKeyHash {
+  std::size_t operator()(const ScenarioKey& key) const;
+};
+
+/// One immutable, shareable scenario: the drawn deployment, its neighbour
+/// tables, and the RNG state a run must continue from.
+struct Scenario {
+  net::Deployment deployment;
+  net::Topology topology;
+  support::Rng protocolRng;  ///< RNG state right after the deployment draw
+};
+
+/// Draws the scenario for `key` from scratch (the uncached construction
+/// path; also counts towards topologyBuildCount()).
+Scenario buildScenario(const ScenarioKey& key);
+
+/// Thread-safe memo of scenarios, meant to live for the duration of one
+/// sweep (or longer — entries are never evicted).
+class ScenarioCache {
+ public:
+  using ScenarioPtr = std::shared_ptr<const Scenario>;
+
+  ScenarioCache() = default;
+  ScenarioCache(const ScenarioCache&) = delete;
+  ScenarioCache& operator=(const ScenarioCache&) = delete;
+
+  /// Returns the scenario for `key`, building it on first request.  Safe
+  /// to call concurrently; concurrent requests for one key build once.
+  ScenarioPtr getOrBuild(const ScenarioKey& key);
+
+  /// Distinct scenarios built (== misses()).
+  std::size_t size() const;
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+  /// Drops every entry (counters are left untouched).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<ScenarioKey, std::shared_future<ScenarioPtr>,
+                     ScenarioKeyHash>
+      entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Process-wide count of topology constructions performed by
+/// buildScenario (both the cached and uncached runExperiment paths go
+/// through it).  Feeds the BENCH_sweep.json perf report.
+std::uint64_t topologyBuildCount();
+void resetTopologyBuildCount();
+
+}  // namespace nsmodel::sim

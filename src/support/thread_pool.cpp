@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 #include "support/error.hpp"
 
@@ -44,6 +45,50 @@ void ThreadPool::workerLoop() {
   }
 }
 
+namespace {
+
+/// Shared state of one parallelFor invocation.  Kept alive by shared_ptr
+/// because late-starting helper tasks may outlive the caller's wait (they
+/// find no chunk left and return without touching `body`).
+struct ParallelForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::size_t totalChunks = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> nextChunk{0};
+  std::atomic<std::size_t> doneChunks{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr error;  // first exception; guarded by mutex
+
+  /// Claims and runs chunks until none are left.  Run by both the pool
+  /// helpers and the calling thread itself — the caller always makes
+  /// progress on its own loop, so parallelFor may be nested (an inner
+  /// call from a pool worker cannot deadlock waiting for a saturated
+  /// pool: the worker drains its own chunks).
+  void drain() {
+    for (;;) {
+      const std::size_t c = nextChunk.fetch_add(1);
+      if (c >= totalChunks) return;
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+      } catch (...) {
+        std::lock_guard lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (doneChunks.fetch_add(1) + 1 == totalChunks) {
+        std::lock_guard lock(mutex);  // pair with the waiter's predicate
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& body,
                  std::size_t chunk) {
@@ -55,24 +100,29 @@ void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
     chunk = std::max<std::size_t>(1, n / std::max<std::size_t>(1, target));
   }
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(n / chunk + 1);
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
-  }
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->totalChunks = (n + chunk - 1) / chunk;
+  state->body = &body;
 
-  std::exception_ptr first;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first) first = std::current_exception();
-    }
+  // The caller participates, so only totalChunks - 1 helpers can ever be
+  // useful.  Helpers that start after every chunk is claimed exit without
+  // dereferencing `body`, so abandoning their futures is safe.
+  const std::size_t helpers =
+      std::min(pool.size(), state->totalChunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool.submit([state] { state->drain(); });
   }
-  if (first) std::rethrow_exception(first);
+  state->drain();
+  {
+    std::unique_lock lock(state->mutex);
+    state->done.wait(lock, [&] {
+      return state->doneChunks.load() == state->totalChunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 ThreadPool& globalPool() {

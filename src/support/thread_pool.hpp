@@ -69,6 +69,13 @@ class ThreadPool {
 /// until all iterations finish.  Iterations are grouped into contiguous
 /// chunks of size `chunk` (0 = pick automatically).  The first exception
 /// thrown by any iteration is rethrown in the caller.
+///
+/// The calling thread participates in the work (it claims chunks from the
+/// same queue as the pool helpers), so nested parallelFor calls are
+/// deadlock-free: an inner call issued from a pool worker drains its own
+/// chunks even when every other worker is busy.  Sweep drivers exploit
+/// this by parallelising over grid points while each point's Monte-Carlo
+/// replications may themselves fan out.
 void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& body,
                  std::size_t chunk = 0);

@@ -1,0 +1,108 @@
+#include "analytic/mu_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analytic/mu.hpp"
+#include "support/thread_pool.hpp"
+
+namespace nsmodel::analytic {
+namespace {
+
+TEST(MuTable, MatchesClosedFormExactly) {
+  MuTable table;
+  for (int s = 1; s <= 5; ++s) {
+    for (std::int64_t k = 0; k <= 40; ++k) {
+      EXPECT_EQ(table.mu(k, s), mu(k, s)) << "k=" << k << " s=" << s;
+      // A second query must serve the identical stored value.
+      EXPECT_EQ(table.mu(k, s), mu(k, s));
+    }
+  }
+}
+
+TEST(MuTable, MuPrimeMatchesClosedFormExactly) {
+  MuTable table;
+  for (int s = 1; s <= 4; ++s) {
+    for (std::int64_t k1 = 0; k1 <= 12; ++k1) {
+      for (std::int64_t k2 = 0; k2 <= 12; ++k2) {
+        EXPECT_EQ(table.muPrime(k1, k2, s), muPrime(k1, k2, s))
+            << "k1=" << k1 << " k2=" << k2 << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(MuTable, CountsLookupsAndComputes) {
+  MuTable table;
+  (void)table.mu(5, 3);
+  (void)table.mu(5, 3);
+  (void)table.mu(6, 3);
+  (void)table.muPrime(2, 3, 3);
+  (void)table.muPrime(2, 3, 3);
+  EXPECT_EQ(table.lookups(), 5u);
+  // The dense mu rows fill [0, k] on first extension, so distinct compute
+  // counts track distinct arguments, never repeats.
+  const std::uint64_t computesAfter = table.computes();
+  EXPECT_GT(computesAfter, 0u);
+  (void)table.mu(5, 3);
+  (void)table.muPrime(2, 3, 3);
+  EXPECT_EQ(table.computes(), computesAfter);  // pure hits
+  EXPECT_EQ(table.lookups(), 7u);
+  table.resetCounters();
+  EXPECT_EQ(table.lookups(), 0u);
+  EXPECT_EQ(table.computes(), 0u);
+}
+
+TEST(MuTable, DisabledTableStillReturnsExactValues) {
+  MuTable table;
+  table.setEnabled(false);
+  EXPECT_FALSE(table.enabled());
+  EXPECT_EQ(table.mu(7, 3), mu(7, 3));
+  EXPECT_EQ(table.muPrime(4, 2, 3), muPrime(4, 2, 3));
+  table.setEnabled(true);
+  EXPECT_EQ(table.mu(7, 3), mu(7, 3));
+}
+
+TEST(MuTable, ClearDropsValuesButStaysCorrect) {
+  MuTable table;
+  (void)table.mu(9, 3);
+  table.clear();
+  EXPECT_EQ(table.mu(9, 3), mu(9, 3));
+}
+
+TEST(MuTable, GlobalInstanceBacksMuReal) {
+  // muReal(Interpolate) reads through MuTable::global(): the interpolated
+  // value must match manual interpolation of the closed form.
+  const double lambda = 7.35;
+  const int s = 3;
+  const double lo = mu(7, s);
+  const double hi = mu(8, s);
+  const double expected = lo + (hi - lo) * 0.35;
+  EXPECT_NEAR(muReal(lambda, s, RealKPolicy::Interpolate), expected, 1e-12);
+}
+
+TEST(MuTable, ConcurrentMixedQueriesStayExact) {
+  MuTable table;
+  constexpr std::size_t kTasks = 256;
+  std::vector<double> values(kTasks);
+  // Overlapping arguments from many workers: every query must come back
+  // exactly equal to the closed form regardless of interleaving.
+  support::parallelFor(
+      0, kTasks,
+      [&](std::size_t i) {
+        const auto k = static_cast<std::int64_t>(i % 32);
+        const int s = 1 + static_cast<int>(i % 4);
+        values[i] = table.mu(k, s) + table.muPrime(k % 8, (k / 8) % 8, s);
+      },
+      /*chunk=*/1);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    const auto k = static_cast<std::int64_t>(i % 32);
+    const int s = 1 + static_cast<int>(i % 4);
+    EXPECT_EQ(values[i], mu(k, s) + muPrime(k % 8, (k / 8) % 8, s));
+  }
+  EXPECT_EQ(table.lookups(), 2 * kTasks);
+}
+
+}  // namespace
+}  // namespace nsmodel::analytic

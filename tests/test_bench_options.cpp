@@ -1,0 +1,63 @@
+// BenchOptions::parse hardening: a typo on a bench command line must die
+// loudly (exit 2) rather than silently run the full-size default sweep.
+#include "bench/bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nsmodel::bench {
+namespace {
+
+BenchOptions parseArgs(std::initializer_list<const char*> args) {
+  std::vector<char*> argv{const_cast<char*>("bench")};
+  for (const char* arg : args) argv.push_back(const_cast<char*>(arg));
+  return BenchOptions::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchOptions, DefaultsMatchThePaper) {
+  const BenchOptions opts = parseArgs({});
+  EXPECT_FALSE(opts.fast);
+  EXPECT_EQ(opts.replications, 30);
+  EXPECT_EQ(opts.seed, 42u);
+  EXPECT_EQ(opts.rhos().size(), 7u);
+  EXPECT_EQ(opts.analyticGrid().values().size(), 100u);
+  EXPECT_EQ(opts.simulationGrid().values().size(), 20u);
+}
+
+TEST(BenchOptions, ParsesAllOptions) {
+  const BenchOptions opts = parseArgs({"--fast", "--reps=5", "--seed=7"});
+  EXPECT_TRUE(opts.fast);
+  EXPECT_EQ(opts.replications, 5);
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_EQ(opts.rhos().size(), 3u);
+}
+
+TEST(BenchOptionsDeathTest, RejectsUnknownOption) {
+  EXPECT_EXIT(parseArgs({"--replications=5"}), testing::ExitedWithCode(2),
+              "unknown option");
+}
+
+TEST(BenchOptionsDeathTest, RejectsMalformedNumbers) {
+  EXPECT_EXIT(parseArgs({"--reps=abc"}), testing::ExitedWithCode(2),
+              "malformed number");
+  EXPECT_EXIT(parseArgs({"--reps=5x"}), testing::ExitedWithCode(2),
+              "malformed number");
+  EXPECT_EXIT(parseArgs({"--seed="}), testing::ExitedWithCode(2),
+              "malformed number");
+}
+
+TEST(BenchOptionsDeathTest, RejectsOutOfRangeReps) {
+  EXPECT_EXIT(parseArgs({"--reps=0"}), testing::ExitedWithCode(2),
+              "--reps requires");
+  EXPECT_EXIT(parseArgs({"--reps=1000001"}), testing::ExitedWithCode(2),
+              "--reps requires");
+}
+
+TEST(BenchOptionsDeathTest, RejectsNegativeValues) {
+  EXPECT_EXIT(parseArgs({"--reps=-3"}), testing::ExitedWithCode(2), "");
+  EXPECT_EXIT(parseArgs({"--seed=-1"}), testing::ExitedWithCode(2), "");
+}
+
+}  // namespace
+}  // namespace nsmodel::bench

@@ -1,0 +1,88 @@
+// End-to-end determinism of the sweep drivers in bench/bench_common.hpp:
+// the cached + parallel accelerated path must be bit-identical to the
+// uncached serial reference path, cell by cell.
+#include "bench/bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsmodel::bench {
+namespace {
+
+BenchOptions tinyOptions() {
+  BenchOptions opts;
+  opts.fast = true;       // 3 densities x 10 probabilities
+  opts.replications = 2;  // keep the uncached arm cheap
+  return opts;
+}
+
+using Sweep = std::vector<std::vector<sim::MetricAggregate>>;
+
+void expectSameSweep(const Sweep& a, const Sweep& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      // Bitwise equality, not tolerance: the accelerated sweep replays
+      // the identical RNG streams, so every double must match exactly.
+      EXPECT_EQ(a[i][j].stats.mean, b[i][j].stats.mean) << i << "," << j;
+      EXPECT_EQ(a[i][j].stats.stddev, b[i][j].stats.stddev);
+      EXPECT_EQ(a[i][j].stats.count, b[i][j].stats.count);
+      EXPECT_EQ(a[i][j].definedFraction, b[i][j].definedFraction);
+    }
+  }
+}
+
+TEST(ParallelSweep, CachedParallelSweepIsBitIdenticalToSerialUncached) {
+  const BenchOptions opts = tinyOptions();
+  const auto spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const Sweep reference = simSweep(opts, spec, SweepAccel{});
+  sim::ScenarioCache cache;
+  const Sweep accelerated = simSweep(opts, spec, SweepAccel{&cache, true});
+  expectSameSweep(reference, accelerated);
+  // Topologies were shared across the p-axis: one build per
+  // (density, replication) instead of one per (density, p, replication).
+  EXPECT_EQ(cache.size(),
+            opts.rhos().size() * static_cast<std::size_t>(opts.replications));
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(ParallelSweep, CacheAloneAndParallelAloneAgreeWithReference) {
+  const BenchOptions opts = tinyOptions();
+  const auto spec = core::MetricSpec::energyUnderReachability(0.9);
+  const Sweep reference = simSweep(opts, spec, SweepAccel{});
+  sim::ScenarioCache cacheOnly;
+  expectSameSweep(reference,
+                  simSweep(opts, spec, SweepAccel{&cacheOnly, false}));
+  expectSameSweep(reference, simSweep(opts, spec, SweepAccel{nullptr, true}));
+}
+
+TEST(ParallelSweep, ParallelReplicationsMatchSerialReplications) {
+  const core::NetworkModel model = paperModel(30.0);
+  const auto spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const auto serial = model.measure(0.5, spec, 42, 6, nullptr,
+                                    /*parallelReplications=*/false);
+  const auto parallel = model.measure(0.5, spec, 42, 6, nullptr,
+                                      /*parallelReplications=*/true);
+  EXPECT_EQ(serial.stats.mean, parallel.stats.mean);
+  EXPECT_EQ(serial.stats.stddev, parallel.stats.stddev);
+  EXPECT_EQ(serial.definedFraction, parallel.definedFraction);
+}
+
+TEST(ParallelSweep, ParallelAnalyticOptimizeMatchesSerial) {
+  const core::NetworkModel model = paperModel(40.0);
+  const auto spec = core::MetricSpec::latencyUnderReachability(0.9);
+  const auto serial =
+      model.optimize(spec, core::ProbabilityGrid{0.05, 1.0, 0.05},
+                     analytic::RealKPolicy::Interpolate, /*parallel=*/false);
+  const auto parallel =
+      model.optimize(spec, core::ProbabilityGrid{0.05, 1.0, 0.05},
+                     analytic::RealKPolicy::Interpolate, /*parallel=*/true);
+  ASSERT_EQ(serial.has_value(), parallel.has_value());
+  if (serial) {
+    EXPECT_EQ(serial->probability, parallel->probability);
+    EXPECT_EQ(serial->value, parallel->value);
+  }
+}
+
+}  // namespace
+}  // namespace nsmodel::bench

@@ -1,0 +1,139 @@
+#include "sim/scenario_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "support/thread_pool.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig config;
+  config.rings = 4;
+  config.neighborDensity = 30.0;
+  return config;
+}
+
+protocols::ProtocolFactory pb(double p) {
+  return [p] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(p);
+  };
+}
+
+void expectSameRun(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.nodeCount(), b.nodeCount());
+  EXPECT_EQ(a.totalBroadcasts(), b.totalBroadcasts());
+  EXPECT_EQ(a.attemptedPairs(), b.attemptedPairs());
+  EXPECT_EQ(a.deliveredPairs(), b.deliveredPairs());
+  EXPECT_EQ(a.receptionSlotByNode(), b.receptionSlotByNode());
+  EXPECT_EQ(a.phases().size(), b.phases().size());
+}
+
+TEST(ScenarioKey, DependsOnDeploymentAndChannelOnly) {
+  ExperimentConfig config = smallConfig();
+  const auto key = ScenarioKey::forExperiment(config, 42, 3);
+  EXPECT_EQ(key.seed, 42u);
+  EXPECT_EQ(key.stream, 3u);
+  EXPECT_EQ(key.rings, config.rings);
+  EXPECT_EQ(key.neighborDensity, config.neighborDensity);
+  // The CAM channel ignores csFactor, so it must not split the key.
+  ExperimentConfig other = smallConfig();
+  other.csFactor = 9.0;
+  EXPECT_EQ(ScenarioKey::forExperiment(other, 42, 3), key);
+  // A carrier-sensing channel keys on its effective csFactor.
+  other.channel = net::ChannelModel::CarrierSenseAware;
+  EXPECT_NE(ScenarioKey::forExperiment(other, 42, 3), key);
+}
+
+TEST(ScenarioCache, CachedRunsAreBitIdenticalToUncached) {
+  const ExperimentConfig config = smallConfig();
+  ScenarioCache cache;
+  for (std::uint64_t stream = 0; stream < 4; ++stream) {
+    // Two probabilities per stream, so the second p is a cache hit.
+    for (double p : {0.3, 0.8}) {
+      const RunResult uncached = runExperiment(config, pb(p), 42, stream);
+      const RunResult cached = runExperiment(config, pb(p), 42, stream, &cache);
+      expectSameRun(uncached, cached);
+    }
+  }
+  EXPECT_EQ(cache.misses(), 4u);  // one build per stream
+  EXPECT_EQ(cache.hits(), 4u);    // one reuse per stream
+  EXPECT_EQ(cache.size(), cache.misses());
+}
+
+TEST(ScenarioCache, NullCachePointerFallsBackToUncachedPath) {
+  const ExperimentConfig config = smallConfig();
+  const RunResult direct = runExperiment(config, pb(0.5), 42, 0);
+  const RunResult throughNull = runExperiment(config, pb(0.5), 42, 0, nullptr);
+  expectSameRun(direct, throughNull);
+}
+
+TEST(ScenarioCache, DistinctKeysGetDistinctScenarios) {
+  ScenarioCache cache;
+  const ExperimentConfig config = smallConfig();
+  const auto a = cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 0));
+  const auto b = cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 1));
+  const auto c = cache.getOrBuild(ScenarioKey::forExperiment(config, 43, 0));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 3u);
+  // Same key twice returns the same immutable object.
+  const auto a2 = cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 0));
+  EXPECT_EQ(a.get(), a2.get());
+}
+
+TEST(ScenarioCache, ClearDropsEntriesButKeepsCounters) {
+  ScenarioCache cache;
+  const ExperimentConfig config = smallConfig();
+  (void)cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 0));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  (void)cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 0));
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ScenarioCache, ConcurrentRequestsBuildEachScenarioOnce) {
+  ScenarioCache cache;
+  ExperimentConfig config = smallConfig();
+  config.rings = 3;
+  config.neighborDensity = 15.0;
+  constexpr std::size_t kStreams = 8;
+  constexpr std::size_t kRequestsPerStream = 16;
+  std::vector<ScenarioCache::ScenarioPtr> seen(kStreams * kRequestsPerStream);
+  // Hammer the cache from the pool: many concurrent requests per key.
+  support::parallelFor(
+      0, seen.size(),
+      [&](std::size_t i) {
+        const auto key =
+            ScenarioKey::forExperiment(config, 7, i % kStreams);
+        seen[i] = cache.getOrBuild(key);
+      },
+      /*chunk=*/1);
+  EXPECT_EQ(cache.size(), kStreams);
+  EXPECT_EQ(cache.misses(), kStreams);
+  EXPECT_EQ(cache.hits(), seen.size() - kStreams);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_NE(seen[i], nullptr);
+    // Every request for one stream saw the same immutable scenario.
+    EXPECT_EQ(seen[i].get(), seen[i % kStreams].get());
+  }
+}
+
+TEST(ScenarioCache, TopologyBuildCounterCountsBuilds) {
+  resetTopologyBuildCount();
+  ScenarioCache cache;
+  const ExperimentConfig config = smallConfig();
+  (void)cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 0));
+  (void)cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 0));
+  (void)cache.getOrBuild(ScenarioKey::forExperiment(config, 42, 1));
+  EXPECT_EQ(topologyBuildCount(), 2u);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim
