@@ -148,6 +148,11 @@ double muPrime(std::int64_t k1, std::int64_t k2, int s) {
   NSMODEL_CHECK(k1 >= 0 && k2 >= 0, "muPrime requires K1, K2 >= 0");
   NSMODEL_CHECK(s >= 1, "muPrime requires s >= 1");
   if (k1 == 0) return 0.0;
+  // A single type-A item with no type-B interferers always succeeds.  The
+  // log-space sum below evaluates this case ~2 ulp shy of 1.0, which would
+  // break the bit-exact mu'(1, 0, s) == mu(1, s) identity (mu has the same
+  // early return).
+  if (k1 == 1 && k2 == 0) return 1.0;
   const std::int64_t jmax = std::min<std::int64_t>(k1, s);
   const double logSk =
       static_cast<double>(k1 + k2) * std::log(static_cast<double>(s));

@@ -29,7 +29,10 @@ double lensArea(double r1, double r2, double centerDistance) {
   const double kite = 0.5 * std::sqrt(std::max(
                                 0.0, (-d + r1 + r2) * (d + r1 - r2) *
                                          (d - r1 + r2) * (d + r1 + r2)));
-  return r1 * r1 * alpha + r2 * r2 * beta - kite;
+  // Cancellation within ~1e-15 of internal tangency can overshoot the
+  // smaller disk's area by ~1e-8; the true lens is confined to it.
+  return std::clamp(r1 * r1 * alpha + r2 * r2 * beta - kite, 0.0,
+                    M_PI * rmin * rmin);
 }
 
 double intersectionAreaEq1(double d1, double d2, double x) {

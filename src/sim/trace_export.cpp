@@ -1,5 +1,6 @@
 #include "sim/trace_export.hpp"
 
+#include "support/error.hpp"
 #include "support/table.hpp"
 
 namespace nsmodel::sim {
@@ -8,28 +9,27 @@ void exportPhaseTraceCsv(const RunResult& run, const std::string& path) {
   support::CsvWriter csv(path,
                          {"phase", "transmissions", "new_receivers",
                           "deliveries", "lost_receivers", "cum_reachability"});
-  double reached = 1.0;  // the source
-  const auto n = static_cast<double>(run.nodeCount());
   for (std::size_t i = 0; i < run.phases().size(); ++i) {
     const PhaseObservation& phase = run.phases()[i];
-    reached += static_cast<double>(phase.newReceivers);
     csv.addRow(std::vector<double>{
         static_cast<double>(i + 1),
         static_cast<double>(phase.transmissions),
         static_cast<double>(phase.newReceivers),
         static_cast<double>(phase.deliveries),
-        static_cast<double>(phase.lostReceivers), reached / n});
+        static_cast<double>(phase.lostReceivers),
+        run.reachabilityAfter(static_cast<double>(i + 1))});
   }
 }
 
-void exportDeploymentCsv(const net::Deployment& deployment,
+void exportDeploymentCsv(const net::Deployment& deployment, double ringWidth,
                          const std::string& path) {
+  NSMODEL_CHECK(ringWidth > 0.0, "ring width must be positive");
   support::CsvWriter csv(path, {"id", "x", "y", "ring", "is_source"});
   for (net::NodeId id = 0; id < deployment.nodeCount(); ++id) {
     const auto& pos = deployment.position(id);
     csv.addRow(std::vector<double>{
         static_cast<double>(id), pos.x, pos.y,
-        static_cast<double>(deployment.ringOf(id, 1.0)),
+        static_cast<double>(deployment.ringOf(id, ringWidth)),
         id == deployment.source() ? 1.0 : 0.0});
   }
 }

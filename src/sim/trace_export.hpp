@@ -9,11 +9,15 @@
 namespace nsmodel::sim {
 
 /// Writes one row per phase: phase, transmissions, new receivers,
-/// deliveries, lost receivers, cumulative reachability.
+/// deliveries, lost receivers, cumulative reachability.  The reachability
+/// column is RunResult::reachabilityAfter at the phase boundary, so the
+/// exported trace agrees with the canonical metrics by construction.
 void exportPhaseTraceCsv(const RunResult& run, const std::string& path);
 
-/// Writes one row per node: id, x, y, ring (unit ring width), is_source.
-void exportDeploymentCsv(const net::Deployment& deployment,
+/// Writes one row per node: id, x, y, ring, is_source.  `ringWidth` is the
+/// transmission radius r of the model the deployment was generated for, so
+/// the exported ring indices match the Eq. 4 decomposition.
+void exportDeploymentCsv(const net::Deployment& deployment, double ringWidth,
                          const std::string& path);
 
 }  // namespace nsmodel::sim

@@ -1,5 +1,7 @@
 #include "support/cli_args.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "support/error.hpp"
@@ -12,10 +14,15 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
+      const std::string name = eq == std::string::npos
+                                   ? arg.substr(2)
+                                   : arg.substr(2, eq - 2);
+      NSMODEL_CHECK(!name.empty(),
+                    "flag with empty name: '" + arg + "'");
       if (eq == std::string::npos) {
-        flags_[arg.substr(2)] = std::nullopt;
+        flags_[name] = std::nullopt;
       } else {
-        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        flags_[name] = arg.substr(eq + 1);
       }
     } else {
       positional_.push_back(arg);
@@ -51,9 +58,14 @@ double CliArgs::getDouble(const std::string& name, double fallback) const {
   NSMODEL_CHECK(value->has_value(),
                 "--" + name + " requires a numeric value");
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod((*value)->c_str(), &end);
   NSMODEL_CHECK(end != nullptr && *end == '\0' && !(*value)->empty(),
                 "--" + name + " is not a number: " + **value);
+  // ERANGE overflow saturates to +-HUGE_VAL; reject instead of silently
+  // clamping.  Underflow (tiny magnitudes rounding towards zero) is fine.
+  NSMODEL_CHECK(errno != ERANGE || std::abs(parsed) != HUGE_VAL,
+                "--" + name + " is out of range: " + **value);
   return parsed;
 }
 
@@ -63,9 +75,13 @@ long CliArgs::getInt(const std::string& name, long fallback) const {
   NSMODEL_CHECK(value->has_value(),
                 "--" + name + " requires an integer value");
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol((*value)->c_str(), &end, 10);
   NSMODEL_CHECK(end != nullptr && *end == '\0' && !(*value)->empty(),
                 "--" + name + " is not an integer: " + **value);
+  // strtol saturates to LONG_MIN/LONG_MAX on overflow and flags ERANGE.
+  NSMODEL_CHECK(errno != ERANGE,
+                "--" + name + " is out of range: " + **value);
   return parsed;
 }
 

@@ -1,8 +1,10 @@
 // Minimal command-line flag parsing for the tools and bench binaries.
 //
 // Grammar: positional arguments and `--name=value` / `--name` flags, in
-// any order.  No external dependencies; just enough structure for the
-// nsmodel CLI.
+// any order.  A bare `--` or a nameless `--=value` is rejected at
+// construction, and the typed accessors reject out-of-range numerics
+// instead of saturating.  No external dependencies; just enough structure
+// for the nsmodel CLI.
 #pragma once
 
 #include <map>
@@ -15,6 +17,8 @@ namespace nsmodel::support {
 /// Parsed command line.
 class CliArgs {
  public:
+  /// Throws nsmodel::Error on arguments with an empty flag name
+  /// (`--` or `--=value`).
   CliArgs(int argc, const char* const* argv);
 
   /// Program name (argv[0]); empty when argc == 0.

@@ -1,0 +1,48 @@
+// Cross-model validation: the Eq. 4 analytical framework vs the
+// packet-level Monte-Carlo simulator, plus model-invariant sweeps.
+//
+// The paper's central claim is that the analytical predictions track the
+// simulation (Figs. 4-11 vs 8-11); this layer turns that agreement into a
+// regression gate.  For a grid of (rho, p, channel) points it compares
+// analytic reachability/energy predictions against seeded Monte-Carlo
+// estimates with a tolerance of
+//
+//     |analytic - mc_mean| <= modelTol + 3 * SE(mc_mean)
+//
+// — the declared model-approximation budget plus the sampling noise of the
+// estimate, so the gate neither flakes on unlucky seeds nor silently
+// absorbs real analytic drift.  The invariant sweeps check properties that
+// must hold exactly (up to arithmetic noise) on both backends: mu / mu'
+// are probabilities, carrier sensing only hurts, reachability is monotone
+// in p under CFM and in t always, and the energy metric M is consistent
+// with the recorded transmission counts.
+#pragma once
+
+#include <cstdint>
+
+#include "validate/report.hpp"
+
+namespace nsmodel::validate {
+
+/// Configuration of the analytic-vs-simulation comparison.
+struct CrossCheckConfig {
+  std::uint64_t seed = 42;   ///< master seed for the Monte-Carlo runs
+  int replications = 48;     ///< per grid point
+  bool fast = false;         ///< thinned grid + fewer replications (CI gate)
+  /// Declared model-approximation budget for reachability metrics
+  /// (absolute, in reachability units) and for the energy metric
+  /// (relative).  Calibrated against the paper-parameter grid; see
+  /// DESIGN.md §7.
+  double reachabilityTolerance = 0.08;
+  double energyRelativeTolerance = 0.18;
+};
+
+/// Analytic vs Monte-Carlo comparison over the paper grid, for the plain
+/// CAM and the carrier-sensing (2r) variant. Appends to `report`.
+void runCrossChecks(const CrossCheckConfig& config, Report& report);
+
+/// Invariant sweeps over both backends (suite "invariant/...").
+/// `fast` thins the grids; `seed` drives the simulated invariants.
+void runInvariantChecks(bool fast, std::uint64_t seed, Report& report);
+
+}  // namespace nsmodel::validate

@@ -1,0 +1,294 @@
+#include "validate/golden.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analytic/mu.hpp"
+#include "analytic/ring_model.hpp"
+#include "geom/circle.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::validate {
+
+namespace {
+
+/// Undefined metric marker inside golden tables (e.g. a latency target the
+/// configuration never reaches).  Negative, so it can never collide with a
+/// real metric value.
+constexpr double kUndefined = -1.0;
+
+std::string formatFull(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+std::vector<std::string> splitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+double parseDouble(const std::string& text, const std::string& path) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  NSMODEL_CHECK(end != nullptr && *end == '\0' && !text.empty(),
+                "golden table " + path + ": malformed number '" + text + "'");
+  return value;
+}
+
+std::string describeInputs(const GoldenTable& table, const GoldenRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.inputs.size(); ++i) {
+    if (i > 0) out += " ";
+    out += table.inputColumns[i] + "=" + formatFull(row.inputs[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string goldenFileName(const std::string& tableName) {
+  return "golden_" + tableName + ".csv";
+}
+
+void writeGoldenTable(const GoldenTable& table, const std::string& path) {
+  std::ofstream out(path);
+  NSMODEL_CHECK(out.good(), "cannot open golden table for write: " + path);
+  out << "# nsmodel-golden-v1 name=" << table.name
+      << " inputs=" << table.inputColumns.size()
+      << " values=" << table.valueColumns.size() << "\n";
+  for (std::size_t i = 0; i < table.inputColumns.size(); ++i) {
+    out << (i > 0 ? "," : "") << table.inputColumns[i];
+  }
+  for (const std::string& column : table.valueColumns) out << "," << column;
+  out << "\n";
+  for (const GoldenRow& row : table.rows) {
+    NSMODEL_ASSERT(row.inputs.size() == table.inputColumns.size());
+    NSMODEL_ASSERT(row.values.size() == table.valueColumns.size());
+    bool first = true;
+    for (double input : row.inputs) {
+      out << (first ? "" : ",") << formatFull(input);
+      first = false;
+    }
+    for (double value : row.values) out << "," << formatFull(value);
+    out << "\n";
+  }
+  NSMODEL_CHECK(out.good(), "failed writing golden table: " + path);
+}
+
+GoldenTable loadGoldenTable(const std::string& path) {
+  std::ifstream in(path);
+  NSMODEL_CHECK(in.good(), "cannot open golden table: " + path);
+  std::string line;
+  NSMODEL_CHECK(static_cast<bool>(std::getline(in, line)),
+                "golden table " + path + ": empty file");
+  GoldenTable table;
+  std::size_t inputCount = 0;
+  std::size_t valueCount = 0;
+  {
+    std::istringstream header(line);
+    std::string token;
+    header >> token;
+    NSMODEL_CHECK(token == "#", "golden table " + path + ": bad magic line");
+    header >> token;
+    NSMODEL_CHECK(token == "nsmodel-golden-v1",
+                  "golden table " + path + ": unknown format version");
+    while (header >> token) {
+      const auto eq = token.find('=');
+      NSMODEL_CHECK(eq != std::string::npos,
+                    "golden table " + path + ": bad header token " + token);
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "name") {
+        table.name = value;
+      } else if (key == "inputs") {
+        inputCount = static_cast<std::size_t>(std::stoul(value));
+      } else if (key == "values") {
+        valueCount = static_cast<std::size_t>(std::stoul(value));
+      }
+    }
+  }
+  NSMODEL_CHECK(!table.name.empty() && inputCount > 0 && valueCount > 0,
+                "golden table " + path + ": incomplete header");
+  NSMODEL_CHECK(static_cast<bool>(std::getline(in, line)),
+                "golden table " + path + ": missing column row");
+  const auto columns = splitCsvLine(line);
+  NSMODEL_CHECK(columns.size() == inputCount + valueCount,
+                "golden table " + path + ": column count mismatch");
+  table.inputColumns.assign(columns.begin(),
+                            columns.begin() + static_cast<long>(inputCount));
+  table.valueColumns.assign(columns.begin() + static_cast<long>(inputCount),
+                            columns.end());
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = splitCsvLine(line);
+    NSMODEL_CHECK(fields.size() == inputCount + valueCount,
+                  "golden table " + path + ": row width mismatch: " + line);
+    GoldenRow row;
+    for (std::size_t i = 0; i < inputCount; ++i) {
+      row.inputs.push_back(parseDouble(fields[i], path));
+    }
+    for (std::size_t i = inputCount; i < fields.size(); ++i) {
+      row.values.push_back(parseDouble(fields[i], path));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+GoldenTable computeGoldenF() {
+  GoldenTable table;
+  table.name = "f";
+  table.inputColumns = {"D1", "D2", "x"};
+  table.valueColumns = {"area"};
+  // The x grid crosses both geometric boundaries: exact tangency
+  // (x == D2) and, where reachable, exact containment (D1 + x == |D1 - D2|).
+  const double d1Grid[] = {0.0, 1.0, 2.0, 3.0, 5.0};
+  const double d2Grid[] = {1.0, 2.0};
+  const double xGrid[] = {-3.0, -2.0, -1.5, -1.0, -0.75, -0.5, -0.25, 0.0,
+                          0.25, 0.5,  0.75, 1.0,  1.5,   2.0,  3.0};
+  for (double d1 : d1Grid) {
+    for (double d2 : d2Grid) {
+      for (double x : xGrid) {
+        if (d1 + x < 0.0) continue;  // centre of L2 behind the origin
+        table.rows.push_back(
+            {{d1, d2, x}, {geom::intersectionAreaEq1(d1, d2, x)}});
+      }
+    }
+  }
+  return table;
+}
+
+GoldenTable computeGoldenMu() {
+  GoldenTable table;
+  table.name = "mu";
+  table.inputColumns = {"K", "s"};
+  table.valueColumns = {"mu"};
+  const int sGrid[] = {1, 2, 3, 5, 8};
+  const std::int64_t kGrid[] = {0,  1,  2,  3,  4,  5,  6,  7,  8, 9,
+                                10, 11, 12, 16, 20, 32, 50, 100};
+  for (int s : sGrid) {
+    for (std::int64_t k : kGrid) {
+      table.rows.push_back(
+          {{static_cast<double>(k), static_cast<double>(s)},
+           {analytic::mu(k, s)}});
+    }
+  }
+  return table;
+}
+
+GoldenTable computeGoldenMuPrime() {
+  GoldenTable table;
+  table.name = "mu_prime";
+  table.inputColumns = {"K1", "K2", "s"};
+  table.valueColumns = {"mu_prime"};
+  const int sGrid[] = {2, 3, 5};
+  const std::int64_t kGrid[] = {0, 1, 2, 3, 4, 5, 6, 10};
+  for (int s : sGrid) {
+    for (std::int64_t k1 : kGrid) {
+      for (std::int64_t k2 : kGrid) {
+        table.rows.push_back({{static_cast<double>(k1),
+                               static_cast<double>(k2),
+                               static_cast<double>(s)},
+                              {analytic::muPrime(k1, k2, s)}});
+      }
+    }
+  }
+  return table;
+}
+
+GoldenTable computeGoldenRing() {
+  GoldenTable table;
+  table.name = "ring";
+  // channel: 0 = CFM, 1 = CAM, 2 = CAM with carrier sensing (csFactor 2).
+  // policy: 0 = Interpolate, 1 = Poisson.
+  table.inputColumns = {"P", "r", "rho", "s", "p", "channel", "policy"};
+  table.valueColumns = {"final_reach", "total_broadcasts", "reach_after_5",
+                        "latency_70",  "broadcasts_70",    "avg_success"};
+  const double rhoGrid[] = {20.0, 60.0, 100.0};
+  const double pGrid[] = {0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0};
+  const analytic::ChannelKind channels[] = {
+      analytic::ChannelKind::CollisionFree,
+      analytic::ChannelKind::CollisionAware,
+      analytic::ChannelKind::CarrierSenseAware};
+  const analytic::RealKPolicy policies[] = {
+      analytic::RealKPolicy::Interpolate, analytic::RealKPolicy::Poisson};
+  for (double rho : rhoGrid) {
+    for (double p : pGrid) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t pol = 0; pol < 2; ++pol) {
+          analytic::RingModelConfig config;
+          config.rings = 5;
+          config.ringWidth = 1.0;
+          config.neighborDensity = rho;
+          config.slotsPerPhase = 3;
+          config.broadcastProb = p;
+          config.channel = channels[c];
+          config.policy = policies[pol];
+          const analytic::RingTrace trace =
+              analytic::RingModel(config).run();
+          const auto latency = trace.latencyForReachability(0.7);
+          const auto broadcasts = trace.broadcastsForReachability(0.7);
+          table.rows.push_back(
+              {{5.0, 1.0, rho, 3.0, p, static_cast<double>(c),
+                static_cast<double>(pol)},
+               {trace.finalReachability(), trace.totalBroadcasts(),
+                trace.reachabilityAfter(5.0),
+                latency ? *latency : kUndefined,
+                broadcasts ? *broadcasts : kUndefined,
+                trace.averageSuccessRate()}});
+        }
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<GoldenTable> computeAllGoldenTables() {
+  std::vector<GoldenTable> tables;
+  tables.push_back(computeGoldenF());
+  tables.push_back(computeGoldenMu());
+  tables.push_back(computeGoldenMuPrime());
+  tables.push_back(computeGoldenRing());
+  return tables;
+}
+
+void checkGoldenTable(const GoldenTable& golden, const GoldenTable& computed,
+                      int maxUlp, Report& report) {
+  const std::string suite = "golden/" + golden.name;
+  if (golden.rows.size() != computed.rows.size() ||
+      golden.inputColumns != computed.inputColumns ||
+      golden.valueColumns != computed.valueColumns) {
+    report.add(checkThat(suite, "table layout matches", false,
+                         "golden has " + std::to_string(golden.rows.size()) +
+                             " rows, implementation produced " +
+                             std::to_string(computed.rows.size()) +
+                             " — regenerate with --regen"));
+    return;
+  }
+  for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+    const GoldenRow& want = golden.rows[i];
+    const GoldenRow& got = computed.rows[i];
+    if (want.inputs != got.inputs) {
+      report.add(checkThat(suite, "row " + std::to_string(i) + " grid point",
+                           false, "input coordinates diverge — stale table"));
+      continue;
+    }
+    for (std::size_t v = 0; v < want.values.size(); ++v) {
+      report.add(checkExact(
+          suite,
+          describeInputs(golden, want) + " " + golden.valueColumns[v],
+          got.values[v], want.values[v], maxUlp));
+    }
+  }
+}
+
+}  // namespace nsmodel::validate

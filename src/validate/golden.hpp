@@ -1,0 +1,65 @@
+// Golden reference tables for the paper's analytic primitives.
+//
+// A golden table freezes the value of one quantity — f(D1, D2, x) (Eq. 1),
+// mu(K, s) (Eq. 2), mu'(K1, K2, s) (Eq. A.1), or the Eq. 4 ring-recursion
+// metrics — on a fixed grid of the paper's parameter points.  The tables
+// are checked into data/golden/ as CSV with values printed at 17
+// significant digits (which round-trips IEEE doubles exactly), so
+// `nsmodel_validate --suite=golden` can compare the current
+// implementation against them to the ULP.
+//
+// Regeneration (`nsmodel_validate --regen`) recomputes every table from
+// the live implementation and rewrites the files; the git diff then shows
+// exactly which values an algorithm change moved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "validate/report.hpp"
+
+namespace nsmodel::validate {
+
+/// One grid point: the input coordinates and the frozen output values.
+struct GoldenRow {
+  std::vector<double> inputs;
+  std::vector<double> values;
+};
+
+/// A named table: input column names, value column names, rows in a fixed
+/// deterministic order (generators always emit the same order, so checks
+/// compare row-by-row).
+struct GoldenTable {
+  std::string name;
+  std::vector<std::string> inputColumns;
+  std::vector<std::string> valueColumns;
+  std::vector<GoldenRow> rows;
+};
+
+/// File name (without directory) a table is stored under.
+std::string goldenFileName(const std::string& tableName);
+
+/// Writes `table` as CSV (17-significant-digit values, exact round-trip).
+void writeGoldenTable(const GoldenTable& table, const std::string& path);
+
+/// Parses a table written by writeGoldenTable. Throws nsmodel::Error on
+/// malformed files.
+GoldenTable loadGoldenTable(const std::string& path);
+
+/// Generators: evaluate the current implementation on the canonical grids.
+GoldenTable computeGoldenF();         ///< geom::intersectionAreaEq1
+GoldenTable computeGoldenMu();        ///< analytic::mu
+GoldenTable computeGoldenMuPrime();   ///< analytic::muPrime
+GoldenTable computeGoldenRing();      ///< Eq. 4 / Eq. A.3 RingModel metrics
+
+/// All four tables, in a fixed order.
+std::vector<GoldenTable> computeAllGoldenTables();
+
+/// Compares `computed` against `golden` row-by-row; every value comparison
+/// becomes one CheckResult in `report` (suite "golden/<name>").  Inputs
+/// must match exactly — a grid mismatch is reported as a failed check, not
+/// an exception, so a stale golden file shows up in the divergence report.
+void checkGoldenTable(const GoldenTable& golden, const GoldenTable& computed,
+                      int maxUlp, Report& report);
+
+}  // namespace nsmodel::validate

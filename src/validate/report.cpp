@@ -1,0 +1,176 @@
+#include "validate/report.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace nsmodel::validate {
+
+namespace {
+
+/// Orders doubles by their IEEE-754 bit pattern so ULP distance is a
+/// subtraction; the bias keeps negatives below positives without signed
+/// overflow.
+std::uint64_t orderedBits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
+  return (bits & kSign) != 0 ? ~bits : bits | kSign;
+}
+
+std::string formatFull(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+/// Minimal JSON string escaping (the strings here are ASCII identifiers,
+/// but be safe about quotes and backslashes).
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t ulpDistance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (a == b) return 0;  // covers +0 vs -0
+  const std::uint64_t da = orderedBits(a);
+  const std::uint64_t db = orderedBits(b);
+  const std::uint64_t diff = da > db ? da - db : db - da;
+  constexpr auto kMax =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  return static_cast<std::int64_t>(diff > kMax ? kMax : diff);
+}
+
+CheckResult checkExact(std::string suite, std::string name, double observed,
+                       double expected, int maxUlp) {
+  CheckResult result;
+  result.suite = std::move(suite);
+  result.name = std::move(name);
+  result.observed = observed;
+  result.expected = expected;
+  result.tolerance = 0.0;
+  const std::int64_t ulp = ulpDistance(observed, expected);
+  result.passed = ulp <= maxUlp;
+  result.detail = "ulp=" + std::to_string(ulp);
+  return result;
+}
+
+CheckResult checkWithin(std::string suite, std::string name, double observed,
+                        double expected, double tolerance,
+                        std::string detail) {
+  NSMODEL_CHECK(tolerance >= 0.0, "tolerance must be non-negative");
+  CheckResult result;
+  result.suite = std::move(suite);
+  result.name = std::move(name);
+  result.observed = observed;
+  result.expected = expected;
+  result.tolerance = tolerance;
+  result.passed = !std::isnan(observed) && !std::isnan(expected) &&
+                  std::abs(observed - expected) <= tolerance;
+  result.detail = std::move(detail);
+  return result;
+}
+
+CheckResult checkThat(std::string suite, std::string name, bool holds,
+                      std::string detail) {
+  CheckResult result;
+  result.suite = std::move(suite);
+  result.name = std::move(name);
+  result.passed = holds;
+  result.observed = holds ? 1.0 : 0.0;
+  result.expected = 1.0;
+  result.detail = std::move(detail);
+  return result;
+}
+
+void Report::add(CheckResult result) {
+  if (!result.passed) ++failures_;
+  results_.push_back(std::move(result));
+}
+
+void Report::printSummary(std::ostream& os) const {
+  std::map<std::string, std::pair<std::size_t, std::size_t>> bySuite;
+  for (const CheckResult& r : results_) {
+    auto& [pass, fail] = bySuite[r.suite];
+    (r.passed ? pass : fail) += 1;
+  }
+  support::TablePrinter table({"suite", "checks", "passed", "failed"});
+  for (const auto& [suite, counts] : bySuite) {
+    const auto& [pass, fail] = counts;
+    table.addRow({suite, std::to_string(pass + fail), std::to_string(pass),
+                  std::to_string(fail)});
+  }
+  table.print(os);
+  for (const CheckResult& r : results_) {
+    if (r.passed) continue;
+    os << "FAIL [" << r.suite << "] " << r.name
+       << ": observed=" << formatFull(r.observed)
+       << " expected=" << formatFull(r.expected)
+       << " tolerance=" << formatFull(r.tolerance);
+    if (!r.detail.empty()) os << " (" << r.detail << ")";
+    os << "\n";
+  }
+  os << (allPassed() ? "PASS" : "FAIL") << ": " << failures() << " of "
+     << total() << " checks failed\n";
+}
+
+void Report::writeJson(const std::string& path) const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n  \"total\": " << total() << ",\n  \"failures\": " << failures()
+     << ",\n  \"checks\": [\n";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const CheckResult& r = results_[i];
+    os << "    {\"suite\": \"" << jsonEscape(r.suite) << "\", \"name\": \""
+       << jsonEscape(r.name) << "\", \"passed\": "
+       << (r.passed ? "true" : "false") << ", \"observed\": " << r.observed
+       << ", \"expected\": " << r.expected
+       << ", \"tolerance\": " << r.tolerance << ", \"detail\": \""
+       << jsonEscape(r.detail) << "\"}";
+    os << (i + 1 < results_.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::ofstream out(path);
+  NSMODEL_CHECK(out.good(), "cannot open report file: " + path);
+  out << os.str();
+  NSMODEL_CHECK(out.good(), "failed writing report file: " + path);
+}
+
+void Report::writeCsv(const std::string& path) const {
+  support::CsvWriter csv(
+      path, {"suite", "name", "passed", "observed", "expected", "tolerance",
+             "detail"});
+  for (const CheckResult& r : results_) {
+    csv.addRow(std::vector<std::string>{
+        r.suite, r.name, r.passed ? "1" : "0", formatFull(r.observed),
+        formatFull(r.expected), formatFull(r.tolerance), r.detail});
+  }
+}
+
+}  // namespace nsmodel::validate

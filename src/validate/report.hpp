@@ -1,0 +1,69 @@
+// Result collection and reporting for the paper-fidelity validation
+// harness.
+//
+// Every validation layer (golden tables, cross-model checks, invariant
+// sweeps) reduces to a stream of CheckResult records: one named scalar
+// comparison with an explicit tolerance.  The Report aggregates them,
+// prints a per-suite summary, and serialises the full divergence list as
+// JSON or CSV so CI can archive exactly which points drifted and by how
+// much.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nsmodel::validate {
+
+/// One scalar comparison.  `passed` is stored rather than re-derived so a
+/// check can apply asymmetric or non-interval acceptance rules (e.g. ULP
+/// distance) while still reporting observed/expected/tolerance.
+struct CheckResult {
+  std::string suite;      ///< e.g. "golden/mu", "cross/cam", "invariant"
+  std::string name;       ///< the parameter point, human-readable
+  bool passed = false;
+  double observed = 0.0;
+  double expected = 0.0;
+  double tolerance = 0.0; ///< allowed |observed - expected| (0 = exact)
+  std::string detail;     ///< free text: CI width, ULP distance, ...
+};
+
+/// Convenience constructors for the two common acceptance rules.
+CheckResult checkExact(std::string suite, std::string name, double observed,
+                       double expected, int maxUlp);
+CheckResult checkWithin(std::string suite, std::string name, double observed,
+                        double expected, double tolerance,
+                        std::string detail = {});
+/// A boolean predicate check (invariants with no natural scalar pair).
+CheckResult checkThat(std::string suite, std::string name, bool holds,
+                      std::string detail = {});
+
+/// ULP distance between two doubles; 0 for bit-identical values (including
+/// equal signed zeros), a large sentinel for NaN or mismatched signs.
+std::int64_t ulpDistance(double a, double b);
+
+/// Accumulates CheckResults and renders them.
+class Report {
+ public:
+  void add(CheckResult result);
+
+  const std::vector<CheckResult>& results() const { return results_; }
+  std::size_t total() const { return results_.size(); }
+  std::size_t failures() const { return failures_; }
+  bool allPassed() const { return failures_ == 0; }
+
+  /// Per-suite pass/fail counts followed by every failing check.
+  void printSummary(std::ostream& os) const;
+
+  /// Full machine-readable dumps (every check, not just failures).
+  void writeJson(const std::string& path) const;
+  void writeCsv(const std::string& path) const;
+
+ private:
+  std::vector<CheckResult> results_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace nsmodel::validate

@@ -167,6 +167,43 @@ TEST(Mu, UnimodalInKForPaperSlots) {
   }
 }
 
+TEST(Mu, LogSpaceClosedFormMatchesMemoRecursionAtLargeArguments) {
+  // The closed form evaluates every term in log space; at large K the raw
+  // falling factorials and s^K would overflow long before these points.
+  // The memoised recursion never forms those quantities, so agreement here
+  // exercises the log-space path end to end.
+  MuMemo memo;
+  for (int s : {5, 8}) {
+    for (int k = 0; k <= 64; ++k) {
+      EXPECT_NEAR(mu(k, s), muRecursive(k, s, memo), 1e-10)
+          << "K=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(Mu, MemoReuseIsDeterministic) {
+  // A second evaluation through a warm memo is a pure table lookup and
+  // must reproduce the cold result bit for bit.
+  MuMemo memo;
+  const double cold = muRecursive(48, 8, memo);
+  const std::size_t filled = memo.mu.size();
+  const double warm = muRecursive(48, 8, memo);
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(memo.mu.size(), filled);
+}
+
+TEST(Mu, ClosedFormStaysFiniteFarBeyondRecursionRange) {
+  // K values where s^K and K! are far outside double range: the log-space
+  // sum must still produce a probability (here, one indistinguishable
+  // from 0 — every slot is crowded).
+  for (std::int64_t k : {500, 5000, 100000}) {
+    const double v = mu(k, 8);
+    EXPECT_TRUE(std::isfinite(v)) << "K=" << k;
+    EXPECT_GE(v, 0.0) << "K=" << k;
+    EXPECT_LE(v, 1e-12) << "K=" << k;
+  }
+}
+
 TEST(Mu, InputValidation) {
   EXPECT_THROW(mu(-1, 3), nsmodel::Error);
   EXPECT_THROW(mu(3, 0), nsmodel::Error);
@@ -201,6 +238,20 @@ TEST(MuPrime, RecursionMatchesClosedForm) {
         EXPECT_NEAR(muPrime(k1, k2, s), muPrimeRecursive(k1, k2, s), 1e-9)
             << "K1=" << k1 << " K2=" << k2 << " s=" << s;
       }
+    }
+  }
+}
+
+TEST(MuPrime, LogSpaceClosedFormMatchesMemoRecursionAtLargerArguments) {
+  // Same log-space-vs-recursion agreement for the carrier-sense variant,
+  // at the largest arguments the O((K1 K2)^2 s) recursion can afford.
+  MuMemo memo;
+  const int s = 5;
+  for (int k1 = 0; k1 <= 14; k1 += 2) {
+    for (int k2 = 0; k2 <= 14; k2 += 2) {
+      EXPECT_NEAR(muPrime(k1, k2, s), muPrimeRecursive(k1, k2, s, memo),
+                  1e-10)
+          << "K1=" << k1 << " K2=" << k2;
     }
   }
 }

@@ -109,6 +109,49 @@ TEST(LensArea, NearTangencyIsNumericallyStable) {
   EXPECT_NEAR(area2, M_PI, 1e-5);
 }
 
+TEST(LensArea, ExactExternalTangencyIsZero) {
+  // d == r1 + r2 lies on the "disjoint" side of the branch: exactly zero,
+  // for equal and unequal radii, including values where r1 + r2 is not
+  // exactly representable.
+  EXPECT_DOUBLE_EQ(lensArea(1.0, 1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(lensArea(2.5, 1.5, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(lensArea(0.1, 0.2, 0.1 + 0.2), 0.0);
+}
+
+TEST(LensArea, ExactContainmentGivesSmallerDiskArea) {
+  // d == |r1 - r2| takes the containment branch: the full smaller disk.
+  EXPECT_DOUBLE_EQ(lensArea(2.0, 1.0, 1.0), M_PI);
+  EXPECT_DOUBLE_EQ(lensArea(1.0, 2.0, 1.0), M_PI);
+  EXPECT_DOUBLE_EQ(lensArea(3.0, 3.0, 0.0), M_PI * 9.0);
+  const double area = lensArea(2.7, 1.3, 2.7 - 1.3);
+  EXPECT_DOUBLE_EQ(area, M_PI * 1.3 * 1.3);
+}
+
+TEST(LensArea, BothRadiiZero) {
+  EXPECT_DOUBLE_EQ(lensArea(0.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lensArea(0.0, 0.0, 1.0), 0.0);
+}
+
+TEST(LensArea, NearTangencyClampKeepsAcosArgumentsInRange) {
+  // Immediately inside both tangency configurations the acos arguments
+  // drift just past +-1 without the clamp; the result must stay finite,
+  // within [0, pi * rmin^2], and continuous towards the boundary value.
+  for (double eps : {1e-9, 1e-12, 1e-15}) {
+    const double external = lensArea(1.0, 1.0, 2.0 - eps);
+    EXPECT_TRUE(std::isfinite(external)) << eps;
+    EXPECT_GE(external, 0.0) << eps;
+    EXPECT_LE(external, 1e-3) << eps;
+
+    const double internal = lensArea(2.0, 1.0, 1.0 + eps);
+    EXPECT_TRUE(std::isfinite(internal)) << eps;
+    EXPECT_LE(internal, M_PI + 1e-12) << eps;
+    EXPECT_NEAR(internal, M_PI, 1e-3) << eps;
+  }
+  // Area shrinks monotonically as the disks pull apart through tangency.
+  EXPECT_GE(lensArea(1.0, 1.0, 2.0 - 1e-9), lensArea(1.0, 1.0, 2.0 - 1e-12));
+  EXPECT_GE(lensArea(1.0, 1.0, 2.0 - 1e-12), lensArea(1.0, 1.0, 2.0));
+}
+
 TEST(IntersectionAreaEq1, MatchesLensAreaWithOffsetConvention) {
   // x is the signed distance from L2's centre to L1's border.
   EXPECT_DOUBLE_EQ(intersectionAreaEq1(2.0, 1.0, 0.5),

@@ -9,10 +9,20 @@
 
 #include "protocols/probabilistic.hpp"
 #include "sim/experiment.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/table.hpp"
 
 namespace nsmodel::sim {
 namespace {
+
+std::vector<std::string> splitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string field;
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  return fields;
+}
 
 class TraceExportTest : public ::testing::Test {
  protected:
@@ -47,7 +57,7 @@ TEST_F(TraceExportTest, PhaseTraceHasOneRowPerPhase) {
   EXPECT_EQ(content[1].rfind("1.000000,1.000000,", 0), 0u);
 }
 
-TEST_F(TraceExportTest, PhaseTraceCumulativeReachabilityEndsAtFinal) {
+TEST_F(TraceExportTest, PhaseTraceUsesCanonicalReachability) {
   ExperimentConfig cfg;
   cfg.rings = 3;
   cfg.neighborDensity = 25.0;
@@ -57,21 +67,60 @@ TEST_F(TraceExportTest, PhaseTraceCumulativeReachabilityEndsAtFinal) {
       2, 0);
   exportPhaseTraceCsv(run, path_);
   const auto content = lines();
-  const std::string& last = content.back();
-  const double tail = std::stod(last.substr(last.rfind(',') + 1));
-  EXPECT_NEAR(tail, run.finalReachability(), 1e-5);
+  // Every row's cum_reachability is RunResult::reachabilityAfter at that
+  // phase boundary — identical formatting, not just numerically close.
+  for (std::size_t i = 1; i < content.size(); ++i) {
+    const auto fields = splitCsv(content[i]);
+    ASSERT_EQ(fields.size(), 6u);
+    EXPECT_EQ(fields[5], support::formatDouble(
+                             run.reachabilityAfter(static_cast<double>(i)), 6))
+        << "row " << i;
+  }
+  // And the last row agrees with the run's final reachability.
+  const auto lastFields = splitCsv(content.back());
+  EXPECT_EQ(lastFields[5],
+            support::formatDouble(run.finalReachability(), 6));
 }
 
 TEST_F(TraceExportTest, DeploymentExportListsEveryNode) {
   support::Rng rng(3);
   const net::Deployment dep = net::Deployment::uniformDisk(rng, 3.0, 50);
-  exportDeploymentCsv(dep, path_);
+  exportDeploymentCsv(dep, 1.0, path_);
   const auto content = lines();
   ASSERT_EQ(content.size(), 51u);
   EXPECT_EQ(content[0], "id,x,y,ring,is_source");
   // The source row (node 0, at the centre, ring 1, flagged).
   EXPECT_EQ(content[1].rfind("0.000000,0.000000,0.000000,1.000000,1", 0),
             0u);
+}
+
+TEST_F(TraceExportTest, DeploymentExportUsesModelRingWidth) {
+  support::Rng rng(7);
+  const double ringWidth = 0.5;
+  const net::Deployment dep = net::Deployment::uniformDisk(rng, 2.0, 80);
+  exportDeploymentCsv(dep, ringWidth, path_);
+  const auto content = lines();
+  ASSERT_EQ(content.size(), 81u);
+  bool differsFromUnitRings = false;
+  for (std::size_t i = 1; i < content.size(); ++i) {
+    const auto fields = splitCsv(content[i]);
+    ASSERT_EQ(fields.size(), 5u);
+    const auto id = static_cast<net::NodeId>(std::stoul(fields[0]));
+    const int ring = static_cast<int>(std::stod(fields[3]));
+    EXPECT_EQ(ring, dep.ringOf(id, ringWidth)) << "node " << id;
+    if (dep.ringOf(id, ringWidth) != dep.ringOf(id, 1.0)) {
+      differsFromUnitRings = true;
+    }
+  }
+  // Regression guard for the hard-coded unit ring width: with r = 0.5 the
+  // exported indices must not all coincide with the unit-width ones.
+  EXPECT_TRUE(differsFromUnitRings);
+}
+
+TEST_F(TraceExportTest, DeploymentExportRejectsBadRingWidth) {
+  support::Rng rng(5);
+  const net::Deployment dep = net::Deployment::uniformDisk(rng, 2.0, 10);
+  EXPECT_THROW(exportDeploymentCsv(dep, 0.0, path_), Error);
 }
 
 }  // namespace

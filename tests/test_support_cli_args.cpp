@@ -98,6 +98,34 @@ TEST(CliArgs, UnusedFlagsTracksAccess) {
   EXPECT_TRUE(args.unusedFlags().empty());
 }
 
+TEST(CliArgs, OutOfRangeIntegersThrow) {
+  // strtol would silently saturate these to LONG_MAX / LONG_MIN.
+  const CliArgs args = parse({"tool", "--n=99999999999999999999",
+                              "--m=-99999999999999999999", "--ok=42"});
+  EXPECT_THROW(args.getInt("n", 0), Error);
+  EXPECT_THROW(args.getInt("m", 0), Error);
+  EXPECT_EQ(args.getInt("ok", 0), 42);
+}
+
+TEST(CliArgs, OutOfRangeDoublesThrow) {
+  // Overflow saturates strtod to +-HUGE_VAL; underflow towards zero is
+  // accepted (it is a faithful rounding, not a silent saturation).
+  const CliArgs args = parse({"tool", "--big=1e999", "--neg=-1e999",
+                              "--tiny=1e-320"});
+  EXPECT_THROW(args.getDouble("big", 0.0), Error);
+  EXPECT_THROW(args.getDouble("neg", 0.0), Error);
+  EXPECT_NEAR(args.getDouble("tiny", 1.0), 0.0, 1e-300);
+}
+
+TEST(CliArgs, EmptyFlagNamesRejected) {
+  EXPECT_THROW(parse({"tool", "--"}), Error);
+  EXPECT_THROW(parse({"tool", "--=value"}), Error);
+  // A plain single dash is still a positional argument.
+  const CliArgs args = parse({"tool", "-"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "-");
+}
+
 TEST(CliArgs, LastOccurrenceWins) {
   const CliArgs args = parse({"tool", "--p=0.1", "--p=0.9"});
   EXPECT_DOUBLE_EQ(args.getDouble("p", 0.0), 0.9);

@@ -1,0 +1,139 @@
+#include "validate/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "analytic/mu.hpp"
+#include "support/error.hpp"
+#include "validate/report.hpp"
+
+namespace nsmodel::validate {
+namespace {
+
+GoldenTable sampleTable() {
+  GoldenTable table;
+  table.name = "sample";
+  table.inputColumns = {"k", "s"};
+  table.valueColumns = {"v"};
+  // Values chosen to stress the 17-significant-digit round-trip: a
+  // non-terminating binary fraction, a tiny subnormal, a huge magnitude,
+  // a negative, and the harness's kUndefined sentinel.
+  table.rows = {
+      {{2.0, 3.0}, {0.1}},
+      {{5.0, 3.0}, {1.0 / 3.0}},
+      {{7.0, 8.0}, {4.9406564584124654e-324}},
+      {{9.0, 2.0}, {-1.7976931348623157e308}},
+      {{11.0, 2.0}, {-1.0}},
+  };
+  return table;
+}
+
+class GoldenFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "nsmodel_golden_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(GoldenFileTest, RoundTripIsBitExact) {
+  const GoldenTable table = sampleTable();
+  writeGoldenTable(table, path_);
+  const GoldenTable loaded = loadGoldenTable(path_);
+  EXPECT_EQ(loaded.name, table.name);
+  EXPECT_EQ(loaded.inputColumns, table.inputColumns);
+  EXPECT_EQ(loaded.valueColumns, table.valueColumns);
+  ASSERT_EQ(loaded.rows.size(), table.rows.size());
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    ASSERT_EQ(loaded.rows[i].inputs, table.rows[i].inputs) << "row " << i;
+    ASSERT_EQ(loaded.rows[i].values.size(), table.rows[i].values.size());
+    for (std::size_t j = 0; j < table.rows[i].values.size(); ++j) {
+      EXPECT_EQ(ulpDistance(loaded.rows[i].values[j], table.rows[i].values[j]),
+                0)
+          << "row " << i << " value " << j;
+    }
+  }
+}
+
+TEST_F(GoldenFileTest, LoadRejectsMalformedFiles) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("not a golden file\n1,2,3\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(loadGoldenTable(path_), nsmodel::Error);
+  EXPECT_THROW(loadGoldenTable(path_ + ".does-not-exist"), nsmodel::Error);
+}
+
+TEST(GoldenFileName, IsStable) {
+  EXPECT_EQ(goldenFileName("mu"), "golden_mu.csv");
+  EXPECT_EQ(goldenFileName("ring"), "golden_ring.csv");
+}
+
+TEST(CheckGoldenTable, IdenticalTablesPass) {
+  const GoldenTable table = sampleTable();
+  Report report;
+  checkGoldenTable(table, table, 0, report);
+  EXPECT_GT(report.total(), 0u);
+  EXPECT_TRUE(report.allPassed());
+}
+
+TEST(CheckGoldenTable, PerturbedValueFails) {
+  const GoldenTable golden = sampleTable();
+  GoldenTable computed = golden;
+  computed.rows[1].values[0] =
+      std::nextafter(computed.rows[1].values[0], 1.0);
+  Report strict;
+  checkGoldenTable(golden, computed, 0, strict);
+  EXPECT_EQ(strict.failures(), 1u);
+  // A one-ULP budget absorbs exactly this perturbation.
+  Report loose;
+  checkGoldenTable(golden, computed, 1, loose);
+  EXPECT_TRUE(loose.allPassed());
+}
+
+TEST(CheckGoldenTable, GridMismatchIsAFailedCheckNotAnException) {
+  const GoldenTable golden = sampleTable();
+
+  GoldenTable fewerRows = golden;
+  fewerRows.rows.pop_back();
+  Report rowReport;
+  checkGoldenTable(golden, fewerRows, 0, rowReport);
+  EXPECT_GT(rowReport.failures(), 0u);
+
+  GoldenTable shiftedInputs = golden;
+  shiftedInputs.rows[0].inputs[0] += 1.0;
+  Report inputReport;
+  checkGoldenTable(golden, shiftedInputs, 0, inputReport);
+  EXPECT_GT(inputReport.failures(), 0u);
+}
+
+TEST(GoldenGenerators, ProduceConsistentTables) {
+  for (const GoldenTable& table : computeAllGoldenTables()) {
+    EXPECT_FALSE(table.name.empty());
+    EXPECT_FALSE(table.rows.empty()) << table.name;
+    for (const GoldenRow& row : table.rows) {
+      EXPECT_EQ(row.inputs.size(), table.inputColumns.size()) << table.name;
+      EXPECT_EQ(row.values.size(), table.valueColumns.size()) << table.name;
+      for (double v : row.values) {
+        EXPECT_TRUE(std::isfinite(v)) << table.name;
+      }
+    }
+  }
+}
+
+TEST(GoldenGenerators, MuTableMatchesLiveImplementation) {
+  const GoldenTable table = computeGoldenMu();
+  ASSERT_EQ(table.inputColumns.size(), 2u);
+  for (const GoldenRow& row : table.rows) {
+    const auto k = static_cast<std::int64_t>(row.inputs[0]);
+    const auto s = static_cast<int>(row.inputs[1]);
+    EXPECT_EQ(ulpDistance(row.values[0], analytic::mu(k, s)), 0)
+        << "K=" << k << " s=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace nsmodel::validate

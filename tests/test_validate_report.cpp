@@ -1,0 +1,135 @@
+#include "validate/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace nsmodel::validate {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(UlpDistance, IdenticalValuesAreZero) {
+  EXPECT_EQ(ulpDistance(1.0, 1.0), 0);
+  EXPECT_EQ(ulpDistance(0.0, 0.0), 0);
+  EXPECT_EQ(ulpDistance(-3.5e100, -3.5e100), 0);
+  // Signed zeros compare equal even though their bit patterns differ.
+  EXPECT_EQ(ulpDistance(0.0, -0.0), 0);
+}
+
+TEST(UlpDistance, AdjacentDoublesAreOneApart) {
+  const double x = 1.0;
+  const double up = std::nextafter(x, 2.0);
+  EXPECT_EQ(ulpDistance(x, up), 1);
+  EXPECT_EQ(ulpDistance(up, x), 1);  // symmetric
+  const double down = std::nextafter(x, 0.0);
+  EXPECT_EQ(ulpDistance(x, down), 1);
+  EXPECT_EQ(ulpDistance(down, up), 2);
+}
+
+TEST(UlpDistance, CrossesZeroWithoutOverflow) {
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  // The monotone bit mapping gives +0.0 and -0.0 their own ordinals, so
+  // the smallest subnormals sit 3 apart (+tiny, +0, -0, -tiny); only
+  // exact equality collapses the signed zeros.
+  EXPECT_EQ(ulpDistance(tiny, -tiny), 3);
+  EXPECT_EQ(ulpDistance(tiny, 0.0), 1);
+  // Extreme opposite-sign values must clamp, not overflow.
+  const double big = std::numeric_limits<double>::max();
+  EXPECT_GT(ulpDistance(big, -big), 0);
+}
+
+TEST(UlpDistance, NanIsMaximallyFar) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto sentinel = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(ulpDistance(nan, 1.0), sentinel);
+  EXPECT_EQ(ulpDistance(1.0, nan), sentinel);
+  EXPECT_EQ(ulpDistance(nan, nan), sentinel);
+}
+
+TEST(CheckExact, PassesWithinUlpBudget) {
+  const CheckResult same = checkExact("s", "n", 0.25, 0.25, 0);
+  EXPECT_TRUE(same.passed);
+  EXPECT_EQ(same.detail, "ulp=0");
+
+  const double off = std::nextafter(0.25, 1.0);
+  EXPECT_FALSE(checkExact("s", "n", off, 0.25, 0).passed);
+  EXPECT_TRUE(checkExact("s", "n", off, 0.25, 1).passed);
+}
+
+TEST(CheckWithin, UsesAbsoluteTolerance) {
+  EXPECT_TRUE(checkWithin("s", "n", 1.05, 1.0, 0.1).passed);
+  EXPECT_FALSE(checkWithin("s", "n", 1.2, 1.0, 0.1).passed);
+  const CheckResult r = checkWithin("s", "n", 1.0, 1.0, 0.0, "note");
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(r.detail, "note");
+}
+
+TEST(CheckThat, RecordsPredicate) {
+  EXPECT_TRUE(checkThat("s", "holds", true).passed);
+  EXPECT_FALSE(checkThat("s", "fails", false, "why").passed);
+}
+
+TEST(Report, CountsFailures) {
+  Report report;
+  report.add(checkThat("a", "ok", true));
+  report.add(checkThat("a", "bad", false));
+  report.add(checkWithin("b", "close", 1.0, 1.0, 0.0));
+  EXPECT_EQ(report.total(), 3u);
+  EXPECT_EQ(report.failures(), 1u);
+  EXPECT_FALSE(report.allPassed());
+}
+
+TEST(Report, SummaryListsFailuresPerSuite) {
+  Report report;
+  report.add(checkThat("suite-x", "good", true));
+  report.add(checkThat("suite-y", "broken-point", false));
+  std::ostringstream os;
+  report.printSummary(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("suite-x"), std::string::npos);
+  EXPECT_NE(text.find("suite-y"), std::string::npos);
+  EXPECT_NE(text.find("broken-point"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+class ReportFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "nsmodel_report_test.out";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(ReportFileTest, JsonDumpContainsEveryCheck) {
+  Report report;
+  report.add(checkWithin("cross/cam", "rho=20 p=0.5", 0.91, 0.9, 0.05));
+  report.add(checkThat("invariant", "mu \"in\" [0,1]", false));
+  report.writeJson(path_);
+  const std::string json = slurp(path_);
+  EXPECT_NE(json.find("\"suite\": \"cross/cam\""), std::string::npos);
+  EXPECT_NE(json.find("rho=20 p=0.5"), std::string::npos);
+  // The quote inside the check name must be escaped.
+  EXPECT_NE(json.find("mu \\\"in\\\" [0,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"passed\": false"), std::string::npos);
+}
+
+TEST_F(ReportFileTest, CsvDumpHasHeaderAndRows) {
+  Report report;
+  report.add(checkWithin("a", "p1", 1.0, 2.0, 0.5));
+  report.writeCsv(path_);
+  const std::string csv = slurp(path_);
+  EXPECT_EQ(csv.rfind("suite,", 0), 0u);
+  EXPECT_NE(csv.find("\na,p1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsmodel::validate

@@ -1,0 +1,131 @@
+// nsmodel_validate — the paper-fidelity regression gate.
+//
+// Layers (selected with --suite, default all):
+//   golden      compare f / mu / mu' / Eq. 4 ring metrics against the
+//               checked-in golden tables in data/golden/, to the ULP
+//   cross       analytic predictions vs seeded Monte-Carlo estimates for
+//               CAM and the carrier-sensing variant, with CI-aware
+//               tolerances
+//   invariants  property sweeps (mu in [0,1], carrier sensing only hurts,
+//               reachability monotone, energy M consistent with recorded
+//               transmissions) on both backends
+//
+// Flags:
+//   --golden-dir=DIR   directory of golden tables (default data/golden)
+//   --suite=all|golden|cross|invariants
+//   --fast             thinned grids + fewer replications (the ctest gate)
+//   --regen            rewrite the golden tables from the current
+//                      implementation instead of checking, then exit
+//   --max-ulp=N        golden comparison slack in ULPs (default 0 = exact)
+//   --seed=S --reps=R  Monte-Carlo parameters for the cross layer
+//   --json=PATH --csv=PATH   write the full divergence report
+//
+// Exit status: 0 when every check passed, 1 otherwise (2 on usage errors).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "support/cli_args.hpp"
+#include "support/error.hpp"
+#include "validate/cross_check.hpp"
+#include "validate/golden.hpp"
+#include "validate/report.hpp"
+
+namespace {
+
+using namespace nsmodel;
+using support::CliArgs;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: nsmodel_validate [--suite=all|golden|cross|invariants]\n"
+      "                        [--golden-dir=data/golden] [--fast] [--regen]\n"
+      "                        [--max-ulp=0] [--seed=42] [--reps=48]\n"
+      "                        [--json=report.json] [--csv=report.csv]\n");
+  std::exit(2);
+}
+
+int regenerate(const std::string& goldenDir) {
+  for (const validate::GoldenTable& table :
+       validate::computeAllGoldenTables()) {
+    const std::string path =
+        goldenDir + "/" + validate::goldenFileName(table.name);
+    validate::writeGoldenTable(table, path);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), table.rows.size());
+  }
+  return 0;
+}
+
+void runGoldenSuite(const std::string& goldenDir, int maxUlp,
+                    validate::Report& report) {
+  for (const validate::GoldenTable& computed :
+       validate::computeAllGoldenTables()) {
+    const std::string path =
+        goldenDir + "/" + validate::goldenFileName(computed.name);
+    validate::GoldenTable golden;
+    try {
+      golden = validate::loadGoldenTable(path);
+    } catch (const nsmodel::Error& error) {
+      report.add(validate::checkThat("golden/" + computed.name,
+                                     "table file loads", false,
+                                     error.what()));
+      continue;
+    }
+    validate::checkGoldenTable(golden, computed, maxUlp, report);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    const std::string suite = args.getString("suite", "all");
+    const std::string goldenDir = args.getString("golden-dir", "data/golden");
+    const bool fast = args.getBool("fast", false);
+    const bool regen = args.getBool("regen", false);
+    const int maxUlp = static_cast<int>(args.getInt("max-ulp", 0));
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    const int reps = static_cast<int>(args.getInt("reps", 48));
+    const std::string jsonPath = args.getString("json", "");
+    const std::string csvPath = args.getString("csv", "");
+    NSMODEL_CHECK(suite == "all" || suite == "golden" || suite == "cross" ||
+                      suite == "invariants",
+                  "unknown --suite: " + suite);
+    NSMODEL_CHECK(maxUlp >= 0, "--max-ulp must be non-negative");
+    NSMODEL_CHECK(reps >= 2, "--reps must be at least 2");
+    if (!args.positional().empty()) usage();
+    const auto unused = args.unusedFlags();
+    if (!unused.empty()) {
+      std::string message = "unknown flag(s):";
+      for (const auto& flag : unused) message += " --" + flag;
+      throw Error(message);
+    }
+
+    if (regen) return regenerate(goldenDir);
+
+    validate::Report report;
+    if (suite == "all" || suite == "golden") {
+      runGoldenSuite(goldenDir, maxUlp, report);
+    }
+    if (suite == "all" || suite == "cross") {
+      validate::CrossCheckConfig config;
+      config.seed = seed;
+      config.replications = reps;
+      config.fast = fast;
+      validate::runCrossChecks(config, report);
+    }
+    if (suite == "all" || suite == "invariants") {
+      validate::runInvariantChecks(fast, seed, report);
+    }
+
+    report.printSummary(std::cout);
+    if (!jsonPath.empty()) report.writeJson(jsonPath);
+    if (!csvPath.empty()) report.writeCsv(csvPath);
+    return report.allPassed() ? 0 : 1;
+  } catch (const nsmodel::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
