@@ -1,0 +1,118 @@
+// Ablation — the fault matrix (Assumptions 5 and 6 relaxed together).
+//
+// The paper's design methodology tunes the broadcast probability under a
+// frozen, perfectly synchronised network.  This bench re-evaluates the
+// failure-free tuning under a matrix of fault regimes from src/fault —
+// permanent and transient crashes, bursty Gilbert–Elliott link loss,
+// clock drift (partial slot overlaps), energy-depletion cutoffs, and a
+// combined regime — and reports how much reachability the tuned p and
+// flooding each retain.  The design question mirrors ablation_node_failure
+// but across the whole fault space: which violations of the assumptions
+// merely degrade the tuned operating point, and which invert the
+// flooding-vs-tuned ranking?
+#include <memory>
+
+#include "bench_common.hpp"
+#include "fault/fault_models.hpp"
+#include "protocols/probabilistic.hpp"
+
+using namespace nsmodel;
+using bench::BenchOptions;
+
+namespace {
+
+struct Regime {
+  const char* name;
+  fault::FaultConfig fault;
+};
+
+std::vector<Regime> faultMatrix() {
+  std::vector<Regime> regimes;
+  regimes.push_back({"baseline (no faults)", {}});
+
+  fault::FaultConfig crash;
+  crash.crash.crashRate = 0.05;
+  regimes.push_back({"permanent crash 5%/phase", crash});
+
+  fault::FaultConfig transient;
+  transient.crash.crashRate = 0.1;
+  transient.crash.recoveryRate = 0.3;
+  regimes.push_back({"transient crash 10%/30%", transient});
+
+  fault::FaultConfig bursty;
+  bursty.link.pGoodToBad = 0.2;
+  bursty.link.pBadToGood = 0.4;
+  bursty.link.lossBad = 0.8;
+  regimes.push_back({"bursty loss (GE, 80% bad)", bursty});
+
+  fault::FaultConfig drift;
+  drift.drift.maxSkewSlots = 0.45;
+  regimes.push_back({"clock drift (0.45 slot)", drift});
+
+  fault::FaultConfig energy;
+  energy.energyBudget = 3.0;
+  regimes.push_back({"energy budget 3 packets", energy});
+
+  fault::FaultConfig combined;
+  combined.crash.crashRate = 0.02;
+  combined.link.pGoodToBad = 0.2;
+  combined.link.pBadToGood = 0.4;
+  combined.link.lossBad = 0.8;
+  combined.drift.maxSkewSlots = 0.3;
+  regimes.push_back({"combined (mild all)", combined});
+  return regimes;
+}
+
+double meanReach(const BenchOptions& opts, double rho, double p,
+                 const fault::FaultConfig& fault, int reps) {
+  sim::ExperimentConfig cfg;
+  cfg.neighborDensity = rho;
+  cfg.fault = fault;
+  double total = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    total += sim::runExperiment(
+                 cfg,
+                 [p] {
+                   return std::make_unique<protocols::ProbabilisticBroadcast>(
+                       p);
+                 },
+                 opts.seed, rep)
+                 .reachabilityAfter(5.0);
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  bench::banner("Ablation", "fault matrix: crash / burst loss / drift / energy");
+  const core::MetricSpec spec = core::MetricSpec::reachabilityUnderLatency(5.0);
+  const int reps = opts.fast ? 6 : 20;
+  const double rho = 100.0;
+
+  const auto best = bench::paperModel(rho).optimize(spec);
+  const double tunedP = best->probability;
+  std::printf("rho = %.0f, tuned p* = %.2f (failure-free analysis)\n\n", rho,
+              tunedP);
+
+  support::TablePrinter table(
+      {"fault regime", "flooding (p=1)", "tuned p*", "tuned advantage"});
+  for (const Regime& regime : faultMatrix()) {
+    const double flood = meanReach(opts, rho, 1.0, regime.fault, reps);
+    const double tuned = meanReach(opts, rho, tunedP, regime.fault, reps);
+    table.addRow({regime.name, support::formatDouble(flood, 3),
+                  support::formatDouble(tuned, 3),
+                  support::formatDouble(tuned - flood, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nTakeaway: collision-side faults (burst loss, drift) hit flooding\n"
+      "harder than the tuned p — they amplify the redundancy the tuning\n"
+      "already removes — while node-side faults (crashes, energy death)\n"
+      "erode the tuned advantage because dead relays, not collisions,\n"
+      "become the binding loss. The fault matrix tells a designer which\n"
+      "assumption violations merely shift the operating point and which\n"
+      "demand re-tuning toward more redundancy.\n");
+  return 0;
+}

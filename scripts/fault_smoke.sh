@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Fault-matrix smoke lane: exercises the fault-injection flags, the fault
+# invariant suite, and the crash-safe sweep runner end to end — including
+# a per-point timeout (points must be *skipped*, not lost) and a forced
+# SIGKILL + --resume round-trip whose aggregate CSV must be byte-identical
+# to an uninterrupted sweep.
+#
+# Usage: scripts/fault_smoke.sh [path/to/nsmodel_cli [path/to/nsmodel_validate]]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${1:-build/tools/nsmodel_cli}"
+VALIDATE="${2:-build/tools/nsmodel_validate}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== fault invariant suite (fast) =="
+"$VALIDATE" --suite=fault --fast
+
+echo "== simulate accepts the full fault-flag surface =="
+"$CLI" simulate --rho=25 --rings=4 --crash-rate=0.1 --recovery-rate=0.3 \
+  --ge-g2b=0.2 --ge-b2g=0.4 --ge-loss-bad=0.6 --drift=0.3 \
+  --energy-budget=5 --fault-seed=7 >/dev/null
+
+echo "== bad fault flags fail with a structured config error =="
+set +e
+BAD_OUT="$("$CLI" simulate --rho=25 --crash-rate=1.5 2>&1)"
+BAD_RC=$?
+set -e
+if [[ "$BAD_RC" -eq 0 ]] || ! grep -q '\[config\]' <<<"$BAD_OUT"; then
+  echo "FAIL: --crash-rate=1.5 exited $BAD_RC without a [config] error line"
+  echo "$BAD_OUT"
+  exit 1
+fi
+
+SWEEP_FLAGS=(robust-sweep --rho=50 --rings=4 --metric=reach-latency:5
+  --reps=200 --seed=42 --crash-rate=0.05 --fault-seed=3)
+
+echo "== reference sweep (uninterrupted) =="
+"$CLI" "${SWEEP_FLAGS[@]}" --journal="$WORK/ref.journal" \
+  --csv="$WORK/ref.csv"
+
+echo "== per-point timeout leads to explicit skips (exit 3) =="
+set +e
+"$CLI" "${SWEEP_FLAGS[@]}" --timeout=0.000001 --retries=2 \
+  --csv="$WORK/timeout.csv" >"$WORK/timeout.out" 2>&1
+TIMEOUT_RC=$?
+set -e
+if [[ "$TIMEOUT_RC" -ne 3 ]] || ! grep -q 'skipped' "$WORK/timeout.out"; then
+  echo "FAIL: timeout sweep exited $TIMEOUT_RC (want 3, with skip report)"
+  cat "$WORK/timeout.out"
+  exit 1
+fi
+
+echo "== SIGKILL mid-sweep, then --resume: CSV must be byte-identical =="
+"$CLI" "${SWEEP_FLAGS[@]}" --serial --journal="$WORK/kill.journal" \
+  --csv="$WORK/killed.csv" >/dev/null 2>&1 &
+PID=$!
+sleep 0.7
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+DONE_BEFORE=$(grep -c $'\tdone\t' "$WORK/kill.journal" 2>/dev/null || true)
+echo "journalled points at kill time: ${DONE_BEFORE:-0}"
+
+"$CLI" "${SWEEP_FLAGS[@]}" --journal="$WORK/kill.journal" --resume \
+  --csv="$WORK/resumed.csv" | grep 'points:'
+cmp "$WORK/ref.csv" "$WORK/resumed.csv"
+echo "resume round-trip: CSV byte-identical"
+
+echo
+echo "fault smoke: OK"

@@ -1,0 +1,34 @@
+#include "fault/fault_models.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::fault {
+
+namespace {
+
+void checkProbability(double value, const char* name) {
+  NSMODEL_CHECK(!std::isnan(value), std::string(name) + " must not be NaN");
+  NSMODEL_CHECK(value >= 0.0 && value <= 1.0,
+                std::string(name) + " must lie in [0, 1]");
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  checkProbability(crash.crashRate, "fault crash rate");
+  checkProbability(crash.recoveryRate, "fault recovery rate");
+  checkProbability(link.pGoodToBad, "Gilbert-Elliott good->bad probability");
+  checkProbability(link.pBadToGood, "Gilbert-Elliott bad->good probability");
+  checkProbability(link.lossGood, "Gilbert-Elliott good-state loss");
+  checkProbability(link.lossBad, "Gilbert-Elliott bad-state loss");
+  NSMODEL_CHECK(!std::isnan(drift.maxSkewSlots),
+                "clock drift skew must not be NaN");
+  NSMODEL_CHECK(drift.maxSkewSlots >= 0.0 && drift.maxSkewSlots < 0.5,
+                "clock drift skew must lie in [0, 0.5) slots");
+  NSMODEL_CHECK(!std::isnan(energyBudget) && energyBudget >= 0.0,
+                "energy budget must be non-negative");
+}
+
+}  // namespace nsmodel::fault

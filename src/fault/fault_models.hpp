@@ -1,0 +1,96 @@
+// Fault model configurations (relaxing Assumptions 5 and 6).
+//
+// The paper's analysis freezes the network: no node failures (Assumption
+// 5) and a perfectly slotted channel whose only loss mechanism is the CAM
+// collision rule (Assumption 6).  Real sensor fields violate both, and
+// the point of the communication models is to guide protocol design for
+// exactly such fields.  This module declares the composable fault shapes
+// the simulators can inject; fault_plan.hpp turns a FaultConfig into a
+// deterministic, per-run FaultPlan.
+//
+// Four orthogonal models, each off by default:
+//  * CrashConfig        per-phase node crash (and optional recovery)
+//                       schedules — permanent or transient node death.
+//  * GilbertElliottConfig  two-state bursty link erasures layered *under*
+//                       the channel's collision semantics: the channel
+//                       decides which receptions survive collisions, the
+//                       GE process then erases survivors with a state-
+//                       dependent probability.
+//  * ClockDriftConfig   per-node slot misalignment: a skewed node's
+//                       transmissions partially overlap the neighbouring
+//                       slot, turning the clean Assumption-6 windows into
+//                       partial overlaps.
+//  * energyBudget       per-node energy cutoff driven by net::Energy
+//                       accounting — a node whose spent energy reaches
+//                       the budget stops transmitting and receiving.
+//
+// All-default (zero) configuration is guaranteed to leave every backend
+// bit-identical to the fault-free code path.
+#pragma once
+
+#include <cstdint>
+
+namespace nsmodel::fault {
+
+/// Per-phase crash/recovery schedule parameters.  With recoveryRate == 0
+/// crashes are permanent (the classic Assumption-5 relaxation); with
+/// recoveryRate > 0 nodes oscillate between up and down intervals whose
+/// lengths are geometric.
+struct CrashConfig {
+  double crashRate = 0.0;     ///< P(up node crashes) per phase boundary
+  double recoveryRate = 0.0;  ///< P(down node recovers) per phase boundary
+
+  bool active() const { return crashRate > 0.0; }
+};
+
+/// Two-state Gilbert–Elliott link erasure process, advanced once per slot
+/// per receiver.  State Good erases a delivered packet with lossGood,
+/// state Bad with lossBad; transitions Good->Bad (pGoodToBad) and
+/// Bad->Good (pBadToGood) happen at slot boundaries.  Loss 0 in both
+/// states is exactly the fault-free channel, whatever the transition
+/// probabilities.
+struct GilbertElliottConfig {
+  double pGoodToBad = 0.0;
+  double pBadToGood = 0.0;
+  double lossGood = 0.0;
+  double lossBad = 0.0;
+
+  bool active() const { return lossGood > 0.0 || lossBad > 0.0; }
+};
+
+/// Per-node clock misalignment.  Each node's slot boundary is offset by a
+/// fixed skew drawn uniformly from [-maxSkewSlots, +maxSkewSlots] (in
+/// slots, < 0.5): its unit-length transmission then straddles two slots,
+/// delivering in the majority slot and interfering in the spilled one.
+struct ClockDriftConfig {
+  double maxSkewSlots = 0.0;
+
+  bool active() const { return maxSkewSlots > 0.0; }
+};
+
+/// The composed fault layer of one experiment.
+struct FaultConfig {
+  CrashConfig crash;
+  GilbertElliottConfig link;
+  ClockDriftConfig drift;
+  /// Per-node energy cutoff (same units as net::EnergyCosts); a node
+  /// whose ledger energy reaches the budget is dead from then on.
+  /// 0 = unlimited.
+  double energyBudget = 0.0;
+  /// Extra seed folded into each run's fault stream.  Two runs with the
+  /// same (seed, stream) but different faultSeed draw independent fault
+  /// schedules over the same deployment.
+  std::uint64_t faultSeed = 0;
+
+  /// True when any model is switched on; false guarantees the fault layer
+  /// adds no code-path difference at all.
+  bool anyEnabled() const {
+    return crash.active() || link.active() || drift.active() ||
+           energyBudget > 0.0;
+  }
+
+  /// Throws nsmodel::ConfigError on NaN or out-of-range parameters.
+  void validate() const;
+};
+
+}  // namespace nsmodel::fault

@@ -1,0 +1,168 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::fault {
+
+namespace {
+
+// Domain-separation salts for the counter-based draws.
+constexpr std::uint64_t kSaltCrash = 0xC4A5;
+constexpr std::uint64_t kSaltSkew = 0x5E3F;
+constexpr std::uint64_t kSaltTransition = 0x6E17;
+constexpr std::uint64_t kSaltLoss = 0x10555;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 27);
+}
+
+double uniformFromBits(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Number of phase boundaries until the first success of a Bernoulli(p)
+/// process, in {1, 2, ...}, by inversion of the given uniform.  Sharing
+/// the uniform across rates makes the draw monotone: a higher rate never
+/// yields a later success (the coupling behind the degradation
+/// invariants in src/validate).
+std::uint64_t geometricPhases(double p, double u, std::uint64_t cap) {
+  if (p >= 1.0) return 1;
+  NSMODEL_ASSERT(p > 0.0);
+  const double k = std::ceil(std::log1p(-u) / std::log1p(-p));
+  if (!(k >= 1.0)) return 1;
+  if (k >= static_cast<double>(cap)) return cap;
+  return static_cast<std::uint64_t>(k);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::build(const FaultConfig& config, std::size_t nodeCount,
+                           std::uint64_t phaseHorizon,
+                           std::uint64_t entropy) {
+  config.validate();
+  FaultPlan plan;
+  plan.planSeed_ = mix(mix(0xFA171CAFEULL, config.faultSeed), entropy);
+  plan.energyBudget_ = config.energyBudget;
+  plan.link_ = config.link;
+  plan.linkActive_ = config.link.active();
+  if (plan.linkActive_) {
+    plan.geSlot_.assign(nodeCount, 0);
+    plan.geBad_.assign(nodeCount, 0);  // the chain starts Good at slot 0
+  }
+
+  if (config.drift.active()) {
+    plan.driftActive_ = true;
+    plan.skew_.resize(nodeCount);
+    for (std::size_t node = 0; node < nodeCount; ++node) {
+      const double u = uniformFromBits(
+          mix(mix(plan.planSeed_, kSaltSkew), node));
+      plan.skew_[node] = (2.0 * u - 1.0) * config.drift.maxSkewSlots;
+    }
+  }
+
+  if (config.crash.active()) {
+    plan.crashActive_ = true;
+    plan.toggles_.resize(nodeCount);
+    // Phases past the horizon cannot matter; cap the schedules there.
+    const std::uint64_t cap = phaseHorizon + 1;
+    for (std::size_t node = 0; node < nodeCount; ++node) {
+      // A per-node counter-based stream: draw k is a pure function of
+      // (plan seed, node, k).  Draw 0 is the first crash, so at fixed
+      // entropy a higher crash rate crashes every node no later
+      // (geometricPhases coupling).
+      const std::uint64_t nodeSeed =
+          mix(mix(plan.planSeed_, kSaltCrash), node);
+      std::uint64_t draw = 0;
+      auto nextUniform = [&] { return uniformFromBits(mix(nodeSeed, draw++)); };
+      std::uint64_t phase = geometricPhases(config.crash.crashRate,
+                                            nextUniform(), cap);
+      std::vector<std::uint32_t>& toggles = plan.toggles_[node];
+      while (phase <= phaseHorizon) {
+        toggles.push_back(static_cast<std::uint32_t>(phase));
+        if (config.crash.recoveryRate <= 0.0) break;  // permanent crash
+        const bool down = toggles.size() % 2 == 1;
+        const double rate =
+            down ? config.crash.recoveryRate : config.crash.crashRate;
+        phase += geometricPhases(rate, nextUniform(), cap);
+      }
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::addLegacyNodeFailures(double ratePerPhase,
+                                      std::size_t nodeCount,
+                                      support::Rng& rng) {
+  NSMODEL_CHECK(!std::isnan(ratePerPhase) && ratePerPhase >= 0.0 &&
+                    ratePerPhase <= 1.0,
+                "node failure rate must lie in [0, 1]");
+  if (ratePerPhase <= 0.0) return;
+  crashActive_ = true;
+  if (toggles_.size() < nodeCount) toggles_.resize(nodeCount);
+  // Exactly the historical draw loop (geometric by repeated Bernoulli
+  // trials from the run's own RNG) so equal seeds keep equal outputs.
+  for (std::size_t node = 0; node < nodeCount; ++node) {
+    std::uint32_t phase = 1;
+    while (!rng.bernoulli(ratePerPhase) && phase < 1000000) {
+      ++phase;
+    }
+    toggles_[node].push_back(phase);
+    // Legacy failures are permanent; keep the toggle list consistent.
+    std::sort(toggles_[node].begin(), toggles_[node].end());
+  }
+}
+
+bool FaultPlan::isDown(net::NodeId node, std::uint64_t phase) const {
+  if (!crashActive_ || node >= toggles_.size()) return false;
+  const std::vector<std::uint32_t>& toggles = toggles_[node];
+  const auto flips = std::upper_bound(toggles.begin(), toggles.end(), phase) -
+                     toggles.begin();
+  return flips % 2 == 1;
+}
+
+double FaultPlan::skew(net::NodeId node) const {
+  if (!driftActive_ || node >= skew_.size()) return 0.0;
+  return skew_[node];
+}
+
+bool FaultPlan::chainBad(net::NodeId node, std::uint64_t slot) {
+  std::uint64_t at = geSlot_[node];
+  bool bad = geBad_[node] != 0;
+  if (at > slot) {  // backward query: restart the pure chain from slot 0
+    at = 0;
+    bad = false;
+  }
+  while (at < slot) {
+    ++at;
+    const double u = uniformFromBits(
+        mix(mix(mix(planSeed_, kSaltTransition), node), at));
+    if (bad) {
+      if (u < link_.pBadToGood) bad = false;
+    } else {
+      if (u < link_.pGoodToBad) bad = true;
+    }
+  }
+  geSlot_[node] = at;
+  geBad_[node] = bad ? 1 : 0;
+  return bad;
+}
+
+bool FaultPlan::linkErased(net::NodeId receiver, net::NodeId sender,
+                           std::uint64_t slot) {
+  if (!linkActive_ || receiver >= geSlot_.size()) return false;
+  const bool bad = chainBad(receiver, slot);
+  const double loss = bad ? link_.lossBad : link_.lossGood;
+  if (loss <= 0.0) return false;
+  if (loss >= 1.0) return true;
+  const double u = uniformFromBits(
+      mix(mix(mix(mix(planSeed_, kSaltLoss), receiver), slot), sender));
+  return u < loss;
+}
+
+}  // namespace nsmodel::fault

@@ -1,0 +1,107 @@
+// Deterministic per-run fault plans.
+//
+// A FaultPlan materialises a FaultConfig for one simulation run: which
+// nodes are down during which phases, each node's clock skew, the
+// Gilbert–Elliott link state trajectory, and the energy cutoff.  Plans
+// are built from a seed, so every faulted run is bit-replayable; all link
+// and schedule randomness is counter-based (hashes of (plan seed, node,
+// slot, ...)) rather than drawn from the run's RNG, which gives two load-
+// bearing properties:
+//
+//  1. The protocol/deployment RNG stream is never perturbed.  A run whose
+//     fault models are configured but vacuous (e.g. Gilbert–Elliott with
+//     zero loss) is bit-identical to the fault-free run, and scenarios
+//     stay shareable through sim::ScenarioCache.
+//  2. Query order does not matter.  Whatever order the simulator asks
+//     linkErased()/isDown() in — across slots, across thread counts —
+//     the answers are a pure function of (plan seed, arguments).
+//
+// The legacy ExperimentConfig::nodeFailureRate knob is routed through the
+// same plan via addLegacyNodeFailures(), which reproduces the historical
+// draw-from-run-RNG stream exactly so old seeds keep old outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_models.hpp"
+#include "net/packet.hpp"
+
+namespace nsmodel::support {
+class Rng;
+}  // namespace nsmodel::support
+
+namespace nsmodel::fault {
+
+/// The materialised fault schedule of one run.  Cheap to build (O(nodes))
+/// and meant to live exactly as long as the run; the Gilbert–Elliott
+/// query keeps a small per-node cursor, so a plan instance is not
+/// thread-safe (use one per concurrent run, like net::Channel).
+class FaultPlan {
+ public:
+  /// Inactive plan: every query reports "no fault".
+  FaultPlan() = default;
+
+  /// Materialises `config` for a run of `nodeCount` nodes and at most
+  /// `phaseHorizon` phases.  `entropy` varies the draws per replication
+  /// (pass support::Rng::stateFingerprint() of the run's generator);
+  /// equal (config, nodeCount, phaseHorizon, entropy) rebuild the same
+  /// plan bit for bit.  Throws ConfigError on invalid config.
+  static FaultPlan build(const FaultConfig& config, std::size_t nodeCount,
+                         std::uint64_t phaseHorizon, std::uint64_t entropy);
+
+  /// Adds the legacy per-phase permanent failures, drawing from the run's
+  /// own RNG with exactly the historical sequence so that existing seeds
+  /// reproduce existing outputs (see bench/ablation_node_failure).
+  void addLegacyNodeFailures(double ratePerPhase, std::size_t nodeCount,
+                             support::Rng& rng);
+
+  /// True when any model can alter the run.  An unenabled plan guarantees
+  /// the fault-free code path.
+  bool enabled() const {
+    return crashActive_ || linkActive_ || driftActive_ || energyBudget_ > 0.0;
+  }
+
+  bool hasCrashes() const { return crashActive_; }
+  bool hasLinkLoss() const { return linkActive_; }
+  bool hasDrift() const { return driftActive_; }
+
+  /// Per-node energy cutoff; 0 = unlimited.
+  double energyBudget() const { return energyBudget_; }
+
+  /// Is `node` crashed (not yet recovered) during `phase` (0-based)?
+  bool isDown(net::NodeId node, std::uint64_t phase) const;
+
+  /// `node`'s fixed slot misalignment in (-0.5, 0.5) slots; 0 without
+  /// drift.
+  double skew(net::NodeId node) const;
+
+  /// Gilbert–Elliott erasure decision for a delivery to `receiver` from
+  /// `sender` during `slot`.  Deterministic in (plan, arguments).
+  bool linkErased(net::NodeId receiver, net::NodeId sender,
+                  std::uint64_t slot);
+
+ private:
+  bool chainBad(net::NodeId node, std::uint64_t slot);
+
+  // Per node: ascending phases at which the up/down state flips, starting
+  // with a crash.  Empty vector = never crashes.
+  std::vector<std::vector<std::uint32_t>> toggles_;
+  std::vector<double> skew_;
+  GilbertElliottConfig link_{};
+  double energyBudget_ = 0.0;
+  std::uint64_t planSeed_ = 0;
+  bool crashActive_ = false;
+  bool linkActive_ = false;
+  bool driftActive_ = false;
+
+  // Lazy Gilbert–Elliott cursors: the chain state at slot geSlot_[node].
+  // Queries usually arrive in non-decreasing slot order per node, so
+  // advancing from the cursor is O(1) amortised; a backward query falls
+  // back to recomputing from slot 0 (the answer is identical — the chain
+  // is a pure function of (plan seed, node, slot)).
+  std::vector<std::uint64_t> geSlot_;
+  std::vector<std::uint8_t> geBad_;
+};
+
+}  // namespace nsmodel::fault

@@ -18,6 +18,15 @@ const char* channelModelName(ChannelModel model) {
   return "?";
 }
 
+SlotOutcome Channel::resolveSlot(const Topology& topology,
+                                 const std::vector<NodeId>& transmitters,
+                                 const std::vector<NodeId>& interferers,
+                                 const DeliverFn& deliver) {
+  NSMODEL_CHECK(interferers.empty(),
+                "this channel model does not support clock-drift interferers");
+  return resolveSlot(topology, transmitters, deliver);
+}
+
 namespace {
 
 /// Per-node reception count and sender for one slot, packed into one
@@ -167,6 +176,15 @@ class CollisionFreeChannel final : public Channel {
     }
     return outcome;
   }
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const std::vector<NodeId>& /*interferers*/,
+                          const DeliverFn& deliver) override {
+    // Collision-free transmission is atomic and guaranteed: spill-over
+    // from a skewed neighbour cannot corrupt a reception.
+    return resolveSlot(topology, transmitters, deliver);
+  }
 };
 
 class CollisionAwareChannel final : public Channel {
@@ -176,11 +194,11 @@ class CollisionAwareChannel final : public Channel {
   SlotOutcome resolveSlot(const Topology& topology,
                           const std::vector<NodeId>& transmitters,
                           const DeliverFn& deliver) override {
-    SlotOutcome outcome;
     if (transmitters.size() == 1) {
       // Sole transmitter: every neighbour hears exactly one packet and
       // cannot itself be transmitting, so the counting pass reduces to
       // direct delivery in neighbour order — the order it would produce.
+      SlotOutcome outcome;
       const NodeId tx = transmitters.front();
       for (NodeId nb : topology.neighbors(tx)) {
         deliver(nb, tx);
@@ -188,12 +206,43 @@ class CollisionAwareChannel final : public Channel {
       }
       return outcome;
     }
+    return resolveFull(topology, transmitters, nullptr, deliver);
+  }
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const std::vector<NodeId>& interferers,
+                          const DeliverFn& deliver) override {
+    if (interferers.empty()) {
+      return resolveSlot(topology, transmitters, deliver);
+    }
+    return resolveFull(topology, transmitters, &interferers, deliver);
+  }
+
+ private:
+  SlotOutcome resolveFull(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const std::vector<NodeId>* interferers,
+                          const DeliverFn& deliver) {
+    SlotOutcome outcome;
     inRange_.ensure(topology.nodeCount());
     txFlags_.ensure(topology.nodeCount());
     txFlags_.set(transmitters);
     for (NodeId tx : transmitters) {
       const std::vector<NodeId>& nbs = topology.neighbors(tx);
       inRange_.bumpMany(nbs.data(), nbs.size(), tx);
+    }
+    if (interferers) {
+      // A skewed neighbour's spill-over is undecodable noise: bump each
+      // reached receiver twice so its count can never be exactly 1, and
+      // the sender half XORs itself away.  Interferers are also deaf —
+      // they are mid-transmission themselves.
+      txFlags_.set(*interferers);
+      for (NodeId ix : *interferers) {
+        const std::vector<NodeId>& nbs = topology.neighbors(ix);
+        inRange_.bumpMany(nbs.data(), nbs.size(), ix);
+        inRange_.bumpMany(nbs.data(), nbs.size(), ix);
+      }
     }
     const NodeId* touched = inRange_.touched();
     const std::size_t touchedCount = inRange_.touchedCount();
@@ -217,10 +266,10 @@ class CollisionAwareChannel final : public Channel {
     outcome.deliveries = pairs_.size();
     inRange_.resetTouched();
     txFlags_.clear(transmitters);
+    if (interferers) txFlags_.clear(*interferers);
     return outcome;
   }
 
- private:
   SlotCounts inRange_;
   TxFlags txFlags_;
   std::vector<std::pair<NodeId, NodeId>> pairs_;  // (receiver, sender)
@@ -238,10 +287,10 @@ class CarrierSenseChannel final : public Channel {
     NSMODEL_CHECK(topology.hasCarrierSense(),
                   "CarrierSenseChannel needs a topology built with a "
                   "carrier-sense factor");
-    SlotOutcome outcome;
     if (transmitters.size() == 1) {
       // Sole transmitter: the cs-disk contains the transmission disk, so
       // every in-range neighbour senses exactly that one transmitter.
+      SlotOutcome outcome;
       const NodeId tx = transmitters.front();
       for (NodeId nb : topology.neighbors(tx)) {
         deliver(nb, tx);
@@ -249,6 +298,28 @@ class CarrierSenseChannel final : public Channel {
       }
       return outcome;
     }
+    return resolveFull(topology, transmitters, nullptr, deliver);
+  }
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const std::vector<NodeId>& interferers,
+                          const DeliverFn& deliver) override {
+    if (interferers.empty()) {
+      return resolveSlot(topology, transmitters, deliver);
+    }
+    NSMODEL_CHECK(topology.hasCarrierSense(),
+                  "CarrierSenseChannel needs a topology built with a "
+                  "carrier-sense factor");
+    return resolveFull(topology, transmitters, &interferers, deliver);
+  }
+
+ private:
+  SlotOutcome resolveFull(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const std::vector<NodeId>* interferers,
+                          const DeliverFn& deliver) {
+    SlotOutcome outcome;
     inRange_.ensure(topology.nodeCount());
     inSense_.ensure(topology.nodeCount());
     txFlags_.ensure(topology.nodeCount());
@@ -258,6 +329,19 @@ class CarrierSenseChannel final : public Channel {
       inRange_.bumpMany(nbs.data(), nbs.size(), tx);
       const std::vector<NodeId>& cs = topology.carrierSenseNeighbors(tx);
       inSense_.bumpMany(cs.data(), cs.size());
+    }
+    if (interferers) {
+      // See CollisionAwareChannel::resolveFull: double-bump the reached
+      // receivers so spill-over is never decodable, and bump the sensed
+      // tally once so a cs-range interferer destroys the reception too.
+      txFlags_.set(*interferers);
+      for (NodeId ix : *interferers) {
+        const std::vector<NodeId>& nbs = topology.neighbors(ix);
+        inRange_.bumpMany(nbs.data(), nbs.size(), ix);
+        inRange_.bumpMany(nbs.data(), nbs.size(), ix);
+        const std::vector<NodeId>& cs = topology.carrierSenseNeighbors(ix);
+        inSense_.bumpMany(cs.data(), cs.size());
+      }
     }
     const NodeId* touched = inRange_.touched();
     const std::size_t touchedCount = inRange_.touchedCount();
@@ -282,10 +366,10 @@ class CarrierSenseChannel final : public Channel {
     inRange_.resetTouched();
     inSense_.clear();
     txFlags_.clear(transmitters);
+    if (interferers) txFlags_.clear(*interferers);
     return outcome;
   }
 
- private:
   SlotCounts inRange_;
   SlotTally inSense_;
   TxFlags txFlags_;

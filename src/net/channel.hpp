@@ -81,6 +81,19 @@ class Channel {
   virtual SlotOutcome resolveSlot(const Topology& topology,
                                   const std::vector<NodeId>& transmitters,
                                   const DeliverFn& deliver) = 0;
+
+  /// Resolves one slot under clock drift (fault::ClockDriftConfig):
+  /// `interferers` are nodes whose skewed transmissions partially overlap
+  /// this slot.  They contribute interference — colliding with same-slot
+  /// receptions at receivers they reach — and are half-duplex deaf, but
+  /// never deliver here (their packet delivers in its majority slot).
+  /// The base implementation rejects non-empty interferers; CFM ignores
+  /// them (collision-free transmissions always succeed); CAM and CAM-CS
+  /// implement the partial-overlap semantics.
+  virtual SlotOutcome resolveSlot(const Topology& topology,
+                                  const std::vector<NodeId>& transmitters,
+                                  const std::vector<NodeId>& interferers,
+                                  const DeliverFn& deliver);
 };
 
 /// Factory. CarrierSenseAware requires the topology passed to resolveSlot

@@ -7,6 +7,7 @@
 
 // Support: parallel runtime, RNG streams, statistics, quadrature, tables.
 #include "support/cli_args.hpp"
+#include "support/deadline.hpp"
 #include "support/error.hpp"
 #include "support/integrate.hpp"
 #include "support/log_math.hpp"
@@ -43,6 +44,10 @@
 #include "net/tdma.hpp"
 #include "net/topology.hpp"
 
+// Fault injection: seeded crash/link/drift/energy fault plans.
+#include "fault/fault_models.hpp"
+#include "fault/fault_plan.hpp"
+
 // Broadcast protocols.
 #include "protocols/adaptive.hpp"
 #include "protocols/broadcast_protocol.hpp"
@@ -58,6 +63,7 @@
 #include "sim/experiment.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/reliable.hpp"
+#include "sim/robust_sweep.hpp"
 #include "sim/run_result.hpp"
 #include "sim/scenario_cache.hpp"
 #include "sim/trace_export.hpp"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "fault/fault_plan.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::sim {
@@ -98,6 +99,36 @@ class AsyncRun {
       phaseOffset_[node] = rng_.uniform(0.0, s);
     }
     horizon_ = static_cast<double>(config.maxPhases) * s;
+
+    NSMODEL_CHECK(!std::isnan(config.nodeFailureRate) &&
+                      config.nodeFailureRate >= 0.0 &&
+                      config.nodeFailureRate <= 1.0,
+                  "node failure rate must lie in [0, 1]");
+    NSMODEL_CHECK(
+        !(config.nodeFailureRate > 0.0 && config.fault.crash.active()),
+        "use either the legacy nodeFailureRate or fault.crash, "
+        "not both (one failure code path per run)");
+    // Built after the phase offsets so the legacy failure draws extend
+    // the stream at a fixed point; the plan itself consumes no draws.
+    plan_ = fault::FaultPlan::build(
+        config.fault, n_, static_cast<std::uint64_t>(config.maxPhases),
+        rng.stateFingerprint());
+    if (config.nodeFailureRate > 0.0) {
+      plan_.addLegacyNodeFailures(config.nodeFailureRate, n_, rng);
+    }
+    if (plan_.hasDrift()) {
+      // In continuous time a clock skew is one more additive offset on
+      // the node's personal phase origin (kept non-negative so the first
+      // phase still exists).
+      for (net::NodeId node = 0; node < n_; ++node) {
+        phaseOffset_[node] =
+            std::max(0.0, phaseOffset_[node] + plan_.skew(node));
+      }
+    }
+    if (plan_.energyBudget() > 0.0) {
+      spent_.assign(n_, 0.0);
+      energyDead_.assign(n_, 0);
+    }
   }
 
   AsyncRunResult run() {
@@ -128,6 +159,21 @@ class AsyncRun {
                          : topology_.neighbors(node);
   }
 
+  bool isDead(net::NodeId node, double now) const {
+    if (plan_.hasCrashes()) {
+      const auto phase = static_cast<std::uint64_t>(
+          now / static_cast<double>(config_.slotsPerPhase));
+      if (plan_.isDown(node, phase)) return true;
+    }
+    return !energyDead_.empty() && energyDead_[node] != 0;
+  }
+
+  void charge(net::NodeId node, double cost) {
+    if (spent_.empty()) return;
+    spent_[node] += cost;
+    if (spent_[node] >= plan_.energyBudget()) energyDead_[node] = 1;
+  }
+
   void scheduleTransmission(net::NodeId node, double start) {
     if (start >= horizon_) return;
     engine_.scheduleAt(start, [this, node] { onTxStart(node); });
@@ -135,6 +181,8 @@ class AsyncRun {
 
   void onTxStart(net::NodeId sender) {
     const double now = engine_.now();
+    if (isDead(sender, now)) return;  // crashed or drained before airtime
+    charge(sender, config_.costs.txCost);
     transmissionTimes_.push_back(now);
     attemptedPairs_ += topology_.neighbors(sender).size();
     txActive_[sender] = true;
@@ -186,7 +234,13 @@ class AsyncRun {
   }
 
   void onDelivery(net::NodeId receiver, net::NodeId sender, double now) {
+    if (plan_.hasLinkLoss() &&
+        plan_.linkErased(receiver, sender, static_cast<std::uint64_t>(now))) {
+      return;  // erased on the air: never counted as delivered
+    }
     ++deliveredPairs_;
+    if (isDead(receiver, now)) return;  // the radio is gone
+    charge(receiver, config_.costs.rxCost);
     if (received_[receiver]) return;  // duplicates carry no new decision
     received_[receiver] = true;
     receptionTimes_.push_back(now);
@@ -215,11 +269,14 @@ class AsyncRun {
   double horizon_ = 0.0;
 
   des::Engine engine_;
+  fault::FaultPlan plan_;
   std::vector<bool> received_;
   std::vector<bool> txActive_;
   std::vector<std::uint32_t> interferers_;
   std::vector<std::vector<Incoming>> incoming_;
   std::vector<double> phaseOffset_;
+  std::vector<double> spent_;               // per-node energy (budget mode)
+  std::vector<std::uint8_t> energyDead_;    // budget reached
 
   std::vector<double> receptionTimes_;
   std::vector<double> transmissionTimes_;

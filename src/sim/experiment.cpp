@@ -1,10 +1,13 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "des/engine.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/scenario_cache.hpp"
 #include "support/error.hpp"
 
@@ -16,13 +19,15 @@ namespace {
 struct RunState {
   RunState(const ExperimentConfig& cfg, const net::Topology& topo,
            net::Channel& chan, protocols::BroadcastProtocol& proto,
-           protocols::ProtocolContext context, net::EnergyLedger* energy)
+           protocols::ProtocolContext context, net::EnergyLedger* energy,
+           fault::FaultPlan& faultPlan)
       : config(cfg),
         topology(topo),
         channel(chan),
         protocol(proto),
         ctx(context),
-        ledger(energy) {}
+        ledger(energy),
+        plan(faultPlan) {}
 
   const ExperimentConfig& config;
   const net::Topology& topology;
@@ -30,19 +35,24 @@ struct RunState {
   protocols::BroadcastProtocol& protocol;
   protocols::ProtocolContext ctx;
   net::EnergyLedger* ledger;
+  fault::FaultPlan& plan;  // non-const: the GE query advances its cursor
   des::Engine engine;
 
   // Byte flags, not vector<bool>: read once per delivery in the hot loop.
   std::vector<std::uint8_t> received;
   std::vector<std::uint8_t> cancelled;       // pending tx withdrawn
   std::vector<std::uint8_t> hasPending;      // tx scheduled, not yet fired
-  std::vector<std::uint32_t> deathPhase;     // first phase a node is dead
-                                             // (empty = no failures)
+  std::vector<std::uint8_t> energyDead;      // budget reached (empty = off)
   // Slot-indexed pending-transmitter lists, grown lazily up to maxSlot.
   // Flat indexing beats a hash map here: scheduleTransmission runs once
   // per reception that decides to rebroadcast.
   std::vector<std::vector<net::NodeId>> pendingBySlot;
-  std::vector<net::NodeId> transmitters;  // per-slot scratch, reused
+  std::vector<std::uint8_t> slotScheduled;   // resolver event exists
+  // Clock-drift spill-over: skewed transmitters also registered as
+  // interferers in the adjacent slot (empty vectors without drift).
+  std::vector<std::vector<net::NodeId>> interferersBySlot;
+  std::vector<net::NodeId> transmitters;      // per-slot scratch, reused
+  std::vector<net::NodeId> liveInterferers;   // per-slot scratch, reused
 
   std::vector<std::uint64_t> receptionSlots;
   std::vector<std::int64_t> receptionSlotByNode;
@@ -50,8 +60,10 @@ struct RunState {
   std::vector<PhaseObservation> phases;
   std::uint64_t attemptedPairs = 0;
   std::uint64_t deliveredPairs = 0;
+  std::uint64_t slotErasures = 0;  // GE erasures within the current slot
 
   std::uint64_t maxSlot = 0;  // transmissions at or beyond this are dropped
+  double energyBudget = 0.0;  // per-node cutoff, 0 = unlimited
 
   PhaseObservation& phaseOf(std::uint64_t slot) {
     const auto phase = static_cast<std::size_t>(
@@ -60,66 +72,142 @@ struct RunState {
     return phases[phase];
   }
 
+  /// Schedules the slot's resolver event on first touch, firing mid-slot.
+  /// Resolved slots are never re-activated: transmissions are only
+  /// scheduled into later phases than the delivery that triggers them,
+  /// and spill-over registration guards against the past explicitly.
+  void activateSlot(std::uint64_t slot) {
+    if (slotScheduled.size() <= slot) {
+      slotScheduled.resize(static_cast<std::size_t>(slot) + 1, 0);
+    }
+    if (slotScheduled[slot]) return;
+    slotScheduled[slot] = 1;
+    engine.scheduleAt(static_cast<des::Time>(slot) + 0.5,
+                      [this, slot] { resolveSlot(slot); });
+  }
+
   void scheduleTransmission(net::NodeId node, std::uint64_t slot) {
     if (slot >= maxSlot) return;  // beyond the horizon; drop silently
     if (pendingBySlot.size() <= slot) {
       pendingBySlot.resize(static_cast<std::size_t>(slot) + 1);
     }
-    std::vector<net::NodeId>& pending = pendingBySlot[slot];
-    if (pending.empty()) {
-      // One resolver event per active slot, firing mid-slot.  Resolved
-      // slots are never re-activated: transmissions are only scheduled
-      // into later phases than the delivery that triggers them.
-      engine.scheduleAt(static_cast<des::Time>(slot) + 0.5,
-                        [this, slot] { resolveSlot(slot); });
-    }
-    pending.push_back(node);
+    activateSlot(slot);
+    pendingBySlot[slot].push_back(node);
     hasPending[node] = true;
     cancelled[node] = false;
+    if (plan.hasDrift()) registerSpill(node, slot);
+  }
+
+  /// A skewed node's unit transmission straddles two slots: it delivers
+  /// in its majority slot (the nominal one — |skew| < 0.5) and interferes
+  /// in the slot the remainder spills into.
+  void registerSpill(net::NodeId node, std::uint64_t slot) {
+    const double skew = plan.skew(node);
+    if (skew == 0.0) return;
+    if (skew < 0.0 && slot == 0) return;   // nothing before the first slot
+    const std::uint64_t spill = skew > 0.0 ? slot + 1 : slot - 1;
+    if (spill >= maxSlot) return;
+    // An early-skewed transmission spills into the previous slot, whose
+    // resolver may already have fired (it can be the current slot when
+    // the triggering delivery happened one slot before the transmission).
+    if (static_cast<des::Time>(spill) + 0.5 <= engine.now()) return;
+    if (interferersBySlot.size() <= spill) {
+      interferersBySlot.resize(static_cast<std::size_t>(spill) + 1);
+    }
+    activateSlot(spill);
+    interferersBySlot[spill].push_back(node);
   }
 
   bool isDead(net::NodeId node, std::uint64_t slot) const {
-    if (deathPhase.empty()) return false;
-    const auto phase = static_cast<std::uint32_t>(
-        slot / static_cast<std::uint64_t>(config.slotsPerPhase));
-    return deathPhase[node] <= phase;
+    if (plan.hasCrashes()) {
+      const std::uint64_t phase =
+          slot / static_cast<std::uint64_t>(config.slotsPerPhase);
+      if (plan.isDown(node, phase)) return true;
+    }
+    return !energyDead.empty() && energyDead[node] != 0;
+  }
+
+  /// Marks `node` dead once its ledger energy reaches the budget.  The
+  /// packet that crosses the budget still completes (the radio dies after
+  /// it); everything later is gone.
+  void noteEnergySpent(net::NodeId node) {
+    if (energyDead.empty()) return;
+    if (ledger->energy(node) >= energyBudget) energyDead[node] = 1;
   }
 
   void resolveSlot(std::uint64_t slot) {
-    std::vector<net::NodeId>& pending = pendingBySlot[slot];
-    NSMODEL_ASSERT(!pending.empty());
     transmitters.clear();
-    for (net::NodeId node : pending) {
-      if (!cancelled[node] && !isDead(node, slot)) {
-        transmitters.push_back(node);
+    if (pendingBySlot.size() > slot) {
+      std::vector<net::NodeId>& pending = pendingBySlot[slot];
+      for (net::NodeId node : pending) {
+        if (!cancelled[node] && !isDead(node, slot)) {
+          transmitters.push_back(node);
+        }
+        hasPending[node] = false;
       }
-      hasPending[node] = false;
+      pending.clear();
     }
-    pending.clear();
-    if (transmitters.empty()) return;
+    liveInterferers.clear();
+    if (interferersBySlot.size() > slot) {
+      for (net::NodeId node : interferersBySlot[slot]) {
+        if (!cancelled[node] && !isDead(node, slot)) {
+          liveInterferers.push_back(node);
+        }
+      }
+      interferersBySlot[slot].clear();
+    }
+    if (transmitters.empty() && liveInterferers.empty()) return;
 
-    PhaseObservation& obs = phaseOf(slot);
-    obs.transmissions += transmitters.size();
     for (net::NodeId tx : transmitters) {
       transmissionSlots.push_back(slot);
       attemptedPairs += topology.neighbors(tx).size();
-      if (ledger != nullptr) ledger->recordTx(tx);
+      if (ledger != nullptr) {
+        ledger->recordTx(tx);
+        noteEnergySpent(tx);
+      }
     }
 
-    const net::SlotOutcome outcome = channel.resolveSlot(
-        topology, transmitters,
-        [this, slot](net::NodeId receiver, net::NodeId sender) {
-          onDelivery(receiver, sender, slot);
-        });
-    obs.deliveries += outcome.deliveries;
-    obs.lostReceivers += outcome.lostReceivers;
-    deliveredPairs += outcome.deliveries;
+    slotErasures = 0;
+    const DeliverFnBody deliverBody{this, slot};
+    const net::SlotOutcome outcome =
+        liveInterferers.empty()
+            ? channel.resolveSlot(topology, transmitters, deliverBody)
+            : channel.resolveSlot(topology, transmitters, liveInterferers,
+                                  deliverBody);
+    // Touch the phase record only when the slot observed anything, so an
+    // interferer-only slot with no effect (e.g. spill-over under CFM)
+    // does not extend the phases vector past the fault-free run's.
+    if (!transmitters.empty() || outcome.deliveries > 0 ||
+        outcome.lostReceivers > 0 || slotErasures > 0) {
+      PhaseObservation& obs = phaseOf(slot);
+      obs.transmissions += transmitters.size();
+      // Gilbert–Elliott erasures undo deliveries the channel already
+      // counted: the packet survived the collision rule but not the link.
+      obs.deliveries += outcome.deliveries - slotErasures;
+      obs.lostReceivers += outcome.lostReceivers + slotErasures;
+    }
+    deliveredPairs += outcome.deliveries - slotErasures;
   }
+
+  struct DeliverFnBody {
+    RunState* state;
+    std::uint64_t slot;
+    void operator()(net::NodeId receiver, net::NodeId sender) const {
+      state->onDelivery(receiver, sender, slot);
+    }
+  };
 
   void onDelivery(net::NodeId receiver, net::NodeId sender,
                   std::uint64_t slot) {
+    if (plan.hasLinkLoss() && plan.linkErased(receiver, sender, slot)) {
+      ++slotErasures;  // erased on the air: no reception, no rx energy
+      return;
+    }
     if (isDead(receiver, slot)) return;  // the radio is gone
-    if (ledger != nullptr) ledger->recordRx(receiver);
+    if (ledger != nullptr) {
+      ledger->recordRx(receiver);
+      noteEnergySpent(receiver);
+    }
     if (!received[receiver]) {
       received[receiver] = true;
       receptionSlots.push_back(slot);
@@ -169,9 +257,36 @@ RunResult runBroadcast(const ExperimentConfig& config,
 
   protocol.reset(deployment.nodeCount());
 
+  NSMODEL_CHECK(!std::isnan(config.nodeFailureRate) &&
+                    config.nodeFailureRate >= 0.0 &&
+                    config.nodeFailureRate <= 1.0,
+                "node failure rate must lie in [0, 1]");
+  NSMODEL_CHECK(!(config.nodeFailureRate > 0.0 && config.fault.crash.active()),
+                "use either the legacy nodeFailureRate or fault.crash, "
+                "not both (one failure code path per run)");
+  // The plan's own randomness is counter-based off the RNG's fingerprint
+  // (read-only), so building it never perturbs the protocol stream; only
+  // the legacy knob draws from `rng`, reproducing the historical sequence.
+  fault::FaultPlan plan = fault::FaultPlan::build(
+      config.fault, deployment.nodeCount(),
+      static_cast<std::uint64_t>(config.maxPhases), rng.stateFingerprint());
+  if (config.nodeFailureRate > 0.0) {
+    plan.addLegacyNodeFailures(config.nodeFailureRate, deployment.nodeCount(),
+                               rng);
+  }
+  // Energy cutoffs need a ledger; supply a private one when the caller
+  // did not ask for energy accounting themselves.
+  std::optional<net::EnergyLedger> ownLedger;
+  net::EnergyLedger* effectiveLedger = ledger;
+  if (plan.energyBudget() > 0.0 && effectiveLedger == nullptr) {
+    ownLedger.emplace(deployment.nodeCount(), config.costs);
+    effectiveLedger = &*ownLedger;
+  }
+
   protocols::ProtocolContext ctx{config.slotsPerPhase, rng, &deployment,
                                  &topology};
-  RunState state(config, topology, channel, protocol, ctx, ledger);
+  RunState state(config, topology, channel, protocol, ctx, effectiveLedger,
+                 plan);
   state.received.assign(deployment.nodeCount(), false);
   state.receptionSlotByNode.assign(deployment.nodeCount(),
                                    RunResult::kNeverReceived);
@@ -182,20 +297,9 @@ RunResult runBroadcast(const ExperimentConfig& config,
   state.transmissionSlots.reserve(deployment.nodeCount());
   state.maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
                   static_cast<std::uint64_t>(config.slotsPerPhase);
-  NSMODEL_CHECK(config.nodeFailureRate >= 0.0 && config.nodeFailureRate < 1.0,
-                "node failure rate must lie in [0, 1)");
-  if (config.nodeFailureRate > 0.0) {
-    // Pre-draw each node's death phase (geometric); drawing only in the
-    // failure-enabled path keeps failure-free runs stream-identical to
-    // builds without this feature.
-    state.deathPhase.resize(deployment.nodeCount());
-    for (net::NodeId node = 0; node < deployment.nodeCount(); ++node) {
-      std::uint32_t phase = 1;
-      while (!rng.bernoulli(config.nodeFailureRate) && phase < 1000000) {
-        ++phase;
-      }
-      state.deathPhase[node] = phase;
-    }
+  if (plan.energyBudget() > 0.0) {
+    state.energyBudget = plan.energyBudget();
+    state.energyDead.assign(deployment.nodeCount(), 0);
   }
 
   // The source holds the packet from the start and transmits in a

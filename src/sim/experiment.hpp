@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "fault/fault_models.hpp"
 #include "net/channel.hpp"
 #include "net/deployment.hpp"
 #include "net/energy.hpp"
@@ -37,8 +38,15 @@ struct ExperimentConfig {
   /// phase boundary every surviving node dies independently with this
   /// probability — it stops transmitting and receiving for the rest of
   /// the run. 0 (the paper's setting) keeps runs bit-identical to the
-  /// failure-free code path.
+  /// failure-free code path.  Routed through fault::FaultPlan via its
+  /// legacy shim, reproducing the historical RNG stream exactly; cannot
+  /// be combined with `fault.crash` (one failure code path per run).
   double nodeFailureRate = 0.0;
+  /// Composable fault layer (crash/recovery schedules, Gilbert–Elliott
+  /// link loss, clock drift, energy cutoffs).  All-defaults keeps every
+  /// backend bit-identical to the fault-free path; see
+  /// fault/fault_models.hpp.
+  fault::FaultConfig fault{};
 };
 
 /// Runs a single broadcast over a pre-built topology. The protocol is

@@ -1,8 +1,10 @@
 #include "sim/reliable.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::sim {
@@ -37,6 +39,25 @@ class ReliableRun {
     dataSlot_.assign(n_, kIdle);
     ackSlot_.assign(n_, kIdle);
     ackTarget_.assign(n_, net::kNoNode);
+
+    NSMODEL_CHECK(!std::isnan(config.base.nodeFailureRate) &&
+                      config.base.nodeFailureRate >= 0.0 &&
+                      config.base.nodeFailureRate <= 1.0,
+                  "node failure rate must lie in [0, 1]");
+    NSMODEL_CHECK(
+        !(config.base.nodeFailureRate > 0.0 && config.base.fault.crash.active()),
+        "use either the legacy nodeFailureRate or fault.crash, "
+        "not both (one failure code path per run)");
+    // The phase loop is bounded by maxRounds * maxBackoffWindow; cap the
+    // crash schedules there.  Legacy failure draws happen here, before
+    // any of the run's slot draws.
+    const auto horizon = static_cast<std::uint64_t>(config.maxRounds) *
+                         static_cast<std::uint64_t>(config.maxBackoffWindow);
+    plan_ = fault::FaultPlan::build(config.base.fault, n_, horizon,
+                                    rng.stateFingerprint());
+    if (config.base.nodeFailureRate > 0.0) {
+      plan_.addLegacyNodeFailures(config.base.nodeFailureRate, n_, rng);
+    }
   }
 
   ReliableRunResult run() {
@@ -57,6 +78,10 @@ class ReliableRun {
       bool anyTraffic = false;
 
       for (net::NodeId node = 0; node < n_; ++node) {
+        if (plan_.hasCrashes() &&
+            plan_.isDown(node, static_cast<std::uint64_t>(phase))) {
+          continue;  // down this phase: no DATA round, no ACKs
+        }
         if (hasPacket_[node] && pendingCount_[node] > 0 &&
             phase >= nextTxPhase_[node] &&
             roundsUsed_[node] < config_.maxRounds) {
@@ -116,6 +141,9 @@ class ReliableRun {
           }
         }
         if (!pendingLater) break;
+        if (phase >= config_.maxRounds * config_.maxBackoffWindow) {
+          break;  // safety net: e.g. every remaining sender is crashed
+        }
         continue;
       }
 
@@ -159,6 +187,17 @@ class ReliableRun {
 
   void onDelivery(net::NodeId receiver, net::NodeId sender, int slot,
                   int phase, ReliableRunResult&) {
+    if (plan_.hasCrashes() &&
+        plan_.isDown(receiver, static_cast<std::uint64_t>(phase))) {
+      return;  // the radio is gone this phase
+    }
+    if (plan_.hasLinkLoss()) {
+      const std::uint64_t globalSlot =
+          static_cast<std::uint64_t>(phase - 1) *
+              static_cast<std::uint64_t>(config_.base.slotsPerPhase) +
+          static_cast<std::uint64_t>(slot);
+      if (plan_.linkErased(receiver, sender, globalSlot)) return;
+    }
     if (dataSlot_[sender] == slot) {
       // DATA packet decoded by `receiver`.
       if (!hasPacket_[receiver]) {
@@ -213,6 +252,7 @@ class ReliableRun {
   support::Rng& rng_;
   std::unique_ptr<net::Channel> channel_;
   std::size_t n_;
+  fault::FaultPlan plan_;
 
   std::vector<bool> hasPacket_;
   std::vector<int> nextTxPhase_;

@@ -1,0 +1,203 @@
+#include "sim/robust_sweep.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+/// One complete journal line per point: `<index>\t<done|skip>\t<payload>`.
+/// The payload is the verbatim CSV row (done) or the last error (skip).
+std::string journalLine(const SweepPointOutcome& out) {
+  std::string payload =
+      out.status == SweepPointStatus::Skipped ? out.error : out.row;
+  // The journal is line-oriented; embedded separators would corrupt it.
+  for (char& c : payload) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  std::ostringstream line;
+  line << out.index << '\t'
+       << (out.status == SweepPointStatus::Skipped ? "skip" : "done") << '\t'
+       << payload;
+  return line.str();
+}
+
+/// Loads journalled outcomes into `slots`.  Only complete lines (ending
+/// in '\n') count: a crash mid-append leaves a truncated tail, which is
+/// ignored, as is any line that fails to parse.
+void loadJournal(const std::string& path, std::size_t pointCount,
+                 std::vector<std::optional<SweepPointOutcome>>& slots) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return;  // no journal yet: nothing to resume
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) break;  // truncated tail (or EOF)
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t tab1 = line.find('\t');
+    if (tab1 == std::string::npos) continue;
+    const std::size_t tab2 = line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) continue;
+    const std::string indexText = line.substr(0, tab1);
+    const std::string status = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    char* end = nullptr;
+    const unsigned long long index =
+        std::strtoull(indexText.c_str(), &end, 10);
+    if (end == indexText.c_str() || *end != '\0') continue;
+    if (status != "done" && status != "skip") continue;
+    NSMODEL_CHECK(index < pointCount,
+                  "journal entry outside the sweep grid — stale or "
+                  "mismatched journal file: " + path);
+    SweepPointOutcome out;
+    out.index = static_cast<std::size_t>(index);
+    if (status == "done") {
+      out.status = SweepPointStatus::Resumed;
+      out.row = line.substr(tab2 + 1);
+    } else {
+      out.status = SweepPointStatus::Skipped;
+      out.error = line.substr(tab2 + 1);
+    }
+    slots[out.index] = std::move(out);  // last entry wins
+  }
+}
+
+}  // namespace
+
+std::string RobustSweepResult::csv(const std::string& header) const {
+  std::string out = header;
+  out += '\n';
+  for (const SweepPointOutcome& o : outcomes) {
+    if (o.status == SweepPointStatus::Skipped) continue;
+    out += o.row;
+    out += '\n';
+  }
+  return out;
+}
+
+RobustSweepResult runRobustSweep(std::size_t pointCount,
+                                 const SweepPointFn& point,
+                                 const RobustSweepOptions& options) {
+  NSMODEL_CHECK(point != nullptr, "sweep needs a point function");
+  NSMODEL_CHECK(options.maxAttempts >= 1, "maxAttempts must be >= 1");
+  NSMODEL_CHECK(!std::isnan(options.timeoutSeconds) &&
+                    options.timeoutSeconds >= 0.0,
+                "timeoutSeconds must be non-negative");
+  NSMODEL_CHECK(!options.resume || !options.journalPath.empty(),
+                "resume requires a journal path");
+
+  std::vector<std::optional<SweepPointOutcome>> slots(pointCount);
+  if (options.resume) {
+    loadJournal(options.journalPath, pointCount, slots);
+  }
+
+  std::ofstream journal;
+  if (!options.journalPath.empty()) {
+    journal.open(options.journalPath,
+                 options.resume ? std::ios::app : std::ios::trunc);
+    if (!journal.is_open()) {
+      throw IoError("cannot open sweep journal for writing: " +
+                    options.journalPath);
+    }
+  }
+
+  std::mutex mutex;
+  std::exception_ptr fatal;
+  std::atomic<bool> aborted{false};
+
+  auto finishPoint = [&](SweepPointOutcome out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (journal.is_open()) {
+      // Append + flush per point: a kill between points loses at most
+      // the in-flight one, and a kill mid-write leaves a truncated tail
+      // that the resume parser ignores.
+      journal << journalLine(out) << '\n' << std::flush;
+      if (!journal) {
+        throw IoError("cannot append to sweep journal: " +
+                      options.journalPath);
+      }
+    }
+    slots[out.index] = std::move(out);
+  };
+
+  auto runPoint = [&](std::size_t index) {
+    if (slots[index].has_value()) return;  // resumed from the journal
+    if (aborted.load(std::memory_order_relaxed)) return;
+    SweepPointOutcome out;
+    out.index = index;
+    for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
+      ++out.attempts;
+      const support::Deadline deadline =
+          options.timeoutSeconds > 0.0
+              ? support::Deadline::after(options.timeoutSeconds)
+              : support::Deadline();
+      try {
+        out.row = point(index, attempt, deadline);
+        NSMODEL_CHECK(out.row.find('\n') == std::string::npos,
+                      "a sweep point must produce a single CSV row");
+        out.status = SweepPointStatus::Completed;
+        finishPoint(std::move(out));
+        return;
+      } catch (const Error& e) {
+        if (!e.retryable()) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!fatal) fatal = std::current_exception();
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        out.error = e.what();  // retryable: try again with a fresh seed
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!fatal) fatal = std::current_exception();
+        aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+    out.status = SweepPointStatus::Skipped;
+    finishPoint(std::move(out));
+  };
+
+  if (options.parallel) {
+    support::parallelFor(0, pointCount, runPoint, 1);
+  } else {
+    for (std::size_t i = 0; i < pointCount; ++i) runPoint(i);
+  }
+
+  if (fatal) std::rethrow_exception(fatal);
+
+  RobustSweepResult result;
+  result.outcomes.reserve(pointCount);
+  for (std::size_t i = 0; i < pointCount; ++i) {
+    NSMODEL_ASSERT(slots[i].has_value());
+    const SweepPointOutcome& out = *slots[i];
+    switch (out.status) {
+      case SweepPointStatus::Completed:
+        ++result.completed;
+        break;
+      case SweepPointStatus::Resumed:
+        ++result.completed;
+        ++result.resumed;
+        break;
+      case SweepPointStatus::Skipped:
+        ++result.skipped;
+        break;
+    }
+    result.outcomes.push_back(*slots[i]);
+  }
+  return result;
+}
+
+}  // namespace nsmodel::sim

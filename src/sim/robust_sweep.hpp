@@ -1,0 +1,88 @@
+// Crash-safe sweep runner with retry, timeout, and resume.
+//
+// A parameter sweep is a grid of independent points (e.g. every p of a
+// p-grid x a Monte-Carlo replication count).  Long sweeps die for boring
+// reasons — a wall-clock limit, a pre-empted batch slot, one pathological
+// point — and losing hours of finished grid points to a crash is the
+// robustness gap this runner closes:
+//
+//  * Journaling: every finished point is appended (and flushed) to a
+//    journal file as its verbatim CSV row, so a killed sweep can resume
+//    and produce a byte-identical aggregate CSV.
+//  * Resume: with `resume`, journalled points are loaded instead of
+//    recomputed; only the missing ones run.
+//  * Timeout + retry: each attempt gets a cooperative support::Deadline;
+//    a TimeoutError (the retryable category) triggers a bounded
+//    reseeded retry.  Points that exhaust their attempts are reported as
+//    explicitly skipped, never silently dropped.
+//  * Fatal errors (ConfigError, broken invariants) abort the sweep and
+//    propagate — retrying cannot fix a bad configuration.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/deadline.hpp"
+
+namespace nsmodel::sim {
+
+struct RobustSweepOptions {
+  /// Journal file path; empty runs in-memory only (no crash safety).
+  std::string journalPath;
+  /// Load previously journalled points instead of recomputing them.
+  /// Requires a journalPath; without `resume` an existing journal is
+  /// truncated and the sweep starts over.
+  bool resume = false;
+  /// Per-attempt wall-clock budget in seconds; 0 = unlimited.
+  double timeoutSeconds = 0.0;
+  /// Attempts per point (>= 1) before it is skipped.
+  int maxAttempts = 1;
+  /// Evaluate points through support::parallelFor.
+  bool parallel = true;
+};
+
+enum class SweepPointStatus {
+  Completed,  ///< computed this process
+  Resumed,    ///< row loaded from the journal
+  Skipped,    ///< every attempt failed retryably; no row
+};
+
+struct SweepPointOutcome {
+  std::size_t index = 0;
+  SweepPointStatus status = SweepPointStatus::Completed;
+  std::string row;    ///< formatted CSV row (empty when skipped)
+  std::string error;  ///< last failure message (skipped points)
+  int attempts = 0;   ///< attempts spent this process (0 when resumed)
+};
+
+struct RobustSweepResult {
+  std::vector<SweepPointOutcome> outcomes;  ///< in grid-index order
+  std::size_t completed = 0;                ///< incl. resumed points
+  std::size_t resumed = 0;
+  std::size_t skipped = 0;
+
+  /// Aggregate CSV: `header`, then every non-skipped row in grid-index
+  /// order.  Because resumed rows are journalled verbatim, a resumed
+  /// sweep's CSV is byte-identical to an uninterrupted one.
+  std::string csv(const std::string& header) const;
+};
+
+/// Computes one grid point and returns its (single-line) CSV row.
+/// `attempt` is 0-based — fold it into the point's seed so a retry draws
+/// fresh randomness.  `deadline` is the per-attempt budget; call
+/// deadline.check() at safe points (e.g. between replications).  Throw
+/// nsmodel::TimeoutError to request a reseeded retry; any other exception
+/// aborts the whole sweep.
+using SweepPointFn = std::function<std::string(
+    std::size_t index, int attempt, const support::Deadline& deadline)>;
+
+/// Runs `point` over indices [0, pointCount).  Throws IoError when the
+/// journal cannot be read or written, ConfigError on bad options, and
+/// rethrows the first fatal point error.
+RobustSweepResult runRobustSweep(std::size_t pointCount,
+                                 const SweepPointFn& point,
+                                 const RobustSweepOptions& options);
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,29 @@
+#include "support/deadline.hpp"
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace nsmodel::support {
+
+Deadline Deadline::after(double seconds) {
+  NSMODEL_CHECK(seconds >= 0.0, "deadline budget must be non-negative");
+  Deadline deadline;
+  deadline.limited_ = true;
+  deadline.at_ = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds));
+  return deadline;
+}
+
+bool Deadline::expired() const {
+  return limited_ && std::chrono::steady_clock::now() >= at_;
+}
+
+void Deadline::check(const char* what) const {
+  if (expired()) {
+    throw TimeoutError(std::string("deadline expired during ") + what);
+  }
+}
+
+}  // namespace nsmodel::support

@@ -1,0 +1,39 @@
+// Cooperative wall-clock deadlines.
+//
+// Long-running grid points (a Monte-Carlo evaluation of one sweep
+// coordinate) cannot be preempted safely, so timeouts in this library are
+// cooperative: the work loop is handed a Deadline and calls check() at
+// natural safe points (between replications, between phases).  When the
+// deadline has expired, check() throws nsmodel::TimeoutError — the one
+// retryable category in the error taxonomy — which the robust sweep
+// runner converts into a bounded retry-with-reseed.
+#pragma once
+
+#include <chrono>
+
+namespace nsmodel::support {
+
+/// A wall-clock budget.  Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  /// Unlimited (never expires).
+  Deadline() = default;
+
+  /// Expires `seconds` (> 0) from now.
+  static Deadline after(double seconds);
+
+  /// True when a finite budget was set.
+  bool limited() const { return limited_; }
+
+  /// True when a finite budget was set and has run out.
+  bool expired() const;
+
+  /// Throws nsmodel::TimeoutError mentioning `what` when expired().
+  void check(const char* what) const;
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace nsmodel::support

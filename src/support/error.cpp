@@ -2,14 +2,42 @@
 
 #include <sstream>
 
-namespace nsmodel::detail {
+namespace nsmodel {
 
-void throwError(const char* expr, const char* file, int line,
-                const std::string& message) {
+const char* errorCategoryName(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::Generic:
+      return "generic";
+    case ErrorCategory::Config:
+      return "config";
+    case ErrorCategory::Io:
+      return "io";
+    case ErrorCategory::Timeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+namespace detail {
+
+namespace {
+std::string describe(const char* expr, const char* file, int line,
+                     const std::string& message) {
   std::ostringstream oss;
   oss << message << " [check `" << expr << "` failed at " << file << ':'
       << line << ']';
-  throw Error(oss.str());
+  return oss.str();
+}
+}  // namespace
+
+void throwError(const char* expr, const char* file, int line,
+                const std::string& message) {
+  throw ConfigError(describe(expr, file, line, message));
 }
 
-}  // namespace nsmodel::detail
+void throwAssert(const char* expr, const char* file, int line) {
+  throw Error(describe(expr, file, line, "internal invariant"));
+}
+
+}  // namespace detail
+}  // namespace nsmodel

@@ -5,6 +5,12 @@
 // to violate use NSMODEL_ASSERT, which is compiled in all build types: the
 // numerical code in this project is cheap relative to the cost of silently
 // propagating a NaN through a phase recursion.
+//
+// Errors carry a category so callers that orchestrate many runs (the robust
+// sweep runner, CI lanes) can tell retryable failures apart from fatal ones:
+// a TimeoutError is worth re-running with a fresh seed, a ConfigError never
+// is.  Subclasses exist for the common categories; all of them remain
+// catchable as nsmodel::Error.
 #pragma once
 
 #include <stdexcept>
@@ -12,18 +18,65 @@
 
 namespace nsmodel {
 
+/// Coarse failure taxonomy.  Generic covers internal invariants and
+/// uncategorised errors; the others map to the dedicated subclasses below.
+enum class ErrorCategory {
+  Generic,  ///< internal invariant / uncategorised failure
+  Config,   ///< invalid configuration or argument (never retryable)
+  Io,       ///< file system / serialization failure
+  Timeout,  ///< a wall-clock deadline expired (retryable)
+};
+
+/// Lower-case category name ("generic", "config", "io", "timeout") for
+/// structured error lines.
+const char* errorCategoryName(ErrorCategory category);
+
 /// Exception thrown on contract violations anywhere in the library.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCategory category = ErrorCategory::Generic)
+      : std::runtime_error(what), category_(category) {}
+
+  ErrorCategory category() const { return category_; }
+
+  /// Whether retrying the failed operation (possibly reseeded) can
+  /// plausibly succeed.  Drives the sweep runner's retry policy.
+  bool retryable() const { return category_ == ErrorCategory::Timeout; }
+
+ private:
+  ErrorCategory category_;
+};
+
+/// Invalid configuration, malformed flag, or violated precondition.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error(what, ErrorCategory::Config) {}
+};
+
+/// File system or serialization failure (journals, CSV output, goldens).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what)
+      : Error(what, ErrorCategory::Io) {}
+};
+
+/// A cooperative wall-clock deadline expired; the operation is retryable.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : Error(what, ErrorCategory::Timeout) {}
 };
 
 namespace detail {
 [[noreturn]] void throwError(const char* expr, const char* file, int line,
                              const std::string& message);
+[[noreturn]] void throwAssert(const char* expr, const char* file, int line);
 }  // namespace detail
 
-/// Checks a user-facing precondition; throws nsmodel::Error on failure.
+/// Checks a user-facing precondition; throws nsmodel::ConfigError on
+/// failure (still catchable as nsmodel::Error).
 #define NSMODEL_CHECK(expr, message)                                       \
   do {                                                                     \
     if (!(expr)) {                                                         \
@@ -33,13 +86,11 @@ namespace detail {
 
 /// Checks an internal invariant; throws nsmodel::Error on failure.
 /// Enabled in every build type.
-#define NSMODEL_ASSERT(expr)                                \
-  do {                                                      \
-    if (!(expr)) {                                          \
-      ::nsmodel::detail::throwError(#expr, __FILE__,        \
-                                    __LINE__,               \
-                                    "internal invariant");  \
-    }                                                       \
+#define NSMODEL_ASSERT(expr)                                          \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::nsmodel::detail::throwAssert(#expr, __FILE__, __LINE__);      \
+    }                                                                 \
   } while (false)
 
 }  // namespace nsmodel

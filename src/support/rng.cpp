@@ -57,6 +57,19 @@ std::uint64_t Rng::below(std::uint64_t n) {
   return draw % n;
 }
 
+std::uint64_t Rng::stateFingerprint() const {
+  // SplitMix64-style avalanche over the four state words; any change to
+  // any word changes the fingerprint with overwhelming probability.
+  std::uint64_t h = 0x6a09e667f3bcc909ULL;
+  for (const std::uint64_t word : state_) {
+    std::uint64_t z = h ^ (word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
 std::int64_t Rng::inRange(std::int64_t lo, std::int64_t hi) {
   NSMODEL_CHECK(lo <= hi, "inRange(lo, hi) requires lo <= hi");
   const std::uint64_t span =

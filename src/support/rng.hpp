@@ -60,6 +60,12 @@ class Rng {
 
   std::uint64_t next();
 
+  /// 64-bit mix of the current 256-bit state.  Consumes nothing: the
+  /// generator's sequence is unchanged.  Used to seed auxiliary
+  /// deterministic processes (e.g. fault plans) that must vary per
+  /// replication without perturbing this generator's stream.
+  std::uint64_t stateFingerprint() const;
+
   /// Uniform double in [0, 1) with 53 random bits.
   double uniform();
 

@@ -1,0 +1,35 @@
+// Fault-regime invariants (suite "fault/...").
+//
+// The fault-injection layer (src/fault) relaxes the paper's Assumption 5
+// (perfectly reliable, always-on nodes) and Assumption 6 (perfect slot
+// synchronisation).  These checks pin down the properties the layer must
+// preserve, on all three simulation backends:
+//
+//  * Identity: an all-defaults FaultConfig — and a configured-but-vacuous
+//    one (a Gilbert–Elliott chain whose loss probabilities are zero where
+//    it can ever be) — is bit-identical to the fault-free code path.
+//  * Degradation monotonicity: under the collision-free channel with
+//    simple flooding the run outcome is a deterministic function of the
+//    deployment and the fault schedules, and the schedules are coupled
+//    across rates (one uniform per draw, inverted), so reachability is
+//    POINTWISE non-increasing in the crash rate and in the link-loss
+//    probabilities — per replication, not just on average.
+//  * Blackout: total link loss leaves exactly the source reached, with
+//    exactly the transmissions the protocol makes without any reception.
+//  * Energy: budget cutoffs keep the ledger consistent (arithmetic
+//    identity between counts and energy, per-node spend bounded by
+//    budget + one packet because the crossing packet completes) and can
+//    only reduce reachability.
+#pragma once
+
+#include <cstdint>
+
+#include "validate/report.hpp"
+
+namespace nsmodel::validate {
+
+/// Runs the fault-regime invariants, appending to `report`.  `fast` thins
+/// the replication streams (CI gate); `seed` drives all simulations.
+void runFaultChecks(bool fast, std::uint64_t seed, Report& report);
+
+}  // namespace nsmodel::validate

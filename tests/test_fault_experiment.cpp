@@ -1,0 +1,234 @@
+// Integration tests of fault injection through the simulation backends:
+// zero-fault identity, thread-count and cache invariance, energy budgets,
+// blackout semantics, and the legacy-knob interaction rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/async_experiment.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/reliable.hpp"
+#include "sim/scenario_cache.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+sim::ExperimentConfig smallConfig() {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 25.0;
+  cfg.maxPhases = 60;
+  return cfg;
+}
+
+protocols::ProtocolFactory flooding() {
+  return [] { return std::make_unique<protocols::SimpleFlooding>(); };
+}
+
+/// Full observable state of a slotted run, for exact comparisons.
+bool identical(const sim::RunResult& a, const sim::RunResult& b) {
+  if (a.reachedCount() != b.reachedCount()) return false;
+  if (a.totalBroadcasts() != b.totalBroadcasts()) return false;
+  if (a.attemptedPairs() != b.attemptedPairs()) return false;
+  if (a.deliveredPairs() != b.deliveredPairs()) return false;
+  if (a.phases().size() != b.phases().size()) return false;
+  for (std::size_t i = 0; i < a.phases().size(); ++i) {
+    if (a.phases()[i].transmissions != b.phases()[i].transmissions ||
+        a.phases()[i].newReceivers != b.phases()[i].newReceivers ||
+        a.phases()[i].deliveries != b.phases()[i].deliveries ||
+        a.phases()[i].lostReceivers != b.phases()[i].lostReceivers) {
+      return false;
+    }
+  }
+  return a.receptionSlotByNode() == b.receptionSlotByNode();
+}
+
+TEST(FaultExperiment, ZeroFaultConfigIsBitIdentical) {
+  const sim::ExperimentConfig plain = smallConfig();
+  sim::ExperimentConfig zero = smallConfig();
+  zero.fault.faultSeed = 123;  // configured but inert
+
+  for (std::uint64_t stream = 0; stream < 4; ++stream) {
+    const sim::RunResult a = sim::runExperiment(plain, flooding(), 42, stream);
+    const sim::RunResult b = sim::runExperiment(zero, flooding(), 42, stream);
+    EXPECT_TRUE(identical(a, b)) << "stream " << stream;
+  }
+}
+
+TEST(FaultExperiment, FaultedRunsAreReproducible) {
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.fault.faultSeed = 5;
+  cfg.fault.crash.crashRate = 0.1;
+  cfg.fault.crash.recoveryRate = 0.2;
+  cfg.fault.link.pGoodToBad = 0.2;
+  cfg.fault.link.pBadToGood = 0.3;
+  cfg.fault.link.lossBad = 0.6;
+  cfg.fault.drift.maxSkewSlots = 0.3;
+
+  const sim::RunResult a = sim::runExperiment(cfg, flooding(), 42, 1);
+  const sim::RunResult b = sim::runExperiment(cfg, flooding(), 42, 1);
+  EXPECT_TRUE(identical(a, b));
+
+  // A different fault seed over the same deployment changes the outcome.
+  sim::ExperimentConfig reseeded = cfg;
+  reseeded.fault.faultSeed = 6;
+  bool anyDiffers = false;
+  for (std::uint64_t stream = 0; stream < 4 && !anyDiffers; ++stream) {
+    anyDiffers = !identical(sim::runExperiment(cfg, flooding(), 42, stream),
+                            sim::runExperiment(reseeded, flooding(), 42,
+                                               stream));
+  }
+  EXPECT_TRUE(anyDiffers);
+}
+
+// The Monte-Carlo aggregate of faulted runs must not depend on how the
+// replications are scheduled: parallel and serial evaluation see the same
+// per-replication fault plans because plan entropy is derived from each
+// replication's own RNG state, not from execution order.
+TEST(FaultExperiment, AggregatesIndependentOfThreadCount) {
+  sim::MonteCarloConfig mc;
+  mc.experiment = smallConfig();
+  mc.experiment.fault.faultSeed = 9;
+  mc.experiment.fault.crash.crashRate = 0.08;
+  mc.experiment.fault.link.pGoodToBad = 0.3;
+  mc.experiment.fault.link.pBadToGood = 0.3;
+  mc.experiment.fault.link.lossBad = 0.5;
+  mc.replications = 12;
+
+  const auto extract = [](const sim::RunResult& r) {
+    return std::vector<double>{r.finalReachability(),
+                               static_cast<double>(r.totalBroadcasts())};
+  };
+  mc.parallel = true;
+  const auto parallel = sim::monteCarlo(mc, flooding(), extract);
+  mc.parallel = false;
+  const auto serial = sim::monteCarlo(mc, flooding(), extract);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].stats.mean, serial[i].stats.mean);
+    EXPECT_EQ(parallel[i].stats.stddev, serial[i].stats.stddev);
+  }
+}
+
+// Scenario caching must stay transparent under faults: the cache is keyed
+// on (seed, stream, deployment, channel) only, so a cache warmed by a
+// fault-free run serves the faulted run the identical scenario.
+TEST(FaultExperiment, ScenarioCacheTransparentUnderFaults) {
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.fault.faultSeed = 4;
+  cfg.fault.crash.crashRate = 0.1;
+  cfg.fault.link.lossGood = 0.2;
+
+  const sim::RunResult uncached =
+      sim::runExperiment(cfg, flooding(), 42, 2, nullptr);
+
+  sim::ScenarioCache cache;
+  // Warm the cache with the fault-free configuration...
+  sim::runExperiment(smallConfig(), flooding(), 42, 2, &cache);
+  // ...then the faulted run must reuse the scenario without divergence.
+  const sim::RunResult cached =
+      sim::runExperiment(cfg, flooding(), 42, 2, &cache);
+  EXPECT_TRUE(identical(uncached, cached));
+}
+
+TEST(FaultExperiment, CrashRateOneSilencesEveryRelay) {
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.fault.crash.crashRate = 1.0;
+  const sim::RunResult run = sim::runExperiment(cfg, flooding(), 42, 0);
+  // Everyone crashes at the first phase boundary: the source's phase-1
+  // broadcast is the only transmission that ever happens.
+  EXPECT_EQ(run.totalBroadcasts(), 1u);
+}
+
+TEST(FaultExperiment, EnergyBudgetBoundsPerNodeSpend) {
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.neighborDensity = 60.0;  // dense enough that the budget binds
+  cfg.fault.energyBudget = 4.0;
+
+  support::Rng rng = support::Rng::forStream(42, 0);
+  const net::Deployment deployment = net::Deployment::paperDisk(
+      rng, cfg.rings, cfg.ringWidth, cfg.neighborDensity);
+  const net::Topology topology(deployment, cfg.ringWidth, 0.0);
+  net::EnergyLedger ledger(deployment.nodeCount(), cfg.costs);
+  protocols::SimpleFlooding protocol;
+  const sim::RunResult run =
+      sim::runBroadcast(cfg, deployment, topology, protocol, rng, &ledger);
+
+  const double cap =
+      cfg.fault.energyBudget + std::max(cfg.costs.txCost, cfg.costs.rxCost);
+  bool budgetBound = false;
+  for (net::NodeId node = 0;
+       node < static_cast<net::NodeId>(deployment.nodeCount()); ++node) {
+    EXPECT_LE(ledger.energy(node), cap);
+    if (ledger.energy(node) >= cfg.fault.energyBudget) budgetBound = true;
+  }
+  EXPECT_TRUE(budgetBound) << "budget never bound: weak test parameters";
+  EXPECT_EQ(ledger.txCount(), run.totalBroadcasts());
+}
+
+TEST(FaultExperiment, AsyncBlackoutIsolatesSource) {
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.fault.link.lossGood = 1.0;
+  cfg.fault.link.lossBad = 1.0;
+  const sim::AsyncRunResult run =
+      sim::runAsyncExperiment(cfg, flooding(), 42, 0);
+  EXPECT_EQ(run.reachedCount(), 1u);
+  EXPECT_EQ(run.totalBroadcasts(), 1u);
+}
+
+TEST(FaultExperiment, AsyncZeroFaultIsBitIdentical) {
+  const sim::ExperimentConfig plain = smallConfig();
+  sim::ExperimentConfig zero = smallConfig();
+  zero.fault.faultSeed = 77;
+  for (std::uint64_t stream = 0; stream < 3; ++stream) {
+    const sim::AsyncRunResult a =
+        sim::runAsyncExperiment(plain, flooding(), 42, stream);
+    const sim::AsyncRunResult b =
+        sim::runAsyncExperiment(zero, flooding(), 42, stream);
+    EXPECT_EQ(a.reachedCount(), b.reachedCount());
+    EXPECT_EQ(a.totalBroadcasts(), b.totalBroadcasts());
+    EXPECT_EQ(a.finalReachability(), b.finalReachability());
+    EXPECT_EQ(a.averageSuccessRate(), b.averageSuccessRate());
+  }
+}
+
+TEST(FaultExperiment, LegacyKnobCannotCombineWithCrashModel) {
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.nodeFailureRate = 0.1;
+  cfg.fault.crash.crashRate = 0.1;
+  EXPECT_THROW(sim::runExperiment(cfg, flooding(), 42, 0), ConfigError);
+  EXPECT_THROW(sim::runAsyncExperiment(cfg, flooding(), 42, 0), ConfigError);
+
+  sim::ReliableBroadcastConfig rel;
+  rel.base = cfg;
+  rel.maxRounds = 4;
+  rel.maxBackoffWindow = 8;
+  EXPECT_THROW(sim::runReliableBroadcast(rel, 42, 0), ConfigError);
+}
+
+TEST(FaultExperiment, ReliableCrashesReduceReach) {
+  sim::ReliableBroadcastConfig rel;
+  rel.base = smallConfig();
+  rel.base.channel = net::ChannelModel::CollisionAware;
+  rel.maxRounds = 6;
+  rel.maxBackoffWindow = 16;
+
+  const sim::ReliableRunResult healthy = sim::runReliableBroadcast(rel, 42, 0);
+
+  sim::ReliableBroadcastConfig crashed = rel;
+  crashed.base.fault.faultSeed = 2;
+  crashed.base.fault.crash.crashRate = 0.3;
+  const sim::ReliableRunResult faulty =
+      sim::runReliableBroadcast(crashed, 42, 0);
+  EXPECT_LT(faulty.reachedCount, healthy.reachedCount);
+}
+
+}  // namespace

@@ -1,0 +1,308 @@
+// Unit tests of fault::FaultPlan: deterministic rebuilds, monotone
+// coupling of the crash schedules, order-independence of the
+// Gilbert–Elliott queries, legacy-knob reproduction, and validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+fault::FaultConfig crashConfig(double crash, double recovery = 0.0) {
+  fault::FaultConfig config;
+  config.crash.crashRate = crash;
+  config.crash.recoveryRate = recovery;
+  config.faultSeed = 7;
+  return config;
+}
+
+TEST(FaultPlan, DefaultPlanIsInert) {
+  fault::FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.isDown(0, 5));
+  EXPECT_EQ(plan.skew(3), 0.0);
+  EXPECT_FALSE(plan.linkErased(1, 2, 9));
+  EXPECT_EQ(plan.energyBudget(), 0.0);
+}
+
+TEST(FaultPlan, AllDefaultConfigBuildsDisabledPlan) {
+  fault::FaultConfig config;
+  config.faultSeed = 99;  // a seed alone must not enable anything
+  fault::FaultPlan plan = fault::FaultPlan::build(config, 50, 100, 1234);
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlan, RebuildIsBitIdentical) {
+  fault::FaultConfig config = crashConfig(0.1, 0.3);
+  config.link.pGoodToBad = 0.2;
+  config.link.pBadToGood = 0.4;
+  config.link.lossBad = 0.7;
+  config.drift.maxSkewSlots = 0.4;
+
+  fault::FaultPlan a = fault::FaultPlan::build(config, 40, 60, 555);
+  fault::FaultPlan b = fault::FaultPlan::build(config, 40, 60, 555);
+  for (net::NodeId node = 0; node < 40; ++node) {
+    EXPECT_EQ(a.skew(node), b.skew(node));
+    for (std::uint64_t phase = 0; phase < 60; ++phase) {
+      EXPECT_EQ(a.isDown(node, phase), b.isDown(node, phase));
+    }
+    for (std::uint64_t slot = 0; slot < 120; ++slot) {
+      EXPECT_EQ(a.linkErased(node, (node + 1) % 40, slot),
+                b.linkErased(node, (node + 1) % 40, slot));
+    }
+  }
+}
+
+TEST(FaultPlan, DifferentEntropyChangesSchedules) {
+  const fault::FaultConfig config = crashConfig(0.2);
+  fault::FaultPlan a = fault::FaultPlan::build(config, 200, 100, 1);
+  fault::FaultPlan b = fault::FaultPlan::build(config, 200, 100, 2);
+  bool differs = false;
+  for (net::NodeId node = 0; node < 200 && !differs; ++node) {
+    for (std::uint64_t phase = 0; phase < 100; ++phase) {
+      if (a.isDown(node, phase) != b.isDown(node, phase)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, PermanentCrashesNeverRecover) {
+  fault::FaultPlan plan =
+      fault::FaultPlan::build(crashConfig(0.3), 100, 200, 42);
+  for (net::NodeId node = 0; node < 100; ++node) {
+    bool down = false;
+    for (std::uint64_t phase = 0; phase < 200; ++phase) {
+      if (plan.isDown(node, phase)) down = true;
+      // once down, stays down
+      if (down) {
+        EXPECT_TRUE(plan.isDown(node, phase));
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, TransientCrashesRecover) {
+  fault::FaultConfig config = crashConfig(0.3, 0.5);
+  fault::FaultPlan plan = fault::FaultPlan::build(config, 300, 200, 42);
+  bool sawRecovery = false;
+  for (net::NodeId node = 0; node < 300 && !sawRecovery; ++node) {
+    bool wasDown = false;
+    for (std::uint64_t phase = 0; phase < 200; ++phase) {
+      const bool down = plan.isDown(node, phase);
+      if (wasDown && !down) sawRecovery = true;
+      wasDown = down;
+    }
+  }
+  EXPECT_TRUE(sawRecovery);
+}
+
+// The schedules are coupled across rates: the same hashed uniforms drive
+// the geometric inversion, so a higher crash rate can only move every
+// crash earlier.  This is the basis of the pointwise degradation
+// invariants in validate/fault_checks.
+TEST(FaultPlan, CrashSchedulesAreMonotoneCoupled) {
+  fault::FaultPlan mild = fault::FaultPlan::build(crashConfig(0.05), 500,
+                                                  300, 777);
+  fault::FaultPlan harsh = fault::FaultPlan::build(crashConfig(0.4), 500,
+                                                   300, 777);
+  for (net::NodeId node = 0; node < 500; ++node) {
+    for (std::uint64_t phase = 0; phase < 300; ++phase) {
+      if (mild.isDown(node, phase)) {
+        EXPECT_TRUE(harsh.isDown(node, phase))
+            << "node " << node << " phase " << phase
+            << ": up under the harsher rate but down under the milder one";
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, SkewBoundedAndZeroWithoutDrift) {
+  fault::FaultConfig config;
+  config.drift.maxSkewSlots = 0.45;
+  fault::FaultPlan plan = fault::FaultPlan::build(config, 400, 50, 9);
+  bool sawNonzero = false;
+  for (net::NodeId node = 0; node < 400; ++node) {
+    const double skew = plan.skew(node);
+    EXPECT_LE(std::abs(skew), 0.45);
+    if (skew != 0.0) sawNonzero = true;
+  }
+  EXPECT_TRUE(sawNonzero);
+
+  fault::FaultPlan noDrift =
+      fault::FaultPlan::build(crashConfig(0.1), 400, 50, 9);
+  for (net::NodeId node = 0; node < 400; ++node) {
+    EXPECT_EQ(noDrift.skew(node), 0.0);
+  }
+}
+
+// linkErased answers must be a pure function of (plan, receiver, sender,
+// slot): asking in shuffled order, or twice, returns the same answers as
+// asking in slot order — the cursor is an optimisation, not state.
+TEST(FaultPlan, GilbertElliottQueriesAreOrderIndependent) {
+  fault::FaultConfig config;
+  config.faultSeed = 3;
+  config.link.pGoodToBad = 0.25;
+  config.link.pBadToGood = 0.35;
+  config.link.lossGood = 0.05;
+  config.link.lossBad = 0.8;
+
+  struct Query {
+    net::NodeId receiver;
+    net::NodeId sender;
+    std::uint64_t slot;
+  };
+  std::vector<Query> queries;
+  for (net::NodeId receiver = 0; receiver < 20; ++receiver) {
+    for (std::uint64_t slot = 0; slot < 90; ++slot) {
+      queries.push_back({receiver, (receiver + 7) % 20, slot});
+    }
+  }
+
+  fault::FaultPlan ordered = fault::FaultPlan::build(config, 20, 30, 11);
+  std::vector<bool> expected;
+  expected.reserve(queries.size());
+  for (const Query& q : queries) {
+    expected.push_back(ordered.linkErased(q.receiver, q.sender, q.slot));
+  }
+
+  std::mt19937 shuffler(1234);
+  std::vector<std::size_t> order(queries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), shuffler);
+
+  fault::FaultPlan shuffled = fault::FaultPlan::build(config, 20, 30, 11);
+  for (std::size_t index : order) {
+    const Query& q = queries[index];
+    EXPECT_EQ(shuffled.linkErased(q.receiver, q.sender, q.slot),
+              expected[index])
+        << "receiver " << q.receiver << " slot " << q.slot;
+  }
+  // Asking the same plan again (cursors now past most slots) must still
+  // reproduce every answer.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    EXPECT_EQ(shuffled.linkErased(q.receiver, q.sender, q.slot), expected[i]);
+  }
+}
+
+TEST(FaultPlan, GilbertElliottLossRatesAreMonotoneCoupled) {
+  fault::FaultConfig mild;
+  mild.faultSeed = 5;
+  mild.link.pGoodToBad = 0.3;
+  mild.link.pBadToGood = 0.4;
+  mild.link.lossBad = 0.3;
+  fault::FaultConfig harsh = mild;
+  harsh.link.lossBad = 0.9;
+
+  fault::FaultPlan mildPlan = fault::FaultPlan::build(mild, 30, 40, 21);
+  fault::FaultPlan harshPlan = fault::FaultPlan::build(harsh, 30, 40, 21);
+  for (net::NodeId receiver = 0; receiver < 30; ++receiver) {
+    for (std::uint64_t slot = 0; slot < 120; ++slot) {
+      if (mildPlan.linkErased(receiver, 0, slot)) {
+        EXPECT_TRUE(harshPlan.linkErased(receiver, 0, slot));
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, ZeroLossNeverErases) {
+  fault::FaultConfig config;
+  config.link.pGoodToBad = 0.5;
+  config.link.pBadToGood = 0.1;
+  config.link.lossGood = 0.0;
+  config.link.lossBad = 1.0;  // activates the chain...
+  config.link.pGoodToBad = 0.0;  // ...but it can never leave Good
+  fault::FaultPlan plan = fault::FaultPlan::build(config, 10, 40, 2);
+  ASSERT_TRUE(plan.hasLinkLoss());
+  for (net::NodeId receiver = 0; receiver < 10; ++receiver) {
+    for (std::uint64_t slot = 0; slot < 100; ++slot) {
+      EXPECT_FALSE(plan.linkErased(receiver, 1, slot));
+    }
+  }
+}
+
+// The legacy nodeFailureRate must keep drawing from the run's own RNG in
+// the historical order, so pre-fault-layer seeds reproduce old outputs.
+TEST(FaultPlan, LegacyFailuresReproduceHistoricalDraws) {
+  const double rate = 0.15;
+  const std::size_t n = 50;
+
+  support::Rng planRng = support::Rng::forStream(42, 3);
+  fault::FaultPlan plan;
+  plan.addLegacyNodeFailures(rate, n, planRng);
+
+  support::Rng referenceRng = support::Rng::forStream(42, 3);
+  std::vector<std::uint32_t> deathPhase(n);
+  for (std::size_t node = 0; node < n; ++node) {
+    std::uint32_t phase = 1;
+    while (!referenceRng.bernoulli(rate) && phase < 1000000) ++phase;
+    deathPhase[node] = phase;
+  }
+
+  // Both consumed the same number of draws...
+  EXPECT_EQ(planRng.next(), referenceRng.next());
+  // ...and the schedules match the historical death phases.
+  for (std::size_t node = 0; node < n; ++node) {
+    for (std::uint64_t phase = 1; phase < 40; ++phase) {
+      EXPECT_EQ(plan.isDown(static_cast<net::NodeId>(node), phase),
+                phase >= deathPhase[node])
+          << "node " << node << " phase " << phase;
+    }
+  }
+}
+
+TEST(FaultPlan, ValidateRejectsBadParameters) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  {
+    fault::FaultConfig config;
+    config.crash.crashRate = -0.1;
+    EXPECT_THROW(fault::FaultPlan::build(config, 10, 10, 0), ConfigError);
+  }
+  {
+    fault::FaultConfig config;
+    config.crash.crashRate = 1.5;
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    fault::FaultConfig config;
+    config.crash.crashRate = nan;
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    fault::FaultConfig config;
+    config.link.lossBad = 1.1;
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    fault::FaultConfig config;
+    config.drift.maxSkewSlots = 0.5;  // must stay strictly below half a slot
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    fault::FaultConfig config;
+    config.drift.maxSkewSlots = nan;
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    fault::FaultConfig config;
+    config.energyBudget = -1.0;
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    fault::FaultConfig config;  // all defaults are valid
+    EXPECT_NO_THROW(config.validate());
+  }
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "protocols/counter_based.hpp"
@@ -229,9 +230,21 @@ TEST(Experiment, DeadNodesNeverTransmit) {
 TEST(Experiment, FailureRateValidation) {
   ExperimentConfig cfg = paperConfig(40.0);
   cfg.nodeFailureRate = -0.1;
-  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::Error);
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::ConfigError);
+  cfg.nodeFailureRate = 1.5;
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::ConfigError);
+  cfg.nodeFailureRate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::ConfigError);
+  // The boundary cases are legal: 1.0 kills every node at the first phase
+  // boundary, leaving just the source's own transmission.
   cfg.nodeFailureRate = 1.0;
-  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::Error);
+  const RunResult run = runExperiment(cfg, flooding(), 1, 0);
+  EXPECT_LE(run.totalBroadcasts(), 1u);
+  // Legacy knob and the structured crash model are mutually exclusive:
+  // one failure code path per run.
+  cfg.nodeFailureRate = 0.1;
+  cfg.fault.crash.crashRate = 0.1;
+  EXPECT_THROW(runExperiment(cfg, pb(0.5), 1, 0), nsmodel::ConfigError);
 }
 
 TEST(Experiment, Validation) {

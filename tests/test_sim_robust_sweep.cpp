@@ -1,0 +1,266 @@
+// Tests of the crash-safe sweep runner: journaling, resume-after-kill
+// byte-identity, timeout/retry/skip accounting, fatal propagation, and
+// option validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/robust_sweep.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+/// A fresh journal path under the system temp dir, removed on destruction.
+class TempJournal {
+ public:
+  explicit TempJournal(const char* tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("nsmodel_sweep_") + tag + ".journal"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  ~TempJournal() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+sim::SweepPointFn simplePoint() {
+  return [](std::size_t index, int attempt, const support::Deadline&) {
+    std::ostringstream row;
+    row << index << "," << (index * index) << ",attempt" << attempt;
+    return row.str();
+  };
+}
+
+TEST(RobustSweep, CompletesEveryPointInOrder) {
+  sim::RobustSweepOptions options;
+  const sim::RobustSweepResult result =
+      sim::runRobustSweep(8, simplePoint(), options);
+  EXPECT_EQ(result.completed, 8u);
+  EXPECT_EQ(result.resumed, 0u);
+  EXPECT_EQ(result.skipped, 0u);
+  ASSERT_EQ(result.outcomes.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(result.outcomes[i].index, i);
+    EXPECT_EQ(result.outcomes[i].status, sim::SweepPointStatus::Completed);
+    EXPECT_EQ(result.outcomes[i].attempts, 1);
+  }
+  // Rows land in grid-index order regardless of evaluation order.
+  EXPECT_EQ(result.outcomes[3].row, "3,9,attempt0");
+}
+
+TEST(RobustSweep, ParallelAndSerialProduceTheSameCsv) {
+  sim::RobustSweepOptions serial;
+  serial.parallel = false;
+  sim::RobustSweepOptions parallel;
+  parallel.parallel = true;
+  const std::string a =
+      sim::runRobustSweep(16, simplePoint(), serial).csv("i,sq,a");
+  const std::string b =
+      sim::runRobustSweep(16, simplePoint(), parallel).csv("i,sq,a");
+  EXPECT_EQ(a, b);
+}
+
+// The acceptance criterion: kill a sweep mid-run (simulated by truncating
+// the journal to a prefix plus a partial line), resume, and the aggregate
+// CSV must be byte-identical to the uninterrupted sweep's.
+TEST(RobustSweep, ResumeAfterTruncatedJournalIsByteIdentical) {
+  TempJournal journal("resume");
+  sim::RobustSweepOptions options;
+  options.journalPath = journal.path();
+  options.parallel = false;  // deterministic journal line order
+
+  const std::string full =
+      sim::runRobustSweep(10, simplePoint(), options).csv("i,sq,a");
+
+  // Keep the first 6 complete lines and simulate a crash mid-append.
+  const std::string content = readFile(journal.path());
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) pos = content.find('\n', pos) + 1;
+  {
+    std::ofstream out(journal.path(), std::ios::binary | std::ios::trunc);
+    out << content.substr(0, pos) << "9\tdone\t9,81";  // torn tail, no '\n'
+  }
+
+  std::mutex mutex;
+  std::set<std::size_t> recomputed;
+  const sim::SweepPointFn counting =
+      [&](std::size_t index, int attempt, const support::Deadline& deadline) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          recomputed.insert(index);
+        }
+        return simplePoint()(index, attempt, deadline);
+      };
+  options.resume = true;
+  const sim::RobustSweepResult resumedRun =
+      sim::runRobustSweep(10, counting, options);
+
+  EXPECT_EQ(resumedRun.completed, 10u);
+  EXPECT_EQ(resumedRun.resumed, 6u);
+  EXPECT_EQ(resumedRun.skipped, 0u);
+  // Only the lost points ran again — including the torn-tail one.
+  EXPECT_EQ(recomputed, (std::set<std::size_t>{6, 7, 8, 9}));
+  EXPECT_EQ(resumedRun.csv("i,sq,a"), full);
+}
+
+TEST(RobustSweep, WithoutResumeAnExistingJournalIsTruncated) {
+  TempJournal journal("truncate");
+  sim::RobustSweepOptions options;
+  options.journalPath = journal.path();
+  options.parallel = false;
+  sim::runRobustSweep(3, simplePoint(), options);
+  const std::string first = readFile(journal.path());
+  sim::runRobustSweep(3, simplePoint(), options);
+  EXPECT_EQ(readFile(journal.path()), first);  // rewritten, not doubled
+}
+
+TEST(RobustSweep, TimeoutsAreRetriedThenSkipped) {
+  std::atomic<int> calls{0};
+  const sim::SweepPointFn point =
+      [&](std::size_t index, int attempt, const support::Deadline&) {
+        ++calls;
+        if (index == 2) throw TimeoutError("point 2 always times out");
+        std::ostringstream row;
+        row << index << ",ok" << attempt;
+        return row.str();
+      };
+  sim::RobustSweepOptions options;
+  options.maxAttempts = 3;
+  options.parallel = false;
+  const sim::RobustSweepResult result = sim::runRobustSweep(4, point, options);
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.skipped, 1u);
+  EXPECT_EQ(calls.load(), 3 + 3);  // three clean points + three attempts
+  EXPECT_EQ(result.outcomes[2].status, sim::SweepPointStatus::Skipped);
+  EXPECT_EQ(result.outcomes[2].attempts, 3);
+  EXPECT_NE(result.outcomes[2].error.find("times out"), std::string::npos);
+  // Skipped points are excluded from the CSV, never silently empty rows.
+  EXPECT_EQ(result.csv("h"), "h\n0,ok0\n1,ok0\n3,ok0\n");
+}
+
+TEST(RobustSweep, RetryCanSucceedOnALaterAttempt) {
+  const sim::SweepPointFn point =
+      [](std::size_t index, int attempt, const support::Deadline&) {
+        if (index == 1 && attempt == 0) {
+          throw TimeoutError("first attempt too slow");
+        }
+        std::ostringstream row;
+        row << index << ",attempt" << attempt;
+        return row.str();
+      };
+  sim::RobustSweepOptions options;
+  options.maxAttempts = 2;
+  options.parallel = false;
+  const sim::RobustSweepResult result = sim::runRobustSweep(3, point, options);
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_EQ(result.outcomes[1].attempts, 2);
+  EXPECT_EQ(result.outcomes[1].row, "1,attempt1");  // reseeded attempt
+}
+
+TEST(RobustSweep, FatalErrorsPropagateInsteadOfRetrying) {
+  std::atomic<int> calls{0};
+  const sim::SweepPointFn point =
+      [&](std::size_t index, int, const support::Deadline&) -> std::string {
+    ++calls;
+    if (index == 0) throw ConfigError("bad configuration");
+    return "row";
+  };
+  sim::RobustSweepOptions options;
+  options.maxAttempts = 5;
+  options.parallel = false;
+  EXPECT_THROW(sim::runRobustSweep(3, point, options), ConfigError);
+  EXPECT_EQ(calls.load(), 1);  // no retry, and later points never start
+}
+
+TEST(RobustSweep, DeadlineReflectsTheTimeoutOption) {
+  sim::RobustSweepOptions options;
+  options.parallel = false;
+  bool sawUnlimited = false;
+  sim::runRobustSweep(
+      1,
+      [&](std::size_t, int, const support::Deadline& deadline) {
+        sawUnlimited = !deadline.limited();
+        return std::string("x");
+      },
+      options);
+  EXPECT_TRUE(sawUnlimited);
+
+  options.timeoutSeconds = 60.0;
+  bool sawLimited = false;
+  sim::runRobustSweep(
+      1,
+      [&](std::size_t, int, const support::Deadline& deadline) {
+        sawLimited = deadline.limited();
+        deadline.check("should not throw with a minute left");
+        return std::string("x");
+      },
+      options);
+  EXPECT_TRUE(sawLimited);
+}
+
+TEST(RobustSweep, RejectsInvalidOptions) {
+  const sim::SweepPointFn point = simplePoint();
+  {
+    sim::RobustSweepOptions options;
+    options.maxAttempts = 0;
+    EXPECT_THROW(sim::runRobustSweep(1, point, options), ConfigError);
+  }
+  {
+    sim::RobustSweepOptions options;
+    options.timeoutSeconds = -1.0;
+    EXPECT_THROW(sim::runRobustSweep(1, point, options), ConfigError);
+  }
+  {
+    sim::RobustSweepOptions options;
+    options.timeoutSeconds = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(sim::runRobustSweep(1, point, options), ConfigError);
+  }
+  {
+    sim::RobustSweepOptions options;
+    options.resume = true;  // but no journal path
+    EXPECT_THROW(sim::runRobustSweep(1, point, options), ConfigError);
+  }
+  EXPECT_THROW(sim::runRobustSweep(1, nullptr, {}), ConfigError);
+}
+
+TEST(RobustSweep, UnwritableJournalIsAnIoError) {
+  sim::RobustSweepOptions options;
+  options.journalPath = "/nonexistent-dir/journal.tsv";
+  EXPECT_THROW(sim::runRobustSweep(1, simplePoint(), options), IoError);
+}
+
+TEST(RobustSweep, StaleJournalFromALargerGridIsRejected) {
+  TempJournal journal("stale");
+  {
+    std::ofstream out(journal.path(), std::ios::binary);
+    out << "7\tdone\tsome,row\n";  // index outside a 3-point grid
+  }
+  sim::RobustSweepOptions options;
+  options.journalPath = journal.path();
+  options.resume = true;
+  EXPECT_THROW(sim::runRobustSweep(3, simplePoint(), options), ConfigError);
+}
+
+}  // namespace

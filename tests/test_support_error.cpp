@@ -1,0 +1,102 @@
+// Tests of the error taxonomy and the cooperative Deadline: categories,
+// retryability, macro behaviour, and timeout expiry.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/deadline.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+TEST(ErrorTaxonomy, CategoriesAndNames) {
+  EXPECT_EQ(Error("x").category(), ErrorCategory::Generic);
+  EXPECT_EQ(ConfigError("x").category(), ErrorCategory::Config);
+  EXPECT_EQ(IoError("x").category(), ErrorCategory::Io);
+  EXPECT_EQ(TimeoutError("x").category(), ErrorCategory::Timeout);
+
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Generic), "generic");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Config), "config");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Io), "io");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Timeout), "timeout");
+}
+
+TEST(ErrorTaxonomy, OnlyTimeoutsAreRetryable) {
+  EXPECT_FALSE(Error("x").retryable());
+  EXPECT_FALSE(ConfigError("x").retryable());
+  EXPECT_FALSE(IoError("x").retryable());
+  EXPECT_TRUE(TimeoutError("x").retryable());
+}
+
+TEST(ErrorTaxonomy, SubclassesRemainCatchableAsError) {
+  bool caught = false;
+  try {
+    throw ConfigError("bad knob");
+  } catch (const Error& e) {
+    caught = true;
+    EXPECT_EQ(e.category(), ErrorCategory::Config);
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ErrorTaxonomy, CheckMacroThrowsConfigError) {
+  const auto failing = [] { NSMODEL_CHECK(1 == 2, "one is not two"); };
+  EXPECT_THROW(failing(), ConfigError);
+  try {
+    failing();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::Config);
+    EXPECT_NE(std::string(e.what()).find("one is not two"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTaxonomy, AssertMacroThrowsGenericError) {
+  const auto failing = [] { NSMODEL_ASSERT(false); };
+  try {
+    failing();
+    FAIL() << "NSMODEL_ASSERT(false) did not throw";
+  } catch (const ConfigError&) {
+    FAIL() << "internal invariants must not be Config errors";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::Generic);
+  }
+}
+
+TEST(Deadline, DefaultIsUnlimited) {
+  const support::Deadline deadline;
+  EXPECT_FALSE(deadline.limited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_NO_THROW(deadline.check("never expires"));
+}
+
+TEST(Deadline, GenerousBudgetDoesNotExpireImmediately) {
+  const support::Deadline deadline = support::Deadline::after(3600.0);
+  EXPECT_TRUE(deadline.limited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_NO_THROW(deadline.check("an hour left"));
+}
+
+TEST(Deadline, ExpiryThrowsTimeoutErrorNamingTheWork) {
+  const support::Deadline deadline = support::Deadline::after(1e-4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.expired());
+  try {
+    deadline.check("grid point p=0.4");
+    FAIL() << "expired deadline did not throw";
+  } catch (const TimeoutError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("grid point p=0.4"),
+              std::string::npos);
+  }
+}
+
+TEST(Deadline, RejectsNegativeBudgets) {
+  EXPECT_THROW(support::Deadline::after(-1.0), ConfigError);
+  // A zero budget is legal and expires immediately.
+  EXPECT_TRUE(support::Deadline::after(0.0).expired());
+}
+
+}  // namespace

@@ -1,24 +1,38 @@
 // nsmodel_cli — command-line driver for the library.
 //
 // Subcommands:
-//   predict   analytic per-phase trace of PB under the chosen channel
-//   simulate  Monte-Carlo measurement of PB (or another protocol)
-//   optimize  optimal p for one of the paper's four metrics
-//   sweep     objective vs p series (analytic or simulated), optional CSV
-//   reliable  one reliable-flooding (CFM-over-CAM) run
+//   predict       analytic per-phase trace of PB under the chosen channel
+//   simulate      Monte-Carlo measurement of PB (or another protocol)
+//   optimize      optimal p for one of the paper's four metrics
+//   sweep         objective vs p series (analytic or simulated), optional CSV
+//   reliable      one reliable-flooding (CFM-over-CAM) run
+//   robust-sweep  crash-safe simulated p-sweep: journals finished grid
+//                 points, resumes after a kill (--resume), retries timed-out
+//                 points with a fresh seed, reports skips explicitly
 //
 // Common flags: --rho, --rings, --slots, --channel=cam|cfm|cam-cs,
 // --policy=interp|poisson, --seed, --reps, --csv=PATH.
 // Metric syntax: --metric=reach-latency:5, latency-reach:0.7,
 //                energy-reach:0.7, reach-energy:35.
 // Protocol syntax: --protocol=pb:0.2 | flood | counter:3 | distance:0.4.
+// Fault flags (simulate, reliable, robust-sweep): --crash-rate,
+// --recovery-rate, --ge-g2b, --ge-b2g, --ge-loss-good, --ge-loss-bad,
+// --drift, --energy-budget, --fault-seed, --failure-rate (legacy knob).
+//
+// Errors print a structured `error: [category] message` line; exit status
+// is 0 on success, 1 on a failed run, 2 on usage errors, and 3 when a
+// robust sweep finished but had to skip grid points.
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "core/cfm_cost.hpp"
 #include "core/network_model.hpp"
+#include "fault/fault_models.hpp"
 #include "protocols/adaptive.hpp"
 #include "protocols/counter_based.hpp"
 #include "protocols/distance_based.hpp"
@@ -26,8 +40,11 @@
 #include "protocols/probabilistic.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/reliable.hpp"
+#include "sim/robust_sweep.hpp"
+#include "sim/scenario_cache.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
+#include "support/statistics.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -38,18 +55,50 @@ using support::CliArgs;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: nsmodel_cli <predict|simulate|optimize|sweep|reliable> "
-      "[flags]\n"
+      "usage: nsmodel_cli "
+      "<predict|simulate|optimize|sweep|reliable|robust-sweep> [flags]\n"
       "  common: --rho=60 --rings=5 --slots=3 --channel=cam|cfm|cam-cs\n"
       "          --policy=interp|poisson --seed=42 --reps=30\n"
+      "  faults: --crash-rate=0 --recovery-rate=0 --ge-g2b=0 --ge-b2g=0\n"
+      "          --ge-loss-good=0 --ge-loss-bad=0 --drift=0\n"
+      "          --energy-budget=0 --fault-seed=0 --failure-rate=0\n"
       "  predict:  --p=0.2 [--per-ring]\n"
       "  simulate: --p=0.2 or --protocol=pb:0.2|flood|counter:3|\n"
       "            distance:0.4|adaptive:12.8\n"
       "  optimize: --metric=reach-latency:5|latency-reach:0.7|\n"
       "            energy-reach:0.7|reach-energy:35\n"
       "  sweep:    --metric=... [--sim] [--csv=out.csv]\n"
-      "  reliable: [--no-acks] [--max-rounds=2000]\n");
+      "  reliable: [--no-acks] [--max-rounds=2000]\n"
+      "  robust-sweep: --metric=... [--journal=PATH [--resume]]\n"
+      "            [--timeout=SECONDS] [--retries=1] [--serial]\n"
+      "            [--csv=out.csv]\n");
   std::exit(2);
+}
+
+/// Parses a full numeric string; std::stod would accept trailing junk and
+/// abort the process on garbage via an unhandled std::invalid_argument.
+double parseDouble(const std::string& text, const std::string& what) {
+  if (!text.empty()) {
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() + text.size()) return value;
+  }
+  throw ConfigError("expected a number for " + what + ", got: '" + text +
+                    "'");
+}
+
+int parseInt(const std::string& text, const std::string& what) {
+  if (!text.empty()) {
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() + text.size() &&
+        value >= static_cast<long>(INT_MIN) &&
+        value <= static_cast<long>(INT_MAX)) {
+      return static_cast<int>(value);
+    }
+  }
+  throw ConfigError("expected an integer for " + what + ", got: '" + text +
+                    "'");
 }
 
 core::CommModel channelFromFlag(const CliArgs& args) {
@@ -60,14 +109,14 @@ core::CommModel channelFromFlag(const CliArgs& args) {
     return core::CommModel::carrierSenseAware(
         args.getDouble("cs-factor", 2.0));
   }
-  throw Error("unknown channel: " + name + " (cam, cfm, cam-cs)");
+  throw ConfigError("unknown channel: " + name + " (cam, cfm, cam-cs)");
 }
 
 analytic::RealKPolicy policyFromFlag(const CliArgs& args) {
   const std::string name = args.getString("policy", "interp");
   if (name == "interp") return analytic::RealKPolicy::Interpolate;
   if (name == "poisson") return analytic::RealKPolicy::Poisson;
-  throw Error("unknown policy: " + name + " (interp, poisson)");
+  throw ConfigError("unknown policy: " + name + " (interp, poisson)");
 }
 
 core::NetworkModel modelFromFlags(const CliArgs& args) {
@@ -79,13 +128,32 @@ core::NetworkModel modelFromFlags(const CliArgs& args) {
                             static_cast<int>(args.getInt("slots", 3)));
 }
 
+/// Reads the fault-injection flags shared by the simulating subcommands.
+/// FaultConfig::validate() runs inside the backends, but validating here
+/// too turns a bad flag into a usage-time error.
+fault::FaultConfig faultFromFlags(const CliArgs& args) {
+  fault::FaultConfig fault;
+  fault.crash.crashRate = args.getDouble("crash-rate", 0.0);
+  fault.crash.recoveryRate = args.getDouble("recovery-rate", 0.0);
+  fault.link.pGoodToBad = args.getDouble("ge-g2b", 0.0);
+  fault.link.pBadToGood = args.getDouble("ge-b2g", 0.0);
+  fault.link.lossGood = args.getDouble("ge-loss-good", 0.0);
+  fault.link.lossBad = args.getDouble("ge-loss-bad", 0.0);
+  fault.drift.maxSkewSlots = args.getDouble("drift", 0.0);
+  fault.energyBudget = args.getDouble("energy-budget", 0.0);
+  fault.faultSeed = static_cast<std::uint64_t>(args.getInt("fault-seed", 0));
+  fault.validate();
+  return fault;
+}
+
 core::MetricSpec metricFromFlag(const CliArgs& args) {
   const std::string text = args.getString("metric", "reach-latency:5");
   const auto colon = text.find(':');
   NSMODEL_CHECK(colon != std::string::npos,
                 "--metric must look like name:constraint");
   const std::string name = text.substr(0, colon);
-  const double constraint = std::stod(text.substr(colon + 1));
+  const double constraint =
+      parseDouble(text.substr(colon + 1), "the --metric constraint");
   if (name == "reach-latency") {
     return core::MetricSpec::reachabilityUnderLatency(constraint);
   }
@@ -98,7 +166,7 @@ core::MetricSpec metricFromFlag(const CliArgs& args) {
   if (name == "reach-energy") {
     return core::MetricSpec::reachabilityUnderEnergy(constraint);
   }
-  throw Error("unknown metric: " + name);
+  throw ConfigError("unknown metric: " + name);
 }
 
 protocols::ProtocolFactory protocolFromFlag(const CliArgs& args,
@@ -117,31 +185,32 @@ protocols::ProtocolFactory protocolFromFlag(const CliArgs& args,
     return [] { return std::make_unique<protocols::SimpleFlooding>(); };
   }
   if (name == "pb") {
-    const double p = std::stod(param);
+    const double p = parseDouble(param, "the pb: probability");
     return [p] {
       return std::make_unique<protocols::ProbabilisticBroadcast>(p);
     };
   }
   if (name == "counter") {
-    const int threshold = std::stoi(param);
+    const int threshold = parseInt(param, "the counter: threshold");
     return [threshold] {
       return std::make_unique<protocols::CounterBasedBroadcast>(threshold);
     };
   }
   if (name == "distance") {
-    const double fraction = std::stod(param);
+    const double fraction = parseDouble(param, "the distance: fraction");
     return [fraction, range] {
       return std::make_unique<protocols::DistanceBasedBroadcast>(fraction,
                                                                  range);
     };
   }
   if (name == "adaptive") {
-    const double gain = param.empty() ? 12.8 : std::stod(param);
+    const double gain =
+        param.empty() ? 12.8 : parseDouble(param, "the adaptive: gain");
     return [gain] {
       return std::make_unique<protocols::DegreeAdaptiveBroadcast>(gain);
     };
   }
-  throw Error("unknown protocol: " + name);
+  throw ConfigError("unknown protocol: " + name);
 }
 
 void rejectUnknownFlags(const CliArgs& args) {
@@ -149,7 +218,7 @@ void rejectUnknownFlags(const CliArgs& args) {
   if (unused.empty()) return;
   std::string message = "unknown flag(s):";
   for (const auto& flag : unused) message += " --" + flag;
-  throw Error(message + " (see nsmodel_cli usage)");
+  throw ConfigError(message + " (see nsmodel_cli usage)");
 }
 
 int cmdPredict(const CliArgs& args) {
@@ -205,6 +274,8 @@ int cmdSimulate(const CliArgs& args) {
       protocolFromFlag(args, model.deployment().ringWidth);
   sim::MonteCarloConfig mc;
   mc.experiment = model.experimentConfig();
+  mc.experiment.fault = faultFromFlags(args);
+  mc.experiment.nodeFailureRate = args.getDouble("failure-rate", 0.0);
   mc.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   mc.replications = static_cast<int>(args.getInt("reps", 30));
   rejectUnknownFlags(args);
@@ -292,6 +363,8 @@ int cmdReliable(const CliArgs& args) {
   cfg.base.ringWidth = args.getDouble("ring-width", 1.0);
   cfg.base.neighborDensity = args.getDouble("rho", 20.0);
   cfg.base.slotsPerPhase = static_cast<int>(args.getInt("slots", 3));
+  cfg.base.fault = faultFromFlags(args);
+  cfg.base.nodeFailureRate = args.getDouble("failure-rate", 0.0);
   cfg.maxRounds = static_cast<int>(args.getInt("max-rounds", 2000));
   cfg.simulateAcks = !args.getBool("no-acks", false);
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
@@ -312,6 +385,90 @@ int cmdReliable(const CliArgs& args) {
   return 0;
 }
 
+int cmdRobustSweep(const CliArgs& args) {
+  const core::NetworkModel model = modelFromFlags(args);
+  const auto spec = metricFromFlag(args);
+  const auto fault = faultFromFlags(args);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+  const int reps = static_cast<int>(args.getInt("reps", 30));
+  NSMODEL_CHECK(reps >= 1, "--reps must be at least 1");
+  const std::string csvPath = args.getString("csv", "");
+
+  sim::RobustSweepOptions options;
+  options.journalPath = args.getString("journal", "");
+  options.resume = args.getBool("resume", false);
+  options.timeoutSeconds = args.getDouble("timeout", 0.0);
+  options.maxAttempts = static_cast<int>(args.getInt("retries", 1));
+  options.parallel = !args.getBool("serial", false);
+  rejectUnknownFlags(args);
+
+  const auto grid = core::ProbabilityGrid::simulation().values();
+  sim::ExperimentConfig experiment = model.experimentConfig();
+  experiment.fault = fault;
+
+  // One scenario cache for the whole grid: every p reuses the same
+  // replication deployments, exactly like the plain `sweep` command.
+  sim::ScenarioCache cache;
+
+  const sim::SweepPointFn point =
+      [&](std::size_t index, int attempt,
+          const support::Deadline& deadline) -> std::string {
+    // A retry reseeds: attempt 0 reproduces the plain sweep bit for bit,
+    // later attempts draw an unrelated replication set (and bypass the
+    // cache, which is keyed on the seed).
+    const std::uint64_t pointSeed =
+        seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt);
+    const double p = grid[index];
+    const auto factory = [p] {
+      return std::make_unique<protocols::ProbabilisticBroadcast>(p);
+    };
+    std::vector<double> values;
+    std::size_t defined = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      deadline.check("robust-sweep point");
+      const sim::RunResult run =
+          sim::runExperiment(experiment, factory, pointSeed,
+                             static_cast<std::uint64_t>(rep),
+                             attempt == 0 ? &cache : nullptr);
+      if (const auto value = core::evaluateMetric(spec, run)) {
+        values.push_back(*value);
+        ++defined;
+      }
+    }
+    const support::Summary stats = support::summarize(values);
+    const double definedFraction =
+        static_cast<double>(defined) / static_cast<double>(reps);
+    return support::formatDouble(p, 2) + "," +
+           (defined > 0 ? support::formatDouble(stats.mean, 6)
+                        : std::string("nan")) +
+           "," + support::formatDouble(stats.ciHalfWidth95, 6) + "," +
+           support::formatDouble(definedFraction, 4);
+  };
+
+  const sim::RobustSweepResult result =
+      sim::runRobustSweep(grid.size(), point, options);
+
+  const std::string csv = result.csv("p,objective,ci95,defined");
+  if (csvPath.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else {
+    std::ofstream out(csvPath, std::ios::binary | std::ios::trunc);
+    out << csv;
+    if (!out) throw IoError("cannot write CSV: " + csvPath);
+    std::printf("wrote %s\n", csvPath.c_str());
+  }
+  std::printf("points: %zu completed (%zu resumed), %zu skipped\n",
+              result.completed, result.resumed, result.skipped);
+  for (const sim::SweepPointOutcome& out : result.outcomes) {
+    if (out.status == sim::SweepPointStatus::Skipped) {
+      std::fprintf(stderr, "skipped p=%s after %d attempt(s): %s\n",
+                   support::formatDouble(grid[out.index], 2).c_str(),
+                   out.attempts, out.error.c_str());
+    }
+  }
+  return result.skipped == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,9 +481,16 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmdOptimize(args);
     if (command == "sweep") return cmdSweep(args);
     if (command == "reliable") return cmdReliable(args);
+    if (command == "robust-sweep") return cmdRobustSweep(args);
     usage();
   } catch (const nsmodel::Error& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
+    std::fprintf(stderr, "error: [%s] %s\n",
+                 nsmodel::errorCategoryName(error.category()), error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    // Nothing below main should leak a non-nsmodel exception; if one does,
+    // report it instead of aborting via std::terminate.
+    std::fprintf(stderr, "error: [internal] %s\n", error.what());
     return 1;
   }
 }

@@ -9,10 +9,13 @@
 //   invariants  property sweeps (mu in [0,1], carrier sensing only hurts,
 //               reachability monotone, energy M consistent with recorded
 //               transmissions) on both backends
+//   fault       fault-regime invariants (zero-fault bit-identity on all
+//               three backends, pointwise degradation monotonicity in
+//               crash rate and link loss, drift/energy semantics)
 //
 // Flags:
 //   --golden-dir=DIR   directory of golden tables (default data/golden)
-//   --suite=all|golden|cross|invariants
+//   --suite=all|golden|cross|invariants|fault
 //   --fast             thinned grids + fewer replications (the ctest gate)
 //   --regen            rewrite the golden tables from the current
 //                      implementation instead of checking, then exit
@@ -28,6 +31,7 @@
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
 #include "validate/cross_check.hpp"
+#include "validate/fault_checks.hpp"
 #include "validate/golden.hpp"
 #include "validate/report.hpp"
 
@@ -39,7 +43,7 @@ using support::CliArgs;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: nsmodel_validate [--suite=all|golden|cross|invariants]\n"
+      "usage: nsmodel_validate [--suite=all|golden|cross|invariants|fault]\n"
       "                        [--golden-dir=data/golden] [--fast] [--regen]\n"
       "                        [--max-ulp=0] [--seed=42] [--reps=48]\n"
       "                        [--json=report.json] [--csv=report.csv]\n");
@@ -91,7 +95,7 @@ int main(int argc, char** argv) {
     const std::string jsonPath = args.getString("json", "");
     const std::string csvPath = args.getString("csv", "");
     NSMODEL_CHECK(suite == "all" || suite == "golden" || suite == "cross" ||
-                      suite == "invariants",
+                      suite == "invariants" || suite == "fault",
                   "unknown --suite: " + suite);
     NSMODEL_CHECK(maxUlp >= 0, "--max-ulp must be non-negative");
     NSMODEL_CHECK(reps >= 2, "--reps must be at least 2");
@@ -119,13 +123,20 @@ int main(int argc, char** argv) {
     if (suite == "all" || suite == "invariants") {
       validate::runInvariantChecks(fast, seed, report);
     }
+    if (suite == "all" || suite == "fault") {
+      validate::runFaultChecks(fast, seed, report);
+    }
 
     report.printSummary(std::cout);
     if (!jsonPath.empty()) report.writeJson(jsonPath);
     if (!csvPath.empty()) report.writeCsv(csvPath);
     return report.allPassed() ? 0 : 1;
   } catch (const nsmodel::Error& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
+    std::fprintf(stderr, "error: [%s] %s\n",
+                 nsmodel::errorCategoryName(error.category()), error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: [internal] %s\n", error.what());
     return 2;
   }
 }
