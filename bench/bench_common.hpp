@@ -24,6 +24,7 @@
 #include "core/optimizer.hpp"
 #include "protocols/probabilistic.hpp"
 #include "sim/monte_carlo.hpp"
+#include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -34,6 +35,10 @@ struct BenchOptions {
   bool fast = false;
   int replications = 30;   // the paper's 30 random runs
   std::uint64_t seed = 42;
+  /// Append the JSON record to the bench's output file instead of
+  /// overwriting it (JSONL-style: one record per run).  CI's perf-smoke
+  /// lane uses this to collect 1- and 4-thread records in one file.
+  bool append = false;
 
   /// Parses the shared options.  Unknown options and malformed numeric
   /// values are fatal (exit code 2) so a typo cannot silently run the
@@ -43,7 +48,7 @@ struct BenchOptions {
     const auto die = [](const std::string& message) {
       std::fprintf(stderr, "error: %s\n", message.c_str());
       std::fprintf(stderr,
-                   "usage: [--fast] [--reps=N] [--seed=N]\n");
+                   "usage: [--fast] [--reps=N] [--seed=N] [--append]\n");
       std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
@@ -51,6 +56,8 @@ struct BenchOptions {
       if (arg == "--fast") {
         opts.fast = true;
         opts.replications = 6;
+      } else if (arg == "--append") {
+        opts.append = true;
       } else if (arg.rfind("--reps=", 0) == 0) {
         const std::uint64_t reps = parseNumber(arg.substr(7), arg, die);
         if (reps < 1 || reps > 1000000) {
@@ -143,6 +150,10 @@ inline std::string cell(const std::optional<double>& value,
 struct SweepAccel {
   sim::ScenarioCache* cache = nullptr;  ///< shared across the whole sweep
   bool parallel = false;                ///< fan (rho, p) points over the pool
+  /// Shared run-workspace pool: each cell's replications lease hot
+  /// per-run buffers instead of allocating fresh vectors (see
+  /// sim/run_workspace.hpp).  Null = private workspace per cell.
+  sim::RunWorkspacePool* workspaces = nullptr;
 };
 
 /// One full simulated sweep: aggregate of `spec` at every (rho, p) of the
@@ -160,6 +171,20 @@ inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
   const std::vector<double> grid = opts.simulationGrid().values();
   std::vector<std::vector<sim::MetricAggregate>> rows(
       rhos.size(), std::vector<sim::MetricAggregate>(grid.size()));
+  if (accel.cache != nullptr || accel.workspaces != nullptr) {
+    // Accelerated shape: replication-major per density.  Each
+    // replication's scenario is built/fetched once and all grid points
+    // run on it while its neighbour tables are cache-hot; the p-major
+    // reference below re-streams 30 multi-megabyte topologies from
+    // memory for every grid point.  Parallelism (when enabled) chunks
+    // the replication axis inside measureSweep.
+    for (std::size_t i = 0; i < rhos.size(); ++i) {
+      const core::NetworkModel model = paperModel(rhos[i], comm);
+      rows[i] = model.measureSweep(grid, spec, opts.seed, reps, accel.cache,
+                                   accel.parallel, accel.workspaces);
+    }
+    return rows;
+  }
   const auto evalCell = [&](std::size_t task) {
     const std::size_t i = task / grid.size();
     const std::size_t j = task % grid.size();
@@ -168,7 +193,8 @@ inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
     // parallelism the |rho-grid| x |p-grid| tasks already saturate the
     // pool, and without it the sweep is the serial reference path.
     rows[i][j] = model.measure(grid[j], spec, opts.seed, reps, accel.cache,
-                               /*parallelReplications=*/false);
+                               /*parallelReplications=*/false,
+                               accel.workspaces);
   };
   const std::size_t tasks = rhos.size() * grid.size();
   if (accel.parallel) {
@@ -187,8 +213,9 @@ inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
     int replicationOverride = 0,
     core::CommModel comm = core::CommModel::collisionAware()) {
   sim::ScenarioCache cache;
-  return simSweep(opts, spec, SweepAccel{&cache, true}, replicationOverride,
-                  comm);
+  sim::RunWorkspacePool workspaces;
+  return simSweep(opts, spec, SweepAccel{&cache, true, &workspaces},
+                  replicationOverride, comm);
 }
 
 /// Best feasible grid point of one sweep row under the metric's direction;

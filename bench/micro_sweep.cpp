@@ -7,18 +7,28 @@
 //    (Fig. 8-style, 30 replications) — uncached serial baseline vs.
 //    ScenarioCache + grid-point parallelism;
 //  * analytic sweep: the Eq. 4 p-grid at every density — MuTable disabled
-//    serial baseline vs. MuTable + parallel sweepProbability.
+//    serial baseline vs. MuTable + parallel sweepProbability;
+//  * replication throughput: repeated single runs of a dense deployment
+//    (rho = 100, N = 2500) through the DES engine vs. the flat slot
+//    loop, both on one reused workspace — runs/second of the hot
+//    Monte-Carlo inner loop.
 //
-// Both accelerated paths must reproduce the baseline tables bit for bit;
-// the binary exits non-zero if they do not, so it doubles as a CI smoke
-// test.  Options: --fast (quarter-size grids), --reps=N, --seed=N.
+// Every accelerated path must reproduce its baseline bit for bit; the
+// binary exits non-zero if any does not, so it doubles as a CI smoke
+// test.  Options: --fast (quarter-size grids), --reps=N, --seed=N,
+// --append (add this run's JSON record instead of overwriting —
+// perf-smoke collects 1- and 4-thread records in one file).
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analytic/mu_table.hpp"
 #include "bench_common.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
 
 namespace {
@@ -106,12 +116,13 @@ int main(int argc, char** argv) {
               simBaselineWall,
               static_cast<unsigned long long>(baselineBuilds));
 
-  // ---- simulated sweep: cached + parallel ----
+  // ---- simulated sweep: cached + parallel + pooled workspaces ----
   nsmodel::sim::ScenarioCache cache;
+  nsmodel::sim::RunWorkspacePool workspaces;
   nsmodel::sim::resetTopologyBuildCount();
   const auto s2 = Clock::now();
-  const SimTable simAccel =
-      nsmodel::bench::simSweep(opts, spec, SweepAccel{&cache, true});
+  const SimTable simAccel = nsmodel::bench::simSweep(
+      opts, spec, SweepAccel{&cache, true, &workspaces});
   const auto s3 = Clock::now();
   const std::uint64_t accelBuilds = nsmodel::sim::topologyBuildCount();
   const double simAccelWall = seconds(s2, s3);
@@ -156,9 +167,60 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(accelMuLookups), anSpeedup,
               anIdentical ? "bit-identical" : "MISMATCH");
 
+  // ---- replication throughput: DES engine vs. flat slot loop ----
+  // One dense scenario (the paper's rho = 100 upper-midrange, N = 2500),
+  // run repeatedly on one reused workspace: the steady state of the
+  // Monte-Carlo inner loop, isolated from topology construction.
+  nsmodel::sim::ExperimentConfig runCfg;
+  runCfg.neighborDensity = 100.0;
+  const nsmodel::sim::Scenario runScenario = nsmodel::sim::buildScenario(
+      nsmodel::sim::ScenarioKey::forExperiment(runCfg, opts.seed, 0));
+  const int throughputRuns = opts.fast ? 20 : 60;
+  nsmodel::protocols::ProbabilisticBroadcast runProtocol(0.6);
+  nsmodel::sim::RunWorkspace runWorkspace;
+  using RunSignature =
+      std::pair<std::vector<std::uint64_t>, std::vector<std::int64_t>>;
+  const auto timeDriver = [&](nsmodel::sim::SlotDriver driver,
+                              std::vector<RunSignature>& signatures) {
+    runCfg.driver = driver;
+    // Warm the workspace so both drivers time the allocation-free state.
+    {
+      nsmodel::support::Rng rng = runScenario.protocolRng;
+      runWorkspace.reclaim(nsmodel::sim::runBroadcast(
+          runCfg, runScenario.deployment, runScenario.topology, runProtocol,
+          rng, runWorkspace));
+    }
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < throughputRuns; ++rep) {
+      nsmodel::support::Rng rng = runScenario.protocolRng;
+      nsmodel::sim::RunResult result = nsmodel::sim::runBroadcast(
+          runCfg, runScenario.deployment, runScenario.topology, runProtocol,
+          rng, runWorkspace);
+      signatures.emplace_back(result.receptionSlots(),
+                              result.receptionSlotByNode());
+      runWorkspace.reclaim(std::move(result));
+    }
+    return seconds(t0, Clock::now());
+  };
+  std::vector<RunSignature> desSignatures;
+  std::vector<RunSignature> flatSignatures;
+  const double desWall =
+      timeDriver(nsmodel::sim::SlotDriver::DesEngine, desSignatures);
+  const double flatWall =
+      timeDriver(nsmodel::sim::SlotDriver::FlatLoop, flatSignatures);
+  const bool runsIdentical = desSignatures == flatSignatures;
+  const double desRate = desWall > 0.0 ? throughputRuns / desWall : 0.0;
+  const double flatRate = flatWall > 0.0 ? throughputRuns / flatWall : 0.0;
+  const double runSpeedup = flatWall > 0.0 ? desWall / flatWall : 0.0;
+  std::printf("replication des engine   %7.2fs  %8.1f runs/s\n", desWall,
+              desRate);
+  std::printf("replication flat loop    %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
+              flatWall, flatRate, runSpeedup,
+              runsIdentical ? "bit-identical" : "MISMATCH");
+
   // ---- BENCH_sweep.json ----
   const char* path = "BENCH_sweep.json";
-  std::FILE* out = std::fopen(path, "w");
+  std::FILE* out = std::fopen(path, opts.append ? "a" : "w");
   if (out == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
     return 1;
@@ -204,12 +266,29 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"speedup\": %.3f,\n", anSpeedup);
   std::fprintf(out, "    \"bit_identical\": %s\n",
                anIdentical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"replication_throughput\": {\n");
+  std::fprintf(out, "    \"density\": %.0f,\n", runCfg.neighborDensity);
+  std::fprintf(out, "    \"nodes\": %zu,\n",
+               runScenario.topology.nodeCount());
+  std::fprintf(out, "    \"runs\": %d,\n", throughputRuns);
+  std::fprintf(out,
+               "    \"des_engine\": {\"wall_s\": %.6f, "
+               "\"runs_per_s\": %.1f},\n",
+               desWall, desRate);
+  std::fprintf(out,
+               "    \"flat_loop\": {\"wall_s\": %.6f, "
+               "\"runs_per_s\": %.1f},\n",
+               flatWall, flatRate);
+  std::fprintf(out, "    \"speedup\": %.3f,\n", runSpeedup);
+  std::fprintf(out, "    \"bit_identical\": %s\n",
+               runsIdentical ? "true" : "false");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
-  std::printf("wrote %s\n", path);
+  std::printf("%s %s\n", opts.append ? "appended to" : "wrote", path);
 
-  if (!simIdentical || !anIdentical) {
+  if (!simIdentical || !anIdentical || !runsIdentical) {
     std::fprintf(stderr,
                  "error: accelerated sweep diverged from the baseline\n");
     return 1;

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Perf-smoke lane: runs the micro_sweep bench (Release, --fast grids) on
+# one thread and on four, appending both JSON records to BENCH_sweep.json,
+# and fails if any accelerated path diverged from its baseline.
+#
+# micro_sweep already exits non-zero on divergence; the grep below is a
+# belt-and-braces check that the *recorded* file agrees, so a stale or
+# hand-edited BENCH_sweep.json cannot slip through CI green.
+#
+# Usage: scripts/perf_smoke.sh [path/to/micro_sweep]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-build/bench/micro_sweep}"
+OUT="BENCH_sweep.json"
+rm -f "$OUT"
+
+echo "== micro_sweep --fast, 1 thread =="
+NSMODEL_THREADS=1 "$BENCH" --fast
+
+echo "== micro_sweep --fast, 4 threads =="
+NSMODEL_THREADS=4 "$BENCH" --fast --append
+
+if grep -q '"bit_identical": false' "$OUT"; then
+  echo "FAIL: $OUT records a bit_identical: false section"
+  cat "$OUT"
+  exit 1
+fi
+
+echo
+echo "perf smoke: OK ($OUT has $(grep -c '"bench"' "$OUT") records)"

@@ -67,13 +67,16 @@ sim::MetricAggregate NetworkModel::measure(double probability,
                                            std::uint64_t seed,
                                            int replications,
                                            sim::ScenarioCache* cache,
-                                           bool parallelReplications) const {
+                                           bool parallelReplications,
+                                           sim::RunWorkspacePool* workspaces)
+    const {
   sim::MonteCarloConfig mc;
   mc.experiment = experimentConfig();
   mc.seed = seed;
   mc.replications = replications;
   mc.cache = cache;
   mc.parallel = parallelReplications;
+  mc.workspaces = workspaces;
   const auto factory = [probability] {
     return std::make_unique<protocols::ProbabilisticBroadcast>(probability);
   };
@@ -85,6 +88,39 @@ sim::MetricAggregate NetworkModel::measure(double probability,
   auto aggregates = sim::monteCarlo(mc, factory, extract);
   NSMODEL_ASSERT(aggregates.size() == 1);
   return aggregates[0];
+}
+
+std::vector<sim::MetricAggregate> NetworkModel::measureSweep(
+    const std::vector<double>& probabilities, const MetricSpec& spec,
+    std::uint64_t seed, int replications, sim::ScenarioCache* cache,
+    bool parallelReplications, sim::RunWorkspacePool* workspaces) const {
+  sim::MonteCarloConfig mc;
+  mc.experiment = experimentConfig();
+  mc.seed = seed;
+  mc.replications = replications;
+  mc.cache = cache;
+  mc.parallel = parallelReplications;
+  mc.workspaces = workspaces;
+  std::vector<protocols::ProtocolFactory> factories;
+  factories.reserve(probabilities.size());
+  for (const double probability : probabilities) {
+    factories.push_back([probability] {
+      return std::make_unique<protocols::ProbabilisticBroadcast>(probability);
+    });
+  }
+  const auto extract = [&spec](const sim::RunResult& run) {
+    const auto value = evaluateMetric(spec, run);
+    return std::vector<double>{
+        value ? *value : std::numeric_limits<double>::quiet_NaN()};
+  };
+  const auto perPoint = sim::monteCarloSweep(mc, factories, extract);
+  std::vector<sim::MetricAggregate> row;
+  row.reserve(perPoint.size());
+  for (const auto& aggregates : perPoint) {
+    NSMODEL_ASSERT(aggregates.size() == 1);
+    row.push_back(aggregates[0]);
+  }
+  return row;
 }
 
 std::optional<Optimum> NetworkModel::optimize(

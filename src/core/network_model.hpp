@@ -56,11 +56,29 @@ class NetworkModel {
   /// results are bit-identical either way.  `parallelReplications` fans
   /// the replications out over the shared thread pool (callers that
   /// already parallelise across grid points may prefer serial
-  /// replications for coarser task granularity).
+  /// replications for coarser task granularity).  An optional
+  /// RunWorkspacePool lets consecutive calls reuse hot per-run buffers
+  /// (see sim/run_workspace.hpp); null leases a private workspace.
   sim::MetricAggregate measure(double probability, const MetricSpec& spec,
                                std::uint64_t seed, int replications = 30,
                                sim::ScenarioCache* cache = nullptr,
-                               bool parallelReplications = true) const;
+                               bool parallelReplications = true,
+                               sim::RunWorkspacePool* workspaces =
+                                   nullptr) const;
+
+  /// Monte-Carlo estimates of a metric for PB at every probability of
+  /// `probabilities`, replication-major: each replication's scenario is
+  /// built (or fetched from `cache`) once and all probabilities run on it
+  /// while its neighbour tables are cache-hot.  Bit-identical to calling
+  /// measure() per probability with the same seed/cache, but much faster
+  /// on paper-sized sweeps, where measure()-per-point re-streams every
+  /// topology from memory once per grid point (see sim::monteCarloSweep).
+  std::vector<sim::MetricAggregate> measureSweep(
+      const std::vector<double>& probabilities, const MetricSpec& spec,
+      std::uint64_t seed, int replications = 30,
+      sim::ScenarioCache* cache = nullptr,
+      bool parallelReplications = true,
+      sim::RunWorkspacePool* workspaces = nullptr) const;
 
   /// Optimal p for a metric according to the analytical backend.  With
   /// `parallel` the grid fans out over the shared thread pool (the result

@@ -16,38 +16,68 @@ SpatialGrid::CellKey SpatialGrid::cellOf(const Vec2& p) const {
 }
 
 void SpatialGrid::insert(const Vec2& p, std::uint32_t id) {
-  cells_[cellOf(p)].push_back(Entry{p, id});
-  ++count_;
+  entries_.push_back(Entry{p, id});
+  dirty_ = true;
+}
+
+void SpatialGrid::finalize() const {
+  // Bounding box in cell coordinates.
+  minCx_ = minCy_ = 0;
+  std::int64_t maxCx = -1;
+  std::int64_t maxCy = -1;
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    const CellKey key = cellOf(entry.position);
+    if (first) {
+      minCx_ = maxCx = key.cx;
+      minCy_ = maxCy = key.cy;
+      first = false;
+    } else {
+      minCx_ = std::min(minCx_, key.cx);
+      maxCx = std::max(maxCx, key.cx);
+      minCy_ = std::min(minCy_, key.cy);
+      maxCy = std::max(maxCy, key.cy);
+    }
+  }
+  width_ = maxCx - minCx_ + 1;
+  height_ = maxCy - minCy_ + 1;
+  const std::size_t cells =
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+
+  // Stable counting sort by flat cell index: a count pass filling the
+  // CSR offsets, then a placement pass in insertion order.
+  offsets_.assign(cells + 1, 0);
+  const auto flatCell = [&](const Entry& entry) {
+    const CellKey key = cellOf(entry.position);
+    return static_cast<std::size_t>(key.cy - minCy_) *
+               static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(key.cx - minCx_);
+  };
+  for (const Entry& entry : entries_) ++offsets_[flatCell(entry) + 1];
+  for (std::size_t c = 1; c <= cells; ++c) offsets_[c] += offsets_[c - 1];
+
+  slotX_.resize(entries_.size());
+  slotY_.resize(entries_.size());
+  slotId_.resize(entries_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Entry& entry : entries_) {
+    const std::size_t slot = cursor[flatCell(entry)]++;
+    slotX_[slot] = entry.position.x;
+    slotY_[slot] = entry.position.y;
+    slotId_[slot] = entry.id;
+  }
+  dirty_ = false;
 }
 
 SpatialGrid SpatialGrid::build(const std::vector<Vec2>& points,
                                double cellSize) {
   SpatialGrid grid(cellSize);
+  grid.entries_.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     grid.insert(points[i], static_cast<std::uint32_t>(i));
   }
+  if (!grid.entries_.empty()) grid.finalize();
   return grid;
-}
-
-void SpatialGrid::forEachWithin(
-    const Vec2& center, double radius,
-    const std::function<void(std::uint32_t, const Vec2&)>& visit) const {
-  NSMODEL_CHECK(radius >= 0.0, "query radius must be >= 0");
-  const double r2 = radius * radius;
-  const auto reach =
-      static_cast<std::int64_t>(std::ceil(radius / cellSize_));
-  const CellKey home = cellOf(center);
-  for (std::int64_t dy = -reach; dy <= reach; ++dy) {
-    for (std::int64_t dx = -reach; dx <= reach; ++dx) {
-      const auto it = cells_.find(CellKey{home.cx + dx, home.cy + dy});
-      if (it == cells_.end()) continue;
-      for (const Entry& entry : it->second) {
-        if (entry.position.distanceSquaredTo(center) <= r2) {
-          visit(entry.id, entry.position);
-        }
-      }
-    }
-  }
 }
 
 std::vector<std::uint32_t> SpatialGrid::queryWithin(const Vec2& center,

@@ -1,21 +1,30 @@
-// Uniform spatial hash grid for radius queries.
+// Uniform spatial grid for radius queries, stored flat (CSR).
 //
 // Building neighbour tables for N up to a few thousand nodes per Monte-
 // Carlo replication is the hot path of deployment setup; the grid makes it
-// O(N * rho) instead of O(N^2).
+// O(N * rho) instead of O(N^2).  Cells live in a dense row-major array
+// over the points' bounding box with a CSR offset table, and entries are
+// held in structure-of-arrays form, so a radius query walks one
+// contiguous span per cell row instead of hashing each candidate cell.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "geom/vec2.hpp"
+#include "support/error.hpp"
 
 namespace nsmodel::geom {
 
 /// Maps points to square cells of a fixed size and answers radius queries.
 /// Indices stored are caller-provided (typically node ids).
+///
+/// Points may be inserted incrementally; the flat cell index is (re)built
+/// lazily on the next query.  The dense cell array covers the bounding
+/// box of the inserted points, so the grid is meant for compact point
+/// sets (disk deployments), not coordinates scattered across huge spans.
 class SpatialGrid {
  public:
   /// `cellSize` should normally equal the most common query radius.
@@ -24,20 +33,93 @@ class SpatialGrid {
   /// Inserts point `p` with payload `id`.
   void insert(const Vec2& p, std::uint32_t id);
 
-  /// Bulk construction from a point array; id i = index i.
+  /// Bulk construction from a point array; id i = index i.  The cell
+  /// index is finalized eagerly so later concurrent queries never race
+  /// on the lazy rebuild.
   static SpatialGrid build(const std::vector<Vec2>& points, double cellSize);
 
-  std::size_t size() const { return count_; }
+  std::size_t size() const { return entries_.size(); }
 
   /// Calls `visit(id, position)` for every stored point within `radius`
-  /// of `center` (inclusive).
-  void forEachWithin(
-      const Vec2& center, double radius,
-      const std::function<void(std::uint32_t, const Vec2&)>& visit) const;
+  /// of `center` (inclusive).  Templated so the per-point call inlines:
+  /// neighbour-table construction visits every (node, candidate) pair and
+  /// an opaque std::function call per pair dominated the profile.
+  /// The visit order is deterministic and repeatable: cells in row-major
+  /// (dy, dx) order around the centre, entries within a cell in insertion
+  /// order — Topology's CSR build relies on this to keep neighbour rows
+  /// (and hence golden traces) bit-identical across grid rewrites.
+  template <typename Visit>
+  void forEachWithin(const Vec2& center, double radius, Visit&& visit) const {
+    NSMODEL_CHECK(radius >= 0.0, "query radius must be >= 0");
+    if (entries_.empty()) return;
+    if (dirty_) finalize();
+    const double r2 = radius * radius;
+    const auto reach =
+        static_cast<std::int64_t>(std::ceil(radius / cellSize_));
+    const CellKey home = cellOf(center);
+    const std::int64_t gxLo = std::max(home.cx - reach, minCx_);
+    const std::int64_t gxHi = std::min(home.cx + reach, minCx_ + width_ - 1);
+    const std::int64_t gyLo = std::max(home.cy - reach, minCy_);
+    const std::int64_t gyHi = std::min(home.cy + reach, minCy_ + height_ - 1);
+    if (gxLo > gxHi || gyLo > gyHi) return;
+    for (std::int64_t gy = gyLo; gy <= gyHi; ++gy) {
+      // Cells of one row are adjacent in the flat index, so the whole
+      // (dy, dx=-reach..reach) strip is a single contiguous slot span.
+      const std::size_t row = static_cast<std::size_t>(gy - minCy_) *
+                              static_cast<std::size_t>(width_);
+      const std::size_t lo =
+          offsets_[row + static_cast<std::size_t>(gxLo - minCx_)];
+      const std::size_t hi =
+          offsets_[row + static_cast<std::size_t>(gxHi - minCx_) + 1];
+      for (std::size_t s = lo; s < hi; ++s) {
+        const double dx = slotX_[s] - center.x;
+        const double dy = slotY_[s] - center.y;
+        if (dx * dx + dy * dy <= r2) {
+          visit(slotId_[s], Vec2{slotX_[s], slotY_[s]});
+        }
+      }
+    }
+  }
 
   /// Ids of points within `radius` of `center` (inclusive).
   std::vector<std::uint32_t> queryWithin(const Vec2& center,
                                          double radius) const;
+
+  /// Hands the candidate cells of a radius query to `body` one contiguous
+  /// strip at a time as raw structure-of-arrays spans:
+  /// `body(xs, ys, ids, count)`.  Candidates are NOT distance-filtered —
+  /// the caller applies its own test — but the strip order (and the entry
+  /// order within a strip) is exactly forEachWithin's visit order, so a
+  /// caller that filters by distance sees the identical sequence.
+  /// Topology::buildAdjacency uses this to run a branchless accept loop
+  /// over each strip instead of paying an unpredictable branch per
+  /// candidate.  The spans are invalidated by the next insert().
+  template <typename Body>
+  void forEachCandidateStrip(const Vec2& center, double radius,
+                             Body&& body) const {
+    NSMODEL_CHECK(radius >= 0.0, "query radius must be >= 0");
+    if (entries_.empty()) return;
+    if (dirty_) finalize();
+    const auto reach =
+        static_cast<std::int64_t>(std::ceil(radius / cellSize_));
+    const CellKey home = cellOf(center);
+    const std::int64_t gxLo = std::max(home.cx - reach, minCx_);
+    const std::int64_t gxHi = std::min(home.cx + reach, minCx_ + width_ - 1);
+    const std::int64_t gyLo = std::max(home.cy - reach, minCy_);
+    const std::int64_t gyHi = std::min(home.cy + reach, minCy_ + height_ - 1);
+    if (gxLo > gxHi || gyLo > gyHi) return;
+    for (std::int64_t gy = gyLo; gy <= gyHi; ++gy) {
+      const std::size_t row = static_cast<std::size_t>(gy - minCy_) *
+                              static_cast<std::size_t>(width_);
+      const std::size_t lo =
+          offsets_[row + static_cast<std::size_t>(gxLo - minCx_)];
+      const std::size_t hi =
+          offsets_[row + static_cast<std::size_t>(gxHi - minCx_) + 1];
+      if (lo == hi) continue;
+      body(slotX_.data() + lo, slotY_.data() + lo, slotId_.data() + lo,
+           hi - lo);
+    }
+  }
 
  private:
   struct Entry {
@@ -48,24 +130,27 @@ class SpatialGrid {
   struct CellKey {
     std::int64_t cx;
     std::int64_t cy;
-    bool operator==(const CellKey&) const = default;
-  };
-
-  struct CellHash {
-    std::size_t operator()(const CellKey& k) const {
-      // 64-bit mix of the two cell coordinates.
-      std::uint64_t h = static_cast<std::uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
-      h ^= static_cast<std::uint64_t>(k.cy) + 0x517cc1b727220a95ULL +
-           (h << 6) + (h >> 2);
-      return static_cast<std::size_t>(h);
-    }
   };
 
   CellKey cellOf(const Vec2& p) const;
 
+  /// Counting-sorts the entries into the dense cell array (stable, so
+  /// insertion order within a cell survives).
+  void finalize() const;
+
   double cellSize_;
-  std::size_t count_ = 0;
-  std::unordered_map<CellKey, std::vector<Entry>, CellHash> cells_;
+  std::vector<Entry> entries_;  ///< insertion order, source of truth
+
+  // Lazily rebuilt flat index (mutable: queries are logically const).
+  mutable bool dirty_ = true;
+  mutable std::int64_t minCx_ = 0;
+  mutable std::int64_t minCy_ = 0;
+  mutable std::int64_t width_ = 0;
+  mutable std::int64_t height_ = 0;
+  mutable std::vector<std::size_t> offsets_;  ///< width*height + 1 slots
+  mutable std::vector<double> slotX_;
+  mutable std::vector<double> slotY_;
+  mutable std::vector<std::uint32_t> slotId_;
 };
 
 }  // namespace nsmodel::geom

@@ -42,12 +42,16 @@ namespace {
 /// Invariant between slots: all entries are zero.
 class SlotCounts {
  public:
+  /// Grow-only: a channel owned by a reusable RunWorkspace sees runs of
+  /// varying node counts; shrinking would make the next bigger run
+  /// reallocate.  Extra entries stay zero (resize value-initialises) and
+  /// are never indexed.
   void ensure(std::size_t n) {
     // NodeId and the per-slot count must both fit 16 bits.
     NSMODEL_CHECK(n <= 0xFFFF,
                   "collision-aware channels support at most 65535 nodes");
-    if (entries_.size() != n) {
-      entries_.assign(n, 0);
+    if (entries_.size() < n) {
+      entries_.resize(n, 0);
       touched_.resize(n);  // every node can be touched at most once
     }
   }
@@ -104,7 +108,7 @@ class SlotCounts {
 class TxFlags {
  public:
   void ensure(std::size_t n) {
-    if (flags_.size() != n) flags_.assign(n, 0);
+    if (flags_.size() < n) flags_.resize(n, 0);  // grow-only, see SlotCounts
   }
   void set(const std::vector<NodeId>& txs) {
     for (NodeId tx : txs) flags_[tx] = 1;
@@ -125,8 +129,8 @@ class SlotTally {
   void ensure(std::size_t n) {
     NSMODEL_CHECK(n <= 0xFFFF,
                   "collision-aware channels support at most 65535 nodes");
-    if (counts_.size() != n) {
-      counts_.assign(n, 0);
+    if (counts_.size() < n) {  // grow-only, see SlotCounts
+      counts_.resize(n, 0);
       touched_.resize(n);
     }
   }
@@ -229,7 +233,7 @@ class CollisionAwareChannel final : public Channel {
     txFlags_.ensure(topology.nodeCount());
     txFlags_.set(transmitters);
     for (NodeId tx : transmitters) {
-      const std::vector<NodeId>& nbs = topology.neighbors(tx);
+      const NeighborSpan nbs = topology.neighbors(tx);
       inRange_.bumpMany(nbs.data(), nbs.size(), tx);
     }
     if (interferers) {
@@ -239,7 +243,7 @@ class CollisionAwareChannel final : public Channel {
       // they are mid-transmission themselves.
       txFlags_.set(*interferers);
       for (NodeId ix : *interferers) {
-        const std::vector<NodeId>& nbs = topology.neighbors(ix);
+        const NeighborSpan nbs = topology.neighbors(ix);
         inRange_.bumpMany(nbs.data(), nbs.size(), ix);
         inRange_.bumpMany(nbs.data(), nbs.size(), ix);
       }
@@ -325,9 +329,9 @@ class CarrierSenseChannel final : public Channel {
     txFlags_.ensure(topology.nodeCount());
     txFlags_.set(transmitters);
     for (NodeId tx : transmitters) {
-      const std::vector<NodeId>& nbs = topology.neighbors(tx);
+      const NeighborSpan nbs = topology.neighbors(tx);
       inRange_.bumpMany(nbs.data(), nbs.size(), tx);
-      const std::vector<NodeId>& cs = topology.carrierSenseNeighbors(tx);
+      const NeighborSpan cs = topology.carrierSenseNeighbors(tx);
       inSense_.bumpMany(cs.data(), cs.size());
     }
     if (interferers) {
@@ -336,10 +340,10 @@ class CarrierSenseChannel final : public Channel {
       // tally once so a cs-range interferer destroys the reception too.
       txFlags_.set(*interferers);
       for (NodeId ix : *interferers) {
-        const std::vector<NodeId>& nbs = topology.neighbors(ix);
+        const NeighborSpan nbs = topology.neighbors(ix);
         inRange_.bumpMany(nbs.data(), nbs.size(), ix);
         inRange_.bumpMany(nbs.data(), nbs.size(), ix);
-        const std::vector<NodeId>& cs = topology.carrierSenseNeighbors(ix);
+        const NeighborSpan cs = topology.carrierSenseNeighbors(ix);
         inSense_.bumpMany(cs.data(), cs.size());
       }
     }

@@ -2,41 +2,54 @@
 // links, every node knows its neighbours).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "net/deployment.hpp"
 #include "support/error.hpp"
 
+namespace nsmodel::geom {
+class SpatialGrid;
+}  // namespace nsmodel::geom
+
 namespace nsmodel::net {
+
+/// Lightweight view of one node's neighbour list (a CSR row).
+using NeighborSpan = std::span<const NodeId>;
 
 /// Immutable adjacency derived from positions and the transmission range.
 /// Optionally also precomputes the carrier-sense neighbourhood (nodes
 /// within csFactor * range) used by the Appendix-A channel.
+///
+/// Storage is CSR: one flat NodeId array plus an offsets array per table,
+/// so a whole table is two allocations and the per-transmitter neighbour
+/// scan of every slot resolution streams through contiguous memory
+/// instead of chasing a vector-of-vectors.
 class Topology {
  public:
   /// Builds range-`range` adjacency. When `csFactor` > 1, carrier-sense
   /// adjacency at csFactor*range is built as well.
   Topology(const Deployment& deployment, double range, double csFactor = 0.0);
 
-  std::size_t nodeCount() const { return neighbors_.size(); }
+  std::size_t nodeCount() const { return nodeCount_; }
   double range() const { return range_; }
-  bool hasCarrierSense() const { return !csNeighbors_.empty(); }
+  bool hasCarrierSense() const { return csRange_ > 0.0; }
   double carrierSenseRange() const;
 
   /// Nodes within `range` of `id`, excluding `id` itself.  Inline: this
   /// sits on the per-transmitter path of every slot resolution.
-  const std::vector<NodeId>& neighbors(NodeId id) const {
-    NSMODEL_CHECK(id < neighbors_.size(), "node id out of range");
-    return neighbors_[id];
+  NeighborSpan neighbors(NodeId id) const {
+    NSMODEL_CHECK(id < nodeCount_, "node id out of range");
+    return links_.row(id);
   }
 
   /// Nodes within the carrier-sense range of `id`, excluding `id`;
   /// requires hasCarrierSense(). Includes the transmission-range
   /// neighbours (it is the full cs-disk, not the annulus).
-  const std::vector<NodeId>& carrierSenseNeighbors(NodeId id) const {
+  NeighborSpan carrierSenseNeighbors(NodeId id) const {
     NSMODEL_CHECK(hasCarrierSense(), "carrier sensing not configured");
-    NSMODEL_CHECK(id < csNeighbors_.size(), "node id out of range");
-    return csNeighbors_[id];
+    NSMODEL_CHECK(id < nodeCount_, "node id out of range");
+    return csLinks_.row(id);
   }
 
   /// Average number of neighbours (the empirical rho).
@@ -50,10 +63,28 @@ class Topology {
   std::size_t reachableCount(NodeId start) const;
 
  private:
+  /// One CSR table: row i is ids[offsets[i] .. offsets[i+1]).
+  struct Csr {
+    std::vector<std::size_t> offsets;  // nodeCount + 1 entries
+    std::vector<NodeId> ids;
+
+    NeighborSpan row(NodeId id) const {
+      return {ids.data() + offsets[id], offsets[id + 1] - offsets[id]};
+    }
+  };
+
+  /// Two passes over the grid — count then fill — in the grid's
+  /// deterministic visit order, so row contents match what the old
+  /// per-node push_back construction produced, in exactly two
+  /// allocations.
+  static Csr buildAdjacency(const std::vector<geom::Vec2>& positions,
+                            const geom::SpatialGrid& grid, double radius);
+
   double range_;
   double csRange_ = 0.0;
-  std::vector<std::vector<NodeId>> neighbors_;
-  std::vector<std::vector<NodeId>> csNeighbors_;
+  std::size_t nodeCount_ = 0;
+  Csr links_;
+  Csr csLinks_;
 };
 
 }  // namespace nsmodel::net

@@ -65,6 +65,7 @@
 #include "sim/reliable.hpp"
 #include "sim/robust_sweep.hpp"
 #include "sim/run_result.hpp"
+#include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
 #include "sim/trace_export.hpp"
 

@@ -153,8 +153,7 @@ class AsyncRun {
  private:
   /// Interference neighbourhood: transmission range for CAM, cs range for
   /// the carrier-sense channel. CFM interferes with nobody.
-  const std::vector<net::NodeId>& interferenceNeighbors(
-      net::NodeId node) const {
+  net::NeighborSpan interferenceNeighbors(net::NodeId node) const {
     return carrierSense_ ? topology_.carrierSenseNeighbors(node)
                          : topology_.neighbors(node);
   }

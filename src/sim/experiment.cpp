@@ -8,6 +8,7 @@
 
 #include "des/engine.hpp"
 #include "fault/fault_plan.hpp"
+#include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
 #include "support/error.hpp"
 
@@ -15,19 +16,22 @@ namespace nsmodel::sim {
 
 namespace {
 
-/// Mutable state of one run, shared by the slot-resolution events.
+/// Mutable state of one run, shared by the slot resolutions.  All bulk
+/// storage lives in the RunWorkspace; this struct holds the references,
+/// the scalar counters, and the resolution logic both drivers share.
 struct RunState {
   RunState(const ExperimentConfig& cfg, const net::Topology& topo,
            net::Channel& chan, protocols::BroadcastProtocol& proto,
            protocols::ProtocolContext context, net::EnergyLedger* energy,
-           fault::FaultPlan& faultPlan)
+           fault::FaultPlan& faultPlan, RunWorkspace& workspace)
       : config(cfg),
         topology(topo),
         channel(chan),
         protocol(proto),
         ctx(context),
         ledger(energy),
-        plan(faultPlan) {}
+        plan(faultPlan),
+        ws(workspace) {}
 
   const ExperimentConfig& config;
   const net::Topology& topology;
@@ -36,28 +40,16 @@ struct RunState {
   protocols::ProtocolContext ctx;
   net::EnergyLedger* ledger;
   fault::FaultPlan& plan;  // non-const: the GE query advances its cursor
-  des::Engine engine;
+  RunWorkspace& ws;
 
-  // Byte flags, not vector<bool>: read once per delivery in the hot loop.
-  std::vector<std::uint8_t> received;
-  std::vector<std::uint8_t> cancelled;       // pending tx withdrawn
-  std::vector<std::uint8_t> hasPending;      // tx scheduled, not yet fired
-  std::vector<std::uint8_t> energyDead;      // budget reached (empty = off)
-  // Slot-indexed pending-transmitter lists, grown lazily up to maxSlot.
-  // Flat indexing beats a hash map here: scheduleTransmission runs once
-  // per reception that decides to rebroadcast.
-  std::vector<std::vector<net::NodeId>> pendingBySlot;
-  std::vector<std::uint8_t> slotScheduled;   // resolver event exists
-  // Clock-drift spill-over: skewed transmitters also registered as
-  // interferers in the adjacent slot (empty vectors without drift).
-  std::vector<std::vector<net::NodeId>> interferersBySlot;
-  std::vector<net::NodeId> transmitters;      // per-slot scratch, reused
-  std::vector<net::NodeId> liveInterferers;   // per-slot scratch, reused
+  /// Null under SlotDriver::FlatLoop; resolver closures under DesEngine.
+  des::Engine* engine = nullptr;
+  /// Slot whose resolution is in progress (-1 before the first); the
+  /// flat-loop equivalent of comparing against engine.now().
+  std::int64_t nowSlot = -1;
+  /// Highest activated slot; the flat loop scans the agenda up to here.
+  std::int64_t maxActivated = -1;
 
-  std::vector<std::uint64_t> receptionSlots;
-  std::vector<std::int64_t> receptionSlotByNode;
-  std::vector<std::uint64_t> transmissionSlots;
-  std::vector<PhaseObservation> phases;
   std::uint64_t attemptedPairs = 0;
   std::uint64_t deliveredPairs = 0;
   std::uint64_t slotErasures = 0;  // GE erasures within the current slot
@@ -65,36 +57,40 @@ struct RunState {
   std::uint64_t maxSlot = 0;  // transmissions at or beyond this are dropped
   double energyBudget = 0.0;  // per-node cutoff, 0 = unlimited
 
-  PhaseObservation& phaseOf(std::uint64_t slot) {
-    const auto phase = static_cast<std::size_t>(
-        slot / static_cast<std::uint64_t>(config.slotsPerPhase));
-    if (phases.size() <= phase) phases.resize(phase + 1);
-    return phases[phase];
+  /// Phase index of the slot being resolved and the first slot of the
+  /// next phase, both refreshed once per resolveSlot().  Everything the
+  /// resolver does — phase records, crash lookups, retransmission
+  /// scheduling — concerns the current slot, and caching the pair here
+  /// replaces a 64-bit division per delivery with one per slot.
+  std::size_t curPhase = 0;
+  std::uint64_t nextPhaseStart = 0;
+
+  PhaseObservation& currentPhase() {
+    if (ws.phases.size() <= curPhase) ws.phases.resize(curPhase + 1);
+    return ws.phases[curPhase];
   }
 
-  /// Schedules the slot's resolver event on first touch, firing mid-slot.
-  /// Resolved slots are never re-activated: transmissions are only
-  /// scheduled into later phases than the delivery that triggers them,
-  /// and spill-over registration guards against the past explicitly.
+  /// Marks the slot for resolution on first touch.  Resolved slots are
+  /// never re-activated: transmissions are only scheduled into later
+  /// phases than the delivery that triggers them, and spill-over
+  /// registration guards against the past explicitly.
   void activateSlot(std::uint64_t slot) {
-    if (slotScheduled.size() <= slot) {
-      slotScheduled.resize(static_cast<std::size_t>(slot) + 1, 0);
+    if (ws.slotScheduled[slot]) return;
+    ws.slotScheduled[slot] = 1;
+    if (engine != nullptr) {
+      engine->scheduleAt(static_cast<des::Time>(slot) + 0.5,
+                         [this, slot] { resolveSlot(slot); });
+    } else if (static_cast<std::int64_t>(slot) > maxActivated) {
+      maxActivated = static_cast<std::int64_t>(slot);
     }
-    if (slotScheduled[slot]) return;
-    slotScheduled[slot] = 1;
-    engine.scheduleAt(static_cast<des::Time>(slot) + 0.5,
-                      [this, slot] { resolveSlot(slot); });
   }
 
   void scheduleTransmission(net::NodeId node, std::uint64_t slot) {
     if (slot >= maxSlot) return;  // beyond the horizon; drop silently
-    if (pendingBySlot.size() <= slot) {
-      pendingBySlot.resize(static_cast<std::size_t>(slot) + 1);
-    }
     activateSlot(slot);
-    pendingBySlot[slot].push_back(node);
-    hasPending[node] = true;
-    cancelled[node] = false;
+    ws.appendPending(slot, node);
+    ws.hasPending[node] = true;
+    ws.cancelled[node] = false;
     if (plan.hasDrift()) registerSpill(node, slot);
   }
 
@@ -110,56 +106,57 @@ struct RunState {
     // An early-skewed transmission spills into the previous slot, whose
     // resolver may already have fired (it can be the current slot when
     // the triggering delivery happened one slot before the transmission).
-    if (static_cast<des::Time>(spill) + 0.5 <= engine.now()) return;
-    if (interferersBySlot.size() <= spill) {
-      interferersBySlot.resize(static_cast<std::size_t>(spill) + 1);
-    }
+    if (static_cast<std::int64_t>(spill) <= nowSlot) return;
     activateSlot(spill);
-    interferersBySlot[spill].push_back(node);
+    ws.appendInterferer(spill, node);
   }
 
-  bool isDead(net::NodeId node, std::uint64_t slot) const {
-    if (plan.hasCrashes()) {
-      const std::uint64_t phase =
-          slot / static_cast<std::uint64_t>(config.slotsPerPhase);
-      if (plan.isDown(node, phase)) return true;
-    }
-    return !energyDead.empty() && energyDead[node] != 0;
+  /// Whether `node` is down in the phase currently being resolved.
+  bool isDead(net::NodeId node) const {
+    if (plan.hasCrashes() && plan.isDown(node, curPhase)) return true;
+    return energyBudget > 0.0 && ws.energyDead[node] != 0;
   }
 
   /// Marks `node` dead once its ledger energy reaches the budget.  The
   /// packet that crosses the budget still completes (the radio dies after
   /// it); everything later is gone.
   void noteEnergySpent(net::NodeId node) {
-    if (energyDead.empty()) return;
-    if (ledger->energy(node) >= energyBudget) energyDead[node] = 1;
+    if (energyBudget <= 0.0) return;
+    if (ledger->energy(node) >= energyBudget) ws.energyDead[node] = 1;
   }
 
   void resolveSlot(std::uint64_t slot) {
-    transmitters.clear();
-    if (pendingBySlot.size() > slot) {
-      std::vector<net::NodeId>& pending = pendingBySlot[slot];
-      for (net::NodeId node : pending) {
-        if (!cancelled[node] && !isDead(node, slot)) {
-          transmitters.push_back(node);
-        }
-        hasPending[node] = false;
+    nowSlot = static_cast<std::int64_t>(slot);
+    const auto s = static_cast<std::uint64_t>(config.slotsPerPhase);
+    curPhase = static_cast<std::size_t>(slot / s);
+    nextPhaseStart = (static_cast<std::uint64_t>(curPhase) + 1) * s;
+    // The chains and the scheduled flag clear as they are consumed,
+    // restoring the workspace's between-run invariant for free.
+    ws.slotScheduled[slot] = 0;
+    ws.transmitters.clear();
+    for (std::int32_t i = ws.pendingHead[slot]; i >= 0; i = ws.chainNext[i]) {
+      const net::NodeId node = ws.chainNode[i];
+      if (!ws.cancelled[node] && !isDead(node)) {
+        ws.transmitters.push_back(node);
       }
-      pending.clear();
+      ws.hasPending[node] = false;
     }
-    liveInterferers.clear();
-    if (interferersBySlot.size() > slot) {
-      for (net::NodeId node : interferersBySlot[slot]) {
-        if (!cancelled[node] && !isDead(node, slot)) {
-          liveInterferers.push_back(node);
-        }
+    ws.pendingHead[slot] = -1;
+    ws.pendingTail[slot] = -1;
+    ws.liveInterferers.clear();
+    for (std::int32_t i = ws.interfererHead[slot]; i >= 0;
+         i = ws.chainNext[i]) {
+      const net::NodeId node = ws.chainNode[i];
+      if (!ws.cancelled[node] && !isDead(node)) {
+        ws.liveInterferers.push_back(node);
       }
-      interferersBySlot[slot].clear();
     }
-    if (transmitters.empty() && liveInterferers.empty()) return;
+    ws.interfererHead[slot] = -1;
+    ws.interfererTail[slot] = -1;
+    if (ws.transmitters.empty() && ws.liveInterferers.empty()) return;
 
-    for (net::NodeId tx : transmitters) {
-      transmissionSlots.push_back(slot);
+    for (net::NodeId tx : ws.transmitters) {
+      ws.transmissionSlots.push_back(slot);
       attemptedPairs += topology.neighbors(tx).size();
       if (ledger != nullptr) {
         ledger->recordTx(tx);
@@ -170,17 +167,17 @@ struct RunState {
     slotErasures = 0;
     const DeliverFnBody deliverBody{this, slot};
     const net::SlotOutcome outcome =
-        liveInterferers.empty()
-            ? channel.resolveSlot(topology, transmitters, deliverBody)
-            : channel.resolveSlot(topology, transmitters, liveInterferers,
-                                  deliverBody);
+        ws.liveInterferers.empty()
+            ? channel.resolveSlot(topology, ws.transmitters, deliverBody)
+            : channel.resolveSlot(topology, ws.transmitters,
+                                  ws.liveInterferers, deliverBody);
     // Touch the phase record only when the slot observed anything, so an
     // interferer-only slot with no effect (e.g. spill-over under CFM)
     // does not extend the phases vector past the fault-free run's.
-    if (!transmitters.empty() || outcome.deliveries > 0 ||
+    if (!ws.transmitters.empty() || outcome.deliveries > 0 ||
         outcome.lostReceivers > 0 || slotErasures > 0) {
-      PhaseObservation& obs = phaseOf(slot);
-      obs.transmissions += transmitters.size();
+      PhaseObservation& obs = currentPhase();
+      obs.transmissions += ws.transmitters.size();
       // Gilbert–Elliott erasures undo deliveries the channel already
       // counted: the packet survived the collision rule but not the link.
       obs.deliveries += outcome.deliveries - slotErasures;
@@ -203,53 +200,41 @@ struct RunState {
       ++slotErasures;  // erased on the air: no reception, no rx energy
       return;
     }
-    if (isDead(receiver, slot)) return;  // the radio is gone
+    if (isDead(receiver)) return;  // the radio is gone
     if (ledger != nullptr) {
       ledger->recordRx(receiver);
       noteEnergySpent(receiver);
     }
-    if (!received[receiver]) {
-      received[receiver] = true;
-      receptionSlots.push_back(slot);
-      receptionSlotByNode[receiver] = static_cast<std::int64_t>(slot);
-      phaseOf(slot).newReceivers += 1;
+    if (!ws.received[receiver]) {
+      ws.received[receiver] = true;
+      ws.touchedReceivers.push_back(receiver);
+      ws.receptionSlots.push_back(slot);
+      ws.receptionSlotByNode[receiver] = static_cast<std::int64_t>(slot);
+      currentPhase().newReceivers += 1;
       const auto decision = protocol.onFirstReception(receiver, sender, ctx);
       if (decision.transmit) {
         NSMODEL_CHECK(decision.slot >= 0 &&
                           decision.slot < config.slotsPerPhase,
                       "protocol chose a slot outside the phase");
-        const std::uint64_t s =
-            static_cast<std::uint64_t>(config.slotsPerPhase);
-        const std::uint64_t nextPhaseStart = (slot / s + 1) * s;
         scheduleTransmission(receiver,
                              nextPhaseStart +
                                  static_cast<std::uint64_t>(decision.slot));
       }
-    } else if (hasPending[receiver] && !cancelled[receiver]) {
+    } else if (ws.hasPending[receiver] && !ws.cancelled[receiver]) {
       if (!protocol.keepPendingAfterDuplicate(receiver, sender, ctx)) {
-        cancelled[receiver] = true;
+        ws.cancelled[receiver] = true;
       }
     }
   }
 };
 
-}  // namespace
-
-RunResult runBroadcast(const ExperimentConfig& config,
-                       const net::Deployment& deployment,
-                       const net::Topology& topology,
-                       protocols::BroadcastProtocol& protocol,
-                       support::Rng& rng, net::EnergyLedger* ledger) {
-  auto channel = net::makeChannel(config.channel);
-  return runBroadcast(config, deployment, topology, *channel, protocol, rng,
-                      ledger);
-}
-
-RunResult runBroadcast(const ExperimentConfig& config,
-                       const net::Deployment& deployment,
-                       const net::Topology& topology, net::Channel& channel,
-                       protocols::BroadcastProtocol& protocol,
-                       support::Rng& rng, net::EnergyLedger* ledger) {
+RunResult runBroadcastImpl(const ExperimentConfig& config,
+                           const net::Deployment& deployment,
+                           const net::Topology& topology,
+                           net::Channel& channel,
+                           protocols::BroadcastProtocol& protocol,
+                           support::Rng& rng, RunWorkspace& ws,
+                           net::EnergyLedger* ledger) {
   NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
   NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
   NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
@@ -283,44 +268,92 @@ RunResult runBroadcast(const ExperimentConfig& config,
     effectiveLedger = &*ownLedger;
   }
 
+  const auto maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
+                       static_cast<std::uint64_t>(config.slotsPerPhase);
+  ws.beginRun(deployment.nodeCount(), maxSlot);
+
   protocols::ProtocolContext ctx{config.slotsPerPhase, rng, &deployment,
                                  &topology};
   RunState state(config, topology, channel, protocol, ctx, effectiveLedger,
-                 plan);
-  state.received.assign(deployment.nodeCount(), false);
-  state.receptionSlotByNode.assign(deployment.nodeCount(),
-                                   RunResult::kNeverReceived);
-  state.cancelled.assign(deployment.nodeCount(), false);
-  state.hasPending.assign(deployment.nodeCount(), false);
-  // Each node receives first and transmits at most once per run.
-  state.receptionSlots.reserve(deployment.nodeCount());
-  state.transmissionSlots.reserve(deployment.nodeCount());
-  state.maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
-                  static_cast<std::uint64_t>(config.slotsPerPhase);
+                 plan, ws);
+  state.maxSlot = maxSlot;
   if (plan.energyBudget() > 0.0) {
     state.energyBudget = plan.energyBudget();
-    state.energyDead.assign(deployment.nodeCount(), 0);
+    ws.ensureEnergyFlags(deployment.nodeCount());
+  }
+
+  std::optional<des::Engine> engine;
+  if (config.driver == SlotDriver::DesEngine) {
+    engine.emplace();
+    state.engine = &*engine;
   }
 
   // The source holds the packet from the start and transmits in a
   // uniformly jittered slot of phase T_1.
   const net::NodeId source = deployment.source();
-  state.received[source] = true;
+  ws.received[source] = true;
+  ws.touchedReceivers.push_back(source);
   state.scheduleTransmission(
       source, rng.below(static_cast<std::uint64_t>(config.slotsPerPhase)));
 
-  state.engine.run();
+  if (state.engine != nullptr) {
+    state.engine->run();
+  } else {
+    // Every resolver fires at slot + 0.5 and activations only ever target
+    // slots later than the one being resolved, so the event queue is a
+    // monotone scan of the agenda: visit activated slots in increasing
+    // order.  maxActivated can grow while the loop runs.
+    for (std::int64_t slot = 0; slot <= state.maxActivated; ++slot) {
+      if (ws.slotScheduled[static_cast<std::size_t>(slot)]) {
+        state.resolveSlot(static_cast<std::uint64_t>(slot));
+      }
+    }
+  }
 
   // Event order within a slot is deterministic but receptions across slots
   // are appended in time order already; assert rather than sort.
-  NSMODEL_ASSERT(std::is_sorted(state.receptionSlots.begin(),
-                                state.receptionSlots.end()));
-  return RunResult(deployment.nodeCount(), config.slotsPerPhase,
-                   std::move(state.receptionSlots),
-                   std::move(state.transmissionSlots),
-                   std::move(state.phases), state.attemptedPairs,
-                   state.deliveredPairs,
-                   std::move(state.receptionSlotByNode));
+  NSMODEL_ASSERT(std::is_sorted(ws.receptionSlots.begin(),
+                                ws.receptionSlots.end()));
+  RunResult result(deployment.nodeCount(), config.slotsPerPhase,
+                   std::move(ws.receptionSlots),
+                   std::move(ws.transmissionSlots), std::move(ws.phases),
+                   state.attemptedPairs, state.deliveredPairs,
+                   std::move(ws.receptionSlotByNode));
+  ws.finishRun();
+  return result;
+}
+
+}  // namespace
+
+RunResult runBroadcast(const ExperimentConfig& config,
+                       const net::Deployment& deployment,
+                       const net::Topology& topology,
+                       protocols::BroadcastProtocol& protocol,
+                       support::Rng& rng, net::EnergyLedger* ledger) {
+  RunWorkspace workspace;
+  return runBroadcast(config, deployment, topology, protocol, rng, workspace,
+                      ledger);
+}
+
+RunResult runBroadcast(const ExperimentConfig& config,
+                       const net::Deployment& deployment,
+                       const net::Topology& topology, net::Channel& channel,
+                       protocols::BroadcastProtocol& protocol,
+                       support::Rng& rng, net::EnergyLedger* ledger) {
+  RunWorkspace workspace;
+  return runBroadcastImpl(config, deployment, topology, channel, protocol,
+                          rng, workspace, ledger);
+}
+
+RunResult runBroadcast(const ExperimentConfig& config,
+                       const net::Deployment& deployment,
+                       const net::Topology& topology,
+                       protocols::BroadcastProtocol& protocol,
+                       support::Rng& rng, RunWorkspace& workspace,
+                       net::EnergyLedger* ledger) {
+  return runBroadcastImpl(config, deployment, topology,
+                          workspace.channel(config.channel), protocol, rng,
+                          workspace, ledger);
 }
 
 RunResult runExperiment(const ExperimentConfig& config,

@@ -24,6 +24,25 @@
 
 namespace nsmodel::sim {
 
+class RunWorkspace;
+
+/// How slot-resolution events are dispatched.  Both drivers execute the
+/// identical per-slot resolution code and are bit-identical at equal
+/// seeds (asserted by tests/test_sim_slot_loop.cpp); only the dispatch
+/// mechanism differs.
+enum class SlotDriver {
+  /// Iterate the flat slot agenda in increasing slot order.  The slotted
+  /// model fires exactly one resolver per activated slot at time
+  /// slot + 0.5 and never into the past, so the discrete-event queue
+  /// degenerates to a monotone scan — no binary heap, no std::function
+  /// allocation per slot.  The default.
+  FlatLoop,
+  /// Schedule each resolver as a closure on the des::Engine heap (the
+  /// pre-workspace behaviour).  Kept as the reference implementation for
+  /// equivalence tests; the asynchronous backend always uses the engine.
+  DesEngine,
+};
+
 /// Parameters of one experiment family (deployment + channel + schedule).
 struct ExperimentConfig {
   int rings = 5;                 ///< P
@@ -47,6 +66,8 @@ struct ExperimentConfig {
   /// backend bit-identical to the fault-free path; see
   /// fault/fault_models.hpp.
   fault::FaultConfig fault{};
+  /// Slot-dispatch mechanism; FlatLoop and DesEngine are bit-identical.
+  SlotDriver driver = SlotDriver::FlatLoop;
 };
 
 /// Runs a single broadcast over a pre-built topology. The protocol is
@@ -67,6 +88,17 @@ RunResult runBroadcast(const ExperimentConfig& config,
                        const net::Topology& topology, net::Channel& channel,
                        protocols::BroadcastProtocol& protocol,
                        support::Rng& rng,
+                       net::EnergyLedger* ledger = nullptr);
+
+/// As above, but running inside a caller-provided RunWorkspace: buffers
+/// and the channel instance come from (and return to) the workspace, so
+/// repeated calls on one workspace allocate nothing once its high-water
+/// mark fits the run.  The Monte-Carlo chunk loop lives on this overload.
+RunResult runBroadcast(const ExperimentConfig& config,
+                       const net::Deployment& deployment,
+                       const net::Topology& topology,
+                       protocols::BroadcastProtocol& protocol,
+                       support::Rng& rng, RunWorkspace& workspace,
                        net::EnergyLedger* ledger = nullptr);
 
 /// Generates the paper's deployment and runs one broadcast. The stream id

@@ -1,8 +1,12 @@
 #include "sim/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
+#include <utility>
 
+#include "sim/run_workspace.hpp"
+#include "sim/scenario_cache.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -10,31 +14,69 @@ namespace nsmodel::sim {
 
 namespace {
 
-void forEachReplication(const MonteCarloConfig& config,
-                        const std::function<void(std::size_t)>& body) {
+/// Replications per chunk: the explicit grain, or ~4 chunks per pool
+/// worker so stragglers balance while per-chunk setup (workspace lease +
+/// protocol construction) stays amortised over many replications.
+std::size_t grainFor(const MonteCarloConfig& config, std::size_t n) {
+  if (config.grain > 0) return static_cast<std::size_t>(config.grain);
+  if (!config.parallel) return n;
+  const std::size_t target = support::globalPool().size() * 4;
+  return std::max<std::size_t>(1, (n + target - 1) / target);
+}
+
+void forEachChunk(const MonteCarloConfig& config,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
   NSMODEL_CHECK(config.replications >= 1, "need at least one replication");
   const auto n = static_cast<std::size_t>(config.replications);
+  const std::size_t grain = grainFor(config, n);
   if (config.parallel) {
-    support::parallelFor(0, n, body, 1);
+    support::parallelForChunks(0, n, grain, body);
   } else {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t lo = 0; lo < n; lo += grain) {
+      body(lo, std::min(n, lo + grain));
+    }
   }
 }
 
-}  // namespace
+/// Runs replications [lo, hi) on one leased workspace with one protocol
+/// instance (reset per run), handing each finished RunResult to
+/// `consume(rep, result, workspace)`.  Replication randomness derives
+/// from (seed, rep) alone, so the chunk boundaries never affect results.
+template <typename Consume>
+void runChunk(const MonteCarloConfig& config,
+              const protocols::ProtocolFactory& makeProtocol, std::size_t lo,
+              std::size_t hi, Consume&& consume) {
+  WorkspaceLease workspace(config.workspaces);
+  auto protocol = makeProtocol();
+  NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
+  for (std::size_t rep = lo; rep < hi; ++rep) {
+    const ScenarioKey key =
+        ScenarioKey::forExperiment(config.experiment, config.seed, rep);
+    if (config.cache != nullptr) {
+      const auto scenario = config.cache->getOrBuild(key);
+      // Continue the replication's stream from the post-deployment
+      // state, as the uncached path would after drawing the deployment.
+      support::Rng rng = scenario->protocolRng;
+      consume(rep,
+              runBroadcast(config.experiment, scenario->deployment,
+                           scenario->topology, *protocol, rng, *workspace),
+              *workspace);
+    } else {
+      const Scenario scenario = buildScenario(key);
+      support::Rng rng = scenario.protocolRng;
+      consume(rep,
+              runBroadcast(config.experiment, scenario.deployment,
+                           scenario.topology, *protocol, rng, *workspace),
+              *workspace);
+    }
+  }
+}
 
-std::vector<MetricAggregate> monteCarlo(
-    const MonteCarloConfig& config,
-    const protocols::ProtocolFactory& makeProtocol,
-    const MetricExtractor& extract) {
-  const auto reps = static_cast<std::size_t>(config.replications);
-  std::vector<std::vector<double>> samples(reps);
-  forEachReplication(config, [&](std::size_t rep) {
-    const RunResult result = runExperiment(config.experiment, makeProtocol,
-                                           config.seed, rep, config.cache);
-    samples[rep] = extract(result);
-  });
-
+/// Folds per-replication sample rows (replication order) into one
+/// aggregate per metric, NaN marking "undefined for this run".
+std::vector<MetricAggregate> aggregateSamples(
+    const std::vector<std::vector<double>>& samples) {
+  const std::size_t reps = samples.size();
   const std::size_t metricCount = samples.empty() ? 0 : samples[0].size();
   for (const auto& row : samples) {
     NSMODEL_CHECK(row.size() == metricCount,
@@ -55,14 +97,85 @@ std::vector<MetricAggregate> monteCarlo(
   return aggregates;
 }
 
+}  // namespace
+
+std::vector<MetricAggregate> monteCarlo(
+    const MonteCarloConfig& config,
+    const protocols::ProtocolFactory& makeProtocol,
+    const MetricExtractor& extract) {
+  const auto reps = static_cast<std::size_t>(config.replications);
+  std::vector<std::vector<double>> samples(reps);
+  forEachChunk(config, [&](std::size_t lo, std::size_t hi) {
+    runChunk(config, makeProtocol, lo, hi,
+             [&](std::size_t rep, RunResult result, RunWorkspace& workspace) {
+               samples[rep] = extract(result);
+               // The metrics are out; recycle the result's buffers so the
+               // chunk's next replication allocates nothing.
+               workspace.reclaim(std::move(result));
+             });
+  });
+  return aggregateSamples(samples);
+}
+
+std::vector<std::vector<MetricAggregate>> monteCarloSweep(
+    const MonteCarloConfig& config,
+    const std::vector<protocols::ProtocolFactory>& makeProtocols,
+    const MetricExtractor& extract) {
+  const auto reps = static_cast<std::size_t>(config.replications);
+  const std::size_t points = makeProtocols.size();
+  // samples[point][rep]: chunks partition the replication axis, so
+  // concurrent chunks write disjoint slots.
+  std::vector<std::vector<std::vector<double>>> samples(
+      points, std::vector<std::vector<double>>(reps));
+  forEachChunk(config, [&](std::size_t lo, std::size_t hi) {
+    WorkspaceLease workspace(config.workspaces);
+    std::vector<std::unique_ptr<protocols::BroadcastProtocol>> protos;
+    protos.reserve(points);
+    for (const auto& make : makeProtocols) {
+      protos.push_back(make());
+      NSMODEL_CHECK(protos.back() != nullptr,
+                    "protocol factory returned null");
+    }
+    for (std::size_t rep = lo; rep < hi; ++rep) {
+      const ScenarioKey key =
+          ScenarioKey::forExperiment(config.experiment, config.seed, rep);
+      ScenarioCache::ScenarioPtr cached;
+      std::optional<Scenario> local;
+      if (config.cache != nullptr) {
+        cached = config.cache->getOrBuild(key);
+      } else {
+        local.emplace(buildScenario(key));
+      }
+      const Scenario& scenario = cached ? *cached : *local;
+      for (std::size_t point = 0; point < points; ++point) {
+        // Continue each run's stream from the post-deployment state,
+        // exactly as the point-major path would.
+        support::Rng rng = scenario.protocolRng;
+        RunResult result =
+            runBroadcast(config.experiment, scenario.deployment,
+                         scenario.topology, *protos[point], rng, *workspace);
+        samples[point][rep] = extract(result);
+        (*workspace).reclaim(std::move(result));
+      }
+    }
+  });
+  std::vector<std::vector<MetricAggregate>> aggregates(points);
+  for (std::size_t point = 0; point < points; ++point) {
+    aggregates[point] = aggregateSamples(samples[point]);
+  }
+  return aggregates;
+}
+
 std::vector<RunResult> runReplications(
     const MonteCarloConfig& config,
     const protocols::ProtocolFactory& makeProtocol) {
   const auto reps = static_cast<std::size_t>(config.replications);
   std::vector<std::optional<RunResult>> slots(reps);
-  forEachReplication(config, [&](std::size_t rep) {
-    slots[rep] = runExperiment(config.experiment, makeProtocol, config.seed,
-                               rep, config.cache);
+  forEachChunk(config, [&](std::size_t lo, std::size_t hi) {
+    runChunk(config, makeProtocol, lo, hi,
+             [&](std::size_t rep, RunResult result, RunWorkspace&) {
+               slots[rep] = std::move(result);
+             });
   });
   std::vector<RunResult> results;
   results.reserve(reps);

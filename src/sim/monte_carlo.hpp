@@ -14,6 +14,8 @@
 
 namespace nsmodel::sim {
 
+class RunWorkspacePool;
+
 /// Replication plan.
 struct MonteCarloConfig {
   ExperimentConfig experiment;
@@ -24,6 +26,16 @@ struct MonteCarloConfig {
   /// set, replications reuse cached (deployment, topology) scenarios and
   /// stay bit-identical to the uncached path.  Null = build from scratch.
   ScenarioCache* cache = nullptr;
+  /// Replications per chunk.  Each chunk runs on one worker with one
+  /// leased RunWorkspace and one protocol instance reused across its
+  /// replications.  0 derives a grain targeting ~4 chunks per pool
+  /// worker; results are independent of the grain (each replication's
+  /// randomness derives from (seed, replication) alone — see
+  /// tests/test_sim_monte_carlo.cpp).
+  int grain = 0;
+  /// Optional cross-call workspace pool so whole sweeps reuse hot
+  /// buffers; null leases a private workspace per chunk instead.
+  RunWorkspacePool* workspaces = nullptr;
 };
 
 /// Aggregate of one metric over the replications. Metrics may be undefined
@@ -41,6 +53,22 @@ using MetricExtractor = std::function<std::vector<double>(const RunResult&)>;
 std::vector<MetricAggregate> monteCarlo(
     const MonteCarloConfig& config,
     const protocols::ProtocolFactory& makeProtocol,
+    const MetricExtractor& extract);
+
+/// Replication-major sweep: one aggregate row per protocol factory (one
+/// "sweep point", e.g. one broadcast probability), all points sharing the
+/// deployment axis described by `config`.  Each replication's scenario is
+/// fetched (or built) once and every point runs on it back to back while
+/// its neighbour tables are still cache-hot.  The point-major alternative
+/// — a full monteCarlo() per point — re-streams every replication's
+/// topology from memory for every point, which is what dominates sweep
+/// wall time on paper-sized deployments.  Results are bit-identical to
+/// the point-major order: a replication's randomness derives from
+/// (seed, replication) alone and per-point samples aggregate in
+/// replication order either way.
+std::vector<std::vector<MetricAggregate>> monteCarloSweep(
+    const MonteCarloConfig& config,
+    const std::vector<protocols::ProtocolFactory>& makeProtocols,
     const MetricExtractor& extract);
 
 /// Runs the replications and returns every RunResult (tests/examples).

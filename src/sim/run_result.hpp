@@ -13,6 +13,8 @@
 
 namespace nsmodel::sim {
 
+class RunWorkspace;
+
 /// Aggregated observations of one phase.
 struct PhaseObservation {
   std::uint64_t transmissions = 0;
@@ -79,7 +81,19 @@ class RunResult {
   std::uint64_t attemptedPairs() const { return attemptedPairs_; }
   std::uint64_t deliveredPairs() const { return deliveredPairs_; }
 
+  /// Sorted first-reception slots, one per receiver (source excluded).
+  const std::vector<std::uint64_t>& receptionSlots() const {
+    return receptionSlots_;
+  }
+
+  /// Sorted slots of every transmission.
+  const std::vector<std::uint64_t>& transmissionSlots() const {
+    return transmissionSlots_;
+  }
+
  private:
+  // Recycles the vectors' capacity into the next run (see reclaim()).
+  friend class RunWorkspace;
   std::size_t nodeCount_;
   int slotsPerPhase_;
   std::vector<std::uint64_t> receptionSlots_;     // sorted, one per receiver

@@ -1,0 +1,110 @@
+#include "sim/run_workspace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+void RunWorkspace::beginRun(std::size_t nodeCount, std::uint64_t maxSlot) {
+  // Chain entries are indexed by int32; a run appends at most one pending
+  // and one interferer entry per node.
+  NSMODEL_CHECK(nodeCount <= 0x3FFFFFFF, "node count exceeds the workspace");
+  if (midRun_) deepClean();  // the previous run died mid-flight
+  midRun_ = true;
+  nodeCount_ = nodeCount;
+
+  sizeTo(received, nodeCount, std::uint8_t{0});
+  sizeTo(cancelled, nodeCount, std::uint8_t{0});
+  sizeTo(hasPending, nodeCount, std::uint8_t{0});
+
+  // The whole agenda up front: scheduleTransmission/activateSlot index it
+  // without any lazy resize on the hot path.
+  const auto slots = static_cast<std::size_t>(maxSlot);
+  sizeTo(pendingHead, slots, std::int32_t{-1});
+  sizeTo(pendingTail, slots, std::int32_t{-1});
+  sizeTo(interfererHead, slots, std::int32_t{-1});
+  sizeTo(interfererTail, slots, std::int32_t{-1});
+  sizeTo(slotScheduled, slots, std::uint8_t{0});
+  chainNode.clear();
+  chainNext.clear();
+
+  transmitters.clear();
+  liveInterferers.clear();
+
+  touchedReceivers.clear();
+  reserveFor(touchedReceivers, nodeCount);
+
+  // Each node receives first and transmits at most once per run.
+  receptionSlots.clear();
+  reserveFor(receptionSlots, nodeCount);
+  transmissionSlots.clear();
+  reserveFor(transmissionSlots, nodeCount);
+  phases.clear();
+
+  if (receptionSlotByNode.capacity() < nodeCount) ++growthEvents_;
+  receptionSlotByNode.assign(nodeCount, RunResult::kNeverReceived);
+}
+
+void RunWorkspace::finishRun() {
+  // hasPending, the chains and slotScheduled self-clean at resolution;
+  // the per-node flags are cleared here by walking the receivers (every
+  // node that transmitted, was cancelled, or died on energy had received
+  // first, so the touched list covers them all).
+  const bool energy = !energyDead.empty();
+  for (net::NodeId node : touchedReceivers) {
+    received[node] = 0;
+    cancelled[node] = 0;
+    if (energy) energyDead[node] = 0;
+  }
+  touchedReceivers.clear();
+  midRun_ = false;
+}
+
+void RunWorkspace::deepClean() {
+  std::fill(received.begin(), received.end(), std::uint8_t{0});
+  std::fill(cancelled.begin(), cancelled.end(), std::uint8_t{0});
+  std::fill(hasPending.begin(), hasPending.end(), std::uint8_t{0});
+  std::fill(energyDead.begin(), energyDead.end(), std::uint8_t{0});
+  std::fill(pendingHead.begin(), pendingHead.end(), std::int32_t{-1});
+  std::fill(pendingTail.begin(), pendingTail.end(), std::int32_t{-1});
+  std::fill(interfererHead.begin(), interfererHead.end(), std::int32_t{-1});
+  std::fill(interfererTail.begin(), interfererTail.end(), std::int32_t{-1});
+  std::fill(slotScheduled.begin(), slotScheduled.end(), std::uint8_t{0});
+  chainNode.clear();
+  chainNext.clear();
+  touchedReceivers.clear();
+}
+
+net::Channel& RunWorkspace::channel(net::ChannelModel model) {
+  auto& slot = channels_[static_cast<std::size_t>(model)];
+  if (slot == nullptr) slot = net::makeChannel(model);
+  return *slot;
+}
+
+void RunWorkspace::reclaim(RunResult&& result) {
+  receptionSlots = std::move(result.receptionSlots_);
+  transmissionSlots = std::move(result.transmissionSlots_);
+  phases = std::move(result.phases_);
+  receptionSlotByNode = std::move(result.receptionSlotByNode_);
+}
+
+std::unique_ptr<RunWorkspace> RunWorkspacePool::acquire() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      auto workspace = std::move(free_.back());
+      free_.pop_back();
+      return workspace;
+    }
+  }
+  return std::make_unique<RunWorkspace>();
+}
+
+void RunWorkspacePool::release(std::unique_ptr<RunWorkspace> workspace) {
+  if (workspace == nullptr) return;
+  std::lock_guard lock(mutex_);
+  free_.push_back(std::move(workspace));
+}
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,193 @@
+// Reusable flat-memory arena for slotted broadcast runs.
+//
+// A Monte-Carlo sweep executes tens of thousands of replications; before
+// this layer existed every one of them allocated a dozen vectors (run
+// flags, slot agendas, observation buffers, channel scratch) and tore
+// them down again.  A RunWorkspace owns all of that memory, sized
+// grow-only, and restores its buffers to the all-clean state between runs
+// by walking only the entries the run touched — so a replication whose
+// dimensions fit the high-water mark performs zero heap allocations (see
+// tests/test_sim_run_workspace.cpp for the counting-allocator proof).
+//
+// Lifecycle per run (driven by runBroadcast in experiment.cpp):
+//   beginRun(n, maxSlot)  -> buffers sized, agenda pre-sized to maxSlot
+//   ... the run appends/resolves; chains self-clean at resolution ...
+//   the observation vectors are moved into the RunResult
+//   finishRun()           -> per-node flags cleared via the touched list
+//   reclaim(std::move(result))  [optional] -> recycles the RunResult's
+//                                vector capacity for the next run
+//
+// A workspace is single-threaded; parallel sweeps lease one workspace per
+// worker chunk from a RunWorkspacePool.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/run_result.hpp"
+
+namespace nsmodel::sim {
+
+class RunWorkspace {
+ public:
+  RunWorkspace() = default;
+  RunWorkspace(const RunWorkspace&) = delete;
+  RunWorkspace& operator=(const RunWorkspace&) = delete;
+
+  /// Prepares the buffers for a run over `nodeCount` nodes and slots
+  /// [0, maxSlot).  Grow-only: nothing shrinks, and nothing allocates
+  /// when the dimensions fit the high-water mark.
+  void beginRun(std::size_t nodeCount, std::uint64_t maxSlot);
+
+  /// Restores the all-clean invariant by walking `touchedReceivers`.
+  /// Must run after the observation vectors were moved out.
+  void finishRun();
+
+  /// The workspace-owned channel instance for `model`, created on first
+  /// use; its scratch tables (SlotCounts etc.) persist across runs.
+  net::Channel& channel(net::ChannelModel model);
+
+  /// Takes the vectors of a RunResult the caller has finished reading
+  /// back into the workspace, so the next run reuses their capacity
+  /// instead of allocating.  The closing move of the steady-state
+  /// zero-allocation loop.
+  void reclaim(RunResult&& result);
+
+  /// Buffer-growth events since construction.  Constant across repeated
+  /// equal-sized runs — the instrumented form of "zero steady-state
+  /// allocations" (the allocator-level form is asserted in tests).
+  std::uint64_t growthEvents() const { return growthEvents_; }
+
+  // ---- Internal surface of the run drivers (experiment.cpp) ----------
+  // Kept public: RunState is a file-local struct and cannot be friended.
+
+  /// Appends `node` to a slot's pending-transmitter FIFO chain.
+  void appendPending(std::uint64_t slot, net::NodeId node) {
+    appendChain(pendingHead, pendingTail, slot, node);
+  }
+  /// Appends `node` to a slot's drift-interferer FIFO chain.
+  void appendInterferer(std::uint64_t slot, net::NodeId node) {
+    appendChain(interfererHead, interfererTail, slot, node);
+  }
+
+  // Per-node byte flags, sized to nodeCount; all-false between runs.
+  std::vector<std::uint8_t> received;
+  std::vector<std::uint8_t> cancelled;   // pending tx withdrawn
+  std::vector<std::uint8_t> hasPending;  // tx scheduled, not yet fired
+  std::vector<std::uint8_t> energyDead;  // sized on first energy-budget run
+
+  // Slot agenda, pre-sized to maxSlot up front: per-slot FIFO chains
+  // threaded through a shared (node, next) entry pool, preserving the
+  // push order the old vector-of-vectors produced.  -1 ends a chain.
+  // Chains and the scheduled flags self-clean at slot resolution, so
+  // between runs every head/tail is -1 and every flag 0.
+  std::vector<std::int32_t> pendingHead;
+  std::vector<std::int32_t> pendingTail;
+  std::vector<std::int32_t> interfererHead;
+  std::vector<std::int32_t> interfererTail;
+  std::vector<std::uint8_t> slotScheduled;  // a resolver visit is due
+  std::vector<net::NodeId> chainNode;       // entry pool: payload
+  std::vector<std::int32_t> chainNext;      // entry pool: next link
+
+  // Per-slot scratch, cleared at each resolution.
+  std::vector<net::NodeId> transmitters;
+  std::vector<net::NodeId> liveInterferers;
+
+  // Every node whose `received` flag was set (source included): the
+  // touched list finishRun() walks.  Never moved out.
+  std::vector<net::NodeId> touchedReceivers;
+
+  // Run observations, moved into the RunResult and recycled via
+  // reclaim().
+  std::vector<std::uint64_t> receptionSlots;
+  std::vector<std::uint64_t> transmissionSlots;
+  std::vector<std::int64_t> receptionSlotByNode;
+  std::vector<PhaseObservation> phases;
+
+  /// Sizes `energyDead` for an energy-budget run (flags cleared by
+  /// finishRun like the others; rarely-used, so sized on demand).
+  void ensureEnergyFlags(std::size_t nodeCount) {
+    sizeTo(energyDead, nodeCount, std::uint8_t{0});
+  }
+
+ private:
+  void appendChain(std::vector<std::int32_t>& head,
+                   std::vector<std::int32_t>& tail, std::uint64_t slot,
+                   net::NodeId node) {
+    const auto idx = static_cast<std::int32_t>(chainNode.size());
+    if (chainNode.size() == chainNode.capacity()) ++growthEvents_;
+    chainNode.push_back(node);
+    chainNext.push_back(-1);
+    if (tail[slot] >= 0) {
+      chainNext[tail[slot]] = idx;
+    } else {
+      head[slot] = idx;
+    }
+    tail[slot] = idx;
+  }
+
+  template <typename T>
+  void sizeTo(std::vector<T>& v, std::size_t n, T fill) {
+    if (v.size() >= n) return;
+    if (v.capacity() < n) ++growthEvents_;
+    v.resize(n, fill);
+  }
+
+  template <typename T>
+  void reserveFor(std::vector<T>& v, std::size_t n) {
+    if (v.capacity() < n) {
+      ++growthEvents_;
+      v.reserve(n);
+    }
+  }
+
+  /// Full O(buffers) re-clean, used only when a run died mid-flight (an
+  /// exception between beginRun and finishRun) and the touched-walk
+  /// invariants cannot be trusted.
+  void deepClean();
+
+  std::array<std::unique_ptr<net::Channel>, 3> channels_;
+  std::uint64_t growthEvents_ = 0;
+  std::size_t nodeCount_ = 0;
+  bool midRun_ = false;
+};
+
+/// Thread-safe free-list of workspaces; sweep drivers lease one per
+/// worker chunk so every thread reuses hot buffers across its runs.
+class RunWorkspacePool {
+ public:
+  std::unique_ptr<RunWorkspace> acquire();
+  void release(std::unique_ptr<RunWorkspace> workspace);
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<RunWorkspace>> free_;
+};
+
+/// RAII lease: draws from `pool` when given one (returning the workspace
+/// on destruction), otherwise owns a private workspace for its lifetime.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(RunWorkspacePool* pool)
+      : pool_(pool),
+        workspace_(pool != nullptr ? pool->acquire()
+                                   : std::make_unique<RunWorkspace>()) {}
+  ~WorkspaceLease() {
+    if (pool_ != nullptr) pool_->release(std::move(workspace_));
+  }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  RunWorkspace& operator*() { return *workspace_; }
+  RunWorkspace* operator->() { return workspace_.get(); }
+
+ private:
+  RunWorkspacePool* pool_;
+  std::unique_ptr<RunWorkspace> workspace_;
+};
+
+}  // namespace nsmodel::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 
@@ -10,6 +11,13 @@
 namespace nsmodel::support {
 
 std::size_t ThreadPool::defaultThreadCount() {
+  if (const char* env = std::getenv("NSMODEL_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    NSMODEL_CHECK(end != env && *end == '\0' && parsed >= 1,
+                  "NSMODEL_THREADS must be a positive integer");
+    return static_cast<std::size_t>(parsed);
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
@@ -134,6 +142,23 @@ void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& body,
                  std::size_t chunk) {
   parallelFor(globalPool(), begin, end, body, chunk);
+}
+
+void parallelForChunks(std::size_t begin, std::size_t end, std::size_t chunk,
+                       const std::function<void(std::size_t, std::size_t)>&
+                           body) {
+  if (begin >= end) return;
+  NSMODEL_CHECK(chunk >= 1, "chunk size must be >= 1");
+  const std::size_t chunks = (end - begin + chunk - 1) / chunk;
+  // Chunk index -> explicit [lo, hi) bounds; chunk granularity 1 so each
+  // pool task is exactly one caller-visible chunk.
+  parallelFor(
+      globalPool(), 0, chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = begin + c * chunk;
+        body(lo, std::min(end, lo + chunk));
+      },
+      1);
 }
 
 }  // namespace nsmodel::support

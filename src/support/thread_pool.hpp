@@ -85,7 +85,20 @@ void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& body,
                  std::size_t chunk = 0);
 
-/// Process-wide shared pool (lazily constructed).
+/// Runs `body(lo, hi)` over the contiguous chunks of [begin, end) of
+/// size `chunk` (the last may be short), one call per chunk, fanned out
+/// over the shared pool.  For workloads that amortise per-chunk setup —
+/// e.g. Monte-Carlo chunks leasing one workspace for all their
+/// replications — where the flat parallelFor would hide the chunk
+/// boundaries from the body.
+void parallelForChunks(std::size_t begin, std::size_t end, std::size_t chunk,
+                       const std::function<void(std::size_t, std::size_t)>&
+                           body);
+
+/// Process-wide shared pool (lazily constructed).  Worker count defaults
+/// to the hardware concurrency; the NSMODEL_THREADS environment variable
+/// (>= 1) overrides it — CI's perf-smoke lane uses this to compare 1- and
+/// 4-thread sweeps of one binary.
 ThreadPool& globalPool();
 
 }  // namespace nsmodel::support

@@ -20,16 +20,19 @@ TEST(BenchOptions, DefaultsMatchThePaper) {
   EXPECT_FALSE(opts.fast);
   EXPECT_EQ(opts.replications, 30);
   EXPECT_EQ(opts.seed, 42u);
+  EXPECT_FALSE(opts.append);
   EXPECT_EQ(opts.rhos().size(), 7u);
   EXPECT_EQ(opts.analyticGrid().values().size(), 100u);
   EXPECT_EQ(opts.simulationGrid().values().size(), 20u);
 }
 
 TEST(BenchOptions, ParsesAllOptions) {
-  const BenchOptions opts = parseArgs({"--fast", "--reps=5", "--seed=7"});
+  const BenchOptions opts =
+      parseArgs({"--fast", "--reps=5", "--seed=7", "--append"});
   EXPECT_TRUE(opts.fast);
   EXPECT_EQ(opts.replications, 5);
   EXPECT_EQ(opts.seed, 7u);
+  EXPECT_TRUE(opts.append);
   EXPECT_EQ(opts.rhos().size(), 3u);
 }
 

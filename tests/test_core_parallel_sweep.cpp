@@ -41,6 +41,14 @@ TEST(ParallelSweep, CachedParallelSweepIsBitIdenticalToSerialUncached) {
   expectSameSweep(reference, accelerated);
   // Topologies were shared across the p-axis: one build per
   // (density, replication) instead of one per (density, p, replication).
+  // The replication-major sweep fetches each scenario exactly once and
+  // holds it for the whole p-axis, so a single sweep records no cache
+  // hits; a second sweep over the same axes must hit every entry.
+  EXPECT_EQ(cache.size(),
+            opts.rhos().size() * static_cast<std::size_t>(opts.replications));
+  EXPECT_EQ(cache.hits(), 0u);
+  const Sweep again = simSweep(opts, spec, SweepAccel{&cache, true});
+  expectSameSweep(reference, again);
   EXPECT_EQ(cache.size(),
             opts.rhos().size() * static_cast<std::size_t>(opts.replications));
   EXPECT_GT(cache.hits(), 0u);

@@ -10,6 +10,11 @@
 namespace nsmodel::net {
 namespace {
 
+/// Materialises a CSR row view for container comparisons.
+std::vector<NodeId> toVec(NeighborSpan row) {
+  return {row.begin(), row.end()};
+}
+
 /// A small hand-crafted line deployment: nodes at x = 0, 1, 2, ..., n-1.
 Deployment lineDeployment(std::size_t n) {
   std::vector<geom::Vec2> positions;
@@ -24,11 +29,11 @@ TEST(Topology, LineGraphAdjacency) {
   const Deployment dep = lineDeployment(5);
   const Topology topo(dep, 1.0);
   EXPECT_EQ(topo.nodeCount(), 5u);
-  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1}));
-  auto mid = topo.neighbors(2);
+  EXPECT_EQ(toVec(topo.neighbors(0)), (std::vector<NodeId>{1}));
+  auto mid = toVec(topo.neighbors(2));
   std::sort(mid.begin(), mid.end());
   EXPECT_EQ(mid, (std::vector<NodeId>{1, 3}));
-  EXPECT_EQ(topo.neighbors(4), (std::vector<NodeId>{3}));
+  EXPECT_EQ(toVec(topo.neighbors(4)), (std::vector<NodeId>{3}));
 }
 
 TEST(Topology, RangeBoundaryIsInclusive) {
@@ -138,6 +143,31 @@ TEST(Topology, DenseDeploymentIsConnected) {
   const Deployment dep = Deployment::paperDisk(rng, 5, 1.0, 40.0);
   const Topology topo(dep, 1.0);
   EXPECT_TRUE(topo.isConnected());
+}
+
+TEST(Topology, CsrRowsTileTheFlatArrayContiguously) {
+  // Row i + 1 must start exactly where row i ends: the CSR invariant the
+  // span views rely on, checked via the raw data pointers.
+  support::Rng rng(7);
+  const Deployment dep = Deployment::uniformDisk(rng, 3.0, 120);
+  const Topology topo(dep, 1.0, 2.0);
+  std::size_t total = 0;
+  for (NodeId u = 0; u < topo.nodeCount(); ++u) {
+    const NeighborSpan row = topo.neighbors(u);
+    total += row.size();
+    if (u + 1 < topo.nodeCount()) {
+      const NeighborSpan next = topo.neighbors(u + 1);
+      EXPECT_EQ(row.data() + row.size(), next.data()) << "row " << u;
+    }
+    const NeighborSpan cs = topo.carrierSenseNeighbors(u);
+    if (u + 1 < topo.nodeCount()) {
+      const NeighborSpan csNext = topo.carrierSenseNeighbors(u + 1);
+      EXPECT_EQ(cs.data() + cs.size(), csNext.data()) << "cs row " << u;
+    }
+  }
+  EXPECT_DOUBLE_EQ(topo.averageDegree(),
+                   static_cast<double>(total) /
+                       static_cast<double>(topo.nodeCount()));
 }
 
 TEST(Topology, IsolatedNodeHasNoNeighbors) {

@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "protocols/probabilistic.hpp"
+#include "sim/run_workspace.hpp"
+#include "sim/scenario_cache.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::sim {
@@ -125,6 +127,65 @@ TEST(RunReplications, OrderIndependentOfThreads) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].totalBroadcasts(), b[i].totalBroadcasts());
     EXPECT_EQ(a[i].reachedCount(), b[i].reachedCount());
+  }
+}
+
+// Chunking is a scheduling detail: every replication's randomness comes
+// from (seed, replication) alone, so any grain — including the derived
+// default and a serial sweep — yields bitwise-equal aggregates.
+TEST(MonteCarlo, AggregatesIndependentOfGrain) {
+  const auto extract = [](const RunResult& run) {
+    return std::vector<double>{run.finalReachability(),
+                               static_cast<double>(run.totalBroadcasts()),
+                               run.averageSuccessRate()};
+  };
+  MonteCarloConfig reference = smallConfig(0.4);
+  reference.parallel = false;
+  reference.grain = 1;
+  const auto baseline = monteCarlo(reference, pb(0.4), extract);
+
+  for (const int grain : {0, 2, 3, 7, 100}) {
+    for (const bool parallel : {false, true}) {
+      MonteCarloConfig mc = smallConfig(0.4);
+      mc.parallel = parallel;
+      mc.grain = grain;
+      const auto aggs = monteCarlo(mc, pb(0.4), extract);
+      ASSERT_EQ(aggs.size(), baseline.size());
+      for (std::size_t i = 0; i < aggs.size(); ++i) {
+        EXPECT_EQ(aggs[i].stats.mean, baseline[i].stats.mean)
+            << "grain " << grain << " parallel " << parallel;
+        EXPECT_EQ(aggs[i].stats.stddev, baseline[i].stats.stddev)
+            << "grain " << grain << " parallel " << parallel;
+        EXPECT_EQ(aggs[i].definedFraction, baseline[i].definedFraction)
+            << "grain " << grain << " parallel " << parallel;
+      }
+    }
+  }
+}
+
+// Sharing one workspace pool (and a scenario cache) across calls must not
+// change any aggregate — pooling only recycles buffers.
+TEST(MonteCarlo, WorkspacePoolAndCacheAreTransparent) {
+  const auto extract = [](const RunResult& run) {
+    return std::vector<double>{run.finalReachability(),
+                               static_cast<double>(run.totalBroadcasts())};
+  };
+  const auto plain = monteCarlo(smallConfig(0.6), pb(0.6), extract);
+
+  ScenarioCache cache;
+  RunWorkspacePool pool;
+  MonteCarloConfig accelerated = smallConfig(0.6);
+  accelerated.cache = &cache;
+  accelerated.workspaces = &pool;
+  // Two passes through the same pool: the second leases warm workspaces.
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto aggs = monteCarlo(accelerated, pb(0.6), extract);
+    ASSERT_EQ(aggs.size(), plain.size());
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      EXPECT_EQ(aggs[i].stats.mean, plain[i].stats.mean) << "pass " << pass;
+      EXPECT_EQ(aggs[i].stats.stddev, plain[i].stats.stddev)
+          << "pass " << pass;
+    }
   }
 }
 

@@ -1,0 +1,210 @@
+// Bit-identity of the flat slot-loop driver against the DES engine.
+//
+// The flat loop replaces per-slot std::function closures with a direct
+// scan of the workspace agenda; because every resolver fires at
+// slot + 0.5 and never schedules into the past, DES firing order equals
+// increasing slot order and the two drivers must produce bit-identical
+// RunResults at equal seeds — across every channel model and every fault
+// family, including drift spill-over (which re-activates future slots
+// mid-run) and energy cutoffs (which gate transmissions mid-run).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/counter_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/run_workspace.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+/// One scenario of the equivalence matrix: a channel model crossed with a
+/// fault mix, applied to ExperimentConfig by `mutate`.
+struct SlotLoopCase {
+  std::string name;
+  net::ChannelModel channel = net::ChannelModel::CollisionAware;
+  void (*mutate)(sim::ExperimentConfig&) = nullptr;
+};
+
+void noFaults(sim::ExperimentConfig&) {}
+
+void crashFaults(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 7;
+  cfg.fault.crash.crashRate = 0.08;
+  cfg.fault.crash.recoveryRate = 0.25;
+}
+
+void linkLoss(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 11;
+  cfg.fault.link.pGoodToBad = 0.25;
+  cfg.fault.link.pBadToGood = 0.4;
+  cfg.fault.link.lossBad = 0.7;
+  cfg.fault.link.lossGood = 0.02;
+}
+
+void clockDrift(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 13;
+  cfg.fault.drift.maxSkewSlots = 0.4;
+}
+
+void energyCutoff(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 17;
+  cfg.fault.energyBudget = 3.0;
+}
+
+void legacyNodeFailure(sim::ExperimentConfig& cfg) {
+  cfg.nodeFailureRate = 0.05;
+}
+
+void combinedFaults(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 19;
+  cfg.fault.crash.crashRate = 0.05;
+  cfg.fault.crash.recoveryRate = 0.3;
+  cfg.fault.link.pGoodToBad = 0.2;
+  cfg.fault.link.pBadToGood = 0.5;
+  cfg.fault.link.lossBad = 0.5;
+  cfg.fault.drift.maxSkewSlots = 0.3;
+  cfg.fault.energyBudget = 5.0;
+}
+
+std::vector<SlotLoopCase> equivalenceMatrix() {
+  const struct {
+    const char* name;
+    void (*mutate)(sim::ExperimentConfig&);
+  } faults[] = {
+      {"clean", noFaults},           {"crash", crashFaults},
+      {"link", linkLoss},            {"drift", clockDrift},
+      {"energy", energyCutoff},      {"legacy", legacyNodeFailure},
+      {"combined", combinedFaults},
+  };
+  const struct {
+    const char* name;
+    net::ChannelModel channel;
+  } channels[] = {
+      {"cfm", net::ChannelModel::CollisionFree},
+      {"cam", net::ChannelModel::CollisionAware},
+      {"cs", net::ChannelModel::CarrierSenseAware},
+  };
+  std::vector<SlotLoopCase> cases;
+  for (const auto& ch : channels) {
+    for (const auto& f : faults) {
+      cases.push_back({std::string(ch.name) + "_" + f.name, ch.channel,
+                       f.mutate});
+    }
+  }
+  return cases;
+}
+
+sim::ExperimentConfig baseConfig(const SlotLoopCase& c) {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 30.0;
+  cfg.maxPhases = 60;
+  cfg.channel = c.channel;
+  c.mutate(cfg);
+  return cfg;
+}
+
+/// Every observable field of the two runs must match exactly — raw event
+/// streams included, not just the aggregates derived from them.
+void expectIdentical(const sim::RunResult& flat, const sim::RunResult& des,
+                     const std::string& label) {
+  EXPECT_EQ(flat.receptionSlots(), des.receptionSlots()) << label;
+  EXPECT_EQ(flat.transmissionSlots(), des.transmissionSlots()) << label;
+  EXPECT_EQ(flat.receptionSlotByNode(), des.receptionSlotByNode()) << label;
+  EXPECT_EQ(flat.attemptedPairs(), des.attemptedPairs()) << label;
+  EXPECT_EQ(flat.deliveredPairs(), des.deliveredPairs()) << label;
+  ASSERT_EQ(flat.phases().size(), des.phases().size()) << label;
+  for (std::size_t i = 0; i < flat.phases().size(); ++i) {
+    EXPECT_EQ(flat.phases()[i].transmissions, des.phases()[i].transmissions)
+        << label << " phase " << i;
+    EXPECT_EQ(flat.phases()[i].newReceivers, des.phases()[i].newReceivers)
+        << label << " phase " << i;
+    EXPECT_EQ(flat.phases()[i].deliveries, des.phases()[i].deliveries)
+        << label << " phase " << i;
+    EXPECT_EQ(flat.phases()[i].lostReceivers, des.phases()[i].lostReceivers)
+        << label << " phase " << i;
+  }
+}
+
+class SlotLoopEquivalence : public ::testing::TestWithParam<SlotLoopCase> {};
+
+TEST_P(SlotLoopEquivalence, FlatLoopMatchesDesEngineBitForBit) {
+  const SlotLoopCase& c = GetParam();
+  for (std::uint64_t stream = 0; stream < 3; ++stream) {
+    sim::ExperimentConfig flatCfg = baseConfig(c);
+    flatCfg.driver = sim::SlotDriver::FlatLoop;
+    sim::ExperimentConfig desCfg = baseConfig(c);
+    desCfg.driver = sim::SlotDriver::DesEngine;
+
+    const auto factory = [] {
+      return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+    };
+    const sim::RunResult flat =
+        sim::runExperiment(flatCfg, factory, 42, stream);
+    const sim::RunResult des = sim::runExperiment(desCfg, factory, 42, stream);
+    expectIdentical(flat, des, c.name + " stream " + std::to_string(stream));
+  }
+}
+
+// Stateful protocols exercise reset + duplicate-driven cancellation paths
+// that the probabilistic protocol never reaches.
+TEST_P(SlotLoopEquivalence, CounterBasedProtocolMatchesToo) {
+  const SlotLoopCase& c = GetParam();
+  sim::ExperimentConfig flatCfg = baseConfig(c);
+  flatCfg.driver = sim::SlotDriver::FlatLoop;
+  sim::ExperimentConfig desCfg = baseConfig(c);
+  desCfg.driver = sim::SlotDriver::DesEngine;
+
+  const auto factory = [] {
+    return std::make_unique<protocols::CounterBasedBroadcast>(3);
+  };
+  const sim::RunResult flat = sim::runExperiment(flatCfg, factory, 42, 1);
+  const sim::RunResult des = sim::runExperiment(desCfg, factory, 42, 1);
+  expectIdentical(flat, des, c.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SlotLoopEquivalence, ::testing::ValuesIn(equivalenceMatrix()),
+    [](const ::testing::TestParamInfo<SlotLoopCase>& info) {
+      return info.param.name;
+    });
+
+// The driver choice must not leak into Monte-Carlo aggregates either —
+// the whole replication pipeline (cache, chunking, workspaces) sits on
+// top of runBroadcast and sees identical results from both drivers.
+TEST(SlotLoopEquivalence, MonteCarloAggregatesMatchAcrossDrivers) {
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 4;
+  mc.experiment.neighborDensity = 30.0;
+  mc.experiment.maxPhases = 60;
+  mc.experiment.fault.faultSeed = 23;
+  mc.experiment.fault.drift.maxSkewSlots = 0.3;
+  mc.replications = 8;
+  const auto factory = [] {
+    return std::make_unique<protocols::SimpleFlooding>();
+  };
+  const auto extract = [](const sim::RunResult& r) {
+    return std::vector<double>{r.finalReachability(),
+                               static_cast<double>(r.totalBroadcasts()),
+                               r.latencyForReachability(0.9).value_or(-1.0)};
+  };
+  mc.experiment.driver = sim::SlotDriver::FlatLoop;
+  const auto flat = sim::monteCarlo(mc, factory, extract);
+  mc.experiment.driver = sim::SlotDriver::DesEngine;
+  const auto des = sim::monteCarlo(mc, factory, extract);
+  ASSERT_EQ(flat.size(), des.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i].stats.mean, des[i].stats.mean);
+    EXPECT_EQ(flat[i].stats.stddev, des[i].stats.stddev);
+    EXPECT_EQ(flat[i].definedFraction, des[i].definedFraction);
+  }
+}
+
+}  // namespace

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
@@ -124,6 +127,37 @@ TEST(ParallelFor, GlobalPoolOverloadWorks) {
   std::atomic<int> counter{0};
   parallelFor(0, 32, [&counter](std::size_t) { ++counter; });
   EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ParallelForChunks, CoversRangeInExactChunks) {
+  std::vector<int> data(100, 0);
+  std::atomic<int> calls{0};
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+  parallelForChunks(5, 98, 16, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    {
+      std::lock_guard lock(mutex);
+      bounds.emplace_back(lo, hi);
+    }
+    for (std::size_t i = lo; i < hi; ++i) data[i] += 1;
+  });
+  // ceil(93 / 16) calls, the last one short.
+  EXPECT_EQ(calls.load(), 6);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], i >= 5 && i < 98 ? 1 : 0) << i;
+  }
+  std::sort(bounds.begin(), bounds.end());
+  for (std::size_t c = 0; c < bounds.size(); ++c) {
+    EXPECT_EQ(bounds[c].first, 5 + c * 16);
+    EXPECT_EQ(bounds[c].second, std::min<std::size_t>(98, 5 + (c + 1) * 16));
+  }
+}
+
+TEST(ParallelForChunks, EmptyRangeIsANoOp) {
+  std::atomic<int> calls{0};
+  parallelForChunks(7, 7, 4, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(GlobalPool, IsSingleton) {
