@@ -154,6 +154,12 @@ struct SweepAccel {
   /// per-run buffers instead of allocating fresh vectors (see
   /// sim/run_workspace.hpp).  Null = private workspace per cell.
   sim::RunWorkspacePool* workspaces = nullptr;
+  /// Adaptive replication control (sim/replication_controller.hpp).  The
+  /// default is disabled: every cell runs the fixed replication count and
+  /// the bit-identity guarantee below holds.  When enabled, each cell
+  /// stops at its own realized count and only the first-k-replication
+  /// prefix property is preserved.
+  sim::AdaptiveReplication adaptive;
 };
 
 /// One full simulated sweep: aggregate of `spec` at every (rho, p) of the
@@ -181,7 +187,8 @@ inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
     for (std::size_t i = 0; i < rhos.size(); ++i) {
       const core::NetworkModel model = paperModel(rhos[i], comm);
       rows[i] = model.measureSweep(grid, spec, opts.seed, reps, accel.cache,
-                                   accel.parallel, accel.workspaces);
+                                   accel.parallel, accel.workspaces,
+                                   accel.adaptive);
     }
     return rows;
   }
@@ -194,7 +201,7 @@ inline std::vector<std::vector<sim::MetricAggregate>> simSweep(
     // pool, and without it the sweep is the serial reference path.
     rows[i][j] = model.measure(grid[j], spec, opts.seed, reps, accel.cache,
                                /*parallelReplications=*/false,
-                               accel.workspaces);
+                               accel.workspaces, accel.adaptive);
   };
   const std::size_t tasks = rhos.size() * grid.size();
   if (accel.parallel) {

@@ -21,12 +21,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analytic/mu_table.hpp"
 #include "bench_common.hpp"
+#include "net/slot_kernel.hpp"
 #include "protocols/probabilistic.hpp"
 #include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
@@ -90,10 +92,56 @@ AnalyticSeries analyticSweep(const BenchOptions& opts,
   return series;
 }
 
+/// True when `path` already holds a micro_sweep record with this
+/// (fast, threads, seed) key.  Appending a second record with the same
+/// key would make the perf-smoke comparison pick one of them arbitrarily,
+/// so --append refuses up front.  The file is a concatenation of the
+/// pretty-printed records this binary writes; the key fields appear one
+/// per line in a fixed order, so a line scan that resets on each
+/// "bench" line is enough.
+bool hasRecord(const char* path, bool fast, std::size_t threads,
+               std::uint64_t seed) {
+  std::FILE* in = std::fopen(path, "r");
+  if (in == nullptr) return false;
+  char line[256];
+  bool sameBench = false;
+  bool sameFast = false;
+  bool sameSeed = false;
+  bool found = false;
+  while (!found && std::fgets(line, sizeof line, in) != nullptr) {
+    unsigned long long value = 0;
+    if (std::strstr(line, "\"bench\":") != nullptr) {
+      sameBench = std::strstr(line, "\"micro_sweep\"") != nullptr;
+      sameFast = sameSeed = false;
+    } else if (std::strstr(line, "\"fast\":") != nullptr) {
+      sameFast = std::strstr(line, fast ? "true" : "false") != nullptr;
+    } else if (std::sscanf(line, " \"seed\": %llu", &value) == 1) {
+      sameSeed = value == seed;
+    } else if (std::sscanf(line, " \"threads\": %llu", &value) == 1) {
+      found = sameBench && sameFast && sameSeed && value == threads;
+    }
+  }
+  std::fclose(in);
+  return found;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const char* path = "BENCH_sweep.json";
+  if (opts.append &&
+      hasRecord(path, opts.fast, nsmodel::support::globalPool().size(),
+                opts.seed)) {
+    std::fprintf(stderr,
+                 "error: %s already holds a micro_sweep record with "
+                 "fast=%s threads=%zu seed=%llu; refusing to append a "
+                 "duplicate\n",
+                 path, opts.fast ? "true" : "false",
+                 nsmodel::support::globalPool().size(),
+                 static_cast<unsigned long long>(opts.seed));
+    return 2;
+  }
   nsmodel::bench::banner("micro_sweep",
                          "sweep-level caching + parallel evaluation");
 
@@ -218,8 +266,137 @@ int main(int argc, char** argv) {
               flatWall, flatRate, runSpeedup,
               runsIdentical ? "bit-identical" : "MISMATCH");
 
+  // ---- slot kernel: oracle scatter vs dispatched kernel ----
+  // Collision-bound regime: the paper's densest deployment (rho = 140,
+  // N = 3500) under flooding PB (p = 1.0), where every reached node
+  // retransmits, most slots carry tens of simultaneous transmitters and
+  // the bump/scan passes dominate the run.  Times the reference scatter
+  // (oracle) against whatever defaultSlotKernel() resolves to on this
+  // machine, and requires the two to stay bit-identical.  The timing
+  // alternates short oracle/kernel segments and keeps each side's best
+  // segment, so a background-load spike hits both sides instead of
+  // poisoning whichever happened to be running.
+  nsmodel::sim::ExperimentConfig kernelCfg;
+  kernelCfg.neighborDensity = 140.0;
+  const nsmodel::sim::Scenario kernelScenario = nsmodel::sim::buildScenario(
+      nsmodel::sim::ScenarioKey::forExperiment(kernelCfg, opts.seed, 0));
+  const int kernelSegments = 4;
+  const int kernelSegmentRuns = opts.fast ? 5 : 15;
+  const int kernelRuns = kernelSegments * kernelSegmentRuns;
+  nsmodel::protocols::ProbabilisticBroadcast kernelProtocol(1.0);
+  const auto timeKernelSegment = [&](nsmodel::net::SlotKernelIsa isa,
+                                     std::vector<RunSignature>& signatures) {
+    nsmodel::net::setSlotKernel(isa);
+    {
+      nsmodel::support::Rng rng = kernelScenario.protocolRng;
+      runWorkspace.reclaim(nsmodel::sim::runBroadcast(
+          kernelCfg, kernelScenario.deployment, kernelScenario.topology,
+          kernelProtocol, rng, runWorkspace));
+    }
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < kernelSegmentRuns; ++rep) {
+      nsmodel::support::Rng rng = kernelScenario.protocolRng;
+      nsmodel::sim::RunResult result = nsmodel::sim::runBroadcast(
+          kernelCfg, kernelScenario.deployment, kernelScenario.topology,
+          kernelProtocol, rng, runWorkspace);
+      signatures.emplace_back(result.receptionSlots(),
+                              result.receptionSlotByNode());
+      runWorkspace.reclaim(std::move(result));
+    }
+    return seconds(t0, Clock::now());
+  };
+  const nsmodel::net::SlotKernelIsa dispatched =
+      nsmodel::net::defaultSlotKernel();
+  std::vector<RunSignature> oracleSigs;
+  std::vector<RunSignature> kernelSigs;
+  double oracleBestSegment = 0.0;
+  double kernelBestSegment = 0.0;
+  for (int seg = 0; seg < kernelSegments; ++seg) {
+    const double o =
+        timeKernelSegment(nsmodel::net::SlotKernelIsa::Oracle, oracleSigs);
+    const double k = timeKernelSegment(dispatched, kernelSigs);
+    if (seg == 0 || o < oracleBestSegment) oracleBestSegment = o;
+    if (seg == 0 || k < kernelBestSegment) kernelBestSegment = k;
+  }
+  // Scale the best segment back up to the full run count so wall_s keeps
+  // meaning "time for `runs` replications".
+  const double oracleWall = oracleBestSegment * kernelSegments;
+  const double kernelWall = kernelBestSegment * kernelSegments;
+  nsmodel::net::setSlotKernel(dispatched);  // leave the default in place
+  const bool kernelIdentical = oracleSigs == kernelSigs;
+  const double oracleRate = oracleWall > 0.0 ? kernelRuns / oracleWall : 0.0;
+  const double kernelRate = kernelWall > 0.0 ? kernelRuns / kernelWall : 0.0;
+  const double kernelSpeedup = kernelWall > 0.0 ? oracleWall / kernelWall
+                                                : 0.0;
+  const char* kernelName = nsmodel::net::slotKernelIsaName(dispatched);
+  std::printf("slot kernel oracle       %7.2fs  %8.1f runs/s\n", oracleWall,
+              oracleRate);
+  std::printf("slot kernel %-8s     %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
+              kernelName, kernelWall, kernelRate, kernelSpeedup,
+              kernelIdentical ? "bit-identical" : "MISMATCH");
+
+  // ---- adaptive replication: fixed count vs CI-targeted stopping ----
+  // The accelerated fixed sweep above doubles as the quality reference:
+  // its widest per-cell 95% CI half-width becomes the adaptive target, so
+  // the adaptive sweep must deliver every cell at least that tight.
+  // Cells whose metric settles early (flooding regime, saturated
+  // reachability) then stop at min_reps; only the noisy transition cells
+  // run toward the fixed count.  Since replication k of a cell is the
+  // same run under either plan, a cell that does run to the ceiling
+  // reproduces the fixed cell bit for bit — the comparison is
+  // fewer-samples-same-estimator, not a different estimator.
+  double targetCi = 0.0;
+  long long fixedRepsTotal = 0;
+  for (const auto& row : simAccel) {
+    for (const auto& agg : row) {
+      if (agg.stats.ciHalfWidth95 > targetCi) {
+        targetCi = agg.stats.ciHalfWidth95;
+      }
+      fixedRepsTotal += agg.replications;
+    }
+  }
+  nsmodel::sim::AdaptiveReplication adaptiveCfg;
+  // All-degenerate tables (every cell zero-variance) would disable the
+  // controller via targetCi = 0; keep it enabled with an unreachable
+  // target so such cells still stop at min_reps.
+  adaptiveCfg.targetCi = targetCi > 0.0 ? targetCi : 1e-9;
+  adaptiveCfg.minReps = opts.fast ? 2 : 6;
+  adaptiveCfg.maxReps = opts.replications;
+  nsmodel::sim::ScenarioCache adaptiveCache;
+  nsmodel::sim::RunWorkspacePool adaptiveWorkspaces;
+  const auto d0 = Clock::now();
+  const SimTable simAdaptive = nsmodel::bench::simSweep(
+      opts, spec,
+      SweepAccel{&adaptiveCache, true, &adaptiveWorkspaces, adaptiveCfg});
+  const auto d1 = Clock::now();
+  const double adaptiveWall = seconds(d0, d1);
+  long long adaptiveRepsTotal = 0;
+  double adaptiveMaxCi = 0.0;
+  for (const auto& row : simAdaptive) {
+    for (const auto& agg : row) {
+      adaptiveRepsTotal += agg.replications;
+      if (agg.stats.ciHalfWidth95 > adaptiveMaxCi) {
+        adaptiveMaxCi = agg.stats.ciHalfWidth95;
+      }
+    }
+  }
+  const double repReduction =
+      adaptiveRepsTotal > 0
+          ? static_cast<double>(fixedRepsTotal) / adaptiveRepsTotal
+          : 0.0;
+  // Exact comparison on purpose: converged cells stopped because their
+  // half-width was <= the target under the same accumulation order, and
+  // ceiling cells replay the fixed cell's arithmetic exactly.
+  const bool adaptiveWithinTarget = adaptiveMaxCi <= adaptiveCfg.targetCi;
+  std::printf("adaptive    fixed        %7.2fs  %6lld replications  "
+              "(max ci95 %.4f)\n",
+              simAccelWall, fixedRepsTotal, targetCi);
+  std::printf("adaptive    ci-targeted  %7.2fs  %6lld replications  "
+              "(max ci95 %.4f, %.2fx fewer, %s)\n",
+              adaptiveWall, adaptiveRepsTotal, adaptiveMaxCi, repReduction,
+              adaptiveWithinTarget ? "within target" : "TARGET MISSED");
+
   // ---- BENCH_sweep.json ----
-  const char* path = "BENCH_sweep.json";
   std::FILE* out = std::fopen(path, opts.append ? "a" : "w");
   if (out == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -283,14 +460,54 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"speedup\": %.3f,\n", runSpeedup);
   std::fprintf(out, "    \"bit_identical\": %s\n",
                runsIdentical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"slot_kernel\": {\n");
+  std::fprintf(out, "    \"density\": %.0f,\n", kernelCfg.neighborDensity);
+  std::fprintf(out, "    \"nodes\": %zu,\n",
+               kernelScenario.topology.nodeCount());
+  std::fprintf(out, "    \"probability\": 1.0,\n");
+  std::fprintf(out, "    \"runs\": %d,\n", kernelRuns);
+  std::fprintf(out,
+               "    \"oracle\": {\"wall_s\": %.6f, \"runs_per_s\": %.1f},\n",
+               oracleWall, oracleRate);
+  std::fprintf(out,
+               "    \"kernel\": {\"name\": \"%s\", \"wall_s\": %.6f, "
+               "\"runs_per_s\": %.1f},\n",
+               kernelName, kernelWall, kernelRate);
+  std::fprintf(out, "    \"speedup\": %.3f,\n", kernelSpeedup);
+  std::fprintf(out, "    \"bit_identical\": %s\n",
+               kernelIdentical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"adaptive\": {\n");
+  std::fprintf(out, "    \"grid_points\": %zu,\n", simPoints);
+  std::fprintf(out, "    \"target_ci95\": %.6f,\n", adaptiveCfg.targetCi);
+  std::fprintf(out, "    \"min_reps\": %d,\n", adaptiveCfg.minReps);
+  std::fprintf(out, "    \"max_reps\": %d,\n", adaptiveCfg.maxReps);
+  std::fprintf(out,
+               "    \"fixed\": {\"wall_s\": %.6f, "
+               "\"replications_total\": %lld, \"max_ci95\": %.6f},\n",
+               simAccelWall, fixedRepsTotal, targetCi);
+  std::fprintf(out,
+               "    \"adaptive\": {\"wall_s\": %.6f, "
+               "\"replications_total\": %lld, \"max_ci95\": %.6f},\n",
+               adaptiveWall, adaptiveRepsTotal, adaptiveMaxCi);
+  std::fprintf(out, "    \"replication_reduction\": %.3f,\n", repReduction);
+  std::fprintf(out, "    \"within_target\": %s\n",
+               adaptiveWithinTarget ? "true" : "false");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("%s %s\n", opts.append ? "appended to" : "wrote", path);
 
-  if (!simIdentical || !anIdentical || !runsIdentical) {
+  if (!simIdentical || !anIdentical || !runsIdentical || !kernelIdentical) {
     std::fprintf(stderr,
                  "error: accelerated sweep diverged from the baseline\n");
+    return 1;
+  }
+  if (!adaptiveWithinTarget) {
+    std::fprintf(stderr,
+                 "error: adaptive sweep missed the fixed sweep's CI "
+                 "target\n");
     return 1;
   }
   return 0;

@@ -67,5 +67,32 @@ echo "journalled points at kill time: ${DONE_BEFORE:-0}"
 cmp "$WORK/ref.csv" "$WORK/resumed.csv"
 echo "resume round-trip: CSV byte-identical"
 
+echo "== adaptive replication survives SIGKILL + --resume the same way =="
+# CI-targeted stopping journals each point's realized replication count in
+# its CSV row (the reps column), so a resumed sweep must reproduce the
+# uninterrupted adaptive CSV byte for byte — including the counts.
+ADAPTIVE_FLAGS=("${SWEEP_FLAGS[@]}" --target-ci=0.005 --min-reps=20)
+"$CLI" "${ADAPTIVE_FLAGS[@]}" --journal="$WORK/adaptive_ref.journal" \
+  --csv="$WORK/adaptive_ref.csv"
+if ! head -1 "$WORK/adaptive_ref.csv" | grep -q '^p,objective,ci95,defined,reps$'; then
+  echo "FAIL: adaptive CSV is missing the reps column"
+  head -1 "$WORK/adaptive_ref.csv"
+  exit 1
+fi
+"$CLI" "${ADAPTIVE_FLAGS[@]}" --serial \
+  --journal="$WORK/adaptive_kill.journal" \
+  --csv="$WORK/adaptive_killed.csv" >/dev/null 2>&1 &
+PID=$!
+sleep 0.4
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+ADAPTIVE_DONE=$(grep -c $'\tdone\t' "$WORK/adaptive_kill.journal" 2>/dev/null || true)
+echo "journalled points at kill time: ${ADAPTIVE_DONE:-0}"
+
+"$CLI" "${ADAPTIVE_FLAGS[@]}" --journal="$WORK/adaptive_kill.journal" \
+  --resume --csv="$WORK/adaptive_resumed.csv" | grep 'points:'
+cmp "$WORK/adaptive_ref.csv" "$WORK/adaptive_resumed.csv"
+echo "adaptive resume round-trip: CSV byte-identical"
+
 echo
 echo "fault smoke: OK"

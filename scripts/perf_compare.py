@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare micro_sweep wall-clock records against a committed reference.
+
+Usage: perf_compare.py NEW_BENCH_FILE < REFERENCE_BENCH_FILE
+
+Both inputs are BENCH_sweep.json files: a concatenation of pretty-printed
+JSON records, one per bench invocation.  Records are matched by their
+(bench, fast, threads, seed) key — the same key micro_sweep --append
+refuses to duplicate — and, per section, the wall clock of the fast path
+(the one whose regressions matter) is compared.  A section more than 15%
+slower than its committed reference counts as a regression and the script
+exits 1; new sections or keys absent from the reference are reported and
+skipped, so adding a bench section never breaks the lane that introduces
+it.
+"""
+
+import json
+import sys
+
+# section -> (subsection, leaf) of the wall to track.
+SECTION_WALLS = {
+    "sim_sweep": ("accelerated", "wall_s"),
+    "analytic_sweep": ("accelerated", "wall_s"),
+    "replication_throughput": ("flat_loop", "wall_s"),
+    "slot_kernel": ("kernel", "wall_s"),
+    "adaptive": ("adaptive", "wall_s"),
+}
+THRESHOLD = 1.15
+
+
+def parse_records(text):
+    """The concatenated records of one BENCH file, keyed by identity."""
+    decoder = json.JSONDecoder()
+    records = {}
+    index = 0
+    while True:
+        while index < len(text) and text[index].isspace():
+            index += 1
+        if index >= len(text):
+            return records
+        record, index = decoder.raw_decode(text, index)
+        key = (
+            record.get("bench"),
+            record.get("fast"),
+            record.get("threads"),
+            record.get("seed"),
+        )
+        records[key] = record
+
+
+def wall(record, section):
+    subsection, leaf = SECTION_WALLS[section]
+    value = record.get(section, {}).get(subsection, {}).get(leaf)
+    return value if isinstance(value, (int, float)) and value > 0 else None
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        new = parse_records(handle.read())
+    ref = parse_records(sys.stdin.read())
+    regressed = False
+    for key, record in sorted(new.items(), key=str):
+        label = "bench=%s fast=%s threads=%s seed=%s" % key
+        if key not in ref:
+            print(f"  {label}: no committed reference record, skipping")
+            continue
+        for section in SECTION_WALLS:
+            now, then = wall(record, section), wall(ref[key], section)
+            if now is None or then is None:
+                continue
+            ratio = now / then
+            verdict = "REGRESSED" if ratio > THRESHOLD else "ok"
+            print(
+                f"  {label} {section}: {then:.3f}s -> {now:.3f}s "
+                f"({ratio:.2f}x, {verdict})"
+            )
+            regressed |= ratio > THRESHOLD
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,21 @@
 # belt-and-braces check that the *recorded* file agrees, so a stale or
 # hand-edited BENCH_sweep.json cannot slip through CI green.
 #
+# The fresh records are then compared against the committed
+# BENCH_sweep.json (matched by the (bench, fast, threads, seed) key): a
+# section more than 15% slower than its committed wall clock fails the
+# run locally and warns in CI, where shared runners make wall-clock
+# comparisons advisory (CI is set by GitHub Actions).
+#
 # Usage: scripts/perf_smoke.sh [path/to/micro_sweep]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${1:-build/bench/micro_sweep}"
 OUT="BENCH_sweep.json"
+# The committed reference must be captured before the benches overwrite
+# the work tree's copy.
+REF_JSON="$(git show HEAD:"$OUT" 2>/dev/null || true)"
 rm -f "$OUT"
 
 echo "== micro_sweep --fast, 1 thread =="
@@ -25,6 +34,22 @@ if grep -q '"bit_identical": false' "$OUT"; then
   echo "FAIL: $OUT records a bit_identical: false section"
   cat "$OUT"
   exit 1
+fi
+
+if [ -n "$REF_JSON" ]; then
+  echo
+  echo "== wall clock vs committed $OUT =="
+  if ! python3 scripts/perf_compare.py "$OUT" <<<"$REF_JSON"; then
+    if [ -n "${CI:-}" ]; then
+      echo "WARN: wall-clock regression vs committed $OUT" \
+           "(advisory on shared CI runners)"
+    else
+      echo "FAIL: wall-clock regression vs committed $OUT"
+      exit 1
+    fi
+  fi
+else
+  echo "note: no committed $OUT to compare against"
 fi
 
 echo

@@ -62,14 +62,11 @@ sim::RunResult NetworkModel::simulateOnce(double probability,
   return sim::runExperiment(experimentConfig(), factory, seed, stream);
 }
 
-sim::MetricAggregate NetworkModel::measure(double probability,
-                                           const MetricSpec& spec,
-                                           std::uint64_t seed,
-                                           int replications,
-                                           sim::ScenarioCache* cache,
-                                           bool parallelReplications,
-                                           sim::RunWorkspacePool* workspaces)
-    const {
+sim::MetricAggregate NetworkModel::measure(
+    double probability, const MetricSpec& spec, std::uint64_t seed,
+    int replications, sim::ScenarioCache* cache, bool parallelReplications,
+    sim::RunWorkspacePool* workspaces,
+    const sim::AdaptiveReplication& adaptive) const {
   sim::MonteCarloConfig mc;
   mc.experiment = experimentConfig();
   mc.seed = seed;
@@ -77,6 +74,7 @@ sim::MetricAggregate NetworkModel::measure(double probability,
   mc.cache = cache;
   mc.parallel = parallelReplications;
   mc.workspaces = workspaces;
+  mc.adaptive = adaptive;
   const auto factory = [probability] {
     return std::make_unique<protocols::ProbabilisticBroadcast>(probability);
   };
@@ -93,7 +91,8 @@ sim::MetricAggregate NetworkModel::measure(double probability,
 std::vector<sim::MetricAggregate> NetworkModel::measureSweep(
     const std::vector<double>& probabilities, const MetricSpec& spec,
     std::uint64_t seed, int replications, sim::ScenarioCache* cache,
-    bool parallelReplications, sim::RunWorkspacePool* workspaces) const {
+    bool parallelReplications, sim::RunWorkspacePool* workspaces,
+    const sim::AdaptiveReplication& adaptive) const {
   sim::MonteCarloConfig mc;
   mc.experiment = experimentConfig();
   mc.seed = seed;
@@ -101,6 +100,7 @@ std::vector<sim::MetricAggregate> NetworkModel::measureSweep(
   mc.cache = cache;
   mc.parallel = parallelReplications;
   mc.workspaces = workspaces;
+  mc.adaptive = adaptive;
   std::vector<protocols::ProtocolFactory> factories;
   factories.reserve(probabilities.size());
   for (const double probability : probabilities) {

@@ -59,12 +59,17 @@ class NetworkModel {
   /// replications for coarser task granularity).  An optional
   /// RunWorkspacePool lets consecutive calls reuse hot per-run buffers
   /// (see sim/run_workspace.hpp); null leases a private workspace.
+  /// An enabled `adaptive` configuration replaces the fixed
+  /// `replications` count with CI-targeted stopping (see
+  /// sim/replication_controller.hpp); the realized count is reported in
+  /// the aggregate's `replications` field.
   sim::MetricAggregate measure(double probability, const MetricSpec& spec,
                                std::uint64_t seed, int replications = 30,
                                sim::ScenarioCache* cache = nullptr,
                                bool parallelReplications = true,
-                               sim::RunWorkspacePool* workspaces =
-                                   nullptr) const;
+                               sim::RunWorkspacePool* workspaces = nullptr,
+                               const sim::AdaptiveReplication& adaptive =
+                                   {}) const;
 
   /// Monte-Carlo estimates of a metric for PB at every probability of
   /// `probabilities`, replication-major: each replication's scenario is
@@ -78,7 +83,8 @@ class NetworkModel {
       std::uint64_t seed, int replications = 30,
       sim::ScenarioCache* cache = nullptr,
       bool parallelReplications = true,
-      sim::RunWorkspacePool* workspaces = nullptr) const;
+      sim::RunWorkspacePool* workspaces = nullptr,
+      const sim::AdaptiveReplication& adaptive = {}) const;
 
   /// Optimal p for a metric according to the analytical backend.  With
   /// `parallel` the grid fans out over the shared thread pool (the result

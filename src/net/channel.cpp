@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "net/slot_kernel.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::net {
@@ -52,7 +53,11 @@ class SlotCounts {
                   "collision-aware channels support at most 65535 nodes");
     if (entries_.size() < n) {
       entries_.resize(n, 0);
-      touched_.resize(n);  // every node can be touched at most once
+      // Every node can be touched at most once, but the branchless bump
+      // writes touched[tc] unconditionally before deciding whether to
+      // keep it — once all n nodes are touched, that scratch write lands
+      // at index n, so the list needs one sentinel slot of slack.
+      touched_.resize(n + 1);
     }
   }
 
@@ -131,7 +136,7 @@ class SlotTally {
                   "collision-aware channels support at most 65535 nodes");
     if (counts_.size() < n) {  // grow-only, see SlotCounts
       counts_.resize(n, 0);
-      touched_.resize(n);
+      touched_.resize(n + 1);  // sentinel slot, see SlotCounts::ensure
     }
   }
 
@@ -163,6 +168,53 @@ class SlotTally {
   std::vector<NodeId> touched_;
   std::size_t touchedCount_ = 0;
 };
+
+/// Scratch arrays for the dispatched slot kernel (slot_kernel.hpp): the
+/// packed count-xor-sender table plus the touched list and the compressed
+/// winner arrays the scan pass writes.  Grow-only, like SlotCounts; the
+/// invariant between slots is likewise all-entries-zero.
+struct KernelScratch {
+  std::vector<std::uint32_t> entries;
+  std::vector<NodeId> touched;
+  std::vector<NodeId> receivers;
+  std::vector<NodeId> senders;
+
+  void ensure(std::size_t n) {
+    NSMODEL_CHECK(n <= 0xFFFF,
+                  "collision-aware channels support at most 65535 nodes");
+    if (entries.size() < n) {
+      entries.resize(n, 0);
+      touched.resize(n + 1);  // sentinel slot, see SlotCounts::ensure
+      receivers.resize(n);
+      senders.resize(n);
+    }
+  }
+};
+
+/// Pre-biases each transmitter's own entry to count 2.  A biased entry is
+/// nonzero before the bump pass, so the node never enters the touched
+/// list and so never scans as either a winner or a collision loss —
+/// exactly the oracle's half-duplex skip of transmitting receivers,
+/// without any per-receiver flag lookup in the scan.  biasClear undoes
+/// the bias (the entry may have been bumped further; whatever it holds,
+/// the node was filtered out, so zero is the correct between-slots state).
+void biasTransmitters(std::uint32_t* entries,
+                      const std::vector<NodeId>& transmitters,
+                      const std::vector<NodeId>* interferers) {
+  for (NodeId tx : transmitters) entries[tx] += 2;
+  if (interferers != nullptr) {
+    for (NodeId ix : *interferers) entries[ix] += 2;
+  }
+}
+
+void biasClear(std::uint32_t* entries,
+               const std::vector<NodeId>& transmitters,
+               const std::vector<NodeId>* interferers) {
+  for (NodeId tx : transmitters) entries[tx] = 0;
+  if (interferers != nullptr) {
+    for (NodeId ix : *interferers) entries[ix] = 0;
+  }
+}
 
 class CollisionFreeChannel final : public Channel {
  public:
@@ -228,6 +280,71 @@ class CollisionAwareChannel final : public Channel {
                           const std::vector<NodeId>& transmitters,
                           const std::vector<NodeId>* interferers,
                           const DeliverFn& deliver) {
+    const SlotKernelOps& ops = slotKernelOps();
+    if (ops.isa == SlotKernelIsa::Oracle) {
+      return resolveOracle(topology, transmitters, interferers, deliver);
+    }
+    return resolveKernel(topology, transmitters, interferers, ops, deliver);
+  }
+
+  SlotOutcome resolveKernel(const Topology& topology,
+                            const std::vector<NodeId>& transmitters,
+                            const std::vector<NodeId>* interferers,
+                            const SlotKernelOps& ops,
+                            const DeliverFn& deliver) {
+    SlotOutcome outcome;
+    scratch_.ensure(topology.nodeCount());
+    std::uint32_t* entries = scratch_.entries.data();
+    biasTransmitters(entries, transmitters, interferers);
+    std::size_t tc = 0;
+    const std::size_t txCount = transmitters.size();
+    for (std::size_t t = 0; t < txCount; ++t) {
+      const NodeId tx = transmitters[t];
+      const NeighborSpan nbs = topology.neighbors(tx);
+      // The row bumped after this one (the next transmitter's, then the
+      // first interferer's) is handed down as a prefetch hint.
+      NeighborSpan next{};
+      if (t + 1 < txCount) {
+        next = topology.neighbors(transmitters[t + 1]);
+      } else if (interferers != nullptr && !interferers->empty()) {
+        next = topology.neighbors(interferers->front());
+      }
+      tc = ops.bumpRow(entries, scratch_.touched.data(), tc, nbs.data(),
+                       nbs.size(), static_cast<std::uint32_t>(tx) << 16, 1,
+                       next.data(), next.size());
+    }
+    if (interferers != nullptr) {
+      // Drift epilogue: spill-over is undecodable noise.  One bump of 2
+      // with a zero sender half leaves exactly the word the oracle's two
+      // single bumps produce (the sender XORs itself away), so a reached
+      // receiver's count can never end at 1.
+      const std::size_t ixCount = interferers->size();
+      for (std::size_t t = 0; t < ixCount; ++t) {
+        const NeighborSpan nbs = topology.neighbors((*interferers)[t]);
+        const NeighborSpan next =
+            t + 1 < ixCount ? topology.neighbors((*interferers)[t + 1])
+                            : NeighborSpan{};
+        tc = ops.bumpRow(entries, scratch_.touched.data(), tc, nbs.data(),
+                         nbs.size(), 0, 2, next.data(), next.size());
+      }
+    }
+    std::size_t lost = 0;
+    const std::size_t wins = ops.scanTouched(
+        entries, scratch_.touched.data(), tc, scratch_.receivers.data(),
+        scratch_.senders.data(), &lost);
+    biasClear(entries, transmitters, interferers);
+    for (std::size_t i = 0; i < wins; ++i) {
+      deliver(scratch_.receivers[i], scratch_.senders[i]);
+    }
+    outcome.deliveries = wins;
+    outcome.lostReceivers = lost;
+    return outcome;
+  }
+
+  SlotOutcome resolveOracle(const Topology& topology,
+                            const std::vector<NodeId>& transmitters,
+                            const std::vector<NodeId>* interferers,
+                            const DeliverFn& deliver) {
     SlotOutcome outcome;
     inRange_.ensure(topology.nodeCount());
     txFlags_.ensure(topology.nodeCount());
@@ -276,6 +393,7 @@ class CollisionAwareChannel final : public Channel {
 
   SlotCounts inRange_;
   TxFlags txFlags_;
+  KernelScratch scratch_;
   std::vector<std::pair<NodeId, NodeId>> pairs_;  // (receiver, sender)
 };
 
@@ -323,6 +441,102 @@ class CarrierSenseChannel final : public Channel {
                           const std::vector<NodeId>& transmitters,
                           const std::vector<NodeId>* interferers,
                           const DeliverFn& deliver) {
+    const SlotKernelOps& ops = slotKernelOps();
+    if (ops.isa == SlotKernelIsa::Oracle) {
+      return resolveOracle(topology, transmitters, interferers, deliver);
+    }
+    return resolveKernel(topology, transmitters, interferers, ops, deliver);
+  }
+
+  SlotOutcome resolveKernel(const Topology& topology,
+                            const std::vector<NodeId>& transmitters,
+                            const std::vector<NodeId>* interferers,
+                            const SlotKernelOps& ops,
+                            const DeliverFn& deliver) {
+    SlotOutcome outcome;
+    scratch_.ensure(topology.nodeCount());
+    senseScratch_.ensure(topology.nodeCount());
+    std::uint32_t* entries = scratch_.entries.data();
+    // The carrier-sense tally reuses the same kernel on a second table
+    // with a zero sender half; only its count is ever read.  No tx bias
+    // there: the oracle's tally counts transmitters' signals everywhere,
+    // and half-duplex filtering already happened on the in-range side.
+    std::uint32_t* sense = senseScratch_.entries.data();
+    biasTransmitters(entries, transmitters, interferers);
+    std::size_t tc = 0;
+    std::size_t sc = 0;
+    const std::size_t txCount = transmitters.size();
+    for (std::size_t t = 0; t < txCount; ++t) {
+      const NodeId tx = transmitters[t];
+      // Rows are bumped in the order nbs, cs, next-nbs, next-cs, ...; each
+      // call prefetches the row that follows it.
+      const NeighborSpan nbs = topology.neighbors(tx);
+      const NeighborSpan cs = topology.carrierSenseNeighbors(tx);
+      tc = ops.bumpRow(entries, scratch_.touched.data(), tc, nbs.data(),
+                       nbs.size(), static_cast<std::uint32_t>(tx) << 16, 1,
+                       cs.data(), cs.size());
+      NeighborSpan next{};
+      if (t + 1 < txCount) {
+        next = topology.neighbors(transmitters[t + 1]);
+      } else if (interferers != nullptr && !interferers->empty()) {
+        next = topology.neighbors(interferers->front());
+      }
+      sc = ops.bumpRow(sense, senseScratch_.touched.data(), sc, cs.data(),
+                       cs.size(), 0, 1, next.data(), next.size());
+    }
+    if (interferers != nullptr) {
+      // Drift epilogue, as in CollisionAwareChannel::resolveKernel; the
+      // sensed tally takes a single bump so a cs-range interferer
+      // destroys the reception too.
+      const std::size_t ixCount = interferers->size();
+      for (std::size_t t = 0; t < ixCount; ++t) {
+        const NodeId ix = (*interferers)[t];
+        const NeighborSpan nbs = topology.neighbors(ix);
+        const NeighborSpan cs = topology.carrierSenseNeighbors(ix);
+        tc = ops.bumpRow(entries, scratch_.touched.data(), tc, nbs.data(),
+                         nbs.size(), 0, 2, cs.data(), cs.size());
+        const NeighborSpan next =
+            t + 1 < ixCount ? topology.neighbors((*interferers)[t + 1])
+                            : NeighborSpan{};
+        sc = ops.bumpRow(sense, senseScratch_.touched.data(), sc, cs.data(),
+                         cs.size(), 0, 1, next.data(), next.size());
+      }
+    }
+    std::size_t lost = 0;
+    const std::size_t candidates = ops.scanTouched(
+        entries, scratch_.touched.data(), tc, scratch_.receivers.data(),
+        scratch_.senders.data(), &lost);
+    // Carrier-sense filter over the (few) sole-sender candidates: the
+    // cs-disk contains the transmission disk, so success needs the sole
+    // cs-range signal to be the in-range transmitter.  Winners keep
+    // touched order, so delivery order matches the oracle.
+    std::size_t wins = 0;
+    for (std::size_t i = 0; i < candidates; ++i) {
+      const NodeId receiver = scratch_.receivers[i];
+      if ((sense[receiver] & 0xFFFF) == 1) {
+        scratch_.receivers[wins] = receiver;
+        scratch_.senders[wins] = scratch_.senders[i];
+        ++wins;
+      } else {
+        ++lost;
+      }
+    }
+    for (std::size_t i = 0; i < sc; ++i) {
+      sense[senseScratch_.touched[i]] = 0;
+    }
+    biasClear(entries, transmitters, interferers);
+    for (std::size_t i = 0; i < wins; ++i) {
+      deliver(scratch_.receivers[i], scratch_.senders[i]);
+    }
+    outcome.deliveries = wins;
+    outcome.lostReceivers = lost;
+    return outcome;
+  }
+
+  SlotOutcome resolveOracle(const Topology& topology,
+                            const std::vector<NodeId>& transmitters,
+                            const std::vector<NodeId>* interferers,
+                            const DeliverFn& deliver) {
     SlotOutcome outcome;
     inRange_.ensure(topology.nodeCount());
     inSense_.ensure(topology.nodeCount());
@@ -377,6 +591,8 @@ class CarrierSenseChannel final : public Channel {
   SlotCounts inRange_;
   SlotTally inSense_;
   TxFlags txFlags_;
+  KernelScratch scratch_;
+  KernelScratch senseScratch_;
   std::vector<std::pair<NodeId, NodeId>> pairs_;  // (receiver, sender)
 };
 

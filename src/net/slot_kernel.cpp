@@ -1,0 +1,134 @@
+// Runtime dispatch for the slot-resolution kernel (see slot_kernel.hpp).
+#include "net/slot_kernel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+namespace detail {
+namespace generic {
+std::size_t bumpRow(std::uint32_t* entries, NodeId* touched,
+                    std::size_t touchedCount, const NodeId* ids,
+                    std::size_t n, std::uint32_t senderBits,
+                    std::uint32_t add, const NodeId* prefetchIds,
+                    std::size_t prefetchN);
+std::size_t scanTouched(std::uint32_t* entries, const NodeId* touched,
+                        std::size_t n, NodeId* receivers, NodeId* senders,
+                        std::size_t* lost);
+bool runtimeSupported();
+}  // namespace generic
+#if NSMODEL_SLOT_KERNEL_NATIVE
+namespace native {
+std::size_t bumpRow(std::uint32_t* entries, NodeId* touched,
+                    std::size_t touchedCount, const NodeId* ids,
+                    std::size_t n, std::uint32_t senderBits,
+                    std::uint32_t add, const NodeId* prefetchIds,
+                    std::size_t prefetchN);
+std::size_t scanTouched(std::uint32_t* entries, const NodeId* touched,
+                        std::size_t n, NodeId* receivers, NodeId* senders,
+                        std::size_t* lost);
+bool runtimeSupported();
+}  // namespace native
+#endif
+}  // namespace detail
+
+namespace {
+
+const SlotKernelOps kOracleOps{SlotKernelIsa::Oracle, "oracle", nullptr,
+                               nullptr};
+const SlotKernelOps kGenericOps{SlotKernelIsa::Generic, "generic",
+                                &detail::generic::bumpRow,
+                                &detail::generic::scanTouched};
+#if NSMODEL_SLOT_KERNEL_NATIVE
+const SlotKernelOps kNativeOps{SlotKernelIsa::Native, "native",
+                               &detail::native::bumpRow,
+                               &detail::native::scanTouched};
+#endif
+
+const SlotKernelOps* opsFor(SlotKernelIsa isa) {
+  switch (isa) {
+    case SlotKernelIsa::Oracle:
+      return &kOracleOps;
+    case SlotKernelIsa::Generic:
+      return &kGenericOps;
+    case SlotKernelIsa::Native:
+#if NSMODEL_SLOT_KERNEL_NATIVE
+      return &kNativeOps;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::atomic<const SlotKernelOps*>& currentOps() {
+  static std::atomic<const SlotKernelOps*> current{nullptr};
+  return current;
+}
+
+}  // namespace
+
+const char* slotKernelIsaName(SlotKernelIsa isa) {
+  switch (isa) {
+    case SlotKernelIsa::Oracle:
+      return "oracle";
+    case SlotKernelIsa::Generic:
+      return "generic";
+    case SlotKernelIsa::Native:
+      return "native";
+  }
+  return "?";
+}
+
+bool slotKernelAvailable(SlotKernelIsa isa) {
+  if (isa != SlotKernelIsa::Native) return true;
+#if NSMODEL_SLOT_KERNEL_NATIVE
+  // Computed once: the answer cannot change while the process runs.
+  static const bool supported = detail::native::runtimeSupported();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+SlotKernelIsa defaultSlotKernel() {
+  const char* env = std::getenv("NSMODEL_SLOT_KERNEL");
+  const std::string choice = env == nullptr ? "auto" : env;
+  if (choice == "auto" || choice.empty()) {
+    return slotKernelAvailable(SlotKernelIsa::Native) ? SlotKernelIsa::Native
+                                                      : SlotKernelIsa::Generic;
+  }
+  if (choice == "oracle") return SlotKernelIsa::Oracle;
+  if (choice == "generic") return SlotKernelIsa::Generic;
+  if (choice == "native") {
+    NSMODEL_CHECK(slotKernelAvailable(SlotKernelIsa::Native),
+                  "NSMODEL_SLOT_KERNEL=native, but this build has no native "
+                  "kernel (or the CPU lacks its ISA)");
+    return SlotKernelIsa::Native;
+  }
+  throw ConfigError("unknown NSMODEL_SLOT_KERNEL value '" + choice +
+                    "' (want oracle|generic|native|auto)");
+}
+
+const SlotKernelOps& slotKernelOps() {
+  const SlotKernelOps* ops = currentOps().load(std::memory_order_relaxed);
+  if (ops == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    ops = opsFor(defaultSlotKernel());
+    currentOps().store(ops, std::memory_order_relaxed);
+  }
+  return *ops;
+}
+
+void setSlotKernel(SlotKernelIsa isa) {
+  NSMODEL_CHECK(slotKernelAvailable(isa),
+                std::string("slot kernel '") + slotKernelIsaName(isa) +
+                    "' is not available in this build/CPU");
+  currentOps().store(opsFor(isa), std::memory_order_relaxed);
+}
+
+}  // namespace nsmodel::net

@@ -1,0 +1,95 @@
+// Data-parallel inner loops of slot resolution, with runtime ISA dispatch.
+//
+// The CAM/CAM-CS channels spend almost all of their time in two loops over
+// CSR neighbour rows: the *bump* pass (one random-indexed
+// read-modify-write per (transmitter, neighbour) pair, accumulating the
+// packed count-xor-sender word of channel.cpp) and the *scan* pass (one
+// random-indexed read-and-clear per touched receiver, compressing the
+// sole-sender winners).  This header exposes those two loops as free
+// functions behind a table of function pointers so they can be compiled
+// twice — once at the portable baseline and once with the build machine's
+// full ISA (`-march=native`, AVX-512 gather/scatter on capable parts) —
+// and selected once at startup.
+//
+// Kernel contracts (shared by every implementation):
+//
+//  * bumpRow advances each id's count half by `add` and XORs `senderBits`
+//    into its sender half; ids whose count half was zero are appended to
+//    `touched`.  Ids within one call are distinct (they are one CSR row),
+//    which is what makes the vector gather/modify/scatter race-free.
+//    Implementations may *saturate*: once an entry's count half reaches 2
+//    its word may be left frozen, because callers only ever distinguish
+//    counts 0 / 1 / "2 or more" and read the sender half at count 1.
+//  * scanTouched reads and zeroes each touched entry, appends the
+//    (receiver, sender) of every count==1 entry to the output arrays in
+//    touched order, and adds the rest to `*lost`.
+//
+// All implementations produce bit-identical simulation results; the
+// packed-word scatter in channel.cpp (the original implementation) is
+// kept as the semantics oracle and remains selectable.  Selection:
+// NSMODEL_SLOT_KERNEL=oracle|generic|native|auto (default auto = the
+// fastest available), overridable programmatically for tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace nsmodel::net {
+
+/// Which slot-resolution implementation resolves CAM/CAM-CS slots.
+enum class SlotKernelIsa {
+  Oracle,   ///< the reference scatter loop inside channel.cpp
+  Generic,  ///< kernel TU built at the portable baseline ISA
+  Native,   ///< kernel TU built with -march=native (when configured in)
+};
+
+/// Lower-case name ("oracle", "generic", "native").
+const char* slotKernelIsaName(SlotKernelIsa isa);
+
+/// The dispatched inner loops.  `bumpRow`/`scanTouched` are null only for
+/// the Oracle entry, which channels special-case to their reference path.
+struct SlotKernelOps {
+  SlotKernelIsa isa;
+  const char* name;
+  /// Bumps every id of one CSR row; returns the new touched count.
+  /// `touched` must have capacity nodeCount + 1: the branchless scalar
+  /// tail writes touched[tc] before deciding whether to keep it, so once
+  /// every node is on the list the scratch write lands one slot past it.
+  /// `prefetchIds`/`prefetchN` name the row the caller will bump next (or
+  /// null/0): rows of distinct transmitters are scattered across the CSR,
+  /// so streaming the next row into cache while this row's gathers retire
+  /// hides the row-to-row latency hardware prefetch cannot predict.
+  std::size_t (*bumpRow)(std::uint32_t* entries, NodeId* touched,
+                         std::size_t touchedCount, const NodeId* ids,
+                         std::size_t n, std::uint32_t senderBits,
+                         std::uint32_t add, const NodeId* prefetchIds,
+                         std::size_t prefetchN);
+  /// Consumes touched[0, n): winners compress into receivers/senders (in
+  /// touched order), losers add to *lost; every entry is zeroed.
+  /// Returns the number of winners.
+  std::size_t (*scanTouched)(std::uint32_t* entries, const NodeId* touched,
+                             std::size_t n, NodeId* receivers,
+                             NodeId* senders, std::size_t* lost);
+};
+
+/// Whether `isa` can run here (Native needs the TU configured in at build
+/// time *and* the CPU to support the build machine's ISA).
+bool slotKernelAvailable(SlotKernelIsa isa);
+
+/// The selection NSMODEL_SLOT_KERNEL/auto resolves to on this machine.
+/// Throws ConfigError on an unknown value or an unavailable explicit
+/// choice.
+SlotKernelIsa defaultSlotKernel();
+
+/// The currently selected kernel (resolves defaultSlotKernel() on first
+/// use).  Channels reload this on every resolved slot — one relaxed
+/// atomic load — so tests can flip implementations between runs.
+const SlotKernelOps& slotKernelOps();
+
+/// Overrides the selection process-wide.  Throws ConfigError if `isa` is
+/// not available.
+void setSlotKernel(SlotKernelIsa isa);
+
+}  // namespace nsmodel::net

@@ -1,0 +1,5 @@
+// Baseline-ISA build of the slot-resolution inner loops.  Compiled with
+// the project's ordinary flags (no -march), so the binary runs on any
+// machine the rest of the build runs on.
+#define NSMODEL_SLOT_KERNEL_NS generic
+#include "net/slot_kernel_impl.inl"

@@ -1,0 +1,185 @@
+// Inner-loop bodies of the slot-resolution kernel (see slot_kernel.hpp).
+//
+// This file is compiled twice: slot_kernel_generic.cpp includes it at the
+// portable baseline ISA and slot_kernel_native.cpp includes it with
+// -march=native, each under its own NSMODEL_SLOT_KERNEL_NS namespace.
+// The scalar loops are written branchlessly with restrict-qualified
+// pointers so the baseline build already runs at the oracle's speed; on
+// AVX-512-capable builds the bump loop switches to explicit 16-lane
+// gather/compress/scatter, which is safe because the ids of one call are
+// distinct (one CSR row / one touched list) — no two lanes ever address
+// the same entry.  The scan stays scalar on every ISA: it is one strided
+// pass over a mostly short list, and the vector variant measured slower.
+//
+// The vector bump exploits the saturation licence documented in
+// slot_kernel.hpp: lanes whose count half is already >= 2 mask their
+// scatter away, so in dense slots — where most receivers hear many
+// transmitters — the store side of the read-modify-write mostly
+// disappears.
+
+#ifndef NSMODEL_SLOT_KERNEL_NS
+#error "define NSMODEL_SLOT_KERNEL_NS before including slot_kernel_impl.inl"
+#endif
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC implements _mm512_undefined_epi32 (used inside srli and friends) as
+// a self-initialised local, which trips -Wmaybe-uninitialized (GCC
+// PR105593).  Nothing here reads uninitialised data.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#define NSMODEL_SLOT_KERNEL_POPPED_DIAGNOSTIC 1
+#endif
+#endif
+
+namespace nsmodel::net::detail::NSMODEL_SLOT_KERNEL_NS {
+
+std::size_t bumpRow(std::uint32_t* __restrict entries,
+                    NodeId* __restrict touched, std::size_t touchedCount,
+                    const NodeId* __restrict ids, std::size_t n,
+                    std::uint32_t senderBits, std::uint32_t add,
+                    const NodeId* prefetchIds, std::size_t prefetchN) {
+  std::size_t tc = touchedCount;
+  // Stream the next row toward L1 while this row's accesses retire: CSR
+  // rows of successive transmitters are scattered across the topology
+  // arena, a stride the hardware prefetcher cannot learn, and the id
+  // loads are otherwise the critical path of the whole pass.
+  if (prefetchIds != nullptr) {
+    const char* base = reinterpret_cast<const char*>(prefetchIds);
+    for (std::size_t b = 0; b < prefetchN * sizeof(NodeId); b += 64) {
+      __builtin_prefetch(base + b, 0 /*read*/, 3 /*all cache levels*/);
+    }
+  }
+#if defined(__AVX512F__)
+  // Software-pipelined 16-lane blocks: each iteration loads the NEXT
+  // block's ids before gathering the current one.  The ids stream from
+  // the topology CSR (L2-resident at realistic densities) while the
+  // entries table stays in L1; without the pipelining the gathers
+  // serialize behind the id loads and the vector path loses to scalar
+  // out-of-order execution.
+  const __m512i vSender = _mm512_set1_epi32(static_cast<int>(senderBits));
+  const __m512i vAdd = _mm512_set1_epi32(static_cast<int>(add));
+  const __m512i vLowMask = _mm512_set1_epi32(0xFFFF);
+  const __m512i vTwo = _mm512_set1_epi32(2);
+  const __m512i vZero = _mm512_setzero_si512();
+  std::size_t i = 0;
+  if (n >= 16) {
+    __m512i vid = _mm512_loadu_si512(ids);
+    for (; i + 32 <= n; i += 16) {
+      const __m512i vidNext = _mm512_loadu_si512(ids + i + 16);
+      const __m512i e = _mm512_i32gather_epi32(vid, entries, 4);
+      const __m512i lo = _mm512_and_epi32(e, vLowMask);
+      // First touches: count half still zero.  Compress their ids onto
+      // the touched list in lane (= row) order.
+      const __mmask16 kFirst = _mm512_cmpeq_epi32_mask(lo, vZero);
+      _mm512_mask_compressstoreu_epi32(touched + tc, kFirst, vid);
+      tc += static_cast<std::size_t>(__builtin_popcount(kFirst));
+      // Saturation: entries already at count >= 2 keep their word; only
+      // lanes still deciding between 0/1/2 pay for the scatter.
+      const __mmask16 kLive = _mm512_cmplt_epu32_mask(lo, vTwo);
+      const __m512i bumped =
+          _mm512_xor_epi32(_mm512_add_epi32(e, vAdd), vSender);
+      _mm512_mask_i32scatter_epi32(entries, kLive, vid, bumped, 4);
+      vid = vidNext;
+    }
+    // The last full-width block is already loaded in vid.
+    const __m512i e = _mm512_i32gather_epi32(vid, entries, 4);
+    const __m512i lo = _mm512_and_epi32(e, vLowMask);
+    const __mmask16 kFirst = _mm512_cmpeq_epi32_mask(lo, vZero);
+    _mm512_mask_compressstoreu_epi32(touched + tc, kFirst, vid);
+    tc += static_cast<std::size_t>(__builtin_popcount(kFirst));
+    const __mmask16 kLive = _mm512_cmplt_epu32_mask(lo, vTwo);
+    const __m512i bumped =
+        _mm512_xor_epi32(_mm512_add_epi32(e, vAdd), vSender);
+    _mm512_mask_i32scatter_epi32(entries, kLive, vid, bumped, 4);
+    i += 16;
+  }
+  for (; i < n; ++i) {
+    const NodeId node = ids[i];
+    const std::uint32_t e = entries[node];
+    touched[tc] = node;  // kept only when this is a first touch
+    tc += static_cast<std::size_t>(static_cast<std::uint16_t>(e) == 0);
+    entries[node] = (e + add) ^ senderBits;
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = ids[i];
+    const std::uint32_t e = entries[node];
+    touched[tc] = node;  // kept only when this is a first touch
+    tc += static_cast<std::size_t>(static_cast<std::uint16_t>(e) == 0);
+    entries[node] = (e + add) ^ senderBits;
+  }
+#endif
+  return tc;
+}
+
+std::size_t scanTouched(std::uint32_t* __restrict entries,
+                        const NodeId* __restrict touched, std::size_t n,
+                        NodeId* __restrict receivers,
+                        NodeId* __restrict senders,
+                        std::size_t* __restrict lost) {
+  std::size_t wins = 0;
+  std::size_t lostLocal = 0;
+  // Deliberately scalar on every ISA: the touched list is consumed once,
+  // its entries are random-access (gathers cannot amortize), and a
+  // vectorized variant measured slower than this branchless compress on
+  // AVX-512 hardware — every lane pays the gather+scatter latency for a
+  // single use.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = touched[i];
+    const std::uint32_t e = entries[node];
+    entries[node] = 0;
+    const bool win = (e & 0xFFFF) == 1;
+    // Branchless compress: always write, advance only on a win.
+    receivers[wins] = node;
+    senders[wins] = static_cast<NodeId>(e >> 16);
+    wins += static_cast<std::size_t>(win);
+    lostLocal += static_cast<std::size_t>(!win);
+  }
+  *lost += lostLocal;
+  return wins;
+}
+
+/// True when the CPU running this binary supports the ISA this TU was
+/// compiled for.  Checked per feature macro: a -march=native binary moved
+/// to an older machine falls back to the generic kernel instead of
+/// faulting on its first gather.
+bool runtimeSupported() {
+#if defined(__x86_64__) || defined(__i386__)
+  bool ok = true;
+#if defined(__AVX512F__)
+  ok = ok && __builtin_cpu_supports("avx512f") != 0;
+#endif
+#if defined(__AVX512BW__)
+  ok = ok && __builtin_cpu_supports("avx512bw") != 0;
+#endif
+#if defined(__AVX512VL__)
+  ok = ok && __builtin_cpu_supports("avx512vl") != 0;
+#endif
+#if defined(__AVX2__)
+  ok = ok && __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(__BMI2__)
+  ok = ok && __builtin_cpu_supports("bmi2") != 0;
+#endif
+#if defined(__FMA__)
+  ok = ok && __builtin_cpu_supports("fma") != 0;
+#endif
+  return ok;
+#else
+  return true;
+#endif
+}
+
+}  // namespace nsmodel::net::detail::NSMODEL_SLOT_KERNEL_NS
+
+#if defined(NSMODEL_SLOT_KERNEL_POPPED_DIAGNOSTIC)
+#pragma GCC diagnostic pop
+#undef NSMODEL_SLOT_KERNEL_POPPED_DIAGNOSTIC
+#endif

@@ -1,0 +1,7 @@
+// Build-machine-ISA build of the slot-resolution inner loops.  CMake
+// compiles this single translation unit with -march=native (option
+// NSMODEL_KERNEL_NATIVE, on by default where the flag is supported);
+// slot_kernel.cpp only dispatches here after runtimeSupported() confirms
+// the running CPU has the instructions this TU was compiled for.
+#define NSMODEL_SLOT_KERNEL_NS native
+#include "net/slot_kernel_impl.inl"

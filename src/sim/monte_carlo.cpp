@@ -24,18 +24,28 @@ std::size_t grainFor(const MonteCarloConfig& config, std::size_t n) {
   return std::max<std::size_t>(1, (n + target - 1) / target);
 }
 
+/// Chunks the replication subrange [lo, hi) — the full plan in fixed
+/// mode, one adaptive batch otherwise.  The grain derives from the
+/// subrange size, so a small final batch still spreads over the pool.
+void forEachChunkIn(const MonteCarloConfig& config, std::size_t lo,
+                    std::size_t hi,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t n = hi - lo;
+  const std::size_t grain = grainFor(config, n);
+  if (config.parallel) {
+    support::parallelForChunks(lo, hi, grain, body);
+  } else {
+    for (std::size_t at = lo; at < hi; at += grain) {
+      body(at, std::min(hi, at + grain));
+    }
+  }
+}
+
 void forEachChunk(const MonteCarloConfig& config,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   NSMODEL_CHECK(config.replications >= 1, "need at least one replication");
-  const auto n = static_cast<std::size_t>(config.replications);
-  const std::size_t grain = grainFor(config, n);
-  if (config.parallel) {
-    support::parallelForChunks(0, n, grain, body);
-  } else {
-    for (std::size_t lo = 0; lo < n; lo += grain) {
-      body(lo, std::min(n, lo + grain));
-    }
-  }
+  forEachChunkIn(config, 0, static_cast<std::size_t>(config.replications),
+                 body);
 }
 
 /// Runs replications [lo, hi) on one leased workspace with one protocol
@@ -93,6 +103,111 @@ std::vector<MetricAggregate> aggregateSamples(
     aggregates[m].stats = support::summarize(defined);
     aggregates[m].definedFraction =
         static_cast<double>(defined.size()) / static_cast<double>(reps);
+    aggregates[m].replications = static_cast<int>(reps);
+  }
+  return aggregates;
+}
+
+/// Adaptive monteCarlo: deterministic batches of replications, each
+/// folded into the controller at its boundary.  The chunking inside a
+/// batch never affects the stopping decision — samples fold in
+/// replication order after the whole batch has finished — so the
+/// realized count is a pure function of (seed, configuration).
+std::vector<MetricAggregate> monteCarloAdaptive(
+    const MonteCarloConfig& config,
+    const protocols::ProtocolFactory& makeProtocol,
+    const MetricExtractor& extract) {
+  ReplicationController controller(config.adaptive, /*fixedReplications=*/1);
+  std::vector<std::vector<double>> samples;
+  while (!controller.done()) {
+    const auto lo = static_cast<std::size_t>(controller.completed());
+    const auto hi = static_cast<std::size_t>(controller.nextTarget());
+    samples.resize(hi);
+    forEachChunkIn(config, lo, hi, [&](std::size_t clo, std::size_t chi) {
+      runChunk(config, makeProtocol, clo, chi,
+               [&](std::size_t rep, RunResult result,
+                   RunWorkspace& workspace) {
+                 samples[rep] = extract(result);
+                 workspace.reclaim(std::move(result));
+               });
+    });
+    for (std::size_t rep = lo; rep < hi; ++rep) {
+      controller.addSample(samples[rep]);
+    }
+  }
+  return aggregateSamples(samples);
+}
+
+/// Adaptive sweep with per-point pruning.  Every controller follows the
+/// same batch schedule, so all still-active points sit at the same
+/// completed count; each batch runs one shared replication subrange for
+/// exactly the active points (converged points stop consuming runs) and
+/// the per-replication scenario is still fetched once for all of them.
+std::vector<std::vector<MetricAggregate>> monteCarloSweepAdaptive(
+    const MonteCarloConfig& config,
+    const std::vector<protocols::ProtocolFactory>& makeProtocols,
+    const MetricExtractor& extract) {
+  const std::size_t points = makeProtocols.size();
+  std::vector<ReplicationController> controllers;
+  controllers.reserve(points);
+  for (std::size_t point = 0; point < points; ++point) {
+    controllers.emplace_back(config.adaptive, /*fixedReplications=*/1);
+  }
+  std::vector<std::vector<std::vector<double>>> samples(points);
+  std::vector<std::size_t> active(points);
+  for (std::size_t point = 0; point < points; ++point) active[point] = point;
+  int completedReps = 0;
+  while (!active.empty()) {
+    const int target = config.adaptive.nextTarget(completedReps);
+    const auto lo = static_cast<std::size_t>(completedReps);
+    const auto hi = static_cast<std::size_t>(target);
+    for (const std::size_t point : active) samples[point].resize(hi);
+    forEachChunkIn(config, lo, hi, [&](std::size_t clo, std::size_t chi) {
+      WorkspaceLease workspace(config.workspaces);
+      std::vector<std::unique_ptr<protocols::BroadcastProtocol>> protos(
+          points);
+      for (const std::size_t point : active) {
+        protos[point] = makeProtocols[point]();
+        NSMODEL_CHECK(protos[point] != nullptr,
+                      "protocol factory returned null");
+      }
+      for (std::size_t rep = clo; rep < chi; ++rep) {
+        const ScenarioKey key =
+            ScenarioKey::forExperiment(config.experiment, config.seed, rep);
+        ScenarioCache::ScenarioPtr cached;
+        std::optional<Scenario> local;
+        if (config.cache != nullptr) {
+          cached = config.cache->getOrBuild(key);
+        } else {
+          local.emplace(buildScenario(key));
+        }
+        const Scenario& scenario = cached ? *cached : *local;
+        for (const std::size_t point : active) {
+          support::Rng rng = scenario.protocolRng;
+          RunResult result = runBroadcast(config.experiment,
+                                          scenario.deployment,
+                                          scenario.topology, *protos[point],
+                                          rng, *workspace);
+          samples[point][rep] = extract(result);
+          (*workspace).reclaim(std::move(result));
+        }
+      }
+    });
+    completedReps = target;
+    std::vector<std::size_t> still;
+    still.reserve(active.size());
+    for (const std::size_t point : active) {
+      for (int rep = controllers[point].completed(); rep < target; ++rep) {
+        controllers[point].addSample(
+            samples[point][static_cast<std::size_t>(rep)]);
+      }
+      if (!controllers[point].done()) still.push_back(point);
+    }
+    active = std::move(still);
+  }
+  std::vector<std::vector<MetricAggregate>> aggregates(points);
+  for (std::size_t point = 0; point < points; ++point) {
+    aggregates[point] = aggregateSamples(samples[point]);
   }
   return aggregates;
 }
@@ -103,6 +218,9 @@ std::vector<MetricAggregate> monteCarlo(
     const MonteCarloConfig& config,
     const protocols::ProtocolFactory& makeProtocol,
     const MetricExtractor& extract) {
+  if (config.adaptive.enabled()) {
+    return monteCarloAdaptive(config, makeProtocol, extract);
+  }
   const auto reps = static_cast<std::size_t>(config.replications);
   std::vector<std::vector<double>> samples(reps);
   forEachChunk(config, [&](std::size_t lo, std::size_t hi) {
@@ -121,6 +239,9 @@ std::vector<std::vector<MetricAggregate>> monteCarloSweep(
     const MonteCarloConfig& config,
     const std::vector<protocols::ProtocolFactory>& makeProtocols,
     const MetricExtractor& extract) {
+  if (config.adaptive.enabled()) {
+    return monteCarloSweepAdaptive(config, makeProtocols, extract);
+  }
   const auto reps = static_cast<std::size_t>(config.replications);
   const std::size_t points = makeProtocols.size();
   // samples[point][rep]: chunks partition the replication axis, so

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/replication_controller.hpp"
 #include "support/statistics.hpp"
 
 namespace nsmodel::sim {
@@ -36,6 +37,15 @@ struct MonteCarloConfig {
   /// Optional cross-call workspace pool so whole sweeps reuse hot
   /// buffers; null leases a private workspace per chunk instead.
   RunWorkspacePool* workspaces = nullptr;
+  /// Adaptive-precision stopping (see replication_controller.hpp).  When
+  /// enabled, `replications` is ignored and replications run in
+  /// deterministic batches until every metric's CI half-width reaches
+  /// adaptive.targetCi (bounded by minReps/maxReps).  Replication k's
+  /// randomness still derives from (seed, k) alone, so the first k
+  /// replications of an adaptive run are bitwise the same runs a fixed
+  /// plan would execute.  Disabled (the default) leaves the fixed path
+  /// untouched and bit-identical.
+  AdaptiveReplication adaptive;
 };
 
 /// Aggregate of one metric over the replications. Metrics may be undefined
@@ -44,6 +54,10 @@ struct MonteCarloConfig {
 struct MetricAggregate {
   support::Summary stats;
   double definedFraction = 0.0;
+  /// Replications actually run for this aggregate: the configured count
+  /// in fixed mode, the realized (convergence-dependent) count in
+  /// adaptive mode.
+  int replications = 0;
 };
 
 /// Extracts metric values from one finished run; use NaN for "undefined".

@@ -1,0 +1,78 @@
+#include "sim/replication_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+void AdaptiveReplication::validate() const {
+  if (!enabled()) return;
+  NSMODEL_CHECK(targetCi > 0.0, "adaptive replication: target CI half-width "
+                                "must be positive");
+  NSMODEL_CHECK(minReps >= 2,
+                "adaptive replication: min-reps must be at least 2 (the "
+                "variance estimate needs two samples)");
+  NSMODEL_CHECK(maxReps >= minReps,
+                "adaptive replication: max-reps must be at least min-reps");
+  NSMODEL_CHECK(confidence > 0.0 && confidence < 1.0,
+                "adaptive replication: confidence must be in (0, 1)");
+}
+
+int AdaptiveReplication::nextTarget(int completed) const {
+  if (completed <= 0) return std::min(minReps, maxReps);
+  const int step = std::max(1, minReps / 2);
+  return std::min(completed + step, maxReps);
+}
+
+ReplicationController::ReplicationController(
+    const AdaptiveReplication& config, int fixedReplications)
+    : config_(config), fixedReplications_(fixedReplications) {
+  config_.validate();
+  NSMODEL_CHECK(fixedReplications_ >= 1, "need at least one replication");
+}
+
+void ReplicationController::addSample(const std::vector<double>& row) {
+  NSMODEL_CHECK(!row.empty(), "replication sample row has no metrics");
+  if (completed_ == 0 && stats_.empty()) {
+    stats_.resize(row.size());
+  }
+  NSMODEL_CHECK(row.size() == stats_.size(),
+                "replication sample rows have inconsistent metric counts");
+  for (std::size_t m = 0; m < row.size(); ++m) {
+    if (!std::isnan(row[m])) stats_[m].add(row[m]);
+  }
+  ++completed_;
+}
+
+int ReplicationController::nextTarget() const {
+  if (!config_.enabled()) return fixedReplications_;
+  return config_.nextTarget(completed_);
+}
+
+bool ReplicationController::done() const {
+  if (!config_.enabled()) return completed_ >= fixedReplications_;
+  if (completed_ >= config_.maxReps) return true;
+  return completed_ >= config_.minReps && converged();
+}
+
+bool ReplicationController::converged() const {
+  if (!config_.enabled() || stats_.empty()) return false;
+  for (const support::RunningStat& stat : stats_) {
+    if (stat.count() < 2) return false;
+    if (stat.confidenceHalfWidth(config_.confidence) > config_.targetCi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const support::RunningStat& ReplicationController::stat(
+    std::size_t metric) const {
+  NSMODEL_CHECK(metric < stats_.size(),
+                "replication controller: metric index out of range");
+  return stats_[metric];
+}
+
+}  // namespace nsmodel::sim

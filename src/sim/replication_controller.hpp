@@ -1,0 +1,110 @@
+// Adaptive-precision replication control for Monte-Carlo aggregation.
+//
+// Fixed replication counts (the paper's 30 random runs) spend the same
+// budget on every grid point, but the points are not equally noisy: a
+// saturated reachability curve converges in a handful of runs while the
+// transition region needs all thirty.  The controller implements the
+// classic sequential stopping rule — keep adding replications until the
+// metric's confidence-interval half-width drops below a target — with two
+// properties the sweep layer depends on:
+//
+//  * Deterministic batching.  Replications are scheduled in fixed batch
+//    boundaries (minReps, then steps of max(1, minReps / 2)) and
+//    convergence is only tested at a boundary, never mid-batch.  A
+//    point's realized replication count is therefore a pure function of
+//    (seed, configuration) — independent of thread count, chunk grain,
+//    and whether the sweep was resumed — which is what keeps adaptive
+//    sweeps journalable and byte-identically resumable.
+//  * Welford moments.  Samples fold into support::RunningStat in
+//    replication order; NaN samples ("metric undefined for this run")
+//    are counted but excluded from the moments, so a mostly-infeasible
+//    point runs to maxReps instead of "converging" on garbage.
+//
+// Bias caveat (documented in DESIGN.md §10): stopping when an interval
+// looks narrow slightly biases the realized CI coverage below the nominal
+// level (the rule peeks at the data).  minReps bounds the worst of it by
+// forbidding a stop before the variance estimate has stabilised; the
+// paper-fidelity gates always run in fixed mode.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/statistics.hpp"
+
+namespace nsmodel::sim {
+
+/// Configuration of the adaptive stopping rule.  Default-constructed =
+/// disabled: fixed replication counts, bit-identical to the pre-adaptive
+/// code path.
+struct AdaptiveReplication {
+  /// Target CI half-width; a point stops once every metric's half-width
+  /// is at or below this.  <= 0 disables adaptive mode entirely.
+  double targetCi = 0.0;
+  /// Replications every point runs before the first convergence test
+  /// (>= 2: the variance estimate needs at least two samples).
+  int minReps = 6;
+  /// Hard ceiling per point (>= minReps).  Adaptive mode always bounds
+  /// the budget: an all-NaN metric would otherwise never converge.
+  int maxReps = 30;
+  /// Two-sided confidence level of the tested interval, in (0, 1).
+  double confidence = 0.95;
+
+  bool enabled() const { return targetCi > 0.0; }
+
+  /// Throws ConfigError when the enabled configuration is inconsistent
+  /// (targetCi <= 0, minReps < 2, maxReps < minReps, confidence outside
+  /// (0, 1)).  No-op when disabled.
+  void validate() const;
+
+  /// The cumulative replication target after `completed` replications:
+  /// minReps for the first batch, then steps of max(1, minReps / 2),
+  /// clamped to maxReps.  Pure schedule — ignores convergence.
+  int nextTarget(int completed) const;
+};
+
+/// Per-point stopping state: folds sample rows (one value per metric,
+/// NaN = undefined) and answers "run another batch?".  Constructed with
+/// the number of fixed replications to fall back on, the controller also
+/// models disabled configurations as a single batch of `fixedReplications`
+/// — callers can drive one unified batch loop for both modes.
+class ReplicationController {
+ public:
+  /// `fixedReplications` is the batch size used when `config` is
+  /// disabled; it must be >= 1.  An enabled config is validated here.
+  ReplicationController(const AdaptiveReplication& config,
+                        int fixedReplications);
+
+  /// Folds one replication's metric row, in replication order.  The first
+  /// row fixes the metric count; later rows must match it.
+  void addSample(const std::vector<double>& row);
+
+  /// Replications folded so far.
+  int completed() const { return completed_; }
+
+  /// The next cumulative replication target (exclusive upper bound of the
+  /// next batch).  Meaningless once done().
+  int nextTarget() const;
+
+  /// True when no further batch should run: converged at a batch
+  /// boundary, or the replication ceiling is reached.
+  bool done() const;
+
+  /// True when every metric's CI half-width is at or below the target
+  /// (each needs >= 2 defined samples).  Always false while no sample has
+  /// been folded; always false in disabled mode (done() uses the ceiling
+  /// alone).
+  bool converged() const;
+
+  /// Welford accumulator of one metric (defined samples only).
+  const support::RunningStat& stat(std::size_t metric) const;
+  std::size_t metricCount() const { return stats_.size(); }
+
+ private:
+  AdaptiveReplication config_;
+  int fixedReplications_;
+  int completed_ = 0;
+  std::vector<support::RunningStat> stats_;
+};
+
+}  // namespace nsmodel::sim

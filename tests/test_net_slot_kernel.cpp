@@ -1,0 +1,293 @@
+// The slot-resolution kernel's contracts (see slot_kernel.hpp):
+//
+//  * every ISA's bumpRow/scanTouched pair resolves a slot exactly like a
+//    plain unpacked count/xor-sender reference — winners in first-touch
+//    order, losers counted, the entries table left zeroed — including
+//    the saturation licence (counts beyond 2 may freeze the word);
+//  * the prefetch hint on bumpRow is semantically inert;
+//  * runtime dispatch (env variable, programmatic override, availability
+//    probing) selects working implementations and rejects unknown ones;
+//  * end to end, oracle/generic/native produce bit-identical runs across
+//    the channel models that use the kernel.
+#include "net/slot_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+namespace {
+
+/// Restores the dispatched kernel (and NSMODEL_SLOT_KERNEL) on scope
+/// exit so one test cannot leak its selection into the next.
+class KernelGuard {
+ public:
+  KernelGuard() {
+    const char* env = std::getenv("NSMODEL_SLOT_KERNEL");
+    if (env != nullptr) saved_ = env;
+    hadEnv_ = env != nullptr;
+  }
+  ~KernelGuard() {
+    if (hadEnv_) {
+      ::setenv("NSMODEL_SLOT_KERNEL", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("NSMODEL_SLOT_KERNEL");
+    }
+    setSlotKernel(defaultSlotKernel());
+  }
+
+ private:
+  std::string saved_;
+  bool hadEnv_ = false;
+};
+
+/// The kernel ISAs whose ops tables exist on this build/CPU (the oracle
+/// has no ops table — channels special-case it).
+std::vector<SlotKernelIsa> runnableIsas() {
+  std::vector<SlotKernelIsa> isas{SlotKernelIsa::Generic};
+  if (slotKernelAvailable(SlotKernelIsa::Native)) {
+    isas.push_back(SlotKernelIsa::Native);
+  }
+  return isas;
+}
+
+/// One slot's worth of bump calls: rows of distinct ids with their
+/// senderBits/add, exactly as a channel would issue them.
+struct BumpCall {
+  std::vector<NodeId> ids;
+  std::uint32_t senderBits = 0;
+  std::uint32_t add = 1;
+};
+
+/// Unpacked reference resolution: explicit count and xor-sender arrays,
+/// no packing, no saturation.  The kernels must reproduce its winners
+/// (in first-touch order), its loser count, and its touched set.
+struct Reference {
+  std::vector<std::uint32_t> count;
+  std::vector<std::uint32_t> senderXor;
+  std::vector<NodeId> touched;
+  std::vector<NodeId> receivers;
+  std::vector<NodeId> senders;
+  std::size_t lost = 0;
+
+  explicit Reference(std::size_t nodes)
+      : count(nodes, 0), senderXor(nodes, 0) {}
+
+  void bump(const BumpCall& call) {
+    for (const NodeId id : call.ids) {
+      if (count[id] == 0) touched.push_back(id);
+      count[id] += call.add;
+      senderXor[id] ^= call.senderBits >> 16;
+    }
+  }
+
+  void scan() {
+    for (const NodeId node : touched) {
+      if (count[node] == 1) {
+        receivers.push_back(node);
+        senders.push_back(static_cast<NodeId>(senderXor[node]));
+      } else {
+        ++lost;
+      }
+      count[node] = 0;
+      senderXor[node] = 0;
+    }
+  }
+};
+
+/// Drives one ops table over the same calls; optionally passes each
+/// call's successor row as the prefetch hint (it must not change
+/// anything).
+struct KernelRun {
+  std::vector<NodeId> touched;
+  std::vector<NodeId> receivers;
+  std::vector<NodeId> senders;
+  std::size_t lost = 0;
+  std::vector<std::uint32_t> entries;
+
+  KernelRun(const SlotKernelOps& ops, std::size_t nodes,
+            const std::vector<BumpCall>& calls, bool withPrefetchHints)
+      : entries(nodes, 0) {
+    // Capacity nodes + 1: the branchless bump writes one scratch slot
+    // past the live region once every node is touched (slot_kernel.hpp).
+    std::vector<NodeId> touchedBuf(nodes + 1);
+    std::size_t tc = 0;
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      const BumpCall& call = calls[i];
+      const NodeId* prefetchIds = nullptr;
+      std::size_t prefetchN = 0;
+      if (withPrefetchHints && i + 1 < calls.size()) {
+        prefetchIds = calls[i + 1].ids.data();
+        prefetchN = calls[i + 1].ids.size();
+      }
+      tc = ops.bumpRow(entries.data(), touchedBuf.data(), tc,
+                       call.ids.data(), call.ids.size(), call.senderBits,
+                       call.add, prefetchIds, prefetchN);
+    }
+    touched.assign(touchedBuf.begin(), touchedBuf.begin() + tc);
+    std::vector<NodeId> receiversBuf(nodes);
+    std::vector<NodeId> sendersBuf(nodes);
+    const std::size_t wins =
+        ops.scanTouched(entries.data(), touchedBuf.data(), tc,
+                        receiversBuf.data(), sendersBuf.data(), &lost);
+    receivers.assign(receiversBuf.begin(), receiversBuf.begin() + wins);
+    senders.assign(sendersBuf.begin(), sendersBuf.begin() + wins);
+  }
+};
+
+/// Random slot workloads: rows are prefixes of fresh shuffles (distinct
+/// ids within a call), lengths straddle the 16-lane vector boundaries,
+/// and a few drift-style double bumps (add = 2, no sender) are mixed in.
+std::vector<BumpCall> randomCalls(std::mt19937& rng, std::size_t nodes,
+                                  std::size_t rowCount) {
+  std::vector<NodeId> all(nodes);
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<BumpCall> calls;
+  for (std::size_t row = 0; row < rowCount; ++row) {
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t lengths[] = {0, 1, 15, 16, 17, 32, 33,
+                                   nodes / 2, nodes};
+    BumpCall call;
+    const std::size_t n = lengths[rng() % std::size(lengths)];
+    call.ids.assign(all.begin(), all.begin() + n);
+    if (rng() % 4 == 0) {
+      call.senderBits = 0;  // drift-style interferer bump
+      call.add = 2;
+    } else {
+      call.senderBits = static_cast<std::uint32_t>(rng() % nodes) << 16;
+      call.add = 1;
+    }
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+TEST(SlotKernel, MatchesUnpackedReferenceOnRandomSlots) {
+  KernelGuard guard;
+  std::mt19937 rng(1234);
+  for (const SlotKernelIsa isa : runnableIsas()) {
+    setSlotKernel(isa);
+    const SlotKernelOps& ops = slotKernelOps();
+    ASSERT_NE(ops.bumpRow, nullptr);
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::size_t nodes = 64 + rng() % 200;
+      const auto calls = randomCalls(rng, nodes, 1 + rng() % 6);
+      Reference ref(nodes);
+      for (const BumpCall& call : calls) ref.bump(call);
+      ref.scan();
+      const KernelRun run(ops, nodes, calls, /*withPrefetchHints=*/false);
+      const std::string label = std::string(ops.name) + " trial " +
+                                std::to_string(trial);
+      EXPECT_EQ(run.touched, ref.touched) << label;
+      EXPECT_EQ(run.receivers, ref.receivers) << label;
+      EXPECT_EQ(run.senders, ref.senders) << label;
+      EXPECT_EQ(run.lost, ref.lost) << label;
+      // scanTouched must leave the table clean for the next slot.
+      for (const std::uint32_t entry : run.entries) EXPECT_EQ(entry, 0u);
+    }
+  }
+}
+
+TEST(SlotKernel, PrefetchHintIsSemanticallyInert) {
+  KernelGuard guard;
+  std::mt19937 rng(99);
+  for (const SlotKernelIsa isa : runnableIsas()) {
+    setSlotKernel(isa);
+    const SlotKernelOps& ops = slotKernelOps();
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::size_t nodes = 64 + rng() % 200;
+      const auto calls = randomCalls(rng, nodes, 2 + rng() % 5);
+      const KernelRun plain(ops, nodes, calls, false);
+      const KernelRun hinted(ops, nodes, calls, true);
+      EXPECT_EQ(plain.touched, hinted.touched);
+      EXPECT_EQ(plain.receivers, hinted.receivers);
+      EXPECT_EQ(plain.senders, hinted.senders);
+      EXPECT_EQ(plain.lost, hinted.lost);
+    }
+  }
+}
+
+TEST(SlotKernelDispatch, NamesAndAvailability) {
+  EXPECT_STREQ(slotKernelIsaName(SlotKernelIsa::Oracle), "oracle");
+  EXPECT_STREQ(slotKernelIsaName(SlotKernelIsa::Generic), "generic");
+  EXPECT_STREQ(slotKernelIsaName(SlotKernelIsa::Native), "native");
+  EXPECT_TRUE(slotKernelAvailable(SlotKernelIsa::Oracle));
+  EXPECT_TRUE(slotKernelAvailable(SlotKernelIsa::Generic));
+}
+
+TEST(SlotKernelDispatch, SetSlotKernelRoundTrips) {
+  KernelGuard guard;
+  setSlotKernel(SlotKernelIsa::Oracle);
+  EXPECT_EQ(slotKernelOps().isa, SlotKernelIsa::Oracle);
+  EXPECT_EQ(slotKernelOps().bumpRow, nullptr);  // channels special-case it
+  setSlotKernel(SlotKernelIsa::Generic);
+  EXPECT_EQ(slotKernelOps().isa, SlotKernelIsa::Generic);
+  EXPECT_NE(slotKernelOps().bumpRow, nullptr);
+}
+
+TEST(SlotKernelDispatch, EnvironmentSelection) {
+  KernelGuard guard;
+  ::setenv("NSMODEL_SLOT_KERNEL", "oracle", 1);
+  EXPECT_EQ(defaultSlotKernel(), SlotKernelIsa::Oracle);
+  ::setenv("NSMODEL_SLOT_KERNEL", "generic", 1);
+  EXPECT_EQ(defaultSlotKernel(), SlotKernelIsa::Generic);
+  ::setenv("NSMODEL_SLOT_KERNEL", "auto", 1);
+  const SlotKernelIsa resolved = defaultSlotKernel();
+  EXPECT_TRUE(resolved == SlotKernelIsa::Native ||
+              resolved == SlotKernelIsa::Generic);
+  ::setenv("NSMODEL_SLOT_KERNEL", "avx9000", 1);
+  EXPECT_THROW(defaultSlotKernel(), ConfigError);
+}
+
+// ---- end to end: every ISA replays the oracle bit for bit ----
+
+sim::ExperimentConfig kernelConfig(net::ChannelModel channel) {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 35.0;
+  cfg.channel = channel;
+  // Drift spill-over exercises the interferer epilogue of the kernel
+  // path (double bumps without a sender).
+  cfg.fault.faultSeed = 13;
+  cfg.fault.drift.maxSkewSlots = 0.4;
+  return cfg;
+}
+
+TEST(SlotKernelEndToEnd, AllIsasMatchTheOracleExactly) {
+  KernelGuard guard;
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.9);
+  };
+  for (const net::ChannelModel channel :
+       {net::ChannelModel::CollisionAware,
+        net::ChannelModel::CarrierSenseAware}) {
+    const sim::ExperimentConfig cfg = kernelConfig(channel);
+    setSlotKernel(SlotKernelIsa::Oracle);
+    const sim::RunResult oracle = sim::runExperiment(cfg, factory, 42, 0);
+    for (const SlotKernelIsa isa : runnableIsas()) {
+      setSlotKernel(isa);
+      const sim::RunResult run = sim::runExperiment(cfg, factory, 42, 0);
+      const std::string label = slotKernelIsaName(isa);
+      EXPECT_EQ(run.receptionSlots(), oracle.receptionSlots()) << label;
+      EXPECT_EQ(run.receptionSlotByNode(), oracle.receptionSlotByNode())
+          << label;
+      EXPECT_EQ(run.transmissionSlots(), oracle.transmissionSlots())
+          << label;
+      EXPECT_EQ(run.attemptedPairs(), oracle.attemptedPairs()) << label;
+      EXPECT_EQ(run.deliveredPairs(), oracle.deliveredPairs()) << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsmodel::net

@@ -1,0 +1,206 @@
+#include "sim/replication_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+AdaptiveReplication enabled(double targetCi, int minReps, int maxReps) {
+  AdaptiveReplication adaptive;
+  adaptive.targetCi = targetCi;
+  adaptive.minReps = minReps;
+  adaptive.maxReps = maxReps;
+  return adaptive;
+}
+
+TEST(AdaptiveReplication, DefaultIsDisabledAndValid) {
+  const AdaptiveReplication adaptive;
+  EXPECT_FALSE(adaptive.enabled());
+  EXPECT_NO_THROW(adaptive.validate());
+}
+
+TEST(AdaptiveReplication, ValidateRejectsInconsistentConfigs) {
+  EXPECT_THROW(enabled(0.1, 1, 30).validate(), ConfigError);
+  EXPECT_THROW(enabled(0.1, 10, 5).validate(), ConfigError);
+  AdaptiveReplication badConfidence = enabled(0.1, 6, 30);
+  badConfidence.confidence = 1.0;
+  EXPECT_THROW(badConfidence.validate(), ConfigError);
+  badConfidence.confidence = 0.0;
+  EXPECT_THROW(badConfidence.validate(), ConfigError);
+  EXPECT_NO_THROW(enabled(0.1, 2, 2).validate());
+}
+
+TEST(AdaptiveReplication, BatchScheduleIsMinThenHalfSteps) {
+  const AdaptiveReplication adaptive = enabled(0.1, 6, 30);
+  EXPECT_EQ(adaptive.nextTarget(0), 6);
+  EXPECT_EQ(adaptive.nextTarget(6), 9);
+  EXPECT_EQ(adaptive.nextTarget(9), 12);
+  EXPECT_EQ(adaptive.nextTarget(28), 30);  // clamped at the ceiling
+  const AdaptiveReplication tiny = enabled(0.1, 2, 4);
+  EXPECT_EQ(tiny.nextTarget(0), 2);
+  EXPECT_EQ(tiny.nextTarget(2), 3);  // step = max(1, minReps / 2) = 1
+  EXPECT_EQ(tiny.nextTarget(3), 4);
+}
+
+TEST(ReplicationController, DisabledModeIsOneFixedBatch) {
+  ReplicationController controller(AdaptiveReplication{}, 8);
+  EXPECT_FALSE(controller.done());
+  EXPECT_EQ(controller.nextTarget(), 8);
+  for (int rep = 0; rep < 8; ++rep) controller.addSample({1.0});
+  EXPECT_TRUE(controller.done());
+  EXPECT_EQ(controller.completed(), 8);
+  // Disabled mode never claims statistical convergence.
+  EXPECT_FALSE(controller.converged());
+}
+
+TEST(ReplicationController, ZeroVarianceConvergesAtMinReps) {
+  ReplicationController controller(enabled(0.01, 4, 30), 30);
+  for (int rep = 0; rep < 4; ++rep) {
+    EXPECT_FALSE(controller.done());
+    controller.addSample({0.7});
+  }
+  EXPECT_TRUE(controller.converged());
+  EXPECT_TRUE(controller.done());
+  EXPECT_EQ(controller.completed(), 4);
+}
+
+TEST(ReplicationController, NoisyMetricRunsToTheCeiling) {
+  // Alternating 0/1 samples: the CI half-width stays far above 1e-6.
+  ReplicationController controller(enabled(1e-6, 2, 7), 30);
+  int rep = 0;
+  while (!controller.done()) {
+    const int target = controller.nextTarget();
+    for (; rep < target; ++rep) controller.addSample({rep % 2 ? 1.0 : 0.0});
+  }
+  EXPECT_EQ(controller.completed(), 7);
+  EXPECT_FALSE(controller.converged());
+}
+
+TEST(ReplicationController, NanSamplesDoNotConverge) {
+  // All-undefined metrics must exhaust the budget, not "converge" on an
+  // empty accumulator.
+  ReplicationController controller(enabled(0.5, 2, 5), 30);
+  while (!controller.done()) controller.addSample({kNaN});
+  EXPECT_EQ(controller.completed(), 5);
+  EXPECT_EQ(controller.stat(0).count(), 0u);
+}
+
+TEST(ReplicationController, AllMetricsMustConverge) {
+  // Metric 0 is constant (converges instantly); metric 1 alternates, so
+  // the pair only stops at the ceiling.
+  ReplicationController controller(enabled(1e-6, 2, 6), 30);
+  int rep = 0;
+  while (!controller.done()) {
+    const int target = controller.nextTarget();
+    for (; rep < target; ++rep) {
+      controller.addSample({0.5, rep % 2 ? 1.0 : 0.0});
+    }
+  }
+  EXPECT_EQ(controller.completed(), 6);
+}
+
+TEST(ReplicationController, InconsistentMetricCountThrows) {
+  ReplicationController controller(enabled(0.1, 2, 6), 30);
+  controller.addSample({1.0, 2.0});
+  EXPECT_THROW(controller.addSample({1.0}), Error);
+  EXPECT_THROW(controller.addSample({}), Error);
+}
+
+// ---- integration with the Monte-Carlo layer ----
+
+MonteCarloConfig smallConfig() {
+  MonteCarloConfig mc;
+  mc.experiment.rings = 4;
+  mc.experiment.neighborDensity = 30.0;
+  mc.seed = 42;
+  mc.replications = 12;
+  return mc;
+}
+
+protocols::ProtocolFactory pb(double p) {
+  return [p] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(p);
+  };
+}
+
+MetricExtractor reachability() {
+  return [](const RunResult& run) {
+    return std::vector<double>{run.finalReachability()};
+  };
+}
+
+TEST(MonteCarloAdaptive, RealizedCountIsDeterministic) {
+  MonteCarloConfig mc = smallConfig();
+  mc.adaptive = enabled(0.05, 3, 12);
+  const auto a = monteCarlo(mc, pb(0.4), reachability());
+  mc.parallel = false;  // chunking must not affect the stopping decision
+  const auto b = monteCarlo(mc, pb(0.4), reachability());
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].replications, b[0].replications);
+  EXPECT_DOUBLE_EQ(a[0].stats.mean, b[0].stats.mean);
+  EXPECT_DOUBLE_EQ(a[0].stats.stddev, b[0].stats.stddev);
+  EXPECT_GE(a[0].replications, 3);
+  EXPECT_LE(a[0].replications, 12);
+}
+
+TEST(MonteCarloAdaptive, UnreachableTargetMatchesFixedRunExactly) {
+  // A hopeless target runs every batch to maxReps; replication k's
+  // randomness derives from (seed, k) alone, so the aggregate must be
+  // bitwise the fixed-maxReps aggregate.
+  MonteCarloConfig adaptive = smallConfig();
+  adaptive.adaptive = enabled(1e-12, 3, 12);
+  MonteCarloConfig fixed = smallConfig();
+  fixed.replications = 12;
+  const auto a = monteCarlo(adaptive, pb(0.3), reachability());
+  const auto f = monteCarlo(fixed, pb(0.3), reachability());
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].replications, 12);
+  EXPECT_EQ(f[0].replications, 12);
+  EXPECT_EQ(a[0].stats.count, f[0].stats.count);
+  EXPECT_EQ(a[0].stats.mean, f[0].stats.mean);
+  EXPECT_EQ(a[0].stats.stddev, f[0].stats.stddev);
+  EXPECT_EQ(a[0].stats.min, f[0].stats.min);
+  EXPECT_EQ(a[0].stats.max, f[0].stats.max);
+  EXPECT_EQ(a[0].definedFraction, f[0].definedFraction);
+}
+
+TEST(MonteCarloAdaptive, FixedModeReportsConfiguredCount) {
+  const auto aggs = monteCarlo(smallConfig(), pb(0.3), reachability());
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_EQ(aggs[0].replications, 12);
+}
+
+TEST(MonteCarloSweepAdaptive, PrunesConvergedPointsIndependently) {
+  // p = 1.0 floods every run (near-zero variance at this density);
+  // p = 0.2 sits in the noisy transition region.  The flooded point must
+  // stop earlier, and every realized count must match a standalone
+  // adaptive monteCarlo at the same point (pruning cannot change the
+  // samples a point sees).
+  MonteCarloConfig mc = smallConfig();
+  mc.adaptive = enabled(0.04, 3, 12);
+  const std::vector<protocols::ProtocolFactory> factories{pb(0.2), pb(1.0)};
+  const auto sweep = monteCarloSweep(mc, factories, reachability());
+  ASSERT_EQ(sweep.size(), 2u);
+  const auto lone0 = monteCarlo(mc, pb(0.2), reachability());
+  const auto lone1 = monteCarlo(mc, pb(1.0), reachability());
+  EXPECT_EQ(sweep[0][0].replications, lone0[0].replications);
+  EXPECT_EQ(sweep[1][0].replications, lone1[0].replications);
+  EXPECT_EQ(sweep[0][0].stats.mean, lone0[0].stats.mean);
+  EXPECT_EQ(sweep[1][0].stats.mean, lone1[0].stats.mean);
+  EXPECT_LE(sweep[1][0].replications, sweep[0][0].replications);
+}
+
+}  // namespace
+}  // namespace nsmodel::sim

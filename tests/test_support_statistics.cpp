@@ -101,6 +101,72 @@ TEST(RunningStat, InvalidConfidenceLevelThrows) {
   EXPECT_THROW(stat.confidenceHalfWidth(1.0), Error);
 }
 
+TEST(RunningStat, HalfWidthIsZeroBelowTwoSamples) {
+  // The adaptive replication controller must never read a "converged"
+  // half-width out of an empty or single-sample accumulator; below two
+  // samples there is no variance estimate and the half-width is 0.
+  RunningStat stat;
+  EXPECT_DOUBLE_EQ(stat.confidenceHalfWidth(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(stat.standardError(), 0.0);
+  stat.add(3.0);
+  EXPECT_DOUBLE_EQ(stat.confidenceHalfWidth(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(stat.standardError(), 0.0);
+}
+
+TEST(RunningStat, ZeroVarianceHasZeroHalfWidth) {
+  RunningStat stat;
+  for (int i = 0; i < 10; ++i) stat.add(0.25);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.confidenceHalfWidth(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(stat.confidenceHalfWidth(0.99), 0.0);
+}
+
+TEST(RunningStat, HalfWidthMatchesTheNormalTable) {
+  // n samples of known variance: half-width = z * s / sqrt(n) with the
+  // textbook z values (1.645 / 1.960 / 2.576 at 90 / 95 / 99%).
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  const double se = std::sqrt((32.0 / 7.0) / 8.0);
+  EXPECT_NEAR(stat.confidenceHalfWidth(0.90), 1.644854 * se, 1e-5);
+  EXPECT_NEAR(stat.confidenceHalfWidth(0.95), 1.959964 * se, 1e-5);
+  EXPECT_NEAR(stat.confidenceHalfWidth(0.99), 2.575829 * se, 1e-5);
+}
+
+TEST(RunningStat, MergeIsOrderIndependent) {
+  Rng rng(4);
+  std::vector<RunningStat> parts(4);
+  RunningStat whole;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-2.0, 7.0);
+    whole.add(x);
+    parts[i % 4].add(x);
+  }
+  RunningStat forward;  // ((0 + 1) + 2) + 3
+  for (const RunningStat& part : parts) forward.merge(part);
+  RunningStat backward;  // ((3 + 2) + 1) + 0
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    backward.merge(*it);
+  }
+  EXPECT_EQ(forward.count(), whole.count());
+  EXPECT_EQ(backward.count(), whole.count());
+  EXPECT_NEAR(forward.mean(), backward.mean(), 1e-12);
+  EXPECT_NEAR(forward.variance(), backward.variance(), 1e-10);
+  EXPECT_NEAR(forward.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(forward.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(forward.min(), backward.min());
+  EXPECT_DOUBLE_EQ(forward.max(), backward.max());
+}
+
+TEST(Summarize, SingleSampleHasNoSpread) {
+  const Summary s = summarize({2.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ciHalfWidth95, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.5);
+}
+
 TEST(Summarize, EmptyVector) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);

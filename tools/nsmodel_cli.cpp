@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -40,6 +41,7 @@
 #include "protocols/probabilistic.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/reliable.hpp"
+#include "sim/replication_controller.hpp"
 #include "sim/robust_sweep.hpp"
 #include "sim/scenario_cache.hpp"
 #include "support/cli_args.hpp"
@@ -68,10 +70,12 @@ using support::CliArgs;
       "  optimize: --metric=reach-latency:5|latency-reach:0.7|\n"
       "            energy-reach:0.7|reach-energy:35\n"
       "  sweep:    --metric=... [--sim] [--csv=out.csv]\n"
+      "            [--target-ci=W [--min-reps=6] [--max-reps=REPS]]\n"
       "  reliable: [--no-acks] [--max-rounds=2000]\n"
       "  robust-sweep: --metric=... [--journal=PATH [--resume]]\n"
       "            [--timeout=SECONDS] [--retries=1] [--serial]\n"
-      "            [--csv=out.csv]\n");
+      "            [--csv=out.csv]\n"
+      "            [--target-ci=W [--min-reps=6] [--max-reps=REPS]]\n");
   std::exit(2);
 }
 
@@ -117,6 +121,31 @@ analytic::RealKPolicy policyFromFlag(const CliArgs& args) {
   if (name == "interp") return analytic::RealKPolicy::Interpolate;
   if (name == "poisson") return analytic::RealKPolicy::Poisson;
   throw ConfigError("unknown policy: " + name + " (interp, poisson)");
+}
+
+/// Reads the adaptive-replication flags shared by sweep and robust-sweep.
+/// Disabled (fixed replication counts) when --target-ci is absent;
+/// --min-reps/--max-reps without a target are rejected so a typo cannot
+/// silently run the fixed plan.  --max-reps defaults to the fixed --reps
+/// count: adaptive mode never runs more replications per point than the
+/// fixed plan it replaces.
+sim::AdaptiveReplication adaptiveFromFlags(const CliArgs& args,
+                                           int fixedReps) {
+  sim::AdaptiveReplication adaptive;
+  if (!args.has("target-ci")) {
+    if (args.has("min-reps") || args.has("max-reps")) {
+      throw ConfigError("--min-reps/--max-reps require --target-ci");
+    }
+    return adaptive;
+  }
+  adaptive.targetCi = args.getDouble("target-ci", 0.0);
+  if (adaptive.targetCi <= 0.0) {
+    throw ConfigError("--target-ci must be positive");
+  }
+  adaptive.minReps = static_cast<int>(args.getInt("min-reps", 6));
+  adaptive.maxReps = static_cast<int>(args.getInt("max-reps", fixedReps));
+  adaptive.validate();
+  return adaptive;
 }
 
 core::NetworkModel modelFromFlags(const CliArgs& args) {
@@ -327,29 +356,48 @@ int cmdSweep(const CliArgs& args) {
   const std::string csvPath = args.getString("csv", "");
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   const int reps = static_cast<int>(args.getInt("reps", 30));
+  const sim::AdaptiveReplication adaptive = adaptiveFromFlags(args, reps);
   rejectUnknownFlags(args);
+  if (adaptive.enabled() && !simulated) {
+    throw ConfigError("--target-ci requires --sim (the analytic sweep has "
+                      "no replications)");
+  }
 
   const auto grid = simulated ? core::ProbabilityGrid::simulation()
                               : core::ProbabilityGrid::analytic();
-  support::TablePrinter table({"p", "objective"});
+  // Adaptive mode reports the realized replication count per point; the
+  // fixed-mode table and CSV keep their historical two-column layout.
+  std::vector<std::string> columns{"p", "objective"};
+  if (adaptive.enabled()) columns.push_back("reps");
+  support::TablePrinter table(columns);
   std::unique_ptr<support::CsvWriter> csv;
   if (!csvPath.empty()) {
-    csv = std::make_unique<support::CsvWriter>(
-        csvPath, std::vector<std::string>{"p", "objective"});
+    csv = std::make_unique<support::CsvWriter>(csvPath, columns);
   }
   for (double p : grid.values()) {
     std::optional<double> value;
+    int realized = 0;
     if (simulated) {
-      const auto agg = model.measure(p, spec, seed, reps);
+      const auto agg = model.measure(p, spec, seed, reps, nullptr, true,
+                                     nullptr, adaptive);
       if (agg.definedFraction >= 0.5) value = agg.stats.mean;
+      realized = agg.replications;
     } else {
       value = core::evaluateMetric(spec, model.predict(p, policy));
     }
     const std::string cell =
         value ? support::formatDouble(*value, 4) : std::string("-");
-    table.addRow({support::formatDouble(p, 2), cell});
+    std::vector<std::string> row{support::formatDouble(p, 2), cell};
+    if (adaptive.enabled()) row.push_back(std::to_string(realized));
+    table.addRow(row);
     if (csv && value) {
-      csv->addRow(std::vector<double>{p, *value});
+      if (adaptive.enabled()) {
+        csv->addRow(std::vector<std::string>{
+            support::formatDouble(p, 6), support::formatDouble(*value, 6),
+            std::to_string(realized)});
+      } else {
+        csv->addRow(std::vector<double>{p, *value});
+      }
     }
   }
   table.print(std::cout);
@@ -392,6 +440,7 @@ int cmdRobustSweep(const CliArgs& args) {
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   const int reps = static_cast<int>(args.getInt("reps", 30));
   NSMODEL_CHECK(reps >= 1, "--reps must be at least 1");
+  const sim::AdaptiveReplication adaptive = adaptiveFromFlags(args, reps);
   const std::string csvPath = args.getString("csv", "");
 
   sim::RobustSweepOptions options;
@@ -422,33 +471,52 @@ int cmdRobustSweep(const CliArgs& args) {
     const auto factory = [p] {
       return std::make_unique<protocols::ProbabilisticBroadcast>(p);
     };
+    // One batch loop for both modes: a disabled controller schedules a
+    // single batch of `reps`, reproducing the fixed sweep byte for byte;
+    // an enabled one adds batches until the CI target (or max-reps) is
+    // hit.  The realized count lands in the journalled CSV row, so a
+    // resumed adaptive sweep replays it verbatim instead of re-deciding.
+    sim::ReplicationController controller(adaptive, reps);
     std::vector<double> values;
     std::size_t defined = 0;
-    for (int rep = 0; rep < reps; ++rep) {
-      deadline.check("robust-sweep point");
-      const sim::RunResult run =
-          sim::runExperiment(experiment, factory, pointSeed,
-                             static_cast<std::uint64_t>(rep),
-                             attempt == 0 ? &cache : nullptr);
-      if (const auto value = core::evaluateMetric(spec, run)) {
-        values.push_back(*value);
-        ++defined;
+    int rep = 0;
+    while (!controller.done()) {
+      const int target = controller.nextTarget();
+      for (; rep < target; ++rep) {
+        deadline.check("robust-sweep point");
+        const sim::RunResult run =
+            sim::runExperiment(experiment, factory, pointSeed,
+                               static_cast<std::uint64_t>(rep),
+                               attempt == 0 ? &cache : nullptr);
+        const auto value = core::evaluateMetric(spec, run);
+        controller.addSample(
+            {value ? *value : std::numeric_limits<double>::quiet_NaN()});
+        if (value) {
+          values.push_back(*value);
+          ++defined;
+        }
       }
     }
+    const int realized = controller.completed();
     const support::Summary stats = support::summarize(values);
     const double definedFraction =
-        static_cast<double>(defined) / static_cast<double>(reps);
-    return support::formatDouble(p, 2) + "," +
-           (defined > 0 ? support::formatDouble(stats.mean, 6)
-                        : std::string("nan")) +
-           "," + support::formatDouble(stats.ciHalfWidth95, 6) + "," +
-           support::formatDouble(definedFraction, 4);
+        static_cast<double>(defined) / static_cast<double>(realized);
+    std::string row = support::formatDouble(p, 2) + "," +
+                      (defined > 0 ? support::formatDouble(stats.mean, 6)
+                                   : std::string("nan")) +
+                      "," + support::formatDouble(stats.ciHalfWidth95, 6) +
+                      "," + support::formatDouble(definedFraction, 4);
+    if (adaptive.enabled()) row += "," + std::to_string(realized);
+    return row;
   };
 
   const sim::RobustSweepResult result =
       sim::runRobustSweep(grid.size(), point, options);
 
-  const std::string csv = result.csv("p,objective,ci95,defined");
+  const std::string header = adaptive.enabled()
+                                 ? "p,objective,ci95,defined,reps"
+                                 : "p,objective,ci95,defined";
+  const std::string csv = result.csv(header);
   if (csvPath.empty()) {
     std::fputs(csv.c_str(), stdout);
   } else {
