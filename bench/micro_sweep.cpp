@@ -11,7 +11,8 @@
 //  * replication throughput: repeated single runs of a dense deployment
 //    (rho = 100, N = 2500) through the DES engine vs. the flat slot
 //    loop, both on one reused workspace — runs/second of the hot
-//    Monte-Carlo inner loop.
+//    Monte-Carlo inner loop — plus the lockstep batch backend against
+//    the flat loop at rho = 100 and at the collision-bound rho = 140.
 //
 // Every accelerated path must reproduce its baseline bit for bit; the
 // binary exits non-zero if any does not, so it doubles as a CI smoke
@@ -22,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +32,8 @@
 #include "bench_common.hpp"
 #include "net/slot_kernel.hpp"
 #include "protocols/probabilistic.hpp"
+#include "sim/batch_workspace.hpp"
+#include "sim/experiment_batch.hpp"
 #include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
 
@@ -266,6 +270,105 @@ int main(int argc, char** argv) {
               flatWall, flatRate, runSpeedup,
               runsIdentical ? "bit-identical" : "MISMATCH");
 
+  // ---- batched lanes: lockstep SoA batch vs the flat loop ----
+  // Same-scenario convention: every lane replays scenario stream 0 with
+  // the scenario's protocol rng, so every signature must agree bit for
+  // bit with the flat loop's.  Timing alternates short flat/batched
+  // segments and keeps each side's best (the slot-kernel convention
+  // below), so frequency drift hits both sides instead of poisoning one.
+  const int batchLanes = 8;
+  const int batchSegments = 4;
+  const int batchSegmentRuns = opts.fast ? 8 : 16;  // multiple of batchLanes
+  const int batchRuns = batchSegments * batchSegmentRuns;
+  nsmodel::sim::BatchWorkspace batchWorkspace;
+  const auto timeFlatSegment =
+      [&](const nsmodel::sim::ExperimentConfig& cfg,
+          const nsmodel::sim::Scenario& scenario,
+          nsmodel::protocols::BroadcastProtocol& protocol,
+          std::vector<RunSignature>& signatures) {
+        {
+          nsmodel::support::Rng rng = scenario.protocolRng;
+          runWorkspace.reclaim(nsmodel::sim::runBroadcast(
+              cfg, scenario.deployment, scenario.topology, protocol, rng,
+              runWorkspace));
+        }
+        const auto t0 = Clock::now();
+        for (int rep = 0; rep < batchSegmentRuns; ++rep) {
+          nsmodel::support::Rng rng = scenario.protocolRng;
+          nsmodel::sim::RunResult result = nsmodel::sim::runBroadcast(
+              cfg, scenario.deployment, scenario.topology, protocol, rng,
+              runWorkspace);
+          signatures.emplace_back(result.receptionSlots(),
+                                  result.receptionSlotByNode());
+          runWorkspace.reclaim(std::move(result));
+        }
+        return seconds(t0, Clock::now());
+      };
+  using ProtocolVec =
+      std::vector<std::unique_ptr<nsmodel::protocols::BroadcastProtocol>>;
+  const auto timeBatchSegment = [&](const nsmodel::sim::ExperimentConfig& cfg,
+                                    const nsmodel::sim::Scenario& scenario,
+                                    ProtocolVec& protos,
+                                    std::vector<RunSignature>& signatures) {
+    // Lanes are rebuilt per group: runBroadcastBatch advances each
+    // lane's rng in place, and every group must restart from the
+    // scenario's stream position.
+    const auto freshLanes = [&] {
+      std::vector<nsmodel::sim::BatchLane> lanes;
+      lanes.reserve(protos.size());
+      for (auto& p : protos) {
+        lanes.push_back(nsmodel::sim::BatchLane{
+            &scenario.deployment, &scenario.topology, p.get(),
+            scenario.protocolRng, nullptr});
+      }
+      return lanes;
+    };
+    {
+      auto lanes = freshLanes();
+      auto warm = nsmodel::sim::runBroadcastBatch(cfg, lanes, batchWorkspace);
+      for (auto& r : warm) batchWorkspace.reclaim(std::move(r));
+    }
+    const auto t0 = Clock::now();
+    for (int group = 0; group < batchSegmentRuns / batchLanes; ++group) {
+      auto lanes = freshLanes();
+      auto results =
+          nsmodel::sim::runBroadcastBatch(cfg, lanes, batchWorkspace);
+      for (auto& r : results) {
+        signatures.emplace_back(r.receptionSlots(), r.receptionSlotByNode());
+        batchWorkspace.reclaim(std::move(r));
+      }
+    }
+    return seconds(t0, Clock::now());
+  };
+  runCfg.driver = nsmodel::sim::SlotDriver::FlatLoop;
+  ProtocolVec batchProtos100;
+  for (int k = 0; k < batchLanes; ++k) {
+    batchProtos100.push_back(
+        std::make_unique<nsmodel::protocols::ProbabilisticBroadcast>(0.6));
+  }
+  std::vector<RunSignature> flat100Sigs;
+  std::vector<RunSignature> batch100Sigs;
+  double flat100Best = 0.0;
+  double batch100Best = 0.0;
+  for (int seg = 0; seg < batchSegments; ++seg) {
+    const double f =
+        timeFlatSegment(runCfg, runScenario, runProtocol, flat100Sigs);
+    const double b = timeBatchSegment(runCfg, runScenario, batchProtos100,
+                                      batch100Sigs);
+    if (seg == 0 || f < flat100Best) flat100Best = f;
+    if (seg == 0 || b < batch100Best) batch100Best = b;
+  }
+  const double flatRefWall = flat100Best * batchSegments;
+  const double batch100Wall = batch100Best * batchSegments;
+  const bool batch100Identical = flat100Sigs == batch100Sigs;
+  const double batch100Rate =
+      batch100Wall > 0.0 ? batchRuns / batch100Wall : 0.0;
+  const double batch100Speedup =
+      batch100Wall > 0.0 ? flatRefWall / batch100Wall : 0.0;
+  std::printf("replication batched x%d   %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
+              batchLanes, batch100Wall, batch100Rate, batch100Speedup,
+              batch100Identical ? "bit-identical" : "MISMATCH");
+
   // ---- slot kernel: oracle scatter vs dispatched kernel ----
   // Collision-bound regime: the paper's densest deployment (rho = 140,
   // N = 3500) under flooding PB (p = 1.0), where every reached node
@@ -334,6 +437,41 @@ int main(int argc, char** argv) {
   std::printf("slot kernel %-8s     %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
               kernelName, kernelWall, kernelRate, kernelSpeedup,
               kernelIdentical ? "bit-identical" : "MISMATCH");
+
+  // ---- batched lanes at the collision-bound density ----
+  // rho = 140 under flooding (p = 1.0) on the dispatched kernel — the
+  // regime the batch backend targets.  Interleaved flat/batched
+  // segments as above.
+  ProtocolVec batchProtos140;
+  for (int k = 0; k < batchLanes; ++k) {
+    batchProtos140.push_back(
+        std::make_unique<nsmodel::protocols::ProbabilisticBroadcast>(1.0));
+  }
+  std::vector<RunSignature> flat140Sigs;
+  std::vector<RunSignature> batch140Sigs;
+  double flat140Best = 0.0;
+  double batch140Best = 0.0;
+  for (int seg = 0; seg < batchSegments; ++seg) {
+    const double f = timeFlatSegment(kernelCfg, kernelScenario,
+                                     kernelProtocol, flat140Sigs);
+    const double b = timeBatchSegment(kernelCfg, kernelScenario,
+                                      batchProtos140, batch140Sigs);
+    if (seg == 0 || f < flat140Best) flat140Best = f;
+    if (seg == 0 || b < batch140Best) batch140Best = b;
+  }
+  const double flat140Wall = flat140Best * batchSegments;
+  const double batch140Wall = batch140Best * batchSegments;
+  const bool batch140Identical = flat140Sigs == batch140Sigs;
+  const double flat140Rate = flat140Wall > 0.0 ? batchRuns / flat140Wall : 0.0;
+  const double batch140Rate =
+      batch140Wall > 0.0 ? batchRuns / batch140Wall : 0.0;
+  const double batch140Speedup =
+      batch140Wall > 0.0 ? flat140Wall / batch140Wall : 0.0;
+  std::printf("rho140 flat loop         %7.2fs  %8.1f runs/s\n", flat140Wall,
+              flat140Rate);
+  std::printf("rho140 batched x%d        %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
+              batchLanes, batch140Wall, batch140Rate, batch140Speedup,
+              batch140Identical ? "bit-identical" : "MISMATCH");
 
   // ---- adaptive replication: fixed count vs CI-targeted stopping ----
   // The accelerated fixed sweep above doubles as the quality reference:
@@ -458,8 +596,30 @@ int main(int argc, char** argv) {
                "\"runs_per_s\": %.1f},\n",
                flatWall, flatRate);
   std::fprintf(out, "    \"speedup\": %.3f,\n", runSpeedup);
-  std::fprintf(out, "    \"bit_identical\": %s\n",
+  std::fprintf(out, "    \"bit_identical\": %s,\n",
                runsIdentical ? "true" : "false");
+  std::fprintf(out,
+               "    \"batched\": {\"wall_s\": %.6f, \"runs_per_s\": %.1f, "
+               "\"lanes\": %d, \"runs\": %d, \"speedup\": %.3f, "
+               "\"bit_identical\": %s},\n",
+               batch100Wall, batch100Rate, batchLanes, batchRuns,
+               batch100Speedup, batch100Identical ? "true" : "false");
+  std::fprintf(out, "    \"rho140\": {\n");
+  std::fprintf(out, "      \"density\": %.0f,\n",
+               kernelCfg.neighborDensity);
+  std::fprintf(out, "      \"nodes\": %zu,\n",
+               kernelScenario.topology.nodeCount());
+  std::fprintf(out, "      \"runs\": %d,\n", batchRuns);
+  std::fprintf(out,
+               "      \"flat_loop\": {\"wall_s\": %.6f, "
+               "\"runs_per_s\": %.1f},\n",
+               flat140Wall, flat140Rate);
+  std::fprintf(out,
+               "      \"batched\": {\"wall_s\": %.6f, \"runs_per_s\": %.1f, "
+               "\"lanes\": %d, \"speedup\": %.3f, \"bit_identical\": %s}\n",
+               batch140Wall, batch140Rate, batchLanes, batch140Speedup,
+               batch140Identical ? "true" : "false");
+  std::fprintf(out, "    }\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"slot_kernel\": {\n");
   std::fprintf(out, "    \"density\": %.0f,\n", kernelCfg.neighborDensity);
@@ -499,7 +659,8 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("%s %s\n", opts.append ? "appended to" : "wrote", path);
 
-  if (!simIdentical || !anIdentical || !runsIdentical || !kernelIdentical) {
+  if (!simIdentical || !anIdentical || !runsIdentical || !kernelIdentical ||
+      !batch100Identical || !batch140Identical) {
     std::fprintf(stderr,
                  "error: accelerated sweep diverged from the baseline\n");
     return 1;

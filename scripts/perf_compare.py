@@ -17,13 +17,16 @@ it.
 import json
 import sys
 
-# section -> (subsection, leaf) of the wall to track.
+# label -> key path (from the record root) of the wall to track.
 SECTION_WALLS = {
-    "sim_sweep": ("accelerated", "wall_s"),
-    "analytic_sweep": ("accelerated", "wall_s"),
-    "replication_throughput": ("flat_loop", "wall_s"),
-    "slot_kernel": ("kernel", "wall_s"),
-    "adaptive": ("adaptive", "wall_s"),
+    "sim_sweep": ("sim_sweep", "accelerated", "wall_s"),
+    "analytic_sweep": ("analytic_sweep", "accelerated", "wall_s"),
+    "replication_throughput": ("replication_throughput", "flat_loop", "wall_s"),
+    "replication_batched": ("replication_throughput", "batched", "wall_s"),
+    "rho140_flat": ("replication_throughput", "rho140", "flat_loop", "wall_s"),
+    "rho140_batched": ("replication_throughput", "rho140", "batched", "wall_s"),
+    "slot_kernel": ("slot_kernel", "kernel", "wall_s"),
+    "adaptive": ("adaptive", "adaptive", "wall_s"),
 }
 THRESHOLD = 1.15
 
@@ -48,9 +51,12 @@ def parse_records(text):
         records[key] = record
 
 
-def wall(record, section):
-    subsection, leaf = SECTION_WALLS[section]
-    value = record.get(section, {}).get(subsection, {}).get(leaf)
+def wall(record, path):
+    value = record
+    for key in path:
+        if not isinstance(value, dict):
+            return None
+        value = value.get(key)
     return value if isinstance(value, (int, float)) and value > 0 else None
 
 
@@ -67,9 +73,17 @@ def main():
         if key not in ref:
             print(f"  {label}: no committed reference record, skipping")
             continue
-        for section in SECTION_WALLS:
-            now, then = wall(record, section), wall(ref[key], section)
-            if now is None or then is None:
+        for section, path in SECTION_WALLS.items():
+            now, then = wall(record, path), wall(ref[key], path)
+            if now is None and then is None:
+                continue
+            if then is None:
+                print(f"  {label} {section}: new section (no reference), "
+                      "skipping")
+                continue
+            if now is None:
+                print(f"  {label} {section}: section absent from the new "
+                      "record, skipping")
                 continue
             ratio = now / then
             verdict = "REGRESSED" if ratio > THRESHOLD else "ok"

@@ -11,7 +11,10 @@
 # BENCH_sweep.json (matched by the (bench, fast, threads, seed) key): a
 # section more than 15% slower than its committed wall clock fails the
 # run locally and warns in CI, where shared runners make wall-clock
-# comparisons advisory (CI is set by GitHub Actions).
+# comparisons advisory (CI is set by GitHub Actions).  The gated
+# sections include the batched replication throughput (rho = 100 and
+# rho = 140), so a regression in the lockstep batch backend trips the
+# same 15% threshold as the scalar paths.
 #
 # Usage: scripts/perf_smoke.sh [path/to/micro_sweep]
 set -euo pipefail

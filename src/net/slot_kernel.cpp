@@ -19,6 +19,12 @@ std::size_t bumpRow(std::uint32_t* entries, NodeId* touched,
 std::size_t scanTouched(std::uint32_t* entries, const NodeId* touched,
                         std::size_t n, NodeId* receivers, NodeId* senders,
                         std::size_t* lost);
+std::size_t scanTouchedRO(const std::uint32_t* entries, const NodeId* touched,
+                          std::size_t n, NodeId* receivers, NodeId* senders,
+                          std::size_t* lost);
+std::size_t filterActionable(const std::uint32_t* status,
+                             const NodeId* receivers, std::size_t n,
+                             std::uint32_t* outIdx);
 bool runtimeSupported();
 }  // namespace generic
 #if NSMODEL_SLOT_KERNEL_NATIVE
@@ -31,22 +37,102 @@ std::size_t bumpRow(std::uint32_t* entries, NodeId* touched,
 std::size_t scanTouched(std::uint32_t* entries, const NodeId* touched,
                         std::size_t n, NodeId* receivers, NodeId* senders,
                         std::size_t* lost);
+std::size_t scanTouchedRO(const std::uint32_t* entries, const NodeId* touched,
+                          std::size_t n, NodeId* receivers, NodeId* senders,
+                          std::size_t* lost);
+std::size_t filterActionable(const std::uint32_t* status,
+                             const NodeId* receivers, std::size_t n,
+                             std::uint32_t* outIdx);
 bool runtimeSupported();
 }  // namespace native
 #endif
+
+// Scalar reference loops for the Oracle table.  The channels never reach
+// these (they dispatch to their own reference path on isa == Oracle);
+// only the batched replication driver does, so that
+// NSMODEL_SLOT_KERNEL=oracle exercises it with plain unvectorized code.
+namespace oracle {
+namespace {
+std::size_t bumpRow(std::uint32_t* entries, NodeId* touched,
+                    std::size_t touchedCount, const NodeId* ids,
+                    std::size_t n, std::uint32_t senderBits,
+                    std::uint32_t add, const NodeId* /*prefetchIds*/,
+                    std::size_t /*prefetchN*/) {
+  std::size_t tc = touchedCount;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = ids[i];
+    const std::uint32_t e = entries[node];
+    touched[tc] = node;  // kept only when this is a first touch
+    tc += static_cast<std::size_t>(static_cast<std::uint16_t>(e) == 0);
+    entries[node] = (e + add) ^ senderBits;
+  }
+  return tc;
+}
+
+std::size_t scanTouched(std::uint32_t* entries, const NodeId* touched,
+                        std::size_t n, NodeId* receivers, NodeId* senders,
+                        std::size_t* lost) {
+  std::size_t wins = 0;
+  std::size_t lostLocal = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = touched[i];
+    const std::uint32_t e = entries[node];
+    entries[node] = 0;
+    const bool win = (e & 0xFFFF) == 1;
+    receivers[wins] = node;
+    senders[wins] = static_cast<NodeId>(e >> 16);
+    wins += static_cast<std::size_t>(win);
+    lostLocal += static_cast<std::size_t>(!win);
+  }
+  *lost += lostLocal;
+  return wins;
+}
+
+std::size_t scanTouchedRO(const std::uint32_t* entries, const NodeId* touched,
+                          std::size_t n, NodeId* receivers, NodeId* senders,
+                          std::size_t* lost) {
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = touched[i];
+    const std::uint32_t e = entries[node];
+    receivers[wins] = node;  // kept only on a win
+    senders[wins] = static_cast<NodeId>(e >> 16);
+    wins += static_cast<std::size_t>((e & 0xFFFF) == 1);
+  }
+  *lost += n - wins;
+  return wins;
+}
+
+std::size_t filterActionable(const std::uint32_t* status,
+                             const NodeId* receivers, std::size_t n,
+                             std::uint32_t* outIdx) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t s = status[receivers[i]];
+    outIdx[count] = static_cast<std::uint32_t>(i);
+    count += static_cast<std::size_t>((s & 1u) == 0u || (s & 7u) == 3u);
+  }
+  return count;
+}
+}  // namespace
+}  // namespace oracle
 }  // namespace detail
 
 namespace {
 
-const SlotKernelOps kOracleOps{SlotKernelIsa::Oracle, "oracle", nullptr,
-                               nullptr};
-const SlotKernelOps kGenericOps{SlotKernelIsa::Generic, "generic",
-                                &detail::generic::bumpRow,
-                                &detail::generic::scanTouched};
+const SlotKernelOps kOracleOps{
+    SlotKernelIsa::Oracle,        "oracle",
+    &detail::oracle::bumpRow,     &detail::oracle::scanTouched,
+    &detail::oracle::scanTouchedRO, &detail::oracle::filterActionable};
+const SlotKernelOps kGenericOps{
+    SlotKernelIsa::Generic,        "generic",
+    &detail::generic::bumpRow,     &detail::generic::scanTouched,
+    &detail::generic::scanTouchedRO, &detail::generic::filterActionable};
 #if NSMODEL_SLOT_KERNEL_NATIVE
-const SlotKernelOps kNativeOps{SlotKernelIsa::Native, "native",
-                               &detail::native::bumpRow,
-                               &detail::native::scanTouched};
+const SlotKernelOps kNativeOps{
+    SlotKernelIsa::Native,        "native",
+    &detail::native::bumpRow,     &detail::native::scanTouched,
+    &detail::native::scanTouchedRO, &detail::native::filterActionable};
 #endif
 
 const SlotKernelOps* opsFor(SlotKernelIsa isa) {

@@ -48,8 +48,12 @@ enum class SlotKernelIsa {
 /// Lower-case name ("oracle", "generic", "native").
 const char* slotKernelIsaName(SlotKernelIsa isa);
 
-/// The dispatched inner loops.  `bumpRow`/`scanTouched` are null only for
-/// the Oracle entry, which channels special-case to their reference path.
+/// The dispatched inner loops.  Every entry of every table is non-null;
+/// the Oracle's point at plain scalar reference loops.  Channels still
+/// special-case isa == Oracle to their original packed-scatter path
+/// (dispatch is on `isa`, not the pointers); the batched replication
+/// driver in sim/experiment_batch.cpp uses the tables uniformly, so
+/// NSMODEL_SLOT_KERNEL=oracle runs it on unvectorized reference code.
 struct SlotKernelOps {
   SlotKernelIsa isa;
   const char* name;
@@ -72,6 +76,24 @@ struct SlotKernelOps {
   std::size_t (*scanTouched)(std::uint32_t* entries, const NodeId* touched,
                              std::size_t n, NodeId* receivers,
                              NodeId* senders, std::size_t* lost);
+  /// Read-only variant of scanTouched for the batched driver: identical
+  /// winner selection and order, but the entries are left untouched so
+  /// the caller can clear the table in bulk afterwards — a memset beats
+  /// the per-entry random-access zeroing once most nodes were touched.
+  std::size_t (*scanTouchedRO)(const std::uint32_t* entries,
+                               const NodeId* touched, std::size_t n,
+                               NodeId* receivers, NodeId* senders,
+                               std::size_t* lost);
+  /// Compresses the ascending indices i in [0, n) whose receiver's packed
+  /// lane-status word makes the delivery actionable: first receptions
+  /// ((status & 1) == 0) and duplicates with a live pending transmission
+  /// ((status & 7) == 3).  Returns the count.  `outIdx` needs capacity n.
+  /// Status-word layout: sim/experiment_batch.cpp.  Only valid when the
+  /// run has no per-delivery side effects beyond the status machine (no
+  /// link-loss plan, no energy ledger) — the caller checks.
+  std::size_t (*filterActionable)(const std::uint32_t* status,
+                                  const NodeId* receivers, std::size_t n,
+                                  std::uint32_t* outIdx);
 };
 
 /// Whether `isa` can run here (Native needs the TU configured in at build

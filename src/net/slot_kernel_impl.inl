@@ -146,6 +146,96 @@ std::size_t scanTouched(std::uint32_t* __restrict entries,
   return wins;
 }
 
+std::size_t scanTouchedRO(const std::uint32_t* __restrict entries,
+                          const NodeId* __restrict touched, std::size_t n,
+                          NodeId* __restrict receivers,
+                          NodeId* __restrict senders,
+                          std::size_t* __restrict lost) {
+  std::size_t wins = 0;
+#if defined(__AVX512F__)
+  // Unlike scanTouched, there is no store side: the table is cleared in
+  // bulk by the caller.  That removes the gather/scatter pairing that
+  // made the zeroing scan lose to scalar code, so the read-only scan
+  // vectorizes profitably — one gather, two compress-stores per block.
+  const __m512i vLowMask = _mm512_set1_epi32(0xFFFF);
+  const __m512i vOne = _mm512_set1_epi32(1);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i vid = _mm512_loadu_si512(touched + i);
+    const __m512i e = _mm512_i32gather_epi32(vid, entries, 4);
+    const __mmask16 kWin =
+        _mm512_cmpeq_epi32_mask(_mm512_and_epi32(e, vLowMask), vOne);
+    if (kWin) {
+      _mm512_mask_compressstoreu_epi32(receivers + wins, kWin, vid);
+      _mm512_mask_compressstoreu_epi32(senders + wins, kWin,
+                                       _mm512_srli_epi32(e, 16));
+      wins += static_cast<std::size_t>(__builtin_popcount(kWin));
+    }
+  }
+  for (; i < n; ++i) {
+    const NodeId node = touched[i];
+    const std::uint32_t e = entries[node];
+    receivers[wins] = node;  // kept only on a win, like the bump's tail
+    senders[wins] = static_cast<NodeId>(e >> 16);
+    wins += static_cast<std::size_t>((e & 0xFFFF) == 1);
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = touched[i];
+    const std::uint32_t e = entries[node];
+    receivers[wins] = node;
+    senders[wins] = static_cast<NodeId>(e >> 16);
+    wins += static_cast<std::size_t>((e & 0xFFFF) == 1);
+  }
+#endif
+  *lost += n - wins;
+  return wins;
+}
+
+std::size_t filterActionable(const std::uint32_t* __restrict status,
+                             const NodeId* __restrict receivers,
+                             std::size_t n, std::uint32_t* __restrict outIdx) {
+  std::size_t count = 0;
+#if defined(__AVX512F__)
+  // In dense slots most winners are duplicates with nothing pending, so
+  // filtering them out with one gather before the scalar delivery loop
+  // removes the bulk of its branchy per-win work.  Ascending index order
+  // preserves the sequential delivery (and hence RNG-consumption) order.
+  const __m512i vSeven = _mm512_set1_epi32(7);
+  const __m512i vThree = _mm512_set1_epi32(3);
+  const __m512i vOne = _mm512_set1_epi32(1);
+  __m512i vIdx = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                   13, 14, 15);
+  const __m512i vStep = _mm512_set1_epi32(16);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i vid = _mm512_loadu_si512(receivers + i);
+    const __m512i s = _mm512_i32gather_epi32(vid, status, 4);
+    const __mmask16 kNew = _mm512_testn_epi32_mask(s, vOne);
+    const __mmask16 kDup =
+        _mm512_cmpeq_epi32_mask(_mm512_and_epi32(s, vSeven), vThree);
+    const __mmask16 k = kNew | kDup;
+    if (k) {
+      _mm512_mask_compressstoreu_epi32(outIdx + count, k, vIdx);
+      count += static_cast<std::size_t>(__builtin_popcount(k));
+    }
+    vIdx = _mm512_add_epi32(vIdx, vStep);
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t s = status[receivers[i]];
+    outIdx[count] = static_cast<std::uint32_t>(i);
+    count += static_cast<std::size_t>((s & 1u) == 0u || (s & 7u) == 3u);
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t s = status[receivers[i]];
+    outIdx[count] = static_cast<std::uint32_t>(i);
+    count += static_cast<std::size_t>((s & 1u) == 0u || (s & 7u) == 3u);
+  }
+#endif
+  return count;
+}
+
 /// True when the CPU running this binary supports the ISA this TU was
 /// compiled for.  Checked per feature macro: a -march=native binary moved
 /// to an older machine falls back to the generic kernel instead of

@@ -1,0 +1,116 @@
+#include "sim/batch_workspace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+template <typename T>
+void takeSpare(std::vector<std::vector<T>>& spares, std::vector<T>& into) {
+  if (!spares.empty()) {
+    into = std::move(spares.back());
+    spares.pop_back();
+    into.clear();
+  }
+}
+
+}  // namespace
+
+void BatchWorkspace::beginLane(BatchLaneArena& lane, std::size_t nodeCount,
+                               std::uint64_t maxSlot, bool carrierSense) {
+  NSMODEL_CHECK(nodeCount <= 0x3FFFFFFF, "node count exceeds the workspace");
+  if (lane.midRun) deepClean(lane);  // the previous run died mid-flight
+  lane.midRun = true;
+
+  sizeTo(lane.status, nodeCount, std::uint32_t{0});
+
+  const auto slots = static_cast<std::size_t>(maxSlot);
+  sizeTo(lane.pendingHead, slots, std::int32_t{-1});
+  sizeTo(lane.pendingTail, slots, std::int32_t{-1});
+  sizeTo(lane.interfererHead, slots, std::int32_t{-1});
+  sizeTo(lane.interfererTail, slots, std::int32_t{-1});
+  sizeTo(lane.slotScheduled, slots, std::uint8_t{0});
+  lane.chainNode.clear();
+  lane.chainNext.clear();
+
+  lane.transmitters.clear();
+  lane.transmitters.reserve(nodeCount);
+  lane.liveInterferers.clear();
+  lane.liveInterferers.reserve(nodeCount);
+
+  lane.touchedReceivers.clear();
+  lane.touchedReceivers.reserve(nodeCount);
+
+  if (lane.receptionSlots.capacity() == 0) {
+    takeSpare(spareU64_, lane.receptionSlots);
+  }
+  lane.receptionSlots.clear();
+  lane.receptionSlots.reserve(nodeCount);
+  if (lane.transmissionSlots.capacity() == 0) {
+    takeSpare(spareU64_, lane.transmissionSlots);
+  }
+  lane.transmissionSlots.clear();
+  lane.transmissionSlots.reserve(nodeCount);
+  if (lane.phases.capacity() == 0) takeSpare(sparePhases_, lane.phases);
+  lane.phases.clear();
+  if (lane.receptionSlotByNode.capacity() == 0) {
+    takeSpare(spareI64_, lane.receptionSlotByNode);
+  }
+  lane.receptionSlotByNode.assign(nodeCount, RunResult::kNeverReceived);
+
+  // Kernel scratch.  `entries` must be all-zero between slots; sizeTo's
+  // zero fill establishes that for fresh capacity and resolution restores
+  // it afterwards.  touched needs the +1 sentinel slot (slot_kernel.hpp).
+  sizeTo(lane.entries, nodeCount, std::uint32_t{0});
+  sizeTo(lane.touched, nodeCount + 1, net::NodeId{0});
+  sizeTo(lane.receivers, nodeCount, net::NodeId{0});
+  sizeTo(lane.senders, nodeCount, net::NodeId{0});
+  sizeTo(lane.actionable, nodeCount, std::uint32_t{0});
+  if (carrierSense) {
+    sizeTo(lane.senseEntries, nodeCount, std::uint32_t{0});
+    sizeTo(lane.senseTouched, nodeCount + 1, net::NodeId{0});
+  }
+}
+
+void BatchWorkspace::finishLane(BatchLaneArena& lane) {
+  // The pending bits, chains and slotScheduled self-clean at resolution
+  // (every scheduled transmission lands on an activated slot); received /
+  // cancelled / energy-dead bits are wiped here by walking the touched
+  // receivers, which cover every node whose word became nonzero.
+  for (net::NodeId node : lane.touchedReceivers) lane.status[node] = 0;
+  lane.touchedReceivers.clear();
+  lane.midRun = false;
+}
+
+void BatchWorkspace::deepClean(BatchLaneArena& lane) {
+  std::fill(lane.status.begin(), lane.status.end(), std::uint32_t{0});
+  std::fill(lane.pendingHead.begin(), lane.pendingHead.end(),
+            std::int32_t{-1});
+  std::fill(lane.pendingTail.begin(), lane.pendingTail.end(),
+            std::int32_t{-1});
+  std::fill(lane.interfererHead.begin(), lane.interfererHead.end(),
+            std::int32_t{-1});
+  std::fill(lane.interfererTail.begin(), lane.interfererTail.end(),
+            std::int32_t{-1});
+  std::fill(lane.slotScheduled.begin(), lane.slotScheduled.end(),
+            std::uint8_t{0});
+  lane.chainNode.clear();
+  lane.chainNext.clear();
+  lane.touchedReceivers.clear();
+  std::fill(lane.entries.begin(), lane.entries.end(), std::uint32_t{0});
+  std::fill(lane.senseEntries.begin(), lane.senseEntries.end(),
+            std::uint32_t{0});
+  lane.midRun = false;
+}
+
+void BatchWorkspace::reclaim(RunResult&& result) {
+  spareU64_.push_back(std::move(result.receptionSlots_));
+  spareU64_.push_back(std::move(result.transmissionSlots_));
+  spareI64_.push_back(std::move(result.receptionSlotByNode_));
+  sparePhases_.push_back(std::move(result.phases_));
+}
+
+}  // namespace nsmodel::sim

@@ -1,0 +1,149 @@
+// Structure-of-arrays arena for replication-batched broadcast runs.
+//
+// A BatchWorkspace owns the per-lane state of up to `width` replications
+// stepped in lockstep by sim::runBroadcastBatch: one BatchLaneArena per
+// lane, each mirroring RunWorkspace's flat-memory layout (slot agenda as
+// FIFO chains through a shared entry pool, grow-only observation
+// buffers) with two batch-specific changes:
+//
+//  * the three per-node byte flags (received / hasPending / cancelled)
+//    plus the energy-dead flag consolidate into ONE packed 32-bit status
+//    word per node, so the batched delivery filter
+//    (SlotKernelOps::filterActionable) can gather and test them in one
+//    vector pass — bit 0 received, bit 1 pending, bit 2 cancelled,
+//    bit 3 energy-dead;
+//  * each lane carries its own slot-kernel scratch (the packed
+//    count-xor-sender table, touched list, winner arrays) because the
+//    lanes' slots resolve interleaved and the tables must survive a
+//    lane's turn.
+//
+// Between runs every lane satisfies the same all-clean invariant as a
+// RunWorkspace: status words zero (restored by walking the touched
+// receivers), chains/flags self-cleaned at resolution, kernel tables
+// zero.  Vector capacity recycles through reclaim(), mirroring
+// RunWorkspace::reclaim, so steady-state batches allocate nothing once
+// the high-water mark fits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/run_result.hpp"
+
+namespace nsmodel::sim {
+
+/// Per-lane slice of the batch arena.  Public members, like RunWorkspace:
+/// the driver in experiment_batch.cpp is the only writer.
+struct BatchLaneArena {
+  // Packed per-node status: bit 0 received, bit 1 pending, bit 2
+  // cancelled, bit 3 energy-dead.  All zero between runs.
+  std::vector<std::uint32_t> status;
+
+  // Slot agenda (see RunWorkspace): per-slot FIFO chains threaded through
+  // the shared (node, next) pool; -1 ends a chain.
+  std::vector<std::int32_t> pendingHead;
+  std::vector<std::int32_t> pendingTail;
+  std::vector<std::int32_t> interfererHead;
+  std::vector<std::int32_t> interfererTail;
+  std::vector<std::uint8_t> slotScheduled;
+  std::vector<net::NodeId> chainNode;
+  std::vector<std::int32_t> chainNext;
+
+  // Per-slot scratch, cleared at each resolution.
+  std::vector<net::NodeId> transmitters;
+  std::vector<net::NodeId> liveInterferers;
+
+  // Every node whose received bit was set; the list finishLane() walks.
+  std::vector<net::NodeId> touchedReceivers;
+
+  // Run observations, moved into the lane's RunResult.
+  std::vector<std::uint64_t> receptionSlots;
+  std::vector<std::uint64_t> transmissionSlots;
+  std::vector<std::int64_t> receptionSlotByNode;
+  std::vector<PhaseObservation> phases;
+
+  // Slot-kernel scratch (see net/slot_kernel.hpp).  `entries` is the
+  // packed count-xor-sender table, all-zero between slots; `touched`
+  // carries the sentinel slot the branchless bump needs.  The sense
+  // tables exist only after a CAM-CS run.
+  std::vector<std::uint32_t> entries;
+  std::vector<net::NodeId> touched;
+  std::vector<net::NodeId> receivers;
+  std::vector<net::NodeId> senders;
+  std::vector<std::uint32_t> actionable;
+  std::vector<std::uint32_t> senseEntries;
+  std::vector<net::NodeId> senseTouched;
+
+  // Set by beginLane, cleared by finishLane; a lane still marked mid-run
+  // on re-entry was abandoned by an exception and gets a deep clean.
+  bool midRun = false;
+
+  void appendPending(std::uint64_t slot, net::NodeId node) {
+    appendChain(pendingHead, pendingTail, slot, node);
+  }
+  void appendInterferer(std::uint64_t slot, net::NodeId node) {
+    appendChain(interfererHead, interfererTail, slot, node);
+  }
+
+ private:
+  void appendChain(std::vector<std::int32_t>& head,
+                   std::vector<std::int32_t>& tail, std::uint64_t slot,
+                   net::NodeId node) {
+    const auto idx = static_cast<std::int32_t>(chainNode.size());
+    chainNode.push_back(node);
+    chainNext.push_back(-1);
+    if (tail[slot] >= 0) {
+      chainNext[tail[slot]] = idx;
+    } else {
+      head[slot] = idx;
+    }
+    tail[slot] = idx;
+  }
+};
+
+class BatchWorkspace {
+ public:
+  BatchWorkspace() = default;
+  BatchWorkspace(const BatchWorkspace&) = delete;
+  BatchWorkspace& operator=(const BatchWorkspace&) = delete;
+
+  /// Makes `width` lanes available (grow-only) and returns nothing;
+  /// beginLane() then sizes each lane that the batch actually uses.
+  void ensureLanes(std::size_t width) {
+    if (lanes_.size() < width) lanes_.resize(width);
+  }
+  std::size_t laneCount() const { return lanes_.size(); }
+  BatchLaneArena& lane(std::size_t i) { return lanes_[i]; }
+
+  /// Prepares one lane for a run over `nodeCount` nodes and slots
+  /// [0, maxSlot).  Grow-only, mirroring RunWorkspace::beginRun; draws
+  /// observation-vector capacity from the reclaim freelists.
+  void beginLane(BatchLaneArena& lane, std::size_t nodeCount,
+                 std::uint64_t maxSlot, bool carrierSense);
+
+  /// Restores the lane's all-clean invariant after its observation
+  /// vectors were moved out.
+  void finishLane(BatchLaneArena& lane);
+
+  /// Brute-force restoration of a lane's invariant (exception recovery).
+  static void deepClean(BatchLaneArena& lane);
+
+  /// Recycles a consumed RunResult's vector capacity into the freelists
+  /// the next beginLane() draws from (cf. RunWorkspace::reclaim).
+  void reclaim(RunResult&& result);
+
+ private:
+  template <typename T>
+  static void sizeTo(std::vector<T>& v, std::size_t n, T fill) {
+    if (v.size() < n) v.resize(n, fill);
+  }
+
+  std::vector<BatchLaneArena> lanes_;
+  // Freelists of spare observation vectors (capacity recycling).
+  std::vector<std::vector<std::uint64_t>> spareU64_;
+  std::vector<std::vector<std::int64_t>> spareI64_;
+  std::vector<std::vector<PhaseObservation>> sparePhases_;
+};
+
+}  // namespace nsmodel::sim

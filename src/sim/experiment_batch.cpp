@@ -1,0 +1,609 @@
+// Lockstep multi-replication slot loop (see experiment_batch.hpp).
+//
+// The per-slot semantics here are a line-for-line port of RunState in
+// experiment.cpp, re-targeted at the packed status words and per-lane
+// arenas of BatchWorkspace, with the channel resolution inlined on top
+// of the dispatched slot-kernel ops instead of going through the
+// Channel virtual interface.  Any behavioural change to experiment.cpp
+// must be mirrored here; tests/test_sim_batch.cpp enforces bit-identity
+// across every channel model, fault family, and kernel backend.
+#include "sim/experiment_batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "net/slot_kernel.hpp"
+#include "sim/run_workspace.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+// Packed per-node status bits (BatchLaneArena::status).  The layout is
+// load-bearing: SlotKernelOps::filterActionable tests `(s & 1) == 0 ||
+// (s & 7) == 3` against exactly these values.
+constexpr std::uint32_t kReceived = 1;
+constexpr std::uint32_t kPending = 2;
+constexpr std::uint32_t kCancelled = 4;
+constexpr std::uint32_t kEnergyDead = 8;
+
+constexpr int kDefaultBatchWidth = 8;
+
+/// Per-lane run state: the batched counterpart of RunState.  Bulk
+/// storage lives in the lane's arena; this holds the plan, the scalar
+/// counters, and the cached phase pair.
+struct LaneRun {
+  const BatchLane* lane;
+  BatchLaneArena* a;
+  fault::FaultPlan plan;
+  // Private ledger when the fault plan needs energy accounting and the
+  // caller supplied none.  The effective ledger is re-derived through
+  // ledger() instead of cached as a pointer: LaneRun lives in a vector
+  // and a cached &*ownLedger would dangle across relocation.
+  std::optional<net::EnergyLedger> ownLedger;
+  std::optional<protocols::ProtocolContext> ctx;
+  std::size_t n = 0;
+  double energyBudget = 0.0;
+  std::int64_t nowSlot = -1;
+  std::uint64_t attemptedPairs = 0;
+  std::uint64_t deliveredPairs = 0;
+  std::uint64_t slotErasures = 0;
+  std::size_t curPhase = 0;
+  std::uint64_t nextPhaseStart = 0;
+  // Whether deliveries may be pre-filtered by the receiver's status word
+  // (see filterActionable in slot_kernel.hpp): legal only when skipping
+  // a delivery has no side effects beyond the status machine itself, so
+  // link-loss plans (per-win GE counting) and ledgers (per-win rx
+  // accounting) disable it.  Crash plans and drift are fine — a dead
+  // receiver that filters IN is still dropped by the scalar path.
+  bool useFilter = false;
+
+  net::EnergyLedger* ledger() {
+    return ownLedger ? &*ownLedger : lane->ledger;
+  }
+};
+
+/// The lockstep driver.  Methods taking a LaneRun& are the ported
+/// RunState members; resolveLaneSlot stitches them together with the
+/// inlined channel resolution.
+class BatchDriver {
+ public:
+  BatchDriver(const ExperimentConfig& config, std::uint64_t maxSlot)
+      : config_(config),
+        ops_(net::slotKernelOps()),
+        maxSlot_(maxSlot),
+        slotsPerPhase_(static_cast<std::uint64_t>(config.slotsPerPhase)) {}
+
+  /// Highest slot any lane has activated; the lockstep loop's bound.
+  std::int64_t globalMax = -1;
+
+  PhaseObservation& currentPhase(LaneRun& L) {
+    if (L.a->phases.size() <= L.curPhase) L.a->phases.resize(L.curPhase + 1);
+    return L.a->phases[L.curPhase];
+  }
+
+  void activateSlot(LaneRun& L, std::uint64_t slot) {
+    if (L.a->slotScheduled[slot]) return;
+    L.a->slotScheduled[slot] = 1;
+    if (static_cast<std::int64_t>(slot) > globalMax) {
+      globalMax = static_cast<std::int64_t>(slot);
+    }
+  }
+
+  void scheduleTransmission(LaneRun& L, net::NodeId node,
+                            std::uint64_t slot) {
+    if (slot >= maxSlot_) return;  // beyond the horizon; drop silently
+    activateSlot(L, slot);
+    L.a->appendPending(slot, node);
+    L.a->status[node] = (L.a->status[node] | kPending) & ~kCancelled;
+    if (L.plan.hasDrift()) registerSpill(L, node, slot);
+  }
+
+  void registerSpill(LaneRun& L, net::NodeId node, std::uint64_t slot) {
+    const double skew = L.plan.skew(node);
+    if (skew == 0.0) return;
+    if (skew < 0.0 && slot == 0) return;  // nothing before the first slot
+    const std::uint64_t spill = skew > 0.0 ? slot + 1 : slot - 1;
+    if (spill >= maxSlot_) return;
+    if (static_cast<std::int64_t>(spill) <= L.nowSlot) return;
+    activateSlot(L, spill);
+    L.a->appendInterferer(spill, node);
+  }
+
+  bool isDead(const LaneRun& L, net::NodeId node) const {
+    if (L.plan.hasCrashes() && L.plan.isDown(node, L.curPhase)) return true;
+    return L.energyBudget > 0.0 && (L.a->status[node] & kEnergyDead) != 0;
+  }
+
+  void noteEnergySpent(LaneRun& L, net::NodeId node) {
+    if (L.energyBudget <= 0.0) return;
+    if (L.ledger()->energy(node) >= L.energyBudget) {
+      L.a->status[node] |= kEnergyDead;
+    }
+  }
+
+  void onDelivery(LaneRun& L, net::NodeId receiver, net::NodeId sender,
+                  std::uint64_t slot) {
+    BatchLaneArena& a = *L.a;
+    if (L.plan.hasLinkLoss() && L.plan.linkErased(receiver, sender, slot)) {
+      ++L.slotErasures;  // erased on the air: no reception, no rx energy
+      return;
+    }
+    if (isDead(L, receiver)) return;  // the radio is gone
+    if (net::EnergyLedger* ledger = L.ledger(); ledger != nullptr) {
+      ledger->recordRx(receiver);
+      noteEnergySpent(L, receiver);
+    }
+    const std::uint32_t st = a.status[receiver];
+    if ((st & kReceived) == 0) {
+      a.status[receiver] = st | kReceived;
+      a.touchedReceivers.push_back(receiver);
+      a.receptionSlots.push_back(slot);
+      a.receptionSlotByNode[receiver] = static_cast<std::int64_t>(slot);
+      currentPhase(L).newReceivers += 1;
+      const auto decision =
+          L.lane->protocol->onFirstReception(receiver, sender, *L.ctx);
+      if (decision.transmit) {
+        NSMODEL_CHECK(decision.slot >= 0 &&
+                          decision.slot < config_.slotsPerPhase,
+                      "protocol chose a slot outside the phase");
+        scheduleTransmission(L, receiver,
+                             L.nextPhaseStart +
+                                 static_cast<std::uint64_t>(decision.slot));
+      }
+    } else if ((st & (kPending | kCancelled)) == kPending) {
+      if (!L.lane->protocol->keepPendingAfterDuplicate(receiver, sender,
+                                                       *L.ctx)) {
+        a.status[receiver] = st | kCancelled;
+      }
+    }
+  }
+
+  /// Delivers one CSR row (sole-transmitter fast paths, CFM).  The
+  /// status filter compresses the row to the receivers onDelivery would
+  /// actually act on; its verdict is refreshed per row, so within-slot
+  /// status changes from earlier rows are honoured.
+  void deliverRow(LaneRun& L, std::uint64_t slot, const net::NodeId* ids,
+                  std::size_t m, net::NodeId sender) {
+    if (L.useFilter) {
+      const std::uint32_t* status = L.a->status.data();
+      std::uint32_t* idx = L.a->actionable.data();
+      const std::size_t k = ops_.filterActionable(status, ids, m, idx);
+      for (std::size_t i = 0; i < k; ++i) {
+        onDelivery(L, ids[idx[i]], sender, slot);
+      }
+    } else {
+      for (std::size_t i = 0; i < m; ++i) onDelivery(L, ids[i], sender, slot);
+    }
+  }
+
+  /// Delivers the scan pass's winner arrays (CAM/CAM-CS full paths).
+  void deliverWins(LaneRun& L, std::uint64_t slot, std::size_t wins) {
+    const net::NodeId* receivers = L.a->receivers.data();
+    const net::NodeId* senders = L.a->senders.data();
+    if (L.useFilter) {
+      const std::uint32_t* status = L.a->status.data();
+      std::uint32_t* idx = L.a->actionable.data();
+      const std::size_t k =
+          ops_.filterActionable(status, receivers, wins, idx);
+      for (std::size_t i = 0; i < k; ++i) {
+        onDelivery(L, receivers[idx[i]], senders[idx[i]], slot);
+      }
+    } else {
+      for (std::size_t i = 0; i < wins; ++i) {
+        onDelivery(L, receivers[i], senders[i], slot);
+      }
+    }
+  }
+
+  net::SlotOutcome resolveCollisionFree(LaneRun& L, std::uint64_t slot) {
+    // Collision-free transmission is atomic and guaranteed: interferers
+    // (drift spill-over) cannot corrupt a reception and are ignored.
+    net::SlotOutcome outcome;
+    for (net::NodeId tx : L.a->transmitters) {
+      const net::NeighborSpan nbs = L.lane->topology->neighbors(tx);
+      deliverRow(L, slot, nbs.data(), nbs.size(), tx);
+      outcome.deliveries += nbs.size();
+    }
+    return outcome;
+  }
+
+  net::SlotOutcome resolveCollisionAware(LaneRun& L, std::uint64_t slot) {
+    BatchLaneArena& a = *L.a;
+    const net::Topology& topology = *L.lane->topology;
+    const auto& txs = a.transmitters;
+    const auto& ixs = a.liveInterferers;
+    if (txs.size() == 1 && ixs.empty()) {
+      // Sole transmitter: every neighbour hears exactly one packet and
+      // cannot itself be transmitting — direct delivery in row order.
+      net::SlotOutcome outcome;
+      const net::NodeId tx = txs.front();
+      const net::NeighborSpan nbs = topology.neighbors(tx);
+      deliverRow(L, slot, nbs.data(), nbs.size(), tx);
+      outcome.deliveries = nbs.size();
+      return outcome;
+    }
+
+    std::uint32_t* entries = a.entries.data();
+    // Half-duplex via pre-bias, as in channel.cpp: a transmitter's (or
+    // interferer's) own entry starts at 2, never enters the touched
+    // list, and so never scans as a winner or a loss.
+    for (net::NodeId tx : txs) entries[tx] += 2;
+    for (net::NodeId ix : ixs) entries[ix] += 2;
+
+    std::size_t tc = 0;
+    const std::size_t txCount = txs.size();
+    for (std::size_t t = 0; t < txCount; ++t) {
+      const net::NodeId tx = txs[t];
+      const net::NeighborSpan nbs = topology.neighbors(tx);
+      net::NeighborSpan next{};
+      if (t + 1 < txCount) {
+        next = topology.neighbors(txs[t + 1]);
+      } else if (!ixs.empty()) {
+        next = topology.neighbors(ixs.front());
+      }
+      tc = ops_.bumpRow(entries, a.touched.data(), tc, nbs.data(),
+                        nbs.size(), static_cast<std::uint32_t>(tx) << 16, 1,
+                        next.data(), next.size());
+    }
+    // Drift epilogue: one bump of 2 with a zero sender half, exactly as
+    // in CollisionAwareChannel::resolveKernel.
+    const std::size_t ixCount = ixs.size();
+    for (std::size_t t = 0; t < ixCount; ++t) {
+      const net::NeighborSpan nbs = topology.neighbors(ixs[t]);
+      const net::NeighborSpan next =
+          t + 1 < ixCount ? topology.neighbors(ixs[t + 1])
+                          : net::NeighborSpan{};
+      tc = ops_.bumpRow(entries, a.touched.data(), tc, nbs.data(),
+                        nbs.size(), 0, 2, next.data(), next.size());
+    }
+
+    std::size_t lost = 0;
+    std::size_t wins;
+    if (tc >= L.n / 8) {
+      // Dense slot: scan read-only and wipe the whole table with one
+      // streaming memset (which also clears the bias entries) instead of
+      // re-visiting every touched entry at random.
+      wins = ops_.scanTouchedRO(entries, a.touched.data(), tc,
+                                a.receivers.data(), a.senders.data(), &lost);
+      std::memset(entries, 0, L.n * sizeof(std::uint32_t));
+    } else {
+      wins = ops_.scanTouched(entries, a.touched.data(), tc,
+                              a.receivers.data(), a.senders.data(), &lost);
+      for (net::NodeId tx : txs) entries[tx] = 0;
+      for (net::NodeId ix : ixs) entries[ix] = 0;
+    }
+    deliverWins(L, slot, wins);
+    net::SlotOutcome outcome;
+    outcome.deliveries = wins;
+    outcome.lostReceivers = lost;
+    return outcome;
+  }
+
+  net::SlotOutcome resolveCarrierSense(LaneRun& L, std::uint64_t slot) {
+    BatchLaneArena& a = *L.a;
+    const net::Topology& topology = *L.lane->topology;
+    NSMODEL_CHECK(topology.hasCarrierSense(),
+                  "CarrierSenseChannel needs a topology built with a "
+                  "carrier-sense factor");
+    const auto& txs = a.transmitters;
+    const auto& ixs = a.liveInterferers;
+    if (txs.size() == 1 && ixs.empty()) {
+      // Sole transmitter: the cs-disk contains the transmission disk, so
+      // every in-range neighbour senses exactly that one transmitter.
+      net::SlotOutcome outcome;
+      const net::NodeId tx = txs.front();
+      const net::NeighborSpan nbs = topology.neighbors(tx);
+      deliverRow(L, slot, nbs.data(), nbs.size(), tx);
+      outcome.deliveries = nbs.size();
+      return outcome;
+    }
+
+    std::uint32_t* entries = a.entries.data();
+    std::uint32_t* sense = a.senseEntries.data();
+    for (net::NodeId tx : txs) entries[tx] += 2;
+    for (net::NodeId ix : ixs) entries[ix] += 2;
+
+    std::size_t tc = 0;
+    std::size_t sc = 0;
+    const std::size_t txCount = txs.size();
+    for (std::size_t t = 0; t < txCount; ++t) {
+      const net::NodeId tx = txs[t];
+      // Rows are bumped in the order nbs, cs, next-nbs, next-cs, ...;
+      // each call prefetches the row that follows it (cf. channel.cpp).
+      const net::NeighborSpan nbs = topology.neighbors(tx);
+      const net::NeighborSpan cs = topology.carrierSenseNeighbors(tx);
+      tc = ops_.bumpRow(entries, a.touched.data(), tc, nbs.data(),
+                        nbs.size(), static_cast<std::uint32_t>(tx) << 16, 1,
+                        cs.data(), cs.size());
+      net::NeighborSpan next{};
+      if (t + 1 < txCount) {
+        next = topology.neighbors(txs[t + 1]);
+      } else if (!ixs.empty()) {
+        next = topology.neighbors(ixs.front());
+      }
+      sc = ops_.bumpRow(sense, a.senseTouched.data(), sc, cs.data(),
+                        cs.size(), 0, 1, next.data(), next.size());
+    }
+    const std::size_t ixCount = ixs.size();
+    for (std::size_t t = 0; t < ixCount; ++t) {
+      const net::NodeId ix = ixs[t];
+      const net::NeighborSpan nbs = topology.neighbors(ix);
+      const net::NeighborSpan cs = topology.carrierSenseNeighbors(ix);
+      tc = ops_.bumpRow(entries, a.touched.data(), tc, nbs.data(),
+                        nbs.size(), 0, 2, cs.data(), cs.size());
+      const net::NeighborSpan next =
+          t + 1 < ixCount ? topology.neighbors(ixs[t + 1])
+                          : net::NeighborSpan{};
+      sc = ops_.bumpRow(sense, a.senseTouched.data(), sc, cs.data(),
+                        cs.size(), 0, 1, next.data(), next.size());
+    }
+
+    std::size_t lost = 0;
+    std::size_t candidates;
+    if (tc >= L.n / 8) {
+      candidates =
+          ops_.scanTouchedRO(entries, a.touched.data(), tc,
+                             a.receivers.data(), a.senders.data(), &lost);
+      std::memset(entries, 0, L.n * sizeof(std::uint32_t));
+    } else {
+      candidates =
+          ops_.scanTouched(entries, a.touched.data(), tc,
+                           a.receivers.data(), a.senders.data(), &lost);
+      for (net::NodeId tx : txs) entries[tx] = 0;
+      for (net::NodeId ix : ixs) entries[ix] = 0;
+    }
+    // Carrier-sense filter over the sole-sender candidates, preserving
+    // touched order (cf. CarrierSenseChannel::resolveKernel).
+    std::size_t wins = 0;
+    for (std::size_t i = 0; i < candidates; ++i) {
+      const net::NodeId receiver = a.receivers[i];
+      if ((sense[receiver] & 0xFFFF) == 1) {
+        a.receivers[wins] = receiver;
+        a.senders[wins] = a.senders[i];
+        ++wins;
+      } else {
+        ++lost;
+      }
+    }
+    if (sc >= L.n / 8) {
+      std::memset(sense, 0, L.n * sizeof(std::uint32_t));
+    } else {
+      for (std::size_t i = 0; i < sc; ++i) sense[a.senseTouched[i]] = 0;
+    }
+    deliverWins(L, slot, wins);
+    net::SlotOutcome outcome;
+    outcome.deliveries = wins;
+    outcome.lostReceivers = lost;
+    return outcome;
+  }
+
+  net::SlotOutcome resolveChannel(LaneRun& L, std::uint64_t slot) {
+    switch (config_.channel) {
+      case net::ChannelModel::CollisionFree:
+        return resolveCollisionFree(L, slot);
+      case net::ChannelModel::CollisionAware:
+        return resolveCollisionAware(L, slot);
+      case net::ChannelModel::CarrierSenseAware:
+        return resolveCarrierSense(L, slot);
+    }
+    NSMODEL_ASSERT(false);
+    return {};
+  }
+
+  void resolveLaneSlot(LaneRun& L, std::uint64_t slot) {
+    BatchLaneArena& a = *L.a;
+    L.nowSlot = static_cast<std::int64_t>(slot);
+    L.curPhase = static_cast<std::size_t>(slot / slotsPerPhase_);
+    L.nextPhaseStart =
+        (static_cast<std::uint64_t>(L.curPhase) + 1) * slotsPerPhase_;
+    // The chains and the scheduled flag clear as they are consumed,
+    // restoring the lane's between-run invariant for free.
+    a.slotScheduled[slot] = 0;
+    a.transmitters.clear();
+    for (std::int32_t i = a.pendingHead[slot]; i >= 0; i = a.chainNext[i]) {
+      const net::NodeId node = a.chainNode[i];
+      if ((a.status[node] & kCancelled) == 0 && !isDead(L, node)) {
+        a.transmitters.push_back(node);
+      }
+      a.status[node] &= ~kPending;
+    }
+    a.pendingHead[slot] = -1;
+    a.pendingTail[slot] = -1;
+    a.liveInterferers.clear();
+    for (std::int32_t i = a.interfererHead[slot]; i >= 0;
+         i = a.chainNext[i]) {
+      const net::NodeId node = a.chainNode[i];
+      if ((a.status[node] & kCancelled) == 0 && !isDead(L, node)) {
+        a.liveInterferers.push_back(node);
+      }
+    }
+    a.interfererHead[slot] = -1;
+    a.interfererTail[slot] = -1;
+    if (a.transmitters.empty() && a.liveInterferers.empty()) return;
+
+    net::EnergyLedger* ledger = L.ledger();
+    for (net::NodeId tx : a.transmitters) {
+      a.transmissionSlots.push_back(slot);
+      L.attemptedPairs += L.lane->topology->neighbors(tx).size();
+      if (ledger != nullptr) {
+        ledger->recordTx(tx);
+        noteEnergySpent(L, tx);
+      }
+    }
+
+    L.slotErasures = 0;
+    const net::SlotOutcome outcome = resolveChannel(L, slot);
+    // Touch the phase record only when the slot observed anything (see
+    // RunState::resolveSlot for why).
+    if (!a.transmitters.empty() || outcome.deliveries > 0 ||
+        outcome.lostReceivers > 0 || L.slotErasures > 0) {
+      PhaseObservation& obs = currentPhase(L);
+      obs.transmissions += a.transmitters.size();
+      obs.deliveries += outcome.deliveries - L.slotErasures;
+      obs.lostReceivers += outcome.lostReceivers + L.slotErasures;
+    }
+    L.deliveredPairs += outcome.deliveries - L.slotErasures;
+  }
+
+ private:
+  const ExperimentConfig& config_;
+  const net::SlotKernelOps& ops_;
+  const std::uint64_t maxSlot_;
+  const std::uint64_t slotsPerPhase_;
+};
+
+/// Sequential fallback: the DesEngine reference path never batches.
+std::vector<RunResult> runLanesSequentially(const ExperimentConfig& config,
+                                            std::vector<BatchLane>& lanes) {
+  RunWorkspace workspace;
+  std::vector<RunResult> results;
+  results.reserve(lanes.size());
+  for (BatchLane& lane : lanes) {
+    results.push_back(runBroadcast(config, *lane.deployment, *lane.topology,
+                                   *lane.protocol, lane.rng, workspace,
+                                   lane.ledger));
+  }
+  return results;
+}
+
+std::atomic<int> gBatchWidthOverride{-1};
+
+int batchWidthFromEnv() {
+  const char* env = std::getenv("NSMODEL_BATCH");
+  const std::string choice = env == nullptr ? "auto" : env;
+  if (choice == "auto" || choice.empty()) return kDefaultBatchWidth;
+  if (choice == "off") return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(choice.c_str(), &end, 10);
+  if (end == choice.c_str() || *end != '\0' || parsed < 0) {
+    throw ConfigError("unknown NSMODEL_BATCH value '" + choice +
+                      "' (want off|auto|N)");
+  }
+  return parsed <= 1 ? 1 : static_cast<int>(parsed);
+}
+
+}  // namespace
+
+int batchWidth() {
+  const int override = gBatchWidthOverride.load(std::memory_order_relaxed);
+  if (override >= 0) return override <= 1 ? 1 : override;
+  return batchWidthFromEnv();
+}
+
+int batchWidthFor(const ExperimentConfig& config) {
+  if (config.driver == SlotDriver::DesEngine) return 1;
+  return batchWidth();
+}
+
+void setBatchWidthOverride(int width) {
+  gBatchWidthOverride.store(width, std::memory_order_relaxed);
+}
+
+std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
+                                         std::vector<BatchLane>& lanes,
+                                         BatchWorkspace& workspace) {
+  NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
+  NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
+  NSMODEL_CHECK(!std::isnan(config.nodeFailureRate) &&
+                    config.nodeFailureRate >= 0.0 &&
+                    config.nodeFailureRate <= 1.0,
+                "node failure rate must lie in [0, 1]");
+  NSMODEL_CHECK(!(config.nodeFailureRate > 0.0 && config.fault.crash.active()),
+                "use either the legacy nodeFailureRate or fault.crash, "
+                "not both (one failure code path per run)");
+  if (config.driver == SlotDriver::DesEngine) {
+    return runLanesSequentially(config, lanes);
+  }
+
+  const auto maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
+                       static_cast<std::uint64_t>(config.slotsPerPhase);
+  const bool carrierSense =
+      config.channel == net::ChannelModel::CarrierSenseAware;
+  workspace.ensureLanes(lanes.size());
+  BatchDriver driver(config, maxSlot);
+
+  std::vector<LaneRun> runs;
+  runs.reserve(lanes.size());
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    BatchLane& lane = lanes[k];
+    const std::size_t n = lane.deployment->nodeCount();
+    NSMODEL_CHECK(n == lane.topology->nodeCount(),
+                  "deployment/topology size mismatch");
+    if (config.channel != net::ChannelModel::CollisionFree) {
+      NSMODEL_CHECK(n <= 0xFFFF,
+                    "collision-aware channels support at most 65535 nodes");
+    }
+    lane.protocol->reset(n);
+    // Per-lane RNG consumption mirrors the sequential path exactly:
+    // the plan build reads the fingerprint only, then the legacy knob
+    // (if any) draws, then the source-jitter draw below.
+    fault::FaultPlan plan = fault::FaultPlan::build(
+        config.fault, n, static_cast<std::uint64_t>(config.maxPhases),
+        lane.rng.stateFingerprint());
+    if (config.nodeFailureRate > 0.0) {
+      plan.addLegacyNodeFailures(config.nodeFailureRate, n, lane.rng);
+    }
+
+    BatchLaneArena& arena = workspace.lane(k);
+    workspace.beginLane(arena, n, maxSlot, carrierSense);
+
+    LaneRun run;
+    run.lane = &lane;
+    run.a = &arena;
+    run.plan = std::move(plan);
+    if (run.plan.energyBudget() > 0.0 && lane.ledger == nullptr) {
+      run.ownLedger.emplace(n, config.costs);
+    }
+    run.ctx.emplace(protocols::ProtocolContext{config.slotsPerPhase, lane.rng,
+                                               lane.deployment,
+                                               lane.topology});
+    run.n = n;
+    run.energyBudget = run.plan.energyBudget();
+    run.useFilter = !run.plan.hasLinkLoss() && run.ledger() == nullptr;
+    runs.push_back(std::move(run));
+
+    LaneRun& L = runs.back();
+    const net::NodeId source = lane.deployment->source();
+    arena.status[source] |= kReceived;
+    arena.touchedReceivers.push_back(source);
+    driver.scheduleTransmission(
+        L, source,
+        lane.rng.below(static_cast<std::uint64_t>(config.slotsPerPhase)));
+  }
+
+  // The lockstep loop: one global slot counter, every lane whose agenda
+  // marks the slot resolves it.  Activations only ever target later
+  // slots, so the scan is monotone; globalMax can grow while it runs.
+  for (std::int64_t slot = 0; slot <= driver.globalMax; ++slot) {
+    for (LaneRun& L : runs) {
+      if (L.a->slotScheduled[static_cast<std::size_t>(slot)] != 0) {
+        driver.resolveLaneSlot(L, static_cast<std::uint64_t>(slot));
+      }
+    }
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(lanes.size());
+  for (LaneRun& L : runs) {
+    BatchLaneArena& a = *L.a;
+    NSMODEL_ASSERT(
+        std::is_sorted(a.receptionSlots.begin(), a.receptionSlots.end()));
+    results.emplace_back(L.n, config.slotsPerPhase,
+                         std::move(a.receptionSlots),
+                         std::move(a.transmissionSlots), std::move(a.phases),
+                         L.attemptedPairs, L.deliveredPairs,
+                         std::move(a.receptionSlotByNode));
+    workspace.finishLane(a);
+  }
+  return results;
+}
+
+}  // namespace nsmodel::sim

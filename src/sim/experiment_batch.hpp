@@ -1,0 +1,72 @@
+// Replication-batched broadcast execution: R independent replications
+// stepped in lockstep through one slot loop.
+//
+// Monte-Carlo replications are embarrassingly independent, and the flat
+// slot loop of experiment.cpp spends its time in random-indexed CSR
+// walks whose latency one run cannot hide.  runBroadcastBatch packs a
+// group of replications into the structure-of-arrays BatchWorkspace —
+// one lane per replication, each with its own deployment, topology,
+// protocol instance, RNG stream, and packed per-node status words — and
+// advances the global slot counter once, resolving every lane whose
+// agenda marks the slot.  Lanes that scheduled nothing for a slot are
+// skipped by a one-byte test (the mask); lanes whose broadcasts die out
+// early simply stop scheduling and ride along for free until the
+// surviving lanes drain.
+//
+// Identity contract: lane k's RunResult is bit-identical to running that
+// replication alone through sim::runBroadcast with the same seed,
+// protocol, and fault config — same receptions, same slots, same phase
+// records, same RNG consumption.  The batched driver reuses the exact
+// per-slot resolution semantics of experiment.cpp (ported, not
+// approximated) and the dispatched slot-kernel ops of slot_kernel.hpp
+// for the bump/scan inner loops, so the contract holds on the oracle,
+// generic, and native backends alike (tests/test_sim_batch.cpp).
+//
+// Batching policy: NSMODEL_BATCH=off|auto|N selects the lane count the
+// Monte-Carlo drivers use (auto = 8); setBatchWidthOverride() overrides
+// programmatically.  config.driver == DesEngine always falls back to
+// sequential runs — the engine-heap reference path stays untouched.
+#pragma once
+
+#include <vector>
+
+#include "sim/batch_workspace.hpp"
+#include "sim/experiment.hpp"
+
+namespace nsmodel::sim {
+
+/// One replication's inputs.  `rng` is owned by value: the protocol
+/// context keeps a reference to it for the whole run, so the BatchLane
+/// vector must stay put while runBroadcastBatch executes.
+struct BatchLane {
+  const net::Deployment* deployment = nullptr;
+  const net::Topology* topology = nullptr;
+  protocols::BroadcastProtocol* protocol = nullptr;
+  support::Rng rng;
+  net::EnergyLedger* ledger = nullptr;  ///< optional caller accounting
+};
+
+/// Runs every lane to completion in lockstep and returns one RunResult
+/// per lane, in lane order.  Each protocol instance is reset first, as
+/// runBroadcast would; lanes may have different node counts.  Under
+/// SlotDriver::DesEngine the lanes run sequentially through the engine
+/// path instead (the results are bit-identical either way).
+std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
+                                         std::vector<BatchLane>& lanes,
+                                         BatchWorkspace& workspace);
+
+/// The lane count NSMODEL_BATCH resolves to: off -> 1, auto/unset -> 8,
+/// integer N -> max(N, 1).  Throws ConfigError on anything else.  An
+/// override installed via setBatchWidthOverride() wins over the
+/// environment.
+int batchWidth();
+
+/// batchWidth(), except configs that pin SlotDriver::DesEngine always
+/// report 1 — the engine path never batches.
+int batchWidthFor(const ExperimentConfig& config);
+
+/// Pins the batch width process-wide (>= 0); pass a negative value to
+/// fall back to the environment again.  For tests and benches.
+void setBatchWidthOverride(int width);
+
+}  // namespace nsmodel::sim

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/experiment_batch.hpp"
 #include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
 #include "support/error.hpp"
@@ -48,14 +49,96 @@ void forEachChunk(const MonteCarloConfig& config,
                  body);
 }
 
+/// Builds one protocol instance per batch lane.  Lane instances are
+/// interchangeable with the sequential path's single instance because
+/// every run starts with protocol->reset(n).
+std::vector<std::unique_ptr<protocols::BroadcastProtocol>> makeLaneProtocols(
+    const protocols::ProtocolFactory& makeProtocol, std::size_t width) {
+  std::vector<std::unique_ptr<protocols::BroadcastProtocol>> protos;
+  protos.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    protos.push_back(makeProtocol());
+    NSMODEL_CHECK(protos.back() != nullptr, "protocol factory returned null");
+  }
+  return protos;
+}
+
+/// The scenarios of one batch group, fetched up front so every lane's
+/// deployment/topology stays alive for the whole lockstep run.
+struct GroupScenarios {
+  std::vector<ScenarioCache::ScenarioPtr> cached;
+  std::vector<std::optional<Scenario>> local;
+
+  GroupScenarios(const MonteCarloConfig& config, std::size_t firstRep,
+                 std::size_t group)
+      : cached(group), local(group) {
+    for (std::size_t k = 0; k < group; ++k) {
+      const ScenarioKey key = ScenarioKey::forExperiment(
+          config.experiment, config.seed, firstRep + k);
+      if (config.cache != nullptr) {
+        cached[k] = config.cache->getOrBuild(key);
+      } else {
+        local[k].emplace(buildScenario(key));
+      }
+    }
+  }
+
+  const Scenario& at(std::size_t k) const {
+    return cached[k] ? *cached[k] : *local[k];
+  }
+};
+
+/// Batched counterpart of runChunk: replications [lo, hi) run in groups
+/// of `width` lanes through runBroadcastBatch.  Each lane continues its
+/// replication's stream from the post-deployment state, exactly as the
+/// sequential path would, so the per-replication results are
+/// bit-identical to width 1.
+template <typename Consume>
+void runChunkBatched(const MonteCarloConfig& config,
+                     const protocols::ProtocolFactory& makeProtocol,
+                     std::size_t lo, std::size_t hi, std::size_t width,
+                     Consume&& consume) {
+  WorkspaceLease workspace(config.workspaces);
+  BatchWorkspace batch;
+  const auto protos = makeLaneProtocols(makeProtocol, width);
+  std::vector<BatchLane> lanes;
+  for (std::size_t at = lo; at < hi;) {
+    const std::size_t group = std::min(width, hi - at);
+    const GroupScenarios scenarios(config, at, group);
+    lanes.clear();
+    for (std::size_t k = 0; k < group; ++k) {
+      const Scenario& scenario = scenarios.at(k);
+      lanes.push_back(BatchLane{&scenario.deployment, &scenario.topology,
+                                protos[k].get(), scenario.protocolRng,
+                                nullptr});
+    }
+    std::vector<RunResult> results =
+        runBroadcastBatch(config.experiment, lanes, batch);
+    for (std::size_t k = 0; k < group; ++k) {
+      consume(at + k, std::move(results[k]), *workspace);
+    }
+    at += group;
+  }
+}
+
 /// Runs replications [lo, hi) on one leased workspace with one protocol
 /// instance (reset per run), handing each finished RunResult to
 /// `consume(rep, result, workspace)`.  Replication randomness derives
 /// from (seed, rep) alone, so the chunk boundaries never affect results.
+/// When NSMODEL_BATCH resolves to more than one lane, the replications
+/// run through the lockstep batch driver instead (same results, same
+/// consume order).
 template <typename Consume>
 void runChunk(const MonteCarloConfig& config,
               const protocols::ProtocolFactory& makeProtocol, std::size_t lo,
               std::size_t hi, Consume&& consume) {
+  const int width = batchWidthFor(config.experiment);
+  if (width > 1) {
+    runChunkBatched(config, makeProtocol, lo, hi,
+                    static_cast<std::size_t>(width),
+                    std::forward<Consume>(consume));
+    return;
+  }
   WorkspaceLease workspace(config.workspaces);
   auto protocol = makeProtocol();
   NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
@@ -79,6 +162,48 @@ void runChunk(const MonteCarloConfig& config,
                            scenario.topology, *protocol, rng, *workspace),
               *workspace);
     }
+  }
+}
+
+/// Batched chunk body shared by the fixed and adaptive sweeps: runs
+/// replications [lo, hi) of every listed point in groups of `width`
+/// lanes, writing samples[point][rep].  The group's scenarios are
+/// fetched once and shared across points, like the sequential bodies.
+void runSweepChunkBatched(
+    const MonteCarloConfig& config,
+    const std::vector<protocols::ProtocolFactory>& makeProtocols,
+    const std::vector<std::size_t>& points, std::size_t lo, std::size_t hi,
+    std::size_t width, const MetricExtractor& extract,
+    std::vector<std::vector<std::vector<double>>>& samples) {
+  BatchWorkspace batch;
+  std::vector<std::vector<std::unique_ptr<protocols::BroadcastProtocol>>>
+      protos;
+  protos.reserve(points.size());
+  for (const std::size_t point : points) {
+    protos.push_back(makeLaneProtocols(makeProtocols[point], width));
+  }
+  std::vector<BatchLane> lanes;
+  for (std::size_t at = lo; at < hi;) {
+    const std::size_t group = std::min(width, hi - at);
+    const GroupScenarios scenarios(config, at, group);
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      lanes.clear();
+      for (std::size_t k = 0; k < group; ++k) {
+        const Scenario& scenario = scenarios.at(k);
+        // Each lane continues its replication's stream from the
+        // post-deployment state, exactly as the sequential body would.
+        lanes.push_back(BatchLane{&scenario.deployment, &scenario.topology,
+                                  protos[pi][k].get(), scenario.protocolRng,
+                                  nullptr});
+      }
+      std::vector<RunResult> results =
+          runBroadcastBatch(config.experiment, lanes, batch);
+      for (std::size_t k = 0; k < group; ++k) {
+        samples[points[pi]][at + k] = extract(results[k]);
+        batch.reclaim(std::move(results[k]));
+      }
+    }
+    at += group;
   }
 }
 
@@ -163,6 +288,13 @@ std::vector<std::vector<MetricAggregate>> monteCarloSweepAdaptive(
     const auto hi = static_cast<std::size_t>(target);
     for (const std::size_t point : active) samples[point].resize(hi);
     forEachChunkIn(config, lo, hi, [&](std::size_t clo, std::size_t chi) {
+      const int width = batchWidthFor(config.experiment);
+      if (width > 1) {
+        runSweepChunkBatched(config, makeProtocols, active, clo, chi,
+                             static_cast<std::size_t>(width), extract,
+                             samples);
+        return;
+      }
       WorkspaceLease workspace(config.workspaces);
       std::vector<std::unique_ptr<protocols::BroadcastProtocol>> protos(
           points);
@@ -248,7 +380,17 @@ std::vector<std::vector<MetricAggregate>> monteCarloSweep(
   // concurrent chunks write disjoint slots.
   std::vector<std::vector<std::vector<double>>> samples(
       points, std::vector<std::vector<double>>(reps));
+  std::vector<std::size_t> allPoints(points);
+  for (std::size_t point = 0; point < points; ++point) {
+    allPoints[point] = point;
+  }
   forEachChunk(config, [&](std::size_t lo, std::size_t hi) {
+    const int width = batchWidthFor(config.experiment);
+    if (width > 1) {
+      runSweepChunkBatched(config, makeProtocols, allPoints, lo, hi,
+                           static_cast<std::size_t>(width), extract, samples);
+      return;
+    }
     WorkspaceLease workspace(config.workspaces);
     std::vector<std::unique_ptr<protocols::BroadcastProtocol>> protos;
     protos.reserve(points);

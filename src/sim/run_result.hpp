@@ -14,6 +14,7 @@
 namespace nsmodel::sim {
 
 class RunWorkspace;
+class BatchWorkspace;
 
 /// Aggregated observations of one phase.
 struct PhaseObservation {
@@ -92,8 +93,9 @@ class RunResult {
   }
 
  private:
-  // Recycles the vectors' capacity into the next run (see reclaim()).
+  // Recycle the vectors' capacity into the next run (see reclaim()).
   friend class RunWorkspace;
+  friend class BatchWorkspace;
   std::size_t nodeCount_;
   int slotsPerPhase_;
   std::vector<std::uint64_t> receptionSlots_;     // sorted, one per receiver

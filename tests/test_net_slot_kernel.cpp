@@ -51,10 +51,12 @@ class KernelGuard {
   bool hadEnv_ = false;
 };
 
-/// The kernel ISAs whose ops tables exist on this build/CPU (the oracle
-/// has no ops table — channels special-case it).
+/// The kernel ISAs whose ops tables run on this build/CPU.  The oracle's
+/// table holds scalar reference loops (channels bypass it by isa, but the
+/// batched driver uses it), so its contracts are checked like the rest.
 std::vector<SlotKernelIsa> runnableIsas() {
-  std::vector<SlotKernelIsa> isas{SlotKernelIsa::Generic};
+  std::vector<SlotKernelIsa> isas{SlotKernelIsa::Oracle,
+                                  SlotKernelIsa::Generic};
   if (slotKernelAvailable(SlotKernelIsa::Native)) {
     isas.push_back(SlotKernelIsa::Native);
   }
@@ -217,6 +219,81 @@ TEST(SlotKernel, PrefetchHintIsSemanticallyInert) {
   }
 }
 
+TEST(SlotKernel, ReadOnlyScanMatchesZeroingScan) {
+  KernelGuard guard;
+  std::mt19937 rng(4321);
+  for (const SlotKernelIsa isa : runnableIsas()) {
+    setSlotKernel(isa);
+    const SlotKernelOps& ops = slotKernelOps();
+    for (int trial = 0; trial < 15; ++trial) {
+      const std::size_t nodes = 64 + rng() % 200;
+      const auto calls = randomCalls(rng, nodes, 1 + rng() % 6);
+      // Bump one table, scan it read-only, then scan it destructively:
+      // identical winners in identical order, identical loser count, and
+      // the read-only pass must not have altered a single entry.
+      std::vector<std::uint32_t> entries(nodes, 0);
+      std::vector<NodeId> touchedBuf(nodes + 1);
+      std::size_t tc = 0;
+      for (const BumpCall& call : calls) {
+        tc = ops.bumpRow(entries.data(), touchedBuf.data(), tc,
+                         call.ids.data(), call.ids.size(), call.senderBits,
+                         call.add, nullptr, 0);
+      }
+      const std::vector<std::uint32_t> snapshot = entries;
+      std::vector<NodeId> roReceivers(nodes), roSenders(nodes);
+      std::size_t roLost = 0;
+      const std::size_t roWins =
+          ops.scanTouchedRO(entries.data(), touchedBuf.data(), tc,
+                            roReceivers.data(), roSenders.data(), &roLost);
+      EXPECT_EQ(entries, snapshot) << ops.name;
+      std::vector<NodeId> receivers(nodes), senders(nodes);
+      std::size_t lost = 0;
+      const std::size_t wins =
+          ops.scanTouched(entries.data(), touchedBuf.data(), tc,
+                          receivers.data(), senders.data(), &lost);
+      ASSERT_EQ(roWins, wins) << ops.name;
+      EXPECT_EQ(roLost, lost) << ops.name;
+      for (std::size_t i = 0; i < wins; ++i) {
+        EXPECT_EQ(roReceivers[i], receivers[i]) << ops.name;
+        EXPECT_EQ(roSenders[i], senders[i]) << ops.name;
+      }
+    }
+  }
+}
+
+TEST(SlotKernel, FilterActionableMatchesScalarPredicate) {
+  KernelGuard guard;
+  std::mt19937 rng(777);
+  for (const SlotKernelIsa isa : runnableIsas()) {
+    setSlotKernel(isa);
+    const SlotKernelOps& ops = slotKernelOps();
+    for (int trial = 0; trial < 15; ++trial) {
+      const std::size_t nodes = 64 + rng() % 200;
+      // Random status words over all 8 low-bit combinations plus junk in
+      // the upper bits the filter must ignore.
+      std::vector<std::uint32_t> status(nodes);
+      for (auto& s : status) s = (rng() % 8u) | ((rng() % 16u) << 16);
+      const std::size_t n = rng() % (nodes + 1);
+      std::vector<NodeId> receivers(n);
+      for (auto& r : receivers) r = static_cast<NodeId>(rng() % nodes);
+      std::vector<std::uint32_t> idx(n + 1, 0xDEAD);
+      const std::size_t count = ops.filterActionable(
+          status.data(), receivers.data(), n, idx.data());
+      std::vector<std::uint32_t> expect;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t s = status[receivers[i]];
+        if ((s & 1u) == 0u || (s & 7u) == 3u) {
+          expect.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      ASSERT_EQ(count, expect.size()) << ops.name;
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(idx[i], expect[i]) << ops.name;
+      }
+    }
+  }
+}
+
 TEST(SlotKernelDispatch, NamesAndAvailability) {
   EXPECT_STREQ(slotKernelIsaName(SlotKernelIsa::Oracle), "oracle");
   EXPECT_STREQ(slotKernelIsaName(SlotKernelIsa::Generic), "generic");
@@ -229,7 +306,11 @@ TEST(SlotKernelDispatch, SetSlotKernelRoundTrips) {
   KernelGuard guard;
   setSlotKernel(SlotKernelIsa::Oracle);
   EXPECT_EQ(slotKernelOps().isa, SlotKernelIsa::Oracle);
-  EXPECT_EQ(slotKernelOps().bumpRow, nullptr);  // channels special-case it
+  // The oracle table holds the scalar reference loops (channels bypass
+  // them by isa; the batched driver uses them).
+  EXPECT_NE(slotKernelOps().bumpRow, nullptr);
+  EXPECT_NE(slotKernelOps().scanTouchedRO, nullptr);
+  EXPECT_NE(slotKernelOps().filterActionable, nullptr);
   setSlotKernel(SlotKernelIsa::Generic);
   EXPECT_EQ(slotKernelOps().isa, SlotKernelIsa::Generic);
   EXPECT_NE(slotKernelOps().bumpRow, nullptr);

@@ -1,0 +1,611 @@
+// Bit-identity of the batched lockstep driver against sequential runs.
+//
+// runBroadcastBatch packs R replications into SoA lanes and steps them
+// through one slot loop; the contract (experiment_batch.hpp) is that
+// lane k's RunResult is bit-identical to running that replication alone
+// through runBroadcast with the same seed.  The matrix here crosses
+// every channel model with every fault family — including drift
+// spill-over, energy cutoffs, and the legacy node-failure knob — and
+// repeats the comparison on every runnable slot-kernel backend (oracle
+// reference loops, generic, native), since the batched driver is the
+// one consumer that dispatches through the ops table on all three.
+// Also covered: per-lane RNG stream independence, caller-owned energy
+// ledgers, workspace reuse across batches, the NSMODEL_BATCH policy,
+// and Monte-Carlo aggregate equality at width 1 vs width > 1.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "net/slot_kernel.hpp"
+#include "protocols/counter_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/batch_workspace.hpp"
+#include "sim/experiment.hpp"
+#include "sim/experiment_batch.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/run_workspace.hpp"
+#include "sim/scenario_cache.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+constexpr std::size_t kLanes = 4;
+
+/// One cell of the equivalence matrix: a channel model crossed with a
+/// fault mix, applied to ExperimentConfig by `mutate`.
+struct BatchCase {
+  std::string name;
+  net::ChannelModel channel = net::ChannelModel::CollisionAware;
+  void (*mutate)(sim::ExperimentConfig&) = nullptr;
+};
+
+void noFaults(sim::ExperimentConfig&) {}
+
+void crashFaults(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 7;
+  cfg.fault.crash.crashRate = 0.08;
+  cfg.fault.crash.recoveryRate = 0.25;
+}
+
+void linkLoss(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 11;
+  cfg.fault.link.pGoodToBad = 0.25;
+  cfg.fault.link.pBadToGood = 0.4;
+  cfg.fault.link.lossBad = 0.7;
+  cfg.fault.link.lossGood = 0.02;
+}
+
+void clockDrift(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 13;
+  cfg.fault.drift.maxSkewSlots = 0.4;
+}
+
+void energyCutoff(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 17;
+  cfg.fault.energyBudget = 3.0;
+}
+
+void legacyNodeFailure(sim::ExperimentConfig& cfg) {
+  cfg.nodeFailureRate = 0.05;
+}
+
+void combinedFaults(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 19;
+  cfg.fault.crash.crashRate = 0.05;
+  cfg.fault.crash.recoveryRate = 0.3;
+  cfg.fault.link.pGoodToBad = 0.2;
+  cfg.fault.link.pBadToGood = 0.5;
+  cfg.fault.link.lossBad = 0.5;
+  cfg.fault.drift.maxSkewSlots = 0.3;
+  cfg.fault.energyBudget = 5.0;
+}
+
+std::vector<BatchCase> equivalenceMatrix() {
+  const struct {
+    const char* name;
+    void (*mutate)(sim::ExperimentConfig&);
+  } faults[] = {
+      {"clean", noFaults},      {"crash", crashFaults},
+      {"link", linkLoss},       {"drift", clockDrift},
+      {"energy", energyCutoff}, {"legacy", legacyNodeFailure},
+      {"combined", combinedFaults},
+  };
+  const struct {
+    const char* name;
+    net::ChannelModel channel;
+  } channels[] = {
+      {"cfm", net::ChannelModel::CollisionFree},
+      {"cam", net::ChannelModel::CollisionAware},
+      {"cs", net::ChannelModel::CarrierSenseAware},
+  };
+  std::vector<BatchCase> cases;
+  for (const auto& ch : channels) {
+    for (const auto& f : faults) {
+      cases.push_back(
+          {std::string(ch.name) + "_" + f.name, ch.channel, f.mutate});
+    }
+  }
+  return cases;
+}
+
+sim::ExperimentConfig baseConfig(const BatchCase& c) {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 30.0;
+  cfg.maxPhases = 60;
+  cfg.channel = c.channel;
+  c.mutate(cfg);
+  return cfg;
+}
+
+/// The kernels this build/CPU can actually run.
+std::vector<net::SlotKernelIsa> runnableIsas() {
+  std::vector<net::SlotKernelIsa> isas{net::SlotKernelIsa::Oracle,
+                                       net::SlotKernelIsa::Generic};
+  if (net::slotKernelAvailable(net::SlotKernelIsa::Native)) {
+    isas.push_back(net::SlotKernelIsa::Native);
+  }
+  return isas;
+}
+
+/// Restores the pre-test kernel selection on scope exit.
+struct KernelGuard {
+  net::SlotKernelIsa prev;
+  KernelGuard() : prev(net::slotKernelOps().isa) {}
+  ~KernelGuard() { net::setSlotKernel(prev); }
+};
+
+/// Restores the pre-test batch-width override on scope exit.
+struct WidthGuard {
+  ~WidthGuard() { sim::setBatchWidthOverride(-1); }
+};
+
+void expectIdentical(const sim::RunResult& batch, const sim::RunResult& seq,
+                     const std::string& label) {
+  EXPECT_EQ(batch.nodeCount(), seq.nodeCount()) << label;
+  EXPECT_EQ(batch.receptionSlots(), seq.receptionSlots()) << label;
+  EXPECT_EQ(batch.transmissionSlots(), seq.transmissionSlots()) << label;
+  EXPECT_EQ(batch.receptionSlotByNode(), seq.receptionSlotByNode()) << label;
+  EXPECT_EQ(batch.attemptedPairs(), seq.attemptedPairs()) << label;
+  EXPECT_EQ(batch.deliveredPairs(), seq.deliveredPairs()) << label;
+  ASSERT_EQ(batch.phases().size(), seq.phases().size()) << label;
+  for (std::size_t i = 0; i < batch.phases().size(); ++i) {
+    EXPECT_EQ(batch.phases()[i].transmissions, seq.phases()[i].transmissions)
+        << label << " phase " << i;
+    EXPECT_EQ(batch.phases()[i].newReceivers, seq.phases()[i].newReceivers)
+        << label << " phase " << i;
+    EXPECT_EQ(batch.phases()[i].deliveries, seq.phases()[i].deliveries)
+        << label << " phase " << i;
+    EXPECT_EQ(batch.phases()[i].lostReceivers, seq.phases()[i].lostReceivers)
+        << label << " phase " << i;
+  }
+}
+
+std::vector<sim::Scenario> buildScenarios(const sim::ExperimentConfig& cfg,
+                                          std::uint64_t seed,
+                                          std::size_t count) {
+  std::vector<sim::Scenario> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    scenarios.push_back(
+        sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, seed, k)));
+  }
+  return scenarios;
+}
+
+std::vector<sim::RunResult> sequentialRuns(
+    const sim::ExperimentConfig& cfg, const std::vector<sim::Scenario>& scen,
+    const protocols::ProtocolFactory& factory) {
+  sim::RunWorkspace ws;
+  auto protocol = factory();
+  std::vector<sim::RunResult> results;
+  results.reserve(scen.size());
+  for (const sim::Scenario& s : scen) {
+    support::Rng rng = s.protocolRng;
+    results.push_back(sim::runBroadcast(cfg, s.deployment, s.topology,
+                                        *protocol, rng, ws));
+  }
+  return results;
+}
+
+std::vector<sim::RunResult> batchedRuns(
+    const sim::ExperimentConfig& cfg, const std::vector<sim::Scenario>& scen,
+    const protocols::ProtocolFactory& factory, sim::BatchWorkspace& batch) {
+  std::vector<std::unique_ptr<protocols::BroadcastProtocol>> protos;
+  std::vector<sim::BatchLane> lanes;
+  lanes.reserve(scen.size());
+  for (const sim::Scenario& s : scen) {
+    protos.push_back(factory());
+    lanes.push_back(sim::BatchLane{&s.deployment, &s.topology,
+                                   protos.back().get(), s.protocolRng,
+                                   nullptr});
+  }
+  return sim::runBroadcastBatch(cfg, lanes, batch);
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchEquivalence, LanesMatchSequentialOnEveryKernel) {
+  const BatchCase& c = GetParam();
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const auto scenarios = buildScenarios(cfg, 42, kLanes);
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+  KernelGuard guard;
+  for (const net::SlotKernelIsa isa : runnableIsas()) {
+    net::setSlotKernel(isa);
+    const auto seq = sequentialRuns(cfg, scenarios, factory);
+    sim::BatchWorkspace batch;
+    const auto bat = batchedRuns(cfg, scenarios, factory, batch);
+    ASSERT_EQ(bat.size(), seq.size());
+    for (std::size_t k = 0; k < bat.size(); ++k) {
+      expectIdentical(bat[k], seq[k],
+                      c.name + " kernel " +
+                          std::string(net::slotKernelIsaName(isa)) + " lane " +
+                          std::to_string(k));
+    }
+  }
+}
+
+// Counter-based cancellation exercises the duplicate path (pending bit
+// live, keepPendingAfterDuplicate consulted) that probabilistic
+// broadcast reaches only rarely.
+TEST_P(BatchEquivalence, CounterBasedProtocolMatchesToo) {
+  const BatchCase& c = GetParam();
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const auto scenarios = buildScenarios(cfg, 42, kLanes);
+  const auto factory = [] {
+    return std::make_unique<protocols::CounterBasedBroadcast>(3);
+  };
+  const auto seq = sequentialRuns(cfg, scenarios, factory);
+  sim::BatchWorkspace batch;
+  const auto bat = batchedRuns(cfg, scenarios, factory, batch);
+  ASSERT_EQ(bat.size(), seq.size());
+  for (std::size_t k = 0; k < bat.size(); ++k) {
+    expectIdentical(bat[k], seq[k], c.name + " lane " + std::to_string(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BatchEquivalence, ::testing::ValuesIn(equivalenceMatrix()),
+    [](const ::testing::TestParamInfo<BatchCase>& param) {
+      return param.param.name;
+    });
+
+// A reused BatchWorkspace must behave like a fresh one: finishLane
+// restores the all-clean invariant and reclaim() recycles capacity, so
+// the second batch is bit-identical to the first's conditions.
+TEST(BatchWorkspaceReuse, SecondBatchMatchesFresh) {
+  BatchCase c{"cam_clean", net::ChannelModel::CollisionAware, noFaults};
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const auto scenarios = buildScenarios(cfg, 42, kLanes);
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+  sim::BatchWorkspace reused;
+  auto first = batchedRuns(cfg, scenarios, factory, reused);
+  for (auto& result : first) reused.reclaim(std::move(result));
+  const auto second = batchedRuns(cfg, scenarios, factory, reused);
+  sim::BatchWorkspace fresh;
+  const auto expected = batchedRuns(cfg, scenarios, factory, fresh);
+  ASSERT_EQ(second.size(), expected.size());
+  for (std::size_t k = 0; k < second.size(); ++k) {
+    expectIdentical(second[k], expected[k], "reuse lane " + std::to_string(k));
+  }
+}
+
+// Lanes may carry caller-owned energy ledgers; per-lane accounting must
+// match what a sequential run with the same ledger records.
+TEST(BatchEnergy, CallerLedgersAccumulatePerLane) {
+  BatchCase c{"cam_clean", net::ChannelModel::CollisionAware, noFaults};
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const auto scenarios = buildScenarios(cfg, 42, kLanes);
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+
+  std::vector<net::EnergyLedger> seqLedgers;
+  std::vector<sim::RunResult> seq;
+  {
+    sim::RunWorkspace ws;
+    auto protocol = factory();
+    for (const sim::Scenario& s : scenarios) {
+      seqLedgers.emplace_back(s.deployment.nodeCount(), cfg.costs);
+      support::Rng rng = s.protocolRng;
+      seq.push_back(sim::runBroadcast(cfg, s.deployment, s.topology,
+                                      *protocol, rng, ws,
+                                      &seqLedgers.back()));
+    }
+  }
+
+  std::vector<net::EnergyLedger> batLedgers;
+  for (const sim::Scenario& s : scenarios) {
+    batLedgers.emplace_back(s.deployment.nodeCount(), cfg.costs);
+  }
+  std::vector<std::unique_ptr<protocols::BroadcastProtocol>> protos;
+  std::vector<sim::BatchLane> lanes;
+  for (std::size_t k = 0; k < scenarios.size(); ++k) {
+    protos.push_back(factory());
+    lanes.push_back(sim::BatchLane{&scenarios[k].deployment,
+                                   &scenarios[k].topology, protos[k].get(),
+                                   scenarios[k].protocolRng, &batLedgers[k]});
+  }
+  sim::BatchWorkspace batch;
+  const auto bat = sim::runBroadcastBatch(cfg, lanes, batch);
+
+  ASSERT_EQ(bat.size(), seq.size());
+  for (std::size_t k = 0; k < bat.size(); ++k) {
+    expectIdentical(bat[k], seq[k], "ledger lane " + std::to_string(k));
+    EXPECT_DOUBLE_EQ(batLedgers[k].totalEnergy(), seqLedgers[k].totalEnergy())
+        << "lane " << k;
+    EXPECT_DOUBLE_EQ(batLedgers[k].maxNodeEnergy(),
+                     seqLedgers[k].maxNodeEnergy())
+        << "lane " << k;
+  }
+}
+
+// Under SlotDriver::DesEngine the batch entry point must fall back to
+// sequential engine-path runs and still match them bit for bit.
+TEST(BatchFallback, DesEngineRunsSequentially) {
+  BatchCase c{"cam_drift", net::ChannelModel::CollisionAware, clockDrift};
+  sim::ExperimentConfig cfg = baseConfig(c);
+  cfg.driver = sim::SlotDriver::DesEngine;
+  const auto scenarios = buildScenarios(cfg, 42, kLanes);
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+  const auto seq = sequentialRuns(cfg, scenarios, factory);
+  sim::BatchWorkspace batch;
+  const auto bat = batchedRuns(cfg, scenarios, factory, batch);
+  ASSERT_EQ(bat.size(), seq.size());
+  for (std::size_t k = 0; k < bat.size(); ++k) {
+    expectIdentical(bat[k], seq[k], "des lane " + std::to_string(k));
+  }
+}
+
+/// Protocol that records the RNG stream position after every decision,
+/// so cross-lane contamination (any lane drawing from another's stream)
+/// shows up as a diverged fingerprint sequence.
+class RecordingProtocol : public protocols::BroadcastProtocol {
+ public:
+  explicit RecordingProtocol(std::vector<std::uint64_t>* log) : log_(log) {}
+  const char* name() const override { return "recording"; }
+  protocols::RebroadcastDecision onFirstReception(
+      net::NodeId /*node*/, net::NodeId /*sender*/,
+      protocols::ProtocolContext& ctx) override {
+    const bool transmit = ctx.rng.uniform() < 0.7;
+    const int slot = static_cast<int>(
+        ctx.rng.below(static_cast<std::uint64_t>(ctx.slotsPerPhase)));
+    log_->push_back(ctx.rng.stateFingerprint());
+    return {transmit, slot};
+  }
+
+ private:
+  std::vector<std::uint64_t>* log_;
+};
+
+// Satellite contract: lane k consumes exactly the draw sequence the
+// sequential replication k would, even though the lanes' protocol
+// callbacks interleave slot by slot.
+TEST(BatchRngStreams, LanesConsumeIndependentStreams) {
+  BatchCase c{"cam_clean", net::ChannelModel::CollisionAware, noFaults};
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const auto scenarios = buildScenarios(cfg, 42, kLanes);
+
+  std::vector<std::vector<std::uint64_t>> seqLogs(kLanes);
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    sim::RunWorkspace ws;
+    RecordingProtocol protocol(&seqLogs[k]);
+    support::Rng rng = scenarios[k].protocolRng;
+    sim::runBroadcast(cfg, scenarios[k].deployment, scenarios[k].topology,
+                      protocol, rng, ws);
+  }
+
+  std::vector<std::vector<std::uint64_t>> batLogs(kLanes);
+  std::vector<std::unique_ptr<RecordingProtocol>> protos;
+  std::vector<sim::BatchLane> lanes;
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    protos.push_back(std::make_unique<RecordingProtocol>(&batLogs[k]));
+    lanes.push_back(sim::BatchLane{&scenarios[k].deployment,
+                                   &scenarios[k].topology, protos[k].get(),
+                                   scenarios[k].protocolRng, nullptr});
+  }
+  sim::BatchWorkspace batch;
+  sim::runBroadcastBatch(cfg, lanes, batch);
+
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    EXPECT_FALSE(batLogs[k].empty()) << "lane " << k << " never decided";
+    EXPECT_EQ(batLogs[k], seqLogs[k]) << "lane " << k;
+  }
+}
+
+/// Scoped NSMODEL_BATCH assignment (restores the previous value).
+struct BatchEnv {
+  std::string saved;
+  bool had;
+  explicit BatchEnv(const char* value) {
+    const char* prev = std::getenv("NSMODEL_BATCH");
+    had = prev != nullptr;
+    if (had) saved = prev;
+    if (value == nullptr) {
+      ::unsetenv("NSMODEL_BATCH");
+    } else {
+      ::setenv("NSMODEL_BATCH", value, 1);
+    }
+  }
+  ~BatchEnv() {
+    if (had) {
+      ::setenv("NSMODEL_BATCH", saved.c_str(), 1);
+    } else {
+      ::unsetenv("NSMODEL_BATCH");
+    }
+  }
+};
+
+TEST(BatchPolicy, EnvironmentSelectsWidth) {
+  WidthGuard guard;
+  sim::setBatchWidthOverride(-1);
+  {
+    BatchEnv env(nullptr);
+    EXPECT_EQ(sim::batchWidth(), 8);  // unset -> auto
+  }
+  {
+    BatchEnv env("auto");
+    EXPECT_EQ(sim::batchWidth(), 8);
+  }
+  {
+    BatchEnv env("off");
+    EXPECT_EQ(sim::batchWidth(), 1);
+  }
+  {
+    BatchEnv env("4");
+    EXPECT_EQ(sim::batchWidth(), 4);
+  }
+  {
+    BatchEnv env("1");
+    EXPECT_EQ(sim::batchWidth(), 1);
+  }
+  {
+    BatchEnv env("0");
+    EXPECT_EQ(sim::batchWidth(), 1);
+  }
+  {
+    BatchEnv env("sixteen");
+    EXPECT_THROW(sim::batchWidth(), ConfigError);
+  }
+  {
+    BatchEnv env("-2");
+    EXPECT_THROW(sim::batchWidth(), ConfigError);
+  }
+  {
+    BatchEnv env("4x");
+    EXPECT_THROW(sim::batchWidth(), ConfigError);
+  }
+}
+
+TEST(BatchPolicy, OverrideBeatsEnvironment) {
+  WidthGuard guard;
+  BatchEnv env("off");
+  sim::setBatchWidthOverride(5);
+  EXPECT_EQ(sim::batchWidth(), 5);
+  sim::setBatchWidthOverride(0);
+  EXPECT_EQ(sim::batchWidth(), 1);
+  sim::setBatchWidthOverride(-1);
+  EXPECT_EQ(sim::batchWidth(), 1);  // back to the environment ("off")
+}
+
+TEST(BatchPolicy, DesEngineNeverBatches) {
+  WidthGuard guard;
+  sim::setBatchWidthOverride(6);
+  sim::ExperimentConfig cfg;
+  cfg.driver = sim::SlotDriver::FlatLoop;
+  EXPECT_EQ(sim::batchWidthFor(cfg), 6);
+  cfg.driver = sim::SlotDriver::DesEngine;
+  EXPECT_EQ(sim::batchWidthFor(cfg), 1);
+}
+
+sim::MonteCarloConfig smallMonteCarlo() {
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 4;
+  mc.experiment.neighborDensity = 30.0;
+  mc.experiment.maxPhases = 60;
+  mc.replications = 10;
+  mc.parallel = false;
+  return mc;
+}
+
+sim::MetricExtractor standardExtract() {
+  return [](const sim::RunResult& r) {
+    return std::vector<double>{r.finalReachability(),
+                               static_cast<double>(r.totalBroadcasts()),
+                               r.latencyForReachability(0.9).value_or(-1.0)};
+  };
+}
+
+void expectAggregatesEqual(const std::vector<sim::MetricAggregate>& a,
+                           const std::vector<sim::MetricAggregate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stats.mean, b[i].stats.mean) << "metric " << i;
+    EXPECT_EQ(a[i].stats.stddev, b[i].stats.stddev) << "metric " << i;
+    EXPECT_EQ(a[i].definedFraction, b[i].definedFraction) << "metric " << i;
+    EXPECT_EQ(a[i].replications, b[i].replications) << "metric " << i;
+  }
+}
+
+// The Monte-Carlo pipeline must produce identical aggregates whether
+// replications run one at a time or through the batch driver.
+TEST(BatchMonteCarlo, FixedAggregatesMatchWidthOne) {
+  WidthGuard guard;
+  const sim::MonteCarloConfig mc = smallMonteCarlo();
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+  const auto extract = standardExtract();
+  sim::setBatchWidthOverride(1);
+  const auto sequential = sim::monteCarlo(mc, factory, extract);
+  sim::setBatchWidthOverride(4);
+  const auto batched = sim::monteCarlo(mc, factory, extract);
+  expectAggregatesEqual(batched, sequential);
+}
+
+TEST(BatchMonteCarlo, SweepAggregatesMatchWidthOne) {
+  WidthGuard guard;
+  sim::MonteCarloConfig mc = smallMonteCarlo();
+  sim::ScenarioCache cache;
+  mc.cache = &cache;
+  const std::vector<protocols::ProtocolFactory> factories = {
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.4); },
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.8); },
+      [] { return std::make_unique<protocols::SimpleFlooding>(); },
+  };
+  const auto extract = standardExtract();
+  sim::setBatchWidthOverride(1);
+  const auto sequential = sim::monteCarloSweep(mc, factories, extract);
+  sim::setBatchWidthOverride(4);
+  const auto batched = sim::monteCarloSweep(mc, factories, extract);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t point = 0; point < batched.size(); ++point) {
+    expectAggregatesEqual(batched[point], sequential[point]);
+  }
+}
+
+// Adaptive mode folds samples in replication order at batch boundaries,
+// so the realized replication counts — not just the means — must agree.
+TEST(BatchMonteCarlo, AdaptiveRealizedCountsMatchWidthOne) {
+  WidthGuard guard;
+  sim::MonteCarloConfig mc = smallMonteCarlo();
+  mc.adaptive.targetCi = 0.05;
+  mc.adaptive.minReps = 4;
+  mc.adaptive.maxReps = 20;
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+  const auto extract = standardExtract();
+  sim::setBatchWidthOverride(1);
+  const auto sequential = sim::monteCarlo(mc, factory, extract);
+  sim::setBatchWidthOverride(4);
+  const auto batched = sim::monteCarlo(mc, factory, extract);
+  expectAggregatesEqual(batched, sequential);
+
+  // And through the pruning sweep as well.
+  const std::vector<protocols::ProtocolFactory> factories = {
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.5); },
+      [] { return std::make_unique<protocols::SimpleFlooding>(); },
+  };
+  sim::setBatchWidthOverride(1);
+  const auto sweepSeq = sim::monteCarloSweep(mc, factories, extract);
+  sim::setBatchWidthOverride(4);
+  const auto sweepBat = sim::monteCarloSweep(mc, factories, extract);
+  ASSERT_EQ(sweepBat.size(), sweepSeq.size());
+  for (std::size_t point = 0; point < sweepBat.size(); ++point) {
+    expectAggregatesEqual(sweepBat[point], sweepSeq[point]);
+  }
+}
+
+TEST(BatchMonteCarlo, RunReplicationsMatchesWidthOne) {
+  WidthGuard guard;
+  const sim::MonteCarloConfig mc = smallMonteCarlo();
+  const auto factory = [] {
+    return std::make_unique<protocols::CounterBasedBroadcast>(3);
+  };
+  sim::setBatchWidthOverride(1);
+  const auto sequential = sim::runReplications(mc, factory);
+  sim::setBatchWidthOverride(4);
+  const auto batched = sim::runReplications(mc, factory);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t rep = 0; rep < batched.size(); ++rep) {
+    expectIdentical(batched[rep], sequential[rep],
+                    "rep " + std::to_string(rep));
+  }
+}
+
+}  // namespace

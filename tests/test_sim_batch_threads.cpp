@@ -1,0 +1,102 @@
+// Thread-safety of the batched Monte-Carlo path.
+//
+// Each worker chunk owns its BatchWorkspace and protocol instances, so
+// a parallel batched sweep must be data-race free (this file is the
+// target of the CI thread-sanitizer job) and must aggregate to exactly
+// the sequential batched result.  The grain is forced small so several
+// chunks genuinely run concurrently.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment_batch.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/scenario_cache.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+struct WidthGuard {
+  ~WidthGuard() { sim::setBatchWidthOverride(-1); }
+};
+
+sim::MetricExtractor extractor() {
+  return [](const sim::RunResult& r) {
+    return std::vector<double>{r.finalReachability(),
+                               static_cast<double>(r.totalBroadcasts())};
+  };
+}
+
+TEST(BatchThreads, ParallelSweepMatchesSequential) {
+  WidthGuard guard;
+  sim::setBatchWidthOverride(4);
+
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 3;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.replications = 16;
+  mc.grain = 4;  // several chunks in flight at once
+  sim::ScenarioCache cache;
+  mc.cache = &cache;
+
+  const std::vector<protocols::ProtocolFactory> factories = {
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.5); },
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.8); },
+      [] { return std::make_unique<protocols::SimpleFlooding>(); },
+  };
+
+  mc.parallel = true;
+  const auto parallel = sim::monteCarloSweep(mc, factories, extractor());
+  mc.parallel = false;
+  const auto sequential = sim::monteCarloSweep(mc, factories, extractor());
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t point = 0; point < parallel.size(); ++point) {
+    ASSERT_EQ(parallel[point].size(), sequential[point].size());
+    for (std::size_t m = 0; m < parallel[point].size(); ++m) {
+      EXPECT_EQ(parallel[point][m].stats.mean,
+                sequential[point][m].stats.mean)
+          << "point " << point << " metric " << m;
+      EXPECT_EQ(parallel[point][m].stats.stddev,
+                sequential[point][m].stats.stddev)
+          << "point " << point << " metric " << m;
+      EXPECT_EQ(parallel[point][m].replications,
+                sequential[point][m].replications)
+          << "point " << point << " metric " << m;
+    }
+  }
+}
+
+TEST(BatchThreads, ParallelMonteCarloMatchesSequential) {
+  WidthGuard guard;
+  sim::setBatchWidthOverride(4);
+
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 3;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.replications = 16;
+  mc.grain = 4;
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+
+  mc.parallel = true;
+  const auto parallel = sim::monteCarlo(mc, factory, extractor());
+  mc.parallel = false;
+  const auto sequential = sim::monteCarlo(mc, factory, extractor());
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t m = 0; m < parallel.size(); ++m) {
+    EXPECT_EQ(parallel[m].stats.mean, sequential[m].stats.mean);
+    EXPECT_EQ(parallel[m].stats.stddev, sequential[m].stats.stddev);
+    EXPECT_EQ(parallel[m].replications, sequential[m].replications);
+  }
+}
+
+}  // namespace
