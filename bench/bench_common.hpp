@@ -39,6 +39,10 @@ struct BenchOptions {
   /// overwriting it (JSONL-style: one record per run).  CI's perf-smoke
   /// lane uses this to collect 1- and 4-thread records in one file.
   bool append = false;
+  /// micro_sweep only: skip the regular sections and run the huge-N
+  /// sharded demo (>= 10^6 nodes at rho = 140) instead, appending a
+  /// separate "micro_sweep_huge" record.  Other benches ignore it.
+  bool huge = false;
 
   /// Parses the shared options.  Unknown options and malformed numeric
   /// values are fatal (exit code 2) so a typo cannot silently run the
@@ -47,8 +51,9 @@ struct BenchOptions {
     BenchOptions opts;
     const auto die = [](const std::string& message) {
       std::fprintf(stderr, "error: %s\n", message.c_str());
-      std::fprintf(stderr,
-                   "usage: [--fast] [--reps=N] [--seed=N] [--append]\n");
+      std::fprintf(
+          stderr,
+          "usage: [--fast] [--reps=N] [--seed=N] [--append] [--huge]\n");
       std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
@@ -58,6 +63,8 @@ struct BenchOptions {
         opts.replications = 6;
       } else if (arg == "--append") {
         opts.append = true;
+      } else if (arg == "--huge") {
+        opts.huge = true;
       } else if (arg.rfind("--reps=", 0) == 0) {
         const std::uint64_t reps = parseNumber(arg.substr(7), arg, die);
         if (reps < 1 || reps > 1000000) {

@@ -19,12 +19,17 @@
 // test.  Options: --fast (quarter-size grids), --reps=N, --seed=N,
 // --append (add this run's JSON record instead of overwriting —
 // perf-smoke collects 1- and 4-thread records in one file).
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -36,6 +41,7 @@
 #include "sim/experiment_batch.hpp"
 #include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace {
 
@@ -96,17 +102,18 @@ AnalyticSeries analyticSweep(const BenchOptions& opts,
   return series;
 }
 
-/// True when `path` already holds a micro_sweep record with this
+/// True when `path` already holds a `bench` record with this
 /// (fast, threads, seed) key.  Appending a second record with the same
 /// key would make the perf-smoke comparison pick one of them arbitrarily,
 /// so --append refuses up front.  The file is a concatenation of the
 /// pretty-printed records this binary writes; the key fields appear one
 /// per line in a fixed order, so a line scan that resets on each
 /// "bench" line is enough.
-bool hasRecord(const char* path, bool fast, std::size_t threads,
-               std::uint64_t seed) {
+bool hasRecord(const char* path, const char* bench, bool fast,
+               std::size_t threads, std::uint64_t seed) {
   std::FILE* in = std::fopen(path, "r");
   if (in == nullptr) return false;
+  const std::string needle = std::string("\"") + bench + "\"";
   char line[256];
   bool sameBench = false;
   bool sameFast = false;
@@ -115,7 +122,7 @@ bool hasRecord(const char* path, bool fast, std::size_t threads,
   while (!found && std::fgets(line, sizeof line, in) != nullptr) {
     unsigned long long value = 0;
     if (std::strstr(line, "\"bench\":") != nullptr) {
-      sameBench = std::strstr(line, "\"micro_sweep\"") != nullptr;
+      sameBench = std::strstr(line, needle.c_str()) != nullptr;
       sameFast = sameSeed = false;
     } else if (std::strstr(line, "\"fast\":") != nullptr) {
       sameFast = std::strstr(line, fast ? "true" : "false") != nullptr;
@@ -129,23 +136,139 @@ bool hasRecord(const char* path, bool fast, std::size_t threads,
   return found;
 }
 
+/// Peak resident set size of this process in MiB (ru_maxrss is KiB on
+/// Linux).
+double peakRssMb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// How many shards can actually run concurrently here: efficiency is
+/// measured against the hardware, not against thread count — four shards
+/// on one core legitimately take one core's time.
+int effectiveWorkers(int shards) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, std::min(shards, hw == 0 ? 1 : static_cast<int>(hw)));
+}
+
+/// The huge-N sharded demo (--huge): one deployment the flat collision
+/// channels cannot even represent (their packed count tables cap node
+/// ids at 16 bits), run start to finish through the sharded engine at 1
+/// and at 4 shards.  The two runs must agree bit for bit — the
+/// shard-count-independence contract at a scale the test matrix cannot
+/// afford — and the record keeps wall clock, peak RSS, and the 1 -> 4
+/// shard parallel efficiency (normalized by the cores actually
+/// available).  Appends a separate "micro_sweep_huge" record so the
+/// regular perf-smoke records stay untouched.
+int runHuge(const BenchOptions& opts, const char* path) {
+  nsmodel::bench::banner("micro_sweep --huge",
+                         "sharded single-run engine at N >= 10^6");
+  nsmodel::sim::ExperimentConfig cfg;
+  cfg.rings = 85;  // rho * rings^2 = 140 * 85^2 ~ 1.01e6 nodes
+  cfg.neighborDensity = 140.0;
+  cfg.maxPhases = 300;
+
+  const auto b0 = Clock::now();
+  const nsmodel::sim::Scenario scenario = nsmodel::sim::buildScenario(
+      nsmodel::sim::ScenarioKey::forExperiment(cfg, opts.seed, 0));
+  const double buildWall = seconds(b0, Clock::now());
+  const std::size_t nodes = scenario.topology.nodeCount();
+  std::printf("deployment               %7.2fs  %zu nodes, %.0f avg "
+              "neighbours\n",
+              buildWall, nodes, cfg.neighborDensity);
+
+  nsmodel::protocols::ProbabilisticBroadcast protocol(0.6);
+  const auto timeShards = [&](int shards,
+                              std::optional<nsmodel::sim::RunResult>& out) {
+    nsmodel::sim::ShardedEngine engine(scenario.deployment,
+                                       scenario.topology, shards);
+    nsmodel::support::Rng rng = scenario.protocolRng;
+    const auto t0 = Clock::now();
+    out.emplace(engine.run(cfg, protocol, rng));
+    return seconds(t0, Clock::now());
+  };
+  std::optional<nsmodel::sim::RunResult> one;
+  std::optional<nsmodel::sim::RunResult> four;
+  const double wall1 = timeShards(1, one);
+  std::printf("sharded x1               %7.2fs  reached %.3f\n", wall1,
+              one->finalReachability());
+  const double wall4 = timeShards(4, four);
+  const int workers = effectiveWorkers(4);
+  const double efficiency =
+      wall4 > 0.0 ? wall1 / (workers * wall4) : 0.0;
+  const bool hugeIdentical =
+      one->receptionSlots() == four->receptionSlots() &&
+      one->transmissionSlots() == four->transmissionSlots() &&
+      one->receptionSlotByNode() == four->receptionSlotByNode() &&
+      one->attemptedPairs() == four->attemptedPairs() &&
+      one->deliveredPairs() == four->deliveredPairs();
+  const double rssMb = peakRssMb();
+  std::printf("sharded x4               %7.2fs  efficiency %.2f over %d "
+              "worker%s  (%s)\n",
+              wall4, efficiency, workers, workers == 1 ? "" : "s",
+              hugeIdentical ? "bit-identical" : "MISMATCH");
+  std::printf("peak rss                 %7.0f MiB\n", rssMb);
+
+  std::FILE* out = std::fopen(path, opts.append ? "a" : "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"micro_sweep_huge\",\n");
+  std::fprintf(out, "  \"fast\": %s,\n", opts.fast ? "true" : "false");
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(opts.seed));
+  std::fprintf(out, "  \"threads\": %zu,\n",
+               nsmodel::support::globalPool().size());
+  std::fprintf(out, "  \"huge\": {\n");
+  std::fprintf(out, "    \"rings\": %d,\n", cfg.rings);
+  std::fprintf(out, "    \"density\": %.0f,\n", cfg.neighborDensity);
+  std::fprintf(out, "    \"nodes\": %zu,\n", nodes);
+  std::fprintf(out, "    \"max_phases\": %d,\n", cfg.maxPhases);
+  std::fprintf(out, "    \"topology_build_s\": %.3f,\n", buildWall);
+  std::fprintf(out,
+               "    \"sharded1\": {\"wall_s\": %.3f, "
+               "\"reached_fraction\": %.6f},\n",
+               wall1, one->finalReachability());
+  std::fprintf(out, "    \"sharded4\": {\"wall_s\": %.3f},\n", wall4);
+  std::fprintf(out, "    \"effective_workers\": %d,\n", workers);
+  std::fprintf(out, "    \"parallel_efficiency\": %.3f,\n", efficiency);
+  std::fprintf(out, "    \"peak_rss_mb\": %.0f,\n", rssMb);
+  std::fprintf(out, "    \"bit_identical\": %s\n",
+               hugeIdentical ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("%s %s\n", opts.append ? "appended to" : "wrote", path);
+  if (!hugeIdentical) {
+    std::fprintf(stderr,
+                 "error: sharded x4 diverged from sharded x1 at huge N\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const char* path = "BENCH_sweep.json";
+  const char* benchName = opts.huge ? "micro_sweep_huge" : "micro_sweep";
   if (opts.append &&
-      hasRecord(path, opts.fast, nsmodel::support::globalPool().size(),
-                opts.seed)) {
+      hasRecord(path, benchName, opts.fast,
+                nsmodel::support::globalPool().size(), opts.seed)) {
     std::fprintf(stderr,
-                 "error: %s already holds a micro_sweep record with "
+                 "error: %s already holds a %s record with "
                  "fast=%s threads=%zu seed=%llu; refusing to append a "
                  "duplicate\n",
-                 path, opts.fast ? "true" : "false",
+                 path, benchName, opts.fast ? "true" : "false",
                  nsmodel::support::globalPool().size(),
                  static_cast<unsigned long long>(opts.seed));
     return 2;
   }
+  if (opts.huge) return runHuge(opts, path);
   nsmodel::bench::banner("micro_sweep",
                          "sweep-level caching + parallel evaluation");
 
@@ -473,6 +596,79 @@ int main(int argc, char** argv) {
               batchLanes, batch140Wall, batch140Rate, batch140Speedup,
               batch140Identical ? "bit-identical" : "MISMATCH");
 
+  // ---- sharded single-run engine at the collision-bound density ----
+  // Same rho = 140 scenario, but the parallelism lives INSIDE one run:
+  // the sharded engine splits the disk into stripes and steps them in
+  // lockstep.  Its contract is bit-identity with the flat loop under
+  // per-node RNG keying, so the reference here is the flat loop re-run
+  // with RngMode::PerNode (a different stream than the sections above —
+  // same distribution).  N = 3500 is far below the engine's sweet spot
+  // (per-slot work barely amortizes two barriers per slot, and shards
+  // beyond the core count only add scheduling), so these walls track
+  // overhead trends; the --huge record holds the efficiency story.
+  nsmodel::sim::ExperimentConfig shardCfg = kernelCfg;
+  shardCfg.rngMode = nsmodel::sim::RngMode::PerNode;
+  std::vector<RunSignature> flatPerNodeSigs;
+  std::vector<RunSignature> shard1Sigs;
+  std::vector<RunSignature> shard4Sigs;
+  nsmodel::sim::ShardedEngine shardEngine1(kernelScenario.deployment,
+                                           kernelScenario.topology, 1);
+  nsmodel::sim::ShardedEngine shardEngine4(kernelScenario.deployment,
+                                           kernelScenario.topology, 4);
+  // Mirror timeFlatSegment's per-segment run count so the signature
+  // streams compare element for element.
+  const int shardSegmentRuns = batchSegmentRuns;
+  const int shardRuns = kernelSegments * shardSegmentRuns;
+  const auto timeShardSegment = [&](nsmodel::sim::ShardedEngine& engine,
+                                    std::vector<RunSignature>& signatures) {
+    {
+      nsmodel::support::Rng rng = kernelScenario.protocolRng;
+      engine.run(shardCfg, kernelProtocol, rng);
+    }
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < shardSegmentRuns; ++rep) {
+      nsmodel::support::Rng rng = kernelScenario.protocolRng;
+      const nsmodel::sim::RunResult result =
+          engine.run(shardCfg, kernelProtocol, rng);
+      signatures.emplace_back(result.receptionSlots(),
+                              result.receptionSlotByNode());
+    }
+    return seconds(t0, Clock::now());
+  };
+  double flatPerNodeBest = 0.0;
+  double shard1Best = 0.0;
+  double shard4Best = 0.0;
+  for (int seg = 0; seg < kernelSegments; ++seg) {
+    const double f = timeFlatSegment(shardCfg, kernelScenario, kernelProtocol,
+                                     flatPerNodeSigs);
+    const double s1 = timeShardSegment(shardEngine1, shard1Sigs);
+    const double s4 = timeShardSegment(shardEngine4, shard4Sigs);
+    if (seg == 0 || f < flatPerNodeBest) flatPerNodeBest = f;
+    if (seg == 0 || s1 < shard1Best) shard1Best = s1;
+    if (seg == 0 || s4 < shard4Best) shard4Best = s4;
+  }
+  const double flatPerNodeWall = flatPerNodeBest * kernelSegments;
+  const double shard1Wall = shard1Best * kernelSegments;
+  const double shard4Wall = shard4Best * kernelSegments;
+  const bool shard1Identical = shard1Sigs == flatPerNodeSigs;
+  const bool shard4Identical = shard4Sigs == flatPerNodeSigs;
+  const double shard1Rate = shard1Wall > 0.0 ? shardRuns / shard1Wall : 0.0;
+  const double shard4Rate = shard4Wall > 0.0 ? shardRuns / shard4Wall : 0.0;
+  const double flatPerNodeRate =
+      flatPerNodeWall > 0.0 ? shardRuns / flatPerNodeWall : 0.0;
+  const double shard1Speedup =
+      shard1Wall > 0.0 ? flatPerNodeWall / shard1Wall : 0.0;
+  const double shard4Speedup =
+      shard4Wall > 0.0 ? flatPerNodeWall / shard4Wall : 0.0;
+  std::printf("rho140 flat per-node     %7.2fs  %8.1f runs/s\n",
+              flatPerNodeWall, flatPerNodeRate);
+  std::printf("rho140 sharded x1        %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
+              shard1Wall, shard1Rate, shard1Speedup,
+              shard1Identical ? "bit-identical" : "MISMATCH");
+  std::printf("rho140 sharded x4        %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
+              shard4Wall, shard4Rate, shard4Speedup,
+              shard4Identical ? "bit-identical" : "MISMATCH");
+
   // ---- adaptive replication: fixed count vs CI-targeted stopping ----
   // The accelerated fixed sweep above doubles as the quality reference:
   // its widest per-cell 95% CI half-width becomes the adaptive target, so
@@ -621,6 +817,26 @@ int main(int argc, char** argv) {
                batch140Identical ? "true" : "false");
   std::fprintf(out, "    }\n");
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sharded_rho140\": {\n");
+  std::fprintf(out, "    \"density\": %.0f,\n", kernelCfg.neighborDensity);
+  std::fprintf(out, "    \"nodes\": %zu,\n",
+               kernelScenario.topology.nodeCount());
+  std::fprintf(out, "    \"runs\": %d,\n", shardRuns);
+  std::fprintf(out,
+               "    \"flat_pernode\": {\"wall_s\": %.6f, "
+               "\"runs_per_s\": %.1f},\n",
+               flatPerNodeWall, flatPerNodeRate);
+  std::fprintf(out,
+               "    \"sharded1\": {\"wall_s\": %.6f, \"runs_per_s\": %.1f, "
+               "\"speedup\": %.3f, \"bit_identical\": %s},\n",
+               shard1Wall, shard1Rate, shard1Speedup,
+               shard1Identical ? "true" : "false");
+  std::fprintf(out,
+               "    \"sharded4\": {\"wall_s\": %.6f, \"runs_per_s\": %.1f, "
+               "\"speedup\": %.3f, \"bit_identical\": %s}\n",
+               shard4Wall, shard4Rate, shard4Speedup,
+               shard4Identical ? "true" : "false");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"slot_kernel\": {\n");
   std::fprintf(out, "    \"density\": %.0f,\n", kernelCfg.neighborDensity);
   std::fprintf(out, "    \"nodes\": %zu,\n",
@@ -660,7 +876,8 @@ int main(int argc, char** argv) {
   std::printf("%s %s\n", opts.append ? "appended to" : "wrote", path);
 
   if (!simIdentical || !anIdentical || !runsIdentical || !kernelIdentical ||
-      !batch100Identical || !batch140Identical) {
+      !batch100Identical || !batch140Identical || !shard1Identical ||
+      !shard4Identical) {
     std::fprintf(stderr,
                  "error: accelerated sweep diverged from the baseline\n");
     return 1;

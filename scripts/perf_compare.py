@@ -25,8 +25,11 @@ SECTION_WALLS = {
     "replication_batched": ("replication_throughput", "batched", "wall_s"),
     "rho140_flat": ("replication_throughput", "rho140", "flat_loop", "wall_s"),
     "rho140_batched": ("replication_throughput", "rho140", "batched", "wall_s"),
+    "rho140_sharded1": ("sharded_rho140", "sharded1", "wall_s"),
+    "rho140_sharded4": ("sharded_rho140", "sharded4", "wall_s"),
     "slot_kernel": ("slot_kernel", "kernel", "wall_s"),
     "adaptive": ("adaptive", "adaptive", "wall_s"),
+    "huge_sharded4": ("huge", "sharded4", "wall_s"),
 }
 THRESHOLD = 1.15
 
@@ -64,9 +67,34 @@ def main():
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1], encoding="utf-8") as handle:
-        new = parse_records(handle.read())
-    ref = parse_records(sys.stdin.read())
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            new = parse_records(handle.read())
+    except OSError as error:
+        print(f"error: cannot read new bench file: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: malformed JSON in {sys.argv[1]}: {error}",
+              file=sys.stderr)
+        return 2
+    if not new:
+        print(f"error: no bench records in {sys.argv[1]}", file=sys.stderr)
+        return 2
+    try:
+        ref = parse_records(sys.stdin.read())
+    except json.JSONDecodeError as error:
+        print(f"error: malformed JSON in the reference baseline: {error}",
+              file=sys.stderr)
+        return 2
+    if not ref:
+        # An absent baseline must fail loudly: exiting 0 here would let a
+        # caller that forgot to pipe the committed reference (or piped an
+        # empty file) treat every future regression as green.
+        print("error: reference baseline on stdin is empty — pipe the "
+              "committed BENCH file (perf_smoke.sh skips the comparison "
+              "when there is genuinely no committed reference)",
+              file=sys.stderr)
+        return 2
     regressed = False
     for key, record in sorted(new.items(), key=str):
         label = "bench=%s fast=%s threads=%s seed=%s" % key

@@ -13,8 +13,13 @@
 # run locally and warns in CI, where shared runners make wall-clock
 # comparisons advisory (CI is set by GitHub Actions).  The gated
 # sections include the batched replication throughput (rho = 100 and
-# rho = 140), so a regression in the lockstep batch backend trips the
-# same 15% threshold as the scalar paths.
+# rho = 140) and the sharded single-run walls (sharded_rho140 x1/x4
+# plus the huge-N record when present), so a regression in the lockstep
+# batch backend or the sharded engine trips the same 15% threshold as
+# the scalar paths.  perf_compare exits 2 on broken input (missing or
+# malformed bench file, empty baseline) — that is fatal everywhere,
+# including CI: only genuine wall-clock regressions (exit 1) are
+# advisory on shared runners.
 #
 # Usage: scripts/perf_smoke.sh [path/to/micro_sweep]
 set -euo pipefail
@@ -42,7 +47,14 @@ fi
 if [ -n "$REF_JSON" ]; then
   echo
   echo "== wall clock vs committed $OUT =="
-  if ! python3 scripts/perf_compare.py "$OUT" <<<"$REF_JSON"; then
+  status=0
+  python3 scripts/perf_compare.py "$OUT" <<<"$REF_JSON" || status=$?
+  if [ "$status" -ge 2 ]; then
+    # Broken input (unreadable bench file, malformed JSON, empty
+    # baseline) is a harness bug, never a noisy-runner artefact.
+    echo "FAIL: perf_compare.py could not compare (exit $status)"
+    exit "$status"
+  elif [ "$status" -ne 0 ]; then
     if [ -n "${CI:-}" ]; then
       echo "WARN: wall-clock regression vs committed $OUT" \
            "(advisory on shared CI runners)"

@@ -1,0 +1,29 @@
+#include "geom/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace nsmodel::geom {
+
+std::vector<std::uint32_t> quantileStripeOwners(
+    const std::vector<Vec2>& points, std::size_t stripes) {
+  const std::size_t n = points.size();
+  NSMODEL_CHECK(stripes >= 1 && stripes <= n,
+                "stripe count must lie in [1, point count]");
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (points[a].x != points[b].x) return points[a].x < points[b].x;
+              return a < b;
+            });
+  std::vector<std::uint32_t> owner(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    owner[order[i]] = static_cast<std::uint32_t>(i * stripes / n);
+  }
+  return owner;
+}
+
+}  // namespace nsmodel::geom

@@ -1,0 +1,27 @@
+// Spatial partitioning of point sets into balanced stripes.
+//
+// The sharded simulation engine (sim/sharded_engine.hpp) assigns every
+// node to exactly one worker shard.  Identity never depends on the
+// partition — only load balance does — so the partition is the simplest
+// shape that keeps both the per-shard node counts and the cross-shard
+// halo small for the paper's disk deployments: vertical stripes holding
+// equal node counts (x-quantiles).  Quantiles rather than equal-width
+// stripes because the disk's node density is radial, not uniform in x.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace nsmodel::geom {
+
+/// Assigns each point an owner stripe in [0, stripes): points are ranked
+/// by (x, index) — the index tiebreak keeps the assignment deterministic
+/// for coincident coordinates — and rank i goes to stripe
+/// i * stripes / n.  Stripe populations differ by at most one node.
+/// `stripes` must satisfy 1 <= stripes <= points.size().
+std::vector<std::uint32_t> quantileStripeOwners(
+    const std::vector<Vec2>& points, std::size_t stripes);
+
+}  // namespace nsmodel::geom

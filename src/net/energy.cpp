@@ -25,6 +25,17 @@ void EnergyLedger::recordRx(NodeId node) {
   ++totalRx_;
 }
 
+void EnergyLedger::absorb(const EnergyLedger& other) {
+  NSMODEL_CHECK(other.tx_.size() == tx_.size(),
+                "cannot absorb a ledger of a different node count");
+  for (std::size_t i = 0; i < tx_.size(); ++i) {
+    tx_[i] += other.tx_[i];
+    rx_[i] += other.rx_[i];
+  }
+  totalTx_ += other.totalTx_;
+  totalRx_ += other.totalRx_;
+}
+
 std::uint64_t EnergyLedger::txCount(NodeId node) const {
   NSMODEL_CHECK(node < tx_.size(), "node id out of range");
   return tx_[node];

@@ -28,6 +28,12 @@ class EnergyLedger {
   void recordTx(NodeId node);
   void recordRx(NodeId node);
 
+  /// Adds every count of `other` (same node count required) into this
+  /// ledger.  Lets the sharded engine keep a private ledger per shard —
+  /// the shared totals here would be a data race — and merge them once
+  /// the run completes.
+  void absorb(const EnergyLedger& other);
+
   std::uint64_t txCount() const { return totalTx_; }
   std::uint64_t rxCount() const { return totalRx_; }
   std::uint64_t txCount(NodeId node) const;

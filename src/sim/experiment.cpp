@@ -57,6 +57,11 @@ struct RunState {
   std::uint64_t maxSlot = 0;  // transmissions at or beyond this are dropped
   double energyBudget = 0.0;  // per-node cutoff, 0 = unlimited
 
+  /// RngMode::PerNode: protocol draws come from per-node streams keyed
+  /// off this fingerprint instead of the shared run stream.
+  bool perNodeRng = false;
+  std::uint64_t perNodeSeed = 0;
+
   /// Phase index of the slot being resolved and the first slot of the
   /// next phase, both refreshed once per resolveSlot().  Everything the
   /// resolver does — phase records, crash lookups, retransmission
@@ -211,7 +216,18 @@ struct RunState {
       ws.receptionSlots.push_back(slot);
       ws.receptionSlotByNode[receiver] = static_cast<std::int64_t>(slot);
       currentPhase().newReceivers += 1;
-      const auto decision = protocol.onFirstReception(receiver, sender, ctx);
+      protocols::RebroadcastDecision decision;
+      if (perNodeRng) {
+        // First receptions happen exactly once per node, so a fresh
+        // stream per call replays the same draws no matter when (or on
+        // which shard) the reception is processed.
+        support::Rng nodeRng = support::Rng::forStream(perNodeSeed, receiver);
+        protocols::ProtocolContext nodeCtx{ctx.slotsPerPhase, nodeRng,
+                                           ctx.deployment, ctx.topology};
+        decision = protocol.onFirstReception(receiver, sender, nodeCtx);
+      } else {
+        decision = protocol.onFirstReception(receiver, sender, ctx);
+      }
       if (decision.transmit) {
         NSMODEL_CHECK(decision.slot >= 0 &&
                           decision.slot < config.slotsPerPhase,
@@ -277,6 +293,12 @@ RunResult runBroadcastImpl(const ExperimentConfig& config,
   RunState state(config, topology, channel, protocol, ctx, effectiveLedger,
                  plan, ws);
   state.maxSlot = maxSlot;
+  if (config.rngMode == RngMode::PerNode) {
+    state.perNodeRng = true;
+    // Keyed after the fault plan (and any legacy failure draws) so the
+    // per-node streams see the same entropy the sharded engine derives.
+    state.perNodeSeed = rng.stateFingerprint() ^ kPerNodeRngSalt;
+  }
   if (plan.energyBudget() > 0.0) {
     state.energyBudget = plan.energyBudget();
     ws.ensureEnergyFlags(deployment.nodeCount());
@@ -293,8 +315,12 @@ RunResult runBroadcastImpl(const ExperimentConfig& config,
   const net::NodeId source = deployment.source();
   ws.received[source] = true;
   ws.touchedReceivers.push_back(source);
-  state.scheduleTransmission(
-      source, rng.below(static_cast<std::uint64_t>(config.slotsPerPhase)));
+  const std::uint64_t sourceSlot =
+      state.perNodeRng
+          ? support::Rng::forStream(state.perNodeSeed, source)
+                .below(static_cast<std::uint64_t>(config.slotsPerPhase))
+          : rng.below(static_cast<std::uint64_t>(config.slotsPerPhase));
+  state.scheduleTransmission(source, sourceSlot);
 
   if (state.engine != nullptr) {
     state.engine->run();

@@ -43,6 +43,32 @@ enum class SlotDriver {
   DesEngine,
 };
 
+/// Where protocol coin flips and slot jitter come from.
+enum class RngMode {
+  /// The historical behaviour: every draw consumes the run's single RNG
+  /// stream in event order.  Results depend on the global event order,
+  /// which only a serial engine can reproduce.  The default.
+  RunStream,
+  /// Each node's draws come from its own stream,
+  /// Rng::forStream(fingerprint, node), where the fingerprint is taken
+  /// from the run RNG after the fault plan is built (the same keying
+  /// FaultPlan uses).  A node's decisions then depend only on (run, node)
+  /// — not on the order deliveries are processed — which is what lets the
+  /// sharded engine resolve shards concurrently yet stay bit-identical to
+  /// the flat loop in this mode.  Scoped to protocols whose decisions are
+  /// per-node (probabilistic broadcast, flooding): a protocol that draws
+  /// randomness in keepPendingAfterDuplicate or depends on cross-node
+  /// draw interleaving falls outside the contract.
+  PerNode,
+};
+
+/// Salt mixed into the run RNG's fingerprint to key the RngMode::PerNode
+/// node streams.  Distinct from the (unsalted) fingerprint FaultPlan is
+/// keyed with, so fault draws and protocol draws never correlate.  Shared
+/// by the flat loop and the sharded engine — both must derive identical
+/// node streams for the identity contract to hold.
+inline constexpr std::uint64_t kPerNodeRngSalt = 0xb5297a4d9c6b2f3dULL;
+
 /// Parameters of one experiment family (deployment + channel + schedule).
 struct ExperimentConfig {
   int rings = 5;                 ///< P
@@ -68,6 +94,9 @@ struct ExperimentConfig {
   fault::FaultConfig fault{};
   /// Slot-dispatch mechanism; FlatLoop and DesEngine are bit-identical.
   SlotDriver driver = SlotDriver::FlatLoop;
+  /// RNG keying for protocol draws; see RngMode.  RunStream preserves the
+  /// historical streams bit for bit.
+  RngMode rngMode = RngMode::RunStream;
 };
 
 /// Runs a single broadcast over a pre-built topology. The protocol is

@@ -20,6 +20,7 @@
 #include "fault/fault_plan.hpp"
 #include "net/slot_kernel.hpp"
 #include "sim/run_workspace.hpp"
+#include "support/cli_args.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::sim {
@@ -477,17 +478,8 @@ std::vector<RunResult> runLanesSequentially(const ExperimentConfig& config,
 std::atomic<int> gBatchWidthOverride{-1};
 
 int batchWidthFromEnv() {
-  const char* env = std::getenv("NSMODEL_BATCH");
-  const std::string choice = env == nullptr ? "auto" : env;
-  if (choice == "auto" || choice.empty()) return kDefaultBatchWidth;
-  if (choice == "off") return 1;
-  char* end = nullptr;
-  const long parsed = std::strtol(choice.c_str(), &end, 10);
-  if (end == choice.c_str() || *end != '\0' || parsed < 0) {
-    throw ConfigError("unknown NSMODEL_BATCH value '" + choice +
-                      "' (want off|auto|N)");
-  }
-  return parsed <= 1 ? 1 : static_cast<int>(parsed);
+  return support::parsePolicyEnv("NSMODEL_BATCH", std::getenv("NSMODEL_BATCH"),
+                                 kDefaultBatchWidth);
 }
 
 }  // namespace

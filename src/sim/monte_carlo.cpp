@@ -8,6 +8,7 @@
 #include "sim/experiment_batch.hpp"
 #include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -121,19 +122,40 @@ void runChunkBatched(const MonteCarloConfig& config,
   }
 }
 
+/// The shard count runChunk should use: outermost parallelism wins, so
+/// sharding only engages when replication-level parallelism is idle —
+/// the plan is sequential, or it is a single fixed replication (a
+/// parallel fan-out over one replication has nothing to fan).  Note
+/// that a sharded run always uses RngMode::PerNode keying (see
+/// sharded_engine.hpp), so enabling NSMODEL_SHARDS changes the random
+/// stream relative to the default RunStream mode — which is why the
+/// policy is off unless asked for.
+int chunkShards(const MonteCarloConfig& config) {
+  const bool replicationParallelismIdle =
+      !config.parallel ||
+      (!config.adaptive.enabled() && config.replications == 1);
+  if (!replicationParallelismIdle) return 1;
+  return shardCountFor(config.experiment);
+}
+
 /// Runs replications [lo, hi) on one leased workspace with one protocol
 /// instance (reset per run), handing each finished RunResult to
 /// `consume(rep, result, workspace)`.  Replication randomness derives
 /// from (seed, rep) alone, so the chunk boundaries never affect results.
 /// When NSMODEL_BATCH resolves to more than one lane, the replications
 /// run through the lockstep batch driver instead (same results, same
-/// consume order).
+/// consume order); otherwise, when NSMODEL_SHARDS engages, each run
+/// executes on the sharded single-run engine.
 template <typename Consume>
 void runChunk(const MonteCarloConfig& config,
               const protocols::ProtocolFactory& makeProtocol, std::size_t lo,
               std::size_t hi, Consume&& consume) {
+  // Sharding is opt-in (NSMODEL_SHARDS is off unless asked for), so when
+  // it engages it outranks the default-on replication batching: the user
+  // chose within-run parallelism over replication lanes.
+  const int shards = chunkShards(config);
   const int width = batchWidthFor(config.experiment);
-  if (width > 1) {
+  if (width > 1 && shards <= 1) {
     runChunkBatched(config, makeProtocol, lo, hi,
                     static_cast<std::size_t>(width),
                     std::forward<Consume>(consume));
@@ -142,6 +164,15 @@ void runChunk(const MonteCarloConfig& config,
   WorkspaceLease workspace(config.workspaces);
   auto protocol = makeProtocol();
   NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
+  const auto runOne = [&](const Scenario& scenario) {
+    support::Rng rng = scenario.protocolRng;
+    if (shards > 1) {
+      return runBroadcastSharded(config.experiment, scenario.deployment,
+                                 scenario.topology, *protocol, rng, shards);
+    }
+    return runBroadcast(config.experiment, scenario.deployment,
+                        scenario.topology, *protocol, rng, *workspace);
+  };
   for (std::size_t rep = lo; rep < hi; ++rep) {
     const ScenarioKey key =
         ScenarioKey::forExperiment(config.experiment, config.seed, rep);
@@ -149,18 +180,10 @@ void runChunk(const MonteCarloConfig& config,
       const auto scenario = config.cache->getOrBuild(key);
       // Continue the replication's stream from the post-deployment
       // state, as the uncached path would after drawing the deployment.
-      support::Rng rng = scenario->protocolRng;
-      consume(rep,
-              runBroadcast(config.experiment, scenario->deployment,
-                           scenario->topology, *protocol, rng, *workspace),
-              *workspace);
+      consume(rep, runOne(*scenario), *workspace);
     } else {
       const Scenario scenario = buildScenario(key);
-      support::Rng rng = scenario.protocolRng;
-      consume(rep,
-              runBroadcast(config.experiment, scenario.deployment,
-                           scenario.topology, *protocol, rng, *workspace),
-              *workspace);
+      consume(rep, runOne(scenario), *workspace);
     }
   }
 }

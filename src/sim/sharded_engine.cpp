@@ -1,0 +1,686 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "fault/fault_plan.hpp"
+#include "geom/partition.hpp"
+#include "support/cli_args.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+std::atomic<int> gShardOverride{-1};
+
+void fetchMax(std::atomic<std::int64_t>& target, std::int64_t value) {
+  std::int64_t cur = target.load();
+  while (cur < value && !target.compare_exchange_weak(cur, value)) {
+  }
+}
+
+/// Per-run state shared by every shard.  The byte arrays are indexed by
+/// node and only ever written or read by the node's owner shard — every
+/// protocol event of a node (transmission filtering, receptions,
+/// duplicates, energy death) happens on its owner — so they need no
+/// synchronisation beyond the slot barriers.  The one genuinely shared
+/// scalar is the activated-slot horizon, read by every shard's loop
+/// condition between barriers.
+struct SharedRunState {
+  std::vector<std::uint8_t> received;
+  std::vector<std::uint8_t> cancelled;
+  std::vector<std::uint8_t> hasPending;
+  std::vector<std::uint8_t> energyDead;
+  std::vector<std::int64_t> receptionSlotByNode;
+  std::atomic<std::int64_t> maxActivated{-1};
+};
+
+/// Row lookup for one shard: the restricted CSR when the run is split,
+/// the global topology rows when it is not (single shard).
+struct RowAccess {
+  const net::Topology* topology = nullptr;
+  const std::vector<std::uint32_t>* rxOff = nullptr;
+  const std::vector<net::NodeId>* rxIds = nullptr;
+  const std::vector<std::uint32_t>* csOff = nullptr;
+  const std::vector<net::NodeId>* csIds = nullptr;
+
+  net::NeighborSpan rx(net::NodeId node) const {
+    if (rxOff == nullptr) return topology->neighbors(node);
+    const std::uint32_t lo = (*rxOff)[node];
+    return {rxIds->data() + lo, (*rxOff)[node + 1] - lo};
+  }
+  net::NeighborSpan cs(net::NodeId node) const {
+    if (csOff == nullptr) return topology->carrierSenseNeighbors(node);
+    const std::uint32_t lo = (*csOff)[node];
+    return {csIds->data() + lo, (*csOff)[node + 1] - lo};
+  }
+};
+
+/// One worker shard: its agenda, collision tables, fault-plan copy,
+/// ledger, and observation vectors.  The slot loop alternates phase A
+/// (drain own agenda into the published myTx/myIx lists) and phase B
+/// (resolve own receivers against every shard's published lists),
+/// separated by barriers.
+struct Shard {
+  // Immutable wiring, set once by initShard.
+  const ExperimentConfig* config = nullptr;
+  const net::Deployment* deployment = nullptr;
+  const net::Topology* topology = nullptr;
+  protocols::BroadcastProtocol* protocol = nullptr;
+  SharedRunState* shared = nullptr;
+  RowAccess rows;
+  std::uint64_t maxSlot = 0;
+  std::uint64_t perNodeSeed = 0;
+  double energyBudget = 0.0;
+
+  fault::FaultPlan plan;  ///< private copy: the GE query moves cursors
+  std::optional<net::EnergyLedger> ledger;
+  /// Context for duplicate callbacks, mirroring the flat loop's shared
+  /// ctx.  Its RNG is never consumed under the identity contract
+  /// (protocols draw only in onFirstReception); it exists so the
+  /// reference member has something thread-private to bind to.
+  std::optional<support::Rng> dupRng;
+  std::optional<protocols::ProtocolContext> dupCtx;
+
+  // Local slot agenda, the sharded half of RunWorkspace's: per-slot FIFO
+  // chains threaded through a (node, next) entry pool.
+  std::vector<std::uint8_t> slotScheduled;
+  std::vector<std::int32_t> pendingHead;
+  std::vector<std::int32_t> pendingTail;
+  std::vector<std::int32_t> interfererHead;
+  std::vector<std::int32_t> interfererTail;
+  std::vector<net::NodeId> chainNode;
+  std::vector<std::int32_t> chainNext;
+
+  // Published per-slot lists: written by this shard in phase A, read by
+  // every shard in phase B (the halo exchange).
+  std::vector<net::NodeId> myTx;
+  std::vector<net::NodeId> myIx;
+
+  // Collision tables over this shard's owned receivers.  64-bit entries
+  // (count in the low half, XOR of bumping senders in the high half)
+  // lift the 16-bit node-id cap of the flat channels' packed tables.
+  std::vector<std::uint64_t> counts;
+  std::vector<net::NodeId> touched;
+  std::vector<std::uint32_t> sense;  ///< CAM-CS carrier-sense tally
+  std::vector<net::NodeId> senseTouched;
+  std::vector<std::uint8_t> txFlag;  ///< owned node tx/ix this slot
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+
+  // Observations, merged after the join.
+  std::vector<std::uint64_t> receptionSlots;
+  std::vector<std::uint64_t> transmissionSlots;
+  std::vector<PhaseObservation> phases;
+  std::uint64_t attemptedPairs = 0;
+  std::uint64_t deliveredPairs = 0;
+
+  // Per-slot cursors, mirroring RunState.
+  std::int64_t nowSlot = -1;
+  std::size_t curPhase = 0;
+  std::uint64_t nextPhaseStart = 0;
+  std::uint64_t rawDeliveries = 0;
+  std::uint64_t slotLost = 0;
+  std::uint64_t slotErasures = 0;
+
+  std::exception_ptr error;
+
+  PhaseObservation& currentPhase() {
+    if (phases.size() <= curPhase) phases.resize(curPhase + 1);
+    return phases[curPhase];
+  }
+
+  bool isDead(net::NodeId node) const {
+    if (plan.hasCrashes() && plan.isDown(node, curPhase)) return true;
+    return energyBudget > 0.0 && shared->energyDead[node] != 0;
+  }
+
+  void noteEnergySpent(net::NodeId node) {
+    if (energyBudget <= 0.0) return;
+    if (ledger->energy(node) >= energyBudget) shared->energyDead[node] = 1;
+  }
+
+  void appendChain(std::vector<std::int32_t>& head,
+                   std::vector<std::int32_t>& tail, std::uint64_t slot,
+                   net::NodeId node) {
+    const auto idx = static_cast<std::int32_t>(chainNode.size());
+    chainNode.push_back(node);
+    chainNext.push_back(-1);
+    if (tail[slot] >= 0) {
+      chainNext[tail[slot]] = idx;
+    } else {
+      head[slot] = idx;
+    }
+    tail[slot] = idx;
+  }
+
+  void activateSlot(std::uint64_t slot) {
+    if (slotScheduled[slot]) return;
+    slotScheduled[slot] = 1;
+    fetchMax(shared->maxActivated, static_cast<std::int64_t>(slot));
+  }
+
+  void scheduleTransmission(net::NodeId node, std::uint64_t slot) {
+    if (slot >= maxSlot) return;  // beyond the horizon; drop silently
+    activateSlot(slot);
+    appendChain(pendingHead, pendingTail, slot, node);
+    shared->hasPending[node] = 1;
+    shared->cancelled[node] = 0;
+    if (plan.hasDrift()) registerSpill(node, slot);
+  }
+
+  void registerSpill(net::NodeId node, std::uint64_t slot) {
+    const double skew = plan.skew(node);
+    if (skew == 0.0) return;
+    if (skew < 0.0 && slot == 0) return;
+    const std::uint64_t spill = skew > 0.0 ? slot + 1 : slot - 1;
+    if (spill >= maxSlot) return;
+    if (static_cast<std::int64_t>(spill) <= nowSlot) return;
+    activateSlot(spill);
+    appendChain(interfererHead, interfererTail, spill, node);
+  }
+
+  /// Drains this shard's agenda for `slot` into myTx/myIx and does the
+  /// transmitter-side bookkeeping (transmission records, attempted
+  /// pairs, tx energy) — everything the flat resolveSlot does before the
+  /// channel runs, restricted to owned nodes.
+  void phaseA(std::uint64_t slot) {
+    myTx.clear();
+    myIx.clear();
+    nowSlot = static_cast<std::int64_t>(slot);
+    const auto s = static_cast<std::uint64_t>(config->slotsPerPhase);
+    curPhase = static_cast<std::size_t>(slot / s);
+    nextPhaseStart = (static_cast<std::uint64_t>(curPhase) + 1) * s;
+    if (slotScheduled[slot]) {
+      slotScheduled[slot] = 0;
+      for (std::int32_t i = pendingHead[slot]; i >= 0; i = chainNext[i]) {
+        const net::NodeId node = chainNode[i];
+        if (!shared->cancelled[node] && !isDead(node)) myTx.push_back(node);
+        shared->hasPending[node] = 0;
+      }
+      pendingHead[slot] = -1;
+      pendingTail[slot] = -1;
+      for (std::int32_t i = interfererHead[slot]; i >= 0; i = chainNext[i]) {
+        const net::NodeId node = chainNode[i];
+        if (!shared->cancelled[node] && !isDead(node)) myIx.push_back(node);
+      }
+      interfererHead[slot] = -1;
+      interfererTail[slot] = -1;
+    }
+    for (net::NodeId tx : myTx) {
+      transmissionSlots.push_back(slot);
+      attemptedPairs += topology->neighbors(tx).size();
+      if (ledger) {
+        ledger->recordTx(tx);
+        noteEnergySpent(tx);
+      }
+    }
+    if (config->channel != net::ChannelModel::CollisionFree) {
+      for (net::NodeId tx : myTx) txFlag[tx] = 1;
+      for (net::NodeId ix : myIx) txFlag[ix] = 1;
+    }
+  }
+
+  /// Resolves this shard's owned receivers for `slot` against every
+  /// shard's published lists and folds the slot into the phase record —
+  /// the channel + post-channel half of the flat resolveSlot.
+  void phaseB(std::uint64_t slot, const std::vector<Shard>& all) {
+    rawDeliveries = 0;
+    slotLost = 0;
+    slotErasures = 0;
+    bool anyTx = false;
+    bool anyIx = false;
+    for (const Shard& sh : all) {
+      anyTx = anyTx || !sh.myTx.empty();
+      anyIx = anyIx || !sh.myIx.empty();
+    }
+    if (anyTx || anyIx) {
+      if (config->channel == net::ChannelModel::CollisionFree) {
+        resolveCfm(slot, all);
+      } else {
+        resolveCam(slot, all,
+                   config->channel == net::ChannelModel::CarrierSenseAware);
+      }
+    }
+    // Phase-record guard, decomposed per shard: the flat guard fires iff
+    // some shard's local guard fires, and intermediate all-zero phases
+    // appear through the same resize-on-touch, so the merged (summed,
+    // max-length) phase vector matches the flat loop's exactly.
+    if (!myTx.empty() || rawDeliveries > 0 || slotLost > 0 ||
+        slotErasures > 0) {
+      PhaseObservation& obs = currentPhase();
+      obs.transmissions += myTx.size();
+      obs.deliveries += rawDeliveries - slotErasures;
+      obs.lostReceivers += slotLost + slotErasures;
+    }
+    deliveredPairs += rawDeliveries - slotErasures;
+    if (config->channel != net::ChannelModel::CollisionFree) {
+      for (net::NodeId tx : myTx) txFlag[tx] = 0;
+      for (net::NodeId ix : myIx) txFlag[ix] = 0;
+    }
+  }
+
+  /// CFM: every (transmitter, owned neighbour) pair delivers; drift
+  /// spill-over never corrupts a collision-free reception.
+  void resolveCfm(std::uint64_t slot, const std::vector<Shard>& all) {
+    for (const Shard& sh : all) {
+      for (net::NodeId tx : sh.myTx) {
+        for (net::NodeId nb : rows.rx(tx)) {
+          ++rawDeliveries;
+          onDelivery(nb, tx, slot);
+        }
+      }
+    }
+  }
+
+  /// CAM / CAM-CS count pass over owned receivers: transmitters bump
+  /// their restricted row by one carrying their id in the XOR half;
+  /// interferers bump by two with no sender (undecodable noise — the
+  /// same packed-word outcome the flat oracle produces with two
+  /// single bumps that XOR the sender away).  Success needs a final
+  /// count of exactly 1 (and, under CAM-CS, a carrier-sense tally of
+  /// exactly 1); transmitting receivers are half-duplex deaf and count
+  /// as neither winners nor losses.
+  void resolveCam(std::uint64_t slot, const std::vector<Shard>& all,
+                  bool carrierSense) {
+    for (const Shard& sh : all) {
+      for (net::NodeId tx : sh.myTx) {
+        const std::uint64_t senderBits = static_cast<std::uint64_t>(tx) << 32;
+        for (net::NodeId nb : rows.rx(tx)) {
+          const std::uint64_t e = counts[nb];
+          if (static_cast<std::uint32_t>(e) == 0) touched.push_back(nb);
+          counts[nb] = (e + 1) ^ senderBits;
+        }
+        if (carrierSense) {
+          for (net::NodeId nb : rows.cs(tx)) {
+            if (sense[nb] == 0) senseTouched.push_back(nb);
+            ++sense[nb];
+          }
+        }
+      }
+    }
+    for (const Shard& sh : all) {
+      for (net::NodeId ix : sh.myIx) {
+        for (net::NodeId nb : rows.rx(ix)) {
+          const std::uint64_t e = counts[nb];
+          if (static_cast<std::uint32_t>(e) == 0) touched.push_back(nb);
+          counts[nb] = e + 2;
+        }
+        if (carrierSense) {
+          for (net::NodeId nb : rows.cs(ix)) {
+            if (sense[nb] == 0) senseTouched.push_back(nb);
+            ++sense[nb];
+          }
+        }
+      }
+    }
+    pairs.clear();
+    for (net::NodeId receiver : touched) {
+      const std::uint64_t e = counts[receiver];
+      counts[receiver] = 0;
+      if (txFlag[receiver]) continue;  // half duplex
+      if (static_cast<std::uint32_t>(e) == 1 &&
+          (!carrierSense || sense[receiver] == 1)) {
+        pairs.emplace_back(receiver, static_cast<net::NodeId>(e >> 32));
+      } else {
+        ++slotLost;
+      }
+    }
+    touched.clear();
+    if (carrierSense) {
+      for (net::NodeId r : senseTouched) sense[r] = 0;
+      senseTouched.clear();
+    }
+    for (const auto& [receiver, sender] : pairs) {
+      onDelivery(receiver, sender, slot);
+    }
+    rawDeliveries = pairs.size();
+  }
+
+  void onDelivery(net::NodeId receiver, net::NodeId sender,
+                  std::uint64_t slot) {
+    if (plan.hasLinkLoss() && plan.linkErased(receiver, sender, slot)) {
+      ++slotErasures;  // erased on the air: no reception, no rx energy
+      return;
+    }
+    if (isDead(receiver)) return;  // the radio is gone
+    if (ledger) {
+      ledger->recordRx(receiver);
+      noteEnergySpent(receiver);
+    }
+    if (!shared->received[receiver]) {
+      shared->received[receiver] = 1;
+      receptionSlots.push_back(slot);
+      shared->receptionSlotByNode[receiver] = static_cast<std::int64_t>(slot);
+      currentPhase().newReceivers += 1;
+      // Per-node stream, as the flat loop's RngMode::PerNode branch: a
+      // first reception happens exactly once per node, so a fresh stream
+      // per call replays the same draws no matter which shard (or which
+      // slot ordering) processes it.
+      support::Rng nodeRng = support::Rng::forStream(perNodeSeed, receiver);
+      protocols::ProtocolContext nodeCtx{config->slotsPerPhase, nodeRng,
+                                         deployment, topology};
+      const protocols::RebroadcastDecision decision =
+          protocol->onFirstReception(receiver, sender, nodeCtx);
+      if (decision.transmit) {
+        NSMODEL_CHECK(
+            decision.slot >= 0 && decision.slot < config->slotsPerPhase,
+            "protocol chose a slot outside the phase");
+        scheduleTransmission(receiver,
+                             nextPhaseStart +
+                                 static_cast<std::uint64_t>(decision.slot));
+      }
+    } else if (shared->hasPending[receiver] && !shared->cancelled[receiver]) {
+      if (!protocol->keepPendingAfterDuplicate(receiver, sender, *dupCtx)) {
+        shared->cancelled[receiver] = 1;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const net::Deployment& deployment,
+                             const net::Topology& topology, int shards)
+    : deployment_(deployment), topology_(topology) {
+  NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
+                "deployment/topology size mismatch");
+  NSMODEL_CHECK(deployment.nodeCount() >= 1, "need at least one node");
+  NSMODEL_CHECK(shards >= 1, "shard count must be >= 1");
+  const std::size_t n = deployment.nodeCount();
+  shards_ = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(shards), n));
+  if (shards_ == 1) {
+    owner_.assign(n, 0);
+    return;
+  }
+  owner_ = geom::quantileStripeOwners(
+      deployment.positions(), static_cast<std::size_t>(shards_));
+  buildRestricted(topology, owner_, shards_, /*carrierSense=*/false,
+                  rxOffsets_, rxIds_);
+  if (topology.hasCarrierSense()) {
+    buildRestricted(topology, owner_, shards_, /*carrierSense=*/true,
+                    csOffsets_, csIds_);
+  }
+}
+
+void ShardedEngine::buildRestricted(
+    const net::Topology& topology, const std::vector<std::uint32_t>& owner,
+    int shards, bool carrierSense,
+    std::vector<std::vector<std::uint32_t>>& offsets,
+    std::vector<std::vector<net::NodeId>>& ids) {
+  const std::size_t n = topology.nodeCount();
+  offsets.assign(static_cast<std::size_t>(shards), {});
+  ids.assign(static_cast<std::size_t>(shards), {});
+  for (auto& off : offsets) off.assign(n + 1, 0);
+  auto rowOf = [&](net::NodeId u) {
+    return carrierSense ? topology.carrierSenseNeighbors(u)
+                        : topology.neighbors(u);
+  };
+  for (std::size_t u = 0; u < n; ++u) {
+    for (net::NodeId nb : rowOf(static_cast<net::NodeId>(u))) {
+      ++offsets[owner[nb]][u + 1];
+    }
+  }
+  for (int j = 0; j < shards; ++j) {
+    auto& off = offsets[static_cast<std::size_t>(j)];
+    std::uint64_t total = 0;
+    for (std::size_t u = 0; u <= n; ++u) {
+      total += off[u];
+      NSMODEL_CHECK(total <= 0xFFFFFFFFull,
+                    "restricted adjacency exceeds 32-bit offsets");
+      off[u] = static_cast<std::uint32_t>(total);
+    }
+    ids[static_cast<std::size_t>(j)].resize(off[n]);
+  }
+  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(shards));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int j = 0; j < shards; ++j) {
+      cursor[static_cast<std::size_t>(j)] =
+          offsets[static_cast<std::size_t>(j)][u];
+    }
+    for (net::NodeId nb : rowOf(static_cast<net::NodeId>(u))) {
+      const std::uint32_t j = owner[nb];
+      ids[j][cursor[j]++] = nb;
+    }
+  }
+}
+
+RunResult ShardedEngine::run(const ExperimentConfig& config,
+                             protocols::BroadcastProtocol& protocol,
+                             support::Rng& rng, net::EnergyLedger* ledger) {
+  NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
+  NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
+  NSMODEL_CHECK(config.driver == SlotDriver::FlatLoop,
+                "the sharded engine supports SlotDriver::FlatLoop only");
+  if (config.channel == net::ChannelModel::CarrierSenseAware) {
+    NSMODEL_CHECK(topology_.hasCarrierSense(),
+                  "CarrierSenseAware needs a topology built with a "
+                  "carrier-sense factor");
+  }
+  const std::size_t n = deployment_.nodeCount();
+
+  protocol.reset(n);
+
+  NSMODEL_CHECK(!std::isnan(config.nodeFailureRate) &&
+                    config.nodeFailureRate >= 0.0 &&
+                    config.nodeFailureRate <= 1.0,
+                "node failure rate must lie in [0, 1]");
+  NSMODEL_CHECK(!(config.nodeFailureRate > 0.0 && config.fault.crash.active()),
+                "use either the legacy nodeFailureRate or fault.crash, "
+                "not both (one failure code path per run)");
+  // Prologue order matches the flat loop exactly: the plan keys off the
+  // pre-legacy fingerprint, the per-node protocol streams off the
+  // post-legacy one.
+  fault::FaultPlan plan = fault::FaultPlan::build(
+      config.fault, n, static_cast<std::uint64_t>(config.maxPhases),
+      rng.stateFingerprint());
+  if (config.nodeFailureRate > 0.0) {
+    plan.addLegacyNodeFailures(config.nodeFailureRate, n, rng);
+  }
+  const std::uint64_t perNodeSeed = rng.stateFingerprint() ^ kPerNodeRngSalt;
+
+  const double budget = plan.energyBudget();
+  NSMODEL_CHECK(!(budget > 0.0 && ledger != nullptr &&
+                  (ledger->txCount() != 0 || ledger->rxCount() != 0)),
+                "the sharded engine needs a zeroed ledger when an energy "
+                "budget is active (per-shard ledgers start from zero)");
+  const bool wantLedger = ledger != nullptr || budget > 0.0;
+
+  const auto maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
+                       static_cast<std::uint64_t>(config.slotsPerPhase);
+
+  SharedRunState shared;
+  shared.received.assign(n, 0);
+  shared.cancelled.assign(n, 0);
+  shared.hasPending.assign(n, 0);
+  shared.energyDead.assign(n, 0);
+  shared.receptionSlotByNode.assign(n, RunResult::kNeverReceived);
+
+  const int S = shards_;
+  std::vector<Shard> workers(static_cast<std::size_t>(S));
+  const bool needCollisionTables =
+      config.channel != net::ChannelModel::CollisionFree;
+  for (int j = 0; j < S; ++j) {
+    Shard& sh = workers[static_cast<std::size_t>(j)];
+    sh.config = &config;
+    sh.deployment = &deployment_;
+    sh.topology = &topology_;
+    sh.protocol = &protocol;
+    sh.shared = &shared;
+    sh.rows.topology = &topology_;
+    if (S > 1) {
+      sh.rows.rxOff = &rxOffsets_[static_cast<std::size_t>(j)];
+      sh.rows.rxIds = &rxIds_[static_cast<std::size_t>(j)];
+      if (topology_.hasCarrierSense()) {
+        sh.rows.csOff = &csOffsets_[static_cast<std::size_t>(j)];
+        sh.rows.csIds = &csIds_[static_cast<std::size_t>(j)];
+      }
+    }
+    sh.maxSlot = maxSlot;
+    sh.perNodeSeed = perNodeSeed;
+    sh.energyBudget = budget;
+    sh.plan = plan;
+    if (wantLedger) sh.ledger.emplace(n, config.costs);
+    sh.dupRng.emplace(support::Rng::forStream(
+        perNodeSeed, static_cast<std::uint64_t>(n) +
+                         static_cast<std::uint64_t>(j)));
+    sh.dupCtx.emplace(protocols::ProtocolContext{
+        config.slotsPerPhase, *sh.dupRng, &deployment_, &topology_});
+    sh.slotScheduled.assign(maxSlot, 0);
+    sh.pendingHead.assign(maxSlot, -1);
+    sh.pendingTail.assign(maxSlot, -1);
+    sh.interfererHead.assign(maxSlot, -1);
+    sh.interfererTail.assign(maxSlot, -1);
+    if (needCollisionTables) {
+      sh.counts.assign(n, 0);
+      sh.txFlag.assign(n, 0);
+      if (config.channel == net::ChannelModel::CarrierSenseAware) {
+        sh.sense.assign(n, 0);
+      }
+    }
+  }
+
+  // The source holds the packet from the start and transmits in a
+  // uniformly jittered slot of phase T_1 (per-node stream, as the flat
+  // loop's RngMode::PerNode path).  Scheduled on the owner shard before
+  // any worker starts.
+  const net::NodeId source = deployment_.source();
+  shared.received[source] = 1;
+  const std::uint64_t sourceSlot =
+      support::Rng::forStream(perNodeSeed, source)
+          .below(static_cast<std::uint64_t>(config.slotsPerPhase));
+  workers[owner_[source]].scheduleTransmission(source, sourceSlot);
+
+  // Lockstep slot loop.  All shards read the horizon at the same point
+  // of every iteration (writers only run inside phase B, behind the
+  // barrier), so they agree on the exit slot; phase A's published lists
+  // are frozen by the first wait, consumed in phase B, and released for
+  // reuse by the second.  A shard that throws goes passive — it keeps
+  // arriving at the barriers with empty published lists until the loop
+  // drains — and the first error (by shard index) rethrows after the
+  // join.
+  std::optional<std::barrier<>> gate;
+  if (S > 1) gate.emplace(S);
+  auto shardLoop = [&](int j) {
+    Shard& sh = workers[static_cast<std::size_t>(j)];
+    std::uint64_t slot = 0;
+    for (;;) {
+      const std::int64_t limit = shared.maxActivated.load();
+      if (static_cast<std::int64_t>(slot) > limit) break;
+      if (sh.error == nullptr) {
+        try {
+          sh.phaseA(slot);
+        } catch (...) {
+          sh.error = std::current_exception();
+          sh.myTx.clear();
+          sh.myIx.clear();
+        }
+      } else {
+        sh.myTx.clear();
+        sh.myIx.clear();
+      }
+      if (gate) gate->arrive_and_wait();
+      if (sh.error == nullptr) {
+        try {
+          sh.phaseB(slot, workers);
+        } catch (...) {
+          sh.error = std::current_exception();
+        }
+      }
+      if (gate) gate->arrive_and_wait();
+      ++slot;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(S > 1 ? S - 1 : 0));
+  for (int j = 1; j < S; ++j) {
+    threads.emplace_back(shardLoop, j);
+  }
+  shardLoop(0);
+  for (auto& t : threads) t.join();
+  for (const Shard& sh : workers) {
+    if (sh.error) std::rethrow_exception(sh.error);
+  }
+
+  // Merge.  Within one slot every observation value is identical across
+  // shards (the entries are the slot number), so sorting the
+  // concatenation reproduces the flat loop's time-ordered vectors byte
+  // for byte; counters and phase records sum.
+  std::vector<std::uint64_t> receptionSlots;
+  std::vector<std::uint64_t> transmissionSlots;
+  std::vector<PhaseObservation> phases;
+  std::uint64_t attemptedPairs = 0;
+  std::uint64_t deliveredPairs = 0;
+  std::size_t rxTotal = 0;
+  std::size_t txTotal = 0;
+  std::size_t phaseLen = 0;
+  for (const Shard& sh : workers) {
+    rxTotal += sh.receptionSlots.size();
+    txTotal += sh.transmissionSlots.size();
+    phaseLen = std::max(phaseLen, sh.phases.size());
+  }
+  receptionSlots.reserve(rxTotal);
+  transmissionSlots.reserve(txTotal);
+  phases.resize(phaseLen);
+  for (Shard& sh : workers) {
+    receptionSlots.insert(receptionSlots.end(), sh.receptionSlots.begin(),
+                          sh.receptionSlots.end());
+    transmissionSlots.insert(transmissionSlots.end(),
+                             sh.transmissionSlots.begin(),
+                             sh.transmissionSlots.end());
+    for (std::size_t p = 0; p < sh.phases.size(); ++p) {
+      phases[p].transmissions += sh.phases[p].transmissions;
+      phases[p].newReceivers += sh.phases[p].newReceivers;
+      phases[p].deliveries += sh.phases[p].deliveries;
+      phases[p].lostReceivers += sh.phases[p].lostReceivers;
+    }
+    attemptedPairs += sh.attemptedPairs;
+    deliveredPairs += sh.deliveredPairs;
+    if (ledger != nullptr && sh.ledger) ledger->absorb(*sh.ledger);
+  }
+  std::sort(receptionSlots.begin(), receptionSlots.end());
+  std::sort(transmissionSlots.begin(), transmissionSlots.end());
+  return RunResult(n, config.slotsPerPhase, std::move(receptionSlots),
+                   std::move(transmissionSlots), std::move(phases),
+                   attemptedPairs, deliveredPairs,
+                   std::move(shared.receptionSlotByNode));
+}
+
+RunResult runBroadcastSharded(const ExperimentConfig& config,
+                              const net::Deployment& deployment,
+                              const net::Topology& topology,
+                              protocols::BroadcastProtocol& protocol,
+                              support::Rng& rng, int shards,
+                              net::EnergyLedger* ledger) {
+  ShardedEngine engine(deployment, topology, shards);
+  return engine.run(config, protocol, rng, ledger);
+}
+
+int shardCount() {
+  const int override_ = gShardOverride.load();
+  if (override_ >= 0) return override_ <= 1 ? 1 : override_;
+  const char* env = std::getenv("NSMODEL_SHARDS");
+  // Unlike NSMODEL_BATCH, unset means *off*: sharding changes the
+  // protocol RNG keying (RngMode::PerNode), so it must be asked for.
+  if (env == nullptr) return 1;
+  return support::parsePolicyEnv(
+      "NSMODEL_SHARDS", env, static_cast<int>(support::globalPool().size()));
+}
+
+int shardCountFor(const ExperimentConfig& config) {
+  return config.driver == SlotDriver::DesEngine ? 1 : shardCount();
+}
+
+void setShardCountOverride(int shards) { gShardOverride.store(shards); }
+
+}  // namespace nsmodel::sim

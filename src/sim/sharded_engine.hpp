@@ -1,0 +1,125 @@
+// Sharded single-run execution: one huge broadcast, many worker threads.
+//
+// The flat slot loop of experiment.cpp and the replication-batched driver
+// of experiment_batch.cpp both scale across *replications*; neither helps
+// when the experiment is one simulation with millions of nodes — a
+// regime the collision-aware channels cannot even represent (their packed
+// count tables cap node ids at 16 bits).  The ShardedEngine partitions
+// the deployment disk into x-quantile stripes (geom/partition.hpp),
+// assigns each stripe of nodes to a worker thread, and runs every shard's
+// slot loop concurrently on its own arena:
+//
+//   * Each shard owns its nodes outright: their agenda chains, per-node
+//     flags, energy counts, protocol callbacks, and observation vectors
+//     all live on (and are only ever touched by) the owner shard.
+//   * Cross-shard edges need no explicit halo buffers.  Topology rows are
+//     pre-split by *receiver* owner into one restricted CSR per shard, so
+//     a transmission's deliveries to shard j's nodes are exactly shard
+//     j's restricted row — publishing the per-slot transmitter lists IS
+//     the halo exchange.
+//   * Two std::barrier waits per slot keep the shards in lockstep: phase
+//     A drains each shard's local agenda into its published transmitter /
+//     drift-interferer lists; phase B has every shard walk *all* shards'
+//     published lists against its own restricted rows, so CFM/CAM/CAM-CS
+//     collision resolution (including fault plans) sees exactly the flat
+//     loop's interferer sets.
+//
+// Identity contract: the run always uses RngMode::PerNode keying — every
+// node's protocol draw comes from Rng::forStream(fingerprint, node), the
+// same per-entity scheme fault::FaultPlan uses — so the result is
+// bit-identical to the flat loop run with config.rngMode = PerNode, for
+// any shard count and any thread schedule (tests/test_sim_sharded.cpp).
+// The contract covers protocols whose callbacks are sender-agnostic and
+// draw randomness only in onFirstReception (probabilistic broadcast,
+// flooding); note that enabling shards therefore changes the random
+// stream relative to the default RunStream mode — same distribution,
+// different draws.
+//
+// Sharding policy: NSMODEL_SHARDS=off|auto|N (unset = off) selects the
+// shard count the Monte-Carlo drivers use when replication-level
+// parallelism is idle; setShardCountOverride() overrides
+// programmatically.  Outermost parallelism wins: a parallel multi-
+// replication sweep keeps the pool busy already and runs unsharded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/deployment.hpp"
+#include "net/energy.hpp"
+#include "net/topology.hpp"
+#include "protocols/broadcast_protocol.hpp"
+#include "sim/experiment.hpp"
+#include "sim/run_result.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::sim {
+
+/// Reusable sharded executor for one (deployment, topology) pair.  The
+/// constructor builds the owner map and the per-shard restricted CSRs
+/// (O(edges)); run() may then be called repeatedly.  The referenced
+/// deployment and topology must outlive the engine.
+class ShardedEngine {
+ public:
+  /// `shards` is clamped to [1, nodeCount].  A single-shard engine runs
+  /// the same barrier-free code path on the caller's thread and reads the
+  /// global topology rows directly (no restricted copies).
+  ShardedEngine(const net::Deployment& deployment,
+                const net::Topology& topology, int shards);
+
+  int shards() const { return shards_; }
+
+  /// Runs one broadcast, bit-identical to runBroadcast with
+  /// config.rngMode = RngMode::PerNode (config.rngMode itself is
+  /// ignored; the sharded loop requires per-node keying).  Restrictions
+  /// versus the flat loop, all checked: SlotDriver::FlatLoop only, and a
+  /// caller-supplied ledger must be empty when an energy budget is
+  /// active (per-shard ledgers start from zero).
+  RunResult run(const ExperimentConfig& config,
+                protocols::BroadcastProtocol& protocol, support::Rng& rng,
+                net::EnergyLedger* ledger = nullptr);
+
+ private:
+  static void buildRestricted(const net::Topology& topology,
+                              const std::vector<std::uint32_t>& owner,
+                              int shards, bool carrierSense,
+                              std::vector<std::vector<std::uint32_t>>& offsets,
+                              std::vector<std::vector<net::NodeId>>& ids);
+
+  const net::Deployment& deployment_;
+  const net::Topology& topology_;
+  int shards_;
+  std::vector<std::uint32_t> owner_;  ///< node -> shard
+  // Per-shard restricted CSRs (empty when shards_ == 1): offsets_[j] has
+  // nodeCount + 1 entries; ids_[j] holds the edges whose receiver is
+  // owned by shard j.  uint32 offsets: a shard's edge share stays far
+  // below 2^32 for any deployment the 32-bit node ids admit.
+  std::vector<std::vector<std::uint32_t>> rxOffsets_;
+  std::vector<std::vector<net::NodeId>> rxIds_;
+  std::vector<std::vector<std::uint32_t>> csOffsets_;
+  std::vector<std::vector<net::NodeId>> csIds_;
+};
+
+/// One-shot convenience wrapper: builds a ShardedEngine and runs once.
+RunResult runBroadcastSharded(const ExperimentConfig& config,
+                              const net::Deployment& deployment,
+                              const net::Topology& topology,
+                              protocols::BroadcastProtocol& protocol,
+                              support::Rng& rng, int shards,
+                              net::EnergyLedger* ledger = nullptr);
+
+/// The shard count NSMODEL_SHARDS resolves to: unset/off -> 1, auto ->
+/// the global pool's worker count, integer N -> N.  Throws ConfigError
+/// on anything else (support::parsePolicyEnv grammar).  An override
+/// installed via setShardCountOverride() wins over the environment.
+int shardCount();
+
+/// shardCount(), except configs that pin SlotDriver::DesEngine always
+/// report 1 — the engine-heap reference path never shards.
+int shardCountFor(const ExperimentConfig& config);
+
+/// Pins the shard count process-wide (>= 0); pass a negative value to
+/// fall back to the environment again.  For tests and benches.
+void setShardCountOverride(int shards);
+
+}  // namespace nsmodel::sim

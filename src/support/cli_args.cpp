@@ -1,6 +1,7 @@
 #include "support/cli_args.hpp"
 
 #include <cerrno>
+#include <climits>
 #include <cmath>
 #include <cstdlib>
 
@@ -57,6 +58,11 @@ double CliArgs::getDouble(const std::string& name, double fallback) const {
   if (!value) return fallback;
   NSMODEL_CHECK(value->has_value(),
                 "--" + name + " requires a numeric value");
+  // strtod also understands hex floats ("0x1p3"), "inf" and "nan" — none
+  // of which a flag like --p should silently accept.  Plain decimals
+  // (including e/E exponents) never contain these letters.
+  NSMODEL_CHECK((*value)->find_first_of("xXiInNpP") == std::string::npos,
+                "--" + name + " is not a plain decimal number: " + **value);
   char* end = nullptr;
   errno = 0;
   const double parsed = std::strtod((*value)->c_str(), &end);
@@ -94,6 +100,27 @@ bool CliArgs::getBool(const std::string& name, bool fallback) const {
   if (text == "false" || text == "0" || text == "no") return false;
   NSMODEL_CHECK(false, "--" + name + " is not a boolean: " + text);
   return fallback;
+}
+
+int parsePolicyEnv(const char* name, const char* raw, int autoValue) {
+  if (raw == nullptr) return autoValue;
+  const std::string choice = raw;
+  if (choice.empty() || choice == "auto") return autoValue;
+  if (choice == "off") return 1;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(choice.c_str(), &end, 10);
+  NSMODEL_CHECK(end != choice.c_str() && end != nullptr && *end == '\0',
+                std::string("unknown ") + name + " value '" + choice +
+                    "' (want off|auto|N)");
+  // strtol saturates to LONG_MIN/LONG_MAX on overflow and flags ERANGE;
+  // anything outside [1, INT_MAX] is rejected rather than clamped, so
+  // e.g. NSMODEL_BATCH=0 no longer silently means "off".
+  NSMODEL_CHECK(errno != ERANGE && parsed >= 1 && parsed <= INT_MAX,
+                std::string(name) + " value out of range: '" + choice +
+                    "' (want off|auto|N with 1 <= N <= " +
+                    std::to_string(INT_MAX) + ")");
+  return static_cast<int>(parsed);
 }
 
 std::vector<std::string> CliArgs::unusedFlags() const {

@@ -53,4 +53,14 @@ class CliArgs {
   mutable std::map<std::string, bool> touched_;
 };
 
+/// Shared parser for the `off|auto|N` environment policies
+/// (NSMODEL_BATCH, NSMODEL_SHARDS, ...).  Accepts:
+///   * unset (nullptr), "" or "auto"  -> autoValue,
+///   * "off"                          -> 1 (the scalar / single-shard path),
+///   * a positive decimal integer     -> that value (<= INT_MAX).
+/// Everything else — 0, negatives, overflow-large values, trailing
+/// garbage — throws ConfigError naming the variable, instead of the old
+/// silent clamp-to-1 / UB-on-overflow behaviour.
+int parsePolicyEnv(const char* name, const char* raw, int autoValue);
+
 }  // namespace nsmodel::support

@@ -6,20 +6,18 @@
 #include <exception>
 #include <memory>
 
+#include "support/cli_args.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::support {
 
 std::size_t ThreadPool::defaultThreadCount() {
-  if (const char* env = std::getenv("NSMODEL_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    NSMODEL_CHECK(end != env && *end == '\0' && parsed >= 1,
-                  "NSMODEL_THREADS must be a positive integer");
-    return static_cast<std::size_t>(parsed);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const int hardware = hw == 0 ? 1 : static_cast<int>(hw);
+  // Same off|auto|N grammar (and the same overflow/garbage rejection) as
+  // NSMODEL_BATCH and NSMODEL_SHARDS; "off" pins the pool to one worker.
+  return static_cast<std::size_t>(parsePolicyEnv(
+      "NSMODEL_THREADS", std::getenv("NSMODEL_THREADS"), hardware));
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {

@@ -454,8 +454,10 @@ TEST(BatchPolicy, EnvironmentSelectsWidth) {
     EXPECT_EQ(sim::batchWidth(), 1);
   }
   {
+    // Zero is not a lane count and not "off": parsePolicyEnv rejects it
+    // so a typo'd NSMODEL_BATCH=0 cannot silently run scalar.
     BatchEnv env("0");
-    EXPECT_EQ(sim::batchWidth(), 1);
+    EXPECT_THROW(sim::batchWidth(), ConfigError);
   }
   {
     BatchEnv env("sixteen");

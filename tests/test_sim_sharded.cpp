@@ -1,0 +1,376 @@
+// Bit-identity of the sharded single-run engine against the flat loop.
+//
+// The ShardedEngine contract (sharded_engine.hpp) is that a run is
+// bit-identical to runBroadcast with config.rngMode = RngMode::PerNode,
+// for any shard count and any thread schedule.  The matrix here crosses
+// every channel model with every fault family — crash/recovery
+// schedules, Gilbert–Elliott link loss, drift spill-over interferers,
+// energy cutoffs, the legacy node-failure knob, and the combined mix —
+// at shard counts 1, 2, and 7 (odd, so stripe boundaries never align
+// with anything).  Also covered: per-node RNG keying of the flat loop
+// itself (PerNode differs from RunStream but is deployment-faithful),
+// caller-owned energy ledgers, engine reuse across runs, the
+// NSMODEL_SHARDS policy resolution, and the Monte-Carlo wiring.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "protocols/counter_based.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+/// One cell of the equivalence matrix.
+struct ShardCase {
+  std::string name;
+  net::ChannelModel channel = net::ChannelModel::CollisionAware;
+  void (*mutate)(sim::ExperimentConfig&) = nullptr;
+};
+
+void noFaults(sim::ExperimentConfig&) {}
+
+void crashFaults(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 7;
+  cfg.fault.crash.crashRate = 0.08;
+  cfg.fault.crash.recoveryRate = 0.25;
+}
+
+void linkLoss(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 11;
+  cfg.fault.link.pGoodToBad = 0.25;
+  cfg.fault.link.pBadToGood = 0.4;
+  cfg.fault.link.lossBad = 0.7;
+  cfg.fault.link.lossGood = 0.02;
+}
+
+void clockDrift(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 13;
+  cfg.fault.drift.maxSkewSlots = 0.4;
+}
+
+void energyCutoff(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 17;
+  cfg.fault.energyBudget = 3.0;
+}
+
+void legacyNodeFailure(sim::ExperimentConfig& cfg) {
+  cfg.nodeFailureRate = 0.05;
+}
+
+void combinedFaults(sim::ExperimentConfig& cfg) {
+  cfg.fault.faultSeed = 19;
+  cfg.fault.crash.crashRate = 0.05;
+  cfg.fault.crash.recoveryRate = 0.3;
+  cfg.fault.link.pGoodToBad = 0.2;
+  cfg.fault.link.pBadToGood = 0.5;
+  cfg.fault.link.lossBad = 0.5;
+  cfg.fault.drift.maxSkewSlots = 0.3;
+  cfg.fault.energyBudget = 5.0;
+}
+
+std::vector<ShardCase> equivalenceMatrix() {
+  const struct {
+    const char* name;
+    void (*mutate)(sim::ExperimentConfig&);
+  } faults[] = {
+      {"clean", noFaults},      {"crash", crashFaults},
+      {"link", linkLoss},       {"drift", clockDrift},
+      {"energy", energyCutoff}, {"legacy", legacyNodeFailure},
+      {"combined", combinedFaults},
+  };
+  const struct {
+    const char* name;
+    net::ChannelModel channel;
+  } channels[] = {
+      {"cfm", net::ChannelModel::CollisionFree},
+      {"cam", net::ChannelModel::CollisionAware},
+      {"cs", net::ChannelModel::CarrierSenseAware},
+  };
+  std::vector<ShardCase> cases;
+  for (const auto& ch : channels) {
+    for (const auto& f : faults) {
+      cases.push_back(
+          {std::string(ch.name) + "_" + f.name, ch.channel, f.mutate});
+    }
+  }
+  return cases;
+}
+
+sim::ExperimentConfig baseConfig(const ShardCase& c) {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 30.0;
+  cfg.maxPhases = 60;
+  cfg.channel = c.channel;
+  c.mutate(cfg);
+  return cfg;
+}
+
+/// Restores the pre-test shard-count override on scope exit.
+struct ShardGuard {
+  ~ShardGuard() { sim::setShardCountOverride(-1); }
+};
+
+void expectIdentical(const sim::RunResult& sharded, const sim::RunResult& flat,
+                     const std::string& label) {
+  EXPECT_EQ(sharded.nodeCount(), flat.nodeCount()) << label;
+  EXPECT_EQ(sharded.receptionSlots(), flat.receptionSlots()) << label;
+  EXPECT_EQ(sharded.transmissionSlots(), flat.transmissionSlots()) << label;
+  EXPECT_EQ(sharded.receptionSlotByNode(), flat.receptionSlotByNode())
+      << label;
+  EXPECT_EQ(sharded.attemptedPairs(), flat.attemptedPairs()) << label;
+  EXPECT_EQ(sharded.deliveredPairs(), flat.deliveredPairs()) << label;
+  ASSERT_EQ(sharded.phases().size(), flat.phases().size()) << label;
+  for (std::size_t i = 0; i < sharded.phases().size(); ++i) {
+    EXPECT_EQ(sharded.phases()[i].transmissions,
+              flat.phases()[i].transmissions)
+        << label << " phase " << i;
+    EXPECT_EQ(sharded.phases()[i].newReceivers, flat.phases()[i].newReceivers)
+        << label << " phase " << i;
+    EXPECT_EQ(sharded.phases()[i].deliveries, flat.phases()[i].deliveries)
+        << label << " phase " << i;
+    EXPECT_EQ(sharded.phases()[i].lostReceivers,
+              flat.phases()[i].lostReceivers)
+        << label << " phase " << i;
+  }
+}
+
+/// Flat oracle: the sequential slot loop with per-node RNG keying — the
+/// stream the sharded engine must reproduce exactly.
+sim::RunResult flatPerNode(sim::ExperimentConfig cfg,
+                           const sim::Scenario& scenario,
+                           protocols::BroadcastProtocol& protocol,
+                           net::EnergyLedger* ledger = nullptr) {
+  cfg.rngMode = sim::RngMode::PerNode;
+  support::Rng rng = scenario.protocolRng;
+  return sim::runBroadcast(cfg, scenario.deployment, scenario.topology,
+                           protocol, rng, ledger);
+}
+
+class ShardedEquivalence : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardedEquivalence, MatchesFlatPerNodeAtEveryShardCount) {
+  const ShardCase& c = GetParam();
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  const sim::RunResult flat = flatPerNode(cfg, scenario, protocol);
+  for (const int shards : {1, 2, 7}) {
+    support::Rng rng = scenario.protocolRng;
+    const sim::RunResult sharded =
+        sim::runBroadcastSharded(cfg, scenario.deployment, scenario.topology,
+                                 protocol, rng, shards);
+    expectIdentical(sharded, flat,
+                    c.name + " shards " + std::to_string(shards));
+  }
+}
+
+// Counter-based cancellation exercises the duplicate path (pending bit
+// live, keepPendingAfterDuplicate consulted); its per-node counters are
+// only ever touched from the node's owner shard, so it sits inside the
+// sharded contract despite carrying per-run state.
+TEST_P(ShardedEquivalence, CounterBasedProtocolMatchesToo) {
+  const ShardCase& c = GetParam();
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::CounterBasedBroadcast protocol(3);
+  const sim::RunResult flat = flatPerNode(cfg, scenario, protocol);
+  for (const int shards : {1, 2, 7}) {
+    support::Rng rng = scenario.protocolRng;
+    const sim::RunResult sharded =
+        sim::runBroadcastSharded(cfg, scenario.deployment, scenario.topology,
+                                 protocol, rng, shards);
+    expectIdentical(sharded, flat,
+                    c.name + " shards " + std::to_string(shards));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ShardedEquivalence, ::testing::ValuesIn(equivalenceMatrix()),
+    [](const ::testing::TestParamInfo<ShardCase>& param) {
+      return param.param.name;
+    });
+
+// Caller-owned ledgers absorb the per-shard counts; every per-node and
+// total figure must match the flat per-node run's accounting.
+TEST(ShardedEnergy, CallerLedgerMatchesFlat) {
+  ShardCase c{"cam_clean", net::ChannelModel::CollisionAware, noFaults};
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.6);
+
+  net::EnergyLedger flatLedger(scenario.deployment.nodeCount(), cfg.costs);
+  const sim::RunResult flat =
+      flatPerNode(cfg, scenario, protocol, &flatLedger);
+
+  net::EnergyLedger shardLedger(scenario.deployment.nodeCount(), cfg.costs);
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult sharded =
+      sim::runBroadcastSharded(cfg, scenario.deployment, scenario.topology,
+                               protocol, rng, 3, &shardLedger);
+  expectIdentical(sharded, flat, "energy ledger run");
+  EXPECT_EQ(shardLedger.txCount(), flatLedger.txCount());
+  EXPECT_EQ(shardLedger.rxCount(), flatLedger.rxCount());
+  for (net::NodeId node = 0; node < scenario.deployment.nodeCount(); ++node) {
+    EXPECT_EQ(shardLedger.txCount(node), flatLedger.txCount(node))
+        << "node " << node;
+    EXPECT_EQ(shardLedger.rxCount(node), flatLedger.rxCount(node))
+        << "node " << node;
+  }
+}
+
+// A ShardedEngine instance is reusable: the second run on the same
+// engine must match the first (all run state is per-run, the engine
+// holds only the partition and the restricted CSRs).
+TEST(ShardedEngineReuse, SecondRunMatchesFirst) {
+  ShardCase c{"cs_drift", net::ChannelModel::CarrierSenseAware, clockDrift};
+  const sim::ExperimentConfig cfg = baseConfig(c);
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 4);
+  EXPECT_EQ(engine.shards(), 4);
+  support::Rng rng1 = scenario.protocolRng;
+  const sim::RunResult first = engine.run(cfg, protocol, rng1);
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult second = engine.run(cfg, protocol, rng2);
+  expectIdentical(second, first, "engine reuse");
+}
+
+// Shard counts beyond the node count clamp instead of starving shards.
+TEST(ShardedEngineReuse, ShardCountClampsToNodeCount) {
+  ShardCase c{"cam_clean", net::ChannelModel::CollisionAware, noFaults};
+  sim::ExperimentConfig cfg = baseConfig(c);
+  cfg.rings = 2;
+  cfg.neighborDensity = 10.0;
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::SimpleFlooding protocol;
+  const std::size_t n = scenario.deployment.nodeCount();
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology,
+                            static_cast<int>(n) + 100);
+  EXPECT_EQ(static_cast<std::size_t>(engine.shards()), n);
+  const sim::RunResult flat = flatPerNode(cfg, scenario, protocol);
+  support::Rng rng = scenario.protocolRng;
+  expectIdentical(engine.run(cfg, protocol, rng), flat, "clamped shards");
+}
+
+// NSMODEL_SHARDS policy resolution: unset/off -> 1, auto -> pool width,
+// explicit N -> N; the override wins over everything; DesEngine configs
+// never shard.
+TEST(ShardPolicy, EnvironmentAndOverrideResolution) {
+  ShardGuard guard;
+  const char* saved = std::getenv("NSMODEL_SHARDS");
+  const std::string savedCopy = saved ? saved : "";
+
+  unsetenv("NSMODEL_SHARDS");
+  EXPECT_EQ(sim::shardCount(), 1);  // unset means off
+  setenv("NSMODEL_SHARDS", "off", 1);
+  EXPECT_EQ(sim::shardCount(), 1);
+  setenv("NSMODEL_SHARDS", "5", 1);
+  EXPECT_EQ(sim::shardCount(), 5);
+  setenv("NSMODEL_SHARDS", "auto", 1);
+  EXPECT_GE(sim::shardCount(), 1);
+  setenv("NSMODEL_SHARDS", "0", 1);
+  EXPECT_THROW(sim::shardCount(), ConfigError);
+  setenv("NSMODEL_SHARDS", "7x", 1);
+  EXPECT_THROW(sim::shardCount(), ConfigError);
+
+  setenv("NSMODEL_SHARDS", "3", 1);
+  sim::setShardCountOverride(6);
+  EXPECT_EQ(sim::shardCount(), 6);
+  sim::ExperimentConfig cfg;
+  EXPECT_EQ(sim::shardCountFor(cfg), 6);
+  cfg.driver = sim::SlotDriver::DesEngine;
+  EXPECT_EQ(sim::shardCountFor(cfg), 1);
+  sim::setShardCountOverride(0);
+  EXPECT_EQ(sim::shardCount(), 1);
+  sim::setShardCountOverride(-1);
+  EXPECT_EQ(sim::shardCount(), 3);  // back to the environment
+
+  if (saved) {
+    setenv("NSMODEL_SHARDS", savedCopy.c_str(), 1);
+  } else {
+    unsetenv("NSMODEL_SHARDS");
+  }
+}
+
+// The Monte-Carlo wiring hands single-run workloads to the sharded
+// engine when replication-level parallelism is idle; the results must
+// equal direct sharded runs (which are in turn flat-PerNode-identical).
+TEST(ShardedMonteCarlo, RunReplicationsUsesShardedEngine) {
+  ShardGuard guard;
+  sim::setShardCountOverride(3);
+
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 3;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.replications = 2;
+  mc.parallel = false;  // replication parallelism idle -> shards engage
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+
+  const auto results = sim::runReplications(mc, factory);
+  ASSERT_EQ(results.size(), 2u);
+  for (std::size_t rep = 0; rep < results.size(); ++rep) {
+    const sim::Scenario scenario = sim::buildScenario(
+        sim::ScenarioKey::forExperiment(mc.experiment, mc.seed, rep));
+    sim::ExperimentConfig cfg = mc.experiment;
+    cfg.rngMode = sim::RngMode::PerNode;
+    protocols::ProbabilisticBroadcast protocol(0.6);
+    support::Rng rng = scenario.protocolRng;
+    const sim::RunResult flat =
+        sim::runBroadcast(cfg, scenario.deployment, scenario.topology,
+                          protocol, rng, nullptr);
+    expectIdentical(results[rep], flat, "rep " + std::to_string(rep));
+  }
+}
+
+// With the policy off (the default), the wiring is untouched: results
+// are bit-identical to the historical RunStream path.
+TEST(ShardedMonteCarlo, OffRestoresDefaultBehaviour) {
+  ShardGuard guard;
+  sim::setShardCountOverride(0);  // force off regardless of environment
+
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 3;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.replications = 2;
+  mc.parallel = false;
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+
+  const auto results = sim::runReplications(mc, factory);
+  ASSERT_EQ(results.size(), 2u);
+  for (std::size_t rep = 0; rep < results.size(); ++rep) {
+    const sim::Scenario scenario = sim::buildScenario(
+        sim::ScenarioKey::forExperiment(mc.experiment, mc.seed, rep));
+    protocols::ProbabilisticBroadcast protocol(0.6);
+    support::Rng rng = scenario.protocolRng;
+    const sim::RunResult flat =
+        sim::runBroadcast(mc.experiment, scenario.deployment,
+                          scenario.topology, protocol, rng, nullptr);
+    expectIdentical(results[rep], flat, "rep " + std::to_string(rep));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Thread-safety of the sharded single-run engine.
+//
+// Every shard runs on its own thread, touching only the per-node state
+// of the nodes it owns and reading the transmitter lists other shards
+// publish between barriers — so a sharded run must be data-race free
+// (this file is the target of the CI thread-sanitizer job) and must be
+// bit-identical to the flat per-node-keyed loop on every repetition,
+// regardless of thread schedule.  The runs are repeated to give the
+// scheduler room to interleave shards differently each time.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "protocols/counter_based.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+struct ShardGuard {
+  ~ShardGuard() { sim::setShardCountOverride(-1); }
+};
+
+sim::ExperimentConfig smallConfig() {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 3;
+  cfg.neighborDensity = 25.0;
+  cfg.maxPhases = 40;
+  cfg.channel = net::ChannelModel::CollisionAware;
+  cfg.fault.faultSeed = 19;
+  cfg.fault.crash.crashRate = 0.05;
+  cfg.fault.crash.recoveryRate = 0.3;
+  cfg.fault.link.pGoodToBad = 0.2;
+  cfg.fault.link.pBadToGood = 0.5;
+  cfg.fault.link.lossBad = 0.5;
+  cfg.fault.drift.maxSkewSlots = 0.3;
+  cfg.fault.energyBudget = 5.0;
+  return cfg;
+}
+
+void expectIdentical(const sim::RunResult& sharded, const sim::RunResult& flat,
+                     const std::string& label) {
+  EXPECT_EQ(sharded.receptionSlots(), flat.receptionSlots()) << label;
+  EXPECT_EQ(sharded.transmissionSlots(), flat.transmissionSlots()) << label;
+  EXPECT_EQ(sharded.receptionSlotByNode(), flat.receptionSlotByNode())
+      << label;
+  EXPECT_EQ(sharded.attemptedPairs(), flat.attemptedPairs()) << label;
+  EXPECT_EQ(sharded.deliveredPairs(), flat.deliveredPairs()) << label;
+  ASSERT_EQ(sharded.phases().size(), flat.phases().size()) << label;
+  for (std::size_t i = 0; i < sharded.phases().size(); ++i) {
+    EXPECT_EQ(sharded.phases()[i].transmissions,
+              flat.phases()[i].transmissions)
+        << label << " phase " << i;
+    EXPECT_EQ(sharded.phases()[i].newReceivers, flat.phases()[i].newReceivers)
+        << label << " phase " << i;
+    EXPECT_EQ(sharded.phases()[i].deliveries, flat.phases()[i].deliveries)
+        << label << " phase " << i;
+    EXPECT_EQ(sharded.phases()[i].lostReceivers,
+              flat.phases()[i].lostReceivers)
+        << label << " phase " << i;
+  }
+}
+
+TEST(ShardedThreads, RepeatedRunsStayFlatIdentical) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.6);
+
+  sim::ExperimentConfig flatCfg = cfg;
+  flatCfg.rngMode = sim::RngMode::PerNode;
+  support::Rng flatRng = scenario.protocolRng;
+  const sim::RunResult flat =
+      sim::runBroadcast(flatCfg, scenario.deployment, scenario.topology,
+                        protocol, flatRng, nullptr);
+
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 4);
+  for (int rep = 0; rep < 8; ++rep) {
+    support::Rng rng = scenario.protocolRng;
+    const sim::RunResult sharded = engine.run(cfg, protocol, rng);
+    expectIdentical(sharded, flat, "rep " + std::to_string(rep));
+  }
+}
+
+TEST(ShardedThreads, CancellationHeavyProtocolStaysIdentical) {
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.channel = net::ChannelModel::CarrierSenseAware;
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::CounterBasedBroadcast protocol(3);
+
+  sim::ExperimentConfig flatCfg = cfg;
+  flatCfg.rngMode = sim::RngMode::PerNode;
+  support::Rng flatRng = scenario.protocolRng;
+  const sim::RunResult flat =
+      sim::runBroadcast(flatCfg, scenario.deployment, scenario.topology,
+                        protocol, flatRng, nullptr);
+
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 4);
+  for (int rep = 0; rep < 8; ++rep) {
+    support::Rng rng = scenario.protocolRng;
+    const sim::RunResult sharded = engine.run(cfg, protocol, rng);
+    expectIdentical(sharded, flat, "rep " + std::to_string(rep));
+  }
+}
+
+TEST(ShardedThreads, MonteCarloWiringIsDeterministicAcrossRuns) {
+  ShardGuard guard;
+  sim::setShardCountOverride(4);
+
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 3;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.replications = 4;
+  mc.parallel = false;  // shards are the only parallelism in play
+  const auto factory = [] {
+    return std::make_unique<protocols::ProbabilisticBroadcast>(0.6);
+  };
+
+  const auto first = sim::runReplications(mc, factory);
+  const auto second = sim::runReplications(mc, factory);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t rep = 0; rep < first.size(); ++rep) {
+    expectIdentical(second[rep], first[rep], "rep " + std::to_string(rep));
+  }
+}
+
+}  // namespace

@@ -131,5 +131,68 @@ TEST(CliArgs, LastOccurrenceWins) {
   EXPECT_DOUBLE_EQ(args.getDouble("p", 0.0), 0.9);
 }
 
+TEST(CliArgs, TrailingGarbageDoublesThrow) {
+  const CliArgs args = parse({"tool", "--p=0.5x", "--q=0.5 ", "--r=1e2"});
+  EXPECT_THROW(args.getDouble("p", 0.0), Error);
+  EXPECT_THROW(args.getDouble("q", 0.0), Error);
+  // Decimal exponents are still plain numbers.
+  EXPECT_DOUBLE_EQ(args.getDouble("r", 0.0), 100.0);
+}
+
+TEST(CliArgs, HexInfNanDoublesThrow) {
+  // strtod accepts all of these; a simulation flag should not.
+  const CliArgs args = parse({"tool", "--hex=0x1p3", "--hex2=0X10",
+                              "--inf=inf", "--ninf=-INF", "--nan=nan",
+                              "--nan2=NaN(0)", "--exp=2.5E-1"});
+  EXPECT_THROW(args.getDouble("hex", 0.0), Error);
+  EXPECT_THROW(args.getDouble("hex2", 0.0), Error);
+  EXPECT_THROW(args.getDouble("inf", 0.0), Error);
+  EXPECT_THROW(args.getDouble("ninf", 0.0), Error);
+  EXPECT_THROW(args.getDouble("nan", 0.0), Error);
+  EXPECT_THROW(args.getDouble("nan2", 0.0), Error);
+  EXPECT_DOUBLE_EQ(args.getDouble("exp", 0.0), 0.25);
+}
+
+TEST(PolicyEnv, UnsetAutoAndEmptyResolveToAutoValue) {
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_BATCH", nullptr, 8), 8);
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_BATCH", "auto", 8), 8);
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_BATCH", "", 8), 8);
+}
+
+TEST(PolicyEnv, OffMeansOne) {
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_SHARDS", "off", 4), 1);
+}
+
+TEST(PolicyEnv, ExplicitWidthsParse) {
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_BATCH", "1", 8), 1);
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_BATCH", "16", 8), 16);
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_SHARDS", "7", 4), 7);
+}
+
+TEST(PolicyEnv, ZeroIsRejectedNotClamped) {
+  // The old NSMODEL_BATCH parser silently treated 0 as 1.
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_BATCH", "0", 8), Error);
+}
+
+TEST(PolicyEnv, NegativeValuesThrow) {
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_BATCH", "-1", 8), Error);
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_SHARDS", "-999", 4), Error);
+}
+
+TEST(PolicyEnv, OverflowLargeValuesThrow) {
+  // The old parser cast the LONG_MAX saturation straight to int.
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_BATCH", "99999999999999999999", 8),
+               Error);
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_BATCH", "2147483648", 8), Error);
+  EXPECT_EQ(parsePolicyEnv("NSMODEL_BATCH", "2147483647", 8), 2147483647);
+}
+
+TEST(PolicyEnv, TrailingGarbageThrows) {
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_BATCH", "8x", 8), Error);
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_BATCH", "8 ", 8), Error);
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_SHARDS", "on", 4), Error);
+  EXPECT_THROW(parsePolicyEnv("NSMODEL_SHARDS", "AUTO", 4), Error);
+}
+
 }  // namespace
 }  // namespace nsmodel::support

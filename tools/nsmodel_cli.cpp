@@ -44,10 +44,12 @@
 #include "sim/replication_controller.hpp"
 #include "sim/robust_sweep.hpp"
 #include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -61,6 +63,9 @@ using support::CliArgs;
       "<predict|simulate|optimize|sweep|reliable|robust-sweep> [flags]\n"
       "  common: --rho=60 --rings=5 --slots=3 --channel=cam|cfm|cam-cs\n"
       "          --policy=interp|poisson --seed=42 --reps=30\n"
+      "          --shards=off|auto|N (single-run sharding; overrides\n"
+      "          NSMODEL_SHARDS, engages when replication parallelism\n"
+      "          is idle and switches runs to per-node RNG keying)\n"
       "  faults: --crash-rate=0 --recovery-rate=0 --ge-g2b=0 --ge-b2g=0\n"
       "          --ge-loss-good=0 --ge-loss-bad=0 --drift=0\n"
       "          --energy-budget=0 --fault-seed=0 --failure-rate=0\n"
@@ -146,6 +151,18 @@ sim::AdaptiveReplication adaptiveFromFlags(const CliArgs& args,
   adaptive.maxReps = static_cast<int>(args.getInt("max-reps", fixedReps));
   adaptive.validate();
   return adaptive;
+}
+
+/// Applies --shards=off|auto|N.  The flag pins the process-wide shard
+/// count (outranking the NSMODEL_SHARDS environment policy) before any
+/// simulation runs; absent, the environment stays in charge.  Sharded
+/// runs use per-node RNG keying — see sim/sharded_engine.hpp.
+void applyShardsFlag(const CliArgs& args) {
+  const std::string value = args.getString("shards", "");
+  if (value.empty()) return;
+  sim::setShardCountOverride(support::parsePolicyEnv(
+      "--shards", value.c_str(),
+      static_cast<int>(support::globalPool().size())));
 }
 
 core::NetworkModel modelFromFlags(const CliArgs& args) {
@@ -307,6 +324,7 @@ int cmdSimulate(const CliArgs& args) {
   mc.experiment.nodeFailureRate = args.getDouble("failure-rate", 0.0);
   mc.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   mc.replications = static_cast<int>(args.getInt("reps", 30));
+  applyShardsFlag(args);
   rejectUnknownFlags(args);
 
   const auto aggs = sim::monteCarlo(mc, factory, [](const sim::RunResult& r) {
@@ -357,6 +375,7 @@ int cmdSweep(const CliArgs& args) {
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   const int reps = static_cast<int>(args.getInt("reps", 30));
   const sim::AdaptiveReplication adaptive = adaptiveFromFlags(args, reps);
+  applyShardsFlag(args);
   rejectUnknownFlags(args);
   if (adaptive.enabled() && !simulated) {
     throw ConfigError("--target-ci requires --sim (the analytic sweep has "
