@@ -19,8 +19,6 @@
 // test.  Options: --fast (quarter-size grids), --reps=N, --seed=N,
 // --append (add this run's JSON record instead of overwriting —
 // perf-smoke collects 1- and 4-thread records in one file).
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -42,6 +40,7 @@
 #include "sim/run_workspace.hpp"
 #include "sim/scenario_cache.hpp"
 #include "sim/sharded_engine.hpp"
+#include "support/resource.hpp"
 
 namespace {
 
@@ -136,14 +135,6 @@ bool hasRecord(const char* path, const char* bench, bool fast,
   return found;
 }
 
-/// Peak resident set size of this process in MiB (ru_maxrss is KiB on
-/// Linux).
-double peakRssMb() {
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
-
 /// How many shards can actually run concurrently here: efficiency is
 /// measured against the hardware, not against thread count — four shards
 /// on one core legitimately take one core's time.
@@ -203,7 +194,7 @@ int runHuge(const BenchOptions& opts, const char* path) {
       one->receptionSlotByNode() == four->receptionSlotByNode() &&
       one->attemptedPairs() == four->attemptedPairs() &&
       one->deliveredPairs() == four->deliveredPairs();
-  const double rssMb = peakRssMb();
+  const double rssMb = nsmodel::support::peakRssMb();
   std::printf("sharded x4               %7.2fs  efficiency %.2f over %d "
               "worker%s  (%s)\n",
               wall4, efficiency, workers, workers == 1 ? "" : "s",

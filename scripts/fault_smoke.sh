@@ -67,6 +67,29 @@ echo "journalled points at kill time: ${DONE_BEFORE:-0}"
 cmp "$WORK/ref.csv" "$WORK/resumed.csv"
 echo "resume round-trip: CSV byte-identical"
 
+echo "== immediate SIGKILL (mid-record) leaves a usable journal =="
+# The journal now fsyncs after every record, so even a kill landing
+# moments after launch — possibly mid-write — must leave a journal the
+# resume path can parse (complete records replayed, a torn tail line at
+# worst ignored), and the resumed CSV must still match the reference.
+"$CLI" "${SWEEP_FLAGS[@]}" --serial --journal="$WORK/early_kill.journal" \
+  --csv="$WORK/early_killed.csv" >/dev/null 2>&1 &
+PID=$!
+sleep 0.05
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+# The CSV is written atomically at the end, so a killed run leaves either
+# no CSV at all or a complete one — never a partial file.
+if [[ -e "$WORK/early_killed.csv" ]] \
+   && ! cmp -s "$WORK/ref.csv" "$WORK/early_killed.csv"; then
+  echo "FAIL: SIGKILL left a partial CSV (atomic write broken)"
+  exit 1
+fi
+"$CLI" "${SWEEP_FLAGS[@]}" --journal="$WORK/early_kill.journal" --resume \
+  --csv="$WORK/early_resumed.csv" | grep 'points:'
+cmp "$WORK/ref.csv" "$WORK/early_resumed.csv"
+echo "immediate-kill resume round-trip: CSV byte-identical"
+
 echo "== adaptive replication survives SIGKILL + --resume the same way =="
 # CI-targeted stopping journals each point's realized replication count in
 # its CSV row (the reps column), so a resumed sweep must reproduce the

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Resilient-execution smoke lane: proves the three PR-8 guarantees end to
+# end against the real CLI binary —
+#   1. admission control: an over-budget run dies up front with a
+#      structured [resource] error, never a std::bad_alloc;
+#   2. cancellation: a deadline expiry surfaces as a [timeout] error with
+#      a clean nonzero exit;
+#   3. checkpoint/restore: a run SIGKILLed mid-flight resumes from its
+#      snapshot to a byte-identical result digest, across two shard
+#      counts and two fault regimes (clean, and crash + Gilbert-Elliott
+#      link faults).
+#
+# Usage: scripts/resilience_smoke.sh [path/to/nsmodel_cli]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${1:-build/tools/nsmodel_cli}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# A run slow enough (a few hundred ms) that the kill below lands while
+# slots are still being resolved, and with --checkpoint-every=1 several
+# snapshots have already hit the disk.
+BASE_FLAGS=(broadcast --rho=60 --rings=8 --p=0.35 --seed=42)
+
+echo "== over-budget run refuses with a structured [resource] error =="
+set +e
+BUDGET_OUT="$("$CLI" "${BASE_FLAGS[@]}" --shards=4 --mem-budget=64K 2>&1)"
+BUDGET_RC=$?
+set -e
+if [[ "$BUDGET_RC" -eq 0 ]] || ! grep -q '\[resource\]' <<<"$BUDGET_OUT"; then
+  echo "FAIL: 64K budget exited $BUDGET_RC without a [resource] error line"
+  echo "$BUDGET_OUT"
+  exit 1
+fi
+echo "$BUDGET_OUT"
+
+echo "== expired deadline surfaces as a [timeout] error =="
+set +e
+TIMEOUT_OUT="$("$CLI" "${BASE_FLAGS[@]}" --shards=4 --timeout=0.000001 2>&1)"
+TIMEOUT_RC=$?
+set -e
+if [[ "$TIMEOUT_RC" -eq 0 ]] || ! grep -q '\[timeout\]' <<<"$TIMEOUT_OUT"; then
+  echo "FAIL: 1us deadline exited $TIMEOUT_RC without a [timeout] error line"
+  echo "$TIMEOUT_OUT"
+  exit 1
+fi
+echo "$TIMEOUT_OUT"
+
+# kill_restore_roundtrip <label> <shards> [extra fault flags...]
+#
+# Reference run -> checkpointed run killed with SIGKILL once the first
+# snapshot is on disk -> --restore run from that snapshot.  The restored
+# run's result digest (per-node reception slots, transmission counts,
+# delivery ledger — everything RunResult exposes, FNV-1a hashed by the
+# CLI) must equal the uninterrupted reference's byte for byte.
+kill_restore_roundtrip() {
+  local label="$1" shards="$2"
+  shift 2
+  local flags=("${BASE_FLAGS[@]}" --shards="$shards" "$@")
+  local dir="$WORK/$label"
+  mkdir -p "$dir"
+
+  echo "== $label: reference run =="
+  "$CLI" "${flags[@]}" --result="$dir/ref.digest"
+
+  echo "== $label: SIGKILL mid-run once a snapshot exists =="
+  "$CLI" "${flags[@]}" --checkpoint="$dir/ck.bin" --checkpoint-every=1 \
+    --result="$dir/killed.digest" >/dev/null 2>&1 &
+  local pid=$!
+  # The checkpoint writer publishes via tmp-file + atomic rename, so a
+  # non-empty ck.bin is always a complete, CRC-valid snapshot.
+  for _ in $(seq 1 2000); do
+    [[ -s "$dir/ck.bin" ]] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.005
+  done
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  if [[ ! -s "$dir/ck.bin" ]]; then
+    echo "FAIL: $label: run ended without writing a checkpoint"
+    exit 1
+  fi
+
+  echo "== $label: restore from the snapshot =="
+  "$CLI" "${flags[@]}" --checkpoint="$dir/ck.bin" --restore \
+    --result="$dir/resumed.digest"
+  cmp "$dir/ref.digest" "$dir/resumed.digest"
+  echo "$label: restored digest byte-identical"
+}
+
+FAULTY=(--crash-rate=0.05 --ge-g2b=0.2 --ge-b2g=0.4 --ge-loss-bad=0.5
+  --fault-seed=7)
+
+kill_restore_roundtrip clean-2shards 2
+kill_restore_roundtrip clean-4shards 4
+kill_restore_roundtrip faulty-2shards 2 "${FAULTY[@]}"
+kill_restore_roundtrip faulty-4shards 4 "${FAULTY[@]}"
+
+echo
+echo "resilience smoke: OK"

@@ -36,6 +36,20 @@ void EnergyLedger::absorb(const EnergyLedger& other) {
   totalRx_ += other.totalRx_;
 }
 
+void EnergyLedger::restoreCounts(const std::vector<std::uint32_t>& tx,
+                                 const std::vector<std::uint32_t>& rx) {
+  NSMODEL_CHECK(tx.size() == tx_.size() && rx.size() == rx_.size(),
+                "cannot restore counts of a different node count");
+  tx_ = tx;
+  rx_ = rx;
+  totalTx_ = 0;
+  totalRx_ = 0;
+  for (std::size_t i = 0; i < tx_.size(); ++i) {
+    totalTx_ += tx_[i];
+    totalRx_ += rx_[i];
+  }
+}
+
 std::uint64_t EnergyLedger::txCount(NodeId node) const {
   NSMODEL_CHECK(node < tx_.size(), "node id out of range");
   return tx_[node];

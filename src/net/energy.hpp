@@ -51,6 +51,16 @@ class EnergyLedger {
   std::size_t nodeCount() const { return tx_.size(); }
   const EnergyCosts& costs() const { return costs_; }
 
+  /// Raw per-node counters, exposed so a run checkpoint can snapshot the
+  /// ledger verbatim.
+  const std::vector<std::uint32_t>& perNodeTx() const { return tx_; }
+  const std::vector<std::uint32_t>& perNodeRx() const { return rx_; }
+
+  /// Replaces every counter with a snapshot taken by perNodeTx/perNodeRx
+  /// (same node count required); totals are recomputed.
+  void restoreCounts(const std::vector<std::uint32_t>& tx,
+                     const std::vector<std::uint32_t>& rx);
+
  private:
   EnergyCosts costs_;
   std::vector<std::uint32_t> tx_;

@@ -9,9 +9,11 @@
 #include "support/cli_args.hpp"
 #include "support/deadline.hpp"
 #include "support/error.hpp"
+#include "support/fsio.hpp"
 #include "support/integrate.hpp"
 #include "support/log_math.hpp"
 #include "support/logging.hpp"
+#include "support/resource.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
@@ -59,6 +61,7 @@
 
 // Simulation harnesses.
 #include "sim/async_experiment.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/convergecast.hpp"
 #include "sim/experiment.hpp"
 #include "sim/monte_carlo.hpp"

@@ -1,0 +1,206 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+#include "support/error.hpp"
+#include "support/fsio.hpp"
+
+namespace nsmodel::sim {
+
+namespace {
+
+/// Appends host-order scalars and length-prefixed arrays to a string.
+class Writer {
+ public:
+  template <typename T>
+  void scalar(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto offset = out_.size();
+    out_.resize(offset + sizeof(T));
+    std::memcpy(out_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void array(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    scalar(static_cast<std::uint64_t>(values.size()));
+    const auto offset = out_.size();
+    out_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(out_.data() + offset, values.data(),
+                  values.size() * sizeof(T));
+    }
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over serialized bytes; any underflow means the
+/// file is torn and throws IoError (the CRC should catch it first, but
+/// the reader must not walk off the buffer regardless).
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> array() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = scalar<std::uint64_t>();
+    // Guard the multiplication before resizing: a corrupt length must
+    // throw IoError, not bad_alloc.
+    if (count > bytes_.size() / sizeof(T)) {
+      throw IoError("checkpoint is truncated (array length exceeds file)");
+    }
+    need(count * sizeof(T));
+    std::vector<T> values(static_cast<std::size_t>(count));
+    if (count > 0) {
+      std::memcpy(values.data(), bytes_.data() + pos_,
+                  static_cast<std::size_t>(count) * sizeof(T));
+    }
+    pos_ += static_cast<std::size_t>(count) * sizeof(T);
+    return values;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::uint64_t bytes) {
+    if (bytes > bytes_.size() - pos_) {
+      throw IoError("checkpoint is truncated");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string RunCheckpoint::serialize() const {
+  Writer payload;
+  payload.scalar(fingerprint);
+  payload.scalar(nodeCount);
+  payload.scalar(shards);
+  payload.scalar(maxSlot);
+  payload.scalar(nextSlot);
+  payload.scalar(maxActivated);
+  payload.scalar(static_cast<std::uint8_t>(hasLedger ? 1 : 0));
+  payload.array(received);
+  payload.array(cancelled);
+  payload.array(hasPending);
+  payload.array(energyDead);
+  payload.array(receptionSlotByNode);
+  payload.scalar(static_cast<std::uint64_t>(shardState.size()));
+  for (const ShardCheckpoint& sh : shardState) {
+    payload.array(sh.slotScheduled);
+    payload.array(sh.pendingHead);
+    payload.array(sh.pendingTail);
+    payload.array(sh.interfererHead);
+    payload.array(sh.interfererTail);
+    payload.array(sh.chainNode);
+    payload.array(sh.chainNext);
+    payload.array(sh.receptionSlots);
+    payload.array(sh.transmissionSlots);
+    payload.array(sh.phases);
+    payload.scalar(sh.attemptedPairs);
+    payload.scalar(sh.deliveredPairs);
+    payload.array(sh.ledgerTx);
+    payload.array(sh.ledgerRx);
+  }
+  const std::string body = payload.take();
+
+  Writer header;
+  header.scalar(kMagic);
+  header.scalar(kFormatVersion);
+  header.scalar(support::crc32(body.data(), body.size()));
+  header.scalar(static_cast<std::uint64_t>(body.size()));
+  std::string out = header.take();
+  out += body;
+  return out;
+}
+
+RunCheckpoint RunCheckpoint::deserialize(std::string_view bytes) {
+  Reader header(bytes);
+  if (header.scalar<std::uint32_t>() != kMagic) {
+    throw IoError("not a checkpoint file (bad magic)");
+  }
+  const auto version = header.scalar<std::uint32_t>();
+  if (version != kFormatVersion) {
+    throw IoError("unsupported checkpoint format version " +
+                  std::to_string(version));
+  }
+  const auto crc = header.scalar<std::uint32_t>();
+  const auto payloadSize = header.scalar<std::uint64_t>();
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8;
+  if (payloadSize != bytes.size() - kHeaderBytes) {
+    throw IoError("checkpoint is truncated (payload size mismatch)");
+  }
+  const std::string_view body = bytes.substr(kHeaderBytes);
+  if (support::crc32(body.data(), body.size()) != crc) {
+    throw IoError("checkpoint is corrupt (CRC mismatch)");
+  }
+
+  Reader in(body);
+  RunCheckpoint cp;
+  cp.fingerprint = in.scalar<std::uint64_t>();
+  cp.nodeCount = in.scalar<std::uint64_t>();
+  cp.shards = in.scalar<std::uint32_t>();
+  cp.maxSlot = in.scalar<std::uint64_t>();
+  cp.nextSlot = in.scalar<std::uint64_t>();
+  cp.maxActivated = in.scalar<std::int64_t>();
+  cp.hasLedger = in.scalar<std::uint8_t>() != 0;
+  cp.received = in.array<std::uint8_t>();
+  cp.cancelled = in.array<std::uint8_t>();
+  cp.hasPending = in.array<std::uint8_t>();
+  cp.energyDead = in.array<std::uint8_t>();
+  cp.receptionSlotByNode = in.array<std::int64_t>();
+  const auto shardCount = in.scalar<std::uint64_t>();
+  if (shardCount != cp.shards) {
+    throw IoError("checkpoint is corrupt (shard count mismatch)");
+  }
+  cp.shardState.resize(static_cast<std::size_t>(shardCount));
+  for (ShardCheckpoint& sh : cp.shardState) {
+    sh.slotScheduled = in.array<std::uint8_t>();
+    sh.pendingHead = in.array<std::int32_t>();
+    sh.pendingTail = in.array<std::int32_t>();
+    sh.interfererHead = in.array<std::int32_t>();
+    sh.interfererTail = in.array<std::int32_t>();
+    sh.chainNode = in.array<net::NodeId>();
+    sh.chainNext = in.array<std::int32_t>();
+    sh.receptionSlots = in.array<std::uint64_t>();
+    sh.transmissionSlots = in.array<std::uint64_t>();
+    sh.phases = in.array<PhaseObservation>();
+    sh.attemptedPairs = in.scalar<std::uint64_t>();
+    sh.deliveredPairs = in.scalar<std::uint64_t>();
+    sh.ledgerTx = in.array<std::uint32_t>();
+    sh.ledgerRx = in.array<std::uint32_t>();
+  }
+  if (!in.exhausted()) {
+    throw IoError("checkpoint has trailing bytes");
+  }
+  return cp;
+}
+
+void RunCheckpoint::save(const std::string& path) const {
+  support::writeFileAtomic(path, serialize());
+}
+
+RunCheckpoint RunCheckpoint::load(const std::string& path) {
+  return deserialize(support::readFile(path));
+}
+
+}  // namespace nsmodel::sim

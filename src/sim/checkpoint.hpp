@@ -1,0 +1,98 @@
+// Mid-run checkpoints for the sharded broadcast engine.
+//
+// A RunCheckpoint is a complete snapshot of one in-flight ShardedEngine
+// run, taken at a phase boundary while every worker is parked at a
+// barrier: the shared per-node status words, each shard's slot agenda
+// (pending/interferer chains + the entry pool), its observation vectors,
+// pair counters and energy-ledger counts, plus the activated-slot
+// horizon and the slot to resume from.  Everything else the engine
+// holds is deliberately NOT here because it is recomputable:
+//
+//  * fault-plan state — the Gilbert–Elliott cursors are lazy caches over
+//    a pure function of (plan seed, node, slot), and the plan itself is
+//    rebuilt deterministically from the run RNG fingerprint;
+//  * per-slot scratch (collision tables, published transmitter lists) —
+//    provably all-zero/empty between slots;
+//  * protocol state — the bit-identity contract already restricts the
+//    engine to protocols that draw only in onFirstReception from
+//    per-node streams, so they carry no evolving state.
+//
+// The on-disk format is versioned and CRC-guarded: "NSCK" magic, a
+// format version, a CRC-32 of the payload, then length-prefixed arrays
+// in host byte order (checkpoints are same-host crash-recovery
+// artifacts, not interchange files).  Writes go through tmp-file +
+// fsync + atomic rename, so a crash mid-checkpoint leaves the previous
+// snapshot intact.  A fingerprint of the run configuration and RNG
+// state is validated on restore: resuming under a different config is a
+// ConfigError, a torn or corrupted file is an IoError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/run_result.hpp"
+
+namespace nsmodel::sim {
+
+/// One shard's resumable state (see sharded_engine.cpp's Shard).
+struct ShardCheckpoint {
+  std::vector<std::uint8_t> slotScheduled;
+  std::vector<std::int32_t> pendingHead;
+  std::vector<std::int32_t> pendingTail;
+  std::vector<std::int32_t> interfererHead;
+  std::vector<std::int32_t> interfererTail;
+  std::vector<net::NodeId> chainNode;
+  std::vector<std::int32_t> chainNext;
+  std::vector<std::uint64_t> receptionSlots;
+  std::vector<std::uint64_t> transmissionSlots;
+  std::vector<PhaseObservation> phases;
+  std::uint64_t attemptedPairs = 0;
+  std::uint64_t deliveredPairs = 0;
+  std::vector<std::uint32_t> ledgerTx;  ///< empty when the run has no ledger
+  std::vector<std::uint32_t> ledgerRx;
+};
+
+/// Snapshot of a whole sharded run at a phase boundary.
+struct RunCheckpoint {
+  static constexpr std::uint32_t kMagic = 0x4B43534Eu;  // "NSCK"
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Hash of the run configuration + initial RNG state; restore refuses
+  /// a snapshot whose fingerprint does not match the resuming run.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t nodeCount = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t maxSlot = 0;
+  /// First slot the resumed loop executes (a phase-boundary slot).
+  std::uint64_t nextSlot = 0;
+  std::int64_t maxActivated = -1;
+  bool hasLedger = false;
+
+  // Shared per-node state.
+  std::vector<std::uint8_t> received;
+  std::vector<std::uint8_t> cancelled;
+  std::vector<std::uint8_t> hasPending;
+  std::vector<std::uint8_t> energyDead;
+  std::vector<std::int64_t> receptionSlotByNode;
+
+  std::vector<ShardCheckpoint> shardState;
+
+  /// Binary encoding (magic + version + CRC + payload).
+  std::string serialize() const;
+
+  /// Inverse of serialize().  Throws nsmodel::IoError on bad magic,
+  /// unsupported version, CRC mismatch, or truncation.
+  static RunCheckpoint deserialize(std::string_view bytes);
+
+  /// serialize() + tmp-file + fsync + atomic rename.
+  void save(const std::string& path) const;
+
+  /// Reads and deserializes `path`.  Throws nsmodel::IoError when the
+  /// file is unreadable or corrupt.
+  static RunCheckpoint load(const std::string& path);
+};
+
+}  // namespace nsmodel::sim

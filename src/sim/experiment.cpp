@@ -44,6 +44,9 @@ struct RunState {
 
   /// Null under SlotDriver::FlatLoop; resolver closures under DesEngine.
   des::Engine* engine = nullptr;
+  /// Optional resilience controls (deadline, cancellation); checked once
+  /// per resolved slot, which covers both drivers.
+  const RunControl* control = nullptr;
   /// Slot whose resolution is in progress (-1 before the first); the
   /// flat-loop equivalent of comparing against engine.now().
   std::int64_t nowSlot = -1;
@@ -131,6 +134,7 @@ struct RunState {
   }
 
   void resolveSlot(std::uint64_t slot) {
+    if (control != nullptr) control->check("broadcast slot loop");
     nowSlot = static_cast<std::int64_t>(slot);
     const auto s = static_cast<std::uint64_t>(config.slotsPerPhase);
     curPhase = static_cast<std::size_t>(slot / s);
@@ -244,17 +248,23 @@ struct RunState {
   }
 };
 
-RunResult runBroadcastImpl(const ExperimentConfig& config,
+RunResult runBroadcastBody(const ExperimentConfig& config,
                            const net::Deployment& deployment,
                            const net::Topology& topology,
                            net::Channel& channel,
                            protocols::BroadcastProtocol& protocol,
                            support::Rng& rng, RunWorkspace& ws,
-                           net::EnergyLedger* ledger) {
+                           net::EnergyLedger* ledger,
+                           const RunControl* control) {
   NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
   NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
   NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
                 "deployment/topology size mismatch");
+  if (control != nullptr) {
+    NSMODEL_CHECK(!control->wantsCheckpoint() && control->restore == nullptr,
+                  "checkpoint/restore is a sharded-engine feature; the flat "
+                  "loop does not support it");
+  }
 
   protocol.reset(deployment.nodeCount());
 
@@ -293,6 +303,7 @@ RunResult runBroadcastImpl(const ExperimentConfig& config,
   RunState state(config, topology, channel, protocol, ctx, effectiveLedger,
                  plan, ws);
   state.maxSlot = maxSlot;
+  state.control = control;
   if (config.rngMode == RngMode::PerNode) {
     state.perNodeRng = true;
     // Keyed after the fault plan (and any legacy failure draws) so the
@@ -349,26 +360,60 @@ RunResult runBroadcastImpl(const ExperimentConfig& config,
   return result;
 }
 
+/// Translates allocation failure into the structured resource category:
+/// callers (the robust sweep runner, a serving frontend) must be able to
+/// distinguish "this job is too big" from an internal bug, and must
+/// never see a raw std::bad_alloc escape a run.
+RunResult runBroadcastImpl(const ExperimentConfig& config,
+                           const net::Deployment& deployment,
+                           const net::Topology& topology,
+                           net::Channel& channel,
+                           protocols::BroadcastProtocol& protocol,
+                           support::Rng& rng, RunWorkspace& ws,
+                           net::EnergyLedger* ledger,
+                           const RunControl* control) {
+  try {
+    return runBroadcastBody(config, deployment, topology, channel, protocol,
+                            rng, ws, ledger, control);
+  } catch (const std::bad_alloc&) {
+    throw ResourceError(
+        "allocation failure inside a broadcast run (the workspace remains "
+        "reusable); shrink the run or raise the process memory limit");
+  }
+}
+
 }  // namespace
+
+std::uint64_t expectedNodeCount(const ExperimentConfig& config) {
+  NSMODEL_CHECK(config.rings >= 1, "need at least one ring");
+  NSMODEL_CHECK(config.neighborDensity > 0.0,
+                "neighbor density must be positive");
+  const double n = config.neighborDensity *
+                   static_cast<double>(config.rings) *
+                   static_cast<double>(config.rings);
+  return n < 1.0 ? 1 : static_cast<std::uint64_t>(n);
+}
 
 RunResult runBroadcast(const ExperimentConfig& config,
                        const net::Deployment& deployment,
                        const net::Topology& topology,
                        protocols::BroadcastProtocol& protocol,
-                       support::Rng& rng, net::EnergyLedger* ledger) {
+                       support::Rng& rng, net::EnergyLedger* ledger,
+                       const RunControl* control) {
   RunWorkspace workspace;
   return runBroadcast(config, deployment, topology, protocol, rng, workspace,
-                      ledger);
+                      ledger, control);
 }
 
 RunResult runBroadcast(const ExperimentConfig& config,
                        const net::Deployment& deployment,
                        const net::Topology& topology, net::Channel& channel,
                        protocols::BroadcastProtocol& protocol,
-                       support::Rng& rng, net::EnergyLedger* ledger) {
+                       support::Rng& rng, net::EnergyLedger* ledger,
+                       const RunControl* control) {
   RunWorkspace workspace;
   return runBroadcastImpl(config, deployment, topology, channel, protocol,
-                          rng, workspace, ledger);
+                          rng, workspace, ledger, control);
 }
 
 RunResult runBroadcast(const ExperimentConfig& config,
@@ -376,10 +421,11 @@ RunResult runBroadcast(const ExperimentConfig& config,
                        const net::Topology& topology,
                        protocols::BroadcastProtocol& protocol,
                        support::Rng& rng, RunWorkspace& workspace,
-                       net::EnergyLedger* ledger) {
+                       net::EnergyLedger* ledger,
+                       const RunControl* control) {
   return runBroadcastImpl(config, deployment, topology,
                           workspace.channel(config.channel), protocol, rng,
-                          workspace, ledger);
+                          workspace, ledger, control);
 }
 
 RunResult runExperiment(const ExperimentConfig& config,

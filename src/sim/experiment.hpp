@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "fault/fault_models.hpp"
 #include "net/channel.hpp"
@@ -20,11 +22,13 @@
 #include "net/topology.hpp"
 #include "protocols/broadcast_protocol.hpp"
 #include "sim/run_result.hpp"
+#include "support/deadline.hpp"
 #include "support/rng.hpp"
 
 namespace nsmodel::sim {
 
 class RunWorkspace;
+struct RunCheckpoint;
 
 /// How slot-resolution events are dispatched.  Both drivers execute the
 /// identical per-slot resolution code and are bit-identical at equal
@@ -99,6 +103,59 @@ struct ExperimentConfig {
   RngMode rngMode = RngMode::RunStream;
 };
 
+/// Run-level resilience controls, threaded (optionally) into every
+/// execution backend.  This is deliberately NOT part of ExperimentConfig:
+/// the config describes the simulated system and is hashed into scenario
+/// cache keys; RunControl describes how this particular attempt at the
+/// run may be interrupted, snapshotted, or resumed, none of which may
+/// change the result.
+///
+/// Cancellation — both the deadline and the token — is checked at every
+/// slot on every backend and surfaces as the retryable TimeoutError with
+/// the run's workspace left reusable (the flat loop's deep-clean contract
+/// and the sharded engine's barrier-safe unwind both hold).
+///
+/// Checkpointing (checkpointPath / checkpointSink / restore) is a
+/// sharded-engine feature: it is the backend that owns million-node runs
+/// worth resuming.  The flat and batched backends reject a control that
+/// asks for it with ConfigError.
+struct RunControl {
+  /// Wall-clock budget; default never expires.
+  support::Deadline deadline;
+  /// External cancellation; may be flipped from any thread.  Optional.
+  const support::CancelToken* cancel = nullptr;
+
+  /// When non-empty: write a snapshot to this path (tmp + fsync +
+  /// atomic rename) at every checkpoint-due phase boundary.
+  std::string checkpointPath;
+  /// Snapshot cadence in phases (>= 1).
+  int checkpointEveryPhases = 1;
+  /// Test/embedding hook: also hand every snapshot to this callback
+  /// (called on the engine's caller thread while all shards are parked).
+  std::function<void(const RunCheckpoint&)> checkpointSink;
+  /// Resume from this snapshot instead of starting at slot 0.  The
+  /// engine validates its fingerprint/shape and throws ConfigError on
+  /// mismatch.
+  const RunCheckpoint* restore = nullptr;
+
+  bool wantsCheckpoint() const {
+    return !checkpointPath.empty() || checkpointSink != nullptr;
+  }
+
+  /// Throws TimeoutError when the deadline expired or cancellation was
+  /// requested.  Cheap enough for once-per-slot call sites.
+  void check(const char* what) const {
+    deadline.check(what);
+    if (cancel != nullptr) cancel->check(what);
+  }
+};
+
+/// The deployment size the paper's geometry implies for a config before
+/// anything is built: N = delta * pi * (P r)^2 = rho * P^2.  Used by
+/// memory-budget admission control, which must refuse a run *before*
+/// allocating it.
+std::uint64_t expectedNodeCount(const ExperimentConfig& config);
+
 /// Runs a single broadcast over a pre-built topology. The protocol is
 /// reset before use; `rng` drives both the protocol's coin flips and slot
 /// jitter.  Exposed separately from runExperiment so tests can pin a
@@ -108,7 +165,8 @@ RunResult runBroadcast(const ExperimentConfig& config,
                        const net::Topology& topology,
                        protocols::BroadcastProtocol& protocol,
                        support::Rng& rng,
-                       net::EnergyLedger* ledger = nullptr);
+                       net::EnergyLedger* ledger = nullptr,
+                       const RunControl* control = nullptr);
 
 /// As above, but with a caller-supplied channel (e.g. net::FadingChannel);
 /// config.channel is ignored.
@@ -117,7 +175,8 @@ RunResult runBroadcast(const ExperimentConfig& config,
                        const net::Topology& topology, net::Channel& channel,
                        protocols::BroadcastProtocol& protocol,
                        support::Rng& rng,
-                       net::EnergyLedger* ledger = nullptr);
+                       net::EnergyLedger* ledger = nullptr,
+                       const RunControl* control = nullptr);
 
 /// As above, but running inside a caller-provided RunWorkspace: buffers
 /// and the channel instance come from (and return to) the workspace, so
@@ -128,7 +187,8 @@ RunResult runBroadcast(const ExperimentConfig& config,
                        const net::Topology& topology,
                        protocols::BroadcastProtocol& protocol,
                        support::Rng& rng, RunWorkspace& workspace,
-                       net::EnergyLedger* ledger = nullptr);
+                       net::EnergyLedger* ledger = nullptr,
+                       const RunControl* control = nullptr);
 
 /// Generates the paper's deployment and runs one broadcast. The stream id
 /// seeds both the deployment and the protocol randomness.

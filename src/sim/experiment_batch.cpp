@@ -463,14 +463,15 @@ class BatchDriver {
 
 /// Sequential fallback: the DesEngine reference path never batches.
 std::vector<RunResult> runLanesSequentially(const ExperimentConfig& config,
-                                            std::vector<BatchLane>& lanes) {
+                                            std::vector<BatchLane>& lanes,
+                                            const RunControl* control) {
   RunWorkspace workspace;
   std::vector<RunResult> results;
   results.reserve(lanes.size());
   for (BatchLane& lane : lanes) {
     results.push_back(runBroadcast(config, *lane.deployment, *lane.topology,
                                    *lane.protocol, lane.rng, workspace,
-                                   lane.ledger));
+                                   lane.ledger, control));
   }
   return results;
 }
@@ -499,10 +500,18 @@ void setBatchWidthOverride(int width) {
   gBatchWidthOverride.store(width, std::memory_order_relaxed);
 }
 
-std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
-                                         std::vector<BatchLane>& lanes,
-                                         BatchWorkspace& workspace) {
+namespace {
+
+std::vector<RunResult> runBroadcastBatchBody(const ExperimentConfig& config,
+                                             std::vector<BatchLane>& lanes,
+                                             BatchWorkspace& workspace,
+                                             const RunControl* control) {
   NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
+  if (control != nullptr) {
+    NSMODEL_CHECK(!control->wantsCheckpoint() && control->restore == nullptr,
+                  "checkpoint/restore is a sharded-engine feature; the "
+                  "batched backend does not support it");
+  }
   NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
   NSMODEL_CHECK(!std::isnan(config.nodeFailureRate) &&
                     config.nodeFailureRate >= 0.0 &&
@@ -512,7 +521,7 @@ std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
                 "use either the legacy nodeFailureRate or fault.crash, "
                 "not both (one failure code path per run)");
   if (config.driver == SlotDriver::DesEngine) {
-    return runLanesSequentially(config, lanes);
+    return runLanesSequentially(config, lanes, control);
   }
 
   const auto maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
@@ -575,6 +584,7 @@ std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
   // marks the slot resolves it.  Activations only ever target later
   // slots, so the scan is monotone; globalMax can grow while it runs.
   for (std::int64_t slot = 0; slot <= driver.globalMax; ++slot) {
+    if (control != nullptr) control->check("batched slot loop");
     for (LaneRun& L : runs) {
       if (L.a->slotScheduled[static_cast<std::size_t>(slot)] != 0) {
         driver.resolveLaneSlot(L, static_cast<std::uint64_t>(slot));
@@ -596,6 +606,22 @@ std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
     workspace.finishLane(a);
   }
   return results;
+}
+
+}  // namespace
+
+std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
+                                         std::vector<BatchLane>& lanes,
+                                         BatchWorkspace& workspace,
+                                         const RunControl* control) {
+  try {
+    return runBroadcastBatchBody(config, lanes, workspace, control);
+  } catch (const std::bad_alloc&) {
+    throw ResourceError(
+        "allocation failure inside a batched broadcast run; shrink the "
+        "batch width (NSMODEL_BATCH) or the run, or raise the process "
+        "memory limit");
+  }
 }
 
 }  // namespace nsmodel::sim

@@ -50,10 +50,14 @@ struct BatchLane {
 /// per lane, in lane order.  Each protocol instance is reset first, as
 /// runBroadcast would; lanes may have different node counts.  Under
 /// SlotDriver::DesEngine the lanes run sequentially through the engine
-/// path instead (the results are bit-identical either way).
+/// path instead (the results are bit-identical either way).  `control`
+/// (optional) carries the run's deadline/cancellation, checked once per
+/// global slot; checkpoint/restore requests are rejected (that is the
+/// sharded engine's feature).
 std::vector<RunResult> runBroadcastBatch(const ExperimentConfig& config,
                                          std::vector<BatchLane>& lanes,
-                                         BatchWorkspace& workspace);
+                                         BatchWorkspace& workspace,
+                                         const RunControl* control = nullptr);
 
 /// The lane count NSMODEL_BATCH resolves to: off -> 1, auto/unset -> 8,
 /// integer N -> max(N, 1).  Throws ConfigError on anything else.  An

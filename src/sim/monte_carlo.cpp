@@ -10,6 +10,7 @@
 #include "sim/scenario_cache.hpp"
 #include "sim/sharded_engine.hpp"
 #include "support/error.hpp"
+#include "support/resource.hpp"
 #include "support/thread_pool.hpp"
 
 namespace nsmodel::sim {
@@ -122,6 +123,34 @@ void runChunkBatched(const MonteCarloConfig& config,
   }
 }
 
+/// The run shape admission control reasons about, computed before any
+/// scenario is built: the expected deployment size for the configured
+/// density, the slot horizon, and whether carrier sense doubles the
+/// topology tables.
+support::RunShape runShapeFor(const ExperimentConfig& config) {
+  support::RunShape shape;
+  shape.nodes = expectedNodeCount(config);
+  shape.avgNeighbors = config.neighborDensity;
+  shape.carrierSense = config.channel == net::ChannelModel::CarrierSenseAware;
+  shape.maxSlots = static_cast<std::uint64_t>(config.slotsPerPhase) *
+                   static_cast<std::uint64_t>(config.maxPhases);
+  return shape;
+}
+
+/// batchWidthFor under the memory budget: the requested lane count is
+/// halved until the chunks that run concurrently all fit; throws
+/// nsmodel::ResourceError when even sequential width-1 execution would
+/// not (refusing *before* the allocator dies in std::bad_alloc).
+int admittedBatchWidth(const MonteCarloConfig& config) {
+  const int width = batchWidthFor(config.experiment);
+  const std::uint64_t budget = support::memBudgetBytes();
+  if (budget == 0) return width;
+  const std::size_t chunks =
+      config.parallel ? support::globalPool().size() : std::size_t{1};
+  return support::admitBatchWidth(runShapeFor(config.experiment), width,
+                                  chunks, budget);
+}
+
 /// The shard count runChunk should use: outermost parallelism wins, so
 /// sharding only engages when replication-level parallelism is idle —
 /// the plan is sequential, or it is a single fixed replication (a
@@ -135,7 +164,13 @@ int chunkShards(const MonteCarloConfig& config) {
       !config.parallel ||
       (!config.adaptive.enabled() && config.replications == 1);
   if (!replicationParallelismIdle) return 1;
-  return shardCountFor(config.experiment);
+  const int shards = shardCountFor(config.experiment);
+  const std::uint64_t budget = support::memBudgetBytes();
+  if (shards <= 1 || budget == 0) return shards;
+  // Degrade stepwise under the budget: fewer shards still compute the
+  // same result (the identity contract is shard-count independent).
+  return support::admitShardCount(runShapeFor(config.experiment), shards,
+                                  budget);
 }
 
 /// Runs replications [lo, hi) on one leased workspace with one protocol
@@ -154,7 +189,7 @@ void runChunk(const MonteCarloConfig& config,
   // it engages it outranks the default-on replication batching: the user
   // chose within-run parallelism over replication lanes.
   const int shards = chunkShards(config);
-  const int width = batchWidthFor(config.experiment);
+  const int width = admittedBatchWidth(config);
   if (width > 1 && shards <= 1) {
     runChunkBatched(config, makeProtocol, lo, hi,
                     static_cast<std::size_t>(width),
@@ -311,7 +346,7 @@ std::vector<std::vector<MetricAggregate>> monteCarloSweepAdaptive(
     const auto hi = static_cast<std::size_t>(target);
     for (const std::size_t point : active) samples[point].resize(hi);
     forEachChunkIn(config, lo, hi, [&](std::size_t clo, std::size_t chi) {
-      const int width = batchWidthFor(config.experiment);
+      const int width = admittedBatchWidth(config);
       if (width > 1) {
         runSweepChunkBatched(config, makeProtocols, active, clo, chi,
                              static_cast<std::size_t>(width), extract,
@@ -408,7 +443,7 @@ std::vector<std::vector<MetricAggregate>> monteCarloSweep(
     allPoints[point] = point;
   }
   forEachChunk(config, [&](std::size_t lo, std::size_t hi) {
-    const int width = batchWidthFor(config.experiment);
+    const int width = admittedBatchWidth(config);
     if (width > 1) {
       runSweepChunkBatched(config, makeProtocols, allPoints, lo, hi,
                            static_cast<std::size_t>(width), extract, samples);

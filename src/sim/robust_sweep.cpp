@@ -2,14 +2,17 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/fsio.hpp"
 #include "support/thread_pool.hpp"
 
 namespace nsmodel::sim {
@@ -104,11 +107,16 @@ RobustSweepResult runRobustSweep(std::size_t pointCount,
     loadJournal(options.journalPath, pointCount, slots);
   }
 
-  std::ofstream journal;
+  // The journal is a C stream so completed records can be fsynced
+  // individually: a SIGKILL between records then loses at most the
+  // record in flight, and the resume parser already discards the
+  // truncated tail a kill mid-write leaves behind.
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> journal(nullptr,
+                                                          &std::fclose);
   if (!options.journalPath.empty()) {
-    journal.open(options.journalPath,
-                 options.resume ? std::ios::app : std::ios::trunc);
-    if (!journal.is_open()) {
+    journal.reset(std::fopen(options.journalPath.c_str(),
+                             options.resume ? "ab" : "wb"));
+    if (journal == nullptr) {
       throw IoError("cannot open sweep journal for writing: " +
                     options.journalPath);
     }
@@ -120,15 +128,17 @@ RobustSweepResult runRobustSweep(std::size_t pointCount,
 
   auto finishPoint = [&](SweepPointOutcome out) {
     std::lock_guard<std::mutex> lock(mutex);
-    if (journal.is_open()) {
-      // Append + flush per point: a kill between points loses at most
-      // the in-flight one, and a kill mid-write leaves a truncated tail
-      // that the resume parser ignores.
-      journal << journalLine(out) << '\n' << std::flush;
-      if (!journal) {
+    if (journal != nullptr) {
+      // Append + fsync per point: once finishPoint returns, the record
+      // is on disk — a subsequent SIGKILL cannot take it back.
+      const std::string line = journalLine(out) + '\n';
+      if (std::fwrite(line.data(), 1, line.size(), journal.get()) !=
+          line.size()) {
         throw IoError("cannot append to sweep journal: " +
                       options.journalPath);
       }
+      support::syncStream(journal.get(),
+                          "sweep journal " + options.journalPath);
     }
     slots[out.index] = std::move(out);
   };

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <optional>
 #include <thread>
@@ -12,6 +14,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "geom/partition.hpp"
+#include "sim/checkpoint.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -21,6 +24,51 @@ namespace nsmodel::sim {
 namespace {
 
 std::atomic<int> gShardOverride{-1};
+
+// Test-only straggler injection; see setShardStallForTesting.
+std::atomic<int> gStallShard{-1};
+std::atomic<int> gStallMicros{0};
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t doubleBits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Fingerprint of everything a checkpoint's validity depends on: the run
+/// RNG state (pre- and post-legacy-draws), the deployment size, the shard
+/// shape, and every config field that feeds the slot loop or the fault
+/// plan.  Two runs with equal fingerprints replay the same simulation.
+std::uint64_t runFingerprint(const ExperimentConfig& config,
+                             std::uint64_t rngFingerprint,
+                             std::uint64_t perNodeSeed, std::size_t nodes,
+                             int shards) {
+  std::uint64_t h = 0x243F6A8885A308D3ull;
+  h = mix64(h, rngFingerprint);
+  h = mix64(h, perNodeSeed);
+  h = mix64(h, static_cast<std::uint64_t>(nodes));
+  h = mix64(h, static_cast<std::uint64_t>(shards));
+  h = mix64(h, static_cast<std::uint64_t>(config.slotsPerPhase));
+  h = mix64(h, static_cast<std::uint64_t>(config.maxPhases));
+  h = mix64(h, static_cast<std::uint64_t>(config.channel));
+  h = mix64(h, doubleBits(config.csFactor));
+  h = mix64(h, doubleBits(config.nodeFailureRate));
+  h = mix64(h, doubleBits(config.fault.crash.crashRate));
+  h = mix64(h, doubleBits(config.fault.crash.recoveryRate));
+  h = mix64(h, doubleBits(config.fault.link.pGoodToBad));
+  h = mix64(h, doubleBits(config.fault.link.pBadToGood));
+  h = mix64(h, doubleBits(config.fault.link.lossGood));
+  h = mix64(h, doubleBits(config.fault.link.lossBad));
+  h = mix64(h, doubleBits(config.fault.drift.maxSkewSlots));
+  h = mix64(h, doubleBits(config.fault.energyBudget));
+  h = mix64(h, config.fault.faultSeed);
+  return h;
+}
 
 void fetchMax(std::atomic<std::int64_t>& target, std::int64_t value) {
   std::int64_t cur = target.load();
@@ -42,6 +90,14 @@ struct SharedRunState {
   std::vector<std::uint8_t> energyDead;
   std::vector<std::int64_t> receptionSlotByNode;
   std::atomic<std::int64_t> maxActivated{-1};
+  /// Raised by any shard that errors (deadline expiry, cancellation,
+  /// allocation failure) or by a failed checkpoint write.  Every shard
+  /// reads it at the same post-barrier point of the loop — stores only
+  /// happen before a barrier arrival, so the barrier's synchronisation
+  /// guarantees all shards read the same value and the whole gang breaks
+  /// out together.  That is what makes cancellation deadlock-free: a
+  /// barrier is only ever abandoned by all of its participants at once.
+  std::atomic<bool> stop{false};
 };
 
 /// Row lookup for one shard: the restricted CSR when the run is split,
@@ -77,7 +133,9 @@ struct Shard {
   const net::Topology* topology = nullptr;
   protocols::BroadcastProtocol* protocol = nullptr;
   SharedRunState* shared = nullptr;
+  const RunControl* control = nullptr;  ///< optional deadline/cancel
   RowAccess rows;
+  int index = 0;  ///< this shard's id (for the stall injector)
   std::uint64_t maxSlot = 0;
   std::uint64_t perNodeSeed = 0;
   double energyBudget = 0.0;
@@ -193,6 +251,11 @@ struct Shard {
   /// pairs, tx energy) — everything the flat resolveSlot does before the
   /// channel runs, restricted to owned nodes.
   void phaseA(std::uint64_t slot) {
+    if (gStallShard.load(std::memory_order_relaxed) == index) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          gStallMicros.load(std::memory_order_relaxed)));
+    }
+    if (control != nullptr) control->check("sharded slot loop");
     myTx.clear();
     myIx.clear();
     nowSlot = static_cast<std::int64_t>(slot);
@@ -456,7 +519,22 @@ void ShardedEngine::buildRestricted(
 
 RunResult ShardedEngine::run(const ExperimentConfig& config,
                              protocols::BroadcastProtocol& protocol,
-                             support::Rng& rng, net::EnergyLedger* ledger) {
+                             support::Rng& rng, net::EnergyLedger* ledger,
+                             const RunControl* control) {
+  try {
+    return runImpl(config, protocol, rng, ledger, control);
+  } catch (const std::bad_alloc&) {
+    throw ResourceError(
+        "allocation failure inside a sharded run (the engine remains "
+        "reusable); reduce the shard count or the run size, or raise the "
+        "process memory limit");
+  }
+}
+
+RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
+                                 protocols::BroadcastProtocol& protocol,
+                                 support::Rng& rng, net::EnergyLedger* ledger,
+                                 const RunControl* control) {
   NSMODEL_CHECK(config.slotsPerPhase >= 1, "need at least one slot");
   NSMODEL_CHECK(config.maxPhases >= 1, "need at least one phase");
   NSMODEL_CHECK(config.driver == SlotDriver::FlatLoop,
@@ -480,13 +558,36 @@ RunResult ShardedEngine::run(const ExperimentConfig& config,
   // Prologue order matches the flat loop exactly: the plan keys off the
   // pre-legacy fingerprint, the per-node protocol streams off the
   // post-legacy one.
+  const std::uint64_t rngFingerprint = rng.stateFingerprint();
   fault::FaultPlan plan = fault::FaultPlan::build(
       config.fault, n, static_cast<std::uint64_t>(config.maxPhases),
-      rng.stateFingerprint());
+      rngFingerprint);
   if (config.nodeFailureRate > 0.0) {
     plan.addLegacyNodeFailures(config.nodeFailureRate, n, rng);
   }
   const std::uint64_t perNodeSeed = rng.stateFingerprint() ^ kPerNodeRngSalt;
+
+  const std::uint64_t fingerprint =
+      runFingerprint(config, rngFingerprint, perNodeSeed, n, shards_);
+  if (control != nullptr && control->wantsCheckpoint()) {
+    NSMODEL_CHECK(control->checkpointEveryPhases >= 1,
+                  "checkpoint cadence must be >= 1 phase");
+  }
+  if (control != nullptr && control->restore != nullptr) {
+    const RunCheckpoint& cp = *control->restore;
+    if (cp.fingerprint != fingerprint) {
+      throw ConfigError(
+          "checkpoint fingerprint mismatch: the snapshot was taken by a "
+          "run with a different config, RNG state, deployment size, or "
+          "shard count");
+    }
+    NSMODEL_CHECK(
+        cp.nodeCount == n &&
+            cp.shards == static_cast<std::uint32_t>(shards_) &&
+            cp.maxSlot == static_cast<std::uint64_t>(config.maxPhases) *
+                              static_cast<std::uint64_t>(config.slotsPerPhase),
+        "checkpoint shape does not match this run");
+  }
 
   const double budget = plan.energyBudget();
   NSMODEL_CHECK(!(budget > 0.0 && ledger != nullptr &&
@@ -516,6 +617,8 @@ RunResult ShardedEngine::run(const ExperimentConfig& config,
     sh.topology = &topology_;
     sh.protocol = &protocol;
     sh.shared = &shared;
+    sh.control = control;
+    sh.index = j;
     sh.rows.topology = &topology_;
     if (S > 1) {
       sh.rows.rxOff = &rxOffsets_[static_cast<std::size_t>(j)];
@@ -549,38 +652,169 @@ RunResult ShardedEngine::run(const ExperimentConfig& config,
     }
   }
 
-  // The source holds the packet from the start and transmits in a
-  // uniformly jittered slot of phase T_1 (per-node stream, as the flat
-  // loop's RngMode::PerNode path).  Scheduled on the owner shard before
-  // any worker starts.
-  const net::NodeId source = deployment_.source();
-  shared.received[source] = 1;
-  const std::uint64_t sourceSlot =
-      support::Rng::forStream(perNodeSeed, source)
-          .below(static_cast<std::uint64_t>(config.slotsPerPhase));
-  workers[owner_[source]].scheduleTransmission(source, sourceSlot);
+  std::uint64_t startSlot = 0;
+  if (control != nullptr && control->restore != nullptr) {
+    // Resume: overwrite the freshly initialised state wholesale with the
+    // snapshot (shared status words, each shard's agenda chains, its
+    // observation history and ledger counts) and start the loop at the
+    // snapshot's phase boundary.  Everything not in the snapshot —
+    // fault-plan cursors, per-slot scratch, protocol state — is provably
+    // recomputable (see checkpoint.hpp).
+    const RunCheckpoint& cp = *control->restore;
+    NSMODEL_CHECK(cp.hasLedger == wantLedger,
+                  "checkpoint ledger presence does not match this run");
+    const bool shapeOk =
+        cp.received.size() == n && cp.cancelled.size() == n &&
+        cp.hasPending.size() == n && cp.energyDead.size() == n &&
+        cp.receptionSlotByNode.size() == n &&
+        cp.shardState.size() == static_cast<std::size_t>(S);
+    NSMODEL_CHECK(shapeOk, "checkpoint arrays do not match this run");
+    shared.received = cp.received;
+    shared.cancelled = cp.cancelled;
+    shared.hasPending = cp.hasPending;
+    shared.energyDead = cp.energyDead;
+    shared.receptionSlotByNode = cp.receptionSlotByNode;
+    shared.maxActivated.store(cp.maxActivated);
+    for (int j = 0; j < S; ++j) {
+      Shard& sh = workers[static_cast<std::size_t>(j)];
+      const ShardCheckpoint& sc = cp.shardState[static_cast<std::size_t>(j)];
+      NSMODEL_CHECK(sc.slotScheduled.size() == maxSlot &&
+                        sc.pendingHead.size() == maxSlot &&
+                        sc.pendingTail.size() == maxSlot &&
+                        sc.interfererHead.size() == maxSlot &&
+                        sc.interfererTail.size() == maxSlot &&
+                        sc.chainNode.size() == sc.chainNext.size(),
+                    "checkpoint shard arrays do not match this run");
+      sh.slotScheduled = sc.slotScheduled;
+      sh.pendingHead = sc.pendingHead;
+      sh.pendingTail = sc.pendingTail;
+      sh.interfererHead = sc.interfererHead;
+      sh.interfererTail = sc.interfererTail;
+      sh.chainNode = sc.chainNode;
+      sh.chainNext = sc.chainNext;
+      sh.receptionSlots = sc.receptionSlots;
+      sh.transmissionSlots = sc.transmissionSlots;
+      sh.phases = sc.phases;
+      sh.attemptedPairs = sc.attemptedPairs;
+      sh.deliveredPairs = sc.deliveredPairs;
+      if (wantLedger) {
+        sh.ledger->restoreCounts(sc.ledgerTx, sc.ledgerRx);
+      }
+    }
+    startSlot = cp.nextSlot;
+  } else {
+    // The source holds the packet from the start and transmits in a
+    // uniformly jittered slot of phase T_1 (per-node stream, as the flat
+    // loop's RngMode::PerNode path).  Scheduled on the owner shard before
+    // any worker starts.
+    const net::NodeId source = deployment_.source();
+    shared.received[source] = 1;
+    const std::uint64_t sourceSlot =
+        support::Rng::forStream(perNodeSeed, source)
+            .below(static_cast<std::uint64_t>(config.slotsPerPhase));
+    workers[owner_[source]].scheduleTransmission(source, sourceSlot);
+  }
+
+  // Checkpoint cadence: a snapshot is due at phase-boundary slots (all
+  // per-slot scratch is provably clear there) on every
+  // checkpointEveryPhases-th phase.  The decision is a pure function of
+  // the slot, so every shard computes the same answer with no extra
+  // coordination.
+  const bool wantsCheckpoint =
+      control != nullptr && control->wantsCheckpoint();
+  const auto slotsPerPhase =
+      static_cast<std::uint64_t>(config.slotsPerPhase);
+  const std::uint64_t checkpointEvery =
+      wantsCheckpoint
+          ? static_cast<std::uint64_t>(control->checkpointEveryPhases)
+          : 1;
+  auto checkpointDue = [&](std::uint64_t slot) {
+    return wantsCheckpoint && slot != startSlot &&
+           slot % slotsPerPhase == 0 &&
+           (slot / slotsPerPhase) % checkpointEvery == 0;
+  };
+  // Runs on shard 0 (the caller thread) while every other shard is
+  // parked between the two checkpoint barriers, so reading their state
+  // is race-free.
+  auto captureCheckpoint = [&](std::uint64_t nextSlot) {
+    RunCheckpoint cp;
+    cp.fingerprint = fingerprint;
+    cp.nodeCount = n;
+    cp.shards = static_cast<std::uint32_t>(S);
+    cp.maxSlot = maxSlot;
+    cp.nextSlot = nextSlot;
+    cp.maxActivated = shared.maxActivated.load();
+    cp.hasLedger = wantLedger;
+    cp.received = shared.received;
+    cp.cancelled = shared.cancelled;
+    cp.hasPending = shared.hasPending;
+    cp.energyDead = shared.energyDead;
+    cp.receptionSlotByNode = shared.receptionSlotByNode;
+    cp.shardState.resize(static_cast<std::size_t>(S));
+    for (int j = 0; j < S; ++j) {
+      const Shard& sh = workers[static_cast<std::size_t>(j)];
+      ShardCheckpoint& sc = cp.shardState[static_cast<std::size_t>(j)];
+      sc.slotScheduled = sh.slotScheduled;
+      sc.pendingHead = sh.pendingHead;
+      sc.pendingTail = sh.pendingTail;
+      sc.interfererHead = sh.interfererHead;
+      sc.interfererTail = sh.interfererTail;
+      sc.chainNode = sh.chainNode;
+      sc.chainNext = sh.chainNext;
+      sc.receptionSlots = sh.receptionSlots;
+      sc.transmissionSlots = sh.transmissionSlots;
+      sc.phases = sh.phases;
+      sc.attemptedPairs = sh.attemptedPairs;
+      sc.deliveredPairs = sh.deliveredPairs;
+      if (wantLedger) {
+        sc.ledgerTx = sh.ledger->perNodeTx();
+        sc.ledgerRx = sh.ledger->perNodeRx();
+      }
+    }
+    return cp;
+  };
 
   // Lockstep slot loop.  All shards read the horizon at the same point
   // of every iteration (writers only run inside phase B, behind the
   // barrier), so they agree on the exit slot; phase A's published lists
   // are frozen by the first wait, consumed in phase B, and released for
-  // reuse by the second.  A shard that throws goes passive — it keeps
-  // arriving at the barriers with empty published lists until the loop
-  // drains — and the first error (by shard index) rethrows after the
+  // reuse by the second.  A shard that throws raises shared.stop (and
+  // keeps arriving at the barriers with empty published lists in the
+  // meantime); every shard re-reads the flag at the same post-barrier
+  // point, so the gang exits the loop together — no thread is ever left
+  // blocked — and the first error (by shard index) rethrows after the
   // join.
   std::optional<std::barrier<>> gate;
   if (S > 1) gate.emplace(S);
   auto shardLoop = [&](int j) {
     Shard& sh = workers[static_cast<std::size_t>(j)];
-    std::uint64_t slot = 0;
+    std::uint64_t slot = startSlot;
     for (;;) {
       const std::int64_t limit = shared.maxActivated.load();
       if (static_cast<std::int64_t>(slot) > limit) break;
+      if (checkpointDue(slot)) {
+        if (gate) gate->arrive_and_wait();
+        if (j == 0 && !shared.stop.load()) {
+          try {
+            const RunCheckpoint cp = captureCheckpoint(slot);
+            if (control->checkpointSink) control->checkpointSink(cp);
+            if (!control->checkpointPath.empty()) {
+              cp.save(control->checkpointPath);
+            }
+          } catch (...) {
+            sh.error = std::current_exception();
+            shared.stop.store(true);
+          }
+        }
+        if (gate) gate->arrive_and_wait();
+        if (shared.stop.load()) break;
+      }
       if (sh.error == nullptr) {
         try {
           sh.phaseA(slot);
         } catch (...) {
           sh.error = std::current_exception();
+          shared.stop.store(true);
           sh.myTx.clear();
           sh.myIx.clear();
         }
@@ -594,9 +828,11 @@ RunResult ShardedEngine::run(const ExperimentConfig& config,
           sh.phaseB(slot, workers);
         } catch (...) {
           sh.error = std::current_exception();
+          shared.stop.store(true);
         }
       }
       if (gate) gate->arrive_and_wait();
+      if (shared.stop.load()) break;
       ++slot;
     }
   };
@@ -682,5 +918,10 @@ int shardCountFor(const ExperimentConfig& config) {
 }
 
 void setShardCountOverride(int shards) { gShardOverride.store(shards); }
+
+void setShardStallForTesting(int shard, int microsPerSlot) {
+  gStallMicros.store(microsPerSlot);
+  gStallShard.store(shard);
+}
 
 }  // namespace nsmodel::sim

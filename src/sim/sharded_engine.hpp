@@ -75,11 +75,34 @@ class ShardedEngine {
   /// versus the flat loop, all checked: SlotDriver::FlatLoop only, and a
   /// caller-supplied ledger must be empty when an energy budget is
   /// active (per-shard ledgers start from zero).
+  ///
+  /// `control` (optional) adds resilience:
+  ///   * deadline/cancellation is checked by every shard once per slot;
+  ///     expiry raises a stop flag that all shards observe at the same
+  ///     post-barrier point, so the whole gang unwinds together — no
+  ///     thread is ever left blocked at a barrier — and the first error
+  ///     (by shard index) rethrows as the retryable TimeoutError.  The
+  ///     engine remains reusable afterwards.
+  ///   * checkpointPath/checkpointSink snapshot the run at checkpoint-due
+  ///     phase boundaries (every checkpointEveryPhases phases) while all
+  ///     shards are parked; restore resumes from such a snapshot and is
+  ///     bit-identity preserving: a run killed at any slot and restored
+  ///     from its latest checkpoint returns the byte-identical RunResult
+  ///     of an uninterrupted run.  Restore validates the snapshot's
+  ///     config/RNG fingerprint and shard shape (ConfigError on
+  ///     mismatch).  The caller must pass the same config, rng state,
+  ///     protocol, and ledger arrangement as the original run.
   RunResult run(const ExperimentConfig& config,
                 protocols::BroadcastProtocol& protocol, support::Rng& rng,
-                net::EnergyLedger* ledger = nullptr);
+                net::EnergyLedger* ledger = nullptr,
+                const RunControl* control = nullptr);
 
  private:
+  RunResult runImpl(const ExperimentConfig& config,
+                    protocols::BroadcastProtocol& protocol,
+                    support::Rng& rng, net::EnergyLedger* ledger,
+                    const RunControl* control);
+
   static void buildRestricted(const net::Topology& topology,
                               const std::vector<std::uint32_t>& owner,
                               int shards, bool carrierSense,
@@ -121,5 +144,11 @@ int shardCountFor(const ExperimentConfig& config);
 /// Pins the shard count process-wide (>= 0); pass a negative value to
 /// fall back to the environment again.  For tests and benches.
 void setShardCountOverride(int shards);
+
+/// Test-only fault injection: makes shard `shard` sleep `microsPerSlot`
+/// microseconds at the top of every phase A, simulating a straggler that
+/// drags the whole gang past its deadline.  Pass (-1, 0) to disable.
+/// Process-wide; not for production use.
+void setShardStallForTesting(int shard, int microsPerSlot);
 
 }  // namespace nsmodel::sim

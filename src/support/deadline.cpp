@@ -26,4 +26,10 @@ void Deadline::check(const char* what) const {
   }
 }
 
+void CancelToken::check(const char* what) const {
+  if (cancelled()) {
+    throw TimeoutError(std::string("run cancelled during ") + what);
+  }
+}
+
 }  // namespace nsmodel::support

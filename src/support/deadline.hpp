@@ -7,8 +7,16 @@
 // deadline has expired, check() throws nsmodel::TimeoutError — the one
 // retryable category in the error taxonomy — which the robust sweep
 // runner converts into a bounded retry-with-reseed.
+// A CancelToken is the external-request twin of a Deadline: another thread
+// (a serving frontend, a test harness, a signal handler trampoline) flips
+// it, and the work loop observes it at the same safe points where it
+// checks its Deadline.  Cancellation surfaces as the same retryable
+// TimeoutError so every caller that already handles deadline expiry —
+// the robust sweep runner's retry loop, the CLI's structured error exit —
+// handles cancellation for free.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 
 namespace nsmodel::support {
@@ -34,6 +42,28 @@ class Deadline {
  private:
   bool limited_ = false;
   std::chrono::steady_clock::time_point at_{};
+};
+
+/// A thread-safe cooperative cancellation flag.  requestCancel() may be
+/// called from any thread, any number of times; the work loop polls
+/// cancelled()/check() at safe points.  Tokens cannot be reset — one
+/// token per run attempt.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Asks the owning work loop to stop at its next safe point.
+  void requestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Throws nsmodel::TimeoutError mentioning `what` when cancelled.
+  void check(const char* what) const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace nsmodel::support

@@ -14,6 +14,8 @@ const char* errorCategoryName(ErrorCategory category) {
       return "io";
     case ErrorCategory::Timeout:
       return "timeout";
+    case ErrorCategory::Resource:
+      return "resource";
   }
   return "?";
 }

@@ -21,14 +21,15 @@ namespace nsmodel {
 /// Coarse failure taxonomy.  Generic covers internal invariants and
 /// uncategorised errors; the others map to the dedicated subclasses below.
 enum class ErrorCategory {
-  Generic,  ///< internal invariant / uncategorised failure
-  Config,   ///< invalid configuration or argument (never retryable)
-  Io,       ///< file system / serialization failure
-  Timeout,  ///< a wall-clock deadline expired (retryable)
+  Generic,   ///< internal invariant / uncategorised failure
+  Config,    ///< invalid configuration or argument (never retryable)
+  Io,        ///< file system / serialization failure
+  Timeout,   ///< a wall-clock deadline expired (retryable)
+  Resource,  ///< a resource budget (memory) was or would be exceeded
 };
 
-/// Lower-case category name ("generic", "config", "io", "timeout") for
-/// structured error lines.
+/// Lower-case category name ("generic", "config", "io", "timeout",
+/// "resource") for structured error lines.
 const char* errorCategoryName(ErrorCategory category);
 
 /// Exception thrown on contract violations anywhere in the library.
@@ -67,6 +68,17 @@ class TimeoutError : public Error {
  public:
   explicit TimeoutError(const std::string& what)
       : Error(what, ErrorCategory::Timeout) {}
+};
+
+/// A memory (or other resource) budget was exceeded, either predicted by
+/// admission control before allocating or observed as an allocation
+/// failure mid-run.  Not retryable as-is: the same configuration will
+/// fail the same way — the caller must shrink the job or raise the
+/// budget.
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what)
+      : Error(what, ErrorCategory::Resource) {}
 };
 
 namespace detail {

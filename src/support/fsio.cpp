@@ -1,0 +1,144 @@
+#include "support/fsio.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define NSMODEL_POSIX_IO 1
+#else
+#define NSMODEL_POSIX_IO 0
+#endif
+
+namespace nsmodel::support {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+#if NSMODEL_POSIX_IO
+void fsyncPath(const std::string& path, int openFlags) {
+  const int fd = ::open(path.c_str(), openFlags);
+  if (fd < 0) {
+    throwErrno("cannot open `" + path + "` for fsync");
+  }
+  if (::fsync(fd) != 0) {
+    const int savedErrno = errno;
+    ::close(fd);
+    errno = savedErrno;
+    // Directory fsync is allowed to fail on some filesystems; the caller
+    // decides whether that is fatal.
+    throwErrno("fsync of `" + path + "` failed");
+  }
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void syncStream(std::FILE* stream, const std::string& what) {
+  NSMODEL_CHECK(stream != nullptr, "syncStream needs an open stream");
+  if (std::fflush(stream) != 0) {
+    throwErrno("flush of " + what + " failed");
+  }
+#if NSMODEL_POSIX_IO
+  if (::fsync(::fileno(stream)) != 0) {
+    throwErrno("fsync of " + what + " failed");
+  }
+#endif
+}
+
+void writeFileAtomic(const std::string& path, std::string_view content) {
+  NSMODEL_CHECK(!path.empty(), "writeFileAtomic needs a path");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("cannot open `" + tmp + "` for writing");
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw IoError("short write to `" + tmp + "`");
+    }
+  }
+#if NSMODEL_POSIX_IO
+  try {
+    fsyncPath(tmp, O_RDONLY);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int savedErrno = errno;
+    std::remove(tmp.c_str());
+    errno = savedErrno;
+    throwErrno("rename `" + tmp + "` -> `" + path + "` failed");
+  }
+#if NSMODEL_POSIX_IO
+  // Make the rename itself durable.  Some filesystems refuse to fsync a
+  // directory; treat that as best-effort rather than failing a write
+  // that already landed.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  try {
+    fsyncPath(dir, O_RDONLY | O_DIRECTORY);
+  } catch (const IoError&) {
+  }
+#endif
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open `" + path + "` for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw IoError("read of `" + path + "` failed");
+  }
+  return std::move(buffer).str();
+}
+
+bool fileReadable(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+}  // namespace nsmodel::support

@@ -1,0 +1,50 @@
+// Durable file IO primitives.
+//
+// Crash-safety in this library rides on two idioms, both collected here so
+// every writer (robust-sweep journal, result CSVs, run checkpoints) gets
+// the same guarantees:
+//
+//  * writeFileAtomic: write to `<path>.tmp`, fsync the file, rename over
+//    the destination.  A reader never observes a half-written file — it
+//    sees either the old contents or the new ones.  (The containing
+//    directory is fsynced best-effort; on non-POSIX platforms the sync
+//    steps degrade to plain buffered writes + rename.)
+//
+//  * syncStream: fflush + fsync an append-mode C stream, used by the
+//    journal after every completed record so a SIGKILL between records
+//    loses at most the record in flight.
+//
+// A table-driven CRC-32 (the IEEE 802.3 polynomial, same as zip/png)
+// lives here too: checkpoint files carry it so a torn or bit-rotted
+// snapshot is detected at load instead of silently corrupting a resumed
+// run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace nsmodel::support {
+
+/// CRC-32 (IEEE, reflected, init/xorout 0xFFFFFFFF) of `size` bytes.
+/// Pass a previous return value as `seed` to checksum data in chunks.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Flushes the stdio buffer and fsyncs the underlying descriptor.
+/// Throws nsmodel::IoError when either step fails.
+void syncStream(std::FILE* stream, const std::string& what);
+
+/// Writes `content` to `path` atomically: `<path>.tmp` + fsync + rename.
+/// Throws nsmodel::IoError on any failure (the tmp file is removed).
+void writeFileAtomic(const std::string& path, std::string_view content);
+
+/// Reads an entire (binary) file.  Throws nsmodel::IoError when the file
+/// cannot be opened or read.
+std::string readFile(const std::string& path);
+
+/// True when `path` exists and is readable by the current process.
+bool fileReadable(const std::string& path);
+
+}  // namespace nsmodel::support

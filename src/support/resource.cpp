@@ -1,0 +1,214 @@
+#include "support/resource.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define NSMODEL_HAVE_GETRUSAGE 1
+#else
+#define NSMODEL_HAVE_GETRUSAGE 0
+#endif
+
+namespace nsmodel::support {
+
+namespace {
+
+std::atomic<std::int64_t> gBudgetOverride{-1};
+
+/// Allocator slack, fragmentation, merge buffers: the estimators model
+/// the containers exactly but the process spends more.  Measured against
+/// the million-node --huge run (DESIGN.md §13) the model sits ~20% under
+/// RSS, so every estimate carries this factor.
+std::uint64_t pad(std::uint64_t bytes) { return bytes + bytes / 4; }
+
+std::uint64_t edgesOf(const RunShape& shape) {
+  const double e = static_cast<double>(shape.nodes) * shape.avgNeighbors;
+  return e <= 0.0 ? 0 : static_cast<std::uint64_t>(e);
+}
+
+std::string humanBytes(std::uint64_t bytes) {
+  std::ostringstream oss;
+  if (bytes >= (1ull << 30)) {
+    oss << static_cast<double>(bytes) / static_cast<double>(1ull << 30)
+        << " GiB";
+  } else if (bytes >= (1ull << 20)) {
+    oss << static_cast<double>(bytes) / static_cast<double>(1ull << 20)
+        << " MiB";
+  } else {
+    oss << bytes << " B";
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+double peakRssMb() {
+#if NSMODEL_HAVE_GETRUSAGE
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  // Linux (and the BSDs) report KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+std::uint64_t parseMemBytes(const char* what, const std::string& text) {
+  if (text.empty()) {
+    throw ConfigError(std::string(what) + " must not be empty");
+  }
+  if (std::isdigit(static_cast<unsigned char>(text.front())) == 0) {
+    throw ConfigError(std::string(what) + " must start with a digit, got `" +
+                      text + "`");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    throw ConfigError(std::string(what) + " overflows: `" + text + "`");
+  }
+  std::uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k':
+        multiplier = 1ull << 10;
+        break;
+      case 'm':
+        multiplier = 1ull << 20;
+        break;
+      case 'g':
+        multiplier = 1ull << 30;
+        break;
+      default:
+        throw ConfigError(std::string(what) +
+                          " has trailing garbage (expected K, M or G): `" +
+                          text + "`");
+    }
+    ++end;
+  }
+  if (*end != '\0') {
+    throw ConfigError(std::string(what) + " has trailing garbage: `" + text +
+                      "`");
+  }
+  const auto bytes = static_cast<std::uint64_t>(value);
+  if (multiplier != 1 && bytes > ~0ull / multiplier) {
+    throw ConfigError(std::string(what) + " overflows: `" + text + "`");
+  }
+  return bytes * multiplier;
+}
+
+std::uint64_t memBudgetBytes() {
+  const std::int64_t override_ = gBudgetOverride.load();
+  if (override_ >= 0) return static_cast<std::uint64_t>(override_);
+  const char* env = std::getenv("NSMODEL_MEM_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  return parseMemBytes("NSMODEL_MEM_BUDGET", env);
+}
+
+void setMemBudgetOverride(std::int64_t bytes) { gBudgetOverride.store(bytes); }
+
+// Coefficient provenance (bytes, from the actual container layouts):
+//   scenario   positions 16/node, spatial grid ~12/node, CSR offsets
+//              8/node + ids 4/edge per table (x2 with carrier sense).
+//   flat run   RunState bytes 3/node + reception slots 8/node, kernel
+//              scratch ~24/node (+8 with carrier sense), chain pool +
+//              observation vectors ~32/node, slot agenda 17/slot.
+//   batch lane status word 4/node, scratch/chains/observations ~56/node,
+//              agenda 17/slot, plus its own per-replication scenario.
+//   sharded    shared status 12/node + merged observations ~28/node;
+//              per shard: 64-bit collision table 8/node, txFlag 1/node,
+//              sense 4/node (CS), restricted CSR offsets 4/node per
+//              table, chain pool + observations ~12/node, agenda
+//              17/slot; restricted ids total one edge set per table.
+// Collision tables are assumed present (CAM worst case) — admission
+// should be conservative for CFM rather than optimistic for CAM.
+
+std::uint64_t estimateScenarioBytes(const RunShape& shape) {
+  const std::uint64_t n = shape.nodes;
+  const std::uint64_t tables = shape.carrierSense ? 2 : 1;
+  return pad(n * 36 + tables * edgesOf(shape) * 4);
+}
+
+std::uint64_t estimateFlatRunBytes(const RunShape& shape) {
+  const std::uint64_t n = shape.nodes;
+  const std::uint64_t perNode = 67 + (shape.carrierSense ? 8 : 0);
+  return pad(n * perNode + shape.maxSlots * 17);
+}
+
+std::uint64_t estimateBatchRunBytes(const RunShape& shape, int lanes) {
+  NSMODEL_CHECK(lanes >= 1, "batch width must be >= 1");
+  const std::uint64_t n = shape.nodes;
+  const std::uint64_t perLane =
+      estimateScenarioBytes(shape) + pad(n * 60 + shape.maxSlots * 17);
+  return perLane * static_cast<std::uint64_t>(lanes);
+}
+
+std::uint64_t estimateShardedRunBytes(const RunShape& shape, int shards) {
+  NSMODEL_CHECK(shards >= 1, "shard count must be >= 1");
+  const std::uint64_t n = shape.nodes;
+  const std::uint64_t S = static_cast<std::uint64_t>(shards);
+  const std::uint64_t tables = shape.carrierSense ? 2 : 1;
+  const std::uint64_t perShardPerNode =
+      8 + 1 + (shape.carrierSense ? 4 : 0) + (shards > 1 ? 4 * tables : 0) +
+      12;
+  const std::uint64_t restrictedIds =
+      shards > 1 ? tables * edgesOf(shape) * 4 : 0;
+  return pad(n * 40 + restrictedIds +
+             S * (n * perShardPerNode + shape.maxSlots * 17));
+}
+
+namespace {
+
+[[noreturn]] void refuse(const char* backend, std::uint64_t needed,
+                         std::uint64_t budget) {
+  throw ResourceError(
+      std::string("estimated ") + backend + " footprint " +
+      humanBytes(needed) + " exceeds the memory budget " +
+      humanBytes(budget) +
+      " even at minimum parallelism; shrink the run or raise "
+      "NSMODEL_MEM_BUDGET/--mem-budget");
+}
+
+}  // namespace
+
+int admitShardCount(const RunShape& shape, int requestedShards,
+                    std::uint64_t budgetBytes) {
+  NSMODEL_CHECK(requestedShards >= 1, "shard count must be >= 1");
+  if (budgetBytes == 0) return requestedShards;
+  const std::uint64_t scenario = estimateScenarioBytes(shape);
+  for (int s = requestedShards; s >= 1; --s) {
+    const std::uint64_t total = scenario + estimateShardedRunBytes(shape, s);
+    if (total <= budgetBytes) return s;
+  }
+  refuse("sharded-run", scenario + estimateShardedRunBytes(shape, 1),
+         budgetBytes);
+}
+
+int admitBatchWidth(const RunShape& shape, int requestedWidth,
+                    std::size_t concurrentChunks, std::uint64_t budgetBytes) {
+  NSMODEL_CHECK(requestedWidth >= 1, "batch width must be >= 1");
+  const auto chunks =
+      static_cast<std::uint64_t>(concurrentChunks == 0 ? 1 : concurrentChunks);
+  if (budgetBytes == 0) return requestedWidth;
+  int w = requestedWidth;
+  for (;;) {
+    if (chunks * estimateBatchRunBytes(shape, w) <= budgetBytes) return w;
+    if (w == 1) break;
+    w /= 2;
+  }
+  // Even one sequential lane does not fit.
+  refuse("batched-run", estimateBatchRunBytes(shape, 1), budgetBytes);
+}
+
+}  // namespace nsmodel::support

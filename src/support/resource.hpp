@@ -1,0 +1,94 @@
+// Memory-budget admission control and process resource introspection.
+//
+// A million-node sharded broadcast allocates gigabytes before the first
+// slot resolves; a serving daemon that accepts untrusted job sizes must
+// refuse such a job *before* the allocator dies in std::bad_alloc.  This
+// module provides the three pieces:
+//
+//  * analytic footprint estimators — bytes a scenario (deployment +
+//    topology CSR) and each execution backend (flat, batched, sharded)
+//    will allocate, computed from the run shape (N, rho, carrier sense,
+//    slot horizon) alone.  Coefficients mirror the actual container
+//    layouts and carry a 25% safety factor for allocator slack; DESIGN.md
+//    §13 compares them against measured RSS.
+//
+//  * a process-wide budget — NSMODEL_MEM_BUDGET ("512M", "8G", bytes
+//    with an optional K/M/G binary suffix; 0 or unset = unlimited),
+//    overridable programmatically (the CLI's --mem-budget).
+//
+//  * admission functions — given the budget, either admit the requested
+//    parallel shape, degrade it stepwise (shrink batch width, then
+//    reduce shards), or refuse with nsmodel::ResourceError.
+//
+// peakRssMb() lives here too (promoted out of bench/micro_sweep) so the
+// estimators and the benchmarks report against the same ruler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nsmodel::support {
+
+/// Peak resident set size of this process in MiB.  getrusage's ru_maxrss
+/// is KiB on Linux but bytes on macOS; both are normalised here.  Returns
+/// 0.0 on platforms without getrusage.
+double peakRssMb();
+
+/// Parses a byte count with an optional binary suffix: "1048576", "512K",
+/// "64M", "2G" (case-insensitive).  Rejects empty strings, signs,
+/// trailing garbage, and values that overflow std::uint64_t with
+/// nsmodel::ConfigError mentioning `what`.  0 means "unlimited" to every
+/// consumer in this module.
+std::uint64_t parseMemBytes(const char* what, const std::string& text);
+
+/// The effective memory budget in bytes; 0 = unlimited.  A programmatic
+/// override (setMemBudgetOverride) wins over the NSMODEL_MEM_BUDGET
+/// environment variable.  Throws nsmodel::ConfigError when the
+/// environment value is malformed.
+std::uint64_t memBudgetBytes();
+
+/// Overrides the budget (0 = explicitly unlimited); pass a negative
+/// value to fall back to the environment.  Thread-safe.
+void setMemBudgetOverride(std::int64_t bytes);
+
+/// The shape of one broadcast run, as known *before* anything is
+/// allocated.
+struct RunShape {
+  std::uint64_t nodes = 0;        ///< (expected) deployment size
+  double avgNeighbors = 0.0;      ///< rho — directed edges per node
+  bool carrierSense = false;      ///< CAM-CS doubles the topology tables
+  std::uint64_t maxSlots = 0;     ///< slotsPerPhase * maxPhases
+};
+
+/// Bytes for the shared scenario: positions, spatial grid, receiver CSR
+/// (and the carrier-sense CSR when enabled).
+std::uint64_t estimateScenarioBytes(const RunShape& shape);
+
+/// Bytes for one flat-loop RunWorkspace on top of the scenario.
+std::uint64_t estimateFlatRunBytes(const RunShape& shape);
+
+/// Bytes for one BatchWorkspace of `lanes` lockstep lanes (each lane
+/// carries its own per-replication scenario in the batched Monte-Carlo
+/// path, so this scales the scenario term too).
+std::uint64_t estimateBatchRunBytes(const RunShape& shape, int lanes);
+
+/// Bytes for a ShardedEngine run at `shards` shards on top of the
+/// scenario: shared status arrays, per-shard restricted CSRs, collision
+/// tables and slot agendas.
+std::uint64_t estimateShardedRunBytes(const RunShape& shape, int shards);
+
+/// Largest shard count <= `requestedShards` whose scenario + sharded-run
+/// footprint fits `budgetBytes` (0 = unlimited: returns the request).
+/// Throws nsmodel::ResourceError when even one shard does not fit.
+int admitShardCount(const RunShape& shape, int requestedShards,
+                    std::uint64_t budgetBytes);
+
+/// Largest batch width <= `requestedWidth` (halving steps, floor 1) such
+/// that `concurrentChunks` simultaneous BatchWorkspaces of that width fit
+/// `budgetBytes` (0 = unlimited: returns the request).  Throws
+/// nsmodel::ResourceError when even width-1 sequential execution does
+/// not fit.
+int admitBatchWidth(const RunShape& shape, int requestedWidth,
+                    std::size_t concurrentChunks, std::uint64_t budgetBytes);
+
+}  // namespace nsmodel::support

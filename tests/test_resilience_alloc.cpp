@@ -1,0 +1,189 @@
+// Allocation-failure injection: every backend surfaces heap exhaustion
+// as a structured ResourceError, never a raw std::bad_alloc.
+//
+// This file installs a global operator new override with an armable
+// countdown — after N successful allocations it throws one bad_alloc —
+// which is why it gets its own test binary (the override must observe
+// every allocation of the process).  Each backend is armed mid-setup so
+// the failure lands inside the run body, where the entry-point wrappers
+// of experiment.cpp / experiment_batch.cpp / sharded_engine.cpp must
+// catch it; the engine/workspace must stay reusable afterwards.  In the
+// sharded case the bad_alloc is raised on a worker thread and must
+// propagate through the barrier-safe stop protocol without deadlock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/batch_workspace.hpp"
+#include "sim/experiment.hpp"
+#include "sim/experiment_batch.hpp"
+#include "sim/run_workspace.hpp"
+#include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+// -1 = disarmed; otherwise the number of allocations that still succeed
+// before one throws.  The throw disarms, so cleanup and gtest reporting
+// allocate freely again.
+std::atomic<long long> gFailAfter{-1};
+
+bool shouldFail() {
+  long long remaining = gFailAfter.load(std::memory_order_relaxed);
+  while (remaining >= 0) {
+    if (gFailAfter.compare_exchange_weak(remaining, remaining - 1,
+                                         std::memory_order_relaxed)) {
+      if (remaining == 0) {
+        gFailAfter.store(-1, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (shouldFail()) throw std::bad_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (shouldFail()) throw std::bad_alloc();
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace nsmodel;
+
+/// Disarms on scope exit even when an assertion fails first.
+struct ArmGuard {
+  explicit ArmGuard(long long after) {
+    gFailAfter.store(after, std::memory_order_relaxed);
+  }
+  ~ArmGuard() { gFailAfter.store(-1, std::memory_order_relaxed); }
+};
+
+sim::ExperimentConfig smallConfig() {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 25.0;
+  cfg.maxPhases = 40;
+  return cfg;
+}
+
+sim::Scenario scenarioFor(const sim::ExperimentConfig& cfg) {
+  return sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+}
+
+TEST(AllocFailure, FlatLoopTranslatesBadAllocToResourceError) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  support::Rng rng = scenario.protocolRng;
+  bool threw = false;
+  {
+    ArmGuard arm(8);
+    try {
+      sim::runBroadcast(cfg, scenario.deployment, scenario.topology, protocol,
+                        rng, nullptr);
+      // The countdown may not have been consumed if the run needed fewer
+      // than 8 allocations; that is a test-shape problem, not a pass.
+      ADD_FAILURE() << "run completed without hitting the injected failure";
+    } catch (const ResourceError& e) {
+      threw = true;
+      EXPECT_EQ(e.category(), ErrorCategory::Resource);
+      EXPECT_FALSE(e.retryable());
+    }
+  }
+  EXPECT_TRUE(threw);
+  // Retry unarmed: the failure was transient, nothing was corrupted.
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult result = sim::runBroadcast(
+      cfg, scenario.deployment, scenario.topology, protocol, rng2, nullptr);
+  EXPECT_GT(result.nodeCount(), 0u);
+}
+
+TEST(AllocFailure, BatchBackendTranslatesBadAllocToResourceError) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  sim::BatchWorkspace workspace;
+  bool threw = false;
+  {
+    std::vector<sim::BatchLane> lanes;
+    lanes.push_back({&scenario.deployment, &scenario.topology, &protocol,
+                     scenario.protocolRng, nullptr});
+    ArmGuard arm(8);
+    try {
+      sim::runBroadcastBatch(cfg, lanes, workspace);
+      ADD_FAILURE() << "run completed without hitting the injected failure";
+    } catch (const ResourceError&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+  std::vector<sim::BatchLane> lanes;
+  lanes.push_back({&scenario.deployment, &scenario.topology, &protocol,
+                   scenario.protocolRng, nullptr});
+  const auto results = sim::runBroadcastBatch(cfg, lanes, workspace);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].nodeCount(), 0u);
+}
+
+TEST(AllocFailure, ShardedEngineTranslatesWorkerBadAllocToResourceError) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 3);
+  bool threw = false;
+  {
+    support::Rng rng = scenario.protocolRng;
+    // A later countdown so the throw lands inside the worker slot loop
+    // (after the per-shard arenas are up), exercising the barrier-safe
+    // stop path rather than the prologue.
+    ArmGuard arm(64);
+    try {
+      engine.run(cfg, protocol, rng);
+      ADD_FAILURE() << "run completed without hitting the injected failure";
+    } catch (const ResourceError&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+  // All shards unwound; the engine runs clean afterwards.
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult result = engine.run(cfg, protocol, rng);
+  EXPECT_GT(result.nodeCount(), 0u);
+}
+
+}  // namespace

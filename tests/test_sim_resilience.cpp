@@ -1,0 +1,482 @@
+// Resilient execution: cooperative cancellation, mid-run checkpoint /
+// restore bit-identity, and the checkpoint file format.
+//
+// The cancellation contract (experiment.hpp's RunControl) is that a
+// deadline expiry or an external cancel request surfaces as the retryable
+// TimeoutError from all three backends — flat loop, lockstep batch,
+// sharded engine — and leaves the engine/workspace reusable.  The
+// checkpoint contract (checkpoint.hpp) is that a sharded run resumed
+// from ANY snapshot produces the byte-identical RunResult of the
+// uninterrupted run; the matrix here proves it for every snapshot a run
+// emits, across {CFM, CAM, CAM-CS} x {clean, combined faults} x shard
+// counts {1, 3}.  The format tests cover version/magic/CRC guards, the
+// truncation detector, and the fingerprint check that refuses snapshots
+// from a different run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "protocols/probabilistic.hpp"
+#include "sim/batch_workspace.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
+#include "sim/experiment_batch.hpp"
+#include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
+#include "support/deadline.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+/// A deadline that has already expired when the run starts.
+support::Deadline expiredDeadline() {
+  const support::Deadline deadline = support::Deadline::after(1e-9);
+  while (!deadline.expired()) {
+  }
+  return deadline;
+}
+
+sim::ExperimentConfig smallConfig(
+    net::ChannelModel channel = net::ChannelModel::CollisionAware) {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 25.0;
+  cfg.maxPhases = 40;
+  cfg.channel = channel;
+  return cfg;
+}
+
+sim::Scenario scenarioFor(const sim::ExperimentConfig& cfg,
+                          std::uint64_t seed = 42) {
+  return sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, seed, 0));
+}
+
+void expectIdentical(const sim::RunResult& a, const sim::RunResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.nodeCount(), b.nodeCount()) << label;
+  EXPECT_EQ(a.receptionSlots(), b.receptionSlots()) << label;
+  EXPECT_EQ(a.transmissionSlots(), b.transmissionSlots()) << label;
+  EXPECT_EQ(a.receptionSlotByNode(), b.receptionSlotByNode()) << label;
+  EXPECT_EQ(a.attemptedPairs(), b.attemptedPairs()) << label;
+  EXPECT_EQ(a.deliveredPairs(), b.deliveredPairs()) << label;
+  ASSERT_EQ(a.phases().size(), b.phases().size()) << label;
+  for (std::size_t i = 0; i < a.phases().size(); ++i) {
+    EXPECT_EQ(a.phases()[i].transmissions, b.phases()[i].transmissions)
+        << label << " phase " << i;
+    EXPECT_EQ(a.phases()[i].newReceivers, b.phases()[i].newReceivers)
+        << label << " phase " << i;
+    EXPECT_EQ(a.phases()[i].deliveries, b.phases()[i].deliveries)
+        << label << " phase " << i;
+    EXPECT_EQ(a.phases()[i].lostReceivers, b.phases()[i].lostReceivers)
+        << label << " phase " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation: TimeoutError out of every backend.
+
+TEST(Cancellation, ExpiredDeadlineThrowsTimeoutFromFlatLoop) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  support::Rng rng = scenario.protocolRng;
+  sim::RunControl control;
+  control.deadline = expiredDeadline();
+  try {
+    sim::runBroadcast(cfg, scenario.deployment, scenario.topology, protocol,
+                      rng, nullptr, &control);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_EQ(e.category(), ErrorCategory::Timeout);
+  }
+}
+
+TEST(Cancellation, CancelTokenThrowsTimeoutFromFlatLoop) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  support::Rng rng = scenario.protocolRng;
+  support::CancelToken token;
+  token.requestCancel();
+  sim::RunControl control;
+  control.cancel = &token;
+  EXPECT_THROW(sim::runBroadcast(cfg, scenario.deployment, scenario.topology,
+                                 protocol, rng, nullptr, &control),
+               TimeoutError);
+}
+
+TEST(Cancellation, ExpiredDeadlineThrowsTimeoutFromBatchBackend) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario a = scenarioFor(cfg, 42);
+  const sim::Scenario b = scenarioFor(cfg, 43);
+  protocols::ProbabilisticBroadcast protoA(0.6);
+  protocols::ProbabilisticBroadcast protoB(0.6);
+  std::vector<sim::BatchLane> lanes;
+  lanes.push_back({&a.deployment, &a.topology, &protoA, a.protocolRng,
+                   nullptr});
+  lanes.push_back({&b.deployment, &b.topology, &protoB, b.protocolRng,
+                   nullptr});
+  sim::BatchWorkspace workspace;
+  sim::RunControl control;
+  control.deadline = expiredDeadline();
+  EXPECT_THROW(sim::runBroadcastBatch(cfg, lanes, workspace, &control),
+               TimeoutError);
+  // The workspace survives a cancelled run: the same lanes complete when
+  // retried without the deadline, matching individually-run references.
+  lanes.clear();
+  lanes.push_back({&a.deployment, &a.topology, &protoA, a.protocolRng,
+                   nullptr});
+  lanes.push_back({&b.deployment, &b.topology, &protoB, b.protocolRng,
+                   nullptr});
+  const std::vector<sim::RunResult> batch =
+      sim::runBroadcastBatch(cfg, lanes, workspace);
+  ASSERT_EQ(batch.size(), 2u);
+  protocols::ProbabilisticBroadcast solo(0.6);
+  support::Rng rngA = a.protocolRng;
+  const sim::RunResult refA = sim::runBroadcast(
+      cfg, a.deployment, a.topology, solo, rngA);
+  expectIdentical(batch[0], refA, "batch lane 0 after cancelled attempt");
+}
+
+TEST(Cancellation, ExpiredDeadlineThrowsTimeoutFromShardedEngine) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 3);
+  sim::RunControl control;
+  control.deadline = expiredDeadline();
+  {
+    support::Rng rng = scenario.protocolRng;
+    EXPECT_THROW(
+        engine.run(cfg, protocol, rng, nullptr, &control), TimeoutError);
+  }
+  // The engine is reusable after a cancelled run and produces the same
+  // result a fresh engine would.
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult reused = engine.run(cfg, protocol, rng);
+  sim::ShardedEngine fresh(scenario.deployment, scenario.topology, 3);
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult baseline = fresh.run(cfg, protocol, rng2);
+  expectIdentical(reused, baseline, "engine reuse after timeout");
+}
+
+TEST(Cancellation, CancelTokenUnsetRunsToCompletion) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  support::CancelToken token;  // never cancelled
+  sim::RunControl control;
+  control.cancel = &token;
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 2);
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult withControl =
+      engine.run(cfg, protocol, rng, nullptr, &control);
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult without = engine.run(cfg, protocol, rng2);
+  expectIdentical(withControl, without, "inactive control is a no-op");
+}
+
+TEST(Cancellation, FlatAndBatchRejectCheckpointRequests) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.6);
+  sim::RunControl control;
+  control.checkpointPath = "/tmp/never-written";
+  {
+    support::Rng rng = scenario.protocolRng;
+    EXPECT_THROW(sim::runBroadcast(cfg, scenario.deployment,
+                                   scenario.topology, protocol, rng, nullptr,
+                                   &control),
+                 Error);
+  }
+  {
+    std::vector<sim::BatchLane> lanes;
+    lanes.push_back({&scenario.deployment, &scenario.topology, &protocol,
+                     scenario.protocolRng, nullptr});
+    sim::BatchWorkspace workspace;
+    EXPECT_THROW(sim::runBroadcastBatch(cfg, lanes, workspace, &control),
+                 Error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore bit-identity.
+
+struct ResilienceCase {
+  std::string name;
+  net::ChannelModel channel = net::ChannelModel::CollisionAware;
+  bool faulty = false;
+  int shards = 1;
+};
+
+std::vector<ResilienceCase> restoreMatrix() {
+  const struct {
+    const char* name;
+    net::ChannelModel channel;
+  } channels[] = {
+      {"cfm", net::ChannelModel::CollisionFree},
+      {"cam", net::ChannelModel::CollisionAware},
+      {"cs", net::ChannelModel::CarrierSenseAware},
+  };
+  std::vector<ResilienceCase> cases;
+  for (const auto& ch : channels) {
+    for (const bool faulty : {false, true}) {
+      for (const int shards : {1, 3}) {
+        cases.push_back({std::string(ch.name) +
+                             (faulty ? "_faulty" : "_clean") + "_s" +
+                             std::to_string(shards),
+                         ch.channel, faulty, shards});
+      }
+    }
+  }
+  return cases;
+}
+
+sim::ExperimentConfig configFor(const ResilienceCase& c) {
+  sim::ExperimentConfig cfg = smallConfig(c.channel);
+  if (c.faulty) {
+    cfg.fault.faultSeed = 19;
+    cfg.fault.crash.crashRate = 0.05;
+    cfg.fault.crash.recoveryRate = 0.3;
+    cfg.fault.link.pGoodToBad = 0.2;
+    cfg.fault.link.pBadToGood = 0.5;
+    cfg.fault.link.lossBad = 0.5;
+    cfg.fault.drift.maxSkewSlots = 0.3;
+  }
+  return cfg;
+}
+
+class CheckpointRestore : public ::testing::TestWithParam<ResilienceCase> {};
+
+// The strongest form of the kill/restore guarantee: capture EVERY
+// snapshot an uninterrupted run emits, then — as if the process had been
+// killed right after each one — resume a fresh engine from it and demand
+// the byte-identical RunResult.
+TEST_P(CheckpointRestore, EverySnapshotResumesBitIdentically) {
+  const ResilienceCase& c = GetParam();
+  const sim::ExperimentConfig cfg = configFor(c);
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.5);
+
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, c.shards);
+  std::vector<sim::RunCheckpoint> snapshots;
+  sim::RunControl capture;
+  capture.checkpointEveryPhases = 2;
+  capture.checkpointSink = [&](const sim::RunCheckpoint& cp) {
+    snapshots.push_back(cp);
+  };
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult reference =
+      engine.run(cfg, protocol, rng, nullptr, &capture);
+  ASSERT_FALSE(snapshots.empty()) << c.name;
+
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    sim::RunControl resume;
+    resume.restore = &snapshots[i];
+    sim::ShardedEngine restored(scenario.deployment, scenario.topology,
+                                c.shards);
+    protocols::ProbabilisticBroadcast protocol2(0.5);
+    support::Rng rng2 = scenario.protocolRng;
+    const sim::RunResult resumed =
+        restored.run(cfg, protocol2, rng2, nullptr, &resume);
+    expectIdentical(resumed, reference,
+                    c.name + " snapshot " + std::to_string(i) + "/" +
+                        std::to_string(snapshots.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, CheckpointRestore,
+                         ::testing::ValuesIn(restoreMatrix()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(CheckpointRestoreExtras, RoundTripSurvivesSerialization) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.5);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 3);
+  std::vector<sim::RunCheckpoint> snapshots;
+  sim::RunControl capture;
+  capture.checkpointSink = [&](const sim::RunCheckpoint& cp) {
+    snapshots.push_back(cp);
+  };
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult reference =
+      engine.run(cfg, protocol, rng, nullptr, &capture);
+  ASSERT_FALSE(snapshots.empty());
+
+  // Through bytes: serialize -> deserialize -> resume.
+  const sim::RunCheckpoint middle = snapshots[snapshots.size() / 2];
+  const sim::RunCheckpoint reloaded =
+      sim::RunCheckpoint::deserialize(middle.serialize());
+  sim::RunControl resume;
+  resume.restore = &reloaded;
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult resumed =
+      engine.run(cfg, protocol, rng2, nullptr, &resume);
+  expectIdentical(resumed, reference, "serialize/deserialize round trip");
+}
+
+TEST(CheckpointRestoreExtras, LedgerCountsSurviveRestore) {
+  sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  const std::size_t n = scenario.deployment.nodeCount();
+  protocols::ProbabilisticBroadcast protocol(0.5);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 2);
+
+  net::EnergyLedger reference(n, {});
+  std::vector<sim::RunCheckpoint> snapshots;
+  sim::RunControl capture;
+  capture.checkpointSink = [&](const sim::RunCheckpoint& cp) {
+    snapshots.push_back(cp);
+  };
+  support::Rng rng = scenario.protocolRng;
+  engine.run(cfg, protocol, rng, &reference, &capture);
+  ASSERT_FALSE(snapshots.empty());
+  EXPECT_TRUE(snapshots.front().hasLedger);
+
+  net::EnergyLedger resumedLedger(n, {});
+  sim::RunControl resume;
+  resume.restore = &snapshots[snapshots.size() / 2];
+  support::Rng rng2 = scenario.protocolRng;
+  engine.run(cfg, protocol, rng2, &resumedLedger, &resume);
+  EXPECT_EQ(resumedLedger.perNodeTx(), reference.perNodeTx());
+  EXPECT_EQ(resumedLedger.perNodeRx(), reference.perNodeRx());
+}
+
+TEST(CheckpointRestoreExtras, FingerprintMismatchIsConfigError) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.5);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 2);
+  std::vector<sim::RunCheckpoint> snapshots;
+  sim::RunControl capture;
+  capture.checkpointSink = [&](const sim::RunCheckpoint& cp) {
+    snapshots.push_back(cp);
+  };
+  support::Rng rng = scenario.protocolRng;
+  engine.run(cfg, protocol, rng, nullptr, &capture);
+  ASSERT_FALSE(snapshots.empty());
+
+  // Different RNG state (a different replication) -> refused.
+  {
+    sim::RunControl resume;
+    resume.restore = &snapshots.front();
+    const sim::Scenario other = scenarioFor(cfg, /*seed=*/77);
+    support::Rng rng2 = other.protocolRng;
+    EXPECT_THROW(engine.run(cfg, protocol, rng2, nullptr, &resume),
+                 ConfigError);
+  }
+  // Different shard count -> refused.
+  {
+    sim::RunControl resume;
+    resume.restore = &snapshots.front();
+    sim::ShardedEngine narrower(scenario.deployment, scenario.topology, 3);
+    support::Rng rng2 = scenario.protocolRng;
+    EXPECT_THROW(narrower.run(cfg, protocol, rng2, nullptr, &resume),
+                 ConfigError);
+  }
+  // Different fault config -> refused.
+  {
+    sim::RunControl resume;
+    resume.restore = &snapshots.front();
+    sim::ExperimentConfig faulty = cfg;
+    faulty.fault.faultSeed = 3;
+    faulty.fault.link.pGoodToBad = 0.1;
+    faulty.fault.link.pBadToGood = 0.5;
+    faulty.fault.link.lossBad = 0.5;
+    support::Rng rng2 = scenario.protocolRng;
+    EXPECT_THROW(engine.run(faulty, protocol, rng2, nullptr, &resume),
+                 ConfigError);
+  }
+}
+
+TEST(CheckpointRestoreExtras, BadCadenceIsRejected) {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.5);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 2);
+  sim::RunControl control;
+  control.checkpointEveryPhases = 0;
+  control.checkpointSink = [](const sim::RunCheckpoint&) {};
+  support::Rng rng = scenario.protocolRng;
+  EXPECT_THROW(engine.run(cfg, protocol, rng, nullptr, &control), Error);
+}
+
+// ---------------------------------------------------------------------------
+// File format guards.
+
+class TempCheckpoint {
+ public:
+  explicit TempCheckpoint(const char* tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("nsmodel_ck_") + tag + ".bin"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  ~TempCheckpoint() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+sim::RunCheckpoint sampleCheckpoint() {
+  const sim::ExperimentConfig cfg = smallConfig();
+  const sim::Scenario scenario = scenarioFor(cfg);
+  protocols::ProbabilisticBroadcast protocol(0.5);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 2);
+  std::vector<sim::RunCheckpoint> snapshots;
+  sim::RunControl capture;
+  capture.checkpointSink = [&](const sim::RunCheckpoint& cp) {
+    snapshots.push_back(cp);
+  };
+  support::Rng rng = scenario.protocolRng;
+  engine.run(cfg, protocol, rng, nullptr, &capture);
+  return snapshots.at(snapshots.size() / 2);
+}
+
+TEST(CheckpointFormat, SaveLoadRoundTrips) {
+  const sim::RunCheckpoint cp = sampleCheckpoint();
+  TempCheckpoint file("roundtrip");
+  cp.save(file.path());
+  const sim::RunCheckpoint loaded = sim::RunCheckpoint::load(file.path());
+  EXPECT_EQ(loaded.serialize(), cp.serialize());
+}
+
+TEST(CheckpointFormat, DetectsCorruptionTruncationAndBadMagic) {
+  const sim::RunCheckpoint cp = sampleCheckpoint();
+  const std::string bytes = cp.serialize();
+
+  // Flip one payload byte: the CRC catches it.
+  {
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() / 2] ^= 0x20;
+    EXPECT_THROW(sim::RunCheckpoint::deserialize(corrupt), IoError);
+  }
+  // Truncate at several depths: header, mid-payload, one byte short.
+  for (const std::size_t keep :
+       {std::size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW(sim::RunCheckpoint::deserialize(bytes.substr(0, keep)),
+                 IoError)
+        << "kept " << keep << " of " << bytes.size();
+  }
+  // Trailing garbage after a valid snapshot is refused too.
+  EXPECT_THROW(sim::RunCheckpoint::deserialize(bytes + "x"), IoError);
+  // Wrong magic.
+  {
+    std::string wrong = bytes;
+    wrong[0] ^= 0xFF;
+    EXPECT_THROW(sim::RunCheckpoint::deserialize(wrong), IoError);
+  }
+  EXPECT_THROW(sim::RunCheckpoint::load("/nonexistent/nsmodel-ck.bin"),
+               IoError);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Thread-schedule robustness of the cancellation protocol, for the
+// thread-sanitizer CI lane (kept separate so that job can build just the
+// *_threads binaries).
+//
+// The property under test: when one shard of a gang hits the deadline —
+// here forced deterministically by the test-only straggler injector,
+// which makes a chosen shard sleep at the top of every phase A — the
+// whole gang unwinds through the two per-slot std::barrier waits without
+// deadlock, the caller sees one retryable TimeoutError, and the engine
+// is immediately reusable.  Under TSan this also proves the stop-flag
+// handshake (plain release/acquire on SharedRunState::stop read at a
+// common post-barrier point) is race-free.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
+#include "support/deadline.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+/// Disables the straggler injection on scope exit.
+struct StallGuard {
+  ~StallGuard() { sim::setShardStallForTesting(-1, 0); }
+};
+
+sim::ExperimentConfig slowConfig() {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 5;
+  cfg.neighborDensity = 30.0;
+  cfg.maxPhases = 300;
+  return cfg;
+}
+
+void expectIdentical(const sim::RunResult& a, const sim::RunResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.receptionSlots(), b.receptionSlots()) << label;
+  EXPECT_EQ(a.transmissionSlots(), b.transmissionSlots()) << label;
+  EXPECT_EQ(a.receptionSlotByNode(), b.receptionSlotByNode()) << label;
+  EXPECT_EQ(a.attemptedPairs(), b.attemptedPairs()) << label;
+  EXPECT_EQ(a.deliveredPairs(), b.deliveredPairs()) << label;
+}
+
+TEST(ShardedCancellation, StalledShardCannotDeadlockTheGangAtABarrier) {
+  StallGuard guard;
+  const sim::ExperimentConfig cfg = slowConfig();
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.4);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 4);
+
+  // Shard 2 sleeps 2ms per slot; a 20ms deadline therefore expires while
+  // the other three shards are parked at (or heading into) the phase
+  // barriers.  The test completing at all is the no-deadlock proof — a
+  // stuck barrier would hang it until the CI timeout.
+  sim::setShardStallForTesting(2, 2000);
+  sim::RunControl control;
+  control.deadline = support::Deadline::after(0.02);
+  {
+    support::Rng rng = scenario.protocolRng;
+    try {
+      engine.run(cfg, protocol, rng, nullptr, &control);
+      FAIL() << "expected TimeoutError";
+    } catch (const TimeoutError& e) {
+      EXPECT_TRUE(e.retryable());
+    }
+  }
+
+  // Same engine, stall removed: the retry completes and matches a fresh
+  // engine bit for bit, proving no state leaked out of the aborted run.
+  sim::setShardStallForTesting(-1, 0);
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult retried = engine.run(cfg, protocol, rng);
+  sim::ShardedEngine fresh(scenario.deployment, scenario.topology, 4);
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult baseline = fresh.run(cfg, protocol, rng2);
+  expectIdentical(retried, baseline, "retry after stalled-shard timeout");
+}
+
+TEST(ShardedCancellation, EveryShardIndexCanBeTheStraggler) {
+  StallGuard guard;
+  const sim::ExperimentConfig cfg = slowConfig();
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.4);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 3);
+  for (int straggler = 0; straggler < 3; ++straggler) {
+    sim::setShardStallForTesting(straggler, 2000);
+    sim::RunControl control;
+    control.deadline = support::Deadline::after(0.01);
+    support::Rng rng = scenario.protocolRng;
+    EXPECT_THROW(engine.run(cfg, protocol, rng, nullptr, &control),
+                 TimeoutError)
+        << "straggler shard " << straggler;
+  }
+}
+
+TEST(ShardedCancellation, CheckpointWriterFailureUnwindsAllShards) {
+  const sim::ExperimentConfig cfg = slowConfig();
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.4);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 4);
+  // A sink that throws stands in for a full disk: the error must travel
+  // the same stop path as a cancellation, through both barriers.
+  sim::RunControl control;
+  control.checkpointSink = [](const sim::RunCheckpoint&) {
+    throw IoError("injected checkpoint-writer failure");
+  };
+  {
+    support::Rng rng = scenario.protocolRng;
+    EXPECT_THROW(engine.run(cfg, protocol, rng, nullptr, &control), IoError);
+  }
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult result = engine.run(cfg, protocol, rng);
+  EXPECT_GT(result.nodeCount(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Memory-budget admission control, the byte-count parser, durable-IO
+// primitives, and peakRssMb.
+//
+// The admission contract (support/resource.hpp) is that an over-budget
+// run shape is refused with a structured ResourceError — never a raw
+// std::bad_alloc — after degrading stepwise: batch width halves toward
+// 1, shard counts step down toward 1, and only then does the request
+// fail.  The estimators are checked for the properties the contract
+// leans on (monotonicity in every axis), not for exact byte counts,
+// which DESIGN.md §13 compares against measured RSS instead.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/error.hpp"
+#include "support/fsio.hpp"
+#include "support/resource.hpp"
+
+namespace {
+
+using namespace nsmodel;
+using support::RunShape;
+
+/// Restores the unlimited default on scope exit so test order and other
+/// suites never see a leftover budget.
+struct BudgetGuard {
+  ~BudgetGuard() { support::setMemBudgetOverride(-1); }
+};
+
+RunShape mediumShape() {
+  RunShape shape;
+  shape.nodes = 5000;
+  shape.avgNeighbors = 60.0;
+  shape.carrierSense = false;
+  shape.maxSlots = 600;
+  return shape;
+}
+
+// ---------------------------------------------------------------------------
+// parseMemBytes.
+
+TEST(ParseMemBytes, AcceptsPlainAndSuffixedCounts) {
+  EXPECT_EQ(support::parseMemBytes("t", "0"), 0u);
+  EXPECT_EQ(support::parseMemBytes("t", "1048576"), 1048576u);
+  EXPECT_EQ(support::parseMemBytes("t", "512K"), 512ull * 1024);
+  EXPECT_EQ(support::parseMemBytes("t", "64m"), 64ull << 20);
+  EXPECT_EQ(support::parseMemBytes("t", "2G"), 2ull << 30);
+}
+
+TEST(ParseMemBytes, RejectsGarbageSignsAndOverflow) {
+  for (const char* bad : {"", " ", "abc", "-1", "+5", "12MB", "1.5G", "G",
+                          "0x10", "99999999999999999999",
+                          "99999999999999999999G", "18446744073709551615G",
+                          "12 K", "1K2"}) {
+    EXPECT_THROW(support::parseMemBytes("t", bad), ConfigError) << bad;
+  }
+}
+
+TEST(MemBudget, OverrideWinsOverEnvironmentAndResets) {
+  BudgetGuard guard;
+  support::setMemBudgetOverride(12345);
+  EXPECT_EQ(support::memBudgetBytes(), 12345u);
+  support::setMemBudgetOverride(0);  // explicitly unlimited
+  EXPECT_EQ(support::memBudgetBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Estimators: monotone in every axis the admission logic varies.
+
+TEST(Estimators, ScaleWithNodesShardsLanesAndCarrierSense) {
+  const RunShape base = mediumShape();
+  RunShape bigger = base;
+  bigger.nodes *= 4;
+  EXPECT_GT(support::estimateScenarioBytes(bigger),
+            support::estimateScenarioBytes(base));
+  EXPECT_GT(support::estimateFlatRunBytes(bigger),
+            support::estimateFlatRunBytes(base));
+
+  RunShape cs = base;
+  cs.carrierSense = true;
+  EXPECT_GT(support::estimateScenarioBytes(cs),
+            support::estimateScenarioBytes(base));
+
+  EXPECT_GT(support::estimateBatchRunBytes(base, 8),
+            support::estimateBatchRunBytes(base, 2));
+  EXPECT_GT(support::estimateShardedRunBytes(base, 8),
+            support::estimateShardedRunBytes(base, 2));
+  EXPECT_GT(support::estimateScenarioBytes(base), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission: degrade stepwise, refuse structurally.
+
+TEST(Admission, UnlimitedBudgetAdmitsTheRequest) {
+  const RunShape shape = mediumShape();
+  EXPECT_EQ(support::admitShardCount(shape, 8, 0), 8);
+  EXPECT_EQ(support::admitBatchWidth(shape, 16, 4, 0), 16);
+}
+
+TEST(Admission, GenerousBudgetAdmitsTheRequest) {
+  const RunShape shape = mediumShape();
+  const std::uint64_t generous = 64ull << 30;
+  EXPECT_EQ(support::admitShardCount(shape, 8, generous), 8);
+  EXPECT_EQ(support::admitBatchWidth(shape, 16, 4, generous), 16);
+}
+
+TEST(Admission, TightBudgetDegradesShardsStepwise) {
+  const RunShape shape = mediumShape();
+  // A budget that fits a few shards but not eight: pick the footprint of
+  // three shards, so the request degrades into [1, 8) instead of
+  // refusing.
+  const std::uint64_t budget = support::estimateShardedRunBytes(shape, 3);
+  const int admitted = support::admitShardCount(shape, 8, budget);
+  EXPECT_GE(admitted, 1);
+  EXPECT_LT(admitted, 8);
+  EXPECT_LE(support::estimateShardedRunBytes(shape, admitted), budget);
+}
+
+TEST(Admission, TightBudgetHalvesBatchWidth) {
+  const RunShape shape = mediumShape();
+  const std::uint64_t budget = 2 * support::estimateBatchRunBytes(shape, 4);
+  const int admitted = support::admitBatchWidth(shape, 32, 2, budget);
+  EXPECT_GE(admitted, 1);
+  EXPECT_LT(admitted, 32);
+  EXPECT_LE(static_cast<std::uint64_t>(2) *
+                support::estimateBatchRunBytes(shape, admitted),
+            budget);
+}
+
+TEST(Admission, ImpossibleBudgetRefusesWithResourceError) {
+  const RunShape shape = mediumShape();
+  try {
+    support::admitShardCount(shape, 4, 1024);
+    FAIL() << "expected ResourceError";
+  } catch (const ResourceError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::Resource);
+    EXPECT_FALSE(e.retryable());
+    // The message names the budget knobs so the caller can act on it.
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos);
+  }
+  EXPECT_THROW(support::admitBatchWidth(shape, 4, 1, 1024), ResourceError);
+}
+
+// Drivers consult the budget before allocating: a hopeless budget turns
+// the whole Monte-Carlo call into a ResourceError up front.
+TEST(Admission, MonteCarloRefusesUnderHopelessBudget) {
+  BudgetGuard guard;
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 4;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.replications = 2;
+  mc.parallel = false;
+  support::setMemBudgetOverride(1024);
+  EXPECT_THROW(
+      sim::monteCarlo(
+          mc, [] { return std::make_unique<protocols::ProbabilisticBroadcast>(
+                       0.5); },
+          [](const sim::RunResult& r) {
+            return std::vector<double>{r.finalReachability()};
+          }),
+      ResourceError);
+}
+
+TEST(Admission, MonteCarloRunsUnderAmpleBudget) {
+  BudgetGuard guard;
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 4;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.replications = 2;
+  mc.parallel = false;
+  support::setMemBudgetOverride(4ll << 30);
+  const auto aggs = sim::monteCarlo(
+      mc, [] { return std::make_unique<protocols::ProbabilisticBroadcast>(
+                   0.5); },
+      [](const sim::RunResult& r) {
+        return std::vector<double>{r.finalReachability()};
+      });
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_GT(aggs[0].stats.mean, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// peakRssMb.
+
+TEST(PeakRss, ReportsAPlausiblePositiveValueOnSupportedPlatforms) {
+#if defined(__linux__) || defined(__APPLE__)
+  const double mb = support::peakRssMb();
+  EXPECT_GT(mb, 1.0);
+  EXPECT_LT(mb, 1024.0 * 1024.0);
+#else
+  EXPECT_GE(support::peakRssMb(), 0.0);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// fsio primitives.
+
+class TempFile {
+ public:
+  explicit TempFile(const char* tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("nsmodel_fsio_") + tag + ".txt"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Fsio, Crc32MatchesTheIeeeCheckValue) {
+  // The classic check value of the reflected IEEE polynomial.
+  EXPECT_EQ(support::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(support::crc32("", 0), 0u);
+  // Chunked == one-shot.
+  const std::uint32_t half = support::crc32("12345", 5);
+  EXPECT_EQ(support::crc32("6789", 4, half), 0xCBF43926u);
+}
+
+TEST(Fsio, WriteFileAtomicRoundTripsAndReplaces) {
+  TempFile file("atomic");
+  support::writeFileAtomic(file.path(), "first\n");
+  EXPECT_EQ(support::readFile(file.path()), "first\n");
+  EXPECT_TRUE(support::fileReadable(file.path()));
+  support::writeFileAtomic(file.path(), "second, longer contents\n");
+  EXPECT_EQ(support::readFile(file.path()), "second, longer contents\n");
+  // No tmp residue.
+  EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+}
+
+TEST(Fsio, ErrorsAreStructuredIoErrors) {
+  EXPECT_THROW(support::readFile("/nonexistent/nsmodel-fsio-test"), IoError);
+  EXPECT_THROW(
+      support::writeFileAtomic("/nonexistent-dir/nsmodel-fsio-test", "x"),
+      IoError);
+  EXPECT_FALSE(support::fileReadable("/nonexistent/nsmodel-fsio-test"));
+}
+
+}  // namespace

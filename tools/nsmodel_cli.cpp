@@ -9,6 +9,10 @@
 //   robust-sweep  crash-safe simulated p-sweep: journals finished grid
 //                 points, resumes after a kill (--resume), retries timed-out
 //                 points with a fresh seed, reports skips explicitly
+//   broadcast     one resilient sharded run: --checkpoint snapshots at
+//                 phase boundaries, --restore resumes bit-identically
+//                 after a kill, --timeout cancels cleanly, --result
+//                 writes a deterministic digest for byte comparison
 //
 // Common flags: --rho, --rings, --slots, --channel=cam|cfm|cam-cs,
 // --policy=interp|poisson, --seed, --reps, --csv=PATH.
@@ -23,6 +27,7 @@
 // is 0 on success, 1 on a failed run, 2 on usage errors, and 3 when a
 // robust sweep finished but had to skip grid points.
 #include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +35,8 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "core/cfm_cost.hpp"
 #include "core/network_model.hpp"
@@ -39,6 +46,7 @@
 #include "protocols/distance_based.hpp"
 #include "protocols/flooding.hpp"
 #include "protocols/probabilistic.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/reliable.hpp"
 #include "sim/replication_controller.hpp"
@@ -47,6 +55,8 @@
 #include "sim/sharded_engine.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
+#include "support/fsio.hpp"
+#include "support/resource.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -60,12 +70,15 @@ using support::CliArgs;
   std::fprintf(
       stderr,
       "usage: nsmodel_cli "
-      "<predict|simulate|optimize|sweep|reliable|robust-sweep> [flags]\n"
+      "<predict|simulate|optimize|sweep|reliable|robust-sweep|broadcast>"
+      " [flags]\n"
       "  common: --rho=60 --rings=5 --slots=3 --channel=cam|cfm|cam-cs\n"
       "          --policy=interp|poisson --seed=42 --reps=30\n"
       "          --shards=off|auto|N (single-run sharding; overrides\n"
       "          NSMODEL_SHARDS, engages when replication parallelism\n"
       "          is idle and switches runs to per-node RNG keying)\n"
+      "          --mem-budget=BYTES[K|M|G] (admission control; overrides\n"
+      "          NSMODEL_MEM_BUDGET, 0 = unlimited)\n"
       "  faults: --crash-rate=0 --recovery-rate=0 --ge-g2b=0 --ge-b2g=0\n"
       "          --ge-loss-good=0 --ge-loss-bad=0 --drift=0\n"
       "          --energy-budget=0 --fault-seed=0 --failure-rate=0\n"
@@ -80,7 +93,11 @@ using support::CliArgs;
       "  robust-sweep: --metric=... [--journal=PATH [--resume]]\n"
       "            [--timeout=SECONDS] [--retries=1] [--serial]\n"
       "            [--csv=out.csv]\n"
-      "            [--target-ci=W [--min-reps=6] [--max-reps=REPS]]\n");
+      "            [--target-ci=W [--min-reps=6] [--max-reps=REPS]]\n"
+      "  broadcast: --p=0.2 or --protocol=... [--shards=N]\n"
+      "            [--timeout=SECONDS] [--checkpoint=PATH\n"
+      "            [--checkpoint-every=PHASES]] [--restore]\n"
+      "            [--result=PATH]\n");
   std::exit(2);
 }
 
@@ -163,6 +180,21 @@ void applyShardsFlag(const CliArgs& args) {
   sim::setShardCountOverride(support::parsePolicyEnv(
       "--shards", value.c_str(),
       static_cast<int>(support::globalPool().size())));
+}
+
+/// Applies --mem-budget=BYTES[K|M|G].  The flag pins the process-wide
+/// admission budget (outranking NSMODEL_MEM_BUDGET); absent, the
+/// environment stays in charge.  Strictly parsed: signs, trailing
+/// garbage, and overflowing values are ConfigErrors.
+void applyMemBudgetFlag(const CliArgs& args) {
+  const std::string value = args.getString("mem-budget", "");
+  if (value.empty()) return;
+  const std::uint64_t bytes = support::parseMemBytes("--mem-budget", value);
+  if (bytes > static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())) {
+    throw ConfigError("--mem-budget is too large: " + value);
+  }
+  support::setMemBudgetOverride(static_cast<std::int64_t>(bytes));
 }
 
 core::NetworkModel modelFromFlags(const CliArgs& args) {
@@ -325,6 +357,7 @@ int cmdSimulate(const CliArgs& args) {
   mc.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   mc.replications = static_cast<int>(args.getInt("reps", 30));
   applyShardsFlag(args);
+  applyMemBudgetFlag(args);
   rejectUnknownFlags(args);
 
   const auto aggs = sim::monteCarlo(mc, factory, [](const sim::RunResult& r) {
@@ -376,6 +409,7 @@ int cmdSweep(const CliArgs& args) {
   const int reps = static_cast<int>(args.getInt("reps", 30));
   const sim::AdaptiveReplication adaptive = adaptiveFromFlags(args, reps);
   applyShardsFlag(args);
+  applyMemBudgetFlag(args);
   rejectUnknownFlags(args);
   if (adaptive.enabled() && !simulated) {
     throw ConfigError("--target-ci requires --sim (the analytic sweep has "
@@ -468,6 +502,7 @@ int cmdRobustSweep(const CliArgs& args) {
   options.timeoutSeconds = args.getDouble("timeout", 0.0);
   options.maxAttempts = static_cast<int>(args.getInt("retries", 1));
   options.parallel = !args.getBool("serial", false);
+  applyMemBudgetFlag(args);
   rejectUnknownFlags(args);
 
   const auto grid = core::ProbabilityGrid::simulation().values();
@@ -539,9 +574,9 @@ int cmdRobustSweep(const CliArgs& args) {
   if (csvPath.empty()) {
     std::fputs(csv.c_str(), stdout);
   } else {
-    std::ofstream out(csvPath, std::ios::binary | std::ios::trunc);
-    out << csv;
-    if (!out) throw IoError("cannot write CSV: " + csvPath);
+    // Atomic replace: a kill mid-write cannot leave a truncated CSV
+    // where a previous complete one stood.
+    support::writeFileAtomic(csvPath, csv);
     std::printf("wrote %s\n", csvPath.c_str());
   }
   std::printf("points: %zu completed (%zu resumed), %zu skipped\n",
@@ -554,6 +589,129 @@ int cmdRobustSweep(const CliArgs& args) {
     }
   }
   return result.skipped == 0 ? 0 : 3;
+}
+
+/// FNV-1a over raw bytes; the digest file hashes result vectors with it
+/// so two runs can be compared byte-for-byte without dumping gigabytes.
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t hash = 1469598103934665603ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+template <typename T>
+std::uint64_t fnv1a(const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a(values.data(), values.size() * sizeof(T));
+}
+
+/// One resilient sharded run.  The digest written by --result is a pure
+/// function of the RunResult, so `cmp` on two digest files proves (or
+/// refutes) bit-identity — the kill/restore smoke test rides on this.
+int cmdBroadcast(const CliArgs& args) {
+  const core::NetworkModel model = modelFromFlags(args);
+  const auto factory = protocolFromFlag(args, model.deployment().ringWidth);
+  sim::ExperimentConfig experiment = model.experimentConfig();
+  experiment.fault = faultFromFlags(args);
+  experiment.nodeFailureRate = args.getDouble("failure-rate", 0.0);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+  int shards = parseInt(args.getString("shards", "1"), "--shards");
+  if (shards < 1) throw ConfigError("--shards must be >= 1");
+  applyMemBudgetFlag(args);
+
+  sim::RunControl control;
+  const double timeout = args.getDouble("timeout", 0.0);
+  if (timeout > 0.0) control.deadline = support::Deadline::after(timeout);
+  control.checkpointPath = args.getString("checkpoint", "");
+  const std::string everyText = args.getString("checkpoint-every", "");
+  const bool restore = args.getBool("restore", false);
+  const std::string resultPath = args.getString("result", "");
+  rejectUnknownFlags(args);
+
+  if (!everyText.empty()) {
+    if (control.checkpointPath.empty()) {
+      throw ConfigError("--checkpoint-every requires --checkpoint");
+    }
+    control.checkpointEveryPhases = parseInt(everyText, "--checkpoint-every");
+    if (control.checkpointEveryPhases < 1) {
+      throw ConfigError("--checkpoint-every must be >= 1");
+    }
+  }
+  sim::RunCheckpoint snapshot;
+  if (restore) {
+    if (control.checkpointPath.empty()) {
+      throw ConfigError("--restore requires --checkpoint (the snapshot "
+                        "to resume from)");
+    }
+    if (!support::fileReadable(control.checkpointPath)) {
+      throw ConfigError("--restore needs a readable snapshot, but there "
+                        "is none at: " + control.checkpointPath);
+    }
+    snapshot = sim::RunCheckpoint::load(control.checkpointPath);
+    control.restore = &snapshot;
+  }
+
+  // Admit *before* building anything: the shape is known from the
+  // config alone, so an over-budget request dies as a structured
+  // ResourceError instead of a std::bad_alloc mid-allocation.
+  const std::uint64_t budget = support::memBudgetBytes();
+  if (budget != 0) {
+    support::RunShape shape;
+    shape.nodes = sim::expectedNodeCount(experiment);
+    shape.avgNeighbors = experiment.neighborDensity;
+    shape.carrierSense =
+        experiment.channel == net::ChannelModel::CarrierSenseAware;
+    shape.maxSlots = static_cast<std::uint64_t>(experiment.slotsPerPhase) *
+                     static_cast<std::uint64_t>(experiment.maxPhases);
+    const int admitted = support::admitShardCount(shape, shards, budget);
+    if (admitted != shards) {
+      std::fprintf(stderr, "mem-budget: degrading %d shards to %d\n", shards,
+                   admitted);
+      shards = admitted;
+    }
+  }
+
+  const sim::Scenario scenario = sim::buildScenario(
+      sim::ScenarioKey::forExperiment(experiment, seed, 0));
+  const auto protocol = factory();
+  NSMODEL_CHECK(protocol != nullptr, "protocol factory returned null");
+  support::Rng rng = scenario.protocolRng;
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, shards);
+  const sim::RunResult result = engine.run(experiment, *protocol, rng,
+                                           nullptr, &control);
+
+  std::printf("broadcast @ rho=%.0f N=%zu shards=%d: reach=%.4f "
+              "broadcasts=%llu\n",
+              experiment.neighborDensity, result.nodeCount(), engine.shards(),
+              result.finalReachability(),
+              static_cast<unsigned long long>(result.totalBroadcasts()));
+  if (!resultPath.empty()) {
+    char digest[512];
+    std::snprintf(
+        digest, sizeof digest,
+        "nsmodel-broadcast-result v1\n"
+        "nodes=%zu\n"
+        "receptionSlots=%016llx\n"
+        "transmissionSlots=%016llx\n"
+        "receptionSlotByNode=%016llx\n"
+        "phases=%016llx\n"
+        "attemptedPairs=%llu\n"
+        "deliveredPairs=%llu\n",
+        result.nodeCount(),
+        static_cast<unsigned long long>(fnv1a(result.receptionSlots())),
+        static_cast<unsigned long long>(fnv1a(result.transmissionSlots())),
+        static_cast<unsigned long long>(fnv1a(result.receptionSlotByNode())),
+        static_cast<unsigned long long>(fnv1a(result.phases())),
+        static_cast<unsigned long long>(result.attemptedPairs()),
+        static_cast<unsigned long long>(result.deliveredPairs()));
+    support::writeFileAtomic(resultPath, digest);
+    std::printf("wrote %s\n", resultPath.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -569,6 +727,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmdSweep(args);
     if (command == "reliable") return cmdReliable(args);
     if (command == "robust-sweep") return cmdRobustSweep(args);
+    if (command == "broadcast") return cmdBroadcast(args);
     usage();
   } catch (const nsmodel::Error& error) {
     std::fprintf(stderr, "error: [%s] %s\n",
