@@ -181,24 +181,38 @@ int runHuge(const BenchOptions& opts, const char* path) {
   };
   std::optional<nsmodel::sim::RunResult> one;
   std::optional<nsmodel::sim::RunResult> four;
+  std::optional<nsmodel::sim::RunResult> eight;
   const double wall1 = timeShards(1, one);
   std::printf("sharded x1               %7.2fs  reached %.3f\n", wall1,
               one->finalReachability());
+  const auto identicalToOne = [&](const nsmodel::sim::RunResult& other) {
+    return one->receptionSlots() == other.receptionSlots() &&
+           one->transmissionSlots() == other.transmissionSlots() &&
+           one->receptionSlotByNode() == other.receptionSlotByNode() &&
+           one->attemptedPairs() == other.attemptedPairs() &&
+           one->deliveredPairs() == other.deliveredPairs();
+  };
   const double wall4 = timeShards(4, four);
   const int workers = effectiveWorkers(4);
   const double efficiency =
       wall4 > 0.0 ? wall1 / (workers * wall4) : 0.0;
-  const bool hugeIdentical =
-      one->receptionSlots() == four->receptionSlots() &&
-      one->transmissionSlots() == four->transmissionSlots() &&
-      one->receptionSlotByNode() == four->receptionSlotByNode() &&
-      one->attemptedPairs() == four->attemptedPairs() &&
-      one->deliveredPairs() == four->deliveredPairs();
-  const double rssMb = nsmodel::support::peakRssMb();
+  const bool fourIdentical = identicalToOne(*four);
   std::printf("sharded x4               %7.2fs  efficiency %.2f over %d "
               "worker%s  (%s)\n",
               wall4, efficiency, workers, workers == 1 ? "" : "s",
-              hugeIdentical ? "bit-identical" : "MISMATCH");
+              fourIdentical ? "bit-identical" : "MISMATCH");
+  four.reset();  // one huge result set at a time
+  const double wall8 = timeShards(8, eight);
+  const int workers8 = effectiveWorkers(8);
+  const double efficiency8 =
+      wall8 > 0.0 ? wall1 / (workers8 * wall8) : 0.0;
+  const bool eightIdentical = identicalToOne(*eight);
+  std::printf("sharded x8               %7.2fs  efficiency %.2f over %d "
+              "worker%s  (%s)\n",
+              wall8, efficiency8, workers8, workers8 == 1 ? "" : "s",
+              eightIdentical ? "bit-identical" : "MISMATCH");
+  const bool hugeIdentical = fourIdentical && eightIdentical;
+  const double rssMb = nsmodel::support::peakRssMb();
   std::printf("peak rss                 %7.0f MiB\n", rssMb);
 
   std::FILE* out = std::fopen(path, opts.append ? "a" : "w");
@@ -224,8 +238,11 @@ int runHuge(const BenchOptions& opts, const char* path) {
                "\"reached_fraction\": %.6f},\n",
                wall1, one->finalReachability());
   std::fprintf(out, "    \"sharded4\": {\"wall_s\": %.3f},\n", wall4);
+  std::fprintf(out, "    \"sharded8\": {\"wall_s\": %.3f},\n", wall8);
   std::fprintf(out, "    \"effective_workers\": %d,\n", workers);
   std::fprintf(out, "    \"parallel_efficiency\": %.3f,\n", efficiency);
+  std::fprintf(out, "    \"effective_workers_8\": %d,\n", workers8);
+  std::fprintf(out, "    \"parallel_efficiency_8\": %.3f,\n", efficiency8);
   std::fprintf(out, "    \"peak_rss_mb\": %.0f,\n", rssMb);
   std::fprintf(out, "    \"bit_identical\": %s\n",
                hugeIdentical ? "true" : "false");
@@ -235,7 +252,8 @@ int runHuge(const BenchOptions& opts, const char* path) {
   std::printf("%s %s\n", opts.append ? "appended to" : "wrote", path);
   if (!hugeIdentical) {
     std::fprintf(stderr,
-                 "error: sharded x4 diverged from sharded x1 at huge N\n");
+                 "error: a multi-shard run diverged from sharded x1 at "
+                 "huge N\n");
     return 1;
   }
   return 0;
@@ -660,6 +678,66 @@ int main(int argc, char** argv) {
               shard4Wall, shard4Rate, shard4Speedup,
               shard4Identical ? "bit-identical" : "MISMATCH");
 
+  // ---- sharded scaling: stripe counts {1, 2, 4, 8} at N = 3500 ----
+  // Widths 2 and 8 complete the scaling picture the two sections above
+  // start: per width, the wall yields the speedup over the flat per-node
+  // loop, the hardware-normalized efficiency (speedup divided by the
+  // workers actually available, so an 8-stripe gang on one core is
+  // graded against one core's time), and the per-slot synchronisation
+  // overhead — the wall the extra stripes add over the single-stripe
+  // run, normalized per worker and per simulated slot.  Identity against
+  // the flat per-node loop is re-checked at every width.
+  nsmodel::sim::ShardedEngine shardEngine2(kernelScenario.deployment,
+                                           kernelScenario.topology, 2);
+  nsmodel::sim::ShardedEngine shardEngine8(kernelScenario.deployment,
+                                           kernelScenario.topology, 8);
+  std::vector<RunSignature> shard2Sigs;
+  std::vector<RunSignature> shard8Sigs;
+  double shard2Best = 0.0;
+  double shard8Best = 0.0;
+  for (int seg = 0; seg < kernelSegments; ++seg) {
+    const double s2 = timeShardSegment(shardEngine2, shard2Sigs);
+    const double s8 = timeShardSegment(shardEngine8, shard8Sigs);
+    if (seg == 0 || s2 < shard2Best) shard2Best = s2;
+    if (seg == 0 || s8 < shard8Best) shard8Best = s8;
+  }
+  std::uint64_t slotsPerRun = 0;
+  {
+    nsmodel::support::Rng rng = kernelScenario.protocolRng;
+    const nsmodel::sim::RunResult probe =
+        shardEngine1.run(shardCfg, kernelProtocol, rng);
+    slotsPerRun = probe.phases().size() *
+                  static_cast<std::uint64_t>(shardCfg.slotsPerPhase);
+  }
+  struct ScalingRow {
+    int shards = 1;
+    double wall = 0.0;
+    bool identical = false;
+  };
+  const ScalingRow scaling[] = {
+      {1, shard1Wall, shard1Identical},
+      {2, shard2Best * kernelSegments, shard2Sigs == flatPerNodeSigs},
+      {4, shard4Wall, shard4Identical},
+      {8, shard8Best * kernelSegments, shard8Sigs == flatPerNodeSigs},
+  };
+  bool scalingIdentical = true;
+  for (const ScalingRow& row : scaling) {
+    scalingIdentical = scalingIdentical && row.identical;
+    const int workers = effectiveWorkers(row.shards);
+    const double efficiency =
+        row.wall > 0.0 ? flatPerNodeWall / (workers * row.wall) : 0.0;
+    const double syncUs =
+        slotsPerRun > 0
+            ? std::max(0.0, row.wall * workers - shard1Wall) * 1e6 /
+                  (static_cast<double>(shardRuns) *
+                   static_cast<double>(slotsPerRun))
+            : 0.0;
+    std::printf("scaling sharded x%d       %7.2fs  eff %.2f  sync %6.2f "
+                "us/slot  (%s)\n",
+                row.shards, row.wall, efficiency, syncUs,
+                row.identical ? "bit-identical" : "MISMATCH");
+  }
+
   // ---- adaptive replication: fixed count vs CI-targeted stopping ----
   // The accelerated fixed sweep above doubles as the quality reference:
   // its widest per-cell 95% CI half-width becomes the adaptive target, so
@@ -828,6 +906,36 @@ int main(int argc, char** argv) {
                shard4Wall, shard4Rate, shard4Speedup,
                shard4Identical ? "true" : "false");
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sharded_scaling\": {\n");
+  std::fprintf(out, "    \"density\": %.0f,\n", kernelCfg.neighborDensity);
+  std::fprintf(out, "    \"nodes\": %zu,\n",
+               kernelScenario.topology.nodeCount());
+  std::fprintf(out, "    \"runs\": %d,\n", shardRuns);
+  std::fprintf(out, "    \"slots_per_run\": %llu,\n",
+               static_cast<unsigned long long>(slotsPerRun));
+  std::fprintf(out, "    \"flat_pernode_wall_s\": %.6f,\n", flatPerNodeWall);
+  for (std::size_t i = 0; i < std::size(scaling); ++i) {
+    const ScalingRow& row = scaling[i];
+    const int workers = effectiveWorkers(row.shards);
+    const double efficiency =
+        row.wall > 0.0 ? flatPerNodeWall / (workers * row.wall) : 0.0;
+    const double syncUs =
+        slotsPerRun > 0
+            ? std::max(0.0, row.wall * workers - shard1Wall) * 1e6 /
+                  (static_cast<double>(shardRuns) *
+                   static_cast<double>(slotsPerRun))
+            : 0.0;
+    std::fprintf(out,
+                 "    \"shards%d\": {\"wall_s\": %.6f, \"speedup\": %.3f, "
+                 "\"effective_workers\": %d, \"efficiency\": %.3f, "
+                 "\"sync_overhead_us_per_slot\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 row.shards, row.wall,
+                 row.wall > 0.0 ? flatPerNodeWall / row.wall : 0.0, workers,
+                 efficiency, syncUs, row.identical ? "true" : "false",
+                 i + 1 < std::size(scaling) ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"slot_kernel\": {\n");
   std::fprintf(out, "    \"density\": %.0f,\n", kernelCfg.neighborDensity);
   std::fprintf(out, "    \"nodes\": %zu,\n",
@@ -868,7 +976,7 @@ int main(int argc, char** argv) {
 
   if (!simIdentical || !anIdentical || !runsIdentical || !kernelIdentical ||
       !batch100Identical || !batch140Identical || !shard1Identical ||
-      !shard4Identical) {
+      !shard4Identical || !scalingIdentical) {
     std::fprintf(stderr,
                  "error: accelerated sweep diverged from the baseline\n");
     return 1;

@@ -27,9 +27,12 @@ SECTION_WALLS = {
     "rho140_batched": ("replication_throughput", "rho140", "batched", "wall_s"),
     "rho140_sharded1": ("sharded_rho140", "sharded1", "wall_s"),
     "rho140_sharded4": ("sharded_rho140", "sharded4", "wall_s"),
+    "scaling_sharded2": ("sharded_scaling", "shards2", "wall_s"),
+    "scaling_sharded8": ("sharded_scaling", "shards8", "wall_s"),
     "slot_kernel": ("slot_kernel", "kernel", "wall_s"),
     "adaptive": ("adaptive", "adaptive", "wall_s"),
     "huge_sharded4": ("huge", "sharded4", "wall_s"),
+    "huge_sharded8": ("huge", "sharded8", "wall_s"),
 }
 THRESHOLD = 1.15
 

@@ -1,6 +1,7 @@
 #include "geom/partition.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "support/error.hpp"
@@ -24,6 +25,45 @@ std::vector<std::uint32_t> quantileStripeOwners(
     owner[order[i]] = static_cast<std::uint32_t>(i * stripes / n);
   }
   return owner;
+}
+
+std::vector<StripeInterval> stripeReachNeighbors(
+    const std::vector<Vec2>& points, const std::vector<std::uint32_t>& owner,
+    std::size_t stripes, double reach) {
+  NSMODEL_CHECK(owner.size() == points.size(),
+                "owner map must cover every point");
+  NSMODEL_CHECK(stripes >= 1, "need at least one stripe");
+  NSMODEL_CHECK(reach >= 0.0, "interaction reach must be >= 0");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> minX(stripes, kInf);
+  std::vector<double> maxX(stripes, -kInf);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint32_t s = owner[i];
+    NSMODEL_CHECK(s < stripes, "owner stripe out of range");
+    minX[s] = std::min(minX[s], points[i].x);
+    maxX[s] = std::max(maxX[s], points[i].x);
+  }
+  for (std::size_t s = 0; s < stripes; ++s) {
+    NSMODEL_CHECK(minX[s] <= maxX[s], "every stripe must own a point");
+  }
+  // Two stripes interact when their x-extents come within `reach` — a
+  // necessary condition for any pair of their points to be within reach
+  // in the plane.  Stripe counts are tiny, so the quadratic scan costs
+  // nothing against the CSR builds around it.
+  std::vector<StripeInterval> halo(stripes);
+  for (std::size_t s = 0; s < stripes; ++s) {
+    std::size_t lo = s;
+    std::size_t hi = s;
+    for (std::size_t t = 0; t < stripes; ++t) {
+      if (maxX[t] >= minX[s] - reach && minX[t] <= maxX[s] + reach) {
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+    }
+    halo[s].lo = static_cast<std::uint32_t>(lo);
+    halo[s].hi = static_cast<std::uint32_t>(hi);
+  }
+  return halo;
 }
 
 }  // namespace nsmodel::geom

@@ -24,4 +24,29 @@ namespace nsmodel::geom {
 std::vector<std::uint32_t> quantileStripeOwners(
     const std::vector<Vec2>& points, std::size_t stripes);
 
+/// Inclusive stripe interval [lo, hi]; always contains the stripe itself.
+struct StripeInterval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+/// Halo derivation for the sharded engine's neighbor-pair
+/// synchronisation: for each stripe, the inclusive interval of stripes
+/// that can hold a point within `reach` of one of its points.  `reach`
+/// is the interaction radius — for the broadcast channels the maximum of
+/// the transmission and carrier-sense radii, since a transmitter within
+/// either distance of a receiver contributes to that receiver's slot
+/// outcome.  Derived from the stripes' x-extents only (the stripes are
+/// vertical), so it is a superset of the exact edge-level interaction
+/// set — a stripe may conservatively wait on a neighbor no edge actually
+/// crosses into, which costs a little synchronisation and no
+/// correctness.  The result is the smallest enclosing interval of the
+/// interacting stripe set; for quantile stripes (x-sorted, so extents
+/// are ordered) that set is itself contiguous and the interval is exact.
+/// `owner` must map each point to a stripe in [0, stripes), with every
+/// stripe owning at least one point.
+std::vector<StripeInterval> stripeReachNeighbors(
+    const std::vector<Vec2>& points, const std::vector<std::uint32_t>& owner,
+    std::size_t stripes, double reach);
+
 }  // namespace nsmodel::geom

@@ -2,33 +2,153 @@
 
 #include "geom/spatial_grid.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace nsmodel::net {
+
+namespace {
+
+/// Node count above which the CSR build fans out over the shared pool.
+/// Below it the two-pass parallel build loses to the single-pass serial
+/// one on fixed costs (the sweep builds thousands of ~10^3-node tables);
+/// above it — the sharded engine's million-node deployments — the serial
+/// build is the dominant setup cost and the counting pass's duplicated
+/// distance tests are cheap against the parallel speedup.
+constexpr std::size_t kParallelBuildThreshold = 65536;
+
+/// Capacity bound for the reusable thread-local scratch, in entries
+/// (4 MiB of ids = ~4.2M entries).  A million-node build at rho=140
+/// would otherwise leave a ~600 MB high-water-mark allocation pinned to
+/// the thread for its lifetime; any build whose scratch grew past this
+/// releases the block afterwards.  Sweep-sized builds (thousands of
+/// nodes) stay far below the bound and keep the allocation-free reuse.
+constexpr std::size_t kScratchShrinkEntries = std::size_t{1} << 22;
+
+/// Branchless accept over one candidate strip: stores every candidate,
+/// advances the cursor only on a hit.  Only ~pi/9 of the candidates in
+/// the 3x3 cell neighbourhood pass the distance test, so a conditional
+/// branch here mispredicts constantly — and this loop dominates scenario
+/// construction for the whole Monte-Carlo sweep.
+inline std::size_t acceptStrip(NodeId* out, std::size_t used, NodeId id,
+                               double cx, double cy, double r2,
+                               const double* xs, const double* ys,
+                               const std::uint32_t* ids, std::size_t count) {
+  for (std::size_t s = 0; s < count; ++s) {
+    const double dx = xs[s] - cx;
+    const double dy = ys[s] - cy;
+    out[used] = ids[s];
+    used += static_cast<std::size_t>(
+        (dx * dx + dy * dy <= r2) & (ids[s] != id));
+  }
+  return used;
+}
+
+/// Counting-only variant for the parallel build's first pass.
+inline std::size_t countStrip(NodeId id, double cx, double cy, double r2,
+                              const double* xs, const double* ys,
+                              const std::uint32_t* ids, std::size_t count) {
+  std::size_t used = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    const double dx = xs[s] - cx;
+    const double dy = ys[s] - cy;
+    used += static_cast<std::size_t>(
+        (dx * dx + dy * dy <= r2) & (ids[s] != id));
+  }
+  return used;
+}
+
+}  // namespace
 
 Topology::Csr Topology::buildAdjacency(
     const std::vector<geom::Vec2>& positions, const geom::SpatialGrid& grid,
     double radius) {
   const std::size_t n = positions.size();
+  const double r2 = radius * radius;
   Csr table;
   table.offsets.assign(n + 1, 0);
-  // One grid pass per node, appending neighbours in visit order to a
-  // reusable per-thread scratch block; running totals land directly in
-  // `offsets`, so no separate counting or prefix-sum pass is needed.  The
-  // scratch grows to the sweep's high-water mark once and is then
-  // allocation-free, leaving exactly two allocations per table (offsets
-  // and the right-sized ids copy).
-  //
-  // The accept loop is branchless: every candidate id is stored and the
-  // cursor advances only on a hit.  Only ~pi/9 of the candidates in the
-  // 3x3 cell neighbourhood pass the distance test, so a conditional
-  // branch here mispredicts constantly — and this loop dominates
-  // scenario construction for the whole Monte-Carlo sweep.
+
+  support::ThreadPool& pool = support::globalPool();
+  if (n >= kParallelBuildThreshold && pool.size() >= 2) {
+    // Two-pass parallel build: a parallel counting pass fills per-node
+    // degrees, a serial prefix sum turns them into offsets, and a
+    // parallel fill pass writes each node's row into its final slot.
+    // Candidate visit order per node is identical to the serial path's,
+    // so the resulting CSR is byte-identical to it (and the choice of
+    // path machine-independent for golden traces).
+    support::parallelForChunks(0, n, 4096, [&](std::size_t lo,
+                                               std::size_t hi) {
+      for (std::size_t u = lo; u < hi; ++u) {
+        const auto id = static_cast<NodeId>(u);
+        const double cx = positions[u].x;
+        const double cy = positions[u].y;
+        std::size_t degree = 0;
+        grid.forEachCandidateStrip(
+            positions[u], radius,
+            [&](const double* xs, const double* ys, const std::uint32_t* ids,
+                std::size_t count) {
+              degree += countStrip(id, cx, cy, r2, xs, ys, ids, count);
+            });
+        table.offsets[u + 1] = degree;
+      }
+    });
+    for (std::size_t u = 0; u < n; ++u) {
+      table.offsets[u + 1] += table.offsets[u];
+    }
+    table.ids.resize(table.offsets[n]);
+    support::parallelForChunks(0, n, 4096, [&](std::size_t lo,
+                                               std::size_t hi) {
+      NodeId* base = table.ids.data();
+      const std::size_t chunkEnd = table.offsets[hi];
+      for (std::size_t u = lo; u < hi; ++u) {
+        const auto id = static_cast<NodeId>(u);
+        const double cx = positions[u].x;
+        const double cy = positions[u].y;
+        std::size_t cursor = table.offsets[u];
+        if (table.offsets[u + 1] < chunkEnd) {
+          // The branchless store may spill one entry past the row, into
+          // the first slot of the chunk's next non-empty row; that row
+          // is filled later by this same chunk, so the spill is always
+          // overwritten.
+          grid.forEachCandidateStrip(
+              positions[u], radius,
+              [&](const double* xs, const double* ys,
+                  const std::uint32_t* ids, std::size_t count) {
+                cursor = acceptStrip(base, cursor, id, cx, cy, r2, xs, ys,
+                                     ids, count);
+              });
+        } else {
+          // No later entries in this chunk: a spill would cross into
+          // another chunk's territory (a data race) or past the array,
+          // so take the branchy loop.
+          grid.forEachCandidateStrip(
+              positions[u], radius,
+              [&](const double* xs, const double* ys,
+                  const std::uint32_t* ids, std::size_t count) {
+                for (std::size_t s = 0; s < count; ++s) {
+                  const double dx = xs[s] - cx;
+                  const double dy = ys[s] - cy;
+                  if (dx * dx + dy * dy <= r2 && ids[s] != id) {
+                    base[cursor++] = ids[s];
+                  }
+                }
+              });
+        }
+      }
+    });
+    return table;
+  }
+
+  // Serial single-pass build: one grid pass per node, appending
+  // neighbours in visit order to a reusable per-thread scratch block;
+  // running totals land directly in `offsets`, so no separate counting
+  // or prefix-sum pass is needed.  The scratch grows to the sweep's
+  // high-water mark once and is then allocation-free, leaving exactly
+  // two allocations per table (offsets and the right-sized ids copy).
   static thread_local std::vector<NodeId> scratch;
   std::size_t used = 0;
   for (NodeId id = 0; id < n; ++id) {
     const double cx = positions[id].x;
     const double cy = positions[id].y;
-    const double r2 = radius * radius;
     grid.forEachCandidateStrip(
         positions[id], radius,
         [&](const double* xs, const double* ys, const std::uint32_t* ids,
@@ -36,18 +156,18 @@ Topology::Csr Topology::buildAdjacency(
           if (scratch.size() < used + count) {
             scratch.resize(std::max(scratch.size() * 2, used + count));
           }
-          NodeId* out = scratch.data();
-          for (std::size_t s = 0; s < count; ++s) {
-            const double dx = xs[s] - cx;
-            const double dy = ys[s] - cy;
-            out[used] = ids[s];
-            used += static_cast<std::size_t>(
-                (dx * dx + dy * dy <= r2) & (ids[s] != id));
-          }
+          used = acceptStrip(scratch.data(), used, id, cx, cy, r2, xs, ys,
+                             ids, count);
         });
     table.offsets[id + 1] = used;
   }
   table.ids.assign(scratch.begin(), scratch.begin() + used);
+  if (scratch.capacity() > kScratchShrinkEntries) {
+    // A huge single-run build inflated the scratch; release it rather
+    // than pin hundreds of megabytes to this thread until process exit.
+    scratch.clear();
+    scratch.shrink_to_fit();
+  }
   return table;
 }
 

@@ -1,22 +1,25 @@
 #include "sim/sharded_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
-#include <barrier>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 
 #include "fault/fault_plan.hpp"
-#include "geom/partition.hpp"
+#include "net/slot_kernel.hpp"
 #include "sim/checkpoint.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
+#include "support/seq_gate.hpp"
 #include "support/thread_pool.hpp"
 
 namespace nsmodel::sim {
@@ -24,10 +27,18 @@ namespace nsmodel::sim {
 namespace {
 
 std::atomic<int> gShardOverride{-1};
+std::atomic<int> gExecOverride{static_cast<int>(ShardExec::Auto)};
 
 // Test-only straggler injection; see setShardStallForTesting.
 std::atomic<int> gStallShard{-1};
 std::atomic<int> gStallMicros{0};
+
+/// Ring depth of the published per-slot transmitter lists, i.e. how many
+/// slots a shard may run ahead of the halo neighbors that still have to
+/// consume its publications.  Power of two (the ring indexes with a
+/// mask).  Eight is deep enough that a transient stall never throttles
+/// the gang, and shallow enough that the rings stay cache-resident.
+constexpr std::uint64_t kDrift = 8;
 
 std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
@@ -80,9 +91,9 @@ void fetchMax(std::atomic<std::int64_t>& target, std::int64_t value) {
 /// node and only ever written or read by the node's owner shard — every
 /// protocol event of a node (transmission filtering, receptions,
 /// duplicates, energy death) happens on its owner — so they need no
-/// synchronisation beyond the slot barriers.  The one genuinely shared
-/// scalar is the activated-slot horizon, read by every shard's loop
-/// condition between barriers.
+/// synchronisation beyond the gate publications.  The genuinely shared
+/// scalars are the activated-slot horizon, read by every shard's loop
+/// condition, and the stop flag (below).
 struct SharedRunState {
   std::vector<std::uint8_t> received;
   std::vector<std::uint8_t> cancelled;
@@ -91,43 +102,67 @@ struct SharedRunState {
   std::vector<std::int64_t> receptionSlotByNode;
   std::atomic<std::int64_t> maxActivated{-1};
   /// Raised by any shard that errors (deadline expiry, cancellation,
-  /// allocation failure) or by a failed checkpoint write.  Every shard
-  /// reads it at the same post-barrier point of the loop — stores only
-  /// happen before a barrier arrival, so the barrier's synchronisation
-  /// guarantees all shards read the same value and the whole gang breaks
-  /// out together.  That is what makes cancellation deadlock-free: a
-  /// barrier is only ever abandoned by all of its participants at once.
+  /// allocation failure) or by a failed checkpoint write.  The raiser
+  /// then abandons every gate it owns, so any shard parked on one of its
+  /// counters wakes immediately; every shard re-checks the flag after
+  /// every wait and at the top of every slot and unwinds by abandoning
+  /// its own gates in turn — the abandonment chain guarantees no thread
+  /// is ever left parked (DESIGN.md §14.5).
   std::atomic<bool> stop{false};
 };
 
+/// Which slice of a restricted CSR row a resolution pass walks.
+/// Interior receivers ([row start, mid)) are resolvable from the owner's
+/// own published lists alone; Boundary receivers ([mid, row end)) need
+/// the halo neighbors' publications too; Full is the whole row (single
+/// shard, or the cooperative lockstep path where every list is already
+/// available).
+enum class Band { Full, Interior, Boundary };
+
 /// Row lookup for one shard: the restricted CSR when the run is split,
-/// the global topology rows when it is not (single shard).
+/// the global topology rows when it is not (single shard, Full band
+/// only).
 struct RowAccess {
   const net::Topology* topology = nullptr;
   const std::vector<std::uint32_t>* rxOff = nullptr;
+  const std::vector<std::uint32_t>* rxMid = nullptr;
   const std::vector<net::NodeId>* rxIds = nullptr;
   const std::vector<std::uint32_t>* csOff = nullptr;
+  const std::vector<std::uint32_t>* csMid = nullptr;
   const std::vector<net::NodeId>* csIds = nullptr;
 
-  net::NeighborSpan rx(net::NodeId node) const {
+  net::NeighborSpan rx(net::NodeId node, Band band) const {
     if (rxOff == nullptr) return topology->neighbors(node);
-    const std::uint32_t lo = (*rxOff)[node];
-    return {rxIds->data() + lo, (*rxOff)[node + 1] - lo};
+    return slice((*rxOff)[node], (*rxMid)[node], (*rxOff)[node + 1],
+                 rxIds->data(), band);
   }
-  net::NeighborSpan cs(net::NodeId node) const {
+  net::NeighborSpan cs(net::NodeId node, Band band) const {
     if (csOff == nullptr) return topology->carrierSenseNeighbors(node);
-    const std::uint32_t lo = (*csOff)[node];
-    return {csIds->data() + lo, (*csOff)[node + 1] - lo};
+    return slice((*csOff)[node], (*csMid)[node], (*csOff)[node + 1],
+                 csIds->data(), band);
+  }
+
+  static net::NeighborSpan slice(std::uint32_t lo, std::uint32_t mid,
+                                 std::uint32_t hi, const net::NodeId* base,
+                                 Band band) {
+    switch (band) {
+      case Band::Interior:
+        return {base + lo, mid - lo};
+      case Band::Boundary:
+        return {base + mid, hi - mid};
+      default:
+        return {base + lo, hi - lo};
+    }
   }
 };
 
 /// One worker shard: its agenda, collision tables, fault-plan copy,
 /// ledger, and observation vectors.  The slot loop alternates phase A
-/// (drain own agenda into the published myTx/myIx lists) and phase B
-/// (resolve own receivers against every shard's published lists),
-/// separated by barriers.
+/// (drain own agenda into the published transmitter rings) and phase B
+/// (resolve own receivers against the published lists of the shards in
+/// interaction reach), synchronised per neighbor pair via SeqGates.
 struct Shard {
-  // Immutable wiring, set once by initShard.
+  // Immutable wiring, set once by runImpl.
   const ExperimentConfig* config = nullptr;
   const net::Deployment* deployment = nullptr;
   const net::Topology* topology = nullptr;
@@ -135,10 +170,23 @@ struct Shard {
   SharedRunState* shared = nullptr;
   const RunControl* control = nullptr;  ///< optional deadline/cancel
   RowAccess rows;
-  int index = 0;  ///< this shard's id (for the stall injector)
+  int index = 0;   ///< this shard's id (for the stall injector)
+  int haloLo = 0;  ///< inclusive interaction interval (== index when
+  int haloHi = 0;  ///< the run is single-shard)
   std::uint64_t maxSlot = 0;
   std::uint64_t perNodeSeed = 0;
   double energyBudget = 0.0;
+  /// True when slot resolution runs the dispatched vectorized slot
+  /// kernel (net/slot_kernel.hpp): node ids fit the packed 16-bit format
+  /// and the selected kernel is not the oracle.  False falls back to the
+  /// 64-bit scalar tables — same winner sets, same delivery semantics.
+  bool useKernel = false;
+  /// Cooperative lockstep: slots resolve through one combined pass over
+  /// the full topology rows (resolveCombinedSlot) instead of per-shard
+  /// restricted passes, so phase A leaves the half-duplex marking to the
+  /// combined pass.
+  bool combinedMode = false;
+  const net::SlotKernelOps* kernel = nullptr;
 
   fault::FaultPlan plan;  ///< private copy: the GE query moves cursors
   std::optional<net::EnergyLedger> ledger;
@@ -159,19 +207,41 @@ struct Shard {
   std::vector<net::NodeId> chainNode;
   std::vector<std::int32_t> chainNext;
 
-  // Published per-slot lists: written by this shard in phase A, read by
-  // every shard in phase B (the halo exchange).
-  std::vector<net::NodeId> myTx;
-  std::vector<net::NodeId> myIx;
+  // Published per-slot lists, ring-buffered over the drift window:
+  // written by this shard in phase A of slot t (ring entry t mod
+  // kDrift), read by the halo neighbors in their phase B of slot t (the
+  // halo exchange).  The ring entry is reused at slot t + kDrift, behind
+  // a wait for every consumer's done-counter (see the ring-reuse wait in
+  // the shard loop).
+  std::array<std::vector<net::NodeId>, kDrift> txRing;
+  std::array<std::vector<net::NodeId>, kDrift> ixRing;
 
-  // Collision tables over this shard's owned receivers.  64-bit entries
-  // (count in the low half, XOR of bumping senders in the high half)
-  // lift the 16-bit node-id cap of the flat channels' packed tables.
-  std::vector<std::uint64_t> counts;
-  std::vector<net::NodeId> touched;
-  std::vector<std::uint32_t> sense;  ///< CAM-CS carrier-sense tally
-  std::vector<net::NodeId> senseTouched;
-  std::vector<std::uint8_t> txFlag;  ///< owned node tx/ix this slot
+  std::vector<net::NodeId>& txAt(std::uint64_t slot) {
+    return txRing[slot & (kDrift - 1)];
+  }
+  const std::vector<net::NodeId>& txAt(std::uint64_t slot) const {
+    return txRing[slot & (kDrift - 1)];
+  }
+  std::vector<net::NodeId>& ixAt(std::uint64_t slot) {
+    return ixRing[slot & (kDrift - 1)];
+  }
+  const std::vector<net::NodeId>& ixAt(std::uint64_t slot) const {
+    return ixRing[slot & (kDrift - 1)];
+  }
+
+  // Collision tables over this shard's owned receivers.  Kernel mode
+  // uses the channels' packed 32-bit entries (count low half, sender id
+  // XOR high half) with preallocated touched/winner scratch; scalar mode
+  // uses 64-bit entries that lift the 16-bit node-id cap for huge runs.
+  std::vector<std::uint64_t> counts;          ///< scalar entries
+  std::vector<std::uint32_t> counts32;        ///< kernel entries
+  std::vector<net::NodeId> touched;           ///< scalar: grown; kernel: n+1
+  std::vector<std::uint32_t> sense;           ///< scalar CAM-CS tally
+  std::vector<std::uint32_t> sense32;         ///< kernel CAM-CS tally
+  std::vector<net::NodeId> senseTouched;      ///< as `touched`
+  std::vector<net::NodeId> kRecv;             ///< kernel winner scratch
+  std::vector<net::NodeId> kSend;
+  std::vector<std::uint8_t> txFlag;  ///< scalar half-duplex flags
   std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
 
   // Observations, merged after the join.
@@ -246,16 +316,18 @@ struct Shard {
     appendChain(interfererHead, interfererTail, spill, node);
   }
 
-  /// Drains this shard's agenda for `slot` into myTx/myIx and does the
-  /// transmitter-side bookkeeping (transmission records, attempted
-  /// pairs, tx energy) — everything the flat resolveSlot does before the
-  /// channel runs, restricted to owned nodes.
+  /// Drains this shard's agenda for `slot` into the published ring entry
+  /// and does the transmitter-side bookkeeping (transmission records,
+  /// attempted pairs, tx energy) — everything the flat resolveSlot does
+  /// before the channel runs, restricted to owned nodes.
   void phaseA(std::uint64_t slot) {
     if (gStallShard.load(std::memory_order_relaxed) == index) {
       std::this_thread::sleep_for(std::chrono::microseconds(
           gStallMicros.load(std::memory_order_relaxed)));
     }
     if (control != nullptr) control->check("sharded slot loop");
+    std::vector<net::NodeId>& myTx = txAt(slot);
+    std::vector<net::NodeId>& myIx = ixAt(slot);
     myTx.clear();
     myIx.clear();
     nowSlot = static_cast<std::int64_t>(slot);
@@ -286,37 +358,93 @@ struct Shard {
         noteEnergySpent(tx);
       }
     }
-    if (config->channel != net::ChannelModel::CollisionFree) {
+    if (!combinedMode && !useKernel &&
+        config->channel != net::ChannelModel::CollisionFree) {
       for (net::NodeId tx : myTx) txFlag[tx] = 1;
       for (net::NodeId ix : myIx) txFlag[ix] = 1;
     }
   }
 
-  /// Resolves this shard's owned receivers for `slot` against every
-  /// shard's published lists and folds the slot into the phase record —
-  /// the channel + post-channel half of the flat resolveSlot.
-  void phaseB(std::uint64_t slot, const std::vector<Shard>& all) {
+  /// Opens slot resolution: clears the per-slot counters and, in kernel
+  /// mode, pre-biases the owned transmitters' entries to count 2 — a
+  /// biased entry never enters the touched list, so the node scans as
+  /// neither winner nor loss, exactly the scalar path's half-duplex
+  /// txFlag skip (see biasTransmitters in net/channel.cpp).  The bias
+  /// spans both the interior and the boundary pass; finishResolve clears
+  /// it.
+  void beginResolve(std::uint64_t slot) {
     rawDeliveries = 0;
     slotLost = 0;
     slotErasures = 0;
+    if (useKernel) {
+      for (net::NodeId tx : txAt(slot)) counts32[tx] += 2;
+      for (net::NodeId ix : ixAt(slot)) counts32[ix] += 2;
+    }
+  }
+
+  /// Resolves one band of this shard's owned receivers for `slot`.  The
+  /// Interior band consumes only this shard's own published lists (no
+  /// foreign transmitter reaches an interior receiver, and symmetric
+  /// adjacency makes foreign rows' interior slices empty), so it runs
+  /// before the neighbor publications arrive; Boundary and Full consume
+  /// every halo shard's.  Each band's receiver set is disjoint from the
+  /// others', so a pass is self-contained: bump, scan, clear, deliver.
+  void resolvePass(std::uint64_t slot, const std::vector<Shard>& all,
+                   Band band) {
+    const int lo = band == Band::Interior ? index : haloLo;
+    const int hi = band == Band::Interior ? index : haloHi;
     bool anyTx = false;
     bool anyIx = false;
-    for (const Shard& sh : all) {
-      anyTx = anyTx || !sh.myTx.empty();
-      anyIx = anyIx || !sh.myIx.empty();
+    for (int c = lo; c <= hi; ++c) {
+      const Shard& sh = all[static_cast<std::size_t>(c)];
+      anyTx = anyTx || !sh.txAt(slot).empty();
+      anyIx = anyIx || !sh.ixAt(slot).empty();
     }
-    if (anyTx || anyIx) {
-      if (config->channel == net::ChannelModel::CollisionFree) {
-        resolveCfm(slot, all);
-      } else {
-        resolveCam(slot, all,
-                   config->channel == net::ChannelModel::CarrierSenseAware);
+    if (!anyTx && !anyIx) return;
+    if (config->channel == net::ChannelModel::CollisionFree) {
+      // CFM: every (transmitter, owned neighbour) pair delivers; drift
+      // spill-over never corrupts a collision-free reception.
+      for (int c = lo; c <= hi; ++c) {
+        for (net::NodeId tx : all[static_cast<std::size_t>(c)].txAt(slot)) {
+          for (net::NodeId nb : rows.rx(tx, band)) {
+            ++rawDeliveries;
+            onDelivery(nb, tx, slot);
+          }
+        }
       }
+      return;
     }
-    // Phase-record guard, decomposed per shard: the flat guard fires iff
-    // some shard's local guard fires, and intermediate all-zero phases
-    // appear through the same resize-on-touch, so the merged (summed,
-    // max-length) phase vector matches the flat loop's exactly.
+    const bool carrierSense =
+        config->channel == net::ChannelModel::CarrierSenseAware;
+    if (useKernel) {
+      resolveTablesKernel(slot, all, band, lo, hi, carrierSense);
+    } else {
+      resolveTablesScalar(slot, all, band, lo, hi, carrierSense);
+    }
+  }
+
+  /// Closes slot resolution: clears the half-duplex marking (kernel
+  /// bias or scalar txFlag) and folds the slot into the phase record.
+  void finishResolve(std::uint64_t slot) {
+    const std::vector<net::NodeId>& myTx = txAt(slot);
+    const std::vector<net::NodeId>& myIx = ixAt(slot);
+    if (useKernel) {
+      for (net::NodeId tx : myTx) counts32[tx] = 0;
+      for (net::NodeId ix : myIx) counts32[ix] = 0;
+    } else if (config->channel != net::ChannelModel::CollisionFree) {
+      for (net::NodeId tx : myTx) txFlag[tx] = 0;
+      for (net::NodeId ix : myIx) txFlag[ix] = 0;
+    }
+    recordSlot(slot);
+  }
+
+  /// The accounting half of finishResolve: folds the slot into the phase
+  /// record.  Decomposed per shard: the flat guard fires iff some
+  /// shard's local guard fires, and intermediate all-zero phases appear
+  /// through the same resize-on-touch, so the merged (summed,
+  /// max-length) phase vector matches the flat loop's exactly.
+  void recordSlot(std::uint64_t slot) {
+    const std::vector<net::NodeId>& myTx = txAt(slot);
     if (!myTx.empty() || rawDeliveries > 0 || slotLost > 0 ||
         slotErasures > 0) {
       PhaseObservation& obs = currentPhase();
@@ -325,60 +453,43 @@ struct Shard {
       obs.lostReceivers += slotLost + slotErasures;
     }
     deliveredPairs += rawDeliveries - slotErasures;
-    if (config->channel != net::ChannelModel::CollisionFree) {
-      for (net::NodeId tx : myTx) txFlag[tx] = 0;
-      for (net::NodeId ix : myIx) txFlag[ix] = 0;
-    }
   }
 
-  /// CFM: every (transmitter, owned neighbour) pair delivers; drift
-  /// spill-over never corrupts a collision-free reception.
-  void resolveCfm(std::uint64_t slot, const std::vector<Shard>& all) {
-    for (const Shard& sh : all) {
-      for (net::NodeId tx : sh.myTx) {
-        for (net::NodeId nb : rows.rx(tx)) {
-          ++rawDeliveries;
-          onDelivery(nb, tx, slot);
-        }
-      }
-    }
-  }
-
-  /// CAM / CAM-CS count pass over owned receivers: transmitters bump
+  /// CAM / CAM-CS count pass, 64-bit scalar tables: transmitters bump
   /// their restricted row by one carrying their id in the XOR half;
   /// interferers bump by two with no sender (undecodable noise — the
-  /// same packed-word outcome the flat oracle produces with two
-  /// single bumps that XOR the sender away).  Success needs a final
-  /// count of exactly 1 (and, under CAM-CS, a carrier-sense tally of
-  /// exactly 1); transmitting receivers are half-duplex deaf and count
-  /// as neither winners nor losses.
-  void resolveCam(std::uint64_t slot, const std::vector<Shard>& all,
-                  bool carrierSense) {
-    for (const Shard& sh : all) {
-      for (net::NodeId tx : sh.myTx) {
+  /// same packed-word outcome the flat oracle produces with two single
+  /// bumps that XOR the sender away).  Success needs a final count of
+  /// exactly 1 (and, under CAM-CS, a carrier-sense tally of exactly 1);
+  /// transmitting receivers are half-duplex deaf and count as neither
+  /// winners nor losses.
+  void resolveTablesScalar(std::uint64_t slot, const std::vector<Shard>& all,
+                           Band band, int lo, int hi, bool carrierSense) {
+    for (int c = lo; c <= hi; ++c) {
+      for (net::NodeId tx : all[static_cast<std::size_t>(c)].txAt(slot)) {
         const std::uint64_t senderBits = static_cast<std::uint64_t>(tx) << 32;
-        for (net::NodeId nb : rows.rx(tx)) {
+        for (net::NodeId nb : rows.rx(tx, band)) {
           const std::uint64_t e = counts[nb];
           if (static_cast<std::uint32_t>(e) == 0) touched.push_back(nb);
           counts[nb] = (e + 1) ^ senderBits;
         }
         if (carrierSense) {
-          for (net::NodeId nb : rows.cs(tx)) {
+          for (net::NodeId nb : rows.cs(tx, band)) {
             if (sense[nb] == 0) senseTouched.push_back(nb);
             ++sense[nb];
           }
         }
       }
     }
-    for (const Shard& sh : all) {
-      for (net::NodeId ix : sh.myIx) {
-        for (net::NodeId nb : rows.rx(ix)) {
+    for (int c = lo; c <= hi; ++c) {
+      for (net::NodeId ix : all[static_cast<std::size_t>(c)].ixAt(slot)) {
+        for (net::NodeId nb : rows.rx(ix, band)) {
           const std::uint64_t e = counts[nb];
           if (static_cast<std::uint32_t>(e) == 0) touched.push_back(nb);
           counts[nb] = e + 2;
         }
         if (carrierSense) {
-          for (net::NodeId nb : rows.cs(ix)) {
+          for (net::NodeId nb : rows.cs(ix, band)) {
             if (sense[nb] == 0) senseTouched.push_back(nb);
             ++sense[nb];
           }
@@ -405,7 +516,82 @@ struct Shard {
     for (const auto& [receiver, sender] : pairs) {
       onDelivery(receiver, sender, slot);
     }
-    rawDeliveries = pairs.size();
+    rawDeliveries += pairs.size();
+  }
+
+  /// The same count pass through the dispatched vectorized kernel: the
+  /// packed 32-bit entry format, bump/scan loops, bias trick, and
+  /// carrier-sense filter of the flat channels (net/channel.cpp), run
+  /// over the restricted rows.  Bit-identical to the scalar pass: the
+  /// winner set of a commutative count table does not depend on bump
+  /// order, and delivery order inside one slot is observation-neutral
+  /// (the merge sorts by slot, protocol draws are per-node keyed).
+  void resolveTablesKernel(std::uint64_t slot, const std::vector<Shard>& all,
+                           Band band, int lo, int hi, bool carrierSense) {
+    const net::SlotKernelOps& ops = *kernel;
+    std::uint32_t* entries = counts32.data();
+    net::NodeId* touchedBuf = touched.data();
+    std::size_t tc = 0;
+    std::size_t sc = 0;
+    for (int c = lo; c <= hi; ++c) {
+      const auto& txs = all[static_cast<std::size_t>(c)].txAt(slot);
+      for (std::size_t t = 0; t < txs.size(); ++t) {
+        const net::NodeId tx = txs[t];
+        const net::NeighborSpan rxs = rows.rx(tx, band);
+        if (carrierSense) {
+          const net::NeighborSpan css = rows.cs(tx, band);
+          tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(),
+                           static_cast<std::uint32_t>(tx) << 16, 1, css.data(),
+                           css.size());
+          sc = ops.bumpRow(sense32.data(), senseTouched.data(), sc, css.data(),
+                           css.size(), 0, 1, nullptr, 0);
+        } else {
+          const net::NeighborSpan next = t + 1 < txs.size()
+                                             ? rows.rx(txs[t + 1], band)
+                                             : net::NeighborSpan{};
+          tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(),
+                           static_cast<std::uint32_t>(tx) << 16, 1,
+                           next.data(), next.size());
+        }
+      }
+    }
+    for (int c = lo; c <= hi; ++c) {
+      for (net::NodeId ix : all[static_cast<std::size_t>(c)].ixAt(slot)) {
+        const net::NeighborSpan rxs = rows.rx(ix, band);
+        tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(), 0, 2,
+                         nullptr, 0);
+        if (carrierSense) {
+          const net::NeighborSpan css = rows.cs(ix, band);
+          sc = ops.bumpRow(sense32.data(), senseTouched.data(), sc, css.data(),
+                           css.size(), 0, 1, nullptr, 0);
+        }
+      }
+    }
+    std::size_t lost = 0;
+    std::size_t wins = ops.scanTouched(entries, touchedBuf, tc, kRecv.data(),
+                                       kSend.data(), &lost);
+    if (carrierSense) {
+      // Carrier-sense filter over the sole-sender candidates: success
+      // needs the sole cs-range signal to be the in-range transmitter.
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < wins; ++i) {
+        const net::NodeId receiver = kRecv[i];
+        if ((sense32[receiver] & 0xFFFF) == 1) {
+          kRecv[kept] = receiver;
+          kSend[kept] = kSend[i];
+          ++kept;
+        } else {
+          ++lost;
+        }
+      }
+      wins = kept;
+      for (std::size_t i = 0; i < sc; ++i) sense32[senseTouched[i]] = 0;
+    }
+    slotLost += lost;
+    for (std::size_t i = 0; i < wins; ++i) {
+      onDelivery(kRecv[i], kSend[i], slot);
+    }
+    rawDeliveries += wins;
   }
 
   void onDelivery(net::NodeId receiver, net::NodeId sender,
@@ -449,11 +635,248 @@ struct Shard {
   }
 };
 
+/// Cooperative lockstep resolution of one slot: a single table pass over
+/// the full topology rows for the union of every shard's published
+/// lists — the flat loop's per-slot cost — instead of S restricted-row
+/// passes whose fixed costs (row lookups, touched scans, early-out
+/// probes) multiply with the shard count on one thread.  Bit-identical
+/// to the per-shard passes: the restricted CSRs partition each full row
+/// by receiver owner, so every receiver's count total (a commutative
+/// sum) is unchanged, and each delivery runs through the receiver's
+/// owner shard (its ledger, fault-plan cursors, duplicate context),
+/// exactly as the owner's own pass would.  Raw-delivery counts follow
+/// the receiver's owner so they stay paired with the erasures its
+/// onDelivery records; the aggregate loss tally lands on shard 0 — the
+/// per-shard phase split differs from the gang's, but the merged
+/// (summed, max-length) phase vector is attribution-invariant.
+void resolveCombinedSlot(std::uint64_t slot, std::vector<Shard>& workers,
+                         const std::vector<std::uint32_t>& owner,
+                         const RowAccess& rows) {
+  Shard& lead = workers.front();
+  const ExperimentConfig& config = *lead.config;
+  bool anyTx = false;
+  bool anyIx = false;
+  for (Shard& sh : workers) {
+    sh.rawDeliveries = 0;
+    sh.slotLost = 0;
+    sh.slotErasures = 0;
+    anyTx = anyTx || !sh.txAt(slot).empty();
+    anyIx = anyIx || !sh.ixAt(slot).empty();
+  }
+  if (!anyTx && !anyIx) {
+    for (Shard& sh : workers) sh.recordSlot(slot);
+    return;
+  }
+  if (config.channel == net::ChannelModel::CollisionFree) {
+    for (Shard& src : workers) {
+      for (net::NodeId tx : src.txAt(slot)) {
+        for (net::NodeId nb : rows.rx(tx, Band::Full)) {
+          Shard& own = workers[owner[nb]];
+          ++own.rawDeliveries;
+          own.onDelivery(nb, tx, slot);
+        }
+      }
+    }
+    for (Shard& sh : workers) sh.recordSlot(slot);
+    return;
+  }
+  const bool carrierSense =
+      config.channel == net::ChannelModel::CarrierSenseAware;
+  if (lead.useKernel) {
+    // Bias every shard's transmitters and interferers in the lead
+    // table — the half-duplex skip of the per-shard beginResolve, over
+    // the union of lists.
+    for (Shard& src : workers) {
+      for (net::NodeId tx : src.txAt(slot)) lead.counts32[tx] += 2;
+      for (net::NodeId ix : src.ixAt(slot)) lead.counts32[ix] += 2;
+    }
+    const net::SlotKernelOps& ops = *lead.kernel;
+    std::uint32_t* entries = lead.counts32.data();
+    net::NodeId* touchedBuf = lead.touched.data();
+    std::size_t tc = 0;
+    std::size_t sc = 0;
+    for (Shard& src : workers) {
+      const auto& txs = src.txAt(slot);
+      for (std::size_t t = 0; t < txs.size(); ++t) {
+        const net::NodeId tx = txs[t];
+        const net::NeighborSpan rxs = rows.rx(tx, Band::Full);
+        if (carrierSense) {
+          const net::NeighborSpan css = rows.cs(tx, Band::Full);
+          tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(),
+                           static_cast<std::uint32_t>(tx) << 16, 1, css.data(),
+                           css.size());
+          sc = ops.bumpRow(lead.sense32.data(), lead.senseTouched.data(), sc,
+                           css.data(), css.size(), 0, 1, nullptr, 0);
+        } else {
+          const net::NeighborSpan next = t + 1 < txs.size()
+                                             ? rows.rx(txs[t + 1], Band::Full)
+                                             : net::NeighborSpan{};
+          tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(),
+                           static_cast<std::uint32_t>(tx) << 16, 1,
+                           next.data(), next.size());
+        }
+      }
+    }
+    for (Shard& src : workers) {
+      for (net::NodeId ix : src.ixAt(slot)) {
+        const net::NeighborSpan rxs = rows.rx(ix, Band::Full);
+        tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(), 0, 2,
+                         nullptr, 0);
+        if (carrierSense) {
+          const net::NeighborSpan css = rows.cs(ix, Band::Full);
+          sc = ops.bumpRow(lead.sense32.data(), lead.senseTouched.data(), sc,
+                           css.data(), css.size(), 0, 1, nullptr, 0);
+        }
+      }
+    }
+    std::size_t lost = 0;
+    std::size_t wins = ops.scanTouched(entries, touchedBuf, tc,
+                                       lead.kRecv.data(), lead.kSend.data(),
+                                       &lost);
+    if (carrierSense) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < wins; ++i) {
+        const net::NodeId receiver = lead.kRecv[i];
+        if ((lead.sense32[receiver] & 0xFFFF) == 1) {
+          lead.kRecv[kept] = receiver;
+          lead.kSend[kept] = lead.kSend[i];
+          ++kept;
+        } else {
+          ++lost;
+        }
+      }
+      wins = kept;
+      for (std::size_t i = 0; i < sc; ++i) {
+        lead.sense32[lead.senseTouched[i]] = 0;
+      }
+    }
+    lead.slotLost += lost;
+    for (std::size_t i = 0; i < wins; ++i) {
+      Shard& own = workers[owner[lead.kRecv[i]]];
+      ++own.rawDeliveries;
+      own.onDelivery(lead.kRecv[i], lead.kSend[i], slot);
+    }
+    for (Shard& src : workers) {
+      for (net::NodeId tx : src.txAt(slot)) lead.counts32[tx] = 0;
+      for (net::NodeId ix : src.ixAt(slot)) lead.counts32[ix] = 0;
+    }
+  } else {
+    // Scalar tables, union of lists: half-duplex marks for every shard's
+    // transmitters land in the lead flag array (phase A skips its own
+    // marking in combined mode), cleared below.
+    for (Shard& src : workers) {
+      for (net::NodeId tx : src.txAt(slot)) lead.txFlag[tx] = 1;
+      for (net::NodeId ix : src.ixAt(slot)) lead.txFlag[ix] = 1;
+    }
+    for (Shard& src : workers) {
+      for (net::NodeId tx : src.txAt(slot)) {
+        const std::uint64_t senderBits = static_cast<std::uint64_t>(tx) << 32;
+        for (net::NodeId nb : rows.rx(tx, Band::Full)) {
+          const std::uint64_t e = lead.counts[nb];
+          if (static_cast<std::uint32_t>(e) == 0) lead.touched.push_back(nb);
+          lead.counts[nb] = (e + 1) ^ senderBits;
+        }
+        if (carrierSense) {
+          for (net::NodeId nb : rows.cs(tx, Band::Full)) {
+            if (lead.sense[nb] == 0) lead.senseTouched.push_back(nb);
+            ++lead.sense[nb];
+          }
+        }
+      }
+    }
+    for (Shard& src : workers) {
+      for (net::NodeId ix : src.ixAt(slot)) {
+        for (net::NodeId nb : rows.rx(ix, Band::Full)) {
+          const std::uint64_t e = lead.counts[nb];
+          if (static_cast<std::uint32_t>(e) == 0) lead.touched.push_back(nb);
+          lead.counts[nb] = e + 2;
+        }
+        if (carrierSense) {
+          for (net::NodeId nb : rows.cs(ix, Band::Full)) {
+            if (lead.sense[nb] == 0) lead.senseTouched.push_back(nb);
+            ++lead.sense[nb];
+          }
+        }
+      }
+    }
+    lead.pairs.clear();
+    for (net::NodeId receiver : lead.touched) {
+      const std::uint64_t e = lead.counts[receiver];
+      lead.counts[receiver] = 0;
+      if (lead.txFlag[receiver]) continue;  // half duplex
+      if (static_cast<std::uint32_t>(e) == 1 &&
+          (!carrierSense || lead.sense[receiver] == 1)) {
+        lead.pairs.emplace_back(receiver, static_cast<net::NodeId>(e >> 32));
+      } else {
+        ++lead.slotLost;
+      }
+    }
+    lead.touched.clear();
+    if (carrierSense) {
+      for (net::NodeId r : lead.senseTouched) lead.sense[r] = 0;
+      lead.senseTouched.clear();
+    }
+    for (const auto& [receiver, sender] : lead.pairs) {
+      Shard& own = workers[owner[receiver]];
+      ++own.rawDeliveries;
+      own.onDelivery(receiver, sender, slot);
+    }
+    for (Shard& src : workers) {
+      for (net::NodeId tx : src.txAt(slot)) lead.txFlag[tx] = 0;
+      for (net::NodeId ix : src.ixAt(slot)) lead.txFlag[ix] = 0;
+    }
+  }
+  for (Shard& sh : workers) sh.recordSlot(slot);
+}
+
+/// Per-shard gate pair, padded so no two shards' counters share a cache
+/// line.  pubA == t+1 once the shard's phase A of slot t is published
+/// (ring entry filled); doneB == t+1 once its phase B of slot t is done
+/// (the ring entries it consumed are releasable).
+struct alignas(128) ShardSync {
+  support::SeqGate pubA;
+  support::SeqGate doneB;
+};
+
+ShardExec resolveShardExec() {
+  const int ov = gExecOverride.load();
+  if (ov == static_cast<int>(ShardExec::Threads)) return ShardExec::Threads;
+  if (ov == static_cast<int>(ShardExec::Coop)) return ShardExec::Coop;
+  const char* env = std::getenv("NSMODEL_SHARD_EXEC");
+  if (env != nullptr) {
+    const std::string_view v(env);
+    if (v == "threads") return ShardExec::Threads;
+    if (v == "coop") return ShardExec::Coop;
+    if (v != "auto" && !v.empty()) {
+      throw ConfigError("NSMODEL_SHARD_EXEC must be auto, threads, or coop");
+    }
+  }
+  // A gang of gate-synchronised threads on a single hardware thread pays
+  // ~one context switch per shard per slot and can never actually
+  // overlap; multiplexing the shards on the caller is strictly better
+  // there and bit-identical.
+  return std::thread::hardware_concurrency() >= 2 ? ShardExec::Threads
+                                                  : ShardExec::Coop;
+}
+
 }  // namespace
+
+/// See the header: run-to-run reuse of the per-shard heap allocations.
+/// Every runImpl resets (assign / clear) exactly the state a fresh run
+/// needs, so a vector's capacity survives while its contents never leak
+/// between runs.
+struct ShardedEngine::Workspace {
+  SharedRunState shared;
+  std::vector<Shard> workers;
+};
+
+ShardedEngine::~ShardedEngine() = default;
 
 ShardedEngine::ShardedEngine(const net::Deployment& deployment,
                              const net::Topology& topology, int shards)
-    : deployment_(deployment), topology_(topology) {
+    : deployment_(deployment),
+      topology_(topology),
+      ws_(std::make_unique<Workspace>()) {
   NSMODEL_CHECK(deployment.nodeCount() == topology.nodeCount(),
                 "deployment/topology size mismatch");
   NSMODEL_CHECK(deployment.nodeCount() >= 1, "need at least one node");
@@ -463,34 +886,101 @@ ShardedEngine::ShardedEngine(const net::Deployment& deployment,
       std::min<std::size_t>(static_cast<std::size_t>(shards), n));
   if (shards_ == 1) {
     owner_.assign(n, 0);
+    halo_.assign(1, geom::StripeInterval{0, 0});
     return;
   }
   owner_ = geom::quantileStripeOwners(
       deployment.positions(), static_cast<std::size_t>(shards_));
-  buildRestricted(topology, owner_, shards_, /*carrierSense=*/false,
-                  rxOffsets_, rxIds_);
-  if (topology.hasCarrierSense()) {
-    buildRestricted(topology, owner_, shards_, /*carrierSense=*/true,
-                    csOffsets_, csIds_);
+
+  // Interaction halo: stripes whose x-extents come within the maximum
+  // radius at which a transmitter can influence a receiver's slot
+  // outcome (carrier-sense range when configured — it contains the
+  // transmission range — else the transmission range).
+  const double reach = topology.hasCarrierSense()
+                           ? topology.carrierSenseRange()
+                           : topology.range();
+  halo_ = geom::stripeReachNeighbors(deployment.positions(), owner_,
+                                     static_cast<std::size_t>(shards_), reach);
+  // Close the intervals under symmetry: the ring-reuse wait needs every
+  // *reader* of shard i's publications inside halo_[i].  Quantile
+  // stripes have x-ordered extents, so the geometric intervals are
+  // already exact and symmetric and this loop converges immediately;
+  // running it to a fixpoint keeps the protocol safe for any partition.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(shards_); ++i) {
+      for (std::uint32_t j = halo_[i].lo; j <= halo_[i].hi; ++j) {
+        if (halo_[j].lo > i) {
+          halo_[j].lo = i;
+          changed = true;
+        }
+        if (halo_[j].hi < i) {
+          halo_[j].hi = i;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Interior nodes: every node whose whole interaction neighbourhood
+  // (transmission row, plus the carrier-sense row when the topology has
+  // one) is owned by its own shard.  Symmetric adjacency then guarantees
+  // no foreign transmitter's row contains an interior receiver, so the
+  // owner can resolve them without waiting for anyone's publications.
+  interior_.assign(n, 1);
+  const bool cs = topology.hasCarrierSense();
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::uint32_t own = owner_[u];
+    const auto id = static_cast<net::NodeId>(u);
+    bool inside = true;
+    for (net::NodeId nb : topology.neighbors(id)) {
+      if (owner_[nb] != own) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside && cs) {
+      for (net::NodeId nb : topology.carrierSenseNeighbors(id)) {
+        if (owner_[nb] != own) {
+          inside = false;
+          break;
+        }
+      }
+    }
+    interior_[u] = inside ? 1 : 0;
+  }
+
+  buildRestricted(topology, /*carrierSense=*/false, rxOffsets_, rxMids_,
+                  rxIds_);
+  if (cs) {
+    buildRestricted(topology, /*carrierSense=*/true, csOffsets_, csMids_,
+                    csIds_);
   }
 }
 
 void ShardedEngine::buildRestricted(
-    const net::Topology& topology, const std::vector<std::uint32_t>& owner,
-    int shards, bool carrierSense,
+    const net::Topology& topology, bool carrierSense,
     std::vector<std::vector<std::uint32_t>>& offsets,
+    std::vector<std::vector<std::uint32_t>>& mids,
     std::vector<std::vector<net::NodeId>>& ids) {
   const std::size_t n = topology.nodeCount();
+  const int shards = shards_;
   offsets.assign(static_cast<std::size_t>(shards), {});
+  mids.assign(static_cast<std::size_t>(shards), {});
   ids.assign(static_cast<std::size_t>(shards), {});
   for (auto& off : offsets) off.assign(n + 1, 0);
+  for (auto& mid : mids) mid.assign(n, 0);
   auto rowOf = [&](net::NodeId u) {
     return carrierSense ? topology.carrierSenseNeighbors(u)
                         : topology.neighbors(u);
   };
+  // Count pass: per-row totals into offsets[j][u+1], per-row interior
+  // receiver counts into mids[j][u].
   for (std::size_t u = 0; u < n; ++u) {
     for (net::NodeId nb : rowOf(static_cast<net::NodeId>(u))) {
-      ++offsets[owner[nb]][u + 1];
+      const std::uint32_t j = owner_[nb];
+      ++offsets[j][u + 1];
+      if (interior_[nb]) ++mids[j][u];
     }
   }
   for (int j = 0; j < shards; ++j) {
@@ -503,16 +993,31 @@ void ShardedEngine::buildRestricted(
       off[u] = static_cast<std::uint32_t>(total);
     }
     ids[static_cast<std::size_t>(j)].resize(off[n]);
+    // Interior counts become absolute split points: row u's interior
+    // slice is [off[u], mid[u]), its boundary slice [mid[u], off[u+1]).
+    auto& mid = mids[static_cast<std::size_t>(j)];
+    for (std::size_t u = 0; u < n; ++u) mid[u] += off[u];
   }
-  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(shards));
+  // Fill pass with two cursors per (shard, row): interior receivers pack
+  // in front of boundary ones, both keeping the source row's relative
+  // order.  Receiver order within a row only feeds commutative count
+  // accumulation and intra-slot delivery order, neither observable.
+  std::vector<std::uint32_t> curIn(static_cast<std::size_t>(shards));
+  std::vector<std::uint32_t> curBd(static_cast<std::size_t>(shards));
   for (std::size_t u = 0; u < n; ++u) {
     for (int j = 0; j < shards; ++j) {
-      cursor[static_cast<std::size_t>(j)] =
+      curIn[static_cast<std::size_t>(j)] =
           offsets[static_cast<std::size_t>(j)][u];
+      curBd[static_cast<std::size_t>(j)] =
+          mids[static_cast<std::size_t>(j)][u];
     }
     for (net::NodeId nb : rowOf(static_cast<net::NodeId>(u))) {
-      const std::uint32_t j = owner[nb];
-      ids[j][cursor[j]++] = nb;
+      const std::uint32_t j = owner_[nb];
+      if (interior_[nb]) {
+        ids[j][curIn[j]++] = nb;
+      } else {
+        ids[j][curBd[j]++] = nb;
+      }
     }
   }
 }
@@ -599,17 +1104,30 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
   const auto maxSlot = static_cast<std::uint64_t>(config.maxPhases) *
                        static_cast<std::uint64_t>(config.slotsPerPhase);
 
-  SharedRunState shared;
+  SharedRunState& shared = ws_->shared;
   shared.received.assign(n, 0);
   shared.cancelled.assign(n, 0);
   shared.hasPending.assign(n, 0);
   shared.energyDead.assign(n, 0);
   shared.receptionSlotByNode.assign(n, RunResult::kNeverReceived);
+  shared.maxActivated.store(-1);
+  shared.stop.store(false);
 
   const int S = shards_;
-  std::vector<Shard> workers(static_cast<std::size_t>(S));
   const bool needCollisionTables =
       config.channel != net::ChannelModel::CollisionFree;
+  // Per-run kernel choice: the packed sender half caps node ids at 16
+  // bits, and NSMODEL_SLOT_KERNEL=oracle pins the engine's own 64-bit
+  // scalar tables (this engine's semantics oracle) just as it pins the
+  // channels' reference scatter loop.
+  const net::SlotKernelOps& kernelOps = net::slotKernelOps();
+  const bool useKernel = needCollisionTables && n <= 0xFFFF &&
+                         kernelOps.isa != net::SlotKernelIsa::Oracle;
+  std::vector<Shard>& workers = ws_->workers;
+  if (workers.size() != static_cast<std::size_t>(S)) {
+    workers.clear();
+    workers.resize(static_cast<std::size_t>(S));
+  }
   for (int j = 0; j < S; ++j) {
     Shard& sh = workers[static_cast<std::size_t>(j)];
     sh.config = &config;
@@ -619,18 +1137,24 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
     sh.shared = &shared;
     sh.control = control;
     sh.index = j;
+    sh.haloLo = static_cast<int>(halo_[static_cast<std::size_t>(j)].lo);
+    sh.haloHi = static_cast<int>(halo_[static_cast<std::size_t>(j)].hi);
     sh.rows.topology = &topology_;
     if (S > 1) {
       sh.rows.rxOff = &rxOffsets_[static_cast<std::size_t>(j)];
+      sh.rows.rxMid = &rxMids_[static_cast<std::size_t>(j)];
       sh.rows.rxIds = &rxIds_[static_cast<std::size_t>(j)];
       if (topology_.hasCarrierSense()) {
         sh.rows.csOff = &csOffsets_[static_cast<std::size_t>(j)];
+        sh.rows.csMid = &csMids_[static_cast<std::size_t>(j)];
         sh.rows.csIds = &csIds_[static_cast<std::size_t>(j)];
       }
     }
     sh.maxSlot = maxSlot;
     sh.perNodeSeed = perNodeSeed;
     sh.energyBudget = budget;
+    sh.useKernel = useKernel;
+    sh.kernel = &kernelOps;
     sh.plan = plan;
     if (wantLedger) sh.ledger.emplace(n, config.costs);
     sh.dupRng.emplace(support::Rng::forStream(
@@ -643,11 +1167,44 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
     sh.pendingTail.assign(maxSlot, -1);
     sh.interfererHead.assign(maxSlot, -1);
     sh.interfererTail.assign(maxSlot, -1);
+    // Run-to-run workspace reuse: everything a previous run grew or
+    // accumulated is reset here (capacity kept), everything a previous
+    // run merely set is overwritten above or below.
+    sh.chainNode.clear();
+    sh.chainNext.clear();
+    sh.receptionSlots.clear();
+    sh.transmissionSlots.clear();
+    sh.phases.clear();
+    sh.attemptedPairs = 0;
+    sh.deliveredPairs = 0;
+    sh.nowSlot = -1;
+    sh.curPhase = 0;
+    sh.nextPhaseStart = 0;
+    sh.rawDeliveries = 0;
+    sh.slotLost = 0;
+    sh.slotErasures = 0;
+    sh.error = nullptr;
+    sh.combinedMode = false;
     if (needCollisionTables) {
-      sh.counts.assign(n, 0);
-      sh.txFlag.assign(n, 0);
-      if (config.channel == net::ChannelModel::CarrierSenseAware) {
-        sh.sense.assign(n, 0);
+      if (useKernel) {
+        sh.counts32.assign(n, 0);
+        sh.touched.resize(n + 1);
+        sh.kRecv.resize(n);
+        sh.kSend.resize(n);
+        if (config.channel == net::ChannelModel::CarrierSenseAware) {
+          sh.sense32.assign(n, 0);
+          sh.senseTouched.resize(n + 1);
+        }
+      } else {
+        sh.counts.assign(n, 0);
+        sh.txFlag.assign(n, 0);
+        // The scalar pass grows these from empty; a kernel-mode run of
+        // this engine left them at their sized-for-scan length.
+        sh.touched.clear();
+        sh.senseTouched.clear();
+        if (config.channel == net::ChannelModel::CarrierSenseAware) {
+          sh.sense.assign(n, 0);
+        }
       }
     }
   }
@@ -718,7 +1275,8 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
   // Checkpoint cadence: a snapshot is due at phase-boundary slots (all
   // per-slot scratch is provably clear there) on every
   // checkpointEveryPhases-th phase.  The decision is a pure function of
-  // the slot, so every shard computes the same answer with no extra
+  // the slot, so every shard computes the same answer — and arrives at
+  // the same quiesce points in the same order — with no extra
   // coordination.
   const bool wantsCheckpoint =
       control != nullptr && control->wantsCheckpoint();
@@ -733,9 +1291,9 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
            slot % slotsPerPhase == 0 &&
            (slot / slotsPerPhase) % checkpointEvery == 0;
   };
-  // Runs on shard 0 (the caller thread) while every other shard is
-  // parked between the two checkpoint barriers, so reading their state
-  // is race-free.
+  // Runs on shard 0 once every other shard has drained to the due slot
+  // (doneB >= slot, acquired) and before any of them passes the capture
+  // gate, so reading their state is race-free.
   auto captureCheckpoint = [&](std::uint64_t nextSlot) {
     RunCheckpoint cp;
     cp.fingerprint = fingerprint;
@@ -773,119 +1331,206 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
     }
     return cp;
   };
+  auto writeCheckpoint = [&](std::uint64_t nextSlot) {
+    const RunCheckpoint cp = captureCheckpoint(nextSlot);
+    if (control->checkpointSink) control->checkpointSink(cp);
+    if (!control->checkpointPath.empty()) cp.save(control->checkpointPath);
+  };
 
-  // Lockstep slot loop.  All shards read the horizon at the same point
-  // of every iteration (writers only run inside phase B, behind the
-  // barrier), so they agree on the exit slot; phase A's published lists
-  // are frozen by the first wait, consumed in phase B, and released for
-  // reuse by the second.  A shard that throws raises shared.stop (and
-  // keeps arriving at the barriers with empty published lists in the
-  // meantime); every shard re-reads the flag at the same post-barrier
-  // point, so the gang exits the loop together — no thread is ever left
-  // blocked — and the first error (by shard index) rethrows after the
-  // join.
-  std::optional<std::barrier<>> gate;
-  if (S > 1) gate.emplace(S);
-  auto shardLoop = [&](int j) {
-    Shard& sh = workers[static_cast<std::size_t>(j)];
+  const bool threaded = S > 1 && resolveShardExec() == ShardExec::Threads;
+  if (!threaded) {
+    // Cooperative lockstep: all shards multiplexed on the calling
+    // thread, one combined resolution per slot over the full topology
+    // rows (every publication is already available, so no gates, no
+    // parking, and no reason to pay S restricted passes' fixed costs).
+    // This is also the single-shard path.  Errors propagate directly;
+    // nothing else is running.
+    RowAccess fullRows;
+    fullRows.topology = &topology_;
+    for (Shard& sh : workers) sh.combinedMode = true;
     std::uint64_t slot = startSlot;
     for (;;) {
-      const std::int64_t limit = shared.maxActivated.load();
-      if (static_cast<std::int64_t>(slot) > limit) break;
-      if (checkpointDue(slot)) {
-        if (gate) gate->arrive_and_wait();
-        if (j == 0 && !shared.stop.load()) {
-          try {
-            const RunCheckpoint cp = captureCheckpoint(slot);
-            if (control->checkpointSink) control->checkpointSink(cp);
-            if (!control->checkpointPath.empty()) {
-              cp.save(control->checkpointPath);
-            }
-          } catch (...) {
-            sh.error = std::current_exception();
-            shared.stop.store(true);
+      if (static_cast<std::int64_t>(slot) > shared.maxActivated.load()) break;
+      if (checkpointDue(slot)) writeCheckpoint(slot);
+      for (Shard& sh : workers) sh.phaseA(slot);
+      resolveCombinedSlot(slot, workers, owner_, fullRows);
+      ++slot;
+    }
+  } else {
+    // Gate-synchronised gang, one thread per shard.  Per slot, a shard:
+    //   1. checks the stop flag;
+    //   2. frontier: if the slot exceeds the activated horizon, drains
+    //      the whole gang (every doneB >= slot) and re-reads — the
+    //      rendezvous makes the decision unanimous (DESIGN.md §14.3);
+    //   3. quiesce: at checkpoint-due slots, parks on the capture gate
+    //      while shard 0 drains the gang and snapshots (§14.4);
+    //   4. ring reuse: waits until every halo neighbor has consumed the
+    //      ring entry it is about to overwrite;
+    //   5. phase A, publishes pubA = slot + 1;
+    //   6. resolves its interior receivers from its own lists alone —
+    //      compute overlapped with the neighbors' phase A;
+    //   7. waits for the halo neighbors' pubA > slot, resolves the
+    //      boundary receivers, publishes doneB = slot + 1.
+    // A shard that errors (or observes stop) abandons its own gates on
+    // the way out, unwinding any neighbor parked on them (§14.5).
+    std::unique_ptr<ShardSync[]> sync(
+        new ShardSync[static_cast<std::size_t>(S)]);
+    for (int j = 0; j < S; ++j) {
+      sync[static_cast<std::size_t>(j)].pubA.reset(startSlot);
+      sync[static_cast<std::size_t>(j)].doneB.reset(startSlot);
+    }
+    support::SeqGate captureGate;  // count of checkpoints captured
+
+    auto shardLoop = [&](int j) {
+      Shard& sh = workers[static_cast<std::size_t>(j)];
+      ShardSync& my = sync[static_cast<std::size_t>(j)];
+      auto fail = [&](std::exception_ptr e) {
+        sh.error = e;
+        shared.stop.store(true);
+      };
+      auto bail = [&] {
+        // Order matters: stop is already raised (or observed), so the
+        // abandonment's seq_cst store publishes it to anyone our gates
+        // wake.
+        my.pubA.abandon();
+        my.doneB.abandon();
+        if (j == 0) captureGate.abandon();
+      };
+      std::uint64_t dueSeen = 0;
+      std::uint64_t slot = startSlot;
+      for (;;) {
+        if (shared.stop.load()) return bail();
+        if (static_cast<std::int64_t>(slot) > shared.maxActivated.load()) {
+          for (int c = 0; c < S; ++c) {
+            sync[static_cast<std::size_t>(c)].doneB.waitFor(slot);
+          }
+          if (shared.stop.load()) return bail();
+          if (static_cast<std::int64_t>(slot) > shared.maxActivated.load()) {
+            // Unanimous exhaustion (every shard's re-read after this
+            // rendezvous agrees): clean exit, gates stay put — nobody
+            // waits past this slot.
+            return;
           }
         }
-        if (gate) gate->arrive_and_wait();
-        if (shared.stop.load()) break;
-      }
-      if (sh.error == nullptr) {
+        if (checkpointDue(slot)) {
+          ++dueSeen;
+          if (j == 0) {
+            for (int c = 1; c < S; ++c) {
+              sync[static_cast<std::size_t>(c)].doneB.waitFor(slot);
+            }
+            if (!shared.stop.load()) {
+              try {
+                writeCheckpoint(slot);
+              } catch (...) {
+                fail(std::current_exception());
+              }
+            }
+            captureGate.advanceTo(dueSeen);
+          } else {
+            captureGate.waitFor(dueSeen);
+          }
+          if (shared.stop.load()) return bail();
+        }
+        if (slot >= startSlot + kDrift) {
+          for (int c = sh.haloLo; c <= sh.haloHi; ++c) {
+            sync[static_cast<std::size_t>(c)].doneB.waitFor(slot - kDrift + 1);
+          }
+          if (shared.stop.load()) return bail();
+        }
         try {
           sh.phaseA(slot);
         } catch (...) {
-          sh.error = std::current_exception();
-          shared.stop.store(true);
-          sh.myTx.clear();
-          sh.myIx.clear();
+          fail(std::current_exception());
+          return bail();
         }
-      } else {
-        sh.myTx.clear();
-        sh.myIx.clear();
-      }
-      if (gate) gate->arrive_and_wait();
-      if (sh.error == nullptr) {
+        my.pubA.advanceTo(slot + 1);
         try {
-          sh.phaseB(slot, workers);
+          sh.beginResolve(slot);
+          sh.resolvePass(slot, workers, Band::Interior);
+          for (int c = sh.haloLo; c <= sh.haloHi; ++c) {
+            if (c != j) {
+              sync[static_cast<std::size_t>(c)].pubA.waitFor(slot + 1);
+            }
+          }
+          if (shared.stop.load()) return bail();
+          sh.resolvePass(slot, workers, Band::Boundary);
+          sh.finishResolve(slot);
         } catch (...) {
-          sh.error = std::current_exception();
-          shared.stop.store(true);
+          fail(std::current_exception());
+          return bail();
         }
+        my.doneB.advanceTo(slot + 1);
+        ++slot;
       }
-      if (gate) gate->arrive_and_wait();
-      if (shared.stop.load()) break;
-      ++slot;
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(S - 1));
+    for (int j = 1; j < S; ++j) {
+      threads.emplace_back(shardLoop, j);
     }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(S > 1 ? S - 1 : 0));
-  for (int j = 1; j < S; ++j) {
-    threads.emplace_back(shardLoop, j);
-  }
-  shardLoop(0);
-  for (auto& t : threads) t.join();
-  for (const Shard& sh : workers) {
-    if (sh.error) std::rethrow_exception(sh.error);
+    shardLoop(0);
+    for (auto& t : threads) t.join();
+    for (const Shard& sh : workers) {
+      if (sh.error) std::rethrow_exception(sh.error);
+    }
   }
 
-  // Merge.  Within one slot every observation value is identical across
-  // shards (the entries are the slot number), so sorting the
-  // concatenation reproduces the flat loop's time-ordered vectors byte
-  // for byte; counters and phase records sum.
+  // Merge.  Each shard appends observation slots in nondecreasing slot
+  // order, so the merged vector is the k-way merge of sorted runs — a
+  // plain move for one shard, a cascade of std::inplace_merge otherwise
+  // (within one slot the entries are the slot number itself, so any
+  // merge reproduces the flat loop's time-ordered vectors byte for
+  // byte); counters and phase records sum.
   std::vector<std::uint64_t> receptionSlots;
   std::vector<std::uint64_t> transmissionSlots;
   std::vector<PhaseObservation> phases;
   std::uint64_t attemptedPairs = 0;
   std::uint64_t deliveredPairs = 0;
-  std::size_t rxTotal = 0;
-  std::size_t txTotal = 0;
-  std::size_t phaseLen = 0;
-  for (const Shard& sh : workers) {
-    rxTotal += sh.receptionSlots.size();
-    txTotal += sh.transmissionSlots.size();
-    phaseLen = std::max(phaseLen, sh.phases.size());
-  }
-  receptionSlots.reserve(rxTotal);
-  transmissionSlots.reserve(txTotal);
-  phases.resize(phaseLen);
-  for (Shard& sh : workers) {
-    receptionSlots.insert(receptionSlots.end(), sh.receptionSlots.begin(),
-                          sh.receptionSlots.end());
-    transmissionSlots.insert(transmissionSlots.end(),
-                             sh.transmissionSlots.begin(),
-                             sh.transmissionSlots.end());
-    for (std::size_t p = 0; p < sh.phases.size(); ++p) {
-      phases[p].transmissions += sh.phases[p].transmissions;
-      phases[p].newReceivers += sh.phases[p].newReceivers;
-      phases[p].deliveries += sh.phases[p].deliveries;
-      phases[p].lostReceivers += sh.phases[p].lostReceivers;
-    }
-    attemptedPairs += sh.attemptedPairs;
-    deliveredPairs += sh.deliveredPairs;
+  if (S == 1) {
+    Shard& sh = workers.front();
+    receptionSlots = std::move(sh.receptionSlots);
+    transmissionSlots = std::move(sh.transmissionSlots);
+    phases = std::move(sh.phases);
+    attemptedPairs = sh.attemptedPairs;
+    deliveredPairs = sh.deliveredPairs;
     if (ledger != nullptr && sh.ledger) ledger->absorb(*sh.ledger);
+  } else {
+    std::size_t rxTotal = 0;
+    std::size_t txTotal = 0;
+    std::size_t phaseLen = 0;
+    for (const Shard& sh : workers) {
+      rxTotal += sh.receptionSlots.size();
+      txTotal += sh.transmissionSlots.size();
+      phaseLen = std::max(phaseLen, sh.phases.size());
+    }
+    receptionSlots.reserve(rxTotal);
+    transmissionSlots.reserve(txTotal);
+    phases.resize(phaseLen);
+    for (Shard& sh : workers) {
+      const auto rxMid = static_cast<std::ptrdiff_t>(receptionSlots.size());
+      const auto txMid = static_cast<std::ptrdiff_t>(transmissionSlots.size());
+      receptionSlots.insert(receptionSlots.end(), sh.receptionSlots.begin(),
+                            sh.receptionSlots.end());
+      transmissionSlots.insert(transmissionSlots.end(),
+                               sh.transmissionSlots.begin(),
+                               sh.transmissionSlots.end());
+      std::inplace_merge(receptionSlots.begin(),
+                         receptionSlots.begin() + rxMid, receptionSlots.end());
+      std::inplace_merge(transmissionSlots.begin(),
+                         transmissionSlots.begin() + txMid,
+                         transmissionSlots.end());
+      for (std::size_t p = 0; p < sh.phases.size(); ++p) {
+        phases[p].transmissions += sh.phases[p].transmissions;
+        phases[p].newReceivers += sh.phases[p].newReceivers;
+        phases[p].deliveries += sh.phases[p].deliveries;
+        phases[p].lostReceivers += sh.phases[p].lostReceivers;
+      }
+      attemptedPairs += sh.attemptedPairs;
+      deliveredPairs += sh.deliveredPairs;
+      if (ledger != nullptr && sh.ledger) ledger->absorb(*sh.ledger);
+    }
   }
-  std::sort(receptionSlots.begin(), receptionSlots.end());
-  std::sort(transmissionSlots.begin(), transmissionSlots.end());
   return RunResult(n, config.slotsPerPhase, std::move(receptionSlots),
                    std::move(transmissionSlots), std::move(phases),
                    attemptedPairs, deliveredPairs,
@@ -918,6 +1563,10 @@ int shardCountFor(const ExperimentConfig& config) {
 }
 
 void setShardCountOverride(int shards) { gShardOverride.store(shards); }
+
+void setShardExecOverride(ShardExec mode) {
+  gExecOverride.store(static_cast<int>(mode));
+}
 
 void setShardStallForTesting(int shard, int microsPerSlot) {
   gStallMicros.store(microsPerSlot);

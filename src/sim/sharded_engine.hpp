@@ -6,8 +6,8 @@
 // regime the collision-aware channels cannot even represent (their packed
 // count tables cap node ids at 16 bits).  The ShardedEngine partitions
 // the deployment disk into x-quantile stripes (geom/partition.hpp),
-// assigns each stripe of nodes to a worker thread, and runs every shard's
-// slot loop concurrently on its own arena:
+// assigns each stripe of nodes to a worker, and runs every shard's slot
+// loop concurrently on its own arena:
 //
 //   * Each shard owns its nodes outright: their agenda chains, per-node
 //     flags, energy counts, protocol callbacks, and observation vectors
@@ -17,23 +17,38 @@
 //     a transmission's deliveries to shard j's nodes are exactly shard
 //     j's restricted row — publishing the per-slot transmitter lists IS
 //     the halo exchange.
-//   * Two std::barrier waits per slot keep the shards in lockstep: phase
-//     A drains each shard's local agenda into its published transmitter /
-//     drift-interferer lists; phase B has every shard walk *all* shards'
-//     published lists against its own restricted rows, so CFM/CAM/CAM-CS
-//     collision resolution (including fault plans) sees exactly the flat
-//     loop's interferer sets.
+//   * Synchronisation is per-neighbor-pair, not global (DESIGN.md §14).
+//     Every shard publishes two monotone support::SeqGate counters —
+//     "phase A of slot t published" and "phase B of slot t done" — and
+//     waits only on the gates of the stripes whose x-extents lie within
+//     the interaction reach (max of transmission and carrier-sense
+//     radius, geom::stripeReachNeighbors).  Distant stripes drift up to
+//     a bounded number of slots apart (ring-buffered published lists);
+//     each shard resolves its *interior* nodes — those no foreign
+//     transmitter can reach — before its neighbors' publications even
+//     arrive, overlapping compute with synchronisation.
+//   * Slot resolution dispatches to the vectorized slot kernel
+//     (net/slot_kernel.hpp) whenever node ids fit the kernels' packed
+//     16-bit format; larger runs use a 64-bit scalar path with the same
+//     delivery semantics and order.
+//   * When the hardware cannot actually run the gang in parallel
+//     (hardware_concurrency < 2), the engine multiplexes all shards on
+//     the calling thread in lockstep instead — identical results, none
+//     of the parking overhead.  NSMODEL_SHARD_EXEC=auto|threads|coop
+//     (or setShardExecOverride) pins the choice; the TSan suites pin
+//     `threads` so the gate protocol is always exercised under the
+//     sanitizer.
 //
 // Identity contract: the run always uses RngMode::PerNode keying — every
 // node's protocol draw comes from Rng::forStream(fingerprint, node), the
 // same per-entity scheme fault::FaultPlan uses — so the result is
 // bit-identical to the flat loop run with config.rngMode = PerNode, for
-// any shard count and any thread schedule (tests/test_sim_sharded.cpp).
-// The contract covers protocols whose callbacks are sender-agnostic and
-// draw randomness only in onFirstReception (probabilistic broadcast,
-// flooding); note that enabling shards therefore changes the random
-// stream relative to the default RunStream mode — same distribution,
-// different draws.
+// any shard count, any execution mode, and any thread schedule
+// (tests/test_sim_sharded.cpp).  The contract covers protocols whose
+// callbacks are sender-agnostic and draw randomness only in
+// onFirstReception (probabilistic broadcast, flooding); note that
+// enabling shards therefore changes the random stream relative to the
+// default RunStream mode — same distribution, different draws.
 //
 // Sharding policy: NSMODEL_SHARDS=off|auto|N (unset = off) selects the
 // shard count the Monte-Carlo drivers use when replication-level
@@ -43,8 +58,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "geom/partition.hpp"
 #include "net/deployment.hpp"
 #include "net/energy.hpp"
 #include "net/topology.hpp"
@@ -56,16 +73,18 @@
 namespace nsmodel::sim {
 
 /// Reusable sharded executor for one (deployment, topology) pair.  The
-/// constructor builds the owner map and the per-shard restricted CSRs
-/// (O(edges)); run() may then be called repeatedly.  The referenced
-/// deployment and topology must outlive the engine.
+/// constructor builds the owner map, the interaction halo, the interior
+/// node set, and the per-shard restricted CSRs (O(edges)); run() may
+/// then be called repeatedly.  The referenced deployment and topology
+/// must outlive the engine.
 class ShardedEngine {
  public:
   /// `shards` is clamped to [1, nodeCount].  A single-shard engine runs
-  /// the same barrier-free code path on the caller's thread and reads the
-  /// global topology rows directly (no restricted copies).
+  /// a gate-free loop on the caller's thread and reads the global
+  /// topology rows directly (no restricted copies).
   ShardedEngine(const net::Deployment& deployment,
                 const net::Topology& topology, int shards);
+  ~ShardedEngine();
 
   int shards() const { return shards_; }
 
@@ -78,14 +97,18 @@ class ShardedEngine {
   ///
   /// `control` (optional) adds resilience:
   ///   * deadline/cancellation is checked by every shard once per slot;
-  ///     expiry raises a stop flag that all shards observe at the same
-  ///     post-barrier point, so the whole gang unwinds together — no
-  ///     thread is ever left blocked at a barrier — and the first error
-  ///     (by shard index) rethrows as the retryable TimeoutError.  The
-  ///     engine remains reusable afterwards.
+  ///     expiry raises a stop flag, every gate the stopping shard owns
+  ///     is abandoned, and the whole gang unwinds — no thread is ever
+  ///     left parked on a gate — with the first error (by shard index)
+  ///     rethrown as the retryable TimeoutError.  The engine remains
+  ///     reusable afterwards.
   ///   * checkpointPath/checkpointSink snapshot the run at checkpoint-due
-  ///     phase boundaries (every checkpointEveryPhases phases) while all
-  ///     shards are parked; restore resumes from such a snapshot and is
+  ///     phase boundaries (every checkpointEveryPhases phases).  Because
+  ///     shards drift, a snapshot is preceded by a quiesce: the due slot
+  ///     is a pure function of the slot index, so every shard arrives at
+  ///     it, parks on the capture gate, and shard 0 captures once the
+  ///     done-counters of all shards reach the due slot (DESIGN.md
+  ///     §14.4).  restore resumes from such a snapshot and is
   ///     bit-identity preserving: a run killed at any slot and restored
   ///     from its latest checkpoint returns the byte-identical RunResult
   ///     of an uninterrupted run.  Restore validates the snapshot's
@@ -98,29 +121,48 @@ class ShardedEngine {
                 const RunControl* control = nullptr);
 
  private:
+  /// Per-run working state (shared status words, one workspace per
+  /// shard), kept across run() calls so repeated runs reuse the heap
+  /// allocations instead of re-faulting them — the sharded analogue of
+  /// sim::RunWorkspace.  run() is not concurrently reentrant.
+  struct Workspace;
+
   RunResult runImpl(const ExperimentConfig& config,
                     protocols::BroadcastProtocol& protocol,
                     support::Rng& rng, net::EnergyLedger* ledger,
                     const RunControl* control);
 
-  static void buildRestricted(const net::Topology& topology,
-                              const std::vector<std::uint32_t>& owner,
-                              int shards, bool carrierSense,
-                              std::vector<std::vector<std::uint32_t>>& offsets,
-                              std::vector<std::vector<net::NodeId>>& ids);
+  void buildRestricted(const net::Topology& topology, bool carrierSense,
+                       std::vector<std::vector<std::uint32_t>>& offsets,
+                       std::vector<std::vector<std::uint32_t>>& mids,
+                       std::vector<std::vector<net::NodeId>>& ids);
 
   const net::Deployment& deployment_;
   const net::Topology& topology_;
   int shards_;
   std::vector<std::uint32_t> owner_;  ///< node -> shard
+  /// interior_[u] == 1 iff every node within interaction reach of u
+  /// (its transmission row, and its carrier-sense row when the topology
+  /// has one) shares u's owner — u's slot outcome then never depends on
+  /// another shard's published lists.
+  std::vector<std::uint8_t> interior_;
+  /// Per-stripe interaction intervals (geom::stripeReachNeighbors):
+  /// shard i only ever reads lists or waits on gates of shards in
+  /// [halo_[i].lo, halo_[i].hi].
+  std::vector<geom::StripeInterval> halo_;
   // Per-shard restricted CSRs (empty when shards_ == 1): offsets_[j] has
   // nodeCount + 1 entries; ids_[j] holds the edges whose receiver is
-  // owned by shard j.  uint32 offsets: a shard's edge share stays far
-  // below 2^32 for any deployment the 32-bit node ids admit.
+  // owned by shard j, each row reordered interior-receivers-first with
+  // the split point in mids_[j] (interior pass bumps [off, mid), the
+  // boundary pass [mid, off+1)).  uint32 offsets: a shard's edge share
+  // stays far below 2^32 for any deployment the 32-bit node ids admit.
   std::vector<std::vector<std::uint32_t>> rxOffsets_;
+  std::vector<std::vector<std::uint32_t>> rxMids_;
   std::vector<std::vector<net::NodeId>> rxIds_;
   std::vector<std::vector<std::uint32_t>> csOffsets_;
+  std::vector<std::vector<std::uint32_t>> csMids_;
   std::vector<std::vector<net::NodeId>> csIds_;
+  std::unique_ptr<Workspace> ws_;
 };
 
 /// One-shot convenience wrapper: builds a ShardedEngine and runs once.
@@ -145,10 +187,22 @@ int shardCountFor(const ExperimentConfig& config);
 /// fall back to the environment again.  For tests and benches.
 void setShardCountOverride(int shards);
 
+/// How a multi-shard run executes.  Auto resolves NSMODEL_SHARD_EXEC
+/// (auto|threads|coop; unset = auto), which in turn picks `threads` on
+/// machines with >= 2 hardware threads and `coop` — all shards
+/// multiplexed in lockstep on the calling thread — otherwise.  Results
+/// are bit-identical either way; only the scheduling differs.
+enum class ShardExec { Auto = 0, Threads = 1, Coop = 2 };
+
+/// Pins the execution mode process-wide; pass ShardExec::Auto to fall
+/// back to the environment/hardware policy.  For tests and benches.
+void setShardExecOverride(ShardExec mode);
+
 /// Test-only fault injection: makes shard `shard` sleep `microsPerSlot`
 /// microseconds at the top of every phase A, simulating a straggler that
-/// drags the whole gang past its deadline.  Pass (-1, 0) to disable.
-/// Process-wide; not for production use.
+/// drags the whole gang past its deadline (and, in threaded mode, makes
+/// the other shards drift ahead to the ring bound).  Pass (-1, 0) to
+/// disable.  Process-wide; not for production use.
 void setShardStallForTesting(int shard, int microsPerSlot);
 
 }  // namespace nsmodel::sim

@@ -1,0 +1,73 @@
+#include "support/seq_gate.hpp"
+
+#include <thread>
+
+namespace nsmodel::support {
+
+namespace {
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spin budget before parking.  The producer is at most one slot phase
+/// away on a loaded core, so a short spin catches the common multicore
+/// case; on an oversubscribed machine the producer cannot run while we
+/// spin, and parking quickly is what frees the core for it.
+constexpr int kSpinRounds = 128;
+
+}  // namespace
+
+// Memory ordering of the park handshake (both sides seq_cst on the
+// flag/counter pair, the classic Dekker store-load pattern):
+//
+//   waiter:   waiters_.fetch_add(1)  [seq_cst]      producer: seq_ = v [seq_cst]
+//             re-read seq_           [seq_cst]                read waiters_ [seq_cst]
+//             if still short: park                            if != 0: notify_all
+//
+// In any seq_cst total order, either the producer's store to seq_
+// precedes the waiter's re-read (the waiter sees v and never parks), or
+// the waiter's fetch_add precedes the producer's read of waiters_ (the
+// producer sees the registration and notifies).  A lost-wakeup would
+// need the waiter to miss v *and* the producer to miss the registration,
+// which no seq_cst interleaving allows.  The residual window between the
+// re-read and the futex call is closed by the atomic wait itself: wait()
+// compares against the captured value and returns immediately if seq_
+// has moved on.
+//
+// Publication: the seq_cst store is also a release store, and every
+// return path of waitFor exits through an acquire load that observed a
+// value >= target.  seq_ has a single writer, so an observed value v
+// identifies one store in its modification order, and everything the
+// owner did before *that* advanceTo — including all earlier advanceTo
+// calls' preceding writes — happens-before the waiter's continuation.
+void SeqGate::advanceTo(std::uint64_t value) {
+  seq_.store(value, std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_seq_cst) != 0) {
+    seq_.notify_all();
+  }
+}
+
+std::uint64_t SeqGate::waitSlow(std::uint64_t target) const {
+  for (int i = 0; i < kSpinRounds; ++i) {
+    const std::uint64_t cur = seq_.load(std::memory_order_acquire);
+    if (cur >= target) return cur;
+    cpuRelax();
+  }
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  std::uint64_t cur = seq_.load(std::memory_order_seq_cst);
+  while (cur < target) {
+    seq_.wait(cur, std::memory_order_acquire);
+    cur = seq_.load(std::memory_order_acquire);
+  }
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
+  return cur;
+}
+
+}  // namespace nsmodel::support

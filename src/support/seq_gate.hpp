@@ -1,0 +1,84 @@
+// SeqGate: a monotone sequence counter threads can wait on.
+//
+// The sharded simulation engine replaced its two per-slot global
+// std::barrier waits with per-neighbor-pair synchronisation: every shard
+// publishes two counters ("phase A of slot t published", "phase B of
+// slot t done") and waits only on the counters of the stripes whose
+// nodes it can actually interact with (DESIGN.md §14).  A barrier is the
+// wrong primitive for that — it synchronises *everyone* and resets — so
+// this is the right one: a single-writer, multi-reader, monotonically
+// advancing uint64 with a spin-then-futex wait.
+//
+// Contract:
+//   * Exactly one thread calls advanceTo()/abandon() (the owner); any
+//     number of threads call waitFor()/load().  Values passed to
+//     advanceTo must be non-decreasing.
+//   * advanceTo(v) makes every write the owner performed before the call
+//     visible to any thread whose waitFor()/load() observes a value
+//     >= v (release/acquire publication; see the memory-ordering note in
+//     seq_gate.cpp for why both sides of the park handshake are seq_cst).
+//   * abandon() jumps the counter to kAbandoned (the maximum value), so
+//     every pending and future waitFor returns immediately.  Waiters
+//     that can observe kAbandoned must re-check their own stop condition
+//     before trusting data the gate guards — the whole point of abandon
+//     is that the guarded data will never arrive.
+//
+// waitFor spins briefly (the producer is typically one phase of one
+// simulation slot away) and then parks on the C++20 atomic wait, which
+// libstdc++/libc++ implement with a futex — so an idle waiter costs
+// nothing until notified.  notify_all is only issued when a waiter has
+// registered, keeping the uncontended fast path store-only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace nsmodel::support {
+
+class SeqGate {
+ public:
+  /// The abandonment value: the maximum uint64, never reached by a real
+  /// sequence.  waitFor(t) for any real t returns once the gate holds it.
+  static constexpr std::uint64_t kAbandoned = ~std::uint64_t{0};
+
+  SeqGate() = default;
+  SeqGate(const SeqGate&) = delete;
+  SeqGate& operator=(const SeqGate&) = delete;
+
+  /// Current value (acquire: pairs with advanceTo's publication).
+  std::uint64_t load() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes `value` (must be >= the current value) and wakes parked
+  /// waiters.  Owner thread only.
+  void advanceTo(std::uint64_t value);
+
+  /// advanceTo(kAbandoned): unblocks every waiter forever.
+  void abandon() { advanceTo(kAbandoned); }
+
+  /// Blocks until the gate's value is >= `target`; returns the value
+  /// observed (>= target — kAbandoned signals abandonment).  Fast path
+  /// is one acquire load.
+  std::uint64_t waitFor(std::uint64_t target) const {
+    const std::uint64_t cur = seq_.load(std::memory_order_acquire);
+    if (cur >= target) return cur;
+    return waitSlow(target);
+  }
+
+  /// Re-initialises the counter between runs.  Only valid while no
+  /// thread is waiting (the owner calls it before the gang starts).
+  void reset(std::uint64_t value) {
+    seq_.store(value, std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t waitSlow(std::uint64_t target) const;
+
+  std::atomic<std::uint64_t> seq_{0};
+  /// Parked-waiter count: advanceTo only pays the notify syscall when a
+  /// waiter registered (Dekker-style handshake, see seq_gate.cpp).
+  mutable std::atomic<std::uint32_t> waiters_{0};
+};
+
+}  // namespace nsmodel::support

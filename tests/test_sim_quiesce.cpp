@@ -1,0 +1,219 @@
+// The quiesce protocol of the sharded engine's neighbor-pair
+// synchronisation (DESIGN.md §14.4), under deliberately drifted shards.
+//
+// With per-neighbor gates the shards of a gang are NOT in lockstep: a
+// stalled shard lets the others run ahead to the drift bound before they
+// park.  A checkpoint must nevertheless capture a globally consistent
+// state, so every shard drains to the due slot and parks on the capture
+// gate while shard 0 snapshots.  This suite forces maximal drift with
+// the test-only straggler injector and demands, across
+// {CFM, CAM, CAM-CS} x shard counts {1, 3, 7}:
+//
+//   * the drifted run's result and every snapshot it emits are
+//     byte-identical to an undrifted run's (the quiesce points land at
+//     the same slots with the same state, drift or no drift);
+//   * every such snapshot resumes to the byte-identical final result;
+//   * cancellation raised while shards are parked at quiesce and drift
+//     rendezvous points unwinds the whole gang (no deadlock, one
+//     retryable TimeoutError) and leaves the engine reusable.
+//
+// The execution mode is pinned to the thread gang — drift does not
+// exist in the cooperative fallback — except for the single-shard cells,
+// which exercise the gate-free path's checkpoint cadence for contrast.
+// The file is grouped with the *_threads binaries so the thread-
+// sanitizer CI lane proves the quiesce handshake race-free.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "protocols/probabilistic.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario_cache.hpp"
+#include "sim/sharded_engine.hpp"
+#include "support/deadline.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsmodel;
+
+/// Pins the thread gang and clears the straggler injection on exit.
+struct QuiesceGuard {
+  QuiesceGuard() { sim::setShardExecOverride(sim::ShardExec::Threads); }
+  ~QuiesceGuard() {
+    sim::setShardStallForTesting(-1, 0);
+    sim::setShardExecOverride(sim::ShardExec::Auto);
+  }
+};
+
+struct QuiesceCase {
+  std::string name;
+  net::ChannelModel channel = net::ChannelModel::CollisionAware;
+  int shards = 1;
+};
+
+std::vector<QuiesceCase> quiesceMatrix() {
+  const struct {
+    const char* name;
+    net::ChannelModel channel;
+  } channels[] = {
+      {"cfm", net::ChannelModel::CollisionFree},
+      {"cam", net::ChannelModel::CollisionAware},
+      {"cs", net::ChannelModel::CarrierSenseAware},
+  };
+  std::vector<QuiesceCase> cases;
+  for (const auto& ch : channels) {
+    for (const int shards : {1, 3, 7}) {
+      cases.push_back({std::string(ch.name) + "_s" + std::to_string(shards),
+                       ch.channel, shards});
+    }
+  }
+  return cases;
+}
+
+sim::ExperimentConfig configFor(const QuiesceCase& c) {
+  sim::ExperimentConfig cfg;
+  cfg.rings = 4;
+  cfg.neighborDensity = 25.0;
+  cfg.maxPhases = 40;
+  cfg.channel = c.channel;
+  // Clock drift keeps spill-over interferers in the agenda, so the
+  // snapshots carry non-trivial interferer chains across the quiesce.
+  cfg.fault.faultSeed = 13;
+  cfg.fault.drift.maxSkewSlots = 0.4;
+  return cfg;
+}
+
+void expectIdentical(const sim::RunResult& a, const sim::RunResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.receptionSlots(), b.receptionSlots()) << label;
+  EXPECT_EQ(a.transmissionSlots(), b.transmissionSlots()) << label;
+  EXPECT_EQ(a.receptionSlotByNode(), b.receptionSlotByNode()) << label;
+  EXPECT_EQ(a.attemptedPairs(), b.attemptedPairs()) << label;
+  EXPECT_EQ(a.deliveredPairs(), b.deliveredPairs()) << label;
+  ASSERT_EQ(a.phases().size(), b.phases().size()) << label;
+  for (std::size_t i = 0; i < a.phases().size(); ++i) {
+    EXPECT_EQ(a.phases()[i].transmissions, b.phases()[i].transmissions)
+        << label << " phase " << i;
+    EXPECT_EQ(a.phases()[i].newReceivers, b.phases()[i].newReceivers)
+        << label << " phase " << i;
+    EXPECT_EQ(a.phases()[i].deliveries, b.phases()[i].deliveries)
+        << label << " phase " << i;
+    EXPECT_EQ(a.phases()[i].lostReceivers, b.phases()[i].lostReceivers)
+        << label << " phase " << i;
+  }
+}
+
+class QuiesceMatrix : public ::testing::TestWithParam<QuiesceCase> {};
+
+// Undrifted and maximally drifted gangs emit byte-identical snapshot
+// sequences, and every drifted snapshot resumes bit-identically.
+TEST_P(QuiesceMatrix, DriftedSnapshotsRestoreBitIdentically) {
+  QuiesceGuard guard;
+  const QuiesceCase& c = GetParam();
+  const sim::ExperimentConfig cfg = configFor(c);
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.5);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, c.shards);
+
+  // Undrifted reference, snapshots and all.
+  std::vector<sim::RunCheckpoint> reference;
+  sim::RunControl capture;
+  capture.checkpointEveryPhases = 2;
+  capture.checkpointSink = [&](const sim::RunCheckpoint& cp) {
+    reference.push_back(cp);
+  };
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult referenceResult =
+      engine.run(cfg, protocol, rng, nullptr, &capture);
+  ASSERT_FALSE(reference.empty()) << c.name;
+
+  // Same run with the last shard stalled every slot: the other shards
+  // drift to the ring bound before each quiesce drains them back.
+  sim::setShardStallForTesting(c.shards - 1, 200);
+  std::vector<sim::RunCheckpoint> drifted;
+  sim::RunControl captureDrifted;
+  captureDrifted.checkpointEveryPhases = 2;
+  captureDrifted.checkpointSink = [&](const sim::RunCheckpoint& cp) {
+    drifted.push_back(cp);
+  };
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult driftedResult =
+      engine.run(cfg, protocol, rng2, nullptr, &captureDrifted);
+  sim::setShardStallForTesting(-1, 0);
+  expectIdentical(driftedResult, referenceResult, c.name + " drifted run");
+  ASSERT_EQ(drifted.size(), reference.size()) << c.name;
+  for (std::size_t i = 0; i < drifted.size(); ++i) {
+    EXPECT_EQ(drifted[i].serialize(), reference[i].serialize())
+        << c.name << " snapshot " << i;
+  }
+
+  // Kill-after-every-snapshot: each drifted snapshot resumes to the
+  // byte-identical final result.
+  for (std::size_t i = 0; i < drifted.size(); ++i) {
+    sim::RunControl resume;
+    resume.restore = &drifted[i];
+    sim::ShardedEngine restored(scenario.deployment, scenario.topology,
+                                c.shards);
+    protocols::ProbabilisticBroadcast protocol2(0.5);
+    support::Rng rng3 = scenario.protocolRng;
+    const sim::RunResult resumed =
+        restored.run(cfg, protocol2, rng3, nullptr, &resume);
+    expectIdentical(resumed, referenceResult,
+                    c.name + " resume from snapshot " + std::to_string(i));
+  }
+}
+
+// Cancellation raised while the gang is spread across quiesce parks and
+// drift rendezvous: the stalled shard's deadline check fires while the
+// others are parked on its gates, and the abandonment chain must unwind
+// them all.  The engine is then immediately reusable.
+TEST_P(QuiesceMatrix, CancelUnderDriftUnwindsTheGang) {
+  QuiesceGuard guard;
+  const QuiesceCase& c = GetParam();
+  sim::ExperimentConfig cfg = configFor(c);
+  cfg.maxPhases = 300;  // long enough that the deadline fires mid-run
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.5);
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, c.shards);
+
+  // The stall (2ms per slot) exceeds the deadline (1ms) on its own, so
+  // shard 0's first post-sleep deadline check throws no matter how short
+  // the broadcast is; the other shards are by then parked at their drift
+  // or quiesce waits on shard 0's gates.
+  sim::setShardStallForTesting(0, 2000);
+  sim::RunControl control;
+  control.deadline = support::Deadline::after(0.001);
+  control.checkpointEveryPhases = 2;
+  std::size_t captured = 0;
+  control.checkpointSink = [&](const sim::RunCheckpoint&) { ++captured; };
+  {
+    support::Rng rng = scenario.protocolRng;
+    try {
+      engine.run(cfg, protocol, rng, nullptr, &control);
+      FAIL() << c.name << ": expected TimeoutError";
+    } catch (const TimeoutError& e) {
+      EXPECT_TRUE(e.retryable()) << c.name;
+    }
+  }
+
+  // Stall removed: the same engine completes and matches a fresh one,
+  // proving no state (gates included) leaked out of the aborted run.
+  sim::setShardStallForTesting(-1, 0);
+  support::Rng rng = scenario.protocolRng;
+  const sim::RunResult retried = engine.run(cfg, protocol, rng);
+  sim::ShardedEngine fresh(scenario.deployment, scenario.topology, c.shards);
+  support::Rng rng2 = scenario.protocolRng;
+  const sim::RunResult baseline = fresh.run(cfg, protocol, rng2);
+  expectIdentical(retried, baseline, c.name + " retry after cancel");
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, QuiesceMatrix,
+                         ::testing::ValuesIn(quiesceMatrix()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace

@@ -4,12 +4,14 @@
 //
 // The property under test: when one shard of a gang hits the deadline —
 // here forced deterministically by the test-only straggler injector,
-// which makes a chosen shard sleep at the top of every phase A — the
-// whole gang unwinds through the two per-slot std::barrier waits without
+// which makes a chosen shard sleep at the top of every phase A, so the
+// other shards drift ahead to the ring bound and park on its gates —
+// the whole gang unwinds through the SeqGate abandonment chain without
 // deadlock, the caller sees one retryable TimeoutError, and the engine
-// is immediately reusable.  Under TSan this also proves the stop-flag
-// handshake (plain release/acquire on SharedRunState::stop read at a
-// common post-barrier point) is race-free.
+// is immediately reusable.  Under TSan this also proves the stop-flag /
+// gate-abandonment handshake is race-free.  The execution mode is
+// pinned to the thread gang: these properties are about the gate
+// protocol, which the cooperative fallback never runs.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -25,9 +27,14 @@ namespace {
 
 using namespace nsmodel;
 
-/// Disables the straggler injection on scope exit.
+/// Disables the straggler injection and restores the execution policy on
+/// scope exit.
 struct StallGuard {
-  ~StallGuard() { sim::setShardStallForTesting(-1, 0); }
+  StallGuard() { sim::setShardExecOverride(sim::ShardExec::Threads); }
+  ~StallGuard() {
+    sim::setShardStallForTesting(-1, 0);
+    sim::setShardExecOverride(sim::ShardExec::Auto);
+  }
 };
 
 sim::ExperimentConfig slowConfig() {
@@ -102,6 +109,7 @@ TEST(ShardedCancellation, EveryShardIndexCanBeTheStraggler) {
 }
 
 TEST(ShardedCancellation, CheckpointWriterFailureUnwindsAllShards) {
+  StallGuard guard;
   const sim::ExperimentConfig cfg = slowConfig();
   const sim::Scenario scenario =
       sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));

@@ -7,10 +7,12 @@
 // schedules, Gilbert–Elliott link loss, drift spill-over interferers,
 // energy cutoffs, the legacy node-failure knob, and the combined mix —
 // at shard counts 1, 2, and 7 (odd, so stripe boundaries never align
-// with anything).  Also covered: per-node RNG keying of the flat loop
-// itself (PerNode differs from RunStream but is deployment-faithful),
-// caller-owned energy ledgers, engine reuse across runs, the
-// NSMODEL_SHARDS policy resolution, and the Monte-Carlo wiring.
+// with anything) under both execution modes (the gate-synchronised
+// thread gang and the cooperative lockstep multiplexer).  Also covered:
+// per-node RNG keying of the flat loop itself (PerNode differs from
+// RunStream but is deployment-faithful), caller-owned energy ledgers,
+// engine reuse across runs, the NSMODEL_SHARDS policy resolution, and
+// the Monte-Carlo wiring.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -123,6 +125,18 @@ struct ShardGuard {
   ~ShardGuard() { sim::setShardCountOverride(-1); }
 };
 
+/// Restores the hardware/environment execution policy on scope exit.
+struct ExecGuard {
+  ~ExecGuard() { sim::setShardExecOverride(sim::ShardExec::Auto); }
+};
+
+constexpr sim::ShardExec kExecModes[] = {sim::ShardExec::Threads,
+                                         sim::ShardExec::Coop};
+
+const char* execName(sim::ShardExec exec) {
+  return exec == sim::ShardExec::Threads ? "threads" : "coop";
+}
+
 void expectIdentical(const sim::RunResult& sharded, const sim::RunResult& flat,
                      const std::string& label) {
   EXPECT_EQ(sharded.nodeCount(), flat.nodeCount()) << label;
@@ -168,13 +182,17 @@ TEST_P(ShardedEquivalence, MatchesFlatPerNodeAtEveryShardCount) {
       sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
   protocols::ProbabilisticBroadcast protocol(0.6);
   const sim::RunResult flat = flatPerNode(cfg, scenario, protocol);
-  for (const int shards : {1, 2, 7}) {
-    support::Rng rng = scenario.protocolRng;
-    const sim::RunResult sharded =
-        sim::runBroadcastSharded(cfg, scenario.deployment, scenario.topology,
-                                 protocol, rng, shards);
-    expectIdentical(sharded, flat,
-                    c.name + " shards " + std::to_string(shards));
+  ExecGuard guard;
+  for (const sim::ShardExec exec : kExecModes) {
+    sim::setShardExecOverride(exec);
+    for (const int shards : {1, 2, 7}) {
+      support::Rng rng = scenario.protocolRng;
+      const sim::RunResult sharded = sim::runBroadcastSharded(
+          cfg, scenario.deployment, scenario.topology, protocol, rng, shards);
+      expectIdentical(sharded, flat,
+                      c.name + " shards " + std::to_string(shards) + " " +
+                          execName(exec));
+    }
   }
 }
 
@@ -189,13 +207,17 @@ TEST_P(ShardedEquivalence, CounterBasedProtocolMatchesToo) {
       sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
   protocols::CounterBasedBroadcast protocol(3);
   const sim::RunResult flat = flatPerNode(cfg, scenario, protocol);
-  for (const int shards : {1, 2, 7}) {
-    support::Rng rng = scenario.protocolRng;
-    const sim::RunResult sharded =
-        sim::runBroadcastSharded(cfg, scenario.deployment, scenario.topology,
-                                 protocol, rng, shards);
-    expectIdentical(sharded, flat,
-                    c.name + " shards " + std::to_string(shards));
+  ExecGuard guard;
+  for (const sim::ShardExec exec : kExecModes) {
+    sim::setShardExecOverride(exec);
+    for (const int shards : {1, 2, 7}) {
+      support::Rng rng = scenario.protocolRng;
+      const sim::RunResult sharded = sim::runBroadcastSharded(
+          cfg, scenario.deployment, scenario.topology, protocol, rng, shards);
+      expectIdentical(sharded, flat,
+                      c.name + " shards " + std::to_string(shards) + " " +
+                          execName(exec));
+    }
   }
 }
 

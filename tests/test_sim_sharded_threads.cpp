@@ -1,12 +1,16 @@
 // Thread-safety of the sharded single-run engine.
 //
 // Every shard runs on its own thread, touching only the per-node state
-// of the nodes it owns and reading the transmitter lists other shards
-// publish between barriers — so a sharded run must be data-race free
-// (this file is the target of the CI thread-sanitizer job) and must be
-// bit-identical to the flat per-node-keyed loop on every repetition,
-// regardless of thread schedule.  The runs are repeated to give the
-// scheduler room to interleave shards differently each time.
+// of the nodes it owns and reading the transmitter lists its halo
+// neighbors publish through the SeqGate counters — so a sharded run
+// must be data-race free (this file is the target of the CI
+// thread-sanitizer job) and must be bit-identical to the flat
+// per-node-keyed loop on every repetition, regardless of thread
+// schedule.  The execution mode is pinned to the thread gang (the
+// hardware policy would fall back to the cooperative loop on a
+// single-core CI runner and the sanitizer would see no threads at all);
+// the runs are repeated to give the scheduler room to interleave shards
+// differently each time.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -25,6 +29,12 @@ using namespace nsmodel;
 
 struct ShardGuard {
   ~ShardGuard() { sim::setShardCountOverride(-1); }
+};
+
+/// Pins the gate-synchronised thread gang for the test's lifetime.
+struct ThreadsGuard {
+  ThreadsGuard() { sim::setShardExecOverride(sim::ShardExec::Threads); }
+  ~ThreadsGuard() { sim::setShardExecOverride(sim::ShardExec::Auto); }
 };
 
 sim::ExperimentConfig smallConfig() {
@@ -68,6 +78,7 @@ void expectIdentical(const sim::RunResult& sharded, const sim::RunResult& flat,
 }
 
 TEST(ShardedThreads, RepeatedRunsStayFlatIdentical) {
+  ThreadsGuard execGuard;
   const sim::ExperimentConfig cfg = smallConfig();
   const sim::Scenario scenario =
       sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
@@ -89,6 +100,7 @@ TEST(ShardedThreads, RepeatedRunsStayFlatIdentical) {
 }
 
 TEST(ShardedThreads, CancellationHeavyProtocolStaysIdentical) {
+  ThreadsGuard execGuard;
   sim::ExperimentConfig cfg = smallConfig();
   cfg.channel = net::ChannelModel::CarrierSenseAware;
   const sim::Scenario scenario =
@@ -112,6 +124,7 @@ TEST(ShardedThreads, CancellationHeavyProtocolStaysIdentical) {
 
 TEST(ShardedThreads, MonteCarloWiringIsDeterministicAcrossRuns) {
   ShardGuard guard;
+  ThreadsGuard execGuard;
   sim::setShardCountOverride(4);
 
   sim::MonteCarloConfig mc;
