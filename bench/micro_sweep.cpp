@@ -12,7 +12,9 @@
 //    (rho = 100, N = 2500) through the DES engine vs. the flat slot
 //    loop, both on one reused workspace — runs/second of the hot
 //    Monte-Carlo inner loop — plus the lockstep batch backend against
-//    the flat loop at rho = 100 and at the collision-bound rho = 140.
+//    the flat loop at rho = 100 and at the collision-bound rho = 140,
+//    and the SINR cumulative-power kernel (dispatched vs oracle) on the
+//    same rho = 140 deployment.
 //
 // Every accelerated path must reproduce its baseline bit for bit; the
 // binary exits non-zero if any does not, so it doubles as a CI smoke
@@ -570,6 +572,65 @@ int main(int argc, char** argv) {
               kernelName, kernelWall, kernelRate, kernelSpeedup,
               kernelIdentical ? "bit-identical" : "MISMATCH");
 
+  // ---- SINR cumulative-power kernel: oracle vs dispatched ----
+  // The same collision-bound regime (rho = 140, flooding p = 1.0) on the
+  // physical-interference channel, where the slot cost shifts from count
+  // bumps to the per-receiver power accumulation over precomputed CSR
+  // gain rows.  Times the scalar reference ops (oracle) against the
+  // dispatched SinrKernelOps, interleaved best-of segments as above, and
+  // requires bit-identity — f64 accumulation order included.
+  nsmodel::sim::ExperimentConfig sinrCfg = kernelCfg;
+  sinrCfg.channel = nsmodel::net::ChannelModel::Sinr;
+  const nsmodel::sim::Scenario sinrScenario = nsmodel::sim::buildScenario(
+      nsmodel::sim::ScenarioKey::forExperiment(sinrCfg, opts.seed, 0));
+  const auto timeSinrSegment = [&](nsmodel::net::SlotKernelIsa isa,
+                                   std::vector<RunSignature>& signatures) {
+    nsmodel::net::setSlotKernel(isa);
+    {
+      nsmodel::support::Rng rng = sinrScenario.protocolRng;
+      runWorkspace.reclaim(nsmodel::sim::runBroadcast(
+          sinrCfg, sinrScenario.deployment, sinrScenario.topology,
+          kernelProtocol, rng, runWorkspace));
+    }
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < kernelSegmentRuns; ++rep) {
+      nsmodel::support::Rng rng = sinrScenario.protocolRng;
+      nsmodel::sim::RunResult result = nsmodel::sim::runBroadcast(
+          sinrCfg, sinrScenario.deployment, sinrScenario.topology,
+          kernelProtocol, rng, runWorkspace);
+      signatures.emplace_back(result.receptionSlots(),
+                              result.receptionSlotByNode());
+      runWorkspace.reclaim(std::move(result));
+    }
+    return seconds(t0, Clock::now());
+  };
+  std::vector<RunSignature> sinrOracleSigs;
+  std::vector<RunSignature> sinrKernelSigs;
+  double sinrOracleBest = 0.0;
+  double sinrKernelBest = 0.0;
+  for (int seg = 0; seg < kernelSegments; ++seg) {
+    const double o = timeSinrSegment(nsmodel::net::SlotKernelIsa::Oracle,
+                                     sinrOracleSigs);
+    const double k = timeSinrSegment(dispatched, sinrKernelSigs);
+    if (seg == 0 || o < sinrOracleBest) sinrOracleBest = o;
+    if (seg == 0 || k < sinrKernelBest) sinrKernelBest = k;
+  }
+  const double sinrOracleWall = sinrOracleBest * kernelSegments;
+  const double sinrKernelWall = sinrKernelBest * kernelSegments;
+  nsmodel::net::setSlotKernel(dispatched);
+  const bool sinrIdentical = sinrOracleSigs == sinrKernelSigs;
+  const double sinrOracleRate =
+      sinrOracleWall > 0.0 ? kernelRuns / sinrOracleWall : 0.0;
+  const double sinrKernelRate =
+      sinrKernelWall > 0.0 ? kernelRuns / sinrKernelWall : 0.0;
+  const double sinrSpeedup =
+      sinrKernelWall > 0.0 ? sinrOracleWall / sinrKernelWall : 0.0;
+  std::printf("sinr kernel oracle       %7.2fs  %8.1f runs/s\n",
+              sinrOracleWall, sinrOracleRate);
+  std::printf("sinr kernel %-8s     %7.2fs  %8.1f runs/s  (%.2fx, %s)\n",
+              kernelName, sinrKernelWall, sinrKernelRate, sinrSpeedup,
+              sinrIdentical ? "bit-identical" : "MISMATCH");
+
   // ---- batched lanes at the collision-bound density ----
   // rho = 140 under flooding (p = 1.0) on the dispatched kernel — the
   // regime the batch backend targets.  Interleaved flat/batched
@@ -953,6 +1014,23 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"bit_identical\": %s\n",
                kernelIdentical ? "true" : "false");
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sinr_kernel\": {\n");
+  std::fprintf(out, "    \"density\": %.0f,\n", sinrCfg.neighborDensity);
+  std::fprintf(out, "    \"nodes\": %zu,\n",
+               sinrScenario.topology.nodeCount());
+  std::fprintf(out, "    \"probability\": 1.0,\n");
+  std::fprintf(out, "    \"runs\": %d,\n", kernelRuns);
+  std::fprintf(out,
+               "    \"oracle\": {\"wall_s\": %.6f, \"runs_per_s\": %.1f},\n",
+               sinrOracleWall, sinrOracleRate);
+  std::fprintf(out,
+               "    \"kernel\": {\"name\": \"%s\", \"wall_s\": %.6f, "
+               "\"runs_per_s\": %.1f},\n",
+               kernelName, sinrKernelWall, sinrKernelRate);
+  std::fprintf(out, "    \"speedup\": %.3f,\n", sinrSpeedup);
+  std::fprintf(out, "    \"bit_identical\": %s\n",
+               sinrIdentical ? "true" : "false");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"adaptive\": {\n");
   std::fprintf(out, "    \"grid_points\": %zu,\n", simPoints);
   std::fprintf(out, "    \"target_ci95\": %.6f,\n", adaptiveCfg.targetCi);
@@ -975,8 +1053,8 @@ int main(int argc, char** argv) {
   std::printf("%s %s\n", opts.append ? "appended to" : "wrote", path);
 
   if (!simIdentical || !anIdentical || !runsIdentical || !kernelIdentical ||
-      !batch100Identical || !batch140Identical || !shard1Identical ||
-      !shard4Identical || !scalingIdentical) {
+      !sinrIdentical || !batch100Identical || !batch140Identical ||
+      !shard1Identical || !shard4Identical || !scalingIdentical) {
     std::fprintf(stderr,
                  "error: accelerated sweep diverged from the baseline\n");
     return 1;

@@ -30,6 +30,7 @@ SECTION_WALLS = {
     "scaling_sharded2": ("sharded_scaling", "shards2", "wall_s"),
     "scaling_sharded8": ("sharded_scaling", "shards8", "wall_s"),
     "slot_kernel": ("slot_kernel", "kernel", "wall_s"),
+    "sinr_kernel": ("sinr_kernel", "kernel", "wall_s"),
     "adaptive": ("adaptive", "adaptive", "wall_s"),
     "huge_sharded4": ("huge", "sharded4", "wall_s"),
     "huge_sharded8": ("huge", "sharded8", "wall_s"),

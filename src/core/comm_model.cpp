@@ -24,6 +24,13 @@ CommModel CommModel::carrierSenseAware(double csFactor, CostFunctions costs) {
   return CommModel(net::ChannelModel::CarrierSenseAware, csFactor, costs);
 }
 
+CommModel CommModel::sinr(net::SinrParams params, CostFunctions costs) {
+  params.validate();
+  CommModel model(net::ChannelModel::Sinr, 0.0, costs);
+  model.sinrParams_ = params;
+  return model;
+}
+
 const char* CommModel::name() const { return net::channelModelName(kind_); }
 
 bool CommModel::guaranteesDelivery() const {
@@ -38,6 +45,10 @@ analytic::ChannelKind CommModel::analyticChannel() const {
       return analytic::ChannelKind::CollisionAware;
     case net::ChannelModel::CarrierSenseAware:
       return analytic::ChannelKind::CarrierSenseAware;
+    case net::ChannelModel::Sinr:
+      throw ConfigError(
+          "the SINR channel has no analytic counterpart; use the "
+          "simulation path (predict/optimize need cfm, cam or cam-cs)");
   }
   NSMODEL_ASSERT(false);
   return analytic::ChannelKind::CollisionAware;

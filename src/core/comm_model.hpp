@@ -31,7 +31,13 @@ class CommModel {
   static CommModel carrierSenseAware(double csFactor = 2.0,
                                      CostFunctions costs = {});
 
-  /// "CFM", "CAM", or "CAM-CS".
+  /// Physical-interference model (net/sinr_channel.hpp): cumulative
+  /// power, noise floor, capture threshold.  Simulation-only — there is
+  /// no analytic counterpart (analyticChannel() throws ConfigError).
+  static CommModel sinr(net::SinrParams params = {},
+                        CostFunctions costs = {});
+
+  /// "CFM", "CAM", "CAM-CS", or "SINR".
   const char* name() const;
 
   /// True when every transmission is guaranteed to be delivered (CFM) —
@@ -45,7 +51,11 @@ class CommModel {
   const CostFunctions& costs() const { return costs_; }
   double csFactor() const { return csFactor_; }
 
-  /// The analytic framework's channel enum for this model.
+  /// The SINR parameters (defaults unless built via sinr()).
+  const net::SinrParams& sinrParams() const { return sinrParams_; }
+
+  /// The analytic framework's channel enum for this model.  Throws
+  /// ConfigError for the SINR model, which has no analytic counterpart.
   analytic::ChannelKind analyticChannel() const;
 
   /// The simulator's channel enum for this model.
@@ -57,6 +67,7 @@ class CommModel {
   net::ChannelModel kind_;
   double csFactor_;
   CostFunctions costs_;
+  net::SinrParams sinrParams_{};
 };
 
 }  // namespace nsmodel::core

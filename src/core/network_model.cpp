@@ -43,6 +43,7 @@ sim::ExperimentConfig NetworkModel::experimentConfig() const {
   config.slotsPerPhase = slotsPerPhase_;
   config.channel = commModel_.simulationChannel();
   if (commModel_.csFactor() > 1.0) config.csFactor = commModel_.csFactor();
+  config.sinr = commModel_.sinrParams();
   config.costs = net::EnergyCosts{commModel_.costs().energyPerPacket,
                                   commModel_.costs().energyPerPacket};
   return config;

@@ -1,7 +1,12 @@
 #include "net/channel.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <string>
 #include <utility>
 
+#include "net/interference.hpp"
+#include "net/sinr_channel.hpp"
 #include "net/slot_kernel.hpp"
 #include "support/error.hpp"
 
@@ -15,8 +20,34 @@ const char* channelModelName(ChannelModel model) {
       return "CAM";
     case ChannelModel::CarrierSenseAware:
       return "CAM-CS";
+    case ChannelModel::Sinr:
+      return "SINR";
   }
   return "?";
+}
+
+ChannelModel channelModelFromName(std::string_view name) {
+  std::string upper(name);
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (upper == "CFM") return ChannelModel::CollisionFree;
+  if (upper == "CAM") return ChannelModel::CollisionAware;
+  if (upper == "CAM-CS") return ChannelModel::CarrierSenseAware;
+  if (upper == "SINR") return ChannelModel::Sinr;
+  throw ConfigError("unknown channel model \"" + std::string(name) +
+                    "\" (expected cfm, cam, cam-cs or sinr)");
+}
+
+void SinrParams::validate() const {
+  NSMODEL_CHECK(std::isfinite(beta) && beta > 0.0,
+                "SINR capture threshold beta must be positive and finite");
+  NSMODEL_CHECK(std::isfinite(noise) && noise > 0.0,
+                "SINR noise floor must be positive and finite");
+  NSMODEL_CHECK(std::isfinite(alpha) && alpha > 0.0,
+                "SINR pathloss exponent alpha must be positive and finite");
+  NSMODEL_CHECK(std::isfinite(cutoff) && cutoff >= 1.0,
+                "SINR far-field cutoff must be a finite factor >= 1");
 }
 
 SlotOutcome Channel::resolveSlot(const Topology& topology,
@@ -30,191 +61,16 @@ SlotOutcome Channel::resolveSlot(const Topology& topology,
 
 namespace {
 
-/// Per-node reception count and sender for one slot, packed into one
-/// 32-bit word: count in the low half, the XOR of all bumping senders in
-/// the high half.  The bump loop — the innermost loop of every slot
-/// resolution, one random-indexed access per (transmitter, neighbour)
-/// pair — is then a branchless load/add/xor/store, and the whole table is
-/// 4 bytes per node, small enough to stay L1-resident while the
-/// neighbour lists stream through the cache.  The XOR trick works because
-/// the sender is only ever read back when the final count is exactly 1,
-/// and the XOR of a single sender is that sender.
-/// Entries are cleared by walking the touched list after the slot.
-/// Invariant between slots: all entries are zero.
-class SlotCounts {
- public:
-  /// Grow-only: a channel owned by a reusable RunWorkspace sees runs of
-  /// varying node counts; shrinking would make the next bigger run
-  /// reallocate.  Extra entries stay zero (resize value-initialises) and
-  /// are never indexed.
-  void ensure(std::size_t n) {
-    // NodeId and the per-slot count must both fit 16 bits.
-    NSMODEL_CHECK(n <= 0xFFFF,
-                  "collision-aware channels support at most 65535 nodes");
-    if (entries_.size() < n) {
-      entries_.resize(n, 0);
-      // Every node can be touched at most once, but the branchless bump
-      // writes touched[tc] unconditionally before deciding whether to
-      // keep it — once all n nodes are touched, that scratch write lands
-      // at index n, so the list needs one sentinel slot of slack.
-      touched_.resize(n + 1);
-    }
-  }
-
-  /// Bumps every node in `ids`.  Members are hoisted into locals for the
-  /// duration of the loop: the entry stores could otherwise alias the
-  /// size_t touched counter under type-based aliasing, forcing the
-  /// compiler to reload it (and the data pointers) on every iteration of
-  /// the hottest loop in the simulator.
-  void bumpMany(const NodeId* ids, std::size_t m, NodeId sender) {
-    std::uint32_t* entries = entries_.data();
-    NodeId* touched = touched_.data();
-    std::size_t tc = touchedCount_;
-    const std::uint32_t senderBits = static_cast<std::uint32_t>(sender) << 16;
-    for (std::size_t i = 0; i < m; ++i) {
-      const NodeId node = ids[i];
-      const std::uint32_t e = entries[node];
-      touched[tc] = node;  // kept only when this is a first touch
-      tc += static_cast<std::size_t>(static_cast<std::uint16_t>(e) == 0);
-      // A node is never its own neighbour, so the count stays below
-      // 0xFFFF and the +1 cannot carry into the sender half.
-      entries[node] = (e + 1) ^ senderBits;
-    }
-    touchedCount_ = tc;
-  }
-
-  /// Reads and zeroes `node`'s entry in one cache-line visit.  The
-  /// delivery loop consumes each touched entry exactly once, so clearing
-  /// inline halves the random accesses versus a separate clear pass.
-  std::uint32_t take(NodeId node) {
-    const std::uint32_t e = entries_[node];
-    entries_[node] = 0;
-    return e;
-  }
-  static std::uint32_t entryCount(std::uint32_t e) { return e & 0xFFFF; }
-  static NodeId entrySender(std::uint32_t e) {
-    return static_cast<NodeId>(e >> 16);
-  }
-
-  const NodeId* touched() const { return touched_.data(); }
-  std::size_t touchedCount() const { return touchedCount_; }
-
-  /// Forgets the touched list; the entries must all have been take()n.
-  void resetTouched() { touchedCount_ = 0; }
-
- private:
-  std::vector<std::uint32_t> entries_;
-  std::vector<NodeId> touched_;
-  std::size_t touchedCount_ = 0;
-};
-
-/// "Is this node transmitting" as byte flags set from and cleared by the
-/// (short) transmitter list.  Invariant between slots: all flags clear.
-class TxFlags {
- public:
-  void ensure(std::size_t n) {
-    if (flags_.size() < n) flags_.resize(n, 0);  // grow-only, see SlotCounts
-  }
-  void set(const std::vector<NodeId>& txs) {
-    for (NodeId tx : txs) flags_[tx] = 1;
-  }
-  bool contains(NodeId node) const { return flags_[node] != 0; }
-  void clear(const std::vector<NodeId>& txs) {
-    for (NodeId tx : txs) flags_[tx] = 0;
-  }
-
- private:
-  std::vector<std::uint8_t> flags_;
-};
-
-/// Count-only variant of SlotCounts for the carrier-sense tally, whose
-/// sender is never read.
-class SlotTally {
- public:
-  void ensure(std::size_t n) {
-    NSMODEL_CHECK(n <= 0xFFFF,
-                  "collision-aware channels support at most 65535 nodes");
-    if (counts_.size() < n) {  // grow-only, see SlotCounts
-      counts_.resize(n, 0);
-      touched_.resize(n + 1);  // sentinel slot, see SlotCounts::ensure
-    }
-  }
-
-  /// Bumps every node in `ids` (see SlotCounts::bumpMany for why the
-  /// members are hoisted into locals).
-  void bumpMany(const NodeId* ids, std::size_t m) {
-    std::uint16_t* counts = counts_.data();
-    NodeId* touched = touched_.data();
-    std::size_t tc = touchedCount_;
-    for (std::size_t i = 0; i < m; ++i) {
-      const NodeId node = ids[i];
-      const std::uint16_t c = counts[node];
-      touched[tc] = node;
-      tc += static_cast<std::size_t>(c == 0);
-      counts[node] = static_cast<std::uint16_t>(c + 1);
-    }
-    touchedCount_ = tc;
-  }
-
-  std::uint32_t count(NodeId node) const { return counts_[node]; }
-
-  void clear() {
-    for (std::size_t i = 0; i < touchedCount_; ++i) counts_[touched_[i]] = 0;
-    touchedCount_ = 0;
-  }
-
- private:
-  std::vector<std::uint16_t> counts_;
-  std::vector<NodeId> touched_;
-  std::size_t touchedCount_ = 0;
-};
-
-/// Scratch arrays for the dispatched slot kernel (slot_kernel.hpp): the
-/// packed count-xor-sender table plus the touched list and the compressed
-/// winner arrays the scan pass writes.  Grow-only, like SlotCounts; the
-/// invariant between slots is likewise all-entries-zero.
-struct KernelScratch {
-  std::vector<std::uint32_t> entries;
-  std::vector<NodeId> touched;
-  std::vector<NodeId> receivers;
-  std::vector<NodeId> senders;
-
-  void ensure(std::size_t n) {
-    NSMODEL_CHECK(n <= 0xFFFF,
-                  "collision-aware channels support at most 65535 nodes");
-    if (entries.size() < n) {
-      entries.resize(n, 0);
-      touched.resize(n + 1);  // sentinel slot, see SlotCounts::ensure
-      receivers.resize(n);
-      senders.resize(n);
-    }
-  }
-};
-
-/// Pre-biases each transmitter's own entry to count 2.  A biased entry is
-/// nonzero before the bump pass, so the node never enters the touched
-/// list and so never scans as either a winner or a collision loss —
-/// exactly the oracle's half-duplex skip of transmitting receivers,
-/// without any per-receiver flag lookup in the scan.  biasClear undoes
-/// the bias (the entry may have been bumped further; whatever it holds,
-/// the node was filtered out, so zero is the correct between-slots state).
-void biasTransmitters(std::uint32_t* entries,
-                      const std::vector<NodeId>& transmitters,
-                      const std::vector<NodeId>* interferers) {
-  for (NodeId tx : transmitters) entries[tx] += 2;
-  if (interferers != nullptr) {
-    for (NodeId ix : *interferers) entries[ix] += 2;
-  }
-}
-
-void biasClear(std::uint32_t* entries,
-               const std::vector<NodeId>& transmitters,
-               const std::vector<NodeId>* interferers) {
-  for (NodeId tx : transmitters) entries[tx] = 0;
-  if (interferers != nullptr) {
-    for (NodeId ix : *interferers) entries[ix] = 0;
-  }
-}
+// The geometric channels are instances of the shared interference layer;
+// the per-receiver accumulator primitives live in interference.hpp so the
+// SINR backend (sinr_channel.cpp) and the batched/sharded engines can
+// reuse them.
+using interference::biasClear;
+using interference::biasTransmitters;
+using interference::KernelScratch;
+using interference::SlotCounts;
+using interference::SlotTally;
+using interference::TxFlags;
 
 class CollisionFreeChannel final : public Channel {
  public:
@@ -599,6 +455,11 @@ class CarrierSenseChannel final : public Channel {
 }  // namespace
 
 std::unique_ptr<Channel> makeChannel(ChannelModel model) {
+  return makeChannel(model, SinrParams{});
+}
+
+std::unique_ptr<Channel> makeChannel(ChannelModel model,
+                                     const SinrParams& sinr) {
   switch (model) {
     case ChannelModel::CollisionFree:
       return std::make_unique<CollisionFreeChannel>();
@@ -606,6 +467,8 @@ std::unique_ptr<Channel> makeChannel(ChannelModel model) {
       return std::make_unique<CollisionAwareChannel>();
     case ChannelModel::CarrierSenseAware:
       return std::make_unique<CarrierSenseChannel>();
+    case ChannelModel::Sinr:
+      return std::make_unique<SinrChannel>(sinr);
   }
   NSMODEL_ASSERT(false);
   return nullptr;

@@ -14,10 +14,19 @@
 //    node receives iff exactly one transmitter lies within its
 //    carrier-sense range and that transmitter is within its transmission
 //    range.
+//  * SinrChannel (sinr_channel.hpp): physical-interference model — a node
+//    receives iff the strongest in-range signal beats the capture
+//    threshold beta against noise plus the cumulative power of every
+//    other transmitter within the far-field cutoff.
+//
+// All four are instances of the shared interference layer
+// (interference.hpp): scatter emitter signals into per-receiver
+// accumulators along topology CSR rows, then scan the touched receivers.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -30,10 +39,32 @@ enum class ChannelModel {
   CollisionFree,
   CollisionAware,
   CarrierSenseAware,
+  Sinr,
 };
 
-/// Human-readable channel name ("CFM", "CAM", "CAM-CS").
+/// Human-readable channel name ("CFM", "CAM", "CAM-CS", "SINR").
 const char* channelModelName(ChannelModel model);
+
+/// Inverse of channelModelName, case-insensitive ("cam-cs" == "CAM-CS").
+/// Throws ConfigError on anything else — unknown names must fail loudly,
+/// not default to some channel.
+ChannelModel channelModelFromName(std::string_view name);
+
+/// Parameters of the SINR channel (ChannelModel::Sinr).  alpha and
+/// cutoff shape the per-edge gain field precomputed with the topology
+/// (net::GainFieldSpec); beta and noise are pure channel-instance state.
+struct SinrParams {
+  double beta = 3.0;    ///< capture threshold (SINR >= beta decodes)
+  double noise = 1e-4;  ///< noise floor, in units of gain at distance 1
+  double alpha = 3.0;   ///< log-distance pathloss exponent
+  double cutoff = 2.0;  ///< far-field cutoff, as a multiple of range (>= 1)
+
+  /// Throws ConfigError unless beta/noise/alpha are positive finite and
+  /// cutoff is a finite multiple >= 1.
+  void validate() const;
+
+  bool operator==(const SinrParams&) const = default;
+};
 
 /// Outcome statistics for one resolved slot.
 struct SlotOutcome {
@@ -97,7 +128,14 @@ class Channel {
 };
 
 /// Factory. CarrierSenseAware requires the topology passed to resolveSlot
-/// to have been built with a carrier-sense factor.
+/// to have been built with a carrier-sense factor; Sinr (built here with
+/// default SinrParams) requires one built with a GainFieldSpec.
 std::unique_ptr<Channel> makeChannel(ChannelModel model);
+
+/// Factory with explicit SINR parameters (validated; ignored unless
+/// `model` is ChannelModel::Sinr).  The topology's gain field must have
+/// been built with the same alpha and cutoff (checked in resolveSlot).
+std::unique_ptr<Channel> makeChannel(ChannelModel model,
+                                     const SinrParams& sinr);
 
 }  // namespace nsmodel::net

@@ -1,0 +1,114 @@
+#include "net/gain_field.hpp"
+
+#include <cmath>
+
+#include "geom/spatial_grid.hpp"
+#include "support/thread_pool.hpp"
+
+namespace nsmodel::net {
+
+namespace {
+
+/// Same fan-out point as Topology's adjacency build: below it the serial
+/// single-allocation path wins on fixed costs, above it (sharded-engine
+/// deployments) the duplicated counting pass is cheap against the
+/// speedup.
+constexpr std::size_t kParallelBuildThreshold = 65536;
+
+}  // namespace
+
+GainField::GainField(const std::vector<geom::Vec2>& positions,
+                     const geom::SpatialGrid& grid, double range,
+                     GainFieldSpec spec)
+    : spec_(spec) {
+  NSMODEL_CHECK(range > 0.0, "transmission range must be positive");
+  NSMODEL_CHECK(std::isfinite(spec.alpha) && spec.alpha > 0.0,
+                "SINR pathloss exponent alpha must be positive and finite");
+  NSMODEL_CHECK(std::isfinite(spec.cutoffFactor) && spec.cutoffFactor >= 1.0,
+                "SINR far-field cutoff must be a finite factor >= 1");
+  cutoffRadius_ = spec.cutoffFactor * range;
+  const double exponent = -0.5 * spec.alpha;  // pow over squared distances
+  minDecodeGain_ = std::pow(range * range, exponent);
+  // Near-field clamp at d0 = 1e-3 * range: gains stay finite however
+  // close two nodes land, and the clamp sits far below any distance the
+  // disk deployments realise, so it never distorts a real edge.
+  const double d0sq = 1e-6 * (range * range);
+  const double c2 = cutoffRadius_ * cutoffRadius_;
+
+  const std::size_t n = positions.size();
+  offsets_.assign(n + 1, 0);
+
+  // Two passes — count, prefix-sum, fill — in the grid's deterministic
+  // strip order, so rows are independent of the chunking and identical
+  // between the serial and parallel paths.  Unlike the adjacency build
+  // there is no branchless variant: the pow() per accepted edge
+  // dominates the distance-test branch either way.
+  const auto countRow = [&](std::size_t u) {
+    const double cx = positions[u].x;
+    const double cy = positions[u].y;
+    const auto id = static_cast<NodeId>(u);
+    std::size_t degree = 0;
+    grid.forEachCandidateStrip(
+        positions[u], cutoffRadius_,
+        [&](const double* xs, const double* ys, const std::uint32_t* ids,
+            std::size_t count) {
+          for (std::size_t s = 0; s < count; ++s) {
+            const double dx = xs[s] - cx;
+            const double dy = ys[s] - cy;
+            degree += static_cast<std::size_t>(
+                (dx * dx + dy * dy <= c2) & (ids[s] != id));
+          }
+        });
+    return degree;
+  };
+  const auto fillRow = [&](std::size_t u) {
+    const double cx = positions[u].x;
+    const double cy = positions[u].y;
+    const auto id = static_cast<NodeId>(u);
+    std::size_t cursor = offsets_[u];
+    grid.forEachCandidateStrip(
+        positions[u], cutoffRadius_,
+        [&](const double* xs, const double* ys, const std::uint32_t* ids,
+            std::size_t count) {
+          for (std::size_t s = 0; s < count; ++s) {
+            const double dx = xs[s] - cx;
+            const double dy = ys[s] - cy;
+            const double d2 = dx * dx + dy * dy;
+            if (d2 <= c2 && ids[s] != id) {
+              ids_[cursor] = ids[s];
+              gains_[cursor] = std::pow(d2 < d0sq ? d0sq : d2, exponent);
+              ++cursor;
+            }
+          }
+        });
+  };
+
+  support::ThreadPool& pool = support::globalPool();
+  if (n >= kParallelBuildThreshold && pool.size() >= 2) {
+    support::parallelForChunks(0, n, 4096,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 for (std::size_t u = lo; u < hi; ++u) {
+                                   offsets_[u + 1] = countRow(u);
+                                 }
+                               });
+    for (std::size_t u = 0; u < n; ++u) offsets_[u + 1] += offsets_[u];
+    ids_.resize(offsets_[n]);
+    gains_.resize(offsets_[n]);
+    support::parallelForChunks(0, n, 4096,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 for (std::size_t u = lo; u < hi; ++u) {
+                                   fillRow(u);
+                                 }
+                               });
+    return;
+  }
+
+  for (std::size_t u = 0; u < n; ++u) {
+    offsets_[u + 1] = offsets_[u] + countRow(u);
+  }
+  ids_.resize(offsets_[n]);
+  gains_.resize(offsets_[n]);
+  for (std::size_t u = 0; u < n; ++u) fillRow(u);
+}
+
+}  // namespace nsmodel::net

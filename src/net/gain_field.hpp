@@ -1,0 +1,85 @@
+// Per-edge pathloss gains in CSR order, precomputed with the topology.
+//
+// The SINR channel (sinr_channel.hpp) accumulates real per-receiver
+// power: every emitter contributes gain(d) = max(d, d0)^-alpha to every
+// node within the far-field cutoff.  Computing pow() per (emitter,
+// receiver) pair per slot would dwarf the slot loop, so the gains are
+// precomputed once per deployment, exactly like the neighbour tables —
+// one CSR whose row i holds (receiver id, gain) pairs for every node
+// within cutoffFactor * range of node i, in the spatial grid's
+// deterministic visit order.  The cutoff bounds the accumulation set the
+// same way the transmission radius bounds the adjacency CSR: both are
+// hard disks over the same grid.
+//
+// Distances below d0 = 1e-3 * range are clamped (near-field limit) so
+// gains stay finite for arbitrarily close pairs.  Gains are a pure
+// function of squared distance via pow(max(d^2, d0^2), -alpha/2); pow is
+// correctly rounded for these args in glibc, hence monotone in d^2, so
+//   d <= range  <=>  gain >= minDecodeGain() = pow(range^2, -alpha/2)
+// holds *exactly*: the kernel's decodability test (gain >= minDecodeGain)
+// accepts precisely the adjacency CSR's membership test (d^2 <= range^2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::geom {
+class SpatialGrid;
+struct Vec2;
+}  // namespace nsmodel::geom
+
+namespace nsmodel::net {
+
+/// The two SINR parameters that shape the precomputed gain field (the
+/// other two — beta and noise — are pure channel state, SinrParams).
+struct GainFieldSpec {
+  double alpha = 3.0;         ///< log-distance pathloss exponent (> 0)
+  double cutoffFactor = 2.0;  ///< far-field cutoff / range (>= 1)
+
+  bool operator==(const GainFieldSpec&) const = default;
+};
+
+/// Immutable per-edge gain CSR for one (deployment, range, spec) triple.
+class GainField {
+ public:
+  /// Builds the gain rows from the same grid the topology's adjacency
+  /// build used (cells of `range`, queried at cutoffFactor * range —
+  /// the carrier-sense build already queries the grid past its cell
+  /// size, so the visit-order determinism carries over unchanged).
+  GainField(const std::vector<geom::Vec2>& positions,
+            const geom::SpatialGrid& grid, double range, GainFieldSpec spec);
+
+  const GainFieldSpec& spec() const { return spec_; }
+  std::size_t nodeCount() const { return offsets_.size() - 1; }
+  std::size_t edgeCount() const { return ids_.size(); }
+  double cutoffRadius() const { return cutoffRadius_; }
+
+  /// Gain at exactly the transmission range: the decodability threshold.
+  double minDecodeGain() const { return minDecodeGain_; }
+
+  /// One node's gain row: parallel (receiver id, gain) arrays covering
+  /// every node within cutoffRadius(), excluding the node itself.
+  struct Row {
+    const NodeId* ids;
+    const double* gains;
+    std::size_t size;
+  };
+  Row row(NodeId id) const {
+    NSMODEL_CHECK(id + 1 < offsets_.size(), "node id out of range");
+    const std::size_t lo = offsets_[id];
+    return {ids_.data() + lo, gains_.data() + lo, offsets_[id + 1] - lo};
+  }
+
+ private:
+  GainFieldSpec spec_;
+  double cutoffRadius_;
+  double minDecodeGain_;
+  std::vector<std::size_t> offsets_;  // nodeCount + 1 entries
+  std::vector<NodeId> ids_;
+  std::vector<double> gains_;
+};
+
+}  // namespace nsmodel::net

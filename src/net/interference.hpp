@@ -1,0 +1,243 @@
+// The interference layer: shared slot-resolution primitives.
+//
+// Every channel model resolves a slot the same way — scatter each
+// emitter's signal into per-receiver accumulators indexed by a topology
+// CSR row, then scan the touched receivers and decide who decoded what.
+// What varies between models is only the *accumulator semantics*:
+//
+//   * CFM needs no accumulator at all (delivery is unconditional);
+//   * CAM packs a reception count and the XOR of the bumping senders
+//     into one 32-bit word per receiver (SlotCounts / KernelScratch) and
+//     decodes iff the count is exactly 1;
+//   * CAM-CS adds a second count-only tally over the carrier-sense rows
+//     (SlotTally) and requires both counts to be 1;
+//   * SINR (sinr_channel.hpp) accumulates real per-receiver power over
+//     the gain CSR (gain_field.hpp) and decodes iff the strongest
+//     in-range signal beats beta * (noise + interference).
+//
+// This header holds the primitives those instances share: the grow-only
+// scratch tables with their touched-list bookkeeping, the transmitter
+// bias trick that implements half duplex without per-receiver flag
+// lookups, and the all-entries-zero invariant every table maintains
+// between slots.  channel.cpp (CFM/CAM/CAM-CS) and sinr_channel.cpp
+// (SINR) are the instances; the replication-batched and sharded engines
+// reuse the same primitives per lane / per shard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::net::interference {
+
+/// Per-node reception count and sender for one slot, packed into one
+/// 32-bit word: count in the low half, the XOR of all bumping senders in
+/// the high half.  The bump loop — the innermost loop of every slot
+/// resolution, one random-indexed access per (transmitter, neighbour)
+/// pair — is then a branchless load/add/xor/store, and the whole table is
+/// 4 bytes per node, small enough to stay L1-resident while the
+/// neighbour lists stream through the cache.  The XOR trick works because
+/// the sender is only ever read back when the final count is exactly 1,
+/// and the XOR of a single sender is that sender.
+/// Entries are cleared by walking the touched list after the slot.
+/// Invariant between slots: all entries are zero.
+class SlotCounts {
+ public:
+  /// Grow-only: a channel owned by a reusable RunWorkspace sees runs of
+  /// varying node counts; shrinking would make the next bigger run
+  /// reallocate.  Extra entries stay zero (resize value-initialises) and
+  /// are never indexed.
+  void ensure(std::size_t n) {
+    // NodeId and the per-slot count must both fit 16 bits.
+    NSMODEL_CHECK(n <= 0xFFFF,
+                  "collision-aware channels support at most 65535 nodes");
+    if (entries_.size() < n) {
+      entries_.resize(n, 0);
+      // Every node can be touched at most once, but the branchless bump
+      // writes touched[tc] unconditionally before deciding whether to
+      // keep it — once all n nodes are touched, that scratch write lands
+      // at index n, so the list needs one sentinel slot of slack.
+      touched_.resize(n + 1);
+    }
+  }
+
+  /// Bumps every node in `ids`.  Members are hoisted into locals for the
+  /// duration of the loop: the entry stores could otherwise alias the
+  /// size_t touched counter under type-based aliasing, forcing the
+  /// compiler to reload it (and the data pointers) on every iteration of
+  /// the hottest loop in the simulator.
+  void bumpMany(const NodeId* ids, std::size_t m, NodeId sender) {
+    std::uint32_t* entries = entries_.data();
+    NodeId* touched = touched_.data();
+    std::size_t tc = touchedCount_;
+    const std::uint32_t senderBits = static_cast<std::uint32_t>(sender) << 16;
+    for (std::size_t i = 0; i < m; ++i) {
+      const NodeId node = ids[i];
+      const std::uint32_t e = entries[node];
+      touched[tc] = node;  // kept only when this is a first touch
+      tc += static_cast<std::size_t>(static_cast<std::uint16_t>(e) == 0);
+      // A node is never its own neighbour, so the count stays below
+      // 0xFFFF and the +1 cannot carry into the sender half.
+      entries[node] = (e + 1) ^ senderBits;
+    }
+    touchedCount_ = tc;
+  }
+
+  /// Reads and zeroes `node`'s entry in one cache-line visit.  The
+  /// delivery loop consumes each touched entry exactly once, so clearing
+  /// inline halves the random accesses versus a separate clear pass.
+  std::uint32_t take(NodeId node) {
+    const std::uint32_t e = entries_[node];
+    entries_[node] = 0;
+    return e;
+  }
+  static std::uint32_t entryCount(std::uint32_t e) { return e & 0xFFFF; }
+  static NodeId entrySender(std::uint32_t e) {
+    return static_cast<NodeId>(e >> 16);
+  }
+
+  const NodeId* touched() const { return touched_.data(); }
+  std::size_t touchedCount() const { return touchedCount_; }
+
+  /// Forgets the touched list; the entries must all have been take()n.
+  void resetTouched() { touchedCount_ = 0; }
+
+ private:
+  std::vector<std::uint32_t> entries_;
+  std::vector<NodeId> touched_;
+  std::size_t touchedCount_ = 0;
+};
+
+/// "Is this node transmitting" as byte flags set from and cleared by the
+/// (short) transmitter list.  Invariant between slots: all flags clear.
+class TxFlags {
+ public:
+  void ensure(std::size_t n) {
+    if (flags_.size() < n) flags_.resize(n, 0);  // grow-only, see SlotCounts
+  }
+  void set(const std::vector<NodeId>& txs) {
+    for (NodeId tx : txs) flags_[tx] = 1;
+  }
+  bool contains(NodeId node) const { return flags_[node] != 0; }
+  void clear(const std::vector<NodeId>& txs) {
+    for (NodeId tx : txs) flags_[tx] = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> flags_;
+};
+
+/// Count-only variant of SlotCounts for the carrier-sense tally, whose
+/// sender is never read.
+class SlotTally {
+ public:
+  void ensure(std::size_t n) {
+    NSMODEL_CHECK(n <= 0xFFFF,
+                  "collision-aware channels support at most 65535 nodes");
+    if (counts_.size() < n) {  // grow-only, see SlotCounts
+      counts_.resize(n, 0);
+      touched_.resize(n + 1);  // sentinel slot, see SlotCounts::ensure
+    }
+  }
+
+  /// Bumps every node in `ids` (see SlotCounts::bumpMany for why the
+  /// members are hoisted into locals).
+  void bumpMany(const NodeId* ids, std::size_t m) {
+    std::uint16_t* counts = counts_.data();
+    NodeId* touched = touched_.data();
+    std::size_t tc = touchedCount_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const NodeId node = ids[i];
+      const std::uint16_t c = counts[node];
+      touched[tc] = node;
+      tc += static_cast<std::size_t>(c == 0);
+      counts[node] = static_cast<std::uint16_t>(c + 1);
+    }
+    touchedCount_ = tc;
+  }
+
+  std::uint32_t count(NodeId node) const { return counts_[node]; }
+
+  void clear() {
+    for (std::size_t i = 0; i < touchedCount_; ++i) counts_[touched_[i]] = 0;
+    touchedCount_ = 0;
+  }
+
+ private:
+  std::vector<std::uint16_t> counts_;
+  std::vector<NodeId> touched_;
+  std::size_t touchedCount_ = 0;
+};
+
+/// Scratch arrays for the dispatched slot kernel (slot_kernel.hpp): the
+/// packed count-xor-sender table plus the touched list and the compressed
+/// winner arrays the scan pass writes.  Grow-only, like SlotCounts; the
+/// invariant between slots is likewise all-entries-zero.
+struct KernelScratch {
+  std::vector<std::uint32_t> entries;
+  std::vector<NodeId> touched;
+  std::vector<NodeId> receivers;
+  std::vector<NodeId> senders;
+
+  void ensure(std::size_t n) {
+    NSMODEL_CHECK(n <= 0xFFFF,
+                  "collision-aware channels support at most 65535 nodes");
+    if (entries.size() < n) {
+      entries.resize(n, 0);
+      touched.resize(n + 1);  // sentinel slot, see SlotCounts::ensure
+      receivers.resize(n);
+      senders.resize(n);
+    }
+  }
+};
+
+/// KernelScratch without the 16-bit node-id cap.  The SINR channel bumps
+/// the entry table with a zero sender half (count only, add = 1), so
+/// nothing ever packs a node id into the entry word and any 32-bit id
+/// works — the same reason the sharded engine's scalar path escapes the
+/// cap.  Same layout, same touched-list sentinel, same all-entries-zero
+/// invariant between slots.
+struct WideKernelScratch {
+  std::vector<std::uint32_t> entries;
+  std::vector<NodeId> touched;
+  std::vector<NodeId> receivers;
+  std::vector<NodeId> senders;
+
+  void ensure(std::size_t n) {
+    if (entries.size() < n) {
+      entries.resize(n, 0);
+      touched.resize(n + 1);  // sentinel slot, see SlotCounts::ensure
+      receivers.resize(n);
+      senders.resize(n);
+    }
+  }
+};
+
+/// Pre-biases each transmitter's own entry to count 2.  A biased entry is
+/// nonzero before the bump pass, so the node never enters the touched
+/// list and so never scans as either a winner or a collision loss —
+/// exactly the oracle's half-duplex skip of transmitting receivers,
+/// without any per-receiver flag lookup in the scan.  biasClear undoes
+/// the bias (the entry may have been bumped further; whatever it holds,
+/// the node was filtered out, so zero is the correct between-slots state).
+inline void biasTransmitters(std::uint32_t* entries,
+                             const std::vector<NodeId>& transmitters,
+                             const std::vector<NodeId>* interferers) {
+  for (NodeId tx : transmitters) entries[tx] += 2;
+  if (interferers != nullptr) {
+    for (NodeId ix : *interferers) entries[ix] += 2;
+  }
+}
+
+inline void biasClear(std::uint32_t* entries,
+                      const std::vector<NodeId>& transmitters,
+                      const std::vector<NodeId>* interferers) {
+  for (NodeId tx : transmitters) entries[tx] = 0;
+  if (interferers != nullptr) {
+    for (NodeId ix : *interferers) entries[ix] = 0;
+  }
+}
+
+}  // namespace nsmodel::net::interference

@@ -1,0 +1,131 @@
+#include "net/sinr_channel.hpp"
+
+#include <algorithm>
+
+#include "net/gain_field.hpp"
+#include "net/sinr_kernel.hpp"
+#include "net/slot_kernel.hpp"
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+SinrChannel::SinrChannel(const SinrParams& params) : params_(params) {
+  params_.validate();
+}
+
+SlotOutcome SinrChannel::resolveSlot(const Topology& topology,
+                                     const std::vector<NodeId>& transmitters,
+                                     const DeliverFn& deliver) {
+  return resolveFull(topology, transmitters, nullptr, deliver);
+}
+
+SlotOutcome SinrChannel::resolveSlot(const Topology& topology,
+                                     const std::vector<NodeId>& transmitters,
+                                     const std::vector<NodeId>& interferers,
+                                     const DeliverFn& deliver) {
+  if (interferers.empty()) {
+    return resolveFull(topology, transmitters, nullptr, deliver);
+  }
+  return resolveFull(topology, transmitters, &interferers, deliver);
+}
+
+SlotOutcome SinrChannel::resolveFull(const Topology& topology,
+                                     const std::vector<NodeId>& transmitters,
+                                     const std::vector<NodeId>* interferers,
+                                     const DeliverFn& deliver) {
+  NSMODEL_CHECK(topology.hasGainField(),
+                "SinrChannel needs a topology built with a GainFieldSpec");
+  const GainField& field = topology.gainField();
+  NSMODEL_CHECK(field.spec().alpha == params_.alpha &&
+                    field.spec().cutoffFactor == params_.cutoff,
+                "topology gain field was built with different SINR "
+                "alpha/cutoff than this channel");
+  const std::size_t n = topology.nodeCount();
+  scratch_.ensure(n);
+  if (totals_.size() < n) {
+    totals_.resize(n, 0.0);
+    bestGain_.resize(n, 0.0);
+    bestSender_.resize(n, 0);
+    gainTouched_.resize(n + 1);  // sentinel slot, see sinr_kernel.hpp
+  }
+
+  // Merge transmitters and drift interferers into one ascending-id
+  // emitter list.  Ascending order pins the floating-point accumulation
+  // order (and the bestGain tie-break) to a canonical sequence every
+  // backend — flat, batched, sharded at any shard count — reproduces.
+  emitters_.clear();
+  for (NodeId tx : transmitters) emitters_.emplace_back(tx, 1);
+  if (interferers != nullptr) {
+    for (NodeId ix : *interferers) emitters_.emplace_back(ix, 0);
+  }
+  std::sort(emitters_.begin(), emitters_.end());
+
+  const SlotKernelOps& ops = slotKernelOps();
+  const SinrKernelOps& sops = sinrKernelOpsFor(ops.isa);
+
+  // Pass 1 — candidates: count-only bumps (senderBits = 0, so the 16-bit
+  // sender packing never happens and node ids are unrestricted) over the
+  // transmission-range rows of every emitter.  The bias excludes the
+  // emitters themselves (half duplex); the touched list that falls out
+  // is exactly the candidate set, in a deterministic first-touch order.
+  std::uint32_t* entries = scratch_.entries.data();
+  interference::biasTransmitters(entries, transmitters, interferers);
+  std::size_t tc = 0;
+  const std::size_t emitterCount = emitters_.size();
+  for (std::size_t t = 0; t < emitterCount; ++t) {
+    const NeighborSpan nbs = topology.neighbors(emitters_[t].first);
+    const NeighborSpan next = t + 1 < emitterCount
+                                  ? topology.neighbors(emitters_[t + 1].first)
+                                  : NeighborSpan{};
+    tc = ops.bumpRow(entries, scratch_.touched.data(), tc, nbs.data(),
+                     nbs.size(), 0, 1, next.data(), next.size());
+  }
+
+  // Pass 2 — power: push every emitter's gain row into the per-receiver
+  // accumulators; transmitter rows also contend for the best decodable
+  // signal.  Emitters are already ascending.
+  double* totals = totals_.data();
+  double* bestGain = bestGain_.data();
+  NodeId* bestSender = bestSender_.data();
+  NodeId* gainTouched = gainTouched_.data();
+  const double minDecodeGain = field.minDecodeGain();
+  std::size_t gc = 0;
+  for (const auto& [emitter, isTx] : emitters_) {
+    const GainField::Row row = field.row(emitter);
+    if (isTx != 0) {
+      gc = sops.accumulatePowerTx(totals, bestGain, bestSender, gainTouched,
+                                  gc, row.ids, row.gains, row.size, emitter,
+                                  minDecodeGain);
+    } else {
+      gc = sops.accumulatePower(totals, gainTouched, gc, row.ids, row.gains,
+                                row.size);
+    }
+  }
+
+  // Pass 3 — capture scan over the candidates, in touched order.
+  std::size_t lost = 0;
+  const std::size_t wins = sinrCaptureScan(
+      totals, bestGain, bestSender, scratch_.touched.data(), tc,
+      params_.beta, params_.noise, scratch_.receivers.data(),
+      scratch_.senders.data(), &lost);
+
+  // Restore the all-zero invariants before the delivery callbacks run
+  // (a callback could re-enter another channel, never this one).
+  for (std::size_t i = 0; i < tc; ++i) entries[scratch_.touched[i]] = 0;
+  interference::biasClear(entries, transmitters, interferers);
+  for (std::size_t i = 0; i < gc; ++i) {
+    const NodeId node = gainTouched[i];
+    totals[node] = 0.0;
+    bestGain[node] = 0.0;
+  }
+
+  SlotOutcome outcome;
+  for (std::size_t i = 0; i < wins; ++i) {
+    deliver(scratch_.receivers[i], scratch_.senders[i]);
+  }
+  outcome.deliveries = wins;
+  outcome.lostReceivers = lost;
+  return outcome;
+}
+
+}  // namespace nsmodel::net

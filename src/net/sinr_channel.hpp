@@ -1,0 +1,78 @@
+// Physical-interference (SINR) channel with capture.
+//
+// A receiver r decodes the strongest in-range signal b iff
+//
+//     b / (noise + sum_{other emitters e within cutoff} gain_e(r)) >= beta
+//
+// — log-distance pathloss gain(d) = max(d, d0)^-alpha, cumulative
+// interference power over *all* transmitters within the far-field
+// cutoff (cutoffFactor * range), a noise floor, and capture threshold
+// beta.  Unlike the geometric CAM/CAM-CS abstractions, two simultaneous
+// in-range transmissions need not destroy each other: the closer one is
+// captured when it is strong enough to beat the other plus noise.
+//
+// Slot resolution runs three passes over precomputed CSRs:
+//
+//   1. *Candidates*: the shared integer bump kernel (slot_kernel.hpp,
+//      count-only, so the 16-bit packing cap does not apply) marks every
+//      node with at least one in-range emitter, with transmitters and
+//      interferers pre-biased out (half duplex).  The touched list is
+//      the candidate list.
+//   2. *Power*: the SINR kernel (sinr_kernel.hpp) pushes every
+//      emitter's gain row (gain_field.hpp) into per-receiver f64
+//      accumulators — emitters in ascending node-id order, so the
+//      floating-point sums are reproducible across every backend — and
+//      tracks the strongest decodable signal per receiver.
+//   3. *Capture*: sinrCaptureScan applies the division-free win test
+//      over the candidates in touched order.
+//
+// Clock-drift interferers contribute interference power and are deaf,
+// but never deliver — the same contract the CAM channels implement.
+// Requires a topology built with a GainFieldSpec whose alpha/cutoff
+// match the channel's SinrParams (checked).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/interference.hpp"
+
+namespace nsmodel::net {
+
+class SinrChannel final : public Channel {
+ public:
+  explicit SinrChannel(const SinrParams& params);
+
+  ChannelModel model() const override { return ChannelModel::Sinr; }
+  const SinrParams& params() const { return params_; }
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const DeliverFn& deliver) override;
+
+  SlotOutcome resolveSlot(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const std::vector<NodeId>& interferers,
+                          const DeliverFn& deliver) override;
+
+ private:
+  SlotOutcome resolveFull(const Topology& topology,
+                          const std::vector<NodeId>& transmitters,
+                          const std::vector<NodeId>* interferers,
+                          const DeliverFn& deliver);
+
+  SinrParams params_;
+  interference::WideKernelScratch scratch_;  // candidate pass + winners
+  // Power-pass accumulators, all-zero between slots (cleared by walking
+  // gainTouched_; bestSender_ may stay stale — it is only read where
+  // bestGain_ is nonzero).  Grow-only, like the scratch.
+  std::vector<double> totals_;
+  std::vector<double> bestGain_;
+  std::vector<NodeId> bestSender_;
+  std::vector<NodeId> gainTouched_;
+  /// Merged (id, isTransmitter) emitter list, sorted ascending by id.
+  std::vector<std::pair<NodeId, std::uint8_t>> emitters_;
+};
+
+}  // namespace nsmodel::net

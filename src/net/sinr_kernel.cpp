@@ -1,0 +1,111 @@
+// Runtime dispatch for the SINR accumulation kernel (see sinr_kernel.hpp).
+#include "net/sinr_kernel.hpp"
+
+#include "support/error.hpp"
+
+namespace nsmodel::net {
+
+namespace detail {
+namespace sinr_generic {
+std::size_t accumulatePower(double* totals, NodeId* gainTouched,
+                            std::size_t touchedCount, const NodeId* ids,
+                            const double* gains, std::size_t n);
+std::size_t accumulatePowerTx(double* totals, double* bestGain,
+                              NodeId* bestSender, NodeId* gainTouched,
+                              std::size_t touchedCount, const NodeId* ids,
+                              const double* gains, std::size_t n,
+                              NodeId sender, double minDecodeGain);
+}  // namespace sinr_generic
+#if NSMODEL_SLOT_KERNEL_NATIVE
+namespace sinr_native {
+std::size_t accumulatePower(double* totals, NodeId* gainTouched,
+                            std::size_t touchedCount, const NodeId* ids,
+                            const double* gains, std::size_t n);
+std::size_t accumulatePowerTx(double* totals, double* bestGain,
+                              NodeId* bestSender, NodeId* gainTouched,
+                              std::size_t touchedCount, const NodeId* ids,
+                              const double* gains, std::size_t n,
+                              NodeId sender, double minDecodeGain);
+}  // namespace sinr_native
+#endif
+
+// Scalar reference loops for the Oracle table — the plainest statement
+// of the accumulation semantics, and what the micro_sweep SINR section
+// measures the vector TUs against.
+namespace sinr_oracle {
+namespace {
+std::size_t accumulatePower(double* totals, NodeId* gainTouched,
+                            std::size_t touchedCount, const NodeId* ids,
+                            const double* gains, std::size_t n) {
+  std::size_t tc = touchedCount;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = ids[i];
+    const double before = totals[node];
+    if (before == 0.0) gainTouched[tc++] = node;
+    totals[node] = before + gains[i];
+  }
+  return tc;
+}
+
+std::size_t accumulatePowerTx(double* totals, double* bestGain,
+                              NodeId* bestSender, NodeId* gainTouched,
+                              std::size_t touchedCount, const NodeId* ids,
+                              const double* gains, std::size_t n,
+                              NodeId sender, double minDecodeGain) {
+  std::size_t tc = touchedCount;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = ids[i];
+    const double gain = gains[i];
+    const double before = totals[node];
+    if (before == 0.0) gainTouched[tc++] = node;
+    totals[node] = before + gain;
+    if (gain >= minDecodeGain && gain > bestGain[node]) {
+      bestGain[node] = gain;
+      bestSender[node] = sender;
+    }
+  }
+  return tc;
+}
+}  // namespace
+}  // namespace sinr_oracle
+}  // namespace detail
+
+namespace {
+
+const SinrKernelOps kOracleOps{SlotKernelIsa::Oracle, "oracle",
+                               &detail::sinr_oracle::accumulatePower,
+                               &detail::sinr_oracle::accumulatePowerTx};
+const SinrKernelOps kGenericOps{SlotKernelIsa::Generic, "generic",
+                                &detail::sinr_generic::accumulatePower,
+                                &detail::sinr_generic::accumulatePowerTx};
+#if NSMODEL_SLOT_KERNEL_NATIVE
+const SinrKernelOps kNativeOps{SlotKernelIsa::Native, "native",
+                               &detail::sinr_native::accumulatePower,
+                               &detail::sinr_native::accumulatePowerTx};
+#endif
+
+}  // namespace
+
+const SinrKernelOps& sinrKernelOpsFor(SlotKernelIsa isa) {
+  switch (isa) {
+    case SlotKernelIsa::Oracle:
+      return kOracleOps;
+    case SlotKernelIsa::Generic:
+      return kGenericOps;
+    case SlotKernelIsa::Native:
+#if NSMODEL_SLOT_KERNEL_NATIVE
+      NSMODEL_CHECK(slotKernelAvailable(SlotKernelIsa::Native),
+                    "native SINR kernel requested on a CPU without its ISA");
+      return kNativeOps;
+#else
+      break;
+#endif
+  }
+  throw ConfigError("native SINR kernel requested but not built in");
+}
+
+const SinrKernelOps& sinrKernelOps() {
+  return sinrKernelOpsFor(slotKernelOps().isa);
+}
+
+}  // namespace nsmodel::net

@@ -1,0 +1,108 @@
+// Data-parallel inner loops of SINR slot resolution (sinr_channel.hpp).
+//
+// Where the CAM kernels bump packed integer count-xor words, the SINR
+// channel accumulates real per-receiver power along the precomputed gain
+// CSR (gain_field.hpp): for every emitter, totals[r] += gain for each
+// (r, gain) pair of its row, and — for true transmitters only — a
+// parallel best-signal table records the strongest *decodable* signal
+// (gain >= minDecodeGain, i.e. the sender is within transmission range)
+// and its sender.  Both loops are gather/add/scatter sweeps over f64
+// accumulators indexed by 32-bit receiver ids; this header exposes them
+// behind the same three-way ISA dispatch as slot_kernel.hpp — a scalar
+// oracle reference, a portable generic TU, and a -march=native TU
+// (AVX-512 8-lane double gather/scatter) — keyed off the *same*
+// NSMODEL_SLOT_KERNEL selection, so one env var pins the whole slot
+// path.
+//
+// Kernel contracts (shared by every implementation, all bit-identical):
+//
+//  * Rows come from one gain CSR row, so ids within a call are distinct —
+//    the vector gather/modify/scatter is race-free.
+//  * First touches (totals[id] == 0.0 before the add; gains are strictly
+//    positive, so 0.0 marks "untouched this slot") append id to
+//    `gainTouched` in row order.  The caller clears totals/bestGain by
+//    walking that list after the slot, restoring the all-zero invariant.
+//    `gainTouched` needs one sentinel slot of slack past nodeCount: the
+//    branchless scalar tail writes before deciding whether to keep.
+//  * accumulatePowerTx additionally updates bestGain/bestSender under
+//    (gain >= minDecodeGain && gain > bestGain[id]).  Emitters are
+//    processed in ascending node-id order by every backend, so the
+//    strict > makes ties resolve to the lowest sender id everywhere.
+//  * Per-receiver sums are accumulated in row-major emitter order on
+//    every ISA — vector lanes touch distinct receivers, never reorder
+//    one receiver's additions — so the f64 results are bit-identical
+//    across oracle/generic/native, flat/batched/sharded.
+#pragma once
+
+#include <cstddef>
+
+#include "net/packet.hpp"
+#include "net/slot_kernel.hpp"
+
+namespace nsmodel::net {
+
+/// The dispatched SINR accumulation loops.  Selection rides on the slot
+/// kernel's: sinrKernelOpsFor(slotKernelOps().isa) is the table the SINR
+/// channel uses, so NSMODEL_SLOT_KERNEL / setSlotKernel() pin both
+/// kernel families at once.  Unlike the CAM channels there is no
+/// special-cased oracle path inside the channel: the Oracle table's
+/// plain scalar reference loops *are* the reference implementation.
+struct SinrKernelOps {
+  SlotKernelIsa isa;
+  const char* name;
+  /// Interferer row: totals[id] += gain for each pair; first touches
+  /// append to gainTouched.  Returns the new touched count.
+  std::size_t (*accumulatePower)(double* totals, NodeId* gainTouched,
+                                 std::size_t touchedCount, const NodeId* ids,
+                                 const double* gains, std::size_t n);
+  /// Transmitter row: as accumulatePower, plus the best-decodable-signal
+  /// update (see the header comment) with `sender` as the emitting node.
+  std::size_t (*accumulatePowerTx)(double* totals, double* bestGain,
+                                   NodeId* bestSender, NodeId* gainTouched,
+                                   std::size_t touchedCount,
+                                   const NodeId* ids, const double* gains,
+                                   std::size_t n, NodeId sender,
+                                   double minDecodeGain);
+};
+
+/// The SINR table for `isa` (must be available, slotKernelAvailable()).
+const SinrKernelOps& sinrKernelOpsFor(SlotKernelIsa isa);
+
+/// The SINR table matching the currently selected slot kernel.
+const SinrKernelOps& sinrKernelOps();
+
+/// The capture scan every backend shares: receiver r (a candidate with
+/// at least one in-range emitter) decodes its best signal b = bestGain[r]
+/// iff  b / (noise + (totals[r] - b)) >= beta,  tested division-free as
+/// b >= beta * (noise + (totals[r] - b)).  b == 0.0 (no decodable
+/// signal, only out-of-range interference) always loses.  Winners
+/// compress into receivers/senders in candidate order; losers add to
+/// *lost.  One inline definition used everywhere keeps the FP expression
+/// a single instruction sequence; the expression itself has no
+/// mul-then-add chain, so no FMA contraction can differ between TUs.
+inline std::size_t sinrCaptureScan(const double* totals,
+                                   const double* bestGain,
+                                   const NodeId* bestSender,
+                                   const NodeId* candidates, std::size_t n,
+                                   double beta, double noise,
+                                   NodeId* receivers, NodeId* senders,
+                                   std::size_t* lost) {
+  std::size_t wins = 0;
+  std::size_t lostLocal = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId r = candidates[i];
+    const double b = bestGain[r];
+    const bool win = b > 0.0 && b >= beta * (noise + (totals[r] - b));
+    // Branchless compress: always write, advance only on a win.  A stale
+    // bestSender (left from an earlier slot) is only ever written under
+    // b == 0.0, i.e. never kept.
+    receivers[wins] = r;
+    senders[wins] = bestSender[r];
+    wins += static_cast<std::size_t>(win);
+    lostLocal += static_cast<std::size_t>(!win);
+  }
+  *lost += lostLocal;
+  return wins;
+}
+
+}  // namespace nsmodel::net

@@ -1,0 +1,5 @@
+// Baseline-ISA build of the SINR accumulation inner loops.  Compiled
+// with the project's ordinary flags (no -march), so the binary runs on
+// any machine the rest of the build runs on.
+#define NSMODEL_SINR_KERNEL_NS sinr_generic
+#include "net/sinr_kernel_impl.inl"

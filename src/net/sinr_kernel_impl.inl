@@ -1,0 +1,164 @@
+// Inner-loop bodies of the SINR accumulation kernel (see sinr_kernel.hpp).
+//
+// This file is compiled twice: sinr_kernel_generic.cpp includes it at the
+// portable baseline ISA and sinr_kernel_native.cpp includes it with
+// -march=native, each under its own NSMODEL_SINR_KERNEL_NS namespace —
+// the same two-TU scheme as slot_kernel_impl.inl, and the same runtime
+// gating (slot_kernel's runtimeSupported() covers every feature macro
+// both -march=native TUs are compiled with).
+//
+// The scalar loops are written with restrict-qualified pointers and a
+// branchless touched-list append; on AVX-512 builds the loops switch to
+// explicit 8-lane double gather/add/scatter (f64 accumulators indexed by
+// 32-bit ids: _mm512_i32gather_pd takes a __m256i of indices).  The ids
+// of one call are one gain-CSR row, hence distinct — no two lanes ever
+// address the same accumulator, so the gather/modify/scatter is
+// race-free AND each receiver's running sum sees exactly one addition
+// per emitter in emitter order, keeping the f64 results bit-identical
+// to the scalar loops.
+//
+// There is no FMA in the accumulation (it is a pure add chain; the gains
+// are premultiplied at build time), so -ffp-contract cannot introduce
+// cross-TU rounding differences.
+
+#ifndef NSMODEL_SINR_KERNEL_NS
+#error "define NSMODEL_SINR_KERNEL_NS before including sinr_kernel_impl.inl"
+#endif
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__)
+#define NSMODEL_SINR_KERNEL_VECTOR 1
+#include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC implements _mm512_undefined_epi32 (used inside several intrinsic
+// expansions) as a self-initialised local, which trips
+// -Wmaybe-uninitialized (GCC PR105593).  Nothing here reads
+// uninitialised data.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#define NSMODEL_SINR_KERNEL_POPPED_DIAGNOSTIC 1
+#endif
+#endif
+
+namespace nsmodel::net::detail::NSMODEL_SINR_KERNEL_NS {
+
+std::size_t accumulatePower(double* __restrict totals,
+                            NodeId* __restrict gainTouched,
+                            std::size_t touchedCount,
+                            const NodeId* __restrict ids,
+                            const double* __restrict gains, std::size_t n) {
+  std::size_t tc = touchedCount;
+#if defined(NSMODEL_SINR_KERNEL_VECTOR)
+  // 8-lane blocks: gather the running totals, compress the first-touch
+  // ids (total still exactly 0.0 — gains are strictly positive) onto the
+  // touched list in lane order, add, scatter back.  Lanes are distinct
+  // receivers, so the per-receiver addition order is emitter order on
+  // every ISA.
+  const __m512d vZero = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vid =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    const __m512d vt = _mm512_i32gather_pd(vid, totals, 8);
+    const __mmask8 kFirst = _mm512_cmp_pd_mask(vt, vZero, _CMP_EQ_OQ);
+    _mm256_mask_compressstoreu_epi32(gainTouched + tc, kFirst, vid);
+    tc += static_cast<std::size_t>(__builtin_popcount(kFirst));
+    const __m512d vg = _mm512_loadu_pd(gains + i);
+    _mm512_i32scatter_pd(totals, vid, _mm512_add_pd(vt, vg), 8);
+  }
+  for (; i < n; ++i) {
+    const NodeId node = ids[i];
+    const double before = totals[node];
+    gainTouched[tc] = node;  // kept only when this is a first touch
+    tc += static_cast<std::size_t>(before == 0.0);
+    totals[node] = before + gains[i];
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = ids[i];
+    const double before = totals[node];
+    gainTouched[tc] = node;  // kept only when this is a first touch
+    tc += static_cast<std::size_t>(before == 0.0);
+    totals[node] = before + gains[i];
+  }
+#endif
+  return tc;
+}
+
+std::size_t accumulatePowerTx(double* __restrict totals,
+                              double* __restrict bestGain,
+                              NodeId* __restrict bestSender,
+                              NodeId* __restrict gainTouched,
+                              std::size_t touchedCount,
+                              const NodeId* __restrict ids,
+                              const double* __restrict gains, std::size_t n,
+                              NodeId sender, double minDecodeGain) {
+  std::size_t tc = touchedCount;
+#if defined(NSMODEL_SINR_KERNEL_VECTOR)
+  // As accumulatePower, plus the best-decodable-signal update: lanes
+  // whose gain is decodable (>= minDecodeGain, i.e. the sender is within
+  // transmission range) and beats the current best scatter the gain and
+  // broadcast the sender id.  The strict > preserves the ascending-
+  // emitter-order lowest-id tie-break of the scalar loops.
+  const __m512d vZero = _mm512_setzero_pd();
+  const __m512d vMin = _mm512_set1_pd(minDecodeGain);
+  const __m256i vSender = _mm256_set1_epi32(static_cast<int>(sender));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vid =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    const __m512d vt = _mm512_i32gather_pd(vid, totals, 8);
+    const __mmask8 kFirst = _mm512_cmp_pd_mask(vt, vZero, _CMP_EQ_OQ);
+    _mm256_mask_compressstoreu_epi32(gainTouched + tc, kFirst, vid);
+    tc += static_cast<std::size_t>(__builtin_popcount(kFirst));
+    const __m512d vg = _mm512_loadu_pd(gains + i);
+    _mm512_i32scatter_pd(totals, vid, _mm512_add_pd(vt, vg), 8);
+    const __m512d vb = _mm512_i32gather_pd(vid, bestGain, 8);
+    const __mmask8 kBest =
+        _mm512_cmp_pd_mask(vg, vMin, _CMP_GE_OQ) &
+        _mm512_cmp_pd_mask(vg, vb, _CMP_GT_OQ);
+    if (kBest) {
+      _mm512_mask_i32scatter_pd(bestGain, kBest, vid, vg, 8);
+      _mm256_mask_i32scatter_epi32(bestSender, kBest, vid, vSender, 4);
+    }
+  }
+  for (; i < n; ++i) {
+    const NodeId node = ids[i];
+    const double gain = gains[i];
+    const double before = totals[node];
+    gainTouched[tc] = node;  // kept only when this is a first touch
+    tc += static_cast<std::size_t>(before == 0.0);
+    totals[node] = before + gain;
+    if (gain >= minDecodeGain && gain > bestGain[node]) {
+      bestGain[node] = gain;
+      bestSender[node] = sender;
+    }
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = ids[i];
+    const double gain = gains[i];
+    const double before = totals[node];
+    gainTouched[tc] = node;  // kept only when this is a first touch
+    tc += static_cast<std::size_t>(before == 0.0);
+    totals[node] = before + gain;
+    if (gain >= minDecodeGain && gain > bestGain[node]) {
+      bestGain[node] = gain;
+      bestSender[node] = sender;
+    }
+  }
+#endif
+  return tc;
+}
+
+}  // namespace nsmodel::net::detail::NSMODEL_SINR_KERNEL_NS
+
+#if defined(NSMODEL_SINR_KERNEL_POPPED_DIAGNOSTIC)
+#pragma GCC diagnostic pop
+#undef NSMODEL_SINR_KERNEL_POPPED_DIAGNOSTIC
+#endif
+#undef NSMODEL_SINR_KERNEL_VECTOR

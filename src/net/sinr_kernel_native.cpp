@@ -1,0 +1,8 @@
+// Build-machine-ISA build of the SINR accumulation inner loops.  CMake
+// compiles this single translation unit with -march=native under the
+// same NSMODEL_KERNEL_NATIVE option as slot_kernel_native.cpp;
+// sinr_kernel.cpp only dispatches here when the slot-kernel selection
+// resolved to Native, which implies runtimeSupported() confirmed the
+// running CPU has every feature macro the -march=native TUs carry.
+#define NSMODEL_SINR_KERNEL_NS sinr_native
+#include "net/sinr_kernel_impl.inl"

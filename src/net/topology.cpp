@@ -189,6 +189,18 @@ Topology::Topology(const Deployment& deployment, double range,
   }
 }
 
+Topology::Topology(const Deployment& deployment, double range,
+                   double csFactor, const GainFieldSpec& sinr)
+    : Topology(deployment, range, csFactor) {
+  // The delegated ctor's grid is gone; rebuilding it is O(n) against the
+  // O(n * rho * cutoff^2) gain pass and keeps the adjacency path
+  // untouched for the (overwhelmingly common) non-SINR builds.
+  const auto& positions = deployment.positions();
+  const auto grid = geom::SpatialGrid::build(positions, range);
+  gainField_ =
+      std::make_shared<const GainField>(positions, grid, range, sinr);
+}
+
 double Topology::carrierSenseRange() const {
   NSMODEL_CHECK(hasCarrierSense(), "carrier sensing not configured");
   return csRange_;

@@ -2,10 +2,12 @@
 // links, every node knows its neighbours).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "net/deployment.hpp"
+#include "net/gain_field.hpp"
 #include "support/error.hpp"
 
 namespace nsmodel::geom {
@@ -31,10 +33,22 @@ class Topology {
   /// adjacency at csFactor*range is built as well.
   Topology(const Deployment& deployment, double range, double csFactor = 0.0);
 
+  /// As above, and additionally precomputes the SINR gain field
+  /// (gain_field.hpp) at sinr.cutoffFactor * range from the same grid.
+  Topology(const Deployment& deployment, double range, double csFactor,
+           const GainFieldSpec& sinr);
+
   std::size_t nodeCount() const { return nodeCount_; }
   double range() const { return range_; }
   bool hasCarrierSense() const { return csRange_ > 0.0; }
   double carrierSenseRange() const;
+
+  /// Whether a SINR gain field was precomputed (GainFieldSpec ctor).
+  bool hasGainField() const { return gainField_ != nullptr; }
+  const GainField& gainField() const {
+    NSMODEL_CHECK(hasGainField(), "SINR gain field not configured");
+    return *gainField_;
+  }
 
   /// Nodes within `range` of `id`, excluding `id` itself.  Inline: this
   /// sits on the per-transmitter path of every slot resolution.
@@ -85,6 +99,9 @@ class Topology {
   std::size_t nodeCount_ = 0;
   Csr links_;
   Csr csLinks_;
+  /// shared_ptr keeps Topology cheaply copyable (scenario caches copy
+  /// topologies by value); the field itself is immutable once built.
+  std::shared_ptr<const GainField> gainField_;
 };
 
 }  // namespace nsmodel::net

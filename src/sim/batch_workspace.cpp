@@ -20,7 +20,8 @@ void takeSpare(std::vector<std::vector<T>>& spares, std::vector<T>& into) {
 }  // namespace
 
 void BatchWorkspace::beginLane(BatchLaneArena& lane, std::size_t nodeCount,
-                               std::uint64_t maxSlot, bool carrierSense) {
+                               std::uint64_t maxSlot, bool carrierSense,
+                               bool sinr) {
   NSMODEL_CHECK(nodeCount <= 0x3FFFFFFF, "node count exceeds the workspace");
   if (lane.midRun) deepClean(lane);  // the previous run died mid-flight
   lane.midRun = true;
@@ -73,6 +74,14 @@ void BatchWorkspace::beginLane(BatchLaneArena& lane, std::size_t nodeCount,
     sizeTo(lane.senseEntries, nodeCount, std::uint32_t{0});
     sizeTo(lane.senseTouched, nodeCount + 1, net::NodeId{0});
   }
+  if (sinr) {
+    // All-zero between slots, like `entries`; gainTouched carries the
+    // same +1 sentinel slot (sinr_kernel.hpp).
+    sizeTo(lane.totals, nodeCount, 0.0);
+    sizeTo(lane.bestGain, nodeCount, 0.0);
+    sizeTo(lane.bestSender, nodeCount, net::NodeId{0});
+    sizeTo(lane.gainTouched, nodeCount + 1, net::NodeId{0});
+  }
 }
 
 void BatchWorkspace::finishLane(BatchLaneArena& lane) {
@@ -103,6 +112,8 @@ void BatchWorkspace::deepClean(BatchLaneArena& lane) {
   std::fill(lane.entries.begin(), lane.entries.end(), std::uint32_t{0});
   std::fill(lane.senseEntries.begin(), lane.senseEntries.end(),
             std::uint32_t{0});
+  std::fill(lane.totals.begin(), lane.totals.end(), 0.0);
+  std::fill(lane.bestGain.begin(), lane.bestGain.end(), 0.0);
   lane.midRun = false;
 }
 

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -75,6 +76,17 @@ struct BatchLaneArena {
   std::vector<std::uint32_t> senseEntries;
   std::vector<net::NodeId> senseTouched;
 
+  // SINR accumulators (see net/sinr_kernel.hpp): per-receiver power
+  // totals, the best decodable signal and its sender, the first-touch
+  // list that restores them to zero after a slot, and the merged
+  // (id, isTx) emitter scratch whose ascending sort pins the
+  // accumulation order.  Sized by beginLane only for SINR runs.
+  std::vector<double> totals;
+  std::vector<double> bestGain;
+  std::vector<net::NodeId> bestSender;
+  std::vector<net::NodeId> gainTouched;
+  std::vector<std::pair<net::NodeId, std::uint8_t>> emitters;
+
   // Set by beginLane, cleared by finishLane; a lane still marked mid-run
   // on re-entry was abandoned by an exception and gets a deep clean.
   bool midRun = false;
@@ -120,7 +132,7 @@ class BatchWorkspace {
   /// [0, maxSlot).  Grow-only, mirroring RunWorkspace::beginRun; draws
   /// observation-vector capacity from the reclaim freelists.
   void beginLane(BatchLaneArena& lane, std::size_t nodeCount,
-                 std::uint64_t maxSlot, bool carrierSense);
+                 std::uint64_t maxSlot, bool carrierSense, bool sinr);
 
   /// Restores the lane's all-clean invariant after its observation
   /// vectors were moved out.

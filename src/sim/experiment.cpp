@@ -424,8 +424,8 @@ RunResult runBroadcast(const ExperimentConfig& config,
                        net::EnergyLedger* ledger,
                        const RunControl* control) {
   return runBroadcastImpl(config, deployment, topology,
-                          workspace.channel(config.channel), protocol, rng,
-                          workspace, ledger, control);
+                          workspace.channel(config.channel, config.sinr),
+                          protocol, rng, workspace, ledger, control);
 }
 
 RunResult runExperiment(const ExperimentConfig& config,

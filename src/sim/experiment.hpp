@@ -81,6 +81,7 @@ struct ExperimentConfig {
   int slotsPerPhase = 3;         ///< s
   net::ChannelModel channel = net::ChannelModel::CollisionAware;
   double csFactor = 2.0;         ///< for CarrierSenseAware only
+  net::SinrParams sinr{};        ///< for Sinr only
   int maxPhases = 200;           ///< transmissions beyond this are dropped
   net::EnergyCosts costs{};
   /// Per-phase node failure probability (Assumption 5 relaxed): at each

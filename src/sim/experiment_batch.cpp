@@ -18,6 +18,9 @@
 #include <string>
 
 #include "fault/fault_plan.hpp"
+#include "net/gain_field.hpp"
+#include "net/interference.hpp"
+#include "net/sinr_kernel.hpp"
 #include "net/slot_kernel.hpp"
 #include "sim/run_workspace.hpp"
 #include "support/cli_args.hpp"
@@ -79,6 +82,9 @@ class BatchDriver {
   BatchDriver(const ExperimentConfig& config, std::uint64_t maxSlot)
       : config_(config),
         ops_(net::slotKernelOps()),
+        sops_(config.channel == net::ChannelModel::Sinr
+                  ? &net::sinrKernelOpsFor(ops_.isa)
+                  : nullptr),
         maxSlot_(maxSlot),
         slotsPerPhase_(static_cast<std::uint64_t>(config.slotsPerPhase)) {}
 
@@ -386,6 +392,77 @@ class BatchDriver {
     return outcome;
   }
 
+  /// The batched port of SinrChannel::resolveFull: same three passes in
+  /// the same order (candidates over the link CSR, power over the gain
+  /// CSR in ascending emitter order, shared capture scan), so the lane
+  /// is bit-identical to the flat channel.  Deliberately no sole-
+  /// transmitter fast path — the flat channel has none either.
+  net::SlotOutcome resolveSinr(LaneRun& L, std::uint64_t slot) {
+    BatchLaneArena& a = *L.a;
+    const net::Topology& topology = *L.lane->topology;
+    const net::GainField& field = topology.gainField();
+    const auto& txs = a.transmitters;
+    const auto& ixs = a.liveInterferers;
+
+    // Merged ascending emitter list: the canonical f64 accumulation
+    // order every backend reproduces (see sinr_kernel.hpp).
+    a.emitters.clear();
+    for (net::NodeId tx : txs) a.emitters.emplace_back(tx, 1);
+    for (net::NodeId ix : ixs) a.emitters.emplace_back(ix, 0);
+    std::sort(a.emitters.begin(), a.emitters.end());
+
+    std::uint32_t* entries = a.entries.data();
+    net::interference::biasTransmitters(entries, txs, &ixs);
+    std::size_t tc = 0;
+    const std::size_t ec = a.emitters.size();
+    for (std::size_t t = 0; t < ec; ++t) {
+      const net::NeighborSpan nbs = topology.neighbors(a.emitters[t].first);
+      const net::NeighborSpan next =
+          t + 1 < ec ? topology.neighbors(a.emitters[t + 1].first)
+                     : net::NeighborSpan{};
+      tc = ops_.bumpRow(entries, a.touched.data(), tc, nbs.data(),
+                        nbs.size(), 0, 1, next.data(), next.size());
+    }
+
+    double* totals = a.totals.data();
+    double* bestGain = a.bestGain.data();
+    net::NodeId* bestSender = a.bestSender.data();
+    net::NodeId* gainTouched = a.gainTouched.data();
+    const double minDecodeGain = field.minDecodeGain();
+    std::size_t gc = 0;
+    for (const auto& [emitter, isTx] : a.emitters) {
+      const net::GainField::Row row = field.row(emitter);
+      if (isTx != 0) {
+        gc = sops_->accumulatePowerTx(totals, bestGain, bestSender,
+                                      gainTouched, gc, row.ids, row.gains,
+                                      row.size, emitter, minDecodeGain);
+      } else {
+        gc = sops_->accumulatePower(totals, gainTouched, gc, row.ids,
+                                    row.gains, row.size);
+      }
+    }
+
+    std::size_t lost = 0;
+    const std::size_t wins = net::sinrCaptureScan(
+        totals, bestGain, bestSender, a.touched.data(), tc,
+        config_.sinr.beta, config_.sinr.noise, a.receivers.data(),
+        a.senders.data(), &lost);
+
+    for (std::size_t i = 0; i < tc; ++i) entries[a.touched[i]] = 0;
+    net::interference::biasClear(entries, txs, &ixs);
+    for (std::size_t i = 0; i < gc; ++i) {
+      const net::NodeId node = gainTouched[i];
+      totals[node] = 0.0;
+      bestGain[node] = 0.0;
+    }
+
+    deliverWins(L, slot, wins);
+    net::SlotOutcome outcome;
+    outcome.deliveries = wins;
+    outcome.lostReceivers = lost;
+    return outcome;
+  }
+
   net::SlotOutcome resolveChannel(LaneRun& L, std::uint64_t slot) {
     switch (config_.channel) {
       case net::ChannelModel::CollisionFree:
@@ -394,6 +471,8 @@ class BatchDriver {
         return resolveCollisionAware(L, slot);
       case net::ChannelModel::CarrierSenseAware:
         return resolveCarrierSense(L, slot);
+      case net::ChannelModel::Sinr:
+        return resolveSinr(L, slot);
     }
     NSMODEL_ASSERT(false);
     return {};
@@ -457,6 +536,7 @@ class BatchDriver {
  private:
   const ExperimentConfig& config_;
   const net::SlotKernelOps& ops_;
+  const net::SinrKernelOps* sops_;  // non-null only for SINR batches
   const std::uint64_t maxSlot_;
   const std::uint64_t slotsPerPhase_;
 };
@@ -528,6 +608,8 @@ std::vector<RunResult> runBroadcastBatchBody(const ExperimentConfig& config,
                        static_cast<std::uint64_t>(config.slotsPerPhase);
   const bool carrierSense =
       config.channel == net::ChannelModel::CarrierSenseAware;
+  const bool sinr = config.channel == net::ChannelModel::Sinr;
+  if (sinr) config.sinr.validate();
   workspace.ensureLanes(lanes.size());
   BatchDriver driver(config, maxSlot);
 
@@ -538,9 +620,22 @@ std::vector<RunResult> runBroadcastBatchBody(const ExperimentConfig& config,
     const std::size_t n = lane.deployment->nodeCount();
     NSMODEL_CHECK(n == lane.topology->nodeCount(),
                   "deployment/topology size mismatch");
-    if (config.channel != net::ChannelModel::CollisionFree) {
+    // SINR escapes the 16-bit cap like CFM: its bumps are count-only
+    // (sender half zero), so node ids never pack into the entry word.
+    if (config.channel == net::ChannelModel::CollisionAware ||
+        config.channel == net::ChannelModel::CarrierSenseAware) {
       NSMODEL_CHECK(n <= 0xFFFF,
                     "collision-aware channels support at most 65535 nodes");
+    }
+    if (sinr) {
+      NSMODEL_CHECK(lane.topology->hasGainField(),
+                    "SINR batched runs need topologies built with a "
+                    "GainFieldSpec");
+      const net::GainFieldSpec& spec = lane.topology->gainField().spec();
+      NSMODEL_CHECK(spec.alpha == config.sinr.alpha &&
+                        spec.cutoffFactor == config.sinr.cutoff,
+                    "topology gain field was built with different SINR "
+                    "alpha/cutoff than config.sinr");
     }
     lane.protocol->reset(n);
     // Per-lane RNG consumption mirrors the sequential path exactly:
@@ -554,7 +649,7 @@ std::vector<RunResult> runBroadcastBatchBody(const ExperimentConfig& config,
     }
 
     BatchLaneArena& arena = workspace.lane(k);
-    workspace.beginLane(arena, n, maxSlot, carrierSense);
+    workspace.beginLane(arena, n, maxSlot, carrierSense, sinr);
 
     LaneRun run;
     run.lane = &lane;

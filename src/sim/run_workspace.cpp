@@ -77,7 +77,19 @@ void RunWorkspace::deepClean() {
 }
 
 net::Channel& RunWorkspace::channel(net::ChannelModel model) {
+  return channel(model, net::SinrParams{});
+}
+
+net::Channel& RunWorkspace::channel(net::ChannelModel model,
+                                    const net::SinrParams& sinr) {
   auto& slot = channels_[static_cast<std::size_t>(model)];
+  if (model == net::ChannelModel::Sinr) {
+    if (slot == nullptr || !(sinrParams_ == sinr)) {
+      slot = net::makeChannel(model, sinr);
+      sinrParams_ = sinr;
+    }
+    return *slot;
+  }
   if (slot == nullptr) slot = net::makeChannel(model);
   return *slot;
 }

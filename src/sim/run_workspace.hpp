@@ -51,6 +51,11 @@ class RunWorkspace {
   /// use; its scratch tables (SlotCounts etc.) persist across runs.
   net::Channel& channel(net::ChannelModel model);
 
+  /// As above with explicit SINR parameters: the Sinr slot is rebuilt
+  /// when `sinr` differs from the cached instance's (a sweep varying
+  /// beta/noise reuses one workspace), other models ignore `sinr`.
+  net::Channel& channel(net::ChannelModel model, const net::SinrParams& sinr);
+
   /// Takes the vectors of a RunResult the caller has finished reading
   /// back into the workspace, so the next run reuses their capacity
   /// instead of allocating.  The closing move of the steady-state
@@ -150,7 +155,8 @@ class RunWorkspace {
   /// invariants cannot be trusted.
   void deepClean();
 
-  std::array<std::unique_ptr<net::Channel>, 3> channels_;
+  std::array<std::unique_ptr<net::Channel>, 4> channels_;
+  net::SinrParams sinrParams_{};  ///< params of the cached Sinr instance
   std::uint64_t growthEvents_ = 0;
   std::size_t nodeCount_ = 0;
   bool midRun_ = false;

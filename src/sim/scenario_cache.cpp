@@ -25,6 +25,10 @@ ScenarioKey ScenarioKey::forExperiment(const ExperimentConfig& config,
   key.csFactor = config.channel == net::ChannelModel::CarrierSenseAware
                      ? config.csFactor
                      : 0.0;
+  if (config.channel == net::ChannelModel::Sinr) {
+    key.sinrAlpha = config.sinr.alpha;
+    key.sinrCutoff = config.sinr.cutoff;
+  }
   return key;
 }
 
@@ -40,6 +44,8 @@ std::size_t ScenarioKeyHash::operator()(const ScenarioKey& key) const {
   h = mix(h, std::bit_cast<std::uint64_t>(key.ringWidth));
   h = mix(h, std::bit_cast<std::uint64_t>(key.neighborDensity));
   h = mix(h, std::bit_cast<std::uint64_t>(key.csFactor));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.sinrAlpha));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.sinrCutoff));
   return static_cast<std::size_t>(h);
 }
 
@@ -47,7 +53,11 @@ Scenario buildScenario(const ScenarioKey& key) {
   support::Rng rng = support::Rng::forStream(key.seed, key.stream);
   net::Deployment deployment = net::Deployment::paperDisk(
       rng, key.rings, key.ringWidth, key.neighborDensity);
-  net::Topology topology(deployment, key.ringWidth, key.csFactor);
+  net::Topology topology =
+      key.sinrAlpha > 0.0
+          ? net::Topology(deployment, key.ringWidth, key.csFactor,
+                          net::GainFieldSpec{key.sinrAlpha, key.sinrCutoff})
+          : net::Topology(deployment, key.ringWidth, key.csFactor);
   topologyBuilds.fetch_add(1, std::memory_order_relaxed);
   return Scenario{std::move(deployment), std::move(topology), rng};
 }

@@ -38,7 +38,9 @@ namespace nsmodel::sim {
 
 /// Everything a paper-deployment scenario depends on.  csFactor is the
 /// *effective* factor: 0 unless the channel carrier-senses (matching
-/// runExperiment's topology construction).
+/// runExperiment's topology construction).  Likewise sinrAlpha/sinrCutoff
+/// are 0 unless the channel is SINR, in which case the topology carries a
+/// per-edge gain field keyed by them.
 struct ScenarioKey {
   std::uint64_t seed = 0;
   std::uint64_t stream = 0;
@@ -46,6 +48,8 @@ struct ScenarioKey {
   double ringWidth = 0.0;
   double neighborDensity = 0.0;
   double csFactor = 0.0;
+  double sinrAlpha = 0.0;
+  double sinrCutoff = 0.0;
 
   bool operator==(const ScenarioKey&) const = default;
 

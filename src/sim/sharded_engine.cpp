@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "fault/fault_plan.hpp"
+#include "net/sinr_kernel.hpp"
 #include "net/slot_kernel.hpp"
 #include "sim/checkpoint.hpp"
 #include "support/cli_args.hpp"
@@ -68,6 +69,14 @@ std::uint64_t runFingerprint(const ExperimentConfig& config,
   h = mix64(h, static_cast<std::uint64_t>(config.maxPhases));
   h = mix64(h, static_cast<std::uint64_t>(config.channel));
   h = mix64(h, doubleBits(config.csFactor));
+  if (config.channel == net::ChannelModel::Sinr) {
+    // Conditional so non-SINR fingerprints (and their saved checkpoints)
+    // are unchanged by the SINR fields' defaults.
+    h = mix64(h, doubleBits(config.sinr.beta));
+    h = mix64(h, doubleBits(config.sinr.noise));
+    h = mix64(h, doubleBits(config.sinr.alpha));
+    h = mix64(h, doubleBits(config.sinr.cutoff));
+  }
   h = mix64(h, doubleBits(config.nodeFailureRate));
   h = mix64(h, doubleBits(config.fault.crash.crashRate));
   h = mix64(h, doubleBits(config.fault.crash.recoveryRate));
@@ -130,6 +139,14 @@ struct RowAccess {
   const std::vector<std::uint32_t>* csOff = nullptr;
   const std::vector<std::uint32_t>* csMid = nullptr;
   const std::vector<net::NodeId>* csIds = nullptr;
+  // Gain rows (SINR): the restricted CSR carries a parallel gains array,
+  // permuted with the ids, so a band slice of a row stays (id, gain)
+  // aligned.  gainField is set whenever the topology has one.
+  const net::GainField* gainField = nullptr;
+  const std::vector<std::uint32_t>* gOff = nullptr;
+  const std::vector<std::uint32_t>* gMid = nullptr;
+  const std::vector<net::NodeId>* gIds = nullptr;
+  const std::vector<double>* gGains = nullptr;
 
   net::NeighborSpan rx(net::NodeId node, Band band) const {
     if (rxOff == nullptr) return topology->neighbors(node);
@@ -140,6 +157,20 @@ struct RowAccess {
     if (csOff == nullptr) return topology->carrierSenseNeighbors(node);
     return slice((*csOff)[node], (*csMid)[node], (*csOff)[node + 1],
                  csIds->data(), band);
+  }
+  net::GainField::Row gain(net::NodeId node, Band band) const {
+    if (gOff == nullptr) return gainField->row(node);
+    const std::uint32_t lo = (*gOff)[node];
+    const std::uint32_t mid = (*gMid)[node];
+    const std::uint32_t hi = (*gOff)[node + 1];
+    switch (band) {
+      case Band::Interior:
+        return {gIds->data() + lo, gGains->data() + lo, mid - lo};
+      case Band::Boundary:
+        return {gIds->data() + mid, gGains->data() + mid, hi - mid};
+      default:
+        return {gIds->data() + lo, gGains->data() + lo, hi - lo};
+    }
   }
 
   static net::NeighborSpan slice(std::uint32_t lo, std::uint32_t mid,
@@ -187,6 +218,10 @@ struct Shard {
   /// combined pass.
   bool combinedMode = false;
   const net::SlotKernelOps* kernel = nullptr;
+  /// SINR table matching the kernel's ISA; non-null only for SINR runs
+  /// (the oracle table's scalar loops are the reference, so SINR needs
+  /// no scalar fallback fork — see net/sinr_kernel.hpp).
+  const net::SinrKernelOps* sinrOps = nullptr;
 
   fault::FaultPlan plan;  ///< private copy: the GE query moves cursors
   std::optional<net::EnergyLedger> ledger;
@@ -243,6 +278,17 @@ struct Shard {
   std::vector<net::NodeId> kSend;
   std::vector<std::uint8_t> txFlag;  ///< scalar half-duplex flags
   std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+
+  // SINR accumulators over this shard's owned receivers (see
+  // net/sinr_kernel.hpp): per-receiver power totals, best decodable
+  // signal and its sender, the first-touch list that restores them to
+  // zero, and the merged (id, isTx) emitter scratch whose ascending sort
+  // pins the f64 accumulation order.  Sized only for SINR runs.
+  std::vector<double> totals;
+  std::vector<double> bestGain;
+  std::vector<net::NodeId> bestSender;
+  std::vector<net::NodeId> gainTouched;
+  std::vector<std::pair<net::NodeId, std::uint8_t>> emitters;
 
   // Observations, merged after the join.
   std::vector<std::uint64_t> receptionSlots;
@@ -412,6 +458,10 @@ struct Shard {
           }
         }
       }
+      return;
+    }
+    if (config->channel == net::ChannelModel::Sinr) {
+      resolveSinrTables(slot, all, band, lo, hi);
       return;
     }
     const bool carrierSense =
@@ -594,6 +644,73 @@ struct Shard {
     rawDeliveries += wins;
   }
 
+  /// SINR cumulative-power pass over one band of this shard's owned
+  /// receivers (net/sinr_channel.cpp is the flat reference).  The halo
+  /// shards' published lists merge into one ascending (id, isTx) emitter
+  /// sequence, so each receiver accumulates its f64 power total in
+  /// ascending-emitter order — the flat channel's order — for any shard
+  /// count (the restricted gain rows only permute *receivers* within a
+  /// row; each receiver still gets exactly one contribution per row).
+  /// Candidates come from the restricted link rows via count-only bumps
+  /// (no packed sender ids, so counts32 stays valid past 16-bit node
+  /// ids); power comes from the restricted gain rows.  Half-duplex rides
+  /// on the kernel bias: beginResolve pre-biased this shard's own
+  /// emitters, and foreign emitters are never receivers in this shard's
+  /// restricted rows (owners are disjoint), so no further marking is
+  /// needed.
+  void resolveSinrTables(std::uint64_t slot, const std::vector<Shard>& all,
+                         Band band, int lo, int hi) {
+    emitters.clear();
+    for (int c = lo; c <= hi; ++c) {
+      const Shard& sh = all[static_cast<std::size_t>(c)];
+      for (net::NodeId tx : sh.txAt(slot)) emitters.emplace_back(tx, 1);
+      for (net::NodeId ix : sh.ixAt(slot)) emitters.emplace_back(ix, 0);
+    }
+    std::sort(emitters.begin(), emitters.end());
+    const net::SlotKernelOps& ops = *kernel;
+    const net::SinrKernelOps& sops = *sinrOps;
+    std::uint32_t* entries = counts32.data();
+    net::NodeId* touchedBuf = touched.data();
+    const double minDecodeGain = rows.gainField->minDecodeGain();
+    std::size_t tc = 0;
+    std::size_t gc = 0;
+    for (std::size_t t = 0; t < emitters.size(); ++t) {
+      const net::NeighborSpan rxs = rows.rx(emitters[t].first, band);
+      const net::NeighborSpan next =
+          t + 1 < emitters.size() ? rows.rx(emitters[t + 1].first, band)
+                                  : net::NeighborSpan{};
+      tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(), 0, 1,
+                       next.data(), next.size());
+    }
+    for (const auto& [em, isTx] : emitters) {
+      const net::GainField::Row row = rows.gain(em, band);
+      if (isTx != 0) {
+        gc = sops.accumulatePowerTx(totals.data(), bestGain.data(),
+                                    bestSender.data(), gainTouched.data(), gc,
+                                    row.ids, row.gains, row.size, em,
+                                    minDecodeGain);
+      } else {
+        gc = sops.accumulatePower(totals.data(), gainTouched.data(), gc,
+                                  row.ids, row.gains, row.size);
+      }
+    }
+    std::size_t lost = 0;
+    const std::size_t wins = net::sinrCaptureScan(
+        totals.data(), bestGain.data(), bestSender.data(), touchedBuf, tc,
+        config->sinr.beta, config->sinr.noise, kRecv.data(), kSend.data(),
+        &lost);
+    for (std::size_t i = 0; i < tc; ++i) entries[touchedBuf[i]] = 0;
+    for (std::size_t i = 0; i < gc; ++i) {
+      totals[gainTouched[i]] = 0.0;
+      bestGain[gainTouched[i]] = 0.0;
+    }
+    slotLost += lost;
+    for (std::size_t i = 0; i < wins; ++i) {
+      onDelivery(kRecv[i], kSend[i], slot);
+    }
+    rawDeliveries += wins;
+  }
+
   void onDelivery(net::NodeId receiver, net::NodeId sender,
                   std::uint64_t slot) {
     if (plan.hasLinkLoss() && plan.linkErased(receiver, sender, slot)) {
@@ -676,6 +793,67 @@ void resolveCombinedSlot(std::uint64_t slot, std::vector<Shard>& workers,
           own.onDelivery(nb, tx, slot);
         }
       }
+    }
+    for (Shard& sh : workers) sh.recordSlot(slot);
+    return;
+  }
+  if (config.channel == net::ChannelModel::Sinr) {
+    // SINR union pass over the full gain rows: one merged ascending
+    // (id, isTx) emitter sequence — the flat channel's accumulation
+    // order — against the lead shard's tables, with every shard's own
+    // emitters biased for the half-duplex skip.  Deliveries route
+    // through each receiver's owner shard, as the kernel branch below.
+    auto& emitters = lead.emitters;
+    emitters.clear();
+    for (Shard& src : workers) {
+      for (net::NodeId tx : src.txAt(slot)) emitters.emplace_back(tx, 1);
+      for (net::NodeId ix : src.ixAt(slot)) emitters.emplace_back(ix, 0);
+    }
+    std::sort(emitters.begin(), emitters.end());
+    for (const auto& [em, isTx] : emitters) lead.counts32[em] += 2;
+    const net::SlotKernelOps& ops = *lead.kernel;
+    const net::SinrKernelOps& sops = *lead.sinrOps;
+    std::uint32_t* entries = lead.counts32.data();
+    net::NodeId* touchedBuf = lead.touched.data();
+    const double minDecodeGain = rows.gainField->minDecodeGain();
+    std::size_t tc = 0;
+    std::size_t gc = 0;
+    for (std::size_t t = 0; t < emitters.size(); ++t) {
+      const net::NeighborSpan rxs = rows.rx(emitters[t].first, Band::Full);
+      const net::NeighborSpan next =
+          t + 1 < emitters.size() ? rows.rx(emitters[t + 1].first, Band::Full)
+                                  : net::NeighborSpan{};
+      tc = ops.bumpRow(entries, touchedBuf, tc, rxs.data(), rxs.size(), 0, 1,
+                       next.data(), next.size());
+    }
+    for (const auto& [em, isTx] : emitters) {
+      const net::GainField::Row row = rows.gain(em, Band::Full);
+      if (isTx != 0) {
+        gc = sops.accumulatePowerTx(lead.totals.data(), lead.bestGain.data(),
+                                    lead.bestSender.data(),
+                                    lead.gainTouched.data(), gc, row.ids,
+                                    row.gains, row.size, em, minDecodeGain);
+      } else {
+        gc = sops.accumulatePower(lead.totals.data(), lead.gainTouched.data(),
+                                  gc, row.ids, row.gains, row.size);
+      }
+    }
+    std::size_t lost = 0;
+    const std::size_t wins = net::sinrCaptureScan(
+        lead.totals.data(), lead.bestGain.data(), lead.bestSender.data(),
+        touchedBuf, tc, config.sinr.beta, config.sinr.noise, lead.kRecv.data(),
+        lead.kSend.data(), &lost);
+    for (std::size_t i = 0; i < tc; ++i) entries[touchedBuf[i]] = 0;
+    for (std::size_t i = 0; i < gc; ++i) {
+      lead.totals[lead.gainTouched[i]] = 0.0;
+      lead.bestGain[lead.gainTouched[i]] = 0.0;
+    }
+    for (const auto& [em, isTx] : emitters) lead.counts32[em] = 0;
+    lead.slotLost += lost;
+    for (std::size_t i = 0; i < wins; ++i) {
+      Shard& own = workers[owner[lead.kRecv[i]]];
+      ++own.rawDeliveries;
+      own.onDelivery(lead.kRecv[i], lead.kSend[i], slot);
     }
     for (Shard& sh : workers) sh.recordSlot(slot);
     return;
@@ -895,10 +1073,14 @@ ShardedEngine::ShardedEngine(const net::Deployment& deployment,
   // Interaction halo: stripes whose x-extents come within the maximum
   // radius at which a transmitter can influence a receiver's slot
   // outcome (carrier-sense range when configured — it contains the
-  // transmission range — else the transmission range).
-  const double reach = topology.hasCarrierSense()
-                           ? topology.carrierSenseRange()
-                           : topology.range();
+  // transmission range — else the transmission range; a gain field's
+  // far-field cutoff widens it further, since any emitter inside the
+  // cutoff contributes interference power to a SINR receiver).
+  double reach = topology.hasCarrierSense() ? topology.carrierSenseRange()
+                                            : topology.range();
+  if (topology.hasGainField()) {
+    reach = std::max(reach, topology.gainField().cutoffRadius());
+  }
   halo_ = geom::stripeReachNeighbors(deployment.positions(), owner_,
                                      static_cast<std::size_t>(shards_), reach);
   // Close the intervals under symmetry: the ring-reuse wait needs every
@@ -947,6 +1129,15 @@ ShardedEngine::ShardedEngine(const net::Deployment& deployment,
         }
       }
     }
+    if (inside && topology.hasGainField()) {
+      const net::GainField::Row row = topology.gainField().row(id);
+      for (std::size_t k = 0; k < row.size; ++k) {
+        if (owner_[row.ids[k]] != own) {
+          inside = false;
+          break;
+        }
+      }
+    }
     interior_[u] = inside ? 1 : 0;
   }
 
@@ -956,6 +1147,7 @@ ShardedEngine::ShardedEngine(const net::Deployment& deployment,
     buildRestricted(topology, /*carrierSense=*/true, csOffsets_, csMids_,
                     csIds_);
   }
+  if (topology.hasGainField()) buildRestrictedGain(topology.gainField());
 }
 
 void ShardedEngine::buildRestricted(
@@ -1022,6 +1214,64 @@ void ShardedEngine::buildRestricted(
   }
 }
 
+/// The gain-field analogue of buildRestricted: splits each gain row by
+/// receiver owner, interior receivers first, with the gains array
+/// permuted in parallel so every (id, gain) pair stays aligned.  The
+/// permutation only reassigns which pass adds which contribution; each
+/// receiver still receives exactly one contribution per emitter row, so
+/// the per-receiver f64 totals — summed in ascending-emitter order by
+/// the resolution passes — are bit-identical to the flat channel's.
+void ShardedEngine::buildRestrictedGain(const net::GainField& field) {
+  const std::size_t n = topology_.nodeCount();
+  const int shards = shards_;
+  gOffsets_.assign(static_cast<std::size_t>(shards), {});
+  gMids_.assign(static_cast<std::size_t>(shards), {});
+  gIds_.assign(static_cast<std::size_t>(shards), {});
+  gGains_.assign(static_cast<std::size_t>(shards), {});
+  for (auto& off : gOffsets_) off.assign(n + 1, 0);
+  for (auto& mid : gMids_) mid.assign(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const net::GainField::Row row = field.row(static_cast<net::NodeId>(u));
+    for (std::size_t k = 0; k < row.size; ++k) {
+      const std::uint32_t j = owner_[row.ids[k]];
+      ++gOffsets_[j][u + 1];
+      if (interior_[row.ids[k]]) ++gMids_[j][u];
+    }
+  }
+  for (int j = 0; j < shards; ++j) {
+    auto& off = gOffsets_[static_cast<std::size_t>(j)];
+    std::uint64_t total = 0;
+    for (std::size_t u = 0; u <= n; ++u) {
+      total += off[u];
+      NSMODEL_CHECK(total <= 0xFFFFFFFFull,
+                    "restricted gain adjacency exceeds 32-bit offsets");
+      off[u] = static_cast<std::uint32_t>(total);
+    }
+    gIds_[static_cast<std::size_t>(j)].resize(off[n]);
+    gGains_[static_cast<std::size_t>(j)].resize(off[n]);
+    auto& mid = gMids_[static_cast<std::size_t>(j)];
+    for (std::size_t u = 0; u < n; ++u) mid[u] += off[u];
+  }
+  std::vector<std::uint32_t> curIn(static_cast<std::size_t>(shards));
+  std::vector<std::uint32_t> curBd(static_cast<std::size_t>(shards));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int j = 0; j < shards; ++j) {
+      curIn[static_cast<std::size_t>(j)] =
+          gOffsets_[static_cast<std::size_t>(j)][u];
+      curBd[static_cast<std::size_t>(j)] =
+          gMids_[static_cast<std::size_t>(j)][u];
+    }
+    const net::GainField::Row row = field.row(static_cast<net::NodeId>(u));
+    for (std::size_t k = 0; k < row.size; ++k) {
+      const net::NodeId nb = row.ids[k];
+      const std::uint32_t j = owner_[nb];
+      const std::uint32_t at = interior_[nb] ? curIn[j]++ : curBd[j]++;
+      gIds_[j][at] = nb;
+      gGains_[j][at] = row.gains[k];
+    }
+  }
+}
+
 RunResult ShardedEngine::run(const ExperimentConfig& config,
                              protocols::BroadcastProtocol& protocol,
                              support::Rng& rng, net::EnergyLedger* ledger,
@@ -1048,6 +1298,18 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
     NSMODEL_CHECK(topology_.hasCarrierSense(),
                   "CarrierSenseAware needs a topology built with a "
                   "carrier-sense factor");
+  }
+  const bool sinrRun = config.channel == net::ChannelModel::Sinr;
+  if (sinrRun) {
+    config.sinr.validate();
+    NSMODEL_CHECK(topology_.hasGainField(),
+                  "the SINR channel needs a topology built with a "
+                  "GainFieldSpec");
+    NSMODEL_CHECK(
+        (topology_.gainField().spec() ==
+         net::GainFieldSpec{config.sinr.alpha, config.sinr.cutoff}),
+        "the topology's gain field was built with a different alpha/cutoff "
+        "than config.sinr");
   }
   const std::size_t n = deployment_.nodeCount();
 
@@ -1119,10 +1381,15 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
   // Per-run kernel choice: the packed sender half caps node ids at 16
   // bits, and NSMODEL_SLOT_KERNEL=oracle pins the engine's own 64-bit
   // scalar tables (this engine's semantics oracle) just as it pins the
-  // channels' reference scatter loop.
+  // channels' reference scatter loop.  SINR always takes the 32-bit
+  // table path: its candidate bumps are count-only (no packed sender
+  // ids, so no 16-bit cap), and the oracle SINR table's scalar loops are
+  // themselves the reference — there is no separate scalar fork.
   const net::SlotKernelOps& kernelOps = net::slotKernelOps();
-  const bool useKernel = needCollisionTables && n <= 0xFFFF &&
-                         kernelOps.isa != net::SlotKernelIsa::Oracle;
+  const bool useKernel =
+      needCollisionTables &&
+      (sinrRun ||
+       (n <= 0xFFFF && kernelOps.isa != net::SlotKernelIsa::Oracle));
   std::vector<Shard>& workers = ws_->workers;
   if (workers.size() != static_cast<std::size_t>(S)) {
     workers.clear();
@@ -1148,6 +1415,15 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
         sh.rows.csOff = &csOffsets_[static_cast<std::size_t>(j)];
         sh.rows.csMid = &csMids_[static_cast<std::size_t>(j)];
         sh.rows.csIds = &csIds_[static_cast<std::size_t>(j)];
+      }
+    }
+    if (topology_.hasGainField()) {
+      sh.rows.gainField = &topology_.gainField();
+      if (S > 1) {
+        sh.rows.gOff = &gOffsets_[static_cast<std::size_t>(j)];
+        sh.rows.gMid = &gMids_[static_cast<std::size_t>(j)];
+        sh.rows.gIds = &gIds_[static_cast<std::size_t>(j)];
+        sh.rows.gGains = &gGains_[static_cast<std::size_t>(j)];
       }
     }
     sh.maxSlot = maxSlot;
@@ -1206,6 +1482,13 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
           sh.sense.assign(n, 0);
         }
       }
+    }
+    if (sinrRun) {
+      sh.sinrOps = &net::sinrKernelOpsFor(kernelOps.isa);
+      sh.totals.assign(n, 0.0);
+      sh.bestGain.assign(n, 0.0);
+      sh.bestSender.resize(n);
+      sh.gainTouched.resize(n + 1);
     }
   }
 
@@ -1347,6 +1630,7 @@ RunResult ShardedEngine::runImpl(const ExperimentConfig& config,
     // nothing else is running.
     RowAccess fullRows;
     fullRows.topology = &topology_;
+    if (topology_.hasGainField()) fullRows.gainField = &topology_.gainField();
     for (Shard& sh : workers) sh.combinedMode = true;
     std::uint64_t slot = startSlot;
     for (;;) {

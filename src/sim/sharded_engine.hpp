@@ -137,6 +137,8 @@ class ShardedEngine {
                        std::vector<std::vector<std::uint32_t>>& mids,
                        std::vector<std::vector<net::NodeId>>& ids);
 
+  void buildRestrictedGain(const net::GainField& field);
+
   const net::Deployment& deployment_;
   const net::Topology& topology_;
   int shards_;
@@ -162,6 +164,13 @@ class ShardedEngine {
   std::vector<std::vector<std::uint32_t>> csOffsets_;
   std::vector<std::vector<std::uint32_t>> csMids_;
   std::vector<std::vector<net::NodeId>> csIds_;
+  // Restricted gain CSRs (SINR; built only when the topology carries a
+  // gain field): like rxIds_ but with a parallel per-edge gains array,
+  // permuted together so band slices stay (id, gain) aligned.
+  std::vector<std::vector<std::uint32_t>> gOffsets_;
+  std::vector<std::vector<std::uint32_t>> gMids_;
+  std::vector<std::vector<net::NodeId>> gIds_;
+  std::vector<std::vector<double>> gGains_;
   std::unique_ptr<Workspace> ws_;
 };
 

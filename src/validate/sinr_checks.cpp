@@ -1,0 +1,278 @@
+#include "validate/sinr_checks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/deployment.hpp"
+#include "net/gain_field.hpp"
+#include "net/topology.hpp"
+#include "protocols/flooding.hpp"
+#include "sim/experiment.hpp"
+#include "support/rng.hpp"
+
+namespace nsmodel::validate {
+
+namespace {
+
+// ---- CFM limit -------------------------------------------------------------
+
+/// beta = 1e-16 makes the capture test vacuous for any decodable signal:
+/// the best in-range gain is at least minDecodeGain = range^-alpha = 1,
+/// while beta * (noise + interference) stays far below it for any
+/// deployment these checks run (interference is bounded by nodeCount
+/// times the near-field gain cap).  cutoff = 1 pins the gain rows to the
+/// adjacency rows, so candidate discovery matches CFM's delivery set
+/// exactly.
+void checkCfmLimit(bool fast, std::uint64_t seed, Report& report) {
+  sim::ExperimentConfig cfm;
+  cfm.rings = fast ? 4 : 5;
+  cfm.neighborDensity = fast ? 30.0 : 50.0;
+  cfm.slotsPerPhase = 3;
+  cfm.maxPhases = 40;
+  cfm.rngMode = sim::RngMode::PerNode;
+  cfm.channel = net::ChannelModel::CollisionFree;
+
+  sim::ExperimentConfig sinr = cfm;
+  sinr.channel = net::ChannelModel::Sinr;
+  sinr.sinr = net::SinrParams{1e-16, 1e-4, 3.0, 1.0};
+
+  const auto factory = [] {
+    return std::make_unique<protocols::SimpleFlooding>();
+  };
+  const int streams = fast ? 2 : 4;
+  for (int stream = 0; stream < streams; ++stream) {
+    const sim::RunResult a = sim::runExperiment(
+        cfm, factory, seed, static_cast<std::uint64_t>(stream));
+    const sim::RunResult b = sim::runExperiment(
+        sinr, factory, seed, static_cast<std::uint64_t>(stream));
+    std::size_t mismatches = 0;
+    const auto& slotsA = a.receptionSlotByNode();
+    const auto& slotsB = b.receptionSlotByNode();
+    if (slotsA.size() != slotsB.size()) {
+      mismatches = slotsA.size() + slotsB.size();
+    } else {
+      for (std::size_t i = 0; i < slotsA.size(); ++i) {
+        if (slotsA[i] != slotsB[i]) ++mismatches;
+      }
+    }
+    report.add(checkThat(
+        "sinr/cfm-limit",
+        "flooding stream " + std::to_string(stream) +
+            ": beta->0 reception slots equal CFM's",
+        mismatches == 0,
+        std::to_string(mismatches) + " of " + std::to_string(slotsA.size()) +
+            " nodes diverged (beta=1e-16, cutoff=1)"));
+  }
+}
+
+// ---- Sole transmitter ------------------------------------------------------
+
+/// With one transmitter there is no interference, so the capture test is
+/// gain >= beta * noise; the defaults (beta = 3, noise = 1e-4) put that
+/// bound at 3e-4, four orders of magnitude under minDecodeGain = 1, so
+/// the delivery set must be exactly the transmitter's adjacency row.
+void checkSoleTransmitter(bool fast, std::uint64_t seed, Report& report) {
+  support::Rng rng = support::Rng::forStream(seed, 0x501e);
+  const net::Deployment deployment =
+      net::Deployment::paperDisk(rng, 3, 1.0, fast ? 20.0 : 40.0);
+  const net::Topology topology(deployment, 1.0, 0.0, net::GainFieldSpec{});
+  const net::SinrParams params;  // defaults match GainFieldSpec{}
+  const std::unique_ptr<net::Channel> channel =
+      net::makeChannel(net::ChannelModel::Sinr, params);
+
+  const std::size_t n = deployment.nodeCount();
+  std::size_t badNodes = 0;
+  std::vector<net::NodeId> delivered;
+  std::vector<net::NodeId> expected;
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto tx = static_cast<net::NodeId>(u);
+    delivered.clear();
+    const std::vector<net::NodeId> transmitters{tx};
+    channel->resolveSlot(topology, transmitters,
+                         [&](net::NodeId receiver, net::NodeId sender) {
+                           if (sender == tx) delivered.push_back(receiver);
+                         });
+    const net::NeighborSpan row = topology.neighbors(tx);
+    expected.assign(row.begin(), row.end());
+    std::sort(expected.begin(), expected.end());
+    std::sort(delivered.begin(), delivered.end());
+    if (delivered != expected) ++badNodes;
+  }
+  report.add(checkThat(
+      "sinr/sole-tx", "a lone transmitter delivers to its adjacency row",
+      badNodes == 0,
+      std::to_string(badNodes) + " of " + std::to_string(n) +
+          " transmitters missed or over-delivered"));
+}
+
+// ---- Fu–Liew–Huang safe carrier-sensing range ------------------------------
+
+constexpr double kFlhAlpha = 3.0;
+constexpr double kFlhBeta = 3.0;
+constexpr double kFlhNoise = 1e-4;
+constexpr double kFlhCutoff = 4.0;  ///< sees interferers past every grid c
+constexpr double kFlhGridLo = 1.2;
+constexpr double kFlhGridHi = 3.0;
+constexpr double kFlhGridStep = 0.2;
+
+/// Gain at distance c * range with range = 1, via the gain field's own
+/// formula (pow of the squared distance) so the "beyond csFactor"
+/// membership test below is exact under the field's monotonicity.
+double gainAt(double c) { return std::pow(c * c, -0.5 * kFlhAlpha); }
+
+/// Worst admissible pairwise SINR at carrier-sense factor c: for every
+/// receiver, the weakest in-range signal against the strongest gain from
+/// any node beyond c * range (the strongest interferer carrier sensing
+/// at c can fail to suppress).  Deterministic in the deployment — no
+/// sampling — so the measured threshold below cannot be flaky.
+double worstPairwiseSinr(const net::GainField& field, double c) {
+  const double minDecode = field.minDecodeGain();
+  const double csGain = gainAt(c);
+  double worst = std::numeric_limits<double>::infinity();
+  const std::size_t n = field.nodeCount();
+  for (std::size_t u = 0; u < n; ++u) {
+    const net::GainField::Row row = field.row(static_cast<net::NodeId>(u));
+    double weakestSignal = std::numeric_limits<double>::infinity();
+    double strongestBeyond = 0.0;
+    for (std::size_t k = 0; k < row.size; ++k) {
+      const double g = row.gains[k];
+      if (g >= minDecode) {
+        weakestSignal = std::min(weakestSignal, g);
+      } else if (g < csGain) {
+        strongestBeyond = std::max(strongestBeyond, g);
+      }
+    }
+    if (!std::isfinite(weakestSignal)) continue;  // no in-range neighbour
+    worst = std::min(worst, weakestSignal / (kFlhNoise + strongestBeyond));
+  }
+  return worst;
+}
+
+void checkFuLiewHuang(bool fast, std::uint64_t seed, Report& report) {
+  support::Rng rng = support::Rng::forStream(seed, 0xF1);
+  const net::Deployment deployment =
+      net::Deployment::paperDisk(rng, 4, 1.0, fast ? 30.0 : 60.0);
+  const net::GainFieldSpec spec{kFlhAlpha, kFlhCutoff};
+
+  // Measured threshold: smallest grid csFactor whose worst admissible
+  // pairwise SINR clears beta.  One gain field serves every grid point —
+  // the field does not depend on the carrier-sense factor.
+  const net::Topology scanTopology(deployment, 1.0, 0.0, spec);
+  const net::GainField& field = scanTopology.gainField();
+  double measured = kFlhGridHi + kFlhGridStep;  // sentinel: none safe
+  for (double c = kFlhGridLo; c <= kFlhGridHi + 1e-9; c += kFlhGridStep) {
+    if (worstPairwiseSinr(field, c) >= kFlhBeta) {
+      measured = c;
+      break;
+    }
+  }
+  const double analytic = std::pow(kFlhBeta, 1.0 / kFlhAlpha);
+  // Tolerance: one grid step.  The scan can only land on grid points, so
+  // the tightest agreement possible is the first grid point at or above
+  // the analytic threshold — within kFlhGridStep of it.
+  report.add(checkWithin(
+      "sinr/fu-liew-huang", "measured safe cs factor vs beta^(1/alpha)",
+      measured, analytic, kFlhGridStep + 1e-9,
+      "grid " + std::to_string(kFlhGridLo) + ".." +
+          std::to_string(kFlhGridHi) + " step " +
+          std::to_string(kFlhGridStep) + ", single-interferer worst case"));
+  report.add(checkThat(
+      "sinr/fu-liew-huang",
+      "no grid cs factor below the analytic threshold is safe",
+      measured >= analytic,
+      "measured=" + std::to_string(measured) +
+          " analytic=" + std::to_string(analytic)));
+
+  // Channel cross-check: run the real CAM-CS channel at the measured
+  // csFactor and verify every accepted reception beats beta against its
+  // strongest single admissible interferer — the pairwise Fu–Liew–Huang
+  // condition carrier sensing guarantees.  (Cumulative multi-interferer
+  // power is exactly what the SINR channel adds beyond CAM-CS, so it is
+  // deliberately out of scope here.)
+  const net::Topology csTopology(deployment, 1.0, measured, spec);
+  const std::unique_ptr<net::Channel> channel =
+      net::makeChannel(net::ChannelModel::CarrierSenseAware);
+  const std::size_t n = deployment.nodeCount();
+  std::vector<double> top1(n, 0.0);
+  std::vector<double> top2(n, 0.0);
+  std::vector<net::NodeId> top1From(n, 0);
+  std::vector<net::NodeId> touched;
+  std::vector<net::NodeId> transmitters;
+  std::vector<std::pair<net::NodeId, net::NodeId>> accepted;
+  double minAccepted = std::numeric_limits<double>::infinity();
+  std::size_t receptions = 0;
+  bool senderWasTop = true;
+  const int slots = fast ? 40 : 150;
+  for (int s = 0; s < slots; ++s) {
+    transmitters.clear();
+    for (std::size_t u = 0; u < n; ++u) {
+      if (rng.below(20) == 0) {
+        transmitters.push_back(static_cast<net::NodeId>(u));
+      }
+    }
+    if (transmitters.empty()) continue;
+    // Top-two gains per receiver across this slot's transmitters: the
+    // accepted sender must be top-1 (its gain clears minDecodeGain while
+    // every admissible interferer's lies below gainAt(measured)), so its
+    // strongest interferer is top-2.
+    for (net::NodeId t : transmitters) {
+      const net::GainField::Row row = field.row(t);
+      for (std::size_t k = 0; k < row.size; ++k) {
+        const net::NodeId r = row.ids[k];
+        const double g = row.gains[k];
+        if (top1[r] == 0.0 && top2[r] == 0.0) touched.push_back(r);
+        if (g > top1[r]) {
+          top2[r] = top1[r];
+          top1[r] = g;
+          top1From[r] = t;
+        } else if (g > top2[r]) {
+          top2[r] = g;
+        }
+      }
+    }
+    accepted.clear();
+    channel->resolveSlot(csTopology, transmitters,
+                         [&](net::NodeId receiver, net::NodeId sender) {
+                           accepted.emplace_back(receiver, sender);
+                         });
+    for (const auto& [receiver, sender] : accepted) {
+      ++receptions;
+      if (top1From[receiver] != sender) {
+        senderWasTop = false;
+        continue;
+      }
+      minAccepted = std::min(
+          minAccepted, top1[receiver] / (kFlhNoise + top2[receiver]));
+    }
+    for (net::NodeId r : touched) {
+      top1[r] = 0.0;
+      top2[r] = 0.0;
+    }
+    touched.clear();
+  }
+  report.add(checkThat(
+      "sinr/fu-liew-huang",
+      "CAM-CS at the measured cs factor: accepted receptions beat beta "
+      "pairwise",
+      senderWasTop && receptions > 0 && minAccepted >= kFlhBeta,
+      "min pairwise SINR " + std::to_string(minAccepted) + " over " +
+          std::to_string(receptions) + " receptions at csFactor " +
+          std::to_string(measured)));
+}
+
+}  // namespace
+
+void runSinrChecks(bool fast, std::uint64_t seed, Report& report) {
+  checkCfmLimit(fast, seed, report);
+  checkSoleTransmitter(fast, seed, report);
+  checkFuLiewHuang(fast, seed, report);
+}
+
+}  // namespace nsmodel::validate

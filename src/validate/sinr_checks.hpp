@@ -1,0 +1,46 @@
+// SINR channel validation (suite "sinr/...").
+//
+// The physical-interference channel (net/sinr_channel.hpp) has no
+// counterpart in the paper's analytic framework, so its fidelity gate is
+// built from degenerate limits and a classic cross-model result instead
+// of golden tables:
+//
+//  * CFM limit: as the capture threshold beta tends to zero, every
+//    receiver with at least one in-range transmitter decodes its best
+//    signal no matter the interference, so a flooding run under SINR
+//    (beta = 1e-16) reaches exactly the nodes, in exactly the slots, of
+//    the same run under the collision-free channel.  Checked as exact
+//    per-node equality of receptionSlotByNode under per-node RNG keying.
+//  * Sole transmitter: with no interference the SINR test reduces to
+//    gain >= beta * noise, and the defaults put the decodability
+//    threshold (minDecodeGain = range^-alpha = 1) four orders of
+//    magnitude above beta * noise — so a lone transmitter must deliver
+//    to every in-range neighbour, no more, no fewer.  Checked per node
+//    against the adjacency CSR through the real channel.
+//  * Fu–Liew–Huang cross-check: carrier sensing at csFactor c admits a
+//    reception only when no other transmitter lies within c * range of
+//    the receiver, so the strongest admissible interferer has gain below
+//    (c * range)^-alpha and pairwise capture needs c >= beta^(1/alpha)
+//    (the safe carrier-sensing range of Fu, Liew & Huang, noise
+//    neglected).  The measured threshold scans the deployment's actual
+//    gain field for the worst admissible (signal, single-interferer)
+//    pair per grid csFactor; it must agree with the analytic threshold
+//    to one grid step (0.2), the resolution of the scan.  A second check
+//    runs the real CAM-CS channel at the measured csFactor and asserts
+//    every accepted reception beats beta against its strongest single
+//    interferer — the pairwise condition; cumulative multi-interferer
+//    power is exactly what the SINR channel adds beyond CAM-CS.
+#pragma once
+
+#include <cstdint>
+
+#include "validate/report.hpp"
+
+namespace nsmodel::validate {
+
+/// Runs the SINR-channel checks, appending to `report`.  `fast` shrinks
+/// the deployment and the sampled slot count (CI gate); `seed` drives
+/// deployment generation and the sampled transmitter sets.
+void runSinrChecks(bool fast, std::uint64_t seed, Report& report);
+
+}  // namespace nsmodel::validate

@@ -104,6 +104,7 @@ std::vector<BatchCase> equivalenceMatrix() {
       {"cfm", net::ChannelModel::CollisionFree},
       {"cam", net::ChannelModel::CollisionAware},
       {"cs", net::ChannelModel::CarrierSenseAware},
+      {"sinr", net::ChannelModel::Sinr},
   };
   std::vector<BatchCase> cases;
   for (const auto& ch : channels) {

@@ -72,6 +72,50 @@ TEST(BatchThreads, ParallelSweepMatchesSequential) {
   }
 }
 
+// Same contract under the SINR channel: the per-lane power accumulators
+// live in each chunk's own BatchWorkspace, so a parallel SINR sweep must
+// be race-free and aggregate exactly like the sequential batched path.
+TEST(BatchThreads, ParallelSinrSweepMatchesSequential) {
+  WidthGuard guard;
+  sim::setBatchWidthOverride(4);
+
+  sim::MonteCarloConfig mc;
+  mc.experiment.rings = 3;
+  mc.experiment.neighborDensity = 25.0;
+  mc.experiment.maxPhases = 40;
+  mc.experiment.channel = net::ChannelModel::Sinr;
+  mc.replications = 16;
+  mc.grain = 4;
+  sim::ScenarioCache cache;
+  mc.cache = &cache;
+
+  const std::vector<protocols::ProtocolFactory> factories = {
+      [] { return std::make_unique<protocols::ProbabilisticBroadcast>(0.5); },
+      [] { return std::make_unique<protocols::SimpleFlooding>(); },
+  };
+
+  mc.parallel = true;
+  const auto parallel = sim::monteCarloSweep(mc, factories, extractor());
+  mc.parallel = false;
+  const auto sequential = sim::monteCarloSweep(mc, factories, extractor());
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t point = 0; point < parallel.size(); ++point) {
+    ASSERT_EQ(parallel[point].size(), sequential[point].size());
+    for (std::size_t m = 0; m < parallel[point].size(); ++m) {
+      EXPECT_EQ(parallel[point][m].stats.mean,
+                sequential[point][m].stats.mean)
+          << "point " << point << " metric " << m;
+      EXPECT_EQ(parallel[point][m].stats.stddev,
+                sequential[point][m].stats.stddev)
+          << "point " << point << " metric " << m;
+      EXPECT_EQ(parallel[point][m].replications,
+                sequential[point][m].replications)
+          << "point " << point << " metric " << m;
+    }
+  }
+}
+
 TEST(BatchThreads, ParallelMonteCarloMatchesSequential) {
   WidthGuard guard;
   sim::setBatchWidthOverride(4);

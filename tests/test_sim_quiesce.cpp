@@ -7,7 +7,7 @@
 // state, so every shard drains to the due slot and parks on the capture
 // gate while shard 0 snapshots.  This suite forces maximal drift with
 // the test-only straggler injector and demands, across
-// {CFM, CAM, CAM-CS} x shard counts {1, 3, 7}:
+// {CFM, CAM, CAM-CS, SINR} x shard counts {1, 3, 7}:
 //
 //   * the drifted run's result and every snapshot it emits are
 //     byte-identical to an undrifted run's (the quiesce points land at
@@ -62,6 +62,7 @@ std::vector<QuiesceCase> quiesceMatrix() {
       {"cfm", net::ChannelModel::CollisionFree},
       {"cam", net::ChannelModel::CollisionAware},
       {"cs", net::ChannelModel::CarrierSenseAware},
+      {"sinr", net::ChannelModel::Sinr},
   };
   std::vector<QuiesceCase> cases;
   for (const auto& ch : channels) {

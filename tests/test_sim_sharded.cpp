@@ -99,6 +99,7 @@ std::vector<ShardCase> equivalenceMatrix() {
       {"cfm", net::ChannelModel::CollisionFree},
       {"cam", net::ChannelModel::CollisionAware},
       {"cs", net::ChannelModel::CarrierSenseAware},
+      {"sinr", net::ChannelModel::Sinr},
   };
   std::vector<ShardCase> cases;
   for (const auto& ch : channels) {

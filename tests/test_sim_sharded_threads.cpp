@@ -122,6 +122,32 @@ TEST(ShardedThreads, CancellationHeavyProtocolStaysIdentical) {
   }
 }
 
+// The SINR channel adds a second shared read surface (the restricted
+// gain CSRs) and per-shard floating-point accumulators to the gang;
+// repeated runs must stay flat-identical under every thread schedule.
+TEST(ShardedThreads, SinrChannelStaysIdentical) {
+  ThreadsGuard execGuard;
+  sim::ExperimentConfig cfg = smallConfig();
+  cfg.channel = net::ChannelModel::Sinr;
+  const sim::Scenario scenario =
+      sim::buildScenario(sim::ScenarioKey::forExperiment(cfg, 42, 0));
+  protocols::ProbabilisticBroadcast protocol(0.6);
+
+  sim::ExperimentConfig flatCfg = cfg;
+  flatCfg.rngMode = sim::RngMode::PerNode;
+  support::Rng flatRng = scenario.protocolRng;
+  const sim::RunResult flat =
+      sim::runBroadcast(flatCfg, scenario.deployment, scenario.topology,
+                        protocol, flatRng, nullptr);
+
+  sim::ShardedEngine engine(scenario.deployment, scenario.topology, 4);
+  for (int rep = 0; rep < 8; ++rep) {
+    support::Rng rng = scenario.protocolRng;
+    const sim::RunResult sharded = engine.run(cfg, protocol, rng);
+    expectIdentical(sharded, flat, "sinr rep " + std::to_string(rep));
+  }
+}
+
 TEST(ShardedThreads, MonteCarloWiringIsDeterministicAcrossRuns) {
   ShardGuard guard;
   ThreadsGuard execGuard;

@@ -14,8 +14,11 @@
 //                 after a kill, --timeout cancels cleanly, --result
 //                 writes a deterministic digest for byte comparison
 //
-// Common flags: --rho, --rings, --slots, --channel=cam|cfm|cam-cs,
+// Common flags: --rho, --rings, --slots, --channel=cam|cfm|cam-cs|sinr,
 // --policy=interp|poisson, --seed, --reps, --csv=PATH.
+// SINR channel knobs: --sinr-beta, --sinr-noise, --sinr-alpha,
+// --sinr-cutoff (environment equivalents NSMODEL_SINR_BETA/NOISE/ALPHA/
+// CUTOFF; an explicit flag wins over the environment).
 // Metric syntax: --metric=reach-latency:5, latency-reach:0.7,
 //                energy-reach:0.7, reach-energy:35.
 // Protocol syntax: --protocol=pb:0.2 | flood | counter:3 | distance:0.4.
@@ -72,8 +75,12 @@ using support::CliArgs;
       "usage: nsmodel_cli "
       "<predict|simulate|optimize|sweep|reliable|robust-sweep|broadcast>"
       " [flags]\n"
-      "  common: --rho=60 --rings=5 --slots=3 --channel=cam|cfm|cam-cs\n"
-      "          --policy=interp|poisson --seed=42 --reps=30\n"
+      "  common: --rho=60 --rings=5 --slots=3\n"
+      "          --channel=cam|cfm|cam-cs|sinr --policy=interp|poisson\n"
+      "          --seed=42 --reps=30\n"
+      "          --sinr-beta=3 --sinr-noise=1e-4 --sinr-alpha=3\n"
+      "          --sinr-cutoff=2 (SINR channel; NSMODEL_SINR_BETA etc.\n"
+      "          are the environment equivalents, flags win)\n"
       "          --shards=off|auto|N (single-run sharding; overrides\n"
       "          NSMODEL_SHARDS, engages when replication parallelism\n"
       "          is idle and switches runs to per-node RNG keying)\n"
@@ -127,6 +134,18 @@ int parseInt(const std::string& text, const std::string& what) {
                     "'");
 }
 
+/// Reads one SINR parameter: --sinr-<name> wins, else the NSMODEL_SINR_*
+/// environment equivalent (strictly parsed — garbage is a ConfigError,
+/// not a silent default), else the SinrParams default.
+double sinrParam(const CliArgs& args, const std::string& flag,
+                 const char* env, double fallback) {
+  if (args.has(flag)) return args.getDouble(flag, fallback);
+  if (const char* text = std::getenv(env)) {
+    return parseDouble(text, std::string(env));
+  }
+  return fallback;
+}
+
 core::CommModel channelFromFlag(const CliArgs& args) {
   const std::string name = args.getString("channel", "cam");
   if (name == "cam") return core::CommModel::collisionAware();
@@ -135,7 +154,20 @@ core::CommModel channelFromFlag(const CliArgs& args) {
     return core::CommModel::carrierSenseAware(
         args.getDouble("cs-factor", 2.0));
   }
-  throw ConfigError("unknown channel: " + name + " (cam, cfm, cam-cs)");
+  if (name == "sinr") {
+    net::SinrParams params;
+    params.beta = sinrParam(args, "sinr-beta", "NSMODEL_SINR_BETA",
+                            params.beta);
+    params.noise = sinrParam(args, "sinr-noise", "NSMODEL_SINR_NOISE",
+                             params.noise);
+    params.alpha = sinrParam(args, "sinr-alpha", "NSMODEL_SINR_ALPHA",
+                             params.alpha);
+    params.cutoff = sinrParam(args, "sinr-cutoff", "NSMODEL_SINR_CUTOFF",
+                              params.cutoff);
+    params.validate();
+    return core::CommModel::sinr(params);
+  }
+  throw ConfigError("unknown channel: " + name + " (cam, cfm, cam-cs, sinr)");
 }
 
 analytic::RealKPolicy policyFromFlag(const CliArgs& args) {

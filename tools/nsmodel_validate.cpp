@@ -12,10 +12,14 @@
 //   fault       fault-regime invariants (zero-fault bit-identity on all
 //               three backends, pointwise degradation monotonicity in
 //               crash rate and link loss, drift/energy semantics)
+//   sinr        SINR channel fidelity (beta->0 reduces to the collision-
+//               free channel, a sole transmitter delivers exactly its
+//               adjacency row, measured safe carrier-sensing range vs the
+//               Fu-Liew-Huang threshold beta^(1/alpha))
 //
 // Flags:
 //   --golden-dir=DIR   directory of golden tables (default data/golden)
-//   --suite=all|golden|cross|invariants|fault
+//   --suite=all|golden|cross|invariants|fault|sinr
 //   --fast             thinned grids + fewer replications (the ctest gate)
 //   --regen            rewrite the golden tables from the current
 //                      implementation instead of checking, then exit
@@ -34,6 +38,7 @@
 #include "validate/fault_checks.hpp"
 #include "validate/golden.hpp"
 #include "validate/report.hpp"
+#include "validate/sinr_checks.hpp"
 
 namespace {
 
@@ -43,7 +48,8 @@ using support::CliArgs;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: nsmodel_validate [--suite=all|golden|cross|invariants|fault]\n"
+      "usage: nsmodel_validate "
+      "[--suite=all|golden|cross|invariants|fault|sinr]\n"
       "                        [--golden-dir=data/golden] [--fast] [--regen]\n"
       "                        [--max-ulp=0] [--seed=42] [--reps=48]\n"
       "                        [--json=report.json] [--csv=report.csv]\n");
@@ -95,7 +101,8 @@ int main(int argc, char** argv) {
     const std::string jsonPath = args.getString("json", "");
     const std::string csvPath = args.getString("csv", "");
     NSMODEL_CHECK(suite == "all" || suite == "golden" || suite == "cross" ||
-                      suite == "invariants" || suite == "fault",
+                      suite == "invariants" || suite == "fault" ||
+                      suite == "sinr",
                   "unknown --suite: " + suite);
     NSMODEL_CHECK(maxUlp >= 0, "--max-ulp must be non-negative");
     NSMODEL_CHECK(reps >= 2, "--reps must be at least 2");
@@ -125,6 +132,9 @@ int main(int argc, char** argv) {
     }
     if (suite == "all" || suite == "fault") {
       validate::runFaultChecks(fast, seed, report);
+    }
+    if (suite == "all" || suite == "sinr") {
+      validate::runSinrChecks(fast, seed, report);
     }
 
     report.printSummary(std::cout);
